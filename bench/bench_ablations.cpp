@@ -1,0 +1,128 @@
+// Experiment E11 — interpretation ablations (the places where the paper's
+// prose admits more than one reading; see DESIGN.md §2):
+//   * decision timing: decide-before vs decide-after injection;
+//   * sibling arbitration: strict vs willing-only (provably equivalent for
+//     the parity rule — this table is the empirical confirmation);
+//   * the gradient-k family around Downhill/Downhill-or-Flat.
+//
+// Expected shape: the Odd-Even bound is robust to decision timing; both
+// arbitration modes stay logarithmic empirically; gradient-k interpolates
+// between Θ(n) shapes.
+
+#include "bench_common.hpp"
+#include "cvg/adversary/staged.hpp"
+
+namespace cvg::bench {
+namespace {
+
+Height battery_peak(const Tree& tree, const Policy& policy, Step steps,
+                    SimOptions options, std::uint64_t seed) {
+  Height peak = 0;
+  for (const auto& entry : adversary_battery()) {
+    AdversaryPtr adv = entry.make(tree, seed);
+    peak = std::max(peak, run(tree, policy, *adv, steps, options).peak_height);
+  }
+  // The staged Thm 3.1 adversary is semantics-agnostic (it evaluates its
+  // scenarios empirically), so it belongs in every ablation's battery.
+  adversary::StagedLowerBound staged(policy, options,
+                                     std::max(1, policy.locality()));
+  peak = std::max(
+      peak,
+      run(tree, policy, staged, staged.recommended_steps(tree), options)
+          .peak_height);
+  return peak;
+}
+
+void timing_table(const Flags& flags) {
+  const std::vector<std::size_t> sizes =
+      report::geometric_sizes(64, flags.large ? 4096 : 1024);
+  struct Row {
+    std::size_t n;
+    Height before = 0;
+    Height after = 0;
+  };
+  std::vector<Row> rows(sizes.size());
+  parallel_for(rows.size(), flags.threads, [&](std::size_t i) {
+    Row& row = rows[i];
+    row.n = sizes[i];
+    const Tree tree = build::path(row.n + 1);
+    OddEvenPolicy policy;
+    const Step steps = static_cast<Step>(6 * row.n);
+    row.before = battery_peak(
+        tree, policy, steps,
+        {.semantics = StepSemantics::DecideBeforeInjection}, derive_seed(1, i));
+    row.after = battery_peak(
+        tree, policy, steps,
+        {.semantics = StepSemantics::DecideAfterInjection}, derive_seed(1, i));
+  });
+
+  report::Table table({"n", "decide-before peak", "decide-after peak"});
+  for (const Row& row : rows) table.row(row.n, row.before, row.after);
+  print_table("E11a: Odd-Even under both decision-timing readings", table,
+              flags);
+}
+
+void arbitration_table(const Flags& flags) {
+  const std::vector<std::size_t> branch_counts = {8, 16,
+                                                  flags.large ? 40u : 24u};
+  struct Row {
+    std::size_t nodes = 0;
+    Height strict = 0;
+    Height willing = 0;
+    std::size_t branches;
+  };
+  std::vector<Row> rows(branch_counts.size());
+  parallel_for(rows.size(), flags.threads, [&](std::size_t i) {
+    Row& row = rows[i];
+    row.branches = branch_counts[i];
+    const Tree tree = build::spider_staggered(row.branches);
+    row.nodes = tree.node_count();
+    const Step steps = static_cast<Step>(10 * row.nodes);
+    TreeOddEvenPolicy strict(ArbitrationMode::Strict);
+    TreeOddEvenPolicy willing(ArbitrationMode::WillingOnly);
+    row.strict = battery_peak(tree, strict, steps, {}, derive_seed(2, i));
+    row.willing = battery_peak(tree, willing, steps, {}, derive_seed(2, i));
+  });
+
+  report::Table table({"staggered spider b", "nodes", "strict peak",
+                       "willing-only peak"});
+  for (const Row& row : rows) {
+    table.row(row.branches, row.nodes, row.strict, row.willing);
+  }
+  print_table("E11b: sibling arbitration modes (provably equal for the "
+              "parity rule)",
+              table, flags);
+}
+
+void gradient_table(const Flags& flags) {
+  const std::size_t n = flags.large ? 2048 : 512;
+  const Tree tree = build::path(n + 1);
+  const Step steps = static_cast<Step>(6 * n);
+
+  report::Table table({"policy", "battery peak", "staged-adversary peak"});
+  for (const std::string name :
+       {"gradient-0", "gradient-1", "gradient-2", "gradient-3", "odd-even"}) {
+    const PolicyPtr policy = make_policy(name);
+    const Height battery =
+        battery_peak(tree, *policy, steps, {}, derive_seed(3, 0));
+    adversary::StagedLowerBound staged(*policy, SimOptions{}, 1);
+    const Height forced =
+        run(tree, *policy, staged, staged.recommended_steps(tree)).peak_height;
+    table.row(name, battery, forced);
+  }
+  print_table("E11c: the gradient-k family vs Odd-Even (n=" +
+                  std::to_string(n) + ")",
+              table, flags);
+}
+
+}  // namespace
+}  // namespace cvg::bench
+
+int main(int argc, char** argv) {
+  const auto flags = cvg::bench::parse_flags(argc, argv);
+  std::printf("E11 — ablations over the paper's under-specified choices\n");
+  cvg::bench::timing_table(flags);
+  cvg::bench::arbitration_table(flags);
+  cvg::bench::gradient_table(flags);
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Experiment E6 — the weak local baselines of [21]:
+//   * local Forward-If-Empty has throughput ½, so its backlog diverges
+//     linearly in time (unbounded buffers);
+//   * Downhill needs a full staircase to sustain throughput, so its peak
+//     grows towards Θ(distance-to-sink) under sustained far-end injection.
+//
+// Table 1: FIE backlog vs time (divergence trace) against Odd-Even.
+// Table 2: Downhill peak vs n under sustained injection of n²/4 steps.
+
+#include "bench_common.hpp"
+
+namespace cvg::bench {
+namespace {
+
+void fie_divergence(const Flags& flags) {
+  const std::size_t n = 256;
+  const Tree tree = build::path(n + 1);
+  const Step steps = flags.large ? 65536 : 16384;
+  const Step sample_every = steps / 8;
+
+  std::vector<Height> fie_trace;
+  std::vector<Height> odd_even_trace;
+  {
+    FieLocalPolicy fie;
+    adversary::FixedNode adv(tree, adversary::Site::Deepest);
+    std::vector<Height> trace;
+    (void)run_traced(tree, fie, adv, steps, sample_every, trace);
+    fie_trace = trace;
+  }
+  {
+    OddEvenPolicy odd_even;
+    adversary::FixedNode adv(tree, adversary::Site::Deepest);
+    std::vector<Height> trace;
+    (void)run_traced(tree, odd_even, adv, steps, sample_every, trace);
+    odd_even_trace = trace;
+  }
+
+  report::Table table({"step", "fie-local max height", "odd-even max height"});
+  for (std::size_t i = 0; i < fie_trace.size(); ++i) {
+    table.row((i + 1) * sample_every, fie_trace[i], odd_even_trace[i]);
+  }
+  print_table("E6a: local FIE diverges with time; Odd-Even plateaus (n=256)",
+              table, flags);
+}
+
+void downhill_growth(const Flags& flags) {
+  const std::vector<std::size_t> sizes =
+      report::geometric_sizes(16, flags.large ? 256 : 128);
+  struct Row {
+    std::size_t n;
+    Height peak = 0;
+  };
+  std::vector<Row> rows(sizes.size());
+  parallel_for(rows.size(), flags.threads, [&](std::size_t i) {
+    Row& row = rows[i];
+    row.n = sizes[i];
+    const Tree tree = build::path(row.n + 1);
+    DownhillPolicy downhill;
+    adversary::FixedNode adv(tree, adversary::Site::Deepest);
+    // The staircase needs ~n²/2 injections to reach full height.
+    const Step steps = static_cast<Step>(row.n * row.n);
+    row.peak = run(tree, downhill, adv, steps).peak_height;
+  });
+
+  report::Table table({"n", "downhill peak", "peak/n"});
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (const Row& row : rows) {
+    table.row(row.n, row.peak,
+              static_cast<double>(row.peak) / static_cast<double>(row.n));
+    xs.push_back(static_cast<double>(row.n));
+    ys.push_back(static_cast<double>(row.peak));
+  }
+  print_table("E6b: Downhill peak under sustained far-end injection (Omega(n))",
+              table, flags);
+  std::printf("downhill growth exponent: %.2f (linear if ~1.0)\n",
+              cvg::report::loglog_slope(xs, ys));
+}
+
+}  // namespace
+}  // namespace cvg::bench
+
+int main(int argc, char** argv) {
+  const auto flags = cvg::bench::parse_flags(argc, argv);
+  std::printf("E6 — the local baselines of [21]: FIE unbounded, Downhill "
+              "Omega(n)\n");
+  cvg::bench::fie_divergence(flags);
+  cvg::bench::downhill_growth(flags);
+  return 0;
+}

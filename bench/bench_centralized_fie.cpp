@@ -1,0 +1,92 @@
+// Experiment E13 — the centralized comparator of [21]: Forward-If-Empty with
+// per-packet path activations achieves buffers ≤ σ + 2ρ, independent of n —
+// the benchmark the paper's local algorithms close the gap towards.
+//
+// Expected shape: peak ≤ σ + 2ρ on every row; constant across n.
+
+#include "bench_common.hpp"
+#include "cvg/policy/centralized_fie.hpp"
+
+namespace cvg::bench {
+namespace {
+
+/// Rate-ρ adversary with periodic σ-bursts (σ tokens accumulated while it
+/// idles during the second half of each period).
+class BurstyRandom final : public Adversary {
+ public:
+  BurstyRandom(std::uint64_t seed, Capacity burst, Step period)
+      : seed_(seed), burst_(burst), period_(period), rng_(seed) {}
+
+  [[nodiscard]] std::string name() const override { return "bursty-random"; }
+  void on_simulation_start() override { rng_ = Xoshiro256StarStar(seed_); }
+
+  void plan(const Tree& tree, const Configuration&, Step step,
+            Capacity capacity, std::vector<NodeId>& out) override {
+    if (step % period_ == period_ - 1) {
+      const NodeId target =
+          static_cast<NodeId>(1 + rng_.below(tree.node_count() - 1));
+      out.insert(out.end(), static_cast<std::size_t>(capacity + burst_),
+                 target);
+    } else if (step % period_ < period_ / 2) {
+      const NodeId target =
+          static_cast<NodeId>(1 + rng_.below(tree.node_count() - 1));
+      out.insert(out.end(), static_cast<std::size_t>(capacity), target);
+    }
+  }
+
+ private:
+  std::uint64_t seed_;
+  Capacity burst_;
+  Step period_;
+  Xoshiro256StarStar rng_;
+};
+
+void fie_table(const Flags& flags) {
+  struct Cell {
+    std::size_t n;
+    Capacity rho;
+    Capacity sigma;
+    Height peak = 0;
+    std::uint64_t delivered = 0;
+  };
+  std::vector<Cell> cells;
+  for (const std::size_t n : {64u, 256u, flags.large ? 4096u : 1024u}) {
+    for (const Capacity rho : {1, 2, 4}) {
+      for (const Capacity sigma : {0, 4, 16}) {
+        cells.push_back({n, rho, sigma, 0, 0});
+      }
+    }
+  }
+  parallel_for(cells.size(), flags.threads, [&](std::size_t i) {
+    Cell& cell = cells[i];
+    const Tree tree = build::path(cell.n + 1);
+    CentralizedFiePolicy policy;
+    BurstyRandom adv(derive_seed(13, i), cell.sigma,
+                     static_cast<Step>(2 * cell.sigma + 8));
+    const SimOptions options{.capacity = cell.rho, .burstiness = cell.sigma};
+    const RunResult result =
+        run(tree, policy, adv, static_cast<Step>(6 * cell.n), options);
+    cell.peak = result.peak_height;
+    cell.delivered = result.delivered;
+  });
+
+  report::Table table(
+      {"n", "rho", "sigma", "peak", "sigma+2rho cap", "delivered", "ok"});
+  for (const Cell& cell : cells) {
+    table.row(cell.n, cell.rho, cell.sigma, cell.peak,
+              cell.sigma + 2 * cell.rho, cell.delivered,
+              cell.peak <= cell.sigma + 2 * cell.rho ? "yes" : "NO");
+  }
+  print_table("E13: centralized FIE stays under sigma + 2*rho ([21])", table,
+              flags);
+}
+
+}  // namespace
+}  // namespace cvg::bench
+
+int main(int argc, char** argv) {
+  const auto flags = cvg::bench::parse_flags(argc, argv);
+  std::printf("E13 — the centralized comparator: sigma + 2*rho buffers [21]\n");
+  cvg::bench::fie_table(flags);
+  return 0;
+}

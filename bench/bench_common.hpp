@@ -1,0 +1,115 @@
+#pragma once
+
+/// \file bench_common.hpp
+/// Shared scaffolding for the experiment binaries: flag parsing, titled
+/// table printing, and the standard adversary battery.  Every bench accepts:
+///   --csv    also emit machine-readable CSV after each table
+///   --large  run the bigger (slower) size ladder
+///   --threads=N  override the worker count (default: all cores)
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cvg/adversary/killers.hpp"
+#include "cvg/adversary/simple.hpp"
+#include "cvg/parallel/parallel_for.hpp"
+#include "cvg/parallel/sweep.hpp"
+#include "cvg/policy/registry.hpp"
+#include "cvg/policy/standard.hpp"
+#include "cvg/report/stats.hpp"
+#include "cvg/report/table.hpp"
+#include "cvg/sim/runner.hpp"
+#include "cvg/topology/builders.hpp"
+#include "cvg/util/str.hpp"
+
+namespace cvg::bench {
+
+struct Flags {
+  bool csv = false;
+  bool large = false;
+  unsigned threads = 0;  // 0 = default
+};
+
+inline Flags parse_flags(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--csv") {
+      flags.csv = true;
+    } else if (arg == "--large") {
+      flags.large = true;
+    } else if (starts_with(arg, "--threads=")) {
+      flags.threads = static_cast<unsigned>(
+          std::strtoul(std::string(arg.substr(10)).c_str(), nullptr, 10));
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: %s [--csv] [--large] [--threads=N]\n", argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown flag: %.*s\n",
+                   static_cast<int>(arg.size()), arg.data());
+      std::exit(2);
+    }
+  }
+  if (flags.threads == 0) flags.threads = default_thread_count();
+  return flags;
+}
+
+inline void print_table(const std::string& title, const report::Table& table,
+                        const Flags& flags) {
+  std::printf("\n== %s ==\n%s", title.c_str(), table.to_text().c_str());
+  if (flags.csv) {
+    std::printf("-- csv --\n%s", table.to_csv().c_str());
+  }
+  std::fflush(stdout);
+}
+
+/// The standard adversary battery used by the "max over adversaries"
+/// experiments.  Each entry is (kind name, factory).
+using AdversaryFactory =
+    AdversaryPtr (*)(const Tree& tree, std::uint64_t seed);
+
+struct BatteryEntry {
+  const char* kind;
+  AdversaryFactory make;
+};
+
+inline const std::vector<BatteryEntry>& adversary_battery() {
+  static const std::vector<BatteryEntry> battery = {
+      {"fixed-deepest",
+       [](const Tree& tree, std::uint64_t) -> AdversaryPtr {
+         return std::make_unique<adversary::FixedNode>(
+             tree, adversary::Site::Deepest);
+       }},
+      {"fixed-sink-child",
+       [](const Tree& tree, std::uint64_t) -> AdversaryPtr {
+         return std::make_unique<adversary::FixedNode>(
+             tree, adversary::Site::SinkChild);
+       }},
+      {"train-and-slam",
+       [](const Tree& tree, std::uint64_t) -> AdversaryPtr {
+         return std::make_unique<adversary::TrainAndSlam>(tree);
+       }},
+      {"alternator",
+       [](const Tree& tree, std::uint64_t) -> AdversaryPtr {
+         return std::make_unique<adversary::Alternator>(tree, 13);
+       }},
+      {"pile-on",
+       [](const Tree&, std::uint64_t) -> AdversaryPtr {
+         return std::make_unique<adversary::PileOn>();
+       }},
+      {"feed-the-block",
+       [](const Tree&, std::uint64_t) -> AdversaryPtr {
+         return std::make_unique<adversary::FeedTheBlock>();
+       }},
+      {"random-uniform",
+       [](const Tree&, std::uint64_t seed) -> AdversaryPtr {
+         return std::make_unique<adversary::RandomUniform>(seed);
+       }},
+  };
+  return battery;
+}
+
+}  // namespace cvg::bench

@@ -1,0 +1,66 @@
+// Experiment E5 — the Θ(n) baseline [23]: Greedy requires linear buffers on
+// the path.  The train-and-slam adversary spreads a train of n/2 packets and
+// slams the sink's child while it arrives.
+//
+// Expected shape: Greedy's peak grows linearly (log-log slope ≈ 1) while
+// Odd-Even under the *same* adversary stays logarithmic — the paper's
+// headline separation.
+
+#include "bench_common.hpp"
+
+namespace cvg::bench {
+namespace {
+
+void greedy_table(const Flags& flags) {
+  const std::vector<std::size_t> sizes =
+      report::geometric_sizes(64, flags.large ? 16384 : 4096);
+
+  struct Row {
+    std::size_t n;
+    Height greedy_peak = 0;
+    Height odd_even_peak = 0;
+  };
+  std::vector<Row> rows(sizes.size());
+  parallel_for(rows.size(), flags.threads, [&](std::size_t i) {
+    Row& row = rows[i];
+    row.n = sizes[i];
+    const Tree tree = build::path(row.n + 1);
+    const Step steps = static_cast<Step>(3 * row.n);
+    {
+      GreedyPolicy greedy;
+      adversary::TrainAndSlam adv(tree, row.n / 2);
+      row.greedy_peak = run(tree, greedy, adv, steps).peak_height;
+    }
+    {
+      OddEvenPolicy odd_even;
+      adversary::TrainAndSlam adv(tree, row.n / 2);
+      row.odd_even_peak = run(tree, odd_even, adv, steps).peak_height;
+    }
+  });
+
+  report::Table table(
+      {"n", "greedy peak", "greedy/n", "odd-even peak (same adversary)"});
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (const Row& row : rows) {
+    table.row(row.n, row.greedy_peak,
+              static_cast<double>(row.greedy_peak) /
+                  static_cast<double>(row.n),
+              row.odd_even_peak);
+    xs.push_back(static_cast<double>(row.n));
+    ys.push_back(static_cast<double>(row.greedy_peak));
+  }
+  print_table("E5: Greedy under train-and-slam (Theta(n), [23])", table, flags);
+  std::printf("greedy growth exponent: %.2f (linear if ~1.0)\n",
+              cvg::report::loglog_slope(xs, ys));
+}
+
+}  // namespace
+}  // namespace cvg::bench
+
+int main(int argc, char** argv) {
+  const auto flags = cvg::bench::parse_flags(argc, argv);
+  std::printf("E5 — Greedy needs Theta(n) buffers on the path [23]\n");
+  cvg::bench::greedy_table(flags);
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Experiment E12 — engineering microbenchmarks (google-benchmark): raw
+// simulation throughput per policy and topology, packet-engine overhead,
+// certifier overhead, and exhaustive-search state throughput.  These bound
+// the cost of every experiment in the harness.
+
+#include <benchmark/benchmark.h>
+
+#include "cvg/adversary/simple.hpp"
+#include "cvg/parallel/sweep.hpp"
+#include "cvg/certify/path_certifier.hpp"
+#include "cvg/policy/registry.hpp"
+#include "cvg/search/exhaustive.hpp"
+#include "cvg/sim/packet_sim.hpp"
+#include "cvg/sim/simulator.hpp"
+#include "cvg/topology/builders.hpp"
+
+namespace cvg {
+namespace {
+
+void BM_PathStep(benchmark::State& state, const char* policy_name) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Tree tree = build::path(n);
+  const PolicyPtr policy = make_policy(policy_name);
+  Simulator sim(tree, *policy);
+  const NodeId site = static_cast<NodeId>(n - 1);
+  for (auto _ : state) {
+    sim.step_inject(site);
+    benchmark::DoNotOptimize(sim.config().heights().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+  state.counters["node_steps/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(n),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK_CAPTURE(BM_PathStep, odd_even, "odd-even")->Range(1 << 8, 1 << 16);
+BENCHMARK_CAPTURE(BM_PathStep, greedy, "greedy")->Range(1 << 8, 1 << 16);
+BENCHMARK_CAPTURE(BM_PathStep, downhill_or_flat, "downhill-or-flat")
+    ->Range(1 << 8, 1 << 16);
+
+void BM_TreeStep(benchmark::State& state) {
+  const auto levels = static_cast<std::size_t>(state.range(0));
+  const Tree tree = build::complete_kary(2, levels);
+  const PolicyPtr policy = make_policy("tree-odd-even");
+  Simulator sim(tree, *policy);
+  adversary::RandomLeaf adversary(42);
+  std::vector<NodeId> inj;
+  Step s = 0;
+  for (auto _ : state) {
+    inj.clear();
+    adversary.plan(tree, sim.config(), s++, 1, inj);
+    sim.step(inj);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(tree.node_count()));
+}
+BENCHMARK(BM_TreeStep)->DenseRange(8, 14, 2);
+
+void BM_PacketEngineStep(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Tree tree = build::path(n);
+  const PolicyPtr policy = make_policy("odd-even");
+  PacketSimulator sim(tree, *policy);
+  const NodeId site = static_cast<NodeId>(n - 1);
+  for (auto _ : state) {
+    sim.step_inject(site);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_PacketEngineStep)->Range(1 << 8, 1 << 12);
+
+void BM_CertifiedStep(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Tree tree = build::path(n);
+  const PolicyPtr policy = make_policy("odd-even");
+  Simulator sim(tree, *policy);
+  certify::PathCertifier certifier(tree, /*validate_every=*/0);
+  const NodeId site = static_cast<NodeId>(n - 1);
+  for (auto _ : state) {
+    const StepRecord& record = sim.step_inject(site);
+    certifier.observe(sim.config(), record);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_CertifiedStep)->Range(1 << 8, 1 << 12);
+
+void BM_SweepScaling(benchmark::State& state) {
+  // Wall-clock scaling of the parallel sweep runner across worker counts:
+  // simulations are embarrassingly parallel, so this should be ~linear up
+  // to the core count.
+  const auto threads = static_cast<unsigned>(state.range(0));
+  std::vector<PeakJob> jobs;
+  for (int i = 0; i < 32; ++i) {
+    PeakJob job;
+    job.label = std::to_string(i);
+    job.make_tree = [] { return build::path(1024); };
+    job.make_policy = [] { return make_policy("odd-even"); };
+    job.make_adversary = [i](const Tree&, const Policy&) -> AdversaryPtr {
+      return std::make_unique<adversary::RandomUniform>(derive_seed(8, static_cast<std::uint64_t>(i)));
+    };
+    job.steps = 2048;
+    jobs.push_back(std::move(job));
+  }
+  for (auto _ : state) {
+    const auto outcomes = run_peak_sweep(jobs, threads);
+    benchmark::DoNotOptimize(outcomes.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 32);
+}
+BENCHMARK(BM_SweepScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_ExhaustiveSearch(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Tree tree = build::path(n + 1);
+  const PolicyPtr policy = make_policy("odd-even");
+  std::size_t states = 0;
+  for (auto _ : state) {
+    const auto result =
+        search::exhaustive_worst_case(tree, *policy, SimOptions{});
+    states = result.states;
+    benchmark::DoNotOptimize(result.peak);
+  }
+  state.counters["states"] = static_cast<double>(states);
+}
+BENCHMARK(BM_ExhaustiveSearch)->DenseRange(4, 7, 1);
+
+}  // namespace
+}  // namespace cvg
+
+BENCHMARK_MAIN();

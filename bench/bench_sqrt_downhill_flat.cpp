@@ -1,0 +1,74 @@
+// Experiment E2 — Theorem 4.1: `Downhill-or-Flat` uses Θ(√n) buffers.
+//
+// The lower-bound direction is driven by the train-and-slam schedule (and
+// its repeated form, the alternator): the train keeps feeding the pile at
+// the sink's child, and flat-forwarding turns the pile into a ramp of height
+// ~√train.  Expected shape: log-log slope ≈ 0.5, sandwiched strictly
+// between Odd-Even (log) and Greedy (linear).
+
+#include <cmath>
+
+#include "bench_common.hpp"
+
+namespace cvg::bench {
+namespace {
+
+void sqrt_table(const Flags& flags) {
+  const std::vector<std::size_t> sizes =
+      report::geometric_sizes(64, flags.large ? 32768 : 8192);
+
+  struct Row {
+    std::size_t n;
+    Height dof_peak = 0;
+    std::string worst;
+    double ratio_to_sqrt = 0;
+  };
+  std::vector<Row> rows(sizes.size());
+  parallel_for(rows.size(), flags.threads, [&](std::size_t i) {
+    Row& row = rows[i];
+    row.n = sizes[i];
+    const Tree tree = build::path(row.n + 1);
+    DownhillOrFlatPolicy policy;
+    const Step steps = static_cast<Step>(4 * row.n);
+    {
+      adversary::TrainAndSlam adv(tree, row.n / 2);
+      const Height peak = run(tree, policy, adv, steps).peak_height;
+      if (peak > row.dof_peak) {
+        row.dof_peak = peak;
+        row.worst = "train-and-slam";
+      }
+    }
+    {
+      adversary::Alternator adv(tree, static_cast<Step>(row.n / 2));
+      const Height peak = run(tree, policy, adv, steps).peak_height;
+      if (peak > row.dof_peak) {
+        row.dof_peak = peak;
+        row.worst = "alternator";
+      }
+    }
+    row.ratio_to_sqrt = static_cast<double>(row.dof_peak) /
+                        std::sqrt(static_cast<double>(row.n));
+  });
+
+  report::Table table({"n", "DoF peak", "peak/sqrt(n)", "worst adversary"});
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (const Row& row : rows) {
+    table.row(row.n, row.dof_peak, row.ratio_to_sqrt, row.worst);
+    xs.push_back(static_cast<double>(row.n));
+    ys.push_back(static_cast<double>(row.dof_peak));
+  }
+  print_table("E2: Downhill-or-Flat peak vs sqrt(n) (Thm 4.1)", table, flags);
+  std::printf("growth exponent: %.2f (sqrt-law if ~0.5)\n",
+              cvg::report::loglog_slope(xs, ys));
+}
+
+}  // namespace
+}  // namespace cvg::bench
+
+int main(int argc, char** argv) {
+  const auto flags = cvg::bench::parse_flags(argc, argv);
+  std::printf("E2 — Downhill-or-Flat uses Theta(sqrt(n)) buffers (Thm 4.1)\n");
+  cvg::bench::sqrt_table(flags);
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Experiment E9 — §5's opening observation: 1-locality is not enough on
+// trees.  On the staggered spider, the adversary synchronises one packet per
+// branch so that all b branch heads fire into the hub in the same step under
+// plain (arbitration-free) Odd-Even, forcing a hub buffer of b−1; the
+// 2-local sibling arbitration of Algorithm Tree caps it at O(log n).
+//
+// Expected shape: 1-local peak ≈ b (linear in branches); 2-local peak flat.
+
+#include <cmath>
+
+#include "bench_common.hpp"
+
+namespace cvg::bench {
+namespace {
+
+/// Builds the synchronised schedule: leaf of the length-L branch at step b−L.
+std::vector<std::vector<NodeId>> synchronised_schedule(const Tree& tree,
+                                                       std::size_t branches) {
+  std::vector<NodeId> leaf_at_depth(branches + 2, kNoNode);
+  for (NodeId v = 1; v < tree.node_count(); ++v) {
+    if (tree.is_leaf(v)) leaf_at_depth[tree.depth(v)] = v;
+  }
+  std::vector<std::vector<NodeId>> schedule;
+  for (std::size_t step = 0; step < branches; ++step) {
+    schedule.push_back({leaf_at_depth[branches - step + 1]});
+  }
+  return schedule;
+}
+
+void star_table(const Flags& flags) {
+  const std::vector<std::size_t> branch_counts = {4, 8, 16,
+                                                  flags.large ? 64u : 32u};
+  struct Row {
+    std::size_t branches;
+    std::size_t nodes = 0;
+    Height one_local = 0;
+    Height two_local = 0;
+  };
+  std::vector<Row> rows(branch_counts.size());
+  parallel_for(rows.size(), flags.threads, [&](std::size_t i) {
+    Row& row = rows[i];
+    row.branches = branch_counts[i];
+    const Tree tree = build::spider_staggered(row.branches);
+    row.nodes = tree.node_count();
+    const auto schedule = synchronised_schedule(tree, row.branches);
+    const Step steps = static_cast<Step>(row.branches + 8);
+    {
+      OddEvenPolicy bare;
+      adversary::Trace adv(schedule);
+      row.one_local = run(tree, bare, adv, steps).peak_height;
+    }
+    {
+      TreeOddEvenPolicy arbitrated;
+      adversary::Trace adv(schedule);
+      row.two_local = run(tree, arbitrated, adv, steps).peak_height;
+    }
+  });
+
+  report::Table table({"branches b", "nodes", "1-local odd-even peak",
+                       "2-local tree peak", "b-1"});
+  for (const Row& row : rows) {
+    table.row(row.branches, row.nodes, row.one_local, row.two_local,
+              row.branches - 1);
+  }
+  print_table("E9: synchronised staggered spider — 1-local fails, 2-local "
+              "holds (§5)",
+              table, flags);
+}
+
+}  // namespace
+}  // namespace cvg::bench
+
+int main(int argc, char** argv) {
+  const auto flags = cvg::bench::parse_flags(argc, argv);
+  std::printf("E9 — lookahead 1 is insufficient on trees (§5 opening)\n");
+  cvg::bench::star_table(flags);
+  return 0;
+}

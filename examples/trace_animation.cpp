@@ -1,0 +1,60 @@
+// Trace animation: an ASCII view of buffer heights evolving along a path —
+// the fastest way to build intuition for why Odd-Even's parity rule spreads
+// pile-ups sideways instead of upwards while Greedy lets them tower.
+//
+//   $ ./trace_animation [policy] [n] [frames]
+//
+// Each frame prints the path left-to-right (sink at the right, '|'), one
+// digit per node (heights above 9 print '#'), after every few steps of a
+// train-and-slam attack.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "cvg/adversary/killers.hpp"
+#include "cvg/policy/registry.hpp"
+#include "cvg/report/profile.hpp"
+#include "cvg/sim/simulator.hpp"
+#include "cvg/topology/builders.hpp"
+
+int main(int argc, char** argv) {
+  const std::string policy_name = argc > 1 ? argv[1] : "odd-even";
+  const std::size_t n = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 72;
+  const int frames = argc > 3 ? std::atoi(argv[3]) : 48;
+
+  if (!cvg::is_known_policy(policy_name)) {
+    std::fprintf(stderr, "unknown policy '%s'\n", policy_name.c_str());
+    return 2;
+  }
+  const cvg::Tree tree = cvg::build::path(n + 1);
+  const cvg::PolicyPtr policy = cvg::make_policy(policy_name);
+  cvg::Simulator sim(tree, *policy);
+  cvg::adversary::TrainAndSlam adversary(tree, n / 2);
+
+  std::printf("%s vs train-and-slam on a path of %zu nodes\n", policy_name.c_str(), n);
+  std::printf("left = far from sink; right = '|' is the sink; "
+              "digits are buffer heights\n\n");
+  const cvg::Step steps_per_frame =
+      std::max<cvg::Step>(1, (3 * n) / static_cast<std::size_t>(frames));
+  std::vector<cvg::NodeId> injections;
+  cvg::Step now = 0;
+  for (int f = 0; f < frames; ++f) {
+    for (cvg::Step s = 0; s < steps_per_frame; ++s) {
+      injections.clear();
+      adversary.plan(tree, sim.config(), now++, 1, injections);
+      sim.step(injections);
+    }
+    std::printf("t=%5llu  %s  peak=%d\n",
+                static_cast<unsigned long long>(now),
+                cvg::report::height_strip(sim.config().heights()).c_str(),
+                sim.peak_height());
+  }
+  std::printf("\nfinal profile:\n%s",
+              cvg::report::height_bars(sim.config().heights()).c_str());
+  std::printf("\nfinal peak: %d — compare 'greedy' (towers), "
+              "'downhill-or-flat' (sqrt ramps),\nand 'odd-even' (flat ripples)"
+              " on the same attack.\n",
+              sim.peak_height());
+  return 0;
+}

@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file killers.hpp
+/// Constructive worst-case strategies against specific policies, taken from
+/// the lower-bound discussions in the paper and its references.
+
+#include "cvg/sim/adversary.hpp"
+
+namespace cvg::adversary {
+
+/// The two-phase strategy behind Greedy's Θ(n) lower bound [23] and
+/// Downhill-or-Flat's Ω(√n) (Thm 4.1 direction):
+///
+///  * phase 1 ("train"): inject at the deepest node for `train_length`
+///    steps.  A work-conserving policy spreads these into a train marching
+///    towards the sink at speed 1.
+///  * phase 2 ("slam"): inject at the sink's child while the train arrives.
+///    That node receives 1/step from behind plus 1/step from the adversary
+///    and can only shed 1/step — Greedy piles up Θ(train_length); DoF's
+///    flat-forwarding rule turns the pile into a ramp of height Θ(√train).
+///
+/// Against Odd-Even the same schedule caps out at O(log n): the parity rule
+/// halts the arriving stream as soon as the pile forms.
+class TrainAndSlam final : public Adversary {
+ public:
+  /// `train_length` = number of phase-1 steps; 0 means "depth of the tree".
+  explicit TrainAndSlam(const Tree& tree, Step train_length = 0);
+
+  [[nodiscard]] std::string name() const override { return "train-and-slam"; }
+  void plan(const Tree& tree, const Configuration& config, Step step,
+            Capacity capacity, std::vector<NodeId>& out) override;
+
+  [[nodiscard]] Step train_length() const noexcept { return train_length_; }
+  [[nodiscard]] NodeId train_site() const noexcept { return train_site_; }
+  [[nodiscard]] NodeId slam_site() const noexcept { return slam_site_; }
+
+ private:
+  Step train_length_;
+  NodeId train_site_;
+  NodeId slam_site_;
+};
+
+/// Alternates the injection site between the deepest node and the sink's
+/// child every `period` steps.  Stresses exactly the two contradictory
+/// requirements §4 identifies (drain fast when fed from the left, hold
+/// ground when fed at the right); Odd-Even's parity mechanism is designed to
+/// adapt to this oscillation.
+class Alternator final : public Adversary {
+ public:
+  Alternator(const Tree& tree, Step period);
+
+  [[nodiscard]] std::string name() const override { return "alternator"; }
+  void plan(const Tree& tree, const Configuration& config, Step step,
+            Capacity capacity, std::vector<NodeId>& out) override;
+
+ private:
+  Step period_;
+  NodeId deep_site_;
+  NodeId near_site_;
+};
+
+/// Always injects at the node currently holding the tallest buffer (ties:
+/// deepest, then smallest id) — a myopic "kick them while they're down"
+/// heuristic that is surprisingly effective against gradient policies.
+class PileOn final : public Adversary {
+ public:
+  [[nodiscard]] std::string name() const override { return "pile-on"; }
+  void plan(const Tree& tree, const Configuration& config, Step step,
+            Capacity capacity, std::vector<NodeId>& out) override;
+};
+
+/// Injects just *behind* the current tallest buffer (at one of its children,
+/// the taller one), feeding the region that is already congested — the
+/// pattern the Thm 3.1 adversary uses within a block, packaged as a simple
+/// stateless heuristic.
+class FeedTheBlock final : public Adversary {
+ public:
+  [[nodiscard]] std::string name() const override { return "feed-the-block"; }
+  void plan(const Tree& tree, const Configuration& config, Step step,
+            Capacity capacity, std::vector<NodeId>& out) override;
+};
+
+}  // namespace cvg::adversary

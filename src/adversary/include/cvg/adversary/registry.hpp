@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file registry.hpp
+/// Name-based adversary construction for CLIs and configuration-driven
+/// experiments, mirroring the policy registry.
+///
+/// Recognized names: `fixed-deepest`, `fixed-sink-child`, `fixed-middle`,
+/// `fixed-<id>`, `random-uniform`, `random-leaf`, `train-and-slam`,
+/// `alternator-<period>`, `pile-on`, `feed-the-block`,
+/// `staged-l<locality>`, `height-seeker-<lookahead>`.
+///
+/// Construction needs context: the topology (site resolution), and — for
+/// the strategic adversaries — the policy and simulation options they will
+/// play against.
+
+#include "cvg/policy/policy.hpp"
+#include "cvg/sim/adversary.hpp"
+#include "cvg/sim/simulator.hpp"
+
+namespace cvg::adversary {
+
+/// Everything an adversary factory may need.
+struct AdversaryContext {
+  const Tree* tree = nullptr;      ///< required
+  const Policy* policy = nullptr;  ///< required for staged-* / height-seeker-*
+  SimOptions options;              ///< must match the simulation they drive
+  std::uint64_t seed = 1;          ///< for the randomized strategies
+};
+
+/// Constructs the adversary named `name`; aborts on unknown names or on
+/// missing context (e.g. `staged-l1` without a policy).
+[[nodiscard]] AdversaryPtr make_adversary(std::string_view name,
+                                          const AdversaryContext& context);
+
+/// True iff the name is syntactically recognized (does not validate
+/// context requirements).
+[[nodiscard]] bool is_known_adversary(std::string_view name);
+
+/// The fixed-name strategies (excluding parameterized families), in
+/// presentation order.
+[[nodiscard]] std::vector<std::string> standard_adversary_names();
+
+}  // namespace cvg::adversary

@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file seeker.hpp
+/// A lookahead search adversary: a practical (non-exhaustive) adaptive
+/// strategy used to stress policies beyond the hand-crafted constructions.
+/// Each step it tries every candidate injection site on a scratch copy of
+/// the simulation, plays `lookahead` steps of "keep injecting there", and
+/// commits to the site that reaches the tallest buffer.  Against Odd-Even it
+/// empirically plateaus at the same O(log n) the certifier proves; against
+/// the weak baselines it finds their divergence without being told how.
+
+#include "cvg/policy/policy.hpp"
+#include "cvg/sim/adversary.hpp"
+#include "cvg/sim/simulator.hpp"
+
+namespace cvg::adversary {
+
+/// Greedy lookahead height maximizer.  Requires a deterministic,
+/// non-centralized policy.  Cost is O(n² · lookahead) per planned step, so
+/// use it on small instances (the exhaustive search in `cvg::search` covers
+/// the tiny ones exactly; this bridges the middle).
+class HeightSeeker final : public Adversary {
+ public:
+  HeightSeeker(const Policy& policy, SimOptions options, int lookahead);
+
+  [[nodiscard]] std::string name() const override {
+    return "height-seeker-" + std::to_string(lookahead_);
+  }
+  void plan(const Tree& tree, const Configuration& config, Step step,
+            Capacity capacity, std::vector<NodeId>& out) override;
+
+ private:
+  const Policy* policy_;
+  SimOptions options_;
+  int lookahead_;
+};
+
+}  // namespace cvg::adversary

@@ -1,0 +1,130 @@
+#pragma once
+
+/// \file simple.hpp
+/// Elementary injection strategies: fixed-site, rotating, random, and trace
+/// replay.  These are the building blocks of the experiment suites and the
+/// background load of the examples.
+
+#include <vector>
+
+#include "cvg/sim/adversary.hpp"
+#include "cvg/util/rng.hpp"
+
+namespace cvg::adversary {
+
+/// Node selectors used by `FixedNode`.
+enum class Site : std::uint8_t {
+  Deepest,    ///< a node of maximum depth ("leftmost" on a path)
+  SinkChild,  ///< the first child of the sink (node nearest the sink)
+  Middle,     ///< a node at half the maximum depth
+};
+
+/// Resolves a `Site` to a concrete node of `tree` (deterministically).
+[[nodiscard]] NodeId resolve_site(const Tree& tree, Site site);
+
+/// Injects `capacity` packets at one fixed node every step.
+/// Against `Downhill` at the deepest node this reproduces the Ω(n) staircase
+/// of [21]; against `FieLocal` it demonstrates unbounded growth.
+class FixedNode final : public Adversary {
+ public:
+  explicit FixedNode(NodeId node) : node_(node) {}
+  FixedNode(const Tree& tree, Site site) : node_(resolve_site(tree, site)) {}
+
+  [[nodiscard]] std::string name() const override {
+    return "fixed-" + std::to_string(node_);
+  }
+  void plan(const Tree& tree, const Configuration& config, Step step,
+            Capacity capacity, std::vector<NodeId>& out) override;
+
+  [[nodiscard]] NodeId node() const noexcept { return node_; }
+
+ private:
+  NodeId node_;
+};
+
+/// Cycles its full rate through an explicit list of target nodes, one step
+/// per target (e.g. all leaves of a sensor tree).
+class RoundRobin final : public Adversary {
+ public:
+  explicit RoundRobin(std::vector<NodeId> targets);
+
+  [[nodiscard]] std::string name() const override { return "round-robin"; }
+  void plan(const Tree& tree, const Configuration& config, Step step,
+            Capacity capacity, std::vector<NodeId>& out) override;
+  void on_simulation_start() override { next_ = 0; }
+
+ private:
+  std::vector<NodeId> targets_;
+  std::size_t next_ = 0;
+};
+
+/// Injects at independently uniform random non-sink nodes; each of the
+/// `capacity` packets stays home with probability `idle_probability`.
+class RandomUniform final : public Adversary {
+ public:
+  explicit RandomUniform(std::uint64_t seed, double idle_probability = 0.0);
+
+  [[nodiscard]] std::string name() const override { return "random-uniform"; }
+  void plan(const Tree& tree, const Configuration& config, Step step,
+            Capacity capacity, std::vector<NodeId>& out) override;
+  void on_simulation_start() override { rng_ = Xoshiro256StarStar(seed_); }
+
+ private:
+  std::uint64_t seed_;
+  double idle_probability_;
+  Xoshiro256StarStar rng_;
+};
+
+/// Injects at uniformly random leaves — the natural sensor-network workload
+/// (data originates at sensing nodes).
+class RandomLeaf final : public Adversary {
+ public:
+  explicit RandomLeaf(std::uint64_t seed);
+
+  [[nodiscard]] std::string name() const override { return "random-leaf"; }
+  void plan(const Tree& tree, const Configuration& config, Step step,
+            Capacity capacity, std::vector<NodeId>& out) override;
+  void on_simulation_start() override;
+
+ private:
+  std::uint64_t seed_;
+  Xoshiro256StarStar rng_;
+  std::vector<NodeId> leaves_;  // lazily gathered per tree
+  const Tree* cached_tree_ = nullptr;
+};
+
+/// Replays a fixed schedule: `schedule[s]` lists the injections of step s
+/// (steps beyond the schedule are idle).  Produced by the exhaustive search
+/// to materialize an optimal adversary, and used in golden tests.
+class Trace final : public Adversary {
+ public:
+  explicit Trace(std::vector<std::vector<NodeId>> schedule)
+      : schedule_(std::move(schedule)) {}
+
+  [[nodiscard]] std::string name() const override { return "trace"; }
+  void plan(const Tree& tree, const Configuration& config, Step step,
+            Capacity capacity, std::vector<NodeId>& out) override;
+
+ private:
+  std::vector<std::vector<NodeId>> schedule_;
+};
+
+/// Wraps another adversary and, at one chosen step, replaces its plan with a
+/// burst of `burst_size` packets at the currently highest node (Cor 3.2's
+/// finale; requires `SimOptions::burstiness ≥ burst_size − c`).
+class BurstFinale final : public Adversary {
+ public:
+  BurstFinale(AdversaryPtr inner, Step finale_step, Capacity burst_size);
+
+  [[nodiscard]] std::string name() const override;
+  void plan(const Tree& tree, const Configuration& config, Step step,
+            Capacity capacity, std::vector<NodeId>& out) override;
+  void on_simulation_start() override { inner_->on_simulation_start(); }
+
+ private:
+  AdversaryPtr inner_;
+  Step finale_step_;
+  Capacity burst_size_;
+};
+
+}  // namespace cvg::adversary

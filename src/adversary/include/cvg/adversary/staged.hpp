@@ -1,0 +1,112 @@
+#pragma once
+
+/// \file staged.hpp
+/// The constructive adversary from Theorem 3.1, executable against any
+/// deterministic policy.
+///
+/// The proof's strategy, operationalized: maintain a contiguous block B_i of
+/// K_i = n₀/2^i nodes whose average buffer density is at least
+/// H_i = c·(1 + i/2ℓ).  Stage 0 fills the leftmost n₀ nodes by injecting at
+/// the far end for n₀ steps (density c).  Each subsequent stage runs
+/// x_i = K_i/2ℓ steps injecting either at the block's sink-side end or at its
+/// far end; because decisions are ℓ-local, information cannot cross half the
+/// block within x_i steps, so at least one of the two scenarios leaves one
+/// half of the block with density H_i + c/2ℓ.  The proof argues one scenario
+/// must work; this implementation — exploiting that the policy is
+/// deterministic — *simulates both scenarios on a scratch copy of the
+/// simulation* and commits to whichever leaves a denser half (a strictly
+/// stronger move).  After log(n₀/2ℓ) stages a block of < 2ℓ nodes has average
+/// density Ω(c·log n/ℓ), so some single buffer is that tall.
+///
+/// Works against every policy in the library (it is the *universal* lower
+/// bound); `bench_lower_bound` tabulates forced peak vs. the closed-form
+/// bound for a grid of (policy, n, ℓ, c).
+
+#include <vector>
+
+#include "cvg/policy/policy.hpp"
+#include "cvg/sim/adversary.hpp"
+#include "cvg/sim/simulator.hpp"
+
+namespace cvg::adversary {
+
+/// Closed-form lower bound of Theorem 3.1:
+/// c·(1 + (log₂ n − 2·log₂ ℓ − 1) / 2ℓ), clamped below at c.
+[[nodiscard]] double staged_bound(std::size_t n, Capacity c, int locality);
+
+/// The staged block-halving adversary.  Requires a deterministic,
+/// non-centralized policy (it replays the policy on scratch simulators to
+/// evaluate its two candidate scenarios).  On a path it is the Theorem 3.1
+/// construction verbatim; on a general tree it plays the same game along
+/// the deepest root-to-leaf path (a path is a subgraph of every tree, so
+/// the bound transfers — this is how the Ω(log n) lower bound applies to
+/// the tree algorithm of §5 as well).
+class StagedLowerBound final : public Adversary {
+ public:
+  /// Diagnostics for one completed stage, consumed by `bench_lower_bound`.
+  struct StageInfo {
+    int index = 0;             ///< stage number i (0 = fill)
+    NodeId lo = 0;             ///< block end nearest the sink
+    NodeId hi = 0;             ///< block end furthest from the sink
+    std::uint64_t packets = 0; ///< packets in the block when the stage closed
+    double density = 0.0;      ///< packets / block size
+    double target_density = 0.0;  ///< the proof's H_i = c(1 + i/2ℓ)
+  };
+
+  /// `policy`/`options` must match the simulation this adversary will drive
+  /// (the scratch scenarios replay them); `locality` is the ℓ the adversary
+  /// assumes — it must be ≥ the policy's true locality for the guarantee,
+  /// but any ℓ ≥ 1 yields a legal (if weaker) adversary.
+  StagedLowerBound(const Policy& policy, SimOptions options, int locality);
+
+  [[nodiscard]] std::string name() const override;
+  void plan(const Tree& tree, const Configuration& config, Step step,
+            Capacity capacity, std::vector<NodeId>& out) override;
+  void on_simulation_start() override;
+
+  /// Steps needed to play out every stage on a path of `n` nodes (fill +
+  /// all stages + a small tail); drive the simulation at least this long.
+  [[nodiscard]] Step recommended_steps(const Tree& tree) const;
+
+  /// Per-stage diagnostics (filled as stages complete).
+  [[nodiscard]] const std::vector<StageInfo>& history() const noexcept {
+    return history_;
+  }
+
+  /// True once every stage has been played (block shrank below 2ℓ).
+  [[nodiscard]] bool finished() const noexcept { return phase_ == Phase::Done; }
+
+  /// The block the final stage settled on ({nearest-sink, furthest} node
+  /// ids along the played path).
+  [[nodiscard]] std::pair<NodeId, NodeId> final_block() const noexcept {
+    return {spine_[lo_], spine_[hi_]};
+  }
+
+ private:
+  enum class Phase : std::uint8_t { Uninitialized, Fill, Stage, Done };
+
+  void initialize(const Tree& tree);
+  void start_stage(const Tree& tree, const Configuration& config);
+  void close_block(const Configuration& config);
+  [[nodiscard]] std::uint64_t packets_in_block(const Configuration& config,
+                                               std::size_t lo,
+                                               std::size_t hi) const;
+
+  const Policy* policy_;
+  SimOptions options_;
+  int ell_;
+
+  Phase phase_ = Phase::Uninitialized;
+  /// The root-to-deepest-leaf path being played, ordered nearest-sink
+  /// first (index 0 = the sink's child on that path).
+  std::vector<NodeId> spine_;
+  std::size_t lo_ = 0;  ///< block start, as an index into spine_
+  std::size_t hi_ = 0;  ///< block end (inclusive), as an index into spine_
+  Step steps_left_ = 0;
+  NodeId site_ = 0;
+  int stage_index_ = 0;
+  bool next_half_is_right_ = false;
+  std::vector<StageInfo> history_;
+};
+
+}  // namespace cvg::adversary

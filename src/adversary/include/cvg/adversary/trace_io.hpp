@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file trace_io.hpp
+/// Plain-text persistence for injection schedules, so that interesting
+/// adversarial runs (worst cases found by the exhaustive search, staged
+/// executions, fuzzer discoveries) can be saved, shipped in bug reports and
+/// replayed bit-for-bit via `adversary::Trace`.
+///
+/// Format (one line per step):
+///
+///     # cvg-trace v1 nodes=9
+///     4
+///     -
+///     3 3
+///
+/// `-` is an idle step; otherwise the injected node ids, space-separated.
+/// Lines starting with `#` are comments; the header is required.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "cvg/core/types.hpp"
+
+namespace cvg::adversary {
+
+/// A schedule: `schedule[s]` lists the injections of step s.
+using Schedule = std::vector<std::vector<NodeId>>;
+
+/// Serializes `schedule` (for a topology of `node_count` nodes) to `out`.
+void write_schedule(std::ostream& out, const Schedule& schedule,
+                    std::size_t node_count);
+
+/// Parses a schedule; aborts on malformed input or out-of-range node ids.
+/// Returns the schedule and sets `node_count` from the header.
+[[nodiscard]] Schedule read_schedule(std::istream& in, std::size_t& node_count);
+
+/// Convenience wrappers for files.
+void save_schedule(const std::string& path, const Schedule& schedule,
+                   std::size_t node_count);
+[[nodiscard]] Schedule load_schedule(const std::string& path,
+                                     std::size_t& node_count);
+
+/// Converts a flat per-step vector (kNoNode = idle), as produced by the
+/// exhaustive search, into a Schedule.
+[[nodiscard]] Schedule to_schedule(const std::vector<NodeId>& flat);
+
+}  // namespace cvg::adversary

@@ -1,0 +1,73 @@
+#include "cvg/adversary/killers.hpp"
+
+#include "cvg/adversary/simple.hpp"
+#include "cvg/util/check.hpp"
+
+namespace cvg::adversary {
+
+TrainAndSlam::TrainAndSlam(const Tree& tree, Step train_length)
+    : train_length_(train_length == 0 ? tree.max_depth() : train_length),
+      train_site_(resolve_site(tree, Site::Deepest)),
+      slam_site_(resolve_site(tree, Site::SinkChild)) {
+  CVG_CHECK(tree.node_count() >= 3) << "train-and-slam needs depth >= 2";
+}
+
+void TrainAndSlam::plan(const Tree& /*tree*/, const Configuration& /*config*/,
+                        Step step, Capacity capacity,
+                        std::vector<NodeId>& out) {
+  const NodeId site = step < train_length_ ? train_site_ : slam_site_;
+  out.insert(out.end(), static_cast<std::size_t>(capacity), site);
+}
+
+Alternator::Alternator(const Tree& tree, Step period)
+    : period_(period),
+      deep_site_(resolve_site(tree, Site::Deepest)),
+      near_site_(resolve_site(tree, Site::SinkChild)) {
+  CVG_CHECK(period >= 1);
+}
+
+void Alternator::plan(const Tree& /*tree*/, const Configuration& /*config*/,
+                      Step step, Capacity capacity, std::vector<NodeId>& out) {
+  const bool deep_phase = (step / period_) % 2 == 0;
+  const NodeId site = deep_phase ? deep_site_ : near_site_;
+  out.insert(out.end(), static_cast<std::size_t>(capacity), site);
+}
+
+namespace {
+
+/// Tallest buffer; ties broken towards greater depth, then smaller id.
+NodeId tallest(const Tree& tree, const Configuration& config) {
+  NodeId best = 1;
+  for (NodeId v = 2; v < tree.node_count(); ++v) {
+    const Height hv = config.height(v);
+    const Height hb = config.height(best);
+    if (hv > hb || (hv == hb && tree.depth(v) > tree.depth(best))) best = v;
+  }
+  return best;
+}
+
+}  // namespace
+
+void PileOn::plan(const Tree& tree, const Configuration& config, Step /*step*/,
+                  Capacity capacity, std::vector<NodeId>& out) {
+  CVG_CHECK(tree.node_count() >= 2);
+  const NodeId target = tallest(tree, config);
+  out.insert(out.end(), static_cast<std::size_t>(capacity), target);
+}
+
+void FeedTheBlock::plan(const Tree& tree, const Configuration& config,
+                        Step /*step*/, Capacity capacity,
+                        std::vector<NodeId>& out) {
+  CVG_CHECK(tree.node_count() >= 2);
+  const NodeId peak = tallest(tree, config);
+  NodeId target = peak;
+  const auto children = tree.children(peak);
+  for (const NodeId child : children) {
+    if (target == peak || config.height(child) > config.height(target)) {
+      target = child;
+    }
+  }
+  out.insert(out.end(), static_cast<std::size_t>(capacity), target);
+}
+
+}  // namespace cvg::adversary

@@ -1,0 +1,114 @@
+#include "cvg/adversary/registry.hpp"
+
+#include <charconv>
+#include <optional>
+
+#include "cvg/adversary/killers.hpp"
+#include "cvg/adversary/seeker.hpp"
+#include "cvg/adversary/simple.hpp"
+#include "cvg/adversary/staged.hpp"
+#include "cvg/util/str.hpp"
+
+namespace cvg::adversary {
+
+namespace {
+
+std::optional<long> parse_suffix(std::string_view name,
+                                 std::string_view prefix) {
+  if (!starts_with(name, prefix)) return std::nullopt;
+  const std::string_view digits = name.substr(prefix.size());
+  long value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(digits.data(), digits.data() + digits.size(), value);
+  if (ec != std::errc{} || ptr != digits.data() + digits.size()) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+AdversaryPtr try_make(std::string_view name, const AdversaryContext& context,
+                      bool dry_run) {
+  const auto need_tree = [&]() -> const Tree& {
+    CVG_CHECK(dry_run || context.tree != nullptr)
+        << "adversary '" << name << "' needs a topology";
+    static const Tree dummy({kNoNode, 0});
+    return context.tree ? *context.tree : dummy;
+  };
+  const auto need_policy = [&]() -> const Policy* {
+    CVG_CHECK(dry_run || context.policy != nullptr)
+        << "adversary '" << name << "' needs the policy it plays against";
+    return context.policy;
+  };
+
+  if (name == "fixed-deepest") {
+    return std::make_unique<FixedNode>(need_tree(), Site::Deepest);
+  }
+  if (name == "fixed-sink-child") {
+    return std::make_unique<FixedNode>(need_tree(), Site::SinkChild);
+  }
+  if (name == "fixed-middle") {
+    return std::make_unique<FixedNode>(need_tree(), Site::Middle);
+  }
+  if (const auto node = parse_suffix(name, "fixed-"); node && *node >= 0) {
+    return std::make_unique<FixedNode>(static_cast<NodeId>(*node));
+  }
+  if (name == "random-uniform") {
+    return std::make_unique<RandomUniform>(context.seed);
+  }
+  if (name == "random-leaf") {
+    return std::make_unique<RandomLeaf>(context.seed);
+  }
+  if (name == "train-and-slam") {
+    return std::make_unique<TrainAndSlam>(need_tree());
+  }
+  if (const auto period = parse_suffix(name, "alternator-");
+      period && *period >= 1) {
+    return std::make_unique<Alternator>(need_tree(),
+                                        static_cast<Step>(*period));
+  }
+  if (name == "pile-on") return std::make_unique<PileOn>();
+  if (name == "feed-the-block") return std::make_unique<FeedTheBlock>();
+  if (const auto ell = parse_suffix(name, "staged-l"); ell && *ell >= 1) {
+    if (dry_run && context.policy == nullptr) return nullptr;
+    return std::make_unique<StagedLowerBound>(*need_policy(), context.options,
+                                              static_cast<int>(*ell));
+  }
+  if (const auto lookahead = parse_suffix(name, "height-seeker-");
+      lookahead && *lookahead >= 1) {
+    if (dry_run && context.policy == nullptr) return nullptr;
+    return std::make_unique<HeightSeeker>(*need_policy(), context.options,
+                                          static_cast<int>(*lookahead));
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+AdversaryPtr make_adversary(std::string_view name,
+                            const AdversaryContext& context) {
+  AdversaryPtr adversary = try_make(name, context, /*dry_run=*/false);
+  CVG_CHECK(adversary != nullptr) << "unknown adversary name: " << name;
+  return adversary;
+}
+
+bool is_known_adversary(std::string_view name) {
+  // Syntactic check only: parameterized strategic names are recognized even
+  // without a policy in hand.
+  if (parse_suffix(name, "staged-l").value_or(0) >= 1) return true;
+  if (parse_suffix(name, "height-seeker-").value_or(0) >= 1) return true;
+  AdversaryContext context;
+  static const Tree probe = [] {
+    std::vector<NodeId> parents = {kNoNode, 0, 1, 2};
+    return Tree(parents);
+  }();
+  context.tree = &probe;
+  return try_make(name, context, /*dry_run=*/true) != nullptr;
+}
+
+std::vector<std::string> standard_adversary_names() {
+  return {"fixed-deepest", "fixed-sink-child", "fixed-middle",
+          "random-uniform", "random-leaf",     "train-and-slam",
+          "pile-on",        "feed-the-block"};
+}
+
+}  // namespace cvg::adversary

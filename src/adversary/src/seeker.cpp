@@ -1,0 +1,43 @@
+#include "cvg/adversary/seeker.hpp"
+
+#include "cvg/util/check.hpp"
+
+namespace cvg::adversary {
+
+HeightSeeker::HeightSeeker(const Policy& policy, SimOptions options,
+                           int lookahead)
+    : policy_(&policy), options_(options), lookahead_(lookahead) {
+  CVG_CHECK(lookahead >= 1);
+  CVG_CHECK(!policy.is_centralized())
+      << "the height seeker replays the policy on scratch simulators";
+}
+
+void HeightSeeker::plan(const Tree& tree, const Configuration& config,
+                        Step /*step*/, Capacity capacity,
+                        std::vector<NodeId>& out) {
+  CVG_CHECK(capacity == options_.capacity);
+
+  NodeId best = 1;
+  Height best_peak = -1;
+  std::vector<NodeId> injections;
+  for (NodeId t = 1; t < tree.node_count(); ++t) {
+    Simulator scratch(tree, *policy_, options_);
+    scratch.set_config(config);
+    injections.assign(static_cast<std::size_t>(capacity), t);
+    Height peak = 0;
+    for (int s = 0; s < lookahead_; ++s) {
+      scratch.step(injections);
+      peak = std::max(peak, scratch.config().max_height());
+    }
+    // Ties favour deeper sites: piling up far from the sink leaves the
+    // adversary more room for later stages.
+    if (peak > best_peak ||
+        (peak == best_peak && tree.depth(t) > tree.depth(best))) {
+      best_peak = peak;
+      best = t;
+    }
+  }
+  out.insert(out.end(), static_cast<std::size_t>(capacity), best);
+}
+
+}  // namespace cvg::adversary

@@ -1,0 +1,131 @@
+#include "cvg/adversary/simple.hpp"
+
+#include <algorithm>
+
+#include "cvg/util/check.hpp"
+
+namespace cvg::adversary {
+
+NodeId resolve_site(const Tree& tree, Site site) {
+  switch (site) {
+    case Site::Deepest: {
+      NodeId best = Tree::sink();
+      for (NodeId v = 0; v < tree.node_count(); ++v) {
+        if (tree.depth(v) > tree.depth(best)) best = v;
+      }
+      return best;
+    }
+    case Site::SinkChild: {
+      const auto children = tree.children(Tree::sink());
+      CVG_CHECK(!children.empty()) << "tree has no non-sink nodes";
+      return children.front();
+    }
+    case Site::Middle: {
+      const std::size_t target = tree.max_depth() / 2;
+      NodeId best = Tree::sink();
+      for (NodeId v = 0; v < tree.node_count(); ++v) {
+        if (tree.depth(v) == target) return v;
+        if (tree.depth(v) <= target && tree.depth(v) > tree.depth(best)) best = v;
+      }
+      return best;
+    }
+  }
+  CVG_UNREACHABLE("bad Site");
+}
+
+void FixedNode::plan(const Tree& tree, const Configuration& /*config*/,
+                     Step /*step*/, Capacity capacity,
+                     std::vector<NodeId>& out) {
+  CVG_CHECK(node_ < tree.node_count());
+  out.insert(out.end(), static_cast<std::size_t>(capacity), node_);
+}
+
+RoundRobin::RoundRobin(std::vector<NodeId> targets)
+    : targets_(std::move(targets)) {
+  CVG_CHECK(!targets_.empty());
+}
+
+void RoundRobin::plan(const Tree& tree, const Configuration& /*config*/,
+                      Step /*step*/, Capacity capacity,
+                      std::vector<NodeId>& out) {
+  const NodeId target = targets_[next_];
+  next_ = (next_ + 1) % targets_.size();
+  CVG_CHECK(target < tree.node_count());
+  out.insert(out.end(), static_cast<std::size_t>(capacity), target);
+}
+
+RandomUniform::RandomUniform(std::uint64_t seed, double idle_probability)
+    : seed_(seed), idle_probability_(idle_probability), rng_(seed) {}
+
+void RandomUniform::plan(const Tree& tree, const Configuration& /*config*/,
+                         Step /*step*/, Capacity capacity,
+                         std::vector<NodeId>& out) {
+  const std::size_t n = tree.node_count();
+  if (n <= 1) return;
+  for (Capacity k = 0; k < capacity; ++k) {
+    if (idle_probability_ > 0.0 && rng_.bernoulli(idle_probability_)) continue;
+    out.push_back(static_cast<NodeId>(1 + rng_.below(n - 1)));
+  }
+}
+
+RandomLeaf::RandomLeaf(std::uint64_t seed) : seed_(seed), rng_(seed) {}
+
+void RandomLeaf::on_simulation_start() {
+  rng_ = Xoshiro256StarStar(seed_);
+  leaves_.clear();
+  cached_tree_ = nullptr;
+}
+
+void RandomLeaf::plan(const Tree& tree, const Configuration& /*config*/,
+                      Step /*step*/, Capacity capacity,
+                      std::vector<NodeId>& out) {
+  if (cached_tree_ != &tree) {
+    leaves_.clear();
+    for (NodeId v = 1; v < tree.node_count(); ++v) {
+      if (tree.is_leaf(v)) leaves_.push_back(v);
+    }
+    cached_tree_ = &tree;
+  }
+  CVG_CHECK(!leaves_.empty());
+  for (Capacity k = 0; k < capacity; ++k) {
+    out.push_back(leaves_[rng_.below(leaves_.size())]);
+  }
+}
+
+void Trace::plan(const Tree& tree, const Configuration& /*config*/, Step step,
+                 Capacity /*capacity*/, std::vector<NodeId>& out) {
+  if (step >= schedule_.size()) return;
+  for (const NodeId t : schedule_[step]) {
+    CVG_CHECK(t < tree.node_count());
+    out.push_back(t);
+  }
+}
+
+BurstFinale::BurstFinale(AdversaryPtr inner, Step finale_step,
+                         Capacity burst_size)
+    : inner_(std::move(inner)),
+      finale_step_(finale_step),
+      burst_size_(burst_size) {
+  CVG_CHECK(inner_ != nullptr);
+  CVG_CHECK(burst_size_ >= 1);
+}
+
+std::string BurstFinale::name() const {
+  return inner_->name() + "+burst" + std::to_string(burst_size_);
+}
+
+void BurstFinale::plan(const Tree& tree, const Configuration& config, Step step,
+                       Capacity capacity, std::vector<NodeId>& out) {
+  if (step != finale_step_) {
+    inner_->plan(tree, config, step, capacity, out);
+    return;
+  }
+  // Dump the burst on the node that is already highest (ties: nearest sink).
+  NodeId target = 1;
+  for (NodeId v = 1; v < tree.node_count(); ++v) {
+    if (config.height(v) > config.height(target)) target = v;
+  }
+  out.insert(out.end(), static_cast<std::size_t>(burst_size_), target);
+}
+
+}  // namespace cvg::adversary

@@ -1,0 +1,175 @@
+#include "cvg/adversary/staged.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cvg/adversary/simple.hpp"
+#include "cvg/util/check.hpp"
+
+namespace cvg::adversary {
+
+double staged_bound(std::size_t n, Capacity c, int locality) {
+  CVG_CHECK(locality >= 1);
+  const double logn = std::log2(static_cast<double>(n));
+  const double logl = std::log2(static_cast<double>(locality));
+  const double bound =
+      c * (1.0 + (logn - 2.0 * logl - 1.0) / (2.0 * locality));
+  return std::max(bound, static_cast<double>(c));
+}
+
+StagedLowerBound::StagedLowerBound(const Policy& policy, SimOptions options,
+                                   int locality)
+    : policy_(&policy), options_(options), ell_(locality) {
+  CVG_CHECK(locality >= 1);
+  CVG_CHECK(!policy.is_centralized())
+      << "the staged adversary replays the policy on scratch simulators; "
+         "centralized (stateful) policies are not supported";
+}
+
+std::string StagedLowerBound::name() const {
+  return "staged-l" + std::to_string(ell_);
+}
+
+void StagedLowerBound::on_simulation_start() {
+  phase_ = Phase::Uninitialized;
+  history_.clear();
+  stage_index_ = 0;
+}
+
+std::uint64_t StagedLowerBound::packets_in_block(const Configuration& config,
+                                                 std::size_t lo,
+                                                 std::size_t hi) const {
+  std::uint64_t total = 0;
+  for (std::size_t i = lo; i <= hi; ++i) {
+    total += static_cast<std::uint64_t>(config.height(spine_[i]));
+  }
+  return total;
+}
+
+void StagedLowerBound::initialize(const Tree& tree) {
+  // The play field: the deepest root-to-leaf path, nearest-sink first.
+  const NodeId deepest = resolve_site(tree, Site::Deepest);
+  spine_ = tree.path_to_sink(deepest);      // deepest ... sink
+  std::reverse(spine_.begin(), spine_.end());  // sink ... deepest
+  spine_.erase(spine_.begin());             // drop the sink itself
+
+  // n0 = largest ℓ·2^k not exceeding the spine length.
+  std::size_t n0 = static_cast<std::size_t>(ell_);
+  CVG_CHECK(n0 <= spine_.size())
+      << "tree too shallow for locality " << ell_;
+  while (n0 * 2 <= spine_.size()) n0 *= 2;
+
+  // Block B_0 = the n0 spine nodes furthest from the sink (the paper's
+  // "leftmost" block); fill by injecting at the far end.
+  hi_ = spine_.size() - 1;
+  lo_ = spine_.size() - n0;
+  site_ = spine_[hi_];
+  steps_left_ = static_cast<Step>(n0);
+  phase_ = Phase::Fill;
+  stage_index_ = 0;
+}
+
+void StagedLowerBound::close_block(const Configuration& config) {
+  StageInfo info;
+  info.index = stage_index_;
+  info.lo = spine_[lo_];
+  info.hi = spine_[hi_];
+  info.packets = packets_in_block(config, lo_, hi_);
+  const auto block_size = static_cast<double>(hi_ - lo_ + 1);
+  info.density = static_cast<double>(info.packets) / block_size;
+  info.target_density =
+      options_.capacity *
+      (1.0 + static_cast<double>(stage_index_) / (2.0 * ell_));
+  history_.push_back(info);
+}
+
+void StagedLowerBound::start_stage(const Tree& tree,
+                                   const Configuration& config) {
+  const std::size_t block = hi_ - lo_ + 1;
+  const std::size_t x = block / (2 * static_cast<std::size_t>(ell_));
+  if (x < 1 || block < 2) {
+    phase_ = Phase::Done;
+    site_ = spine_[lo_];  // keep feeding the final block
+    return;
+  }
+
+  const std::size_t mid = lo_ + block / 2 - 1;
+
+  // Evaluate both scenarios on scratch copies.  The policy is deterministic,
+  // so whichever scenario we commit to reproduces exactly in the real run.
+  const auto evaluate = [&](NodeId inject_site, std::uint64_t& right_half,
+                            std::uint64_t& left_half) {
+    Simulator scratch(tree, *policy_, options_);
+    scratch.set_config(config);
+    std::vector<NodeId> injections(
+        static_cast<std::size_t>(options_.capacity), inject_site);
+    for (std::size_t s = 0; s < x; ++s) scratch.step(injections);
+    right_half = packets_in_block(scratch.config(), lo_, mid);
+    left_half = packets_in_block(scratch.config(), mid + 1, hi_);
+  };
+
+  std::uint64_t r_right = 0;
+  std::uint64_t r_left = 0;
+  std::uint64_t l_right = 0;
+  std::uint64_t l_left = 0;
+  evaluate(spine_[lo_], r_right, r_left);  // scenario 1: inject at sink end
+  evaluate(spine_[hi_], l_right, l_left);  // scenario 2: inject at far end
+
+  const std::uint64_t best_r = std::max(r_right, r_left);
+  const std::uint64_t best_l = std::max(l_right, l_left);
+  if (best_r >= best_l) {
+    site_ = spine_[lo_];
+    next_half_is_right_ = r_right >= r_left;
+  } else {
+    site_ = spine_[hi_];
+    next_half_is_right_ = l_right >= l_left;
+  }
+  steps_left_ = static_cast<Step>(x);
+  phase_ = Phase::Stage;
+}
+
+void StagedLowerBound::plan(const Tree& tree, const Configuration& config,
+                            Step /*step*/, Capacity capacity,
+                            std::vector<NodeId>& out) {
+  CVG_CHECK(capacity == options_.capacity)
+      << "simulation capacity differs from the one this adversary plans for";
+
+  if (phase_ == Phase::Uninitialized) initialize(tree);
+
+  if (phase_ != Phase::Done && steps_left_ == 0) {
+    // A phase just ended: commit to the chosen half (stages only), record
+    // the resulting block B_i against its target density H_i, then plan the
+    // next stage from the current real configuration.
+    if (phase_ == Phase::Stage) {
+      const std::size_t block = hi_ - lo_ + 1;
+      const std::size_t mid = lo_ + block / 2 - 1;
+      if (next_half_is_right_) {
+        hi_ = mid;
+      } else {
+        lo_ = mid + 1;
+      }
+    }
+    close_block(config);
+    ++stage_index_;
+    start_stage(tree, config);
+  }
+
+  out.insert(out.end(), static_cast<std::size_t>(capacity), site_);
+  if (phase_ != Phase::Done && steps_left_ > 0) --steps_left_;
+}
+
+Step StagedLowerBound::recommended_steps(const Tree& tree) const {
+  const NodeId deepest = resolve_site(tree, Site::Deepest);
+  const std::size_t spine_len = tree.depth(deepest);
+  std::size_t n0 = static_cast<std::size_t>(ell_);
+  if (n0 > spine_len) return 0;
+  while (n0 * 2 <= spine_len) n0 *= 2;
+  Step total = static_cast<Step>(n0);  // fill phase
+  for (std::size_t block = n0; block / (2 * static_cast<std::size_t>(ell_)) >= 1;
+       block /= 2) {
+    total += static_cast<Step>(block / (2 * static_cast<std::size_t>(ell_)));
+  }
+  return total + 8;  // small tail so the final block is observable
+}
+
+}  // namespace cvg::adversary

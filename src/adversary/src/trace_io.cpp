@@ -1,0 +1,86 @@
+#include "cvg/adversary/trace_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "cvg/util/check.hpp"
+#include "cvg/util/str.hpp"
+
+namespace cvg::adversary {
+
+void write_schedule(std::ostream& out, const Schedule& schedule,
+                    std::size_t node_count) {
+  out << "# cvg-trace v1 nodes=" << node_count << "\n";
+  for (const auto& step : schedule) {
+    if (step.empty()) {
+      out << "-\n";
+      continue;
+    }
+    for (std::size_t i = 0; i < step.size(); ++i) {
+      if (i != 0) out << ' ';
+      out << step[i];
+    }
+    out << '\n';
+  }
+}
+
+Schedule read_schedule(std::istream& in, std::size_t& node_count) {
+  std::string line;
+  bool header_seen = false;
+  node_count = 0;
+  Schedule schedule;
+  while (std::getline(in, line)) {
+    const std::string_view trimmed = trim(line);
+    if (trimmed.empty()) continue;
+    if (trimmed.front() == '#') {
+      constexpr std::string_view kHeader = "# cvg-trace v1 nodes=";
+      if (starts_with(trimmed, kHeader)) {
+        node_count = std::strtoul(
+            std::string(trimmed.substr(kHeader.size())).c_str(), nullptr, 10);
+        header_seen = true;
+      }
+      continue;
+    }
+    CVG_CHECK(header_seen) << "trace data before the cvg-trace header";
+    std::vector<NodeId> step;
+    if (trimmed != "-") {
+      std::istringstream fields{std::string(trimmed)};
+      std::uint64_t value = 0;
+      while (fields >> value) {
+        CVG_CHECK(value < node_count)
+            << "trace injects at out-of-range node " << value;
+        step.push_back(static_cast<NodeId>(value));
+      }
+      CVG_CHECK(!step.empty()) << "malformed trace line: " << line;
+    }
+    schedule.push_back(std::move(step));
+  }
+  CVG_CHECK(header_seen) << "missing cvg-trace header";
+  return schedule;
+}
+
+void save_schedule(const std::string& path, const Schedule& schedule,
+                   std::size_t node_count) {
+  std::ofstream out(path);
+  CVG_CHECK(out.good()) << "cannot open " << path << " for writing";
+  write_schedule(out, schedule, node_count);
+  CVG_CHECK(out.good()) << "write to " << path << " failed";
+}
+
+Schedule load_schedule(const std::string& path, std::size_t& node_count) {
+  std::ifstream in(path);
+  CVG_CHECK(in.good()) << "cannot open " << path;
+  return read_schedule(in, node_count);
+}
+
+Schedule to_schedule(const std::vector<NodeId>& flat) {
+  Schedule schedule;
+  schedule.reserve(flat.size());
+  for (const NodeId t : flat) {
+    schedule.push_back(t == kNoNode ? std::vector<NodeId>{}
+                                    : std::vector<NodeId>{t});
+  }
+  return schedule;
+}
+
+}  // namespace cvg::adversary

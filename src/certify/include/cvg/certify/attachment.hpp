@@ -1,0 +1,124 @@
+#pragma once
+
+/// \file attachment.hpp
+/// The attachment scheme of §4.2–4.3 (Definitions 4.5 and 4.8), maintained
+/// executably.
+///
+/// For a node x of height h, every packet x[i] with 3 ≤ i ≤ h carries
+/// *slots* x[i,1] … x[i,i−2].  An attachment scheme assigns to every slot
+/// x[i,j] a distinct *residue* node y with h(y) = j.  Because residues are
+/// distinct and a height-h node transitively pins down 2^(h−2) − 1 of them
+/// (Lemma 4.6), a full scheme certifies max height ≤ log₂ n + 3 (Lemma 4.7).
+///
+/// `process_pair` is Algorithm 4 verbatim: it advances the scheme across one
+/// matching pair (x_d down, x_u up) while preserving fullness and Rules 1–5
+/// (paths) / Rules 6–7 (trees, where only even-height residues are tracked —
+/// §5's "we limit Rule 2 to residues of even value", giving the
+/// 2·log₂ n + O(1) bound instead).
+///
+/// Every CVG_CHECK in this file is a lemma of the paper turned into a
+/// machine-checked assertion; a firing check means the simulation diverged
+/// from the proof's model (i.e. a bug — in the library or in the paper).
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cvg/core/config.hpp"
+#include "cvg/core/types.hpp"
+#include "cvg/topology/tree.hpp"
+
+namespace cvg::certify {
+
+/// Identifies slot x[i,j].
+struct Slot {
+  NodeId x = kNoNode;
+  Height i = 0;
+  Height j = 0;
+
+  friend bool operator==(const Slot&, const Slot&) = default;
+};
+
+/// Which residues are tracked: all (path analysis, §4) or only even-height
+/// ones (tree analysis, §5).
+enum class ResidueMode : std::uint8_t { All, EvenOnly };
+
+/// The mutable attachment-scheme state plus the Algorithm 4 transition.
+class AttachmentScheme {
+ public:
+  AttachmentScheme(std::size_t node_count, ResidueMode mode);
+
+  /// True iff slots with this j-level are tracked under the residue mode.
+  [[nodiscard]] bool tracked(Height j) const noexcept {
+    return mode_ == ResidueMode::All || j % 2 == 0;
+  }
+
+  /// The residue occupying slot (x, i, j), or kNoNode.
+  [[nodiscard]] NodeId occupant(NodeId x, Height i, Height j) const;
+
+  /// The slot node y is attached to, if y is currently a residue.
+  [[nodiscard]] std::optional<Slot> guardian_of(NodeId y) const;
+
+  /// True iff y is currently a (tracked) residue.
+  [[nodiscard]] bool is_residue(NodeId y) const {
+    return guardian_.contains(y);
+  }
+
+  /// Algorithm 4: processes matching pair (x_d, x_u) against the working
+  /// heights `heights` (the intermediate configuration C_P), updating both
+  /// the attachments and the two nodes' entries in `heights`.
+  void process_pair(NodeId x_d, NodeId x_u, std::vector<Height>& heights);
+
+  /// Handles the unmatched rightmost down node (Theorem 4.13's closing
+  /// argument): drops its top packet, releasing that packet's residues.
+  void process_unmatched_down(NodeId x, std::vector<Height>& heights);
+
+  /// Handles an unmatched up node (the leading-zero, or the second copy of
+  /// a 0 → 2 "2up" at the empty frontier): its height rises by one without
+  /// creating slots.  Checks it was not a residue and stays below the
+  /// slot-bearing heights.
+  void process_unmatched_up(NodeId x, std::vector<Height>& heights);
+
+  /// Verifies Rules 1–2 plus fullness against `config`, and — given the
+  /// topology — the positional Rules 3–5 (path mode) or 6–7 (tree mode),
+  /// and the Lemma 4.6/4.7 residue-count height bound.  Aborts on violation.
+  void validate(const Tree& tree, const Configuration& config) const;
+
+  /// The height cap this scheme certifies for `node_count` nodes: the
+  /// largest m whose residue requirement fits (Lemma 4.7 and its §5 twin).
+  [[nodiscard]] Height certified_height_bound(std::size_t node_count) const;
+
+  /// Number of residues a single node of height `p` transitively pins down
+  /// (the r(p) recurrence from Lemma 4.6; mode-dependent).
+  [[nodiscard]] std::uint64_t residue_requirement(Height p) const;
+
+  /// Number of current attachments.
+  [[nodiscard]] std::size_t attachment_count() const noexcept {
+    return occupant_.size();
+  }
+
+  /// Human-readable dump of all attachments around node x (Figure 1 style).
+  [[nodiscard]] std::string dump_node(NodeId x, const Configuration& config) const;
+
+  /// Low-level building blocks: attach residue y to slot (x, i, j) / clear a
+  /// slot.  The certifiers drive these through `process_pair`; they are
+  /// public so scenario tests (e.g. the Figure 2 panels) can stage exact
+  /// mid-execution states.  Both enforce Rules 1–2 structurally.
+  void attach(NodeId x, Height i, Height j, NodeId y);
+  void detach_slot(NodeId x, Height i, Height j);
+
+ private:
+  static std::uint64_t key(NodeId x, Height i, Height j) noexcept {
+    return (static_cast<std::uint64_t>(x) << 20) |
+           (static_cast<std::uint64_t>(i) << 10) |
+           static_cast<std::uint64_t>(j);
+  }
+
+  std::size_t node_count_;
+  ResidueMode mode_;
+  std::unordered_map<std::uint64_t, NodeId> occupant_;  // slot → residue
+  std::unordered_map<NodeId, Slot> guardian_;           // residue → slot
+};
+
+}  // namespace cvg::certify

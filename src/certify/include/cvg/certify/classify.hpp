@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file classify.hpp
+/// Per-step node classification (paper §4): relative to one step C → C',
+/// a node is *down* if its height dropped (always by exactly 1 when c = 1),
+/// *up* if it rose by 1, *2up* if it rose by 2 (received from its
+/// predecessor and from the adversary without sending), and *steady*
+/// otherwise.  The *leading-zero* node is the special up node that went from
+/// 0 to 1 while every node in front of it is empty.
+
+#include <vector>
+
+#include "cvg/core/config.hpp"
+#include "cvg/core/step.hpp"
+#include "cvg/core/types.hpp"
+#include "cvg/topology/tree.hpp"
+
+namespace cvg::certify {
+
+enum class NodeClass : std::uint8_t { Steady, Down, Up, TwoUp };
+
+[[nodiscard]] constexpr const char* to_string(NodeClass c) noexcept {
+  switch (c) {
+    case NodeClass::Steady: return "steady";
+    case NodeClass::Down: return "down";
+    case NodeClass::Up: return "up";
+    case NodeClass::TwoUp: return "2up";
+  }
+  return "?";
+}
+
+/// Classification of every node for one step.
+struct StepClassification {
+  std::vector<NodeClass> classes;  ///< indexed by node id
+  NodeId injected = kNoNode;       ///< the injected node t, if any
+  NodeId leading_zero = kNoNode;   ///< the leading-zero node, if any
+  NodeId two_up = kNoNode;         ///< the 2up node, if any
+
+  [[nodiscard]] NodeClass of(NodeId v) const noexcept { return classes[v]; }
+  [[nodiscard]] bool is_non_steady(NodeId v) const noexcept {
+    return classes[v] != NodeClass::Steady;
+  }
+};
+
+/// Classifies all nodes for the step that transformed `before` into `after`
+/// with the given record.  Requires capacity c = 1 (the setting of the
+/// paper's upper bounds: heights change by at most ±1, plus one possible
+/// injection).  Validates the basic §4 structure along the way: down nodes
+/// drop by exactly 1, at most one 2up node exists and it is the injected
+/// node, and height deltas are consistent with sends/receives.
+[[nodiscard]] StepClassification classify_step(const Tree& tree,
+                                               const Configuration& before,
+                                               const Configuration& after,
+                                               const StepRecord& record);
+
+}  // namespace cvg::certify

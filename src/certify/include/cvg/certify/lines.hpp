@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file lines.hpp
+/// The §5 *lines decomposition*: for one round, every intersection (node of
+/// in-degree ≥ 2) designates one incoming branch as its *priority line* —
+/// the branch its incoming packet came from, else the branch holding the
+/// injected node, else an arbitrary (deterministic) one.  Following priority
+/// children from every node partitions the tree's non-sink nodes into
+/// vertex-disjoint *lines*: paths starting at a leaf and ending at a
+/// *blocked* node (a non-priority child), with exactly one line — the
+/// *drain* — reaching the sink.
+
+#include <vector>
+
+#include "cvg/certify/classify.hpp"
+#include "cvg/core/step.hpp"
+#include "cvg/topology/tree.hpp"
+
+namespace cvg::certify {
+
+/// One line of the decomposition.
+struct Line {
+  /// Nodes from the deep end (a leaf, index 0) to the head (last element);
+  /// the head's parent is the intersection at which the line is blocked, or
+  /// the sink for the drain and for lines blocked at the sink itself.
+  std::vector<NodeId> nodes;
+};
+
+/// The complete decomposition for one round.
+struct LinesDecomposition {
+  std::vector<Line> lines;
+  std::vector<std::uint32_t> line_of;      ///< node → line index (sink: npos)
+  std::vector<std::uint32_t> pos_in_line;  ///< node → index within its line
+  std::vector<NodeId> priority_child;      ///< per node; kNoNode for leaves
+  std::uint32_t drain = npos;              ///< index of the drain line
+  std::uint32_t injected_line = npos;      ///< line holding the injected node
+
+  static constexpr std::uint32_t npos = 0xffffffff;
+};
+
+/// Builds the decomposition for the round described by `record` (with
+/// pre-step heights `before`).  Checks the §5 structural guarantee that at
+/// most one packet entered each intersection.
+[[nodiscard]] LinesDecomposition build_lines(const Tree& tree,
+                                             const Configuration& before,
+                                             const StepRecord& record);
+
+}  // namespace cvg::certify

@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file path_matching.hpp
+/// Balanced matchings on directed paths (Definition 4.2, Algorithm 2).
+///
+/// After every step, the non-steady nodes are paired left-to-right (left =
+/// away from the sink): every up node charges a neighbouring down node —
+/// intuitively the down node "gave" its packet to the up node.  A 2up node
+/// participates as two consecutive up nodes (a *down-2up-down* triple
+/// becomes a down-up pair followed by an up-down pair).  At most one node
+/// stays unmatched: the rightmost down node or the leading-zero (Claim 1).
+///
+/// `build_path_matching` both constructs the matching and *certifies* the
+/// paper's structural claims about it (Claim 1, Lemma 4.3, Lemma 4.4),
+/// aborting if the simulated execution ever contradicts them.
+
+#include <vector>
+
+#include "cvg/certify/classify.hpp"
+
+namespace cvg::certify {
+
+/// One matching pair.  `down`/`up` are node ids; on a path, ids grow away
+/// from the sink, so `down > up` means the pair is a *down-up interval*
+/// (down node behind) and `down < up` an *up-down interval*.
+struct PathMatchPair {
+  NodeId down = kNoNode;
+  NodeId up = kNoNode;
+
+  [[nodiscard]] bool is_down_up() const noexcept { return down > up; }
+};
+
+/// A balanced matching for one step on a path.
+struct PathMatching {
+  /// Pairs in left-to-right creation order.  A 2up node appears as the `up`
+  /// member of two consecutive pairs (first a down-up, then an up-down).
+  std::vector<PathMatchPair> pairs;
+
+  /// The unmatched non-steady node, if any (rightmost down or leading-zero).
+  NodeId unmatched = kNoNode;
+};
+
+/// Runs Algorithm 2 for the step `before` → `after` on a directed path and
+/// verifies Claim 1 and the height conditions of Lemma 4.4.
+[[nodiscard]] PathMatching build_path_matching(const Tree& tree,
+                                               const Configuration& before,
+                                               const Configuration& after,
+                                               const StepClassification& cls);
+
+}  // namespace cvg::certify

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file tree_certifier.hpp
+/// Executable certification of Theorem 5.11: attach to an Algorithm-Tree
+/// (`TreeOddEvenPolicy`) run on any directed in-tree and it maintains the
+/// lines decomposition, the tree balanced matching with crossovers
+/// (Algorithm 6) and the even-residue attachment scheme (§5) across every
+/// step.  While the certifier stays silent, the run provably satisfies
+/// max height ≤ 2·log₂ n + O(1).
+
+#include "cvg/certify/attachment.hpp"
+#include "cvg/certify/classify.hpp"
+#include "cvg/certify/lines.hpp"
+#include "cvg/certify/tree_matching.hpp"
+#include "cvg/sim/simulator.hpp"
+
+namespace cvg::certify {
+
+/// Step-by-step certifier for Algorithm Tree (capacity must be 1).
+class TreeCertifier {
+ public:
+  explicit TreeCertifier(const Tree& tree, Step validate_every = 1);
+
+  /// Feeds one completed step; aborts if a certified invariant fails.
+  void observe(const Configuration& after, const StepRecord& record);
+
+  /// Adapter matching `cvg::StepObserver`.
+  void operator()(const Simulator& sim, const StepRecord& record) {
+    observe(sim.config(), record);
+  }
+
+  /// Runs the full validation against the last observed configuration.
+  void final_validate() const;
+
+  /// Height bound certified by the even-residue counting (2·log₂ n flavour).
+  [[nodiscard]] Height certified_bound() const {
+    return scheme_.certified_height_bound(tree_->node_count());
+  }
+
+  [[nodiscard]] const AttachmentScheme& scheme() const noexcept {
+    return scheme_;
+  }
+  [[nodiscard]] Step steps_observed() const noexcept { return steps_; }
+
+ private:
+  const Tree* tree_;
+  AttachmentScheme scheme_;
+  Configuration prev_;
+  Step validate_every_;
+  Step steps_ = 0;
+};
+
+}  // namespace cvg::certify

@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file tree_matching.hpp
+/// Balanced matchings on trees (Algorithm 6): per-line path matchings plus
+/// the crossover cascade.  When the injected line is blocked at an
+/// intersection, its surplus up node is paired with a down node borrowed
+/// from the intersection's priority line; the priority line's pairs in front
+/// of the borrowed node re-pair as up-down intervals, possibly exposing a
+/// new surplus up one line closer to the sink — the cascade runs until it
+/// reaches the drain (Figure 3).
+
+#include <vector>
+
+#include "cvg/certify/classify.hpp"
+#include "cvg/certify/lines.hpp"
+
+namespace cvg::certify {
+
+/// One matching pair on a tree.
+struct TreeMatchPair {
+  NodeId down = kNoNode;
+  NodeId up = kNoNode;
+  bool crossover = false;  ///< endpoints on different lines (has a tip)
+};
+
+/// Balanced matching for one step on a tree, in a valid processing order
+/// (a 2up node's first pair precedes its second; crossovers come last).
+struct TreeMatching {
+  std::vector<TreeMatchPair> pairs;
+  std::vector<NodeId> unmatched_downs;  ///< processed as top-packet drops
+  std::vector<NodeId> unmatched_ups;    ///< height-0 frontier rises
+};
+
+/// Runs per-line Algorithm 2 plus the Algorithm 6 crossover cascade and
+/// verifies the §5 structural claims (Lemma 5.1/5.2 analogues) along the way.
+[[nodiscard]] TreeMatching build_tree_matching(const Tree& tree,
+                                               const Configuration& before,
+                                               const Configuration& after,
+                                               const StepClassification& cls,
+                                               const LinesDecomposition& lines);
+
+}  // namespace cvg::certify

@@ -1,0 +1,343 @@
+#include "cvg/certify/attachment.hpp"
+
+#include <algorithm>
+
+#include "cvg/util/check.hpp"
+
+namespace cvg::certify {
+
+AttachmentScheme::AttachmentScheme(std::size_t node_count, ResidueMode mode)
+    : node_count_(node_count), mode_(mode) {}
+
+NodeId AttachmentScheme::occupant(NodeId x, Height i, Height j) const {
+  const auto it = occupant_.find(key(x, i, j));
+  return it == occupant_.end() ? kNoNode : it->second;
+}
+
+std::optional<Slot> AttachmentScheme::guardian_of(NodeId y) const {
+  const auto it = guardian_.find(y);
+  if (it == guardian_.end()) return std::nullopt;
+  return it->second;
+}
+
+void AttachmentScheme::attach(NodeId x, Height i, Height j, NodeId y) {
+  CVG_CHECK(y != x) << "a node cannot be its own residue";
+  CVG_CHECK(tracked(j));
+  CVG_CHECK(j >= 1 && j <= i - 2) << "slot (" << x << "," << i << "," << j
+                                  << ") out of range";
+  const auto [it, inserted] = occupant_.emplace(key(x, i, j), y);
+  CVG_CHECK(inserted) << "slot (" << x << "," << i << "," << j
+                      << ") already occupied by " << it->second;
+  const auto [git, ginserted] = guardian_.emplace(y, Slot{x, i, j});
+  CVG_CHECK(ginserted) << "node " << y << " is already a residue of ("
+                       << git->second.x << "," << git->second.i << ","
+                       << git->second.j << ")";
+}
+
+void AttachmentScheme::detach_slot(NodeId x, Height i, Height j) {
+  const auto it = occupant_.find(key(x, i, j));
+  CVG_CHECK(it != occupant_.end())
+      << "detaching empty slot (" << x << "," << i << "," << j << ")";
+  guardian_.erase(it->second);
+  occupant_.erase(it);
+}
+
+void AttachmentScheme::process_pair(NodeId x_d, NodeId x_u,
+                                    std::vector<Height>& heights) {
+  const Height h_d = heights[x_d];
+  const Height h_u = heights[x_u];
+
+  // Lemma 4.4 / 5.3: the down node is at least as high as the up node it
+  // charges.  In path mode this holds verbatim.  In tree (even-residue)
+  // mode, the 2up node's second, crossover pair can carry a work height one
+  // above its charging down node (the paper's "as if t was of height
+  // h(t)+1" view); that is benign exactly when every *tracked* slot of the
+  // new packet is still fillable, which is the check that matters:
+  for (Height j = 1; j <= h_u - 1; ++j) {
+    if (!tracked(j)) continue;
+    const bool fillable = (j <= h_d - 2) || (h_d == h_u && j == h_u - 1);
+    CVG_CHECK(fillable) << "matching pair (" << x_d << " h=" << h_d << ", "
+                        << x_u << " h=" << h_u << ") cannot fill slot ("
+                        << x_u << "," << (h_u + 1) << "," << j
+                        << ") — Lemma 4.4/5.3 violated";
+  }
+  if (mode_ == ResidueMode::All) {
+    CVG_CHECK(h_u <= h_d) << "matching pair (" << x_d << " h=" << h_d << ", "
+                          << x_u << " h=" << h_u
+                          << ") violates Lemma 4.4: up node higher than down";
+  }
+  CVG_CHECK(h_d >= 1) << "down node " << x_d << " has nothing to send";
+
+  // Lemma 4.10 / Claim 2: residues never go down.
+  CVG_CHECK(!is_residue(x_d))
+      << "Lemma 4.10 violated: residue " << x_d << " is a down node";
+
+  // Lemma 4.9 / 5.5: when the pair's heights are equal, the up node is not a
+  // residue.
+  if (h_d == h_u) {
+    CVG_CHECK(!is_residue(x_u))
+        << "Lemma 4.9 violated: up node " << x_u
+        << " is a residue although h_d == h_u == " << h_d;
+  }
+
+  // Snapshot x_u's guardian in A_P and the occupants of x_d's top packet.
+  const std::optional<Slot> u_guardian = guardian_of(x_u);
+  std::vector<NodeId> top(static_cast<std::size_t>(std::max(h_d - 1, Height{0})),
+                          kNoNode);  // top[j] = att(x_d[h_d, j])
+  for (Height j = 1; j <= h_d - 2; ++j) {
+    if (!tracked(j)) continue;
+    const NodeId y = occupant(x_d, h_d, j);
+    CVG_CHECK(y != kNoNode) << "scheme not full: slot (" << x_d << "," << h_d
+                            << "," << j << ") empty at pair processing";
+    top[static_cast<std::size_t>(j)] = y;
+  }
+
+  // Lines 4–6: if x_u occupies a *surviving* slot of x_d at level h_u, swap
+  // it into the doomed top-packet slot so its removal leaves no hole.
+  if (u_guardian && u_guardian->x == x_d && u_guardian->i != h_d) {
+    CVG_CHECK(u_guardian->j == h_u);
+    CVG_CHECK(h_u <= h_d - 2)
+        << "swap target slot (" << x_d << "," << h_d << "," << h_u
+        << ") does not exist";
+    const NodeId w = top[static_cast<std::size_t>(h_u)];
+    detach_slot(x_d, u_guardian->i, h_u);
+    detach_slot(x_d, h_d, h_u);
+    attach(x_d, u_guardian->i, h_u, w);
+    attach(x_d, h_d, h_u, x_u);
+  }
+
+  // Line 7: drop all attachments of x_d's disappearing top packet, passing
+  // the low ones (j ≤ h_u − 1) to x_u's brand-new packet x_u[h_u + 1].
+  for (Height j = 1; j <= h_d - 2; ++j) {
+    if (!tracked(j)) continue;
+    if (occupant(x_d, h_d, j) != kNoNode) detach_slot(x_d, h_d, j);
+  }
+  const Height pass_limit = std::min<Height>(h_d - 2, h_u - 1);
+  for (Height j = 1; j <= pass_limit; ++j) {
+    if (!tracked(j)) continue;
+    attach(x_u, h_u + 1, j, top[static_cast<std::size_t>(j)]);
+  }
+
+  // Lines 8–10: equal heights — x_d itself becomes a residue of x_u, filling
+  // the one slot the passes could not (j = h_u − 1).
+  if (h_d == h_u && h_d >= 2 && tracked(h_u - 1) && h_u - 1 >= 1) {
+    attach(x_u, h_u + 1, h_u - 1, x_d);
+  }
+
+  // Lines 11–19: x_u's own height changed, so if it was a residue its
+  // guardian slot must be refilled (unless that slot just vanished with
+  // x_d's top packet).
+  if (u_guardian) {
+    const bool guardian_destroyed =
+        u_guardian->x == x_d;  // post-swap it sat in the doomed top packet
+    if (!guardian_destroyed) {
+      const Slot g = *u_guardian;
+      CVG_CHECK(g.j == h_u);
+      detach_slot(g.x, g.i, g.j);
+      if (h_d == h_u + 1) {
+        // x_d's new height is h_u: it takes x_u's place.
+        attach(g.x, g.i, g.j, x_d);
+      } else {
+        CVG_CHECK(h_d >= h_u + 2)
+            << "unexpected pair heights with residue up node (h_d=" << h_d
+            << ", h_u=" << h_u << ")";
+        // The resident of x_d's vanished slot at level h_u takes the place.
+        const NodeId y = top[static_cast<std::size_t>(h_u)];
+        CVG_CHECK(y != kNoNode && y != x_u);
+        attach(g.x, g.i, g.j, y);
+      }
+    }
+  }
+
+  heights[x_d] = h_d - 1;
+  heights[x_u] = h_u + 1;
+}
+
+void AttachmentScheme::process_unmatched_down(NodeId x,
+                                              std::vector<Height>& heights) {
+  const Height h = heights[x];
+  CVG_CHECK(h >= 1);
+  CVG_CHECK(!is_residue(x))
+      << "Lemma 4.10 violated: unmatched down node " << x << " is a residue";
+  for (Height j = 1; j <= h - 2; ++j) {
+    if (!tracked(j)) continue;
+    if (occupant(x, h, j) != kNoNode) detach_slot(x, h, j);
+  }
+  heights[x] = h - 1;
+}
+
+void AttachmentScheme::process_unmatched_up(NodeId x,
+                                            std::vector<Height>& heights) {
+  // Only nodes of (work) height ≤ 1 can rise unmatched: the resulting
+  // height ≤ 2 carries no slots, so fullness is unaffected, and a node that
+  // started the step at height 0 cannot be a residue.
+  CVG_CHECK(heights[x] <= 1)
+      << "unmatched up node " << x << " has work height " << heights[x]
+      << "; rising further would create unfillable slots";
+  CVG_CHECK(!is_residue(x))
+      << "unmatched up node " << x << " is a residue; its guardian slot "
+         "would go stale";
+  heights[x] = static_cast<Height>(heights[x] + 1);
+}
+
+std::uint64_t AttachmentScheme::residue_requirement(Height p) const {
+  // r(p): residues transitively pinned by one height-p node (Lemma 4.6).
+  // r(p) = Σ_{tracked j ≤ p−2} (1 + r(j)) + r(p−1), r(≤2) = 0.
+  if (p <= 2) return 0;
+  std::vector<std::uint64_t> r(static_cast<std::size_t>(p) + 1, 0);
+  for (Height q = 3; q <= p; ++q) {
+    std::uint64_t total = r[static_cast<std::size_t>(q - 1)];
+    for (Height j = 1; j <= q - 2; ++j) {
+      if (!tracked(j)) continue;
+      total += 1 + r[static_cast<std::size_t>(j)];
+    }
+    r[static_cast<std::size_t>(q)] = total;
+  }
+  return r[static_cast<std::size_t>(p)];
+}
+
+Height AttachmentScheme::certified_height_bound(std::size_t node_count) const {
+  Height m = 2;
+  while (residue_requirement(m + 1) <= node_count) ++m;
+  return m;
+}
+
+void AttachmentScheme::validate(const Tree& tree,
+                                const Configuration& config) const {
+  const std::size_t n = tree.node_count();
+  CVG_CHECK(config.node_count() == n);
+
+  // Rule 1 + fullness: every tracked slot of every standing packet is
+  // occupied by a node of matching height.
+  std::size_t expected_slots = 0;
+  for (NodeId x = 1; x < n; ++x) {
+    const Height h = config.height(x);
+    for (Height i = 3; i <= h; ++i) {
+      for (Height j = 1; j <= i - 2; ++j) {
+        if (!tracked(j)) continue;
+        ++expected_slots;
+        const NodeId y = occupant(x, i, j);
+        CVG_CHECK(y != kNoNode) << "fullness violated: slot (" << x << "," << i
+                                << "," << j << ") empty (h(x)=" << h << ")";
+        CVG_CHECK(y != x);
+        CVG_CHECK(config.height(y) == j)
+            << "Rule 1 violated: slot (" << x << "," << i << "," << j
+            << ") holds node " << y << " of height " << config.height(y);
+      }
+    }
+  }
+  // No stale attachments beyond standing packets, and maps are mutually
+  // consistent (Rule 2's injectivity is enforced structurally by attach()).
+  CVG_CHECK(occupant_.size() == expected_slots)
+      << "attachment count " << occupant_.size() << " != expected "
+      << expected_slots << " (stale slots exist)";
+  CVG_CHECK(guardian_.size() == occupant_.size());
+
+  // Positional rules.
+  for (const auto& [y, slot] : guardian_) {
+    const NodeId x = slot.x;
+    const Height hy = config.height(y);
+    CVG_CHECK(hy == slot.j);
+
+    if (mode_ == ResidueMode::All) {
+      // Path Rules 3–5.  "In front" = closer to the sink = smaller id on a
+      // path.
+      if (hy % 2 == 0) {
+        CVG_CHECK(x < y) << "Rule 3 violated: even residue " << y
+                         << " has guardian " << x << " behind it";
+      } else {
+        CVG_CHECK(x > y) << "Rule 4 violated: odd residue " << y
+                         << " has guardian " << x << " in front of it";
+      }
+      const NodeId lo = std::min(x, y);
+      const NodeId hi = std::max(x, y);
+      for (NodeId z = lo + 1; z < hi; ++z) {
+        CVG_CHECK(config.height(z) >= hy)
+            << "Rule 5 violated: node " << z << " (h=" << config.height(z)
+            << ") between guardian " << x << " and residue " << y
+            << " (h=" << hy << ")";
+      }
+    } else {
+      // Tree Rules 6–7.  "Behind y" = in y's subtree.
+      CVG_CHECK(hy % 2 == 0);
+      bool x_behind_y = false;
+      for (NodeId w = x; w != kNoNode; w = tree.parent(w)) {
+        if (w == y) {
+          x_behind_y = (x != y);
+          break;
+        }
+      }
+      CVG_CHECK(!x_behind_y) << "Rule 6 violated: guardian " << x
+                             << " lies behind even residue " << y;
+
+      // Find the tip (LCA) of x and y.
+      std::vector<NodeId> y_up;  // y .. root
+      for (NodeId w = y; w != kNoNode; w = tree.parent(w)) y_up.push_back(w);
+      NodeId tip = kNoNode;
+      std::vector<NodeId> x_up;  // x .. node-below-tip
+      for (NodeId w = x; w != kNoNode; w = tree.parent(w)) {
+        if (std::find(y_up.begin(), y_up.end(), w) != y_up.end()) {
+          tip = w;
+          break;
+        }
+        x_up.push_back(w);
+      }
+      CVG_CHECK(tip != kNoNode);
+
+      if (tip == x || tip == y) {
+        // Not a crossover: one endpoint is an ancestor of the other;
+        // h(z) ≥ h(y) strictly between them.
+        const NodeId from = (tip == x) ? y : x;
+        for (NodeId z = tree.parent(from); z != kNoNode && z != tip;
+             z = tree.parent(z)) {
+          CVG_CHECK(config.height(z) >= hy)
+              << "Rule 7 violated between " << x << " and " << y << " at "
+              << z;
+        }
+      } else {
+        // Crossover with tip strictly above both: y's side satisfies ≥,
+        // x's side satisfies > (tip itself exempt).
+        for (NodeId z = y; z != tip; z = tree.parent(z)) {
+          CVG_CHECK(config.height(z) >= hy)
+              << "Rule 7 (residue side) violated between " << y << " and tip "
+              << tip << " at " << z;
+        }
+        for (NodeId z = x; z != tip; z = tree.parent(z)) {
+          CVG_CHECK(config.height(z) > hy)
+              << "Rule 7 (guardian side) violated between " << x << " and tip "
+              << tip << " at " << z;
+        }
+      }
+    }
+  }
+
+  // Lemma 4.6/4.7: the tallest node's transitive residue requirement must
+  // fit among the other nodes.
+  const Height m = config.max_height();
+  CVG_CHECK(residue_requirement(m) <= n)
+      << "height bound violated: max height " << m << " needs "
+      << residue_requirement(m) << " residues but only " << n << " nodes exist";
+}
+
+std::string AttachmentScheme::dump_node(NodeId x,
+                                        const Configuration& config) const {
+  std::string out = "node " + std::to_string(x) +
+                    " (h=" + std::to_string(config.height(x)) + ")\n";
+  for (Height i = config.height(x); i >= 3; --i) {
+    out += "  packet [" + std::to_string(i) + "]:";
+    for (Height j = 1; j <= i - 2; ++j) {
+      if (!tracked(j)) continue;
+      const NodeId y = occupant(x, i, j);
+      out += " slot" + std::to_string(j) + "→";
+      out += (y == kNoNode) ? "∅" : std::to_string(y);
+    }
+    out += '\n';
+  }
+  if (const auto g = guardian_of(x)) {
+    out += "  residue of (" + std::to_string(g->x) + "[" +
+           std::to_string(g->i) + "," + std::to_string(g->j) + "])\n";
+  }
+  return out;
+}
+
+}  // namespace cvg::certify

@@ -1,0 +1,72 @@
+#include "cvg/certify/classify.hpp"
+
+#include "cvg/util/check.hpp"
+
+namespace cvg::certify {
+
+StepClassification classify_step(const Tree& tree, const Configuration& before,
+                                 const Configuration& after,
+                                 const StepRecord& record) {
+  const std::size_t n = tree.node_count();
+  CVG_CHECK(before.node_count() == n && after.node_count() == n);
+  CVG_CHECK(record.injections.size() <= 1)
+      << "classification requires capacity c = 1";
+
+  StepClassification out;
+  out.classes.assign(n, NodeClass::Steady);
+  if (!record.injections.empty()) out.injected = record.injections[0];
+
+  for (NodeId v = 1; v < n; ++v) {
+    const Height delta = after.height(v) - before.height(v);
+    switch (delta) {
+      case 0:
+        out.classes[v] = NodeClass::Steady;
+        break;
+      case -1:
+        out.classes[v] = NodeClass::Down;
+        CVG_CHECK(record.sent[v] == 1)
+            << "node " << v << " dropped without sending";
+        break;
+      case 1:
+        out.classes[v] = NodeClass::Up;
+        break;
+      case 2:
+        out.classes[v] = NodeClass::TwoUp;
+        CVG_CHECK(out.two_up == kNoNode) << "two 2up nodes in one step";
+        CVG_CHECK(v == out.injected)
+            << "2up node " << v << " is not the injected node";
+        CVG_CHECK(record.sent[v] == 0) << "2up node " << v << " sent";
+        out.two_up = v;
+        break;
+      default:
+        CVG_CHECK(false) << "node " << v << " changed height by " << delta
+                         << " in one step (c = 1)";
+    }
+  }
+
+  // Leading-zero detection: an up node that went 0 → 1 with all nodes in
+  // front of it (on its path to the sink, exclusive) empty after the step.
+  for (NodeId v = 1; v < n; ++v) {
+    if (out.classes[v] != NodeClass::Up) continue;
+    if (before.height(v) != 0 || after.height(v) != 1) continue;
+    bool all_zero_in_front = true;
+    for (NodeId w = tree.parent(v); w != kNoNode; w = tree.parent(w)) {
+      if (after.height(w) != 0) {
+        all_zero_in_front = false;
+        break;
+      }
+    }
+    if (all_zero_in_front) {
+      // On a path there is at most one such node; on a tree, several branches
+      // could each have a candidate, but only the one on the drain can be a
+      // genuine leading-zero.  Prefer the one closest to the sink.
+      if (out.leading_zero == kNoNode ||
+          tree.depth(v) < tree.depth(out.leading_zero)) {
+        out.leading_zero = v;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace cvg::certify

@@ -1,0 +1,111 @@
+#include "cvg/certify/lines.hpp"
+
+#include <algorithm>
+
+#include "cvg/util/check.hpp"
+
+namespace cvg::certify {
+
+LinesDecomposition build_lines(const Tree& tree, const Configuration& before,
+                               const StepRecord& record) {
+  const std::size_t n = tree.node_count();
+  CVG_CHECK(record.injections.size() <= 1) << "lines require capacity c = 1";
+  const NodeId injected =
+      record.injections.empty() ? kNoNode : record.injections[0];
+
+  // Mark the injected node's path to the sink so rule 2 (priority = branch
+  // holding the injection) is O(1) per intersection.
+  std::vector<char> on_injected_path(n, 0);
+  if (injected != kNoNode) {
+    for (NodeId w = injected; w != kNoNode; w = tree.parent(w)) {
+      on_injected_path[w] = 1;
+    }
+  }
+
+  LinesDecomposition out;
+  out.priority_child.assign(n, kNoNode);
+  for (NodeId v = 0; v < n; ++v) {
+    const auto children = tree.children(v);
+    if (children.empty()) continue;
+
+    // Rule 1: the child that actually sent into v this round.
+    NodeId sender = kNoNode;
+    for (const NodeId c : children) {
+      if (record.sent[c] > 0) {
+        CVG_CHECK(sender == kNoNode)
+            << "two packets entered intersection " << v << " (from " << sender
+            << " and " << c << ") — sibling arbitration violated";
+        sender = c;
+      }
+    }
+    if (sender != kNoNode) {
+      out.priority_child[v] = sender;
+      continue;
+    }
+    // Rule 2: the branch holding the injected node.
+    NodeId injected_branch = kNoNode;
+    for (const NodeId c : children) {
+      if (on_injected_path[c]) {
+        injected_branch = c;
+        break;
+      }
+    }
+    if (injected_branch != kNoNode) {
+      out.priority_child[v] = injected_branch;
+      continue;
+    }
+    // Rule 3: arbitrary but deterministic — the tallest child, ties to the
+    // smallest id (children are id-sorted; strict > keeps the first maximum).
+    NodeId best = children.front();
+    for (const NodeId c : children) {
+      if (before.height(c) > before.height(best)) best = c;
+    }
+    out.priority_child[v] = best;
+  }
+
+  // Heads: nodes that are not the priority child of their parent, plus the
+  // sink's priority child (the drain's head).  Each head starts a line
+  // running backwards through priority children; stored leaf-first.
+  out.line_of.assign(n, LinesDecomposition::npos);
+  out.pos_in_line.assign(n, LinesDecomposition::npos);
+  for (NodeId head = 1; head < n; ++head) {
+    const NodeId parent = tree.parent(head);
+    // Every child of the sink heads a line (the priority one is the drain);
+    // elsewhere, only non-priority children do — priority children are
+    // interior to their parent's line.
+    const bool is_head =
+        parent == Tree::sink() || out.priority_child[parent] != head;
+    if (!is_head) continue;
+
+    Line line;
+    NodeId cur = head;
+    while (cur != kNoNode) {
+      line.nodes.push_back(cur);
+      cur = out.priority_child[cur];
+    }
+    std::reverse(line.nodes.begin(), line.nodes.end());
+    const auto index = static_cast<std::uint32_t>(out.lines.size());
+    for (std::size_t pos = 0; pos < line.nodes.size(); ++pos) {
+      out.line_of[line.nodes[pos]] = index;
+      out.pos_in_line[line.nodes[pos]] = static_cast<std::uint32_t>(pos);
+    }
+    if (parent == Tree::sink() && out.priority_child[Tree::sink()] == head) {
+      out.drain = index;
+    }
+    out.lines.push_back(std::move(line));
+  }
+
+  // Every non-sink node landed in exactly one line.
+  for (NodeId v = 1; v < n; ++v) {
+    CVG_CHECK(out.line_of[v] != LinesDecomposition::npos)
+        << "node " << v << " not covered by the lines decomposition";
+  }
+  CVG_CHECK(n == 1 || out.drain != LinesDecomposition::npos);
+
+  if (injected != kNoNode && injected != Tree::sink()) {
+    out.injected_line = out.line_of[injected];
+  }
+  return out;
+}
+
+}  // namespace cvg::certify

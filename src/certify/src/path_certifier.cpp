@@ -1,0 +1,68 @@
+#include "cvg/certify/path_certifier.hpp"
+
+#include "cvg/util/check.hpp"
+
+namespace cvg::certify {
+
+PathCertifier::PathCertifier(const Tree& tree, Step validate_every)
+    : tree_(&tree),
+      scheme_(tree.node_count(), ResidueMode::All),
+      prev_(tree.node_count()),
+      validate_every_(validate_every) {
+  CVG_CHECK(tree.is_path()) << "PathCertifier requires a directed path";
+}
+
+void PathCertifier::observe(const Configuration& after,
+                            const StepRecord& record) {
+  const StepClassification cls = classify_step(*tree_, prev_, after, record);
+  const PathMatching matching = build_path_matching(*tree_, prev_, after, cls);
+
+  // Work heights = the intermediate configuration C_P, advanced pair by pair
+  // (Algorithm 3).  Disjoint pairs commute; only the 2up node's two pairs
+  // are order-sensitive, and the order is parity-dependent: for an
+  // odd-height 2up the charging down node behind it (a) may equal its
+  // height while the one in front (b) must exceed it, so the down-up pair
+  // goes first; for an even-height 2up it is the reverse.  (The two bad
+  // cases are mutually exclusive — a == h needs h odd, b == h needs h even —
+  // which is why a correct order always exists.  Found by replaying the
+  // exhaustive search's optimal schedules; see integration_test.cpp.)
+  std::vector<PathMatchPair> ordered(matching.pairs);
+  if (cls.two_up != kNoNode && prev_.height(cls.two_up) % 2 == 0) {
+    for (std::size_t i = 0; i + 1 < ordered.size(); ++i) {
+      if (ordered[i].up == cls.two_up && ordered[i + 1].up == cls.two_up) {
+        std::swap(ordered[i], ordered[i + 1]);
+        break;
+      }
+    }
+  }
+  std::vector<Height> work(prev_.heights().begin(), prev_.heights().end());
+  for (const PathMatchPair& pair : ordered) {
+    scheme_.process_pair(pair.down, pair.up, work);
+  }
+
+  if (matching.unmatched != kNoNode) {
+    if (cls.of(matching.unmatched) == NodeClass::Down) {
+      scheme_.process_unmatched_down(matching.unmatched, work);
+    } else {
+      scheme_.process_unmatched_up(matching.unmatched, work);
+    }
+  }
+
+  // The processed intermediate configuration must equal the real outcome.
+  for (NodeId v = 0; v < tree_->node_count(); ++v) {
+    CVG_CHECK(work[v] == after.height(v))
+        << "certifier desync at node " << v << ": scheme says " << work[v]
+        << ", simulator says " << after.height(v) << " (step " << record.step
+        << ")";
+  }
+
+  prev_ = after;
+  ++steps_;
+  if (validate_every_ > 0 && steps_ % validate_every_ == 0) {
+    scheme_.validate(*tree_, prev_);
+  }
+}
+
+void PathCertifier::final_validate() const { scheme_.validate(*tree_, prev_); }
+
+}  // namespace cvg::certify

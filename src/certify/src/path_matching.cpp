@@ -1,0 +1,106 @@
+#include "cvg/certify/path_matching.hpp"
+
+#include "cvg/util/check.hpp"
+
+namespace cvg::certify {
+
+namespace {
+
+/// Checks the Lemma 4.4 interior-monotonicity conditions for a pair on a
+/// path (heights taken from the start-of-step configuration `before`).
+void check_pair_interior(const Configuration& before, const PathMatchPair& pair,
+                         NodeId two_up) {
+  // Skip pairs touching the 2up node: their effective heights are staged
+  // (the certifier handles them with work heights).
+  if (pair.up == two_up) return;
+
+  if (pair.is_down_up()) {
+    // Nodes z between x_d and x_u (z != x_u): h(z) >= h(s(z)).
+    for (NodeId z = pair.down; z > pair.up; --z) {
+      CVG_CHECK(before.height(z) >= before.height(z - 1))
+          << "Lemma 4.4 (down-up interior) violated between " << pair.down
+          << " and " << pair.up << " at node " << z;
+    }
+  } else {
+    // Up-down interval: nodes z between x_u and x_d (z != x_d) satisfy
+    // h(z) <= h(s(z)).
+    for (NodeId z = pair.up; z > pair.down; --z) {
+      CVG_CHECK(before.height(z) <= before.height(z - 1))
+          << "Lemma 4.4 (up-down interior) violated between " << pair.up
+          << " and " << pair.down << " at node " << z;
+    }
+  }
+}
+
+}  // namespace
+
+PathMatching build_path_matching(const Tree& tree, const Configuration& before,
+                                 const Configuration& after,
+                                 const StepClassification& cls) {
+  CVG_CHECK(tree.is_path()) << "path matching requires a path topology";
+  const std::size_t n = tree.node_count();
+
+  // X: non-steady nodes left to right (= descending id), the 2up node twice.
+  struct Entry {
+    NodeId node;
+    bool is_up;  // up-typed (up or one of the 2up copies) vs down-typed
+  };
+  std::vector<Entry> order;
+  for (NodeId v = static_cast<NodeId>(n - 1); v >= 1; --v) {
+    switch (cls.of(v)) {
+      case NodeClass::Steady:
+        break;
+      case NodeClass::Down:
+        order.push_back({v, false});
+        break;
+      case NodeClass::Up:
+        order.push_back({v, true});
+        break;
+      case NodeClass::TwoUp:
+        order.push_back({v, true});
+        order.push_back({v, true});
+        break;
+    }
+  }
+
+  PathMatching matching;
+  std::size_t i = 0;
+  for (; i + 1 < order.size(); i += 2) {
+    const Entry& a = order[i];
+    const Entry& b = order[i + 1];
+    CVG_CHECK(a.is_up != b.is_up)
+        << "Claim 1 violated: consecutive same-type nodes " << a.node << " ("
+        << (a.is_up ? "up" : "down") << ") and " << b.node
+        << " — three consecutive ups/downs exist";
+    PathMatchPair pair;
+    pair.down = a.is_up ? b.node : a.node;
+    pair.up = a.is_up ? a.node : b.node;
+    matching.pairs.push_back(pair);
+    check_pair_interior(before, pair, cls.two_up);
+  }
+
+  if (i < order.size()) {
+    const Entry& last = order[i];
+    matching.unmatched = last.node;
+    // Claim 1: the unmatched node is the rightmost down node or the
+    // leading-zero.  One extra case the claim's proof glosses over: an
+    // injection into a height-0 node that also receives from its predecessor
+    // (a 0 → 2 "2up") at the empty frontier leaves its second up copy
+    // unmatched.  Like the leading-zero it had height 0, so it owns no slots
+    // and cannot be a residue — the scheme handles it identically.
+    CVG_CHECK(!last.is_up || last.node == cls.leading_zero ||
+              before.height(last.node) == 0)
+        << "Claim 1 violated: unmatched up node " << last.node
+        << " has pre-step height " << before.height(last.node)
+        << " and is not the leading-zero";
+    if (!last.is_up) {
+      // The unmatched down node must be the rightmost non-steady node, which
+      // it is by construction (last in left-to-right order).
+      CVG_CHECK(after.height(last.node) == before.height(last.node) - 1);
+    }
+  }
+
+  return matching;
+}
+
+}  // namespace cvg::certify

@@ -1,0 +1,64 @@
+#include "cvg/certify/tree_certifier.hpp"
+
+#include "cvg/util/check.hpp"
+
+namespace cvg::certify {
+
+TreeCertifier::TreeCertifier(const Tree& tree, Step validate_every)
+    : tree_(&tree),
+      scheme_(tree.node_count(), ResidueMode::EvenOnly),
+      prev_(tree.node_count()),
+      validate_every_(validate_every) {}
+
+void TreeCertifier::observe(const Configuration& after,
+                            const StepRecord& record) {
+  const StepClassification cls = classify_step(*tree_, prev_, after, record);
+  const LinesDecomposition lines = build_lines(*tree_, prev_, record);
+  const TreeMatching matching =
+      build_tree_matching(*tree_, prev_, after, cls, lines);
+
+  // The 2up node's two pairs are processed in a parity-dependent order
+  // (see PathCertifier::observe): even-height 2up → its second pair first.
+  std::vector<TreeMatchPair> ordered(matching.pairs);
+  if (cls.two_up != kNoNode && prev_.height(cls.two_up) % 2 == 0) {
+    std::size_t first = ordered.size();
+    std::size_t second = ordered.size();
+    for (std::size_t i = 0; i < ordered.size(); ++i) {
+      if (ordered[i].up != cls.two_up) continue;
+      if (first == ordered.size()) {
+        first = i;
+      } else {
+        second = i;
+        break;
+      }
+    }
+    if (second != ordered.size()) std::swap(ordered[first], ordered[second]);
+  }
+  std::vector<Height> work(prev_.heights().begin(), prev_.heights().end());
+  for (const TreeMatchPair& pair : ordered) {
+    scheme_.process_pair(pair.down, pair.up, work);
+  }
+  for (const NodeId x : matching.unmatched_downs) {
+    scheme_.process_unmatched_down(x, work);
+  }
+  for (const NodeId x : matching.unmatched_ups) {
+    scheme_.process_unmatched_up(x, work);
+  }
+
+  for (NodeId v = 0; v < tree_->node_count(); ++v) {
+    CVG_CHECK(work[v] == after.height(v))
+        << "tree certifier desync at node " << v << ": scheme says "
+        << work[v] << ", simulator says " << after.height(v) << " (step "
+        << record.step << ")";
+  }
+
+  prev_ = after;
+  ++steps_;
+  if (validate_every_ > 0 && steps_ % validate_every_ == 0) {
+    scheme_.validate(*tree_, prev_);
+  }
+}
+
+void TreeCertifier::final_validate() const { scheme_.validate(*tree_, prev_); }
+
+}  // namespace cvg::certify

@@ -1,0 +1,225 @@
+#include "cvg/certify/tree_matching.hpp"
+
+#include <algorithm>
+
+#include "cvg/util/check.hpp"
+
+namespace cvg::certify {
+
+namespace {
+
+struct Entry {
+  NodeId node = kNoNode;
+  bool is_up = false;
+  bool taken = false;  // stolen by a crossover (downs) or exported (ups)
+};
+
+/// Non-steady entries of one line, leaf to head, with the 2up doubled.
+std::vector<Entry> line_entries(const Line& line, const StepClassification& cls) {
+  std::vector<Entry> entries;
+  for (const NodeId v : line.nodes) {
+    switch (cls.of(v)) {
+      case NodeClass::Steady:
+        break;
+      case NodeClass::Down:
+        entries.push_back({v, false, false});
+        break;
+      case NodeClass::Up:
+        entries.push_back({v, true, false});
+        break;
+      case NodeClass::TwoUp:
+        entries.push_back({v, true, false});
+        entries.push_back({v, true, false});
+        break;
+    }
+  }
+  return entries;
+}
+
+/// Lemma 5.3: along the path from x_d to x_u the heights (at the start of
+/// the step) appear in non-increasing order, except possibly at the *tip* —
+/// the node where the path turns from sink-ward to leaf-ward.  In
+/// particular h(x_u) ≤ h(x_d).  Pairs touching the 2up node are exempt
+/// (their effective heights are staged; the scheme's fillability check
+/// covers them).
+void check_lemma_5_3(const Tree& tree, const Configuration& before,
+                     NodeId x_d, NodeId x_u) {
+  // Ancestor chains up to the lowest common ancestor.
+  std::vector<NodeId> up_chain;  // x_u .. child-of-LCA
+  std::vector<char> on_up(tree.node_count(), 0);
+  for (NodeId w = x_u; w != kNoNode; w = tree.parent(w)) on_up[w] = 1;
+  NodeId lca = kNoNode;
+  std::vector<NodeId> down_chain;  // x_d .. child-of-LCA
+  for (NodeId w = x_d; w != kNoNode; w = tree.parent(w)) {
+    if (on_up[w]) {
+      lca = w;
+      break;
+    }
+    down_chain.push_back(w);
+  }
+  CVG_CHECK(lca != kNoNode);
+  for (NodeId w = x_u; w != lca; w = tree.parent(w)) up_chain.push_back(w);
+
+  // Sequence from x_d towards x_u, omitting the tip (the LCA) unless the
+  // LCA is an endpoint (then there is no turn and it participates).
+  std::vector<NodeId> seq = down_chain;          // x_d ... below-LCA
+  if (lca == x_d || lca == x_u) seq.push_back(lca);
+  for (auto it = up_chain.rbegin(); it != up_chain.rend(); ++it) {
+    seq.push_back(*it);                          // below-LCA ... x_u
+  }
+  for (std::size_t i = 1; i < seq.size(); ++i) {
+    CVG_CHECK(before.height(seq[i - 1]) >= before.height(seq[i]))
+        << "Lemma 5.3 violated on pair (" << x_d << "," << x_u
+        << ") between nodes " << seq[i - 1] << " and " << seq[i];
+  }
+}
+
+/// Index of the last non-taken entry, or npos when the remaining count is
+/// even (no leftover under consecutive pairing).
+std::size_t leftover_index(const std::vector<Entry>& entries) {
+  std::size_t remaining = 0;
+  std::size_t last = static_cast<std::size_t>(-1);
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (entries[i].taken) continue;
+    ++remaining;
+    last = i;
+  }
+  return (remaining % 2 == 1) ? last : static_cast<std::size_t>(-1);
+}
+
+}  // namespace
+
+TreeMatching build_tree_matching(const Tree& tree, const Configuration& before,
+                                 const Configuration& /*after*/,
+                                 const StepClassification& cls,
+                                 const LinesDecomposition& lines) {
+  constexpr auto kNone = static_cast<std::size_t>(-1);
+  TreeMatching out;
+
+  std::vector<std::vector<Entry>> entries(lines.lines.size());
+  for (std::size_t i = 0; i < lines.lines.size(); ++i) {
+    entries[i] = line_entries(lines.lines[i], cls);
+  }
+
+  // The crossover cascade.  At most one surplus up exists at a time: it
+  // starts (if at all) as the leftover of some blocked line — by Lemma 5.1's
+  // argument only the injected line can have one — and each crossover
+  // consumes it while possibly exposing a new one on a line whose head is
+  // strictly closer to the sink, so the loop terminates.
+  std::vector<TreeMatchPair> crossovers;
+  for (std::size_t li = 0; li < entries.size(); ++li) {
+    if (li == lines.drain) continue;
+    std::size_t lo = leftover_index(entries[li]);
+    if (lo == kNone || !entries[li][lo].is_up) continue;
+    // Frontier rises (pre-step height 0) need no charging pair at all; they
+    // are handled like the leading-zero.  Only taller surplus ups cascade.
+    if (before.height(entries[li][lo].node) == 0) continue;
+
+    CVG_CHECK(li == lines.injected_line)
+        << "surplus up node " << entries[li][lo].node << " on line " << li
+        << " which is neither drain nor injected line";
+
+    std::size_t cur_line = li;
+    std::size_t cur_leftover = lo;
+    for (std::size_t guard = 0; guard <= lines.lines.size(); ++guard) {
+      CVG_CHECK(guard < lines.lines.size())
+          << "crossover cascade failed to terminate";
+
+      Entry& up_entry = entries[cur_line][cur_leftover];
+      const NodeId x_u = up_entry.node;
+      up_entry.taken = true;
+
+      // The blocking intersection in front of this line.
+      const NodeId head = lines.lines[cur_line].nodes.back();
+      const NodeId v = tree.parent(head);
+      CVG_CHECK(v != kNoNode);
+      const std::uint32_t pv =
+          (v == Tree::sink()) ? lines.drain : lines.line_of[v];
+      CVG_CHECK(pv != cur_line)
+          << "line with surplus up is its own priority line at " << v;
+
+      // First down node strictly behind v on the priority line (Lemma 5.2
+      // guarantees it exists: the packet that beat this line into v came
+      // from a sending chain whose first node went down).
+      const std::uint32_t v_pos = (v == Tree::sink())
+                                      ? LinesDecomposition::npos
+                                      : lines.pos_in_line[v];
+      std::size_t d_index = kNone;
+      for (std::size_t i = entries[pv].size(); i-- > 0;) {
+        const Entry& e = entries[pv][i];
+        if (e.taken || e.is_up) continue;
+        if (v_pos != LinesDecomposition::npos &&
+            lines.pos_in_line[e.node] >= v_pos) {
+          continue;
+        }
+        d_index = i;
+        break;
+      }
+      CVG_CHECK(d_index != kNone)
+          << "Lemma 5.2 violated: no down node behind intersection " << v
+          << " on its priority line (surplus up " << x_u << ")";
+      Entry& down_entry = entries[pv][d_index];
+      down_entry.taken = true;
+      crossovers.push_back({down_entry.node, x_u, /*crossover=*/true});
+
+      // Re-pairing the priority line may expose a new surplus up.
+      const std::size_t next = leftover_index(entries[pv]);
+      if (next == kNone || !entries[pv][next].is_up || pv == lines.drain) {
+        break;  // balanced again, or the drain absorbs the leftover
+      }
+      cur_line = pv;
+      cur_leftover = next;
+    }
+  }
+
+  // Final consecutive pairing per line; the surviving leftover of the drain
+  // (down or frontier up) goes to the unmatched lists.
+  for (std::size_t li = 0; li < entries.size(); ++li) {
+    const Entry* pending = nullptr;
+    for (const Entry& e : entries[li]) {
+      if (e.taken) continue;
+      if (pending == nullptr) {
+        pending = &e;
+        continue;
+      }
+      CVG_CHECK(pending->is_up != e.is_up)
+          << "tree matching pairs two " << (e.is_up ? "up" : "down")
+          << " nodes (" << pending->node << ", " << e.node << ") on line "
+          << li;
+      TreeMatchPair pair;
+      pair.down = pending->is_up ? e.node : pending->node;
+      pair.up = pending->is_up ? pending->node : e.node;
+      out.pairs.push_back(pair);
+      pending = nullptr;
+    }
+    if (pending != nullptr) {
+      if (pending->is_up) {
+        // Must be a frontier rise: pre-step height 0 (the leading-zero, or
+        // the second copy of a 0 → 2 node).  Anything taller would create
+        // unfillable slots, which Claim 1's tree analogue rules out.
+        CVG_CHECK(before.height(pending->node) == 0)
+            << "unmatched up node " << pending->node << " of height "
+            << before.height(pending->node) << " on line " << li;
+        out.unmatched_ups.push_back(pending->node);
+      } else {
+        CVG_CHECK(li == lines.drain)
+            << "unmatched down node " << pending->node
+            << " on non-drain line " << li;
+        out.unmatched_downs.push_back(pending->node);
+      }
+    }
+  }
+
+  // Crossovers after in-line pairs: guarantees a 2up node's first (in-line)
+  // pair is processed before its exported second copy.
+  out.pairs.insert(out.pairs.end(), crossovers.begin(), crossovers.end());
+
+  // Certify Lemma 5.3 on every pair not involving the 2up node.
+  for (const TreeMatchPair& pair : out.pairs) {
+    if (pair.up == cls.two_up) continue;
+    check_lemma_5_3(tree, before, pair.down, pair.up);
+  }
+  return out;
+}
+
+}  // namespace cvg::certify

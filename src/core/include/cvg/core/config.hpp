@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file config.hpp
+/// A *configuration* (paper §2): the per-node buffer heights at the start of
+/// a step.  The sink (node 0) always has height 0.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cvg/core/types.hpp"
+#include "cvg/util/check.hpp"
+
+namespace cvg {
+
+/// Value type holding one height per node.  Cheap to copy for small n; the
+/// simulator mutates it in place between steps.
+class Configuration {
+ public:
+  Configuration() = default;
+
+  /// All-zero configuration over `node_count` nodes.
+  explicit Configuration(std::size_t node_count)
+      : heights_(node_count, Height{0}) {}
+
+  /// Configuration with explicit heights; `heights[0]` (the sink) must be 0.
+  explicit Configuration(std::vector<Height> heights)
+      : heights_(std::move(heights)) {
+    CVG_CHECK(heights_.empty() || heights_[0] == 0) << "sink height must be 0";
+  }
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return heights_.size(); }
+
+  [[nodiscard]] Height height(NodeId v) const noexcept {
+    CVG_DCHECK(v < heights_.size());
+    return heights_[v];
+  }
+
+  /// Sets `h(v) = h`.  Disallowed for the sink (which consumes instantly).
+  void set_height(NodeId v, Height h) noexcept {
+    CVG_DCHECK(v < heights_.size());
+    CVG_DCHECK(h >= 0);
+    CVG_DCHECK(v != 0 || h == 0) << "sink height must stay 0";
+    heights_[v] = h;
+  }
+
+  /// Adds `delta` to `h(v)`; the result must stay non-negative.
+  void add(NodeId v, Height delta) noexcept {
+    CVG_DCHECK(v < heights_.size());
+    CVG_DCHECK(heights_[v] + delta >= 0);
+    heights_[v] = static_cast<Height>(heights_[v] + delta);
+  }
+
+  /// Read-only view of all heights (index = node id).
+  [[nodiscard]] std::span<const Height> heights() const noexcept {
+    return heights_;
+  }
+
+  /// Largest buffer height over all nodes (0 for an empty network).
+  [[nodiscard]] Height max_height() const noexcept;
+
+  /// Total number of packets currently buffered in the network.
+  [[nodiscard]] std::uint64_t total_packets() const noexcept;
+
+  /// Number of packets buffered at nodes `[first, last]` (inclusive id range).
+  /// Useful for the block-density accounting of the Thm 3.1 adversary.
+  [[nodiscard]] std::uint64_t packets_in_range(NodeId first, NodeId last) const noexcept;
+
+  /// Compact textual form "[0 2 1 3]" for diagnostics and golden tests.
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Configuration&, const Configuration&) = default;
+
+ private:
+  std::vector<Height> heights_;
+};
+
+}  // namespace cvg

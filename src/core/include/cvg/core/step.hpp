@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file step.hpp
+/// Record of what happened during one simulated step — which packets were
+/// injected and which nodes forwarded.  Consumed by the metrics layer and by
+/// the proof certifier (`cvg::certify`), which needs to classify nodes as
+/// up/down/steady relative to the step.
+
+#include <vector>
+
+#include "cvg/core/types.hpp"
+
+namespace cvg {
+
+/// Per-step transition record.  The simulator fills one of these per step
+/// (re-using the buffers); callers that need history copy it out.
+struct StepRecord {
+  /// Index of the step this record describes (first step is 0).
+  Step step = 0;
+
+  /// Nodes that received an adversarial injection this step, one entry per
+  /// injected packet (a node may appear multiple times when c > 1).  Empty
+  /// when the adversary stayed idle.
+  std::vector<NodeId> injections;
+
+  /// `sent[v]` = number of packets node v forwarded to its successor this
+  /// step (0..c).  `sent[0]` is always 0: the sink has no outgoing link.
+  std::vector<Capacity> sent;
+
+  /// Resets the record for a step over `node_count` nodes.
+  void reset(Step step_index, std::size_t node_count) {
+    step = step_index;
+    injections.clear();
+    sent.assign(node_count, 0);
+  }
+
+  /// Number of packets injected this step.
+  [[nodiscard]] std::size_t injection_count() const noexcept {
+    return injections.size();
+  }
+
+  /// Count of injections that landed on node `v` this step.
+  [[nodiscard]] int injections_at(NodeId v) const noexcept {
+    int count = 0;
+    for (const NodeId t : injections) count += (t == v) ? 1 : 0;
+    return count;
+  }
+};
+
+}  // namespace cvg

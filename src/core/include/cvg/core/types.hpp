@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file types.hpp
+/// Fundamental vocabulary types of the convergecast model.
+///
+/// The model follows the paper exactly (§2): a rooted in-tree of `n` nodes
+/// whose root `s` is the *sink*; each step has two mini-steps — first the
+/// adversary injects at most `c` packets at arbitrary nodes, then every node
+/// forwards at most `c` packets along its single outgoing link (towards its
+/// parent).  `h(v)`, the *height* of node `v`, is the number of packets
+/// buffered at `v`; `h(s) = 0` always (the sink consumes instantly).
+
+#include <cstdint>
+#include <limits>
+
+namespace cvg {
+
+/// Index of a node in a topology.  By library convention the sink/root is
+/// always node 0.  On a path of n nodes, node i's successor is node i-1, so
+/// larger ids are further from the sink ("further left" in the paper's
+/// figures, which draw the sink at the right end).
+using NodeId = std::uint32_t;
+
+/// Sentinel for "no node" (e.g. the parent of the root, or "no injection").
+inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
+
+/// Buffer height (number of packets stored at a node).  Signed so that
+/// height arithmetic in the analysis code (differences, charges) is natural.
+using Height = std::int32_t;
+
+/// Discrete time, counted in whole steps since the start of the execution.
+using Step = std::uint64_t;
+
+/// Link capacity / adversary injection rate `c` (§2).  The paper's upper
+/// bounds assume c = 1; the lower bound and the simulator support any c ≥ 1.
+using Capacity = std::int32_t;
+
+/// When, within a step, forwarding decisions sample buffer heights.
+///
+/// The paper's §4 analysis treats an injection as "merely raising the height
+/// of the injected node by one" without altering which nodes send, which
+/// corresponds to `DecideBeforeInjection`: decisions are a function of the
+/// configuration at the start of the step.  `DecideAfterInjection` is the
+/// other defensible reading (nodes observe post-injection heights) and is
+/// kept as an ablation; see DESIGN.md §2 and `bench_ablations`.
+enum class StepSemantics : std::uint8_t {
+  DecideBeforeInjection,
+  DecideAfterInjection,
+};
+
+/// How an intersection arbitrates between siblings that share a parent
+/// (Algorithm 5; see DESIGN.md §2).  `WillingOnly`: the highest-priority
+/// sibling *among those whose own parity rule permits sending* forwards.
+/// `Strict`: only the globally highest-priority sibling may forward, even if
+/// its parity rule blocks it (in which case nobody forwards to that parent).
+/// For the Odd-Even parity rule the two coincide (docs/MODEL.md §1).
+enum class ArbitrationMode : std::uint8_t {
+  WillingOnly,
+  Strict,
+};
+
+/// Name of a step-semantics value, for reports.
+[[nodiscard]] constexpr const char* to_string(StepSemantics semantics) noexcept {
+  switch (semantics) {
+    case StepSemantics::DecideBeforeInjection: return "decide-before-injection";
+    case StepSemantics::DecideAfterInjection: return "decide-after-injection";
+  }
+  return "?";
+}
+
+/// Name of an arbitration mode, for reports.
+[[nodiscard]] constexpr const char* to_string(ArbitrationMode mode) noexcept {
+  switch (mode) {
+    case ArbitrationMode::WillingOnly: return "willing-only";
+    case ArbitrationMode::Strict: return "strict";
+  }
+  return "?";
+}
+
+}  // namespace cvg

@@ -1,0 +1,40 @@
+#include "cvg/core/config.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace cvg {
+
+Height Configuration::max_height() const noexcept {
+  Height best = 0;
+  for (const Height h : heights_) best = std::max(best, h);
+  return best;
+}
+
+std::uint64_t Configuration::total_packets() const noexcept {
+  std::uint64_t total = 0;
+  for (const Height h : heights_) total += static_cast<std::uint64_t>(h);
+  return total;
+}
+
+std::uint64_t Configuration::packets_in_range(NodeId first, NodeId last) const noexcept {
+  CVG_DCHECK(first <= last);
+  CVG_DCHECK(last < heights_.size());
+  std::uint64_t total = 0;
+  for (NodeId v = first; v <= last; ++v) {
+    total += static_cast<std::uint64_t>(heights_[v]);
+  }
+  return total;
+}
+
+std::string Configuration::to_string() const {
+  std::string out = "[";
+  for (std::size_t i = 0; i < heights_.size(); ++i) {
+    if (i != 0) out.push_back(' ');
+    out += std::to_string(heights_[i]);
+  }
+  out.push_back(']');
+  return out;
+}
+
+}  // namespace cvg

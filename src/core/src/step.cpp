@@ -1,0 +1,3 @@
+// step.hpp is header-only; this translation unit exists so the target has a
+// stable archive member and the header is compiled standalone at least once.
+#include "cvg/core/step.hpp"

@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file dag.hpp
+/// Sink-rooted DAG topology for the paper's §6 question: "a natural question
+/// is if our algorithms generalize … to DAGs."  Every non-sink node has at
+/// least one out-edge, every out-edge points to a strictly smaller node id
+/// (so acyclicity is structural), and node 0 is the sink.  Each edge carries
+/// at most one packet per step in the sink-ward direction.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cvg/core/types.hpp"
+#include "cvg/util/rng.hpp"
+
+namespace cvg {
+
+/// Immutable sink-rooted DAG.  Out-edges are id-sorted per node.
+class Dag {
+ public:
+  /// `out_edges[v]` lists v's successors; each must be < v, and every
+  /// non-sink node needs at least one.  `out_edges[0]` must be empty.
+  explicit Dag(std::vector<std::vector<NodeId>> out_edges);
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return out_edges_.size();
+  }
+  [[nodiscard]] static constexpr NodeId sink() noexcept { return 0; }
+
+  [[nodiscard]] std::span<const NodeId> out_edges(NodeId v) const noexcept {
+    return out_edges_[v];
+  }
+  [[nodiscard]] std::size_t out_degree(NodeId v) const noexcept {
+    return out_edges_[v].size();
+  }
+
+  /// Length of the longest path from v to the sink.
+  [[nodiscard]] std::size_t height_of(NodeId v) const noexcept {
+    return longest_[v];
+  }
+  [[nodiscard]] std::size_t max_path_length() const noexcept { return max_longest_; }
+
+  /// Total number of edges.
+  [[nodiscard]] std::size_t edge_count() const noexcept { return edges_; }
+
+ private:
+  std::vector<std::vector<NodeId>> out_edges_;
+  std::vector<std::size_t> longest_;
+  std::size_t max_longest_ = 0;
+  std::size_t edges_ = 0;
+};
+
+namespace build_dag {
+
+/// A path, as a degenerate DAG (baseline sanity).
+[[nodiscard]] Dag path(std::size_t n);
+
+/// The braid: `width` parallel paths of length `length` sharing the sink,
+/// with "rungs" every `rung_every` hops connecting adjacent strands — each
+/// interior node then has 2 out-edges (straight ahead and diagonally).
+[[nodiscard]] Dag braid(std::size_t width, std::size_t length,
+                        std::size_t rung_every = 1);
+
+/// The diamond grid: levels of `width` nodes; every node at level d has
+/// out-edges to its one or two nearest nodes at level d−1 (level 0 is the
+/// sink alone).  The classic DAG stress shape.
+[[nodiscard]] Dag diamond(std::size_t width, std::size_t levels);
+
+/// Random layered DAG: `levels` layers of `width` nodes; each node gets
+/// 1 + Binomial(extra edges) out-edges to uniformly random nodes of the
+/// next-lower layer.
+[[nodiscard]] Dag random_layered(std::size_t width, std::size_t levels,
+                                 double extra_edge_probability,
+                                 Xoshiro256StarStar& rng);
+
+}  // namespace build_dag
+
+}  // namespace cvg

@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file dag_sim.hpp
+/// Policies and the executor for information gathering on sink-rooted DAGs —
+/// the library's probe of the paper's §6 question ("do our algorithms
+/// generalize to DAGs?").  Per step: the adversary injects ≤ 1 packet, then
+/// every node may forward at most one packet per out-edge (edge capacity 1),
+/// decided from start-of-step heights.
+
+#include <string>
+#include <vector>
+
+#include "cvg/core/config.hpp"
+#include "cvg/core/types.hpp"
+#include "cvg/dag/dag.hpp"
+
+namespace cvg {
+
+/// Local scheduling policy on a DAG: for one node, decide how many packets
+/// to push down which out-edges.
+class DagPolicy {
+ public:
+  virtual ~DagPolicy() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Fills `sends` (same length/order as `dag.out_edges(v)`, pre-zeroed)
+  /// with 0/1 per edge; the total must not exceed `own`.
+  virtual void decide(const Dag& dag, const Configuration& heights, NodeId v,
+                      std::vector<Capacity>& sends) const = 0;
+};
+
+/// Greedy on DAGs: push one packet down every out-edge while packets last,
+/// lowest-height successors first (work-conserving, Θ(n) prone).
+class DagGreedy final : public DagPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "dag-greedy"; }
+  void decide(const Dag& dag, const Configuration& heights, NodeId v,
+              std::vector<Capacity>& sends) const override;
+};
+
+/// Odd-Even on DAGs: apply the Algorithm 1 parity rule against the
+/// *lowest* out-neighbour (ties: smallest id) and send a single packet down
+/// that edge — the straightforward generalization the paper's conclusions
+/// ask about.  No bound is proved; `bench_dag` reports the empirical shape.
+class DagOddEven final : public DagPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "dag-odd-even"; }
+  void decide(const Dag& dag, const Configuration& heights, NodeId v,
+              std::vector<Capacity>& sends) const override;
+};
+
+/// Discrete-event executor on a DAG.  Copyable (copies are checkpoints).
+class DagSimulator {
+ public:
+  DagSimulator(const Dag& dag, const DagPolicy& policy);
+
+  /// One step: inject at `t` (or kNoNode), then forward everywhere.
+  void step_inject(NodeId t);
+
+  [[nodiscard]] const Configuration& config() const noexcept { return config_; }
+  [[nodiscard]] Height peak_height() const noexcept { return peak_; }
+  [[nodiscard]] Step now() const noexcept { return now_; }
+  [[nodiscard]] std::uint64_t delivered() const noexcept { return delivered_; }
+  [[nodiscard]] std::uint64_t injected() const noexcept { return injected_; }
+
+  void set_config(const Configuration& config);
+
+ private:
+  const Dag* dag_;
+  const DagPolicy* policy_;
+  Configuration config_;
+  std::vector<Capacity> edge_sends_;  // scratch, per node
+  std::vector<Height> deltas_;        // scratch, per node
+  Step now_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t injected_ = 0;
+  Height peak_ = 0;
+};
+
+}  // namespace cvg

@@ -1,0 +1,119 @@
+#include "cvg/dag/dag.hpp"
+
+#include <algorithm>
+
+#include "cvg/util/check.hpp"
+
+namespace cvg {
+
+Dag::Dag(std::vector<std::vector<NodeId>> out_edges)
+    : out_edges_(std::move(out_edges)) {
+  const std::size_t n = out_edges_.size();
+  CVG_CHECK(n >= 1);
+  CVG_CHECK(out_edges_[0].empty()) << "the sink has no out-edges";
+  longest_.assign(n, 0);
+  for (NodeId v = 1; v < n; ++v) {
+    CVG_CHECK(!out_edges_[v].empty())
+        << "node " << v << " has no route to the sink";
+    std::sort(out_edges_[v].begin(), out_edges_[v].end());
+    CVG_CHECK(std::unique(out_edges_[v].begin(), out_edges_[v].end()) ==
+              out_edges_[v].end())
+        << "duplicate out-edge at node " << v;
+    for (const NodeId u : out_edges_[v]) {
+      CVG_CHECK(u < v) << "out-edge " << v << "→" << u
+                       << " does not decrease the id (acyclicity rule)";
+      longest_[v] = std::max(longest_[v], longest_[u] + 1);
+    }
+    max_longest_ = std::max(max_longest_, longest_[v]);
+    edges_ += out_edges_[v].size();
+  }
+}
+
+namespace build_dag {
+
+Dag path(std::size_t n) {
+  CVG_CHECK(n >= 1);
+  std::vector<std::vector<NodeId>> edges(n);
+  for (NodeId v = 1; v < n; ++v) edges[v] = {v - 1};
+  return Dag(std::move(edges));
+}
+
+Dag braid(std::size_t width, std::size_t length, std::size_t rung_every) {
+  CVG_CHECK(width >= 1 && length >= 1 && rung_every >= 1);
+  // Node layout: id = 1 + (hop * width + strand); hop 0 is adjacent to the
+  // sink.  Edges: straight ahead (same strand, hop−1) plus, on rung hops,
+  // a diagonal to the next strand.
+  const std::size_t n = 1 + width * length;
+  std::vector<std::vector<NodeId>> edges(n);
+  const auto id = [&](std::size_t hop, std::size_t strand) {
+    return static_cast<NodeId>(1 + hop * width + strand);
+  };
+  for (std::size_t hop = 0; hop < length; ++hop) {
+    for (std::size_t strand = 0; strand < width; ++strand) {
+      const NodeId v = id(hop, strand);
+      if (hop == 0) {
+        edges[v] = {0};
+        continue;
+      }
+      edges[v].push_back(id(hop - 1, strand));
+      if (hop % rung_every == 0 && width > 1) {
+        const std::size_t other = (strand + 1) % width;
+        const NodeId diag = id(hop - 1, other);
+        if (diag < v) edges[v].push_back(diag);
+      }
+    }
+  }
+  return Dag(std::move(edges));
+}
+
+Dag diamond(std::size_t width, std::size_t levels) {
+  CVG_CHECK(width >= 1 && levels >= 1);
+  const std::size_t n = 1 + width * levels;
+  std::vector<std::vector<NodeId>> edges(n);
+  const auto id = [&](std::size_t level, std::size_t pos) {
+    return static_cast<NodeId>(1 + (level - 1) * width + pos);
+  };
+  for (std::size_t level = 1; level <= levels; ++level) {
+    for (std::size_t pos = 0; pos < width; ++pos) {
+      const NodeId v = id(level, pos);
+      if (level == 1) {
+        edges[v] = {0};
+        continue;
+      }
+      edges[v].push_back(id(level - 1, pos));
+      if (pos + 1 < width) edges[v].push_back(id(level - 1, pos + 1));
+    }
+  }
+  return Dag(std::move(edges));
+}
+
+Dag random_layered(std::size_t width, std::size_t levels,
+                   double extra_edge_probability, Xoshiro256StarStar& rng) {
+  CVG_CHECK(width >= 1 && levels >= 1);
+  const std::size_t n = 1 + width * levels;
+  std::vector<std::vector<NodeId>> edges(n);
+  for (std::size_t level = 1; level <= levels; ++level) {
+    for (std::size_t pos = 0; pos < width; ++pos) {
+      const NodeId v = static_cast<NodeId>(1 + (level - 1) * width + pos);
+      if (level == 1) {
+        edges[v] = {0};
+        continue;
+      }
+      const NodeId base = static_cast<NodeId>(1 + (level - 2) * width);
+      edges[v].push_back(static_cast<NodeId>(base + rng.below(width)));
+      while (rng.bernoulli(extra_edge_probability) &&
+             edges[v].size() < width) {
+        const NodeId extra = static_cast<NodeId>(base + rng.below(width));
+        if (std::find(edges[v].begin(), edges[v].end(), extra) ==
+            edges[v].end()) {
+          edges[v].push_back(extra);
+        }
+      }
+    }
+  }
+  return Dag(std::move(edges));
+}
+
+}  // namespace build_dag
+
+}  // namespace cvg

@@ -1,0 +1,42 @@
+#include <algorithm>
+#include <numeric>
+
+#include "cvg/dag/dag_sim.hpp"
+#include "cvg/policy/standard.hpp"
+#include "cvg/util/check.hpp"
+
+namespace cvg {
+
+void DagGreedy::decide(const Dag& dag, const Configuration& heights, NodeId v,
+                       std::vector<Capacity>& sends) const {
+  const auto edges = dag.out_edges(v);
+  Height remaining = heights.height(v);
+  if (remaining <= 0) return;
+
+  // Lowest successors first (stable on ties: id order is the edge order).
+  std::vector<std::size_t> order(edges.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return heights.height(edges[a]) < heights.height(edges[b]);
+                   });
+  for (const std::size_t e : order) {
+    if (remaining <= 0) break;
+    sends[e] = 1;
+    --remaining;
+  }
+}
+
+void DagOddEven::decide(const Dag& dag, const Configuration& heights, NodeId v,
+                        std::vector<Capacity>& sends) const {
+  const Height own = heights.height(v);
+  if (own <= 0) return;
+  const auto edges = dag.out_edges(v);
+  std::size_t best = 0;
+  for (std::size_t e = 1; e < edges.size(); ++e) {
+    if (heights.height(edges[e]) < heights.height(edges[best])) best = e;
+  }
+  if (OddEvenPolicy::rule(own, heights.height(edges[best]))) sends[best] = 1;
+}
+
+}  // namespace cvg

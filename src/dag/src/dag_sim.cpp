@@ -1,0 +1,65 @@
+#include "cvg/dag/dag_sim.hpp"
+
+#include <algorithm>
+
+#include "cvg/util/check.hpp"
+
+namespace cvg {
+
+DagSimulator::DagSimulator(const Dag& dag, const DagPolicy& policy)
+    : dag_(&dag), policy_(&policy), config_(dag.node_count()),
+      deltas_(dag.node_count(), 0) {}
+
+void DagSimulator::set_config(const Configuration& config) {
+  CVG_CHECK(config.node_count() == dag_->node_count());
+  config_ = config;
+  peak_ = std::max(peak_, config_.max_height());
+}
+
+void DagSimulator::step_inject(NodeId t) {
+  const std::size_t n = dag_->node_count();
+
+  // Decisions from start-of-step heights; effects accumulate in deltas so
+  // forwarding is simultaneous.
+  std::fill(deltas_.begin(), deltas_.end(), Height{0});
+  std::uint64_t consumed = 0;
+  for (NodeId v = 1; v < n; ++v) {
+    const auto edges = dag_->out_edges(v);
+    edge_sends_.assign(edges.size(), 0);
+    policy_->decide(*dag_, config_, v, edge_sends_);
+    Capacity total = 0;
+    for (std::size_t e = 0; e < edges.size(); ++e) {
+      CVG_CHECK(edge_sends_[e] >= 0 && edge_sends_[e] <= 1)
+          << "edge capacity is 1";
+      if (edge_sends_[e] == 0) continue;
+      ++total;
+      if (edges[e] == Dag::sink()) {
+        ++consumed;
+      } else {
+        deltas_[edges[e]] = static_cast<Height>(deltas_[edges[e]] + 1);
+      }
+    }
+    CVG_CHECK(total <= config_.height(v))
+        << "policy over-sent at node " << v;
+    deltas_[v] = static_cast<Height>(deltas_[v] - total);
+  }
+
+  if (t != kNoNode) {
+    CVG_CHECK(t < n);
+    ++injected_;
+    if (t == Dag::sink()) {
+      ++delivered_;
+    } else {
+      deltas_[t] = static_cast<Height>(deltas_[t] + 1);
+    }
+  }
+
+  for (NodeId v = 1; v < n; ++v) {
+    if (deltas_[v] != 0) config_.add(v, deltas_[v]);
+  }
+  delivered_ += consumed;
+  peak_ = std::max(peak_, config_.max_height());
+  ++now_;
+}
+
+}  // namespace cvg

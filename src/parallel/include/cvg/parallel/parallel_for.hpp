@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file parallel_for.hpp
+/// Fork-join data parallelism for the experiment sweeps.
+///
+/// Simulation sweeps are embarrassingly parallel (one independent run per
+/// grid point), so the library needs nothing fancier than a scoped
+/// fork-join loop: workers pull indices from an atomic counter, results are
+/// written to index-addressed slots, and determinism follows from per-index
+/// seeding (`derive_seed`) — the outcome is bit-identical regardless of
+/// thread count or scheduling.
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <thread>
+#include <vector>
+
+#include "cvg/util/check.hpp"
+
+namespace cvg {
+
+/// Number of worker threads to use: the `CVG_THREADS` environment variable
+/// if set, else the hardware concurrency (at least 1).
+[[nodiscard]] unsigned default_thread_count();
+
+/// Runs `fn(i)` for every `i` in `[0, count)` across `threads` workers.
+/// Blocks until all iterations finish.  `fn` must be safe to call
+/// concurrently for distinct indices.  Exceptions escaping `fn` terminate
+/// (the library's simulation code reports errors via CVG_CHECK instead).
+template <typename Fn>
+void parallel_for(std::size_t count, unsigned threads, Fn&& fn) {
+  if (count == 0) return;
+  if (threads <= 1 || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  const unsigned workers = static_cast<unsigned>(
+      std::min<std::size_t>(threads, count));
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    pool.emplace_back([&next, count, &fn] {
+      for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+           i < count; i = next.fetch_add(1, std::memory_order_relaxed)) {
+        fn(i);
+      }
+    });
+  }
+  for (std::thread& worker : pool) worker.join();
+}
+
+/// `parallel_for` with the default thread count.
+template <typename Fn>
+void parallel_for(std::size_t count, Fn&& fn) {
+  parallel_for(count, default_thread_count(), std::forward<Fn>(fn));
+}
+
+}  // namespace cvg

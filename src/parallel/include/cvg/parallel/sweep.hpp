@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file sweep.hpp
+/// Declarative parameter sweeps: each job owns factories for its topology,
+/// policy and adversary, so workers build everything thread-locally and no
+/// state is shared across grid points.  Used by every bench table.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cvg/parallel/parallel_for.hpp"
+#include "cvg/sim/runner.hpp"
+
+namespace cvg {
+
+/// One grid point of a peak-height sweep.
+struct PeakJob {
+  /// Row label carried into the result (e.g. "odd-even n=4096").
+  std::string label;
+
+  /// Builds the topology (invoked on the worker thread).
+  std::function<Tree()> make_tree;
+
+  /// Builds the policy.
+  std::function<PolicyPtr()> make_policy;
+
+  /// Builds the adversary for the given tree/policy (lower-bound adversaries
+  /// need both).
+  std::function<AdversaryPtr(const Tree&, const Policy&)> make_adversary;
+
+  /// Steps to run; 0 means "ask the adversary" is not supported here — the
+  /// caller must choose (use StagedLowerBound::recommended_steps upstream).
+  Step steps = 0;
+
+  SimOptions options;
+};
+
+/// Outcome of one grid point.
+struct PeakOutcome {
+  std::string label;
+  Height peak = 0;
+  std::uint64_t injected = 0;
+  std::uint64_t delivered = 0;
+  Step steps = 0;
+};
+
+/// Runs every job (in parallel across `threads` workers) and returns
+/// outcomes in job order.
+[[nodiscard]] std::vector<PeakOutcome> run_peak_sweep(
+    const std::vector<PeakJob>& jobs, unsigned threads = default_thread_count());
+
+}  // namespace cvg

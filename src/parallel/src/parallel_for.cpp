@@ -1,0 +1,17 @@
+#include "cvg/parallel/parallel_for.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace cvg {
+
+unsigned default_thread_count() {
+  if (const char* env = std::getenv("CVG_THREADS")) {
+    const long value = std::strtol(env, nullptr, 10);
+    if (value >= 1) return static_cast<unsigned>(value);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace cvg

@@ -1,0 +1,22 @@
+#include "cvg/parallel/sweep.hpp"
+
+namespace cvg {
+
+std::vector<PeakOutcome> run_peak_sweep(const std::vector<PeakJob>& jobs,
+                                        unsigned threads) {
+  std::vector<PeakOutcome> outcomes(jobs.size());
+  parallel_for(jobs.size(), threads, [&](std::size_t i) {
+    const PeakJob& job = jobs[i];
+    CVG_CHECK(job.steps > 0) << "job '" << job.label << "' has no step budget";
+    const Tree tree = job.make_tree();
+    const PolicyPtr policy = job.make_policy();
+    AdversaryPtr adversary = job.make_adversary(tree, *policy);
+    const RunResult result =
+        run(tree, *policy, *adversary, job.steps, job.options);
+    outcomes[i] = {job.label, result.peak_height, result.injected,
+                   result.delivered, result.steps};
+  });
+  return outcomes;
+}
+
+}  // namespace cvg

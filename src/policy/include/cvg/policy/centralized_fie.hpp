@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file centralized_fie.hpp
+/// The centralized comparator from Miller & Patt-Shamir [21], in the
+/// "corrected" per-packet-activation form the paper's footnote 1 describes.
+///
+/// For every injected packet, the controller *activates* the unique path from
+/// the injection point to the sink: every node on that path whose buffer is
+/// non-empty forwards one packet, simultaneously (a "train" moves one hop).
+/// At most `c` activations are executed per step — one per unit of link
+/// capacity — so the schedule is feasible; surplus injection events (bursts)
+/// queue and are activated in FIFO order on later steps.
+///
+/// [21] proves this achieves information gathering with buffers of size
+/// σ + 2ρ (injection rate ρ = c, burstiness σ); `bench_centralized_fie`
+/// checks the measured peak against that cap.  The algorithm is
+/// "unavoidably centralized" — it needs to know where injections happened —
+/// which is exactly the gap the paper's local Odd-Even algorithm closes.
+
+#include "cvg/policy/policy.hpp"
+
+#include <deque>
+
+namespace cvg {
+
+/// Centralized Forward-If-Empty with per-packet path activation.
+///
+/// Holds cross-step state (the FIFO of pending activations), so a
+/// `Simulator` must not be checkpointed/copied while using this policy; the
+/// search and strategic-adversary components reject centralized policies.
+class CentralizedFiePolicy final : public Policy {
+ public:
+  [[nodiscard]] std::string name() const override { return "centralized-fie"; }
+  [[nodiscard]] int locality() const override { return -1; }
+  [[nodiscard]] bool is_centralized() const override { return true; }
+
+  /// Clears pending activations; called when a simulation (re)starts.
+  void reset() const;
+
+  void on_simulation_start() const override { reset(); }
+
+  void compute_sends(const Tree& tree, const Configuration& heights,
+                     std::span<const NodeId> injections, Capacity capacity,
+                     std::span<Capacity> sends) const override;
+
+  /// Number of injection events waiting for an activation slot.
+  [[nodiscard]] std::size_t pending_activations() const noexcept {
+    return pending_.size();
+  }
+
+ private:
+  // Mutable because the Policy interface is const per step; this queue is the
+  // controller's own bookkeeping, not simulation state.
+  mutable std::deque<NodeId> pending_;
+};
+
+}  // namespace cvg

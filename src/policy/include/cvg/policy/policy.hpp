@@ -1,0 +1,138 @@
+#pragma once
+
+/// \file policy.hpp
+/// Scheduling-policy interface (paper §2): in every step, after the adversary
+/// injects, every node may forward at most `c` packets along its outgoing
+/// link.  A policy is *ℓ-local* when each node's decision depends only on
+/// buffer heights at most ℓ hops away.
+///
+/// The interface is deliberately step-granular rather than node-granular: a
+/// policy computes the whole send vector from the decision-time configuration
+/// in one call.  That keeps the virtual-dispatch cost at one call per step,
+/// lets tree policies implement sibling arbitration naturally, and admits the
+/// centralized comparator (`CentralizedFie`) which is not local at all.
+/// Locality is still auditable: `locality()` reports ℓ, and the conformance
+/// tests in `tests/policy_locality_test.cpp` verify each local policy's sends
+/// are invariant under changes outside its declared radius.
+
+#include <algorithm>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "cvg/core/config.hpp"
+#include "cvg/core/step.hpp"
+#include "cvg/core/types.hpp"
+#include "cvg/topology/tree.hpp"
+#include "cvg/util/check.hpp"
+
+namespace cvg {
+
+/// Abstract scheduling policy.  Implementations must be stateless across
+/// steps (all paper policies are); this is what makes checkpoint/rollback of
+/// a simulation equal to copying its configuration, which the Thm 3.1
+/// adversary and the exhaustive search rely on.
+class Policy {
+ public:
+  virtual ~Policy() = default;
+
+  /// Stable identifier used by the registry, reports and CLIs.
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Locality radius ℓ (how many hops of height information a node uses).
+  /// Centralized policies report a sentinel of -1.
+  [[nodiscard]] virtual int locality() const = 0;
+
+  /// True for policies that use global information (e.g. `CentralizedFie`).
+  [[nodiscard]] virtual bool is_centralized() const { return false; }
+
+  /// Hook invoked when a fresh simulation starts.  Local policies are
+  /// stateless and ignore it; the centralized comparator clears its pending
+  /// activation queue here.
+  virtual void on_simulation_start() const {}
+
+  /// Computes how many packets each node forwards this step.
+  ///
+  /// \param tree       topology (node 0 = sink).
+  /// \param heights    decision-time heights (see `StepSemantics`): local
+  ///                   policies must base decisions only on these.
+  /// \param injections this step's injections (one entry per packet).  Local
+  ///                   policies must ignore it; it exists for the
+  ///                   centralized comparator, whose paper formulation
+  ///                   activates the path of each injected packet.
+  /// \param capacity   link capacity c (= adversary rate).
+  /// \param sends      out, size = node count, pre-zeroed by the caller.
+  ///                   On return, `sends[v]` ∈ [0, min(c, heights[v])] and
+  ///                   `sends[0] == 0`.
+  virtual void compute_sends(const Tree& tree, const Configuration& heights,
+                             std::span<const NodeId> injections,
+                             Capacity capacity,
+                             std::span<Capacity> sends) const = 0;
+};
+
+/// Owning handle used throughout the library.
+using PolicyPtr = std::unique_ptr<Policy>;
+
+/// Verifies the feasibility contract on a send vector: `sends[0] == 0` and
+/// `0 ≤ sends[v] ≤ min(capacity, heights[v])`.  Aborts on violation.
+void validate_sends(const Tree& tree, const Configuration& heights,
+                    Capacity capacity, std::span<const Capacity> sends);
+
+/// Fills `sends` by evaluating a per-node rule independently at every
+/// non-sink node — the 1-local, arbitration-free shape shared by all the
+/// paper's path policies.  `wants(own, succ)` returns the desired number of
+/// packets to forward given the node's own height and its successor's height;
+/// the result is clamped to `min(capacity, own)`.
+template <typename WantsFn>
+void compute_sends_per_node(const Tree& tree, const Configuration& heights,
+                            Capacity capacity, WantsFn&& wants,
+                            std::span<Capacity> sends) {
+  const std::size_t n = tree.node_count();
+  CVG_DCHECK(sends.size() == n);
+  for (NodeId v = 1; v < n; ++v) {
+    const Height own = heights.height(v);
+    if (own <= 0) continue;
+    const Height succ = heights.height(tree.parent(v));
+    const Capacity desired = wants(own, succ);
+    sends[v] = std::min({desired, capacity, static_cast<Capacity>(own)});
+  }
+}
+
+/// Fills `sends` with sibling arbitration (Algorithm 5's priority scheme):
+/// for every parent, at most one child forwards.  Priority = greater height,
+/// ties broken by smaller node id ("choose arbitrarily" in the paper, made
+/// deterministic).  See `ArbitrationMode` for the two readings of who
+/// competes.  `wants(own, succ)` is the per-node parity rule (0/1).
+template <typename WantsFn>
+void compute_sends_arbitrated(const Tree& tree, const Configuration& heights,
+                              ArbitrationMode mode, Capacity capacity,
+                              WantsFn&& wants, std::span<Capacity> sends) {
+  const std::size_t n = tree.node_count();
+  CVG_DCHECK(sends.size() == n);
+  for (NodeId p = 0; p < n; ++p) {
+    const auto children = tree.children(p);
+    if (children.empty()) continue;
+    const Height succ = heights.height(p);
+
+    NodeId winner = kNoNode;
+    Height winner_height = 0;
+    for (const NodeId child : children) {
+      const Height own = heights.height(child);
+      if (own <= 0) continue;
+      const bool eligible = (mode == ArbitrationMode::Strict)
+                                ? true
+                                : wants(own, succ) > 0;
+      if (!eligible) continue;
+      if (winner == kNoNode || own > winner_height) {
+        winner = child;
+        winner_height = own;
+      }
+    }
+    if (winner == kNoNode) continue;
+    const Capacity desired = wants(winner_height, succ);
+    sends[winner] =
+        std::min({desired, capacity, static_cast<Capacity>(winner_height)});
+  }
+}
+
+}  // namespace cvg

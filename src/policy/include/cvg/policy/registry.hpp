@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file registry.hpp
+/// Name-based policy construction for CLIs, benches and sweep configs.
+///
+/// Recognized names: `greedy`, `downhill`, `downhill-or-flat`, `fie-local`,
+/// `odd-even`, `tree-odd-even`, `tree-odd-even-strict`, `centralized-fie`,
+/// `max-window-<ℓ>`, `gradient-<k>`.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cvg/policy/policy.hpp"
+
+namespace cvg {
+
+/// Constructs the policy named `name`; aborts on an unknown name (use
+/// `is_known_policy` first if the name is untrusted input).
+[[nodiscard]] PolicyPtr make_policy(std::string_view name);
+
+/// True iff `make_policy(name)` would succeed.
+[[nodiscard]] bool is_known_policy(std::string_view name);
+
+/// The fixed-name policies (excludes the parameterized `max-window-*` /
+/// `gradient-*` families), in presentation order.
+[[nodiscard]] std::vector<std::string> standard_policy_names();
+
+}  // namespace cvg

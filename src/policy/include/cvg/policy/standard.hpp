@@ -1,0 +1,181 @@
+#pragma once
+
+/// \file standard.hpp
+/// The paper's algorithms and the local baselines it compares against.
+///
+/// | Policy            | Rule (node v, successor s(v))                  | Worst-case buffers (paths) |
+/// |-------------------|------------------------------------------------|----------------------------|
+/// | `Greedy`          | forward whenever non-empty                      | Θ(n)  [23]                 |
+/// | `Downhill`        | forward iff h(s(v)) <  h(v)                     | Ω(n)  [21]                 |
+/// | `DownhillOrFlat`  | forward iff h(s(v)) ≤  h(v)                     | Θ(√n) (Thm 4.1)            |
+/// | `FieLocal`        | forward iff h(s(v)) == 0                        | unbounded [21]             |
+/// | `OddEven`         | h odd: forward iff h(s(v)) ≤ h;                 | log n + 3 (Thm 4.13)       |
+/// |                   | h even: forward iff h(s(v)) < h                 |                            |
+/// | `TreeOddEven`     | OddEven + sibling priority arbitration (Alg. 5) | O(log n) on trees (Thm 5.11)|
+/// | `MaxWindow(ℓ)`    | forward iff h(v) ≥ max of next ℓ heights        | generic ℓ-local specimen   |
+/// | `Gradient(k)`     | forward iff h(v) − h(s(v)) ≥ k                  | generalizes Downhill(k=1)  |
+
+#include "cvg/policy/policy.hpp"
+
+namespace cvg {
+
+/// Work-conserving baseline: forward as much as capacity allows whenever the
+/// buffer is non-empty.  Stable on DAGs under rate-1 adversaries [11] but
+/// needs Θ(n) buffers on the path [23] — reproduced by `bench_greedy_linear`.
+class GreedyPolicy final : public Policy {
+ public:
+  [[nodiscard]] std::string name() const override { return "greedy"; }
+  [[nodiscard]] int locality() const override { return 0; }
+  void compute_sends(const Tree& tree, const Configuration& heights,
+                     std::span<const NodeId> injections, Capacity capacity,
+                     std::span<Capacity> sends) const override;
+};
+
+/// Forward iff the successor's buffer is strictly lower.  Ω(n) on paths [21]:
+/// left-end injections pile up because flat profiles stall throughput.
+class DownhillPolicy final : public Policy {
+ public:
+  [[nodiscard]] std::string name() const override { return "downhill"; }
+  [[nodiscard]] int locality() const override { return 1; }
+  void compute_sends(const Tree& tree, const Configuration& heights,
+                     std::span<const NodeId> injections, Capacity capacity,
+                     std::span<Capacity> sends) const override;
+};
+
+/// Forward iff the successor's buffer is equal or lower (Thm 4.1's
+/// `Downhill-or-Flat`).  Θ(√n) buffers on paths — the paper's observation
+/// that a one-character change to Downhill already beats every local
+/// algorithm analyzed in [21].
+class DownhillOrFlatPolicy final : public Policy {
+ public:
+  [[nodiscard]] std::string name() const override { return "downhill-or-flat"; }
+  [[nodiscard]] int locality() const override { return 1; }
+  void compute_sends(const Tree& tree, const Configuration& heights,
+                     std::span<const NodeId> injections, Capacity capacity,
+                     std::span<Capacity> sends) const override;
+};
+
+/// Local Forward-If-Empty: forward iff the successor's buffer is empty.  The
+/// local cousin of [21]'s centralized algorithm; unbounded on paths because
+/// its steady-state throughput is ½ while the adversary injects at rate 1.
+class FieLocalPolicy final : public Policy {
+ public:
+  [[nodiscard]] std::string name() const override { return "fie-local"; }
+  [[nodiscard]] int locality() const override { return 1; }
+  void compute_sends(const Tree& tree, const Configuration& heights,
+                     std::span<const NodeId> injections, Capacity capacity,
+                     std::span<Capacity> sends) const override;
+};
+
+/// The paper's headline 1-local algorithm (Algorithm 1, `Odd-Even`):
+///
+///   if h(v) is odd:  forward iff h(s(v)) ≤ h(v)
+///   if h(v) is even: forward iff h(s(v)) <  h(v)
+///
+/// Guarantees buffers ≤ log₂ n + 3 on directed paths for c = 1 (Thm 4.13).
+/// Odd heights behave like `DownhillOrFlat` (drain efficiently rightwards);
+/// even heights behave like `Downhill` (hold ground), so pile-ups spread
+/// leftwards instead of upwards and the algorithm adapts to the adversary.
+class OddEvenPolicy final : public Policy {
+ public:
+  [[nodiscard]] std::string name() const override { return "odd-even"; }
+  [[nodiscard]] int locality() const override { return 1; }
+  void compute_sends(const Tree& tree, const Configuration& heights,
+                     std::span<const NodeId> injections, Capacity capacity,
+                     std::span<Capacity> sends) const override;
+
+  /// The bare parity rule, shared with `TreeOddEvenPolicy` and the certifier.
+  [[nodiscard]] static constexpr bool rule(Height own, Height succ) noexcept {
+    return (own % 2 != 0) ? succ <= own : succ < own;
+  }
+};
+
+/// The paper's 2-local tree algorithm (Algorithm 5, `Tree`): the Odd-Even
+/// parity rule plus sibling arbitration — among the children of each node,
+/// only the highest-priority one may forward (priority = greater height,
+/// ties by smaller id).  Guarantees O(log n) buffers on directed in-trees
+/// for c = 1 (Thm 5.11).
+class TreeOddEvenPolicy final : public Policy {
+ public:
+  /// Default arbitration is `Strict` — the paper's literal reading: the
+  /// tallest sibling holds priority even when its own parity rule blocks
+  /// it.  For the Odd-Even rule the `WillingOnly` reading is provably
+  /// execution-equivalent (a blocked tallest sibling implies all shorter
+  /// siblings are blocked; docs/MODEL.md §1), which the differential test
+  /// in certify_tree_test.cpp verifies step-for-step.
+  explicit TreeOddEvenPolicy(
+      ArbitrationMode mode = ArbitrationMode::Strict) noexcept
+      : mode_(mode) {}
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] int locality() const override { return 2; }
+  [[nodiscard]] ArbitrationMode arbitration() const noexcept { return mode_; }
+  void compute_sends(const Tree& tree, const Configuration& heights,
+                     std::span<const NodeId> injections, Capacity capacity,
+                     std::span<Capacity> sends) const override;
+
+ private:
+  ArbitrationMode mode_;
+};
+
+/// Generic ℓ-local specimen for the lower-bound experiments: forward iff the
+/// node's height is ≥ the maximum height among its next `window` successors
+/// (and non-zero).  `window` = 1 reduces to `DownhillOrFlat`.
+class MaxWindowPolicy final : public Policy {
+ public:
+  explicit MaxWindowPolicy(int window);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] int locality() const override { return window_; }
+  void compute_sends(const Tree& tree, const Configuration& heights,
+                     std::span<const NodeId> injections, Capacity capacity,
+                     std::span<Capacity> sends) const override;
+
+ private:
+  int window_;
+};
+
+/// Experimental probe of the paper's §6 open problem (local algorithms with
+/// O(log n) buffers for injection rate c > 1): apply the Odd-Even parity
+/// rule to heights *bucketed in units of c* and move up to c packets at a
+/// time —
+///
+///   if ⌊h(v)/c⌋ is odd:  forward min(c, h(v)) iff ⌊h(s(v))/c⌋ ≤ ⌊h(v)/c⌋
+///   if ⌊h(v)/c⌋ is even: forward min(c, h(v)) iff ⌊h(s(v))/c⌋ < ⌊h(v)/c⌋
+///
+/// For c = 1 this is exactly `OddEvenPolicy`.  No bound is proved here; the
+/// empirical behaviour (it stays ~c·log n against the staged adversary and
+/// the battery — see `bench_lower_bound` E1d) is reported as an observation,
+/// not a theorem.
+class ScaledOddEvenPolicy final : public Policy {
+ public:
+  explicit ScaledOddEvenPolicy(Capacity rate);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] int locality() const override { return 1; }
+  void compute_sends(const Tree& tree, const Configuration& heights,
+                     std::span<const NodeId> injections, Capacity capacity,
+                     std::span<Capacity> sends) const override;
+
+ private:
+  Capacity rate_;
+};
+
+/// Threshold family: forward iff h(v) − h(s(v)) ≥ `slope`.  `slope` = 1 is
+/// `Downhill`, `slope` = 0 is `DownhillOrFlat`; larger slopes trade
+/// throughput for gradient and are used in the ablation bench.
+class GradientPolicy final : public Policy {
+ public:
+  explicit GradientPolicy(Height slope);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] int locality() const override { return 1; }
+  void compute_sends(const Tree& tree, const Configuration& heights,
+                     std::span<const NodeId> injections, Capacity capacity,
+                     std::span<Capacity> sends) const override;
+
+ private:
+  Height slope_;
+};
+
+}  // namespace cvg

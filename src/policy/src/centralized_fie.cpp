@@ -1,0 +1,42 @@
+#include "cvg/policy/centralized_fie.hpp"
+
+#include <algorithm>
+
+namespace cvg {
+
+void CentralizedFiePolicy::reset() const { pending_.clear(); }
+
+void CentralizedFiePolicy::compute_sends(const Tree& tree,
+                                         const Configuration& heights,
+                                         std::span<const NodeId> injections,
+                                         Capacity capacity,
+                                         std::span<Capacity> sends) const {
+  CVG_DCHECK(sends.size() == tree.node_count());
+  for (const NodeId t : injections) pending_.push_back(t);
+
+  // `remaining[v]` = how many more packets node v may still forward this
+  // step given what earlier activations already took.  Each activation moves
+  // at most one packet out of each node on its path, and there are at most
+  // `capacity` activations, so no link exceeds capacity c.
+  //
+  // Decision heights may predate this step's injections (decide-before
+  // semantics): that only makes the controller conservative — it never
+  // forwards a packet that is not yet in a buffer.
+  std::vector<Capacity> remaining(tree.node_count());
+  for (NodeId v = 0; v < tree.node_count(); ++v) {
+    remaining[v] = std::min(capacity, static_cast<Capacity>(heights.height(v)));
+  }
+
+  for (Capacity slot = 0; slot < capacity && !pending_.empty(); ++slot) {
+    const NodeId origin = pending_.front();
+    pending_.pop_front();
+    for (NodeId v = origin; v != Tree::sink(); v = tree.parent(v)) {
+      if (remaining[v] > 0) {
+        --remaining[v];
+        ++sends[v];
+      }
+    }
+  }
+}
+
+}  // namespace cvg

@@ -1,0 +1,25 @@
+#include "cvg/policy/policy.hpp"
+
+namespace cvg {
+
+// The Policy interface itself is header-only; this translation unit hosts the
+// shared send-vector validator used by the simulator's debug checks.
+
+/// Verifies the feasibility contract on a send vector: `sends[0] == 0` and
+/// `0 ≤ sends[v] ≤ min(capacity, heights[v])` for every node.  Aborts with a
+/// diagnostic on violation; used behind CVG_DCHECK-level paths and in tests.
+void validate_sends(const Tree& tree, const Configuration& heights,
+                    Capacity capacity, std::span<const Capacity> sends) {
+  CVG_CHECK(sends.size() == tree.node_count());
+  CVG_CHECK(sends[Tree::sink()] == 0) << "sink must not forward";
+  for (NodeId v = 1; v < tree.node_count(); ++v) {
+    CVG_CHECK(sends[v] >= 0) << "node " << v << " has negative send";
+    CVG_CHECK(sends[v] <= capacity)
+        << "node " << v << " exceeds link capacity: " << sends[v];
+    CVG_CHECK(sends[v] <= heights.height(v))
+        << "node " << v << " forwards more than it buffers (" << sends[v]
+        << " > " << heights.height(v) << ")";
+  }
+}
+
+}  // namespace cvg

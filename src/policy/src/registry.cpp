@@ -1,0 +1,70 @@
+#include "cvg/policy/registry.hpp"
+
+#include <charconv>
+#include <optional>
+
+#include "cvg/policy/centralized_fie.hpp"
+#include "cvg/policy/standard.hpp"
+#include "cvg/util/str.hpp"
+
+namespace cvg {
+
+namespace {
+
+/// Parses the integer suffix of "<prefix><number>", if `name` matches.
+std::optional<int> parse_suffix(std::string_view name, std::string_view prefix) {
+  if (!starts_with(name, prefix)) return std::nullopt;
+  const std::string_view digits = name.substr(prefix.size());
+  int value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(digits.data(), digits.data() + digits.size(), value);
+  if (ec != std::errc{} || ptr != digits.data() + digits.size()) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+PolicyPtr try_make(std::string_view name) {
+  if (name == "greedy") return std::make_unique<GreedyPolicy>();
+  if (name == "downhill") return std::make_unique<DownhillPolicy>();
+  if (name == "downhill-or-flat") return std::make_unique<DownhillOrFlatPolicy>();
+  if (name == "fie-local") return std::make_unique<FieLocalPolicy>();
+  if (name == "odd-even") return std::make_unique<OddEvenPolicy>();
+  if (name == "tree-odd-even") {
+    return std::make_unique<TreeOddEvenPolicy>(ArbitrationMode::Strict);
+  }
+  if (name == "tree-odd-even-willing") {
+    return std::make_unique<TreeOddEvenPolicy>(ArbitrationMode::WillingOnly);
+  }
+  if (name == "centralized-fie") return std::make_unique<CentralizedFiePolicy>();
+  if (const auto window = parse_suffix(name, "max-window-");
+      window && *window >= 1) {
+    return std::make_unique<MaxWindowPolicy>(*window);
+  }
+  if (const auto slope = parse_suffix(name, "gradient-"); slope && *slope >= 0) {
+    return std::make_unique<GradientPolicy>(static_cast<Height>(*slope));
+  }
+  if (const auto rate = parse_suffix(name, "scaled-odd-even-");
+      rate && *rate >= 1) {
+    return std::make_unique<ScaledOddEvenPolicy>(static_cast<Capacity>(*rate));
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+PolicyPtr make_policy(std::string_view name) {
+  PolicyPtr policy = try_make(name);
+  CVG_CHECK(policy != nullptr) << "unknown policy name: " << name;
+  return policy;
+}
+
+bool is_known_policy(std::string_view name) { return try_make(name) != nullptr; }
+
+std::vector<std::string> standard_policy_names() {
+  return {"greedy",   "downhill",      "downhill-or-flat",
+          "fie-local", "odd-even",     "tree-odd-even",
+          "tree-odd-even-willing",     "centralized-fie"};
+}
+
+}  // namespace cvg

@@ -1,0 +1,156 @@
+#include "cvg/policy/standard.hpp"
+
+#include <algorithm>
+
+namespace cvg {
+
+void GreedyPolicy::compute_sends(const Tree& tree, const Configuration& heights,
+                                 std::span<const NodeId> /*injections*/,
+                                 Capacity capacity,
+                                 std::span<Capacity> sends) const {
+  compute_sends_per_node(
+      tree, heights, capacity,
+      [](Height own, Height /*succ*/) { return static_cast<Capacity>(own); },
+      sends);
+}
+
+void DownhillPolicy::compute_sends(const Tree& tree,
+                                   const Configuration& heights,
+                                   std::span<const NodeId> /*injections*/,
+                                   Capacity capacity,
+                                   std::span<Capacity> sends) const {
+  compute_sends_per_node(
+      tree, heights, capacity,
+      [](Height own, Height succ) { return Capacity{succ < own ? 1 : 0}; },
+      sends);
+}
+
+void DownhillOrFlatPolicy::compute_sends(const Tree& tree,
+                                         const Configuration& heights,
+                                         std::span<const NodeId> /*injections*/,
+                                         Capacity capacity,
+                                         std::span<Capacity> sends) const {
+  compute_sends_per_node(
+      tree, heights, capacity,
+      [](Height own, Height succ) { return Capacity{succ <= own ? 1 : 0}; },
+      sends);
+}
+
+void FieLocalPolicy::compute_sends(const Tree& tree,
+                                   const Configuration& heights,
+                                   std::span<const NodeId> /*injections*/,
+                                   Capacity capacity,
+                                   std::span<Capacity> sends) const {
+  compute_sends_per_node(
+      tree, heights, capacity,
+      [](Height /*own*/, Height succ) { return Capacity{succ == 0 ? 1 : 0}; },
+      sends);
+}
+
+void OddEvenPolicy::compute_sends(const Tree& tree,
+                                  const Configuration& heights,
+                                  std::span<const NodeId> /*injections*/,
+                                  Capacity capacity,
+                                  std::span<Capacity> sends) const {
+  compute_sends_per_node(
+      tree, heights, capacity,
+      [](Height own, Height succ) { return Capacity{rule(own, succ) ? 1 : 0}; },
+      sends);
+}
+
+std::string TreeOddEvenPolicy::name() const {
+  return mode_ == ArbitrationMode::Strict ? "tree-odd-even"
+                                          : "tree-odd-even-willing";
+}
+
+void TreeOddEvenPolicy::compute_sends(const Tree& tree,
+                                      const Configuration& heights,
+                                      std::span<const NodeId> /*injections*/,
+                                      Capacity capacity,
+                                      std::span<Capacity> sends) const {
+  compute_sends_arbitrated(
+      tree, heights, mode_, capacity,
+      [](Height own, Height succ) {
+        return Capacity{OddEvenPolicy::rule(own, succ) ? 1 : 0};
+      },
+      sends);
+}
+
+MaxWindowPolicy::MaxWindowPolicy(int window) : window_(window) {
+  CVG_CHECK(window >= 1);
+}
+
+std::string MaxWindowPolicy::name() const {
+  return "max-window-" + std::to_string(window_);
+}
+
+void MaxWindowPolicy::compute_sends(const Tree& tree,
+                                    const Configuration& heights,
+                                    std::span<const NodeId> /*injections*/,
+                                    Capacity capacity,
+                                    std::span<Capacity> sends) const {
+  const std::size_t n = tree.node_count();
+  CVG_DCHECK(sends.size() == n);
+  for (NodeId v = 1; v < n; ++v) {
+    const Height own = heights.height(v);
+    if (own <= 0) continue;
+    Height window_max = 0;
+    NodeId cur = v;
+    for (int hop = 0; hop < window_; ++hop) {
+      cur = tree.parent(cur);
+      if (cur == kNoNode) break;
+      window_max = std::max(window_max, heights.height(cur));
+    }
+    if (own >= window_max) {
+      sends[v] = std::min(capacity, static_cast<Capacity>(own));
+    }
+  }
+}
+
+ScaledOddEvenPolicy::ScaledOddEvenPolicy(Capacity rate) : rate_(rate) {
+  CVG_CHECK(rate >= 1);
+}
+
+std::string ScaledOddEvenPolicy::name() const {
+  return "scaled-odd-even-" + std::to_string(rate_);
+}
+
+void ScaledOddEvenPolicy::compute_sends(const Tree& tree,
+                                        const Configuration& heights,
+                                        std::span<const NodeId> /*injections*/,
+                                        Capacity capacity,
+                                        std::span<Capacity> sends) const {
+  compute_sends_per_node(
+      tree, heights, capacity,
+      [rate = rate_](Height own, Height succ) {
+        const Height own_bucket = own / rate;
+        const Height succ_bucket = succ / rate;
+        const bool go = (own_bucket % 2 != 0) ? succ_bucket <= own_bucket
+                                              : succ_bucket < own_bucket;
+        return go ? rate : Capacity{0};
+      },
+      sends);
+}
+
+GradientPolicy::GradientPolicy(Height slope) : slope_(slope) {
+  CVG_CHECK(slope >= 0);
+}
+
+std::string GradientPolicy::name() const {
+  return "gradient-" + std::to_string(slope_);
+}
+
+void GradientPolicy::compute_sends(const Tree& tree,
+                                   const Configuration& heights,
+                                   std::span<const NodeId> /*injections*/,
+                                   Capacity capacity,
+                                   std::span<Capacity> sends) const {
+  compute_sends_per_node(
+      tree, heights, capacity,
+      [slope = slope_](Height own, Height succ) {
+        return Capacity{own - succ >= slope ? 1 : 0};
+      },
+      sends);
+}
+
+}  // namespace cvg

@@ -1,0 +1,23 @@
+#pragma once
+
+/// \file profile.hpp
+/// Text rendering of buffer-height profiles: single-line strips for
+/// animations and multi-line bar charts for reports.
+
+#include <span>
+#include <string>
+
+#include "cvg/core/types.hpp"
+
+namespace cvg::report {
+
+/// One-character-per-node strip, far end first and the sink marked '|':
+/// '.' for empty, digits 1–9, '#' for 10+.  `heights[0]` is the sink.
+[[nodiscard]] std::string height_strip(std::span<const Height> heights);
+
+/// Multi-line vertical bar chart of the same profile (tallest row first),
+/// at most `max_rows` rows (taller bars are clipped with '^').
+[[nodiscard]] std::string height_bars(std::span<const Height> heights,
+                                      int max_rows = 12);
+
+}  // namespace cvg::report

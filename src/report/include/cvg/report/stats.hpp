@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file stats.hpp
+/// Small numeric helpers for the experiment reports: growth-exponent
+/// estimation (log-log regression) and sweep-size generators.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace cvg::report {
+
+/// Least-squares slope of log(y) against log(x) — the growth exponent of a
+/// power law y ≈ a·x^slope.  Points with x ≤ 0 or y ≤ 0 are skipped; returns
+/// 0 when fewer than two usable points remain.
+[[nodiscard]] double loglog_slope(std::span<const double> xs,
+                                  std::span<const double> ys);
+
+/// Least-squares slope of y against log2(x): the coefficient b of
+/// y ≈ a + b·log₂ x.  Used to confirm logarithmic growth curves.
+[[nodiscard]] double semilog_slope(std::span<const double> xs,
+                                   std::span<const double> ys);
+
+/// Geometric size ladder: lo, 2·lo, 4·lo, … up to and including the largest
+/// value ≤ hi.
+[[nodiscard]] std::vector<std::size_t> geometric_sizes(std::size_t lo,
+                                                       std::size_t hi);
+
+}  // namespace cvg::report

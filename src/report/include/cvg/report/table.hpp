@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file table.hpp
+/// Result tables for the benchmark harness: aligned text for the terminal,
+/// CSV for machines, Markdown for EXPERIMENTS.md.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cvg::report {
+
+/// A simple column-oriented table with string cells.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats each cell with to_string-compatible forwarding.
+  template <typename... Cells>
+  void row(const Cells&... cells) {
+    add_row({cell_to_string(cells)...});
+  }
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Right-padded, column-aligned plain text (with a header separator).
+  [[nodiscard]] std::string to_text() const;
+
+  /// RFC-4180-ish CSV (quotes cells containing commas or quotes).
+  [[nodiscard]] std::string to_csv() const;
+
+  /// GitHub-flavoured Markdown.
+  [[nodiscard]] std::string to_markdown() const;
+
+ private:
+  static std::string cell_to_string(const std::string& s) { return s; }
+  static std::string cell_to_string(const char* s) { return s; }
+  static std::string cell_to_string(double v);
+  template <typename T>
+  static std::string cell_to_string(const T& v) {
+    return std::to_string(v);
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cvg::report

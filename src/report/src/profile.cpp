@@ -1,0 +1,47 @@
+#include "cvg/report/profile.hpp"
+
+#include <algorithm>
+
+namespace cvg::report {
+
+std::string height_strip(std::span<const Height> heights) {
+  std::string out;
+  out.reserve(heights.size() + 1);
+  for (std::size_t i = heights.size(); i-- > 1;) {
+    const Height h = heights[i];
+    if (h == 0) {
+      out += '.';
+    } else if (h <= 9) {
+      out += static_cast<char>('0' + h);
+    } else {
+      out += '#';
+    }
+  }
+  out += '|';
+  return out;
+}
+
+std::string height_bars(std::span<const Height> heights, int max_rows) {
+  Height tallest = 0;
+  for (std::size_t i = 1; i < heights.size(); ++i) {
+    tallest = std::max(tallest, heights[i]);
+  }
+  const Height rows = std::min<Height>(tallest, std::max(max_rows, 1));
+  std::string out;
+  for (Height row = rows; row >= 1; --row) {
+    for (std::size_t i = heights.size(); i-- > 1;) {
+      const Height h = heights[i];
+      if (h >= row) {
+        out += (row == rows && h > rows) ? '^' : '#';
+      } else {
+        out += ' ';
+      }
+    }
+    out += '\n';
+  }
+  for (std::size_t i = heights.size(); i-- > 1;) out += '-';
+  out += "| sink\n";
+  return out;
+}
+
+}  // namespace cvg::report

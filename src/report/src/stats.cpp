@@ -1,0 +1,49 @@
+#include "cvg/report/stats.hpp"
+
+#include <cmath>
+
+namespace cvg::report {
+
+namespace {
+
+double fit_slope(std::span<const double> xs, std::span<const double> ys,
+                 bool log_x, bool log_y) {
+  double sum_x = 0;
+  double sum_y = 0;
+  double sum_xx = 0;
+  double sum_xy = 0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < xs.size() && i < ys.size(); ++i) {
+    if ((log_x && xs[i] <= 0) || (log_y && ys[i] <= 0)) continue;
+    const double x = log_x ? std::log2(xs[i]) : xs[i];
+    const double y = log_y ? std::log2(ys[i]) : ys[i];
+    sum_x += x;
+    sum_y += y;
+    sum_xx += x * x;
+    sum_xy += x * y;
+    ++count;
+  }
+  if (count < 2) return 0.0;
+  const double m = static_cast<double>(count);
+  const double denom = m * sum_xx - sum_x * sum_x;
+  if (denom == 0.0) return 0.0;
+  return (m * sum_xy - sum_x * sum_y) / denom;
+}
+
+}  // namespace
+
+double loglog_slope(std::span<const double> xs, std::span<const double> ys) {
+  return fit_slope(xs, ys, /*log_x=*/true, /*log_y=*/true);
+}
+
+double semilog_slope(std::span<const double> xs, std::span<const double> ys) {
+  return fit_slope(xs, ys, /*log_x=*/true, /*log_y=*/false);
+}
+
+std::vector<std::size_t> geometric_sizes(std::size_t lo, std::size_t hi) {
+  std::vector<std::size_t> sizes;
+  for (std::size_t n = lo; n <= hi; n *= 2) sizes.push_back(n);
+  return sizes;
+}
+
+}  // namespace cvg::report

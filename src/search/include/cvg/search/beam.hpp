@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file beam.hpp
+/// Beam-search adversary exploration for instances too large to exhaust.
+///
+/// Maintains the `width` most promising configurations per generation
+/// (scored by max height, then total buffered packets), expanding each by
+/// every possible injection.  A middle ground between the exact search
+/// (≤ 12 nodes) and the hand-crafted adversaries: it lower-bounds the true
+/// worst case and in practice recovers the known growth shapes (Θ(n) for
+/// Greedy, Θ(√n) for Downhill-or-Flat, Θ(log n) for Odd-Even).
+
+#include "cvg/policy/policy.hpp"
+#include "cvg/sim/simulator.hpp"
+#include "cvg/topology/tree.hpp"
+
+namespace cvg::search {
+
+struct BeamOptions {
+  std::size_t width = 64;     ///< configurations kept per generation
+  Step generations = 1000;    ///< search horizon in steps
+};
+
+struct BeamResult {
+  Height peak = 0;            ///< best height found (a lower bound)
+  Step peak_step = 0;         ///< generation at which it was reached
+};
+
+/// Runs the beam search from the empty configuration.  Requires a
+/// deterministic, non-centralized policy and capacity 1.
+[[nodiscard]] BeamResult beam_worst_case(const Tree& tree, const Policy& policy,
+                                         SimOptions sim_options,
+                                         BeamOptions options = {});
+
+}  // namespace cvg::search

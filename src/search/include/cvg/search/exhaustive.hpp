@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file exhaustive.hpp
+/// Exact worst-case buffer sizes by exhaustive adversary search.
+///
+/// Against a *deterministic* policy, the adversary owns every degree of
+/// freedom, so the worst case over all rate-1 adversaries is a reachability
+/// question: BFS over the configuration graph whose edges are "inject at t
+/// (or stay idle), then let the policy forward".  For small instances this
+/// computes the *exact* worst-case peak height — independent of the quality
+/// of any hand-crafted adversary — which `bench_exhaustive_small_n` tabulates
+/// against the paper's bounds, and from which an optimal injection schedule
+/// can be replayed (e.g. to seed golden tests).
+
+#include <cstdint>
+#include <vector>
+
+#include "cvg/policy/policy.hpp"
+#include "cvg/sim/simulator.hpp"
+#include "cvg/topology/tree.hpp"
+
+namespace cvg::search {
+
+/// Options bounding the search.
+struct SearchOptions {
+  /// States whose max height exceeds this are not expanded (they count as
+  /// "cap reached").  Needed because weak policies (FIE, Greedy) have
+  /// unbounded or Θ(n) reachable heights.  At most 28 (5-bit state packing).
+  Height height_cap = 16;
+
+  /// Abort knob: stop expanding after this many distinct states.
+  std::size_t max_states = 8'000'000;
+
+  /// Record predecessors so an optimal injection schedule can be extracted
+  /// (costs one extra hash map).
+  bool keep_schedule = false;
+};
+
+/// Result of an exhaustive search.
+struct SearchResult {
+  /// Largest height reachable (≤ height_cap; exact iff !capped).
+  Height peak = 0;
+
+  /// True when some state hit the cap (the true worst case is ≥ peak).
+  bool capped = false;
+
+  /// True when max_states was exhausted before the frontier emptied
+  /// (the true worst case may exceed `peak`).
+  bool truncated = false;
+
+  /// Distinct configurations visited.
+  std::size_t states = 0;
+
+  /// Steps of an optimal schedule reaching `peak` (when keep_schedule):
+  /// entry s is the node injected at step s, or kNoNode for an idle step.
+  std::vector<NodeId> schedule;
+};
+
+/// Exhaustive BFS from the empty configuration.  Requires a deterministic,
+/// non-centralized policy, capacity 1, ≤ 12 non-sink nodes and
+/// height_cap ≤ 30 (states are packed into 64-bit keys).
+[[nodiscard]] SearchResult exhaustive_worst_case(const Tree& tree,
+                                                 const Policy& policy,
+                                                 SimOptions sim_options,
+                                                 SearchOptions options = {});
+
+}  // namespace cvg::search

@@ -1,0 +1,71 @@
+#include "cvg/search/beam.hpp"
+
+#include <algorithm>
+
+#include "cvg/util/check.hpp"
+
+namespace cvg::search {
+
+BeamResult beam_worst_case(const Tree& tree, const Policy& policy,
+                           SimOptions sim_options, BeamOptions options) {
+  CVG_CHECK(sim_options.capacity == 1);
+  CVG_CHECK(!policy.is_centralized());
+  CVG_CHECK(options.width >= 1);
+
+  struct Scored {
+    Configuration config;
+    Height peak;
+    std::uint64_t packets;
+    std::uint64_t hash;
+  };
+  const auto hash_of = [](const Configuration& config) {
+    std::uint64_t h = 1469598103934665603ULL;  // FNV-1a over the heights
+    for (const Height value : config.heights()) {
+      h ^= static_cast<std::uint64_t>(value);
+      h *= 1099511628211ULL;
+    }
+    return h;
+  };
+
+  Simulator sim(tree, policy, sim_options);
+  std::vector<Scored> beam;
+  beam.push_back({Configuration(tree.node_count()), 0, 0,
+                  hash_of(Configuration(tree.node_count()))});
+
+  BeamResult result;
+  std::vector<Scored> next_gen;
+  for (Step gen = 0; gen < options.generations; ++gen) {
+    next_gen.clear();
+    for (const Scored& state : beam) {
+      for (NodeId t = 0; t < tree.node_count(); ++t) {
+        sim.set_config(state.config);
+        sim.step_inject(t == 0 ? kNoNode : t);
+        const Configuration& next = sim.config();
+        const Height peak = next.max_height();
+        if (peak > result.peak) {
+          result.peak = peak;
+          result.peak_step = gen + 1;
+        }
+        next_gen.push_back({next, peak, next.total_packets(), hash_of(next)});
+      }
+    }
+    // Keep the best `width` states, deduplicated (equal configurations sort
+    // adjacently: same peak, packets and hash).
+    std::sort(next_gen.begin(), next_gen.end(),
+              [](const Scored& a, const Scored& b) {
+                if (a.peak != b.peak) return a.peak > b.peak;
+                if (a.packets != b.packets) return a.packets > b.packets;
+                return a.hash < b.hash;
+              });
+    next_gen.erase(std::unique(next_gen.begin(), next_gen.end(),
+                               [](const Scored& a, const Scored& b) {
+                                 return a.config == b.config;
+                               }),
+                   next_gen.end());
+    if (next_gen.size() > options.width) next_gen.resize(options.width);
+    beam.swap(next_gen);
+  }
+  return result;
+}
+
+}  // namespace cvg::search

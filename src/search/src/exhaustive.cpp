@@ -1,0 +1,122 @@
+#include "cvg/search/exhaustive.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "cvg/util/check.hpp"
+
+namespace cvg::search {
+
+namespace {
+
+constexpr int kBitsPerNode = 5;  // heights 0..30 plus the cap sentinel
+
+std::uint64_t encode(const Configuration& config) {
+  std::uint64_t key = 0;
+  for (NodeId v = 1; v < config.node_count(); ++v) {
+    key = (key << kBitsPerNode) | static_cast<std::uint64_t>(config.height(v));
+  }
+  return key;
+}
+
+Configuration decode(std::uint64_t key, std::size_t node_count) {
+  std::vector<Height> heights(node_count, 0);
+  for (NodeId v = static_cast<NodeId>(node_count - 1); v >= 1; --v) {
+    heights[v] = static_cast<Height>(key & ((1u << kBitsPerNode) - 1));
+    key >>= kBitsPerNode;
+  }
+  return Configuration(std::move(heights));
+}
+
+}  // namespace
+
+SearchResult exhaustive_worst_case(const Tree& tree, const Policy& policy,
+                                   SimOptions sim_options,
+                                   SearchOptions options) {
+  const std::size_t n = tree.node_count();
+  CVG_CHECK(n >= 2 && n - 1 <= 64 / kBitsPerNode)
+      << "exhaustive search supports at most " << 64 / kBitsPerNode
+      << " non-sink nodes";
+  // One expanded step can raise a height by 2, and 5-bit packing holds
+  // values up to 31, so the cap must leave that headroom.
+  CVG_CHECK(options.height_cap <= 28);
+  CVG_CHECK(sim_options.capacity == 1)
+      << "exhaustive search models the rate-1 adversary";
+  CVG_CHECK(!policy.is_centralized());
+
+  Simulator sim(tree, policy, sim_options);
+
+  // Predecessor info for schedule extraction: state → (previous state,
+  // injection that led here).
+  struct Pred {
+    std::uint64_t prev;
+    NodeId injected;
+  };
+  std::unordered_map<std::uint64_t, Pred> pred;
+
+  std::unordered_set<std::uint64_t> seen;
+  std::deque<std::uint64_t> frontier;
+  const std::uint64_t start = encode(Configuration(n));
+  seen.insert(start);
+  frontier.push_back(start);
+
+  SearchResult result;
+  std::uint64_t best_state = start;
+
+  while (!frontier.empty()) {
+    if (seen.size() >= options.max_states) {
+      result.truncated = true;
+      break;
+    }
+    const std::uint64_t key = frontier.front();
+    frontier.pop_front();
+    const Configuration config = decode(key, n);
+
+    // Idle (kNoNode) plus each possible injection site.
+    for (NodeId t = 0; t < n; ++t) {
+      const NodeId injection = (t == 0) ? kNoNode : t;
+      sim.set_config(config);
+      sim.step_inject(injection);
+      const Configuration& next = sim.config();
+      const Height peak = next.max_height();
+
+      if (peak > result.peak) {
+        result.peak = peak;
+        best_state = encode(next);
+        if (options.keep_schedule) {
+          // Best state may be unseen yet; make sure its predecessor exists.
+          pred.try_emplace(best_state, Pred{key, injection});
+        }
+      }
+      if (peak > options.height_cap) {
+        result.capped = true;
+        continue;  // do not expand beyond the cap
+      }
+      const std::uint64_t next_key = encode(next);
+      if (seen.insert(next_key).second) {
+        frontier.push_back(next_key);
+        if (options.keep_schedule) {
+          pred.try_emplace(next_key, Pred{key, injection});
+        }
+      }
+    }
+  }
+  result.states = seen.size();
+
+  if (options.keep_schedule && best_state != start) {
+    std::vector<NodeId> reversed;
+    std::uint64_t cur = best_state;
+    while (cur != start) {
+      const auto it = pred.find(cur);
+      CVG_CHECK(it != pred.end());
+      reversed.push_back(it->second.injected);
+      cur = it->second.prev;
+    }
+    result.schedule.assign(reversed.rbegin(), reversed.rend());
+  }
+  return result;
+}
+
+}  // namespace cvg::search

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file adversary.hpp
+/// The adversary interface of the model (§2): in the first mini-step of every
+/// step, the adversary injects a total of at most `c` packets at nodes of its
+/// choice.  Concrete strategies — including the constructive lower-bound
+/// adversaries from the paper's proofs — live in `cvg::adversary`.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cvg/core/config.hpp"
+#include "cvg/core/types.hpp"
+#include "cvg/topology/tree.hpp"
+
+namespace cvg {
+
+/// Abstract rate-`c` adversary.  Implementations may be stateful (the staged
+/// Thm 3.1 adversary tracks its current stage and block) and adaptive (the
+/// `plan` call observes the full configuration — the model's adversary is
+/// omniscient; it is the *algorithm* that must be local, not the adversary).
+class Adversary {
+ public:
+  virtual ~Adversary() = default;
+
+  /// Stable identifier for reports and the adversary registry.
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Chooses this step's injections.  Appends at most `capacity` node ids to
+  /// `out` (one entry per injected packet; repeats allowed).  `config` is the
+  /// configuration at the start of the step, before any injection.
+  virtual void plan(const Tree& tree, const Configuration& config, Step step,
+                    Capacity capacity, std::vector<NodeId>& out) = 0;
+
+  /// Hook invoked when a fresh simulation starts; stateful adversaries reset
+  /// their stage bookkeeping here so an instance can be reused across runs.
+  virtual void on_simulation_start() {}
+};
+
+/// Owning handle used throughout the library.
+using AdversaryPtr = std::unique_ptr<Adversary>;
+
+}  // namespace cvg

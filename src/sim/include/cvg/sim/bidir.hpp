@@ -1,0 +1,100 @@
+#pragma once
+
+/// \file bidir.hpp
+/// Undirected-path substrate for Theorem 3.3: on a bidirectional path the
+/// algorithm may also forward packets *away* from the sink (the degree of
+/// freedom that [17]'s balancing algorithms exploit), yet the paper proves
+/// the Ω(c·log n/ℓ) buffer lower bound still holds (with a 4× worse
+/// constant).  The paper omits that proof; this engine plus the staged
+/// adversary in `bench_bidir` demonstrate the phenomenon empirically.
+///
+/// Model: nodes 0..n−1 on a path, node 0 the sink.  Every edge can carry
+/// one packet in *each* direction per step (capacity c = 1 per direction).
+/// A step is (inject ≤ 1 packet anywhere, then every node forwards at most
+/// one packet towards the sink and at most one away, decided from
+/// start-of-step heights).
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cvg/core/config.hpp"
+#include "cvg/core/step.hpp"
+#include "cvg/core/types.hpp"
+
+namespace cvg {
+
+/// A node's forwarding decision on the undirected path.
+struct BidirSend {
+  bool toward_sink = false;  ///< forward one packet to node v−1
+  bool away = false;         ///< forward one packet to node v+1 (if any)
+};
+
+/// Local scheduling policy on the undirected path.  `decide` sees the
+/// node's own height and both neighbours' heights (1-local); `kNoNode`-side
+/// neighbours are reported as height −1 (the far end has no left
+/// neighbour; the sink side reports the sink's constant 0).
+class BidirPolicy {
+ public:
+  virtual ~BidirPolicy() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Decision for a node of height `own` whose sink-side neighbour has
+  /// height `toward` and far-side neighbour `away` (−1 if none).
+  [[nodiscard]] virtual BidirSend decide(Height own, Height toward,
+                                         Height away) const = 0;
+};
+
+/// Odd-Even embedded in the undirected model (never sends away): the
+/// baseline showing directed behaviour inside the richer model.
+class BidirOddEven final : public BidirPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "bidir-odd-even"; }
+  [[nodiscard]] BidirSend decide(Height own, Height toward,
+                                 Height away) const override;
+};
+
+/// Height-diffusion balancer in the spirit of [17]: push towards the sink
+/// whenever not uphill, and additionally spill *away* from the sink when
+/// the far-side neighbour is at least 2 lower (so spilling strictly reduces
+/// the local maximum).  Uses both links; ideal for spreading pile-ups.
+class BidirDiffusion final : public BidirPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "bidir-diffusion"; }
+  [[nodiscard]] BidirSend decide(Height own, Height toward,
+                                 Height away) const override;
+};
+
+/// Discrete-event executor for the undirected path (capacity 1 per edge per
+/// direction, rate-1 adversary).  Copyable — copies are checkpoints, which
+/// the staged adversary uses exactly as with the directed engine.
+class BidirPathSimulator {
+ public:
+  BidirPathSimulator(std::size_t node_count, const BidirPolicy& policy);
+
+  /// One step: inject at `t` (or `kNoNode`), then all nodes forward.
+  void step_inject(NodeId t);
+
+  [[nodiscard]] const Configuration& config() const noexcept { return config_; }
+  [[nodiscard]] Step now() const noexcept { return now_; }
+  [[nodiscard]] Height peak_height() const noexcept { return peak_; }
+  [[nodiscard]] std::uint64_t delivered() const noexcept { return delivered_; }
+  [[nodiscard]] std::uint64_t injected() const noexcept { return injected_; }
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return config_.node_count();
+  }
+
+  /// Replaces the configuration (checkpoint restore for scratch scenarios).
+  void set_config(const Configuration& config);
+
+ private:
+  const BidirPolicy* policy_;
+  Configuration config_;
+  std::vector<BidirSend> sends_;
+  Step now_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t injected_ = 0;
+  Height peak_ = 0;
+};
+
+}  // namespace cvg

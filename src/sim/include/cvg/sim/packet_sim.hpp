@@ -1,0 +1,106 @@
+#pragma once
+
+/// \file packet_sim.hpp
+/// Packet-level simulation engine: identical transition semantics to
+/// `Simulator`, but buffers hold identified packets in FIFO order so that
+/// per-packet delay (injection → consumption) can be measured.  This powers
+/// the delay experiment (`bench_delay`) answering the paper's closing
+/// question about the delay characteristics of Odd-Even and its competitors.
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <vector>
+
+#include "cvg/core/config.hpp"
+#include "cvg/core/step.hpp"
+#include "cvg/policy/policy.hpp"
+#include "cvg/sim/simulator.hpp"
+#include "cvg/topology/tree.hpp"
+
+namespace cvg {
+
+/// An identified packet in flight.
+struct Packet {
+  std::uint64_t id = 0;       ///< injection sequence number (0-based)
+  NodeId origin = kNoNode;    ///< where the adversary injected it
+  Step injected_at = 0;       ///< step index of the injection
+};
+
+/// Aggregate delay statistics over delivered packets.
+class DelayStats {
+ public:
+  /// Records one delivered packet that spent `delay` steps in the network.
+  void record(Step delay);
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] Step max() const noexcept { return max_; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+
+  /// Exact quantile from the per-delay histogram (q in [0, 1]).
+  [[nodiscard]] Step quantile(double q) const noexcept;
+
+  /// Raw histogram: `histogram()[d]` = packets delivered with delay d.
+  [[nodiscard]] std::span<const std::uint64_t> histogram() const noexcept {
+    return histogram_;
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  Step max_ = 0;
+  std::vector<std::uint64_t> histogram_;
+};
+
+/// FIFO packet-level twin of `Simulator`.  Heights derived from the queues
+/// always match what the height engine would compute (checked by the
+/// engine-equivalence tests), so all buffer-size results carry over; this
+/// engine additionally reports where each packet came from and how long it
+/// took.
+class PacketSimulator {
+ public:
+  PacketSimulator(const Tree& tree, const Policy& policy, SimOptions options = {});
+
+  /// Executes one step with the given injections (≤ capacity packets).
+  void step(std::span<const NodeId> injections);
+
+  /// Convenience for rate-1: single injection or none (`kNoNode`).
+  void step_inject(NodeId t) {
+    if (t == kNoNode) {
+      step({});
+    } else {
+      step({&t, 1});
+    }
+  }
+
+  [[nodiscard]] const Configuration& config() const noexcept { return config_; }
+  [[nodiscard]] Step now() const noexcept { return now_; }
+  [[nodiscard]] Height peak_height() const noexcept { return peak_; }
+  [[nodiscard]] const DelayStats& delays() const noexcept { return delays_; }
+  [[nodiscard]] std::uint64_t delivered() const noexcept { return delays_.count(); }
+  [[nodiscard]] std::uint64_t injected() const noexcept { return next_packet_id_; }
+
+  /// FIFO buffer contents of node v (front = next packet to forward).
+  [[nodiscard]] const std::deque<Packet>& buffer(NodeId v) const {
+    return buffers_[v];
+  }
+
+ private:
+  const Tree* tree_;
+  const Policy* policy_;
+  SimOptions options_;
+  std::vector<std::deque<Packet>> buffers_;
+  Configuration config_;  // mirror of buffer sizes, fed to the policy
+  std::vector<Capacity> sends_;
+  std::vector<NodeId> injections_scratch_;
+  DelayStats delays_;
+  Step now_ = 0;
+  std::uint64_t next_packet_id_ = 0;
+  Height peak_ = 0;
+  Capacity tokens_ = 0;  // burstiness token bucket
+};
+
+}  // namespace cvg

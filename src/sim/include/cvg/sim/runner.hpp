@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file runner.hpp
+/// One-call execution harness: drive a (policy, adversary) pair for a number
+/// of steps and collect the quantities the experiments report.
+
+#include <functional>
+#include <vector>
+
+#include "cvg/sim/adversary.hpp"
+#include "cvg/sim/simulator.hpp"
+
+namespace cvg {
+
+/// Result of one simulation run.
+struct RunResult {
+  /// Largest buffer height any node ever reached.
+  Height peak_height = 0;
+
+  /// Per-node peak heights.
+  std::vector<Height> peak_per_node;
+
+  /// Heights at the end of the run.
+  Configuration final_config;
+
+  /// Totals over the run.
+  std::uint64_t injected = 0;
+  std::uint64_t delivered = 0;
+  Step steps = 0;
+};
+
+/// Observes each completed step.  `sim.config()` is the post-step
+/// configuration; `record` tells what was injected and who sent.
+using StepObserver =
+    std::function<void(const Simulator& sim, const StepRecord& record)>;
+
+/// Runs `steps` rounds of adversary-vs-policy from the empty configuration.
+/// The adversary's `on_simulation_start` hook is invoked first, so a stateful
+/// adversary instance can be reused across runs.
+[[nodiscard]] RunResult run(const Tree& tree, const Policy& policy,
+                            Adversary& adversary, Step steps,
+                            SimOptions options = {},
+                            const StepObserver& observer = {});
+
+/// Like `run`, but additionally samples the network-wide max height every
+/// `sample_every` steps into `height_trace` (used for time-series plots such
+/// as the FIE divergence experiment).
+[[nodiscard]] RunResult run_traced(const Tree& tree, const Policy& policy,
+                                   Adversary& adversary, Step steps,
+                                   Step sample_every,
+                                   std::vector<Height>& height_trace,
+                                   SimOptions options = {});
+
+}  // namespace cvg

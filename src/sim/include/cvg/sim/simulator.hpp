@@ -1,0 +1,113 @@
+#pragma once
+
+/// \file simulator.hpp
+/// The height-based simulation engine: executes the paper's two-mini-step
+/// round (§2) for an arbitrary policy on an arbitrary in-tree, tracking peak
+/// buffer occupancy.  Packets are anonymous here (only buffer *heights*
+/// evolve); use `PacketSimulator` when per-packet delays matter.
+///
+/// A `Simulator` is a value: copying it checkpoints the entire simulation
+/// state, which is what the strategic Thm 3.1 adversary uses to evaluate its
+/// two candidate scenarios before committing to one.
+
+#include <span>
+
+#include "cvg/core/config.hpp"
+#include "cvg/core/step.hpp"
+#include "cvg/core/types.hpp"
+#include "cvg/policy/policy.hpp"
+#include "cvg/topology/tree.hpp"
+
+namespace cvg {
+
+/// Knobs of the execution model.
+struct SimOptions {
+  /// Link capacity and adversary injection rate `c` (§2).
+  Capacity capacity = 1;
+
+  /// When forwarding decisions sample heights; see `StepSemantics`.
+  StepSemantics semantics = StepSemantics::DecideBeforeInjection;
+
+  /// Burstiness allowance σ (Cor 3.2 / the (σ, ρ) model of [21]): the
+  /// adversary may inject up to `c·T + σ` packets over any window of T
+  /// steps.  Enforced with a token bucket of size `c + σ` refilled by `c`
+  /// per step.  σ = 0 recovers the plain rate-c adversary of §2.
+  Capacity burstiness = 0;
+
+  /// Re-validate every send vector against the feasibility contract
+  /// (`validate_sends`).  Cheap insurance in tests; off in benchmarks.
+  bool validate = false;
+};
+
+/// Discrete-event executor of (inject, forward) rounds.
+class Simulator {
+ public:
+  /// Starts from the all-empty configuration.  `tree` and `policy` must
+  /// outlive the simulator.
+  Simulator(const Tree& tree, const Policy& policy, SimOptions options = {});
+
+  /// Executes one step: the given injections land, then every node forwards
+  /// according to the policy.  `injections` must respect the rate
+  /// constraint: at most `capacity` packets per step plus whatever
+  /// burstiness tokens have accumulated.  Returns the record of what
+  /// happened.
+  const StepRecord& step(std::span<const NodeId> injections);
+
+  /// Convenience for the common rate-1 case: one injection (or none).
+  const StepRecord& step_inject(NodeId t) {
+    if (t == kNoNode) return step({});
+    return step({&t, 1});
+  }
+
+  /// Current configuration (heights at the start of the next step).
+  [[nodiscard]] const Configuration& config() const noexcept { return config_; }
+
+  /// Number of completed steps.
+  [[nodiscard]] Step now() const noexcept { return now_; }
+
+  /// Highest buffer height observed at any node in any step so far.
+  [[nodiscard]] Height peak_height() const noexcept { return peak_; }
+
+  /// Per-node peak heights observed so far.
+  [[nodiscard]] std::span<const Height> peak_per_node() const noexcept {
+    return peak_per_node_;
+  }
+
+  /// Packets consumed by the sink so far.
+  [[nodiscard]] std::uint64_t delivered() const noexcept { return delivered_; }
+
+  /// Packets injected by the adversary so far.
+  [[nodiscard]] std::uint64_t injected() const noexcept { return injected_; }
+
+  /// Packets currently buffered in the network (= injected − delivered).
+  [[nodiscard]] std::uint64_t in_flight() const noexcept {
+    return injected_ - delivered_;
+  }
+
+  [[nodiscard]] const Tree& tree() const noexcept { return *tree_; }
+  [[nodiscard]] const Policy& policy() const noexcept { return *policy_; }
+  [[nodiscard]] const SimOptions& options() const noexcept { return options_; }
+
+  /// Replaces the configuration (peaks are re-seeded from it).  For tests and
+  /// the exhaustive search, which explore arbitrary reachable states.
+  void set_config(Configuration config);
+
+  /// Returns to the all-empty start state and zeroes all counters.
+  void reset();
+
+ private:
+  const Tree* tree_;
+  const Policy* policy_;
+  SimOptions options_;
+  Configuration config_;
+  StepRecord record_;
+  std::vector<Capacity> sends_;
+  Step now_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t injected_ = 0;
+  Height peak_ = 0;
+  std::vector<Height> peak_per_node_;
+  Capacity tokens_ = 0;  // burstiness token bucket (see SimOptions::burstiness)
+};
+
+}  // namespace cvg

@@ -1,0 +1,92 @@
+#include "cvg/sim/bidir.hpp"
+
+#include <algorithm>
+
+#include "cvg/policy/standard.hpp"
+#include "cvg/util/check.hpp"
+
+namespace cvg {
+
+BidirSend BidirOddEven::decide(Height own, Height toward,
+                               Height /*away*/) const {
+  BidirSend send;
+  send.toward_sink = own >= 1 && OddEvenPolicy::rule(own, toward);
+  return send;
+}
+
+BidirSend BidirDiffusion::decide(Height own, Height toward,
+                                 Height away) const {
+  BidirSend send;
+  if (own >= 1 && own >= toward) send.toward_sink = true;
+  // Spill backwards only when it strictly helps (2 lower) and a neighbour
+  // exists there; require a second packet so the sink-bound one still goes.
+  const Height remaining = send.toward_sink ? own - 1 : own;
+  if (away >= 0 && remaining >= 1 && away <= own - 2) send.away = true;
+  return send;
+}
+
+BidirPathSimulator::BidirPathSimulator(std::size_t node_count,
+                                       const BidirPolicy& policy)
+    : policy_(&policy), config_(node_count), sends_(node_count) {
+  CVG_CHECK(node_count >= 2);
+}
+
+void BidirPathSimulator::set_config(const Configuration& config) {
+  CVG_CHECK(config.node_count() == config_.node_count());
+  config_ = config;
+  peak_ = std::max(peak_, config_.max_height());
+}
+
+void BidirPathSimulator::step_inject(NodeId t) {
+  const std::size_t n = config_.node_count();
+
+  // Decisions from start-of-step heights (decide-before semantics, matching
+  // the directed engine).
+  for (NodeId v = 1; v < n; ++v) {
+    const Height own = config_.height(v);
+    if (own <= 0) {
+      sends_[v] = {};
+      continue;
+    }
+    const Height toward = config_.height(v - 1);
+    const Height away = (v + 1 < n) ? config_.height(v + 1) : Height{-1};
+    sends_[v] = policy_->decide(own, toward, away);
+    // Clamp: a node with one packet cannot send two.
+    if (own == 1 && sends_[v].toward_sink && sends_[v].away) {
+      sends_[v].away = false;
+    }
+    if (v + 1 >= n) sends_[v].away = false;
+  }
+
+  if (t != kNoNode) {
+    CVG_CHECK(t < n);
+    ++injected_;
+    if (t == 0) {
+      ++delivered_;
+    } else {
+      config_.add(t, 1);
+    }
+  }
+
+  for (NodeId v = 1; v < n; ++v) {
+    Height outgoing = 0;
+    if (sends_[v].toward_sink) {
+      ++outgoing;
+      if (v - 1 == 0) {
+        ++delivered_;
+      } else {
+        config_.add(v - 1, 1);
+      }
+    }
+    if (sends_[v].away) {
+      ++outgoing;
+      config_.add(v + 1, 1);
+    }
+    if (outgoing > 0) config_.add(v, -outgoing);
+  }
+
+  peak_ = std::max(peak_, config_.max_height());
+  ++now_;
+}
+
+}  // namespace cvg

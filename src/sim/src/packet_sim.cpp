@@ -1,0 +1,107 @@
+#include "cvg/sim/packet_sim.hpp"
+
+#include <algorithm>
+
+namespace cvg {
+
+void DelayStats::record(Step delay) {
+  ++count_;
+  sum_ += delay;
+  max_ = std::max(max_, delay);
+  if (histogram_.size() <= delay) histogram_.resize(delay + 1, 0);
+  ++histogram_[delay];
+}
+
+Step DelayStats::quantile(double q) const noexcept {
+  if (count_ == 0) return 0;
+  const double clamped = std::clamp(q, 0.0, 1.0);
+  const std::uint64_t rank = static_cast<std::uint64_t>(
+      clamped * static_cast<double>(count_ - 1));
+  std::uint64_t seen = 0;
+  for (Step d = 0; d < histogram_.size(); ++d) {
+    seen += histogram_[d];
+    if (seen > rank) return d;
+  }
+  return max_;
+}
+
+PacketSimulator::PacketSimulator(const Tree& tree, const Policy& policy,
+                                 SimOptions options)
+    : tree_(&tree),
+      policy_(&policy),
+      options_(options),
+      buffers_(tree.node_count()),
+      config_(tree.node_count()),
+      tokens_(options.burstiness) {
+  CVG_CHECK(options_.capacity >= 1);
+  policy_->on_simulation_start();
+}
+
+void PacketSimulator::step(std::span<const NodeId> injections) {
+  const std::size_t n = tree_->node_count();
+  tokens_ = std::min(static_cast<Capacity>(options_.capacity + options_.burstiness),
+                     static_cast<Capacity>(tokens_ + options_.capacity));
+  CVG_CHECK(injections.size() <= static_cast<std::size_t>(tokens_))
+      << "adversary exceeded its rate (packet engine)";
+  tokens_ = static_cast<Capacity>(tokens_ - static_cast<Capacity>(injections.size()));
+
+  injections_scratch_.assign(injections.begin(), injections.end());
+  sends_.assign(n, 0);
+
+  if (options_.semantics == StepSemantics::DecideBeforeInjection) {
+    policy_->compute_sends(*tree_, config_, injections_scratch_,
+                           options_.capacity, sends_);
+    if (options_.validate) {
+      validate_sends(*tree_, config_, options_.capacity, sends_);
+    }
+  }
+
+  for (const NodeId t : injections) {
+    CVG_CHECK(t < n);
+    const Packet packet{next_packet_id_++, t, now_};
+    if (t == Tree::sink()) {
+      delays_.record(0);
+    } else {
+      buffers_[t].push_back(packet);
+      config_.add(t, 1);
+    }
+  }
+
+  if (options_.semantics == StepSemantics::DecideAfterInjection) {
+    policy_->compute_sends(*tree_, config_, injections_scratch_,
+                           options_.capacity, sends_);
+    if (options_.validate) {
+      validate_sends(*tree_, config_, options_.capacity, sends_);
+    }
+  }
+
+  // Forward simultaneously: first detach every departing packet (so a packet
+  // cannot hop two links in one step), then deliver.
+  struct Move {
+    Packet packet;
+    NodeId to;
+  };
+  std::vector<Move> moves;
+  for (NodeId v = 1; v < n; ++v) {
+    for (Capacity k = 0; k < sends_[v]; ++k) {
+      CVG_CHECK(!buffers_[v].empty())
+          << "policy over-sent at node " << v << " (packet engine)";
+      moves.push_back({buffers_[v].front(), tree_->parent(v)});
+      buffers_[v].pop_front();
+      config_.add(v, -1);
+    }
+  }
+  for (const Move& move : moves) {
+    if (move.to == Tree::sink()) {
+      delays_.record(now_ + 1 - move.packet.injected_at);
+    } else {
+      buffers_[move.to].push_back(move.packet);
+      config_.add(move.to, 1);
+    }
+  }
+
+  peak_ = std::max(peak_, config_.max_height());
+  ++now_;
+}
+
+}  // namespace cvg

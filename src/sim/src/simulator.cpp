@@ -1,0 +1,119 @@
+#include "cvg/sim/simulator.hpp"
+
+#include <algorithm>
+
+namespace cvg {
+
+Simulator::Simulator(const Tree& tree, const Policy& policy, SimOptions options)
+    : tree_(&tree),
+      policy_(&policy),
+      options_(options),
+      config_(tree.node_count()),
+      peak_per_node_(tree.node_count(), 0),
+      tokens_(options.burstiness) {
+  CVG_CHECK(options_.capacity >= 1);
+  CVG_CHECK(options_.burstiness >= 0);
+  policy_->on_simulation_start();
+}
+
+const StepRecord& Simulator::step(std::span<const NodeId> injections) {
+  const std::size_t n = tree_->node_count();
+  tokens_ = std::min(static_cast<Capacity>(options_.capacity + options_.burstiness),
+                     static_cast<Capacity>(tokens_ + options_.capacity));
+  CVG_CHECK(injections.size() <= static_cast<std::size_t>(tokens_))
+      << "adversary exceeded its rate: " << injections.size()
+      << " injections with " << tokens_ << " tokens (c=" << options_.capacity
+      << ", sigma=" << options_.burstiness << ")";
+  tokens_ = static_cast<Capacity>(tokens_ - static_cast<Capacity>(injections.size()));
+
+  record_.reset(now_, n);
+  record_.injections.assign(injections.begin(), injections.end());
+  sends_.assign(n, 0);
+
+  // Mini-step order: with decide-before semantics the policy samples the
+  // configuration as it stood at the start of the step; with decide-after it
+  // samples post-injection heights.  Either way the forwarding itself is
+  // simultaneous across all nodes.
+  if (options_.semantics == StepSemantics::DecideBeforeInjection) {
+    policy_->compute_sends(*tree_, config_, record_.injections,
+                           options_.capacity, sends_);
+    if (options_.validate) {
+      validate_sends(*tree_, config_, options_.capacity, sends_);
+    }
+  }
+
+  for (const NodeId t : injections) {
+    CVG_CHECK(t < n) << "injection at out-of-range node " << t;
+    ++injected_;
+    if (t == Tree::sink()) {
+      ++delivered_;  // the sink consumes instantly
+    } else {
+      config_.add(t, 1);
+    }
+  }
+
+  if (options_.semantics == StepSemantics::DecideAfterInjection) {
+    policy_->compute_sends(*tree_, config_, record_.injections,
+                           options_.capacity, sends_);
+    if (options_.validate) {
+      validate_sends(*tree_, config_, options_.capacity, sends_);
+    }
+  }
+
+  // Apply all forwards simultaneously.  Each node's send count was clamped
+  // to its decision-time height, which never exceeds its current height, so
+  // intermediate values stay non-negative regardless of application order.
+  for (NodeId v = 1; v < n; ++v) {
+    const Capacity k = sends_[v];
+    if (k == 0) continue;
+    record_.sent[v] = k;
+    config_.add(v, static_cast<Height>(-k));
+    const NodeId p = tree_->parent(v);
+    if (p == Tree::sink()) {
+      delivered_ += static_cast<std::uint64_t>(k);
+    } else {
+      config_.add(p, static_cast<Height>(k));
+    }
+  }
+
+  // Peak tracking: only injected nodes and receivers can have risen.
+  for (const NodeId t : injections) {
+    if (t == Tree::sink()) continue;
+    const Height h = config_.height(t);
+    peak_per_node_[t] = std::max(peak_per_node_[t], h);
+    peak_ = std::max(peak_, h);
+  }
+  for (NodeId v = 1; v < n; ++v) {
+    if (record_.sent[v] == 0) continue;
+    const NodeId p = tree_->parent(v);
+    if (p == Tree::sink()) continue;
+    const Height h = config_.height(p);
+    peak_per_node_[p] = std::max(peak_per_node_[p], h);
+    peak_ = std::max(peak_, h);
+  }
+
+  ++now_;
+  return record_;
+}
+
+void Simulator::set_config(Configuration config) {
+  CVG_CHECK(config.node_count() == tree_->node_count());
+  config_ = std::move(config);
+  for (NodeId v = 0; v < tree_->node_count(); ++v) {
+    peak_per_node_[v] = std::max(peak_per_node_[v], config_.height(v));
+    peak_ = std::max(peak_, config_.height(v));
+  }
+}
+
+void Simulator::reset() {
+  config_ = Configuration(tree_->node_count());
+  peak_per_node_.assign(tree_->node_count(), 0);
+  peak_ = 0;
+  now_ = 0;
+  delivered_ = 0;
+  injected_ = 0;
+  tokens_ = options_.burstiness;
+  policy_->on_simulation_start();
+}
+
+}  // namespace cvg

@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file builders.hpp
+/// Constructors for the tree families used across tests, examples and
+/// benchmarks.  All builders place the sink at node 0 and return trees with
+/// dense node ids; sizes are *total node counts including the sink* unless
+/// stated otherwise.
+
+#include <cstdint>
+#include <span>
+
+#include "cvg/topology/tree.hpp"
+#include "cvg/util/rng.hpp"
+
+namespace cvg::build {
+
+/// Directed path of `n` nodes: sink ← 1 ← 2 ← … ← n-1.  Node n-1 is the
+/// paper's "leftmost" node (furthest from the sink).
+[[nodiscard]] Tree path(std::size_t n);
+
+/// Star/spider with `branches` legs, each a path of `branch_length` nodes,
+/// all attached to a single hub which is the sink's only child.  This is the
+/// §5 example showing 1-local algorithms need Ω(√branches) buffers at the hub.
+/// Total nodes = 2 + branches · branch_length.
+[[nodiscard]] Tree spider(std::size_t branches, std::size_t branch_length);
+
+/// Star with `branches` leaves attached directly to the sink's child hub.
+[[nodiscard]] Tree star(std::size_t branches);
+
+/// Spider with staggered branch lengths `branches`, `branches`−1, …, 1 off a
+/// single hub.  The §5 synchronisation gadget: injecting at the leaf of the
+/// length-L branch at time `branches`−L makes every branch head fire into
+/// the hub in the same step under a 1-local policy, forcing an Ω(branches)
+/// hub buffer; the 2-local arbitration of Algorithm Tree prevents it.
+/// Total nodes = 2 + branches·(branches+1)/2.
+[[nodiscard]] Tree spider_staggered(std::size_t branches);
+
+/// Complete `arity`-ary tree of the given `levels` (levels ≥ 1; level 1 is
+/// just the sink).  Ids are assigned in BFS order.
+[[nodiscard]] Tree complete_kary(std::size_t arity, std::size_t levels);
+
+/// Caterpillar: a spine path of `spine` nodes hanging off the sink, with
+/// `legs_per_node` leaf children attached to every spine node.
+[[nodiscard]] Tree caterpillar(std::size_t spine, std::size_t legs_per_node);
+
+/// Broom: a handle path of `handle` nodes off the sink whose far end holds
+/// `bristles` leaves.  Stresses many leaves funnelling into one deep path.
+[[nodiscard]] Tree broom(std::size_t handle, std::size_t bristles);
+
+/// Random recursive tree over `n` nodes: node v ≥ 1 picks a uniformly random
+/// parent among nodes 0..v-1.  Expected depth Θ(log n).
+[[nodiscard]] Tree random_recursive(std::size_t n, Xoshiro256StarStar& rng);
+
+/// Random tree biased towards long chains: node v ≥ 1 attaches to node v-1
+/// with probability `chain_bias`, otherwise to a uniform random predecessor.
+/// `chain_bias` = 1 degenerates to a path, 0 to `random_recursive`.
+[[nodiscard]] Tree random_chainy(std::size_t n, double chain_bias,
+                                 Xoshiro256StarStar& rng);
+
+/// Tree from an explicit parent list (convenience for tests; `parents[0]`
+/// must be `kNoNode`).
+[[nodiscard]] Tree from_parents(std::span<const NodeId> parents);
+
+}  // namespace cvg::build

@@ -1,0 +1,93 @@
+#pragma once
+
+/// \file tree.hpp
+/// Rooted in-tree topology: every node has one outgoing link towards its
+/// parent; the root (node 0) is the sink that consumes packets (paper §2).
+///
+/// The structure is immutable after construction.  Children are stored in
+/// CSR form so that iterating a node's children is a contiguous scan, and a
+/// BFS order is precomputed for the simulator's traversals.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cvg/core/types.hpp"
+
+namespace cvg {
+
+/// Immutable rooted tree.  Node 0 is the root/sink.  Node ids are dense.
+class Tree {
+ public:
+  /// Builds a tree from a parent vector: `parents[v]` is the successor of
+  /// node v on its path to the sink; `parents[0]` must be `kNoNode`.
+  /// Aborts if the vector does not describe a tree rooted at node 0.
+  explicit Tree(std::vector<NodeId> parents);
+
+  /// Number of nodes, including the sink.
+  [[nodiscard]] std::size_t node_count() const noexcept { return parents_.size(); }
+
+  /// The sink node (always 0).
+  [[nodiscard]] static constexpr NodeId sink() noexcept { return 0; }
+
+  /// Successor `s(v)` of node v (its parent); `kNoNode` for the sink.
+  [[nodiscard]] NodeId parent(NodeId v) const noexcept { return parents_[v]; }
+
+  /// Children of v (the nodes whose outgoing link points at v).
+  [[nodiscard]] std::span<const NodeId> children(NodeId v) const noexcept {
+    return {child_ids_.data() + child_offsets_[v],
+            child_offsets_[v + 1] - child_offsets_[v]};
+  }
+
+  /// Number of incoming links of v.
+  [[nodiscard]] std::size_t in_degree(NodeId v) const noexcept {
+    return child_offsets_[v + 1] - child_offsets_[v];
+  }
+
+  /// True iff v has no children.
+  [[nodiscard]] bool is_leaf(NodeId v) const noexcept { return in_degree(v) == 0; }
+
+  /// True iff v has in-degree ≥ 2 (an *intersection* in the paper's §5 sense).
+  [[nodiscard]] bool is_intersection(NodeId v) const noexcept {
+    return in_degree(v) >= 2;
+  }
+
+  /// Hop distance from v to the sink (0 for the sink itself).
+  [[nodiscard]] std::size_t depth(NodeId v) const noexcept { return depths_[v]; }
+
+  /// Maximum depth over all nodes (the tree's height in hops).
+  [[nodiscard]] std::size_t max_depth() const noexcept { return max_depth_; }
+
+  /// Nodes in breadth-first order from the sink (sink first).  Reversed, this
+  /// is a leaves-to-sink order in which every node precedes its parent.
+  [[nodiscard]] std::span<const NodeId> bfs_order() const noexcept { return bfs_order_; }
+
+  /// All parent pointers (`parents()[0] == kNoNode`).
+  [[nodiscard]] std::span<const NodeId> parents() const noexcept { return parents_; }
+
+  /// True iff the topology is a simple path sink←1←2←…←n-1.
+  [[nodiscard]] bool is_path() const noexcept;
+
+  /// Nodes on the unique path from `v` to the sink, inclusive of both.
+  [[nodiscard]] std::vector<NodeId> path_to_sink(NodeId v) const;
+
+  friend bool operator==(const Tree&, const Tree&) = default;
+
+ private:
+  std::vector<NodeId> parents_;
+  std::vector<std::size_t> child_offsets_;  // size n+1, CSR offsets
+  std::vector<NodeId> child_ids_;           // size n-1
+  std::vector<std::size_t> depths_;
+  std::vector<NodeId> bfs_order_;
+  std::size_t max_depth_ = 0;
+};
+
+/// Graphviz DOT rendering (edges point towards the sink).
+[[nodiscard]] std::string to_dot(const Tree& tree);
+
+/// Multi-line ASCII rendering of the tree with optional per-node annotations
+/// (e.g. buffer heights); `annotations` may be empty or one string per node.
+[[nodiscard]] std::string to_ascii(const Tree& tree,
+                                   std::span<const std::string> annotations = {});
+
+}  // namespace cvg

@@ -1,0 +1,127 @@
+#include "cvg/topology/builders.hpp"
+
+#include "cvg/util/check.hpp"
+
+namespace cvg::build {
+
+Tree path(std::size_t n) {
+  CVG_CHECK(n >= 1);
+  std::vector<NodeId> parents(n);
+  parents[0] = kNoNode;
+  for (NodeId v = 1; v < n; ++v) parents[v] = v - 1;
+  return Tree(std::move(parents));
+}
+
+Tree spider(std::size_t branches, std::size_t branch_length) {
+  CVG_CHECK(branches >= 1);
+  CVG_CHECK(branch_length >= 1);
+  const std::size_t n = 2 + branches * branch_length;
+  std::vector<NodeId> parents(n);
+  parents[0] = kNoNode;
+  parents[1] = 0;  // hub
+  NodeId next = 2;
+  for (std::size_t b = 0; b < branches; ++b) {
+    NodeId attach = 1;
+    for (std::size_t i = 0; i < branch_length; ++i) {
+      parents[next] = attach;
+      attach = next;
+      ++next;
+    }
+  }
+  return Tree(std::move(parents));
+}
+
+Tree star(std::size_t branches) { return spider(branches, 1); }
+
+Tree spider_staggered(std::size_t branches) {
+  CVG_CHECK(branches >= 1);
+  const std::size_t n = 2 + branches * (branches + 1) / 2;
+  std::vector<NodeId> parents(n);
+  parents[0] = kNoNode;
+  parents[1] = 0;  // hub
+  NodeId next = 2;
+  for (std::size_t length = branches; length >= 1; --length) {
+    NodeId attach = 1;
+    for (std::size_t i = 0; i < length; ++i) {
+      parents[next] = attach;
+      attach = next;
+      ++next;
+    }
+  }
+  return Tree(std::move(parents));
+}
+
+Tree complete_kary(std::size_t arity, std::size_t levels) {
+  CVG_CHECK(arity >= 1);
+  CVG_CHECK(levels >= 1);
+  // Count nodes: 1 + k + k^2 + … + k^(levels-1).
+  std::size_t n = 0;
+  std::size_t level_size = 1;
+  for (std::size_t d = 0; d < levels; ++d) {
+    n += level_size;
+    level_size *= arity;
+  }
+  std::vector<NodeId> parents(n);
+  parents[0] = kNoNode;
+  for (NodeId v = 1; v < n; ++v) {
+    parents[v] = static_cast<NodeId>((v - 1) / arity);
+  }
+  return Tree(std::move(parents));
+}
+
+Tree caterpillar(std::size_t spine, std::size_t legs_per_node) {
+  CVG_CHECK(spine >= 1);
+  const std::size_t n = 1 + spine + spine * legs_per_node;
+  std::vector<NodeId> parents(n);
+  parents[0] = kNoNode;
+  for (NodeId v = 1; v <= spine; ++v) parents[v] = v - 1;
+  NodeId next = static_cast<NodeId>(spine + 1);
+  for (NodeId s = 1; s <= spine; ++s) {
+    for (std::size_t leg = 0; leg < legs_per_node; ++leg) {
+      parents[next++] = s;
+    }
+  }
+  return Tree(std::move(parents));
+}
+
+Tree broom(std::size_t handle, std::size_t bristles) {
+  CVG_CHECK(handle >= 1);
+  const std::size_t n = 1 + handle + bristles;
+  std::vector<NodeId> parents(n);
+  parents[0] = kNoNode;
+  for (NodeId v = 1; v <= handle; ++v) parents[v] = v - 1;
+  for (NodeId v = static_cast<NodeId>(handle + 1); v < n; ++v) {
+    parents[v] = static_cast<NodeId>(handle);
+  }
+  return Tree(std::move(parents));
+}
+
+Tree random_recursive(std::size_t n, Xoshiro256StarStar& rng) {
+  CVG_CHECK(n >= 1);
+  std::vector<NodeId> parents(n);
+  parents[0] = kNoNode;
+  for (NodeId v = 1; v < n; ++v) {
+    parents[v] = static_cast<NodeId>(rng.below(v));
+  }
+  return Tree(std::move(parents));
+}
+
+Tree random_chainy(std::size_t n, double chain_bias, Xoshiro256StarStar& rng) {
+  CVG_CHECK(n >= 1);
+  std::vector<NodeId> parents(n);
+  parents[0] = kNoNode;
+  for (NodeId v = 1; v < n; ++v) {
+    if (v == 1 || rng.bernoulli(chain_bias)) {
+      parents[v] = v - 1;
+    } else {
+      parents[v] = static_cast<NodeId>(rng.below(v));
+    }
+  }
+  return Tree(std::move(parents));
+}
+
+Tree from_parents(std::span<const NodeId> parents) {
+  return Tree(std::vector<NodeId>(parents.begin(), parents.end()));
+}
+
+}  // namespace cvg::build

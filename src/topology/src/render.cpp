@@ -1,0 +1,57 @@
+#include <string>
+
+#include "cvg/topology/tree.hpp"
+#include "cvg/util/check.hpp"
+
+namespace cvg {
+
+std::string to_dot(const Tree& tree) {
+  std::string out = "digraph convergecast {\n  rankdir=RL;\n";
+  out += "  0 [label=\"sink\", shape=doublecircle];\n";
+  for (NodeId v = 1; v < tree.node_count(); ++v) {
+    out += "  " + std::to_string(v) + " -> " + std::to_string(tree.parent(v)) +
+           ";\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+namespace {
+
+void render_subtree(const Tree& tree, NodeId v,
+                    std::span<const std::string> annotations,
+                    const std::string& prefix, bool last, std::string& out) {
+  out += prefix;
+  out += last ? "`-- " : "|-- ";
+  out += std::to_string(v);
+  if (!annotations.empty()) {
+    CVG_CHECK(annotations.size() == tree.node_count())
+        << "annotations must be empty or one per node";
+    out += " (" + annotations[v] + ")";
+  }
+  out += '\n';
+  const auto children = tree.children(v);
+  const std::string child_prefix = prefix + (last ? "    " : "|   ");
+  for (std::size_t i = 0; i < children.size(); ++i) {
+    render_subtree(tree, children[i], annotations, child_prefix,
+                   i + 1 == children.size(), out);
+  }
+}
+
+}  // namespace
+
+std::string to_ascii(const Tree& tree, std::span<const std::string> annotations) {
+  std::string out = "0 (sink)";
+  if (!annotations.empty() && annotations.size() == tree.node_count()) {
+    out = "0 (sink, " + annotations[0] + ")";
+  }
+  out += '\n';
+  const auto children = tree.children(Tree::sink());
+  for (std::size_t i = 0; i < children.size(); ++i) {
+    render_subtree(tree, children[i], annotations, "", i + 1 == children.size(),
+                   out);
+  }
+  return out;
+}
+
+}  // namespace cvg

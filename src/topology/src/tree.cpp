@@ -1,0 +1,67 @@
+#include "cvg/topology/tree.hpp"
+
+#include <algorithm>
+
+#include "cvg/util/check.hpp"
+
+namespace cvg {
+
+Tree::Tree(std::vector<NodeId> parents) : parents_(std::move(parents)) {
+  const std::size_t n = parents_.size();
+  CVG_CHECK(n >= 1) << "a tree needs at least the sink";
+  CVG_CHECK(parents_[0] == kNoNode) << "node 0 must be the root (sink)";
+  for (NodeId v = 1; v < n; ++v) {
+    CVG_CHECK(parents_[v] < n) << "node " << v << " has out-of-range parent "
+                               << parents_[v];
+    CVG_CHECK(parents_[v] != v) << "node " << v << " is its own parent";
+  }
+
+  // CSR children.
+  child_offsets_.assign(n + 1, 0);
+  for (NodeId v = 1; v < n; ++v) ++child_offsets_[parents_[v] + 1];
+  for (std::size_t i = 1; i <= n; ++i) child_offsets_[i] += child_offsets_[i - 1];
+  child_ids_.resize(n - 1);
+  {
+    std::vector<std::size_t> cursor(child_offsets_.begin(), child_offsets_.end() - 1);
+    for (NodeId v = 1; v < n; ++v) child_ids_[cursor[parents_[v]]++] = v;
+  }
+  // Keep children sorted by id for deterministic traversal order.
+  for (NodeId v = 0; v < n; ++v) {
+    std::sort(child_ids_.begin() + static_cast<std::ptrdiff_t>(child_offsets_[v]),
+              child_ids_.begin() + static_cast<std::ptrdiff_t>(child_offsets_[v + 1]));
+  }
+
+  // BFS from the root: computes depths and verifies connectivity/acyclicity
+  // (every node is reached exactly once iff the parent vector is a tree).
+  depths_.assign(n, 0);
+  bfs_order_.clear();
+  bfs_order_.reserve(n);
+  bfs_order_.push_back(0);
+  for (std::size_t head = 0; head < bfs_order_.size(); ++head) {
+    const NodeId v = bfs_order_[head];
+    for (const NodeId child : children(v)) {
+      depths_[child] = depths_[v] + 1;
+      max_depth_ = std::max(max_depth_, depths_[child]);
+      bfs_order_.push_back(child);
+    }
+  }
+  CVG_CHECK(bfs_order_.size() == n)
+      << "parent vector contains a cycle or unreachable nodes ("
+      << bfs_order_.size() << " of " << n << " reachable)";
+}
+
+bool Tree::is_path() const noexcept {
+  for (NodeId v = 1; v < node_count(); ++v) {
+    if (parents_[v] != v - 1) return false;
+  }
+  return true;
+}
+
+std::vector<NodeId> Tree::path_to_sink(NodeId v) const {
+  CVG_CHECK(v < node_count());
+  std::vector<NodeId> path;
+  for (NodeId cur = v; cur != kNoNode; cur = parents_[cur]) path.push_back(cur);
+  return path;
+}
+
+}  // namespace cvg

@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file check.hpp
+/// Fail-fast invariant checking for programmer errors.
+///
+/// The simulation and certification code is built around invariants that the
+/// paper proves always hold; a violated invariant means either a bug in this
+/// library or a genuine divergence between the implementation and the paper's
+/// model.  Neither is recoverable at run time, so checks abort with a
+/// diagnostic instead of throwing.  `CVG_CHECK` is always on (it guards
+/// correctness claims, not performance-critical inner loops); `CVG_DCHECK`
+/// compiles away in release builds and may be used on hot paths.
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace cvg {
+
+/// Terminates the process with a formatted diagnostic.  Never returns.
+[[noreturn]] void check_failed(std::string_view condition, std::string_view file,
+                               int line, std::string_view message);
+
+namespace detail {
+
+/// Accumulates an optional human-readable message for a failed check via
+/// `operator<<`, then aborts on destruction.  Instances are only ever created
+/// on the failure path.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(std::string_view condition, std::string_view file, int line)
+      : condition_(condition), file_(file), line_(line) {}
+
+  CheckFailureStream(const CheckFailureStream&) = delete;
+  CheckFailureStream& operator=(const CheckFailureStream&) = delete;
+
+  [[noreturn]] ~CheckFailureStream() {
+    check_failed(condition_, file_, line_, stream_.str());
+  }
+
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::string_view condition_;
+  std::string_view file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace cvg
+
+/// Aborts with context if `cond` is false.  Additional context may be
+/// streamed: `CVG_CHECK(x < n) << "x=" << x;`
+#define CVG_CHECK(cond)                                                  \
+  if (cond) {                                                            \
+  } else /* NOLINT */                                                    \
+    ::cvg::detail::CheckFailureStream(#cond, __FILE__, __LINE__)
+
+#ifdef NDEBUG
+#define CVG_DCHECK(cond) CVG_CHECK(true || (cond))
+#else
+#define CVG_DCHECK(cond) CVG_CHECK(cond)
+#endif
+
+/// Marks an unreachable code path.
+#define CVG_UNREACHABLE(msg) \
+  ::cvg::detail::CheckFailureStream("unreachable", __FILE__, __LINE__) << (msg)

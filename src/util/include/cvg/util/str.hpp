@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file str.hpp
+/// Small string helpers shared by the reporting and CLI layers.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cvg {
+
+/// Joins `parts` with `sep` ("a", "b", "c" + ", " -> "a, b, c").
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+/// Splits `text` on the single character `sep`; keeps empty fields.
+[[nodiscard]] std::vector<std::string> split(std::string_view text, char sep);
+
+/// Strips ASCII whitespace from both ends.
+[[nodiscard]] std::string_view trim(std::string_view text) noexcept;
+
+/// True iff `text` begins with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view text, std::string_view prefix) noexcept;
+
+/// Formats `value` with `decimals` digits after the point (fixed notation).
+[[nodiscard]] std::string format_fixed(double value, int decimals);
+
+/// Renders a count of bytes/items with thousands separators ("1,234,567").
+[[nodiscard]] std::string with_commas(std::uint64_t value);
+
+}  // namespace cvg

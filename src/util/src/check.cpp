@@ -1,0 +1,22 @@
+#include "cvg/util/check.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cvg {
+
+void check_failed(std::string_view condition, std::string_view file, int line,
+                  std::string_view message) {
+  std::fprintf(stderr, "[cvg] CHECK failed: %.*s at %.*s:%d",
+               static_cast<int>(condition.size()), condition.data(),
+               static_cast<int>(file.size()), file.data(), line);
+  if (!message.empty()) {
+    std::fprintf(stderr, " — %.*s", static_cast<int>(message.size()),
+                 message.data());
+  }
+  std::fprintf(stderr, "\n");
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace cvg

@@ -1,0 +1,13 @@
+#include "cvg/util/rng.hpp"
+
+namespace cvg {
+
+std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t index) noexcept {
+  // Two rounds of SplitMix64 over a mix of master seed and index; the golden
+  // ratio offset decorrelates adjacent indices.
+  SplitMix64 mix(seed ^ (index * 0x9e3779b97f4a7c15ULL + 0x1234567890abcdefULL));
+  mix.next();
+  return mix.next();
+}
+
+}  // namespace cvg

@@ -1,0 +1,276 @@
+// Unit tests for cvg_adversary: legality of every strategy, the staged
+// Thm 3.1 adversary's guarantees, trace replay and the burst finale.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cvg/adversary/killers.hpp"
+#include "cvg/adversary/registry.hpp"
+#include "cvg/adversary/seeker.hpp"
+#include "cvg/adversary/simple.hpp"
+#include "cvg/adversary/staged.hpp"
+#include "cvg/policy/centralized_fie.hpp"
+#include "cvg/policy/registry.hpp"
+#include "cvg/policy/standard.hpp"
+#include "cvg/sim/runner.hpp"
+#include "cvg/topology/builders.hpp"
+
+namespace cvg {
+namespace {
+
+TEST(Adversary, ResolveSites) {
+  const Tree path = build::path(10);
+  EXPECT_EQ(adversary::resolve_site(path, adversary::Site::Deepest), 9u);
+  EXPECT_EQ(adversary::resolve_site(path, adversary::Site::SinkChild), 1u);
+  EXPECT_EQ(adversary::resolve_site(path, adversary::Site::Middle), 4u);
+
+  const Tree spider = build::spider(3, 4);
+  const NodeId deepest = adversary::resolve_site(spider, adversary::Site::Deepest);
+  EXPECT_EQ(spider.depth(deepest), spider.max_depth());
+  EXPECT_EQ(adversary::resolve_site(spider, adversary::Site::SinkChild), 1u);
+}
+
+TEST(Adversary, AllStrategiesRespectRate) {
+  const Tree tree = build::complete_kary(2, 5);
+  OddEvenPolicy policy;
+  std::vector<AdversaryPtr> adversaries;
+  adversaries.push_back(std::make_unique<adversary::FixedNode>(tree, adversary::Site::Deepest));
+  adversaries.push_back(std::make_unique<adversary::RandomUniform>(1));
+  adversaries.push_back(std::make_unique<adversary::RandomLeaf>(2));
+  adversaries.push_back(std::make_unique<adversary::TrainAndSlam>(tree));
+  adversaries.push_back(std::make_unique<adversary::Alternator>(tree, 5));
+  adversaries.push_back(std::make_unique<adversary::PileOn>());
+  adversaries.push_back(std::make_unique<adversary::FeedTheBlock>());
+  adversaries.push_back(std::make_unique<adversary::HeightSeeker>(policy, SimOptions{}, 2));
+
+  for (const AdversaryPtr& adv : adversaries) {
+    Simulator sim(tree, policy);
+    adv->on_simulation_start();
+    std::vector<NodeId> inj;
+    for (Step s = 0; s < 100; ++s) {
+      inj.clear();
+      adv->plan(tree, sim.config(), s, 1, inj);
+      ASSERT_LE(inj.size(), 1u) << adv->name();
+      for (const NodeId t : inj) ASSERT_LT(t, tree.node_count()) << adv->name();
+      sim.step(inj);  // would abort on a rate violation
+    }
+  }
+}
+
+TEST(Adversary, RoundRobinCycles) {
+  const Tree tree = build::path(6);
+  adversary::RoundRobin adv({5, 3, 1});
+  std::vector<NodeId> inj;
+  std::vector<NodeId> seen;
+  for (Step s = 0; s < 6; ++s) {
+    inj.clear();
+    adv.plan(tree, Configuration(6), s, 1, inj);
+    ASSERT_EQ(inj.size(), 1u);
+    seen.push_back(inj[0]);
+  }
+  EXPECT_EQ(seen, (std::vector<NodeId>{5, 3, 1, 5, 3, 1}));
+}
+
+TEST(Adversary, TraceReplayAndIdleTail) {
+  const Tree tree = build::path(4);
+  adversary::Trace adv({{3}, {}, {2, 2}});
+  std::vector<NodeId> inj;
+  adv.plan(tree, Configuration(4), 0, 2, inj);
+  EXPECT_EQ(inj, (std::vector<NodeId>{3}));
+  inj.clear();
+  adv.plan(tree, Configuration(4), 1, 2, inj);
+  EXPECT_TRUE(inj.empty());
+  inj.clear();
+  adv.plan(tree, Configuration(4), 2, 2, inj);
+  EXPECT_EQ(inj.size(), 2u);
+  inj.clear();
+  adv.plan(tree, Configuration(4), 99, 2, inj);
+  EXPECT_TRUE(inj.empty());
+}
+
+TEST(Adversary, TrainAndSlamPhases) {
+  const Tree tree = build::path(10);
+  adversary::TrainAndSlam adv(tree, 4);
+  std::vector<NodeId> inj;
+  for (Step s = 0; s < 8; ++s) {
+    inj.clear();
+    adv.plan(tree, Configuration(10), s, 1, inj);
+    ASSERT_EQ(inj.size(), 1u);
+    EXPECT_EQ(inj[0], s < 4 ? adv.train_site() : adv.slam_site());
+  }
+  EXPECT_EQ(adv.train_site(), 9u);
+  EXPECT_EQ(adv.slam_site(), 1u);
+}
+
+TEST(Adversary, PileOnTargetsTallest) {
+  const Tree tree = build::path(5);
+  adversary::PileOn adv;
+  Configuration config({0, 1, 4, 2, 0});
+  std::vector<NodeId> inj;
+  adv.plan(tree, config, 0, 1, inj);
+  EXPECT_EQ(inj, (std::vector<NodeId>{2}));
+}
+
+TEST(Adversary, FeedTheBlockTargetsTallestChild) {
+  const Tree tree = build::path(5);
+  adversary::FeedTheBlock adv;
+  Configuration config({0, 1, 4, 2, 0});
+  std::vector<NodeId> inj;
+  adv.plan(tree, config, 0, 1, inj);
+  EXPECT_EQ(inj, (std::vector<NodeId>{3}));  // the child feeding node 2
+}
+
+TEST(Adversary, BurstFinaleFiresOnce) {
+  const Tree tree = build::path(8);
+  auto inner = std::make_unique<adversary::FixedNode>(tree, adversary::Site::Deepest);
+  adversary::BurstFinale adv(std::move(inner), /*finale_step=*/5, /*burst=*/4);
+  GreedyPolicy greedy;
+  Simulator sim(tree, greedy, {.capacity = 1, .burstiness = 3});
+  std::vector<NodeId> inj;
+  for (Step s = 0; s < 10; ++s) {
+    inj.clear();
+    adv.plan(tree, sim.config(), s, 1, inj);
+    if (s == 5) {
+      EXPECT_EQ(inj.size(), 4u);
+    } else {
+      EXPECT_EQ(inj.size(), 1u);
+    }
+    sim.step(inj);
+  }
+}
+
+TEST(StagedAdversary, BoundFormula) {
+  using adversary::staged_bound;
+  // c=1, l=1, n=1024: 1 + (10 - 0 - 1)/2 = 5.5
+  EXPECT_NEAR(staged_bound(1024, 1, 1), 5.5, 1e-9);
+  // c=2 doubles it; l=2 divides the log term and subtracts 2 log l.
+  EXPECT_NEAR(staged_bound(1024, 2, 1), 11.0, 1e-9);
+  EXPECT_NEAR(staged_bound(1024, 1, 2), 1.0 + (10.0 - 2.0 - 1.0) / 4.0, 1e-9);
+  // Never below c.
+  EXPECT_GE(staged_bound(4, 3, 4), 3.0);
+}
+
+class StagedVsPolicy : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(StagedVsPolicy, ForcesTheFormulaBound) {
+  const std::string name = GetParam();
+  const Tree tree = build::path(257);  // 256 non-sink nodes
+  const PolicyPtr policy = make_policy(name);
+  adversary::StagedLowerBound adv(*policy, SimOptions{}, /*locality=*/1);
+  const Step steps = adv.recommended_steps(tree);
+  const RunResult result = run(tree, *policy, adv, steps);
+  const double bound = adversary::staged_bound(256, 1, 1);
+  EXPECT_GE(result.peak_height, static_cast<Height>(std::floor(bound)))
+      << name << ": staged adversary under-delivered";
+  EXPECT_TRUE(adv.finished());
+  // Each completed stage must meet its target density.
+  for (const auto& stage : adv.history()) {
+    EXPECT_GE(stage.density + 1e-9, stage.target_density)
+        << name << " stage " << stage.index;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLocalPolicies, StagedVsPolicy,
+                         ::testing::Values("odd-even", "downhill-or-flat",
+                                           "greedy", "downhill", "fie-local",
+                                           "max-window-2", "gradient-2"));
+
+TEST(StagedAdversary, HigherCapacityScales) {
+  const Tree tree = build::path(129);
+  GreedyPolicy greedy;
+  const SimOptions options{.capacity = 3};
+  adversary::StagedLowerBound adv(greedy, options, 1);
+  const Step steps = adv.recommended_steps(tree);
+  const RunResult result = run(tree, greedy, adv, steps, options);
+  EXPECT_GE(result.peak_height,
+            static_cast<Height>(std::floor(adversary::staged_bound(128, 3, 1))));
+}
+
+TEST(StagedAdversary, LargerLocalityWeakensBound) {
+  const Tree tree = build::path(257);
+  OddEvenPolicy policy;
+  adversary::StagedLowerBound adv(policy, SimOptions{}, /*locality=*/4);
+  const Step steps = adv.recommended_steps(tree);
+  const RunResult result = run(tree, policy, adv, steps);
+  EXPECT_GE(result.peak_height,
+            static_cast<Height>(std::floor(adversary::staged_bound(256, 1, 4))));
+}
+
+TEST(StagedAdversary, ReusableAcrossRuns) {
+  const Tree tree = build::path(65);
+  OddEvenPolicy policy;
+  adversary::StagedLowerBound adv(policy, SimOptions{}, 1);
+  const Step steps = adv.recommended_steps(tree);
+  const RunResult first = run(tree, policy, adv, steps);
+  const RunResult second = run(tree, policy, adv, steps);
+  EXPECT_EQ(first.peak_height, second.peak_height);
+  EXPECT_EQ(first.final_config, second.final_config);
+}
+
+TEST(StagedAdversaryDeathTest, RejectsCentralizedPolicy) {
+  CentralizedFiePolicy fie;
+  EXPECT_DEATH(adversary::StagedLowerBound(fie, SimOptions{}, 1),
+               "centralized");
+}
+
+TEST(HeightSeeker, BeatsFixedSiteAgainstGreedy) {
+  const Tree tree = build::path(17);
+  GreedyPolicy greedy;
+  adversary::HeightSeeker seeker(greedy, SimOptions{}, 3);
+  adversary::FixedNode fixed(tree, adversary::Site::Deepest);
+  const RunResult sought = run(tree, greedy, seeker, 300);
+  const RunResult fixed_result = run(tree, greedy, fixed, 300);
+  EXPECT_GE(sought.peak_height, fixed_result.peak_height);
+}
+
+
+TEST(AdversaryRegistry, KnownNames) {
+  using adversary::is_known_adversary;
+  for (const auto& name : adversary::standard_adversary_names()) {
+    EXPECT_TRUE(is_known_adversary(name)) << name;
+  }
+  EXPECT_TRUE(is_known_adversary("fixed-7"));
+  EXPECT_TRUE(is_known_adversary("alternator-16"));
+  EXPECT_TRUE(is_known_adversary("staged-l2"));
+  EXPECT_TRUE(is_known_adversary("height-seeker-3"));
+  EXPECT_FALSE(is_known_adversary("nonsense"));
+  EXPECT_FALSE(is_known_adversary("alternator-0"));
+  EXPECT_FALSE(is_known_adversary("staged-l0"));
+}
+
+TEST(AdversaryRegistry, ConstructsWithContext) {
+  const Tree tree = build::path(33);
+  OddEvenPolicy policy;
+  adversary::AdversaryContext context;
+  context.tree = &tree;
+  context.policy = &policy;
+  context.seed = 11;
+
+  for (const char* name :
+       {"fixed-deepest", "fixed-5", "random-uniform", "train-and-slam",
+        "alternator-8", "pile-on", "staged-l1", "height-seeker-2"}) {
+    AdversaryPtr adversary = adversary::make_adversary(name, context);
+    ASSERT_NE(adversary, nullptr) << name;
+    const RunResult result = run(tree, policy, *adversary, 120);
+    EXPECT_EQ(result.injected,
+              result.delivered + result.final_config.total_packets())
+        << name;
+  }
+}
+
+TEST(AdversaryRegistryDeathTest, StagedNeedsPolicy) {
+  const Tree tree = build::path(8);
+  adversary::AdversaryContext context;
+  context.tree = &tree;
+  EXPECT_DEATH((void)adversary::make_adversary("staged-l1", context),
+               "needs the policy");
+}
+
+TEST(AdversaryRegistryDeathTest, UnknownName) {
+  adversary::AdversaryContext context;
+  EXPECT_DEATH((void)adversary::make_adversary("bogus", context), "unknown");
+}
+
+}  // namespace
+}  // namespace cvg

@@ -1,0 +1,123 @@
+// Tests for the undirected-path substrate (Theorem 3.3's model): transition
+// semantics, conservation, the diffusion balancer's behaviour, and the
+// empirical log barrier.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cvg/sim/bidir.hpp"
+#include "cvg/util/rng.hpp"
+
+namespace cvg {
+namespace {
+
+TEST(Bidir, OddEvenMatchesDirectedBehaviour) {
+  BidirOddEven policy;
+  // Never sends away from the sink.
+  for (Height own = 0; own <= 6; ++own) {
+    for (Height toward = 0; toward <= 6; ++toward) {
+      for (Height away = -1; away <= 6; ++away) {
+        EXPECT_FALSE(policy.decide(own, toward, away).away);
+      }
+    }
+  }
+  EXPECT_TRUE(policy.decide(1, 1, 0).toward_sink);   // odd, flat
+  EXPECT_FALSE(policy.decide(2, 2, 0).toward_sink);  // even, flat
+  EXPECT_TRUE(policy.decide(2, 1, 0).toward_sink);   // even, downhill
+}
+
+TEST(Bidir, DiffusionSpillsOnlyDownTwo) {
+  BidirDiffusion policy;
+  EXPECT_TRUE(policy.decide(4, 4, 2).away);
+  EXPECT_FALSE(policy.decide(4, 4, 3).away);   // only 1 lower
+  EXPECT_FALSE(policy.decide(4, 4, -1).away);  // no neighbour there
+  // A single packet goes towards the sink, never backwards.
+  const BidirSend send = policy.decide(1, 0, -1);
+  EXPECT_TRUE(send.toward_sink);
+  EXPECT_FALSE(send.away);
+}
+
+TEST(Bidir, SinglePacketReachesSink) {
+  BidirOddEven policy;
+  BidirPathSimulator sim(5, policy);
+  sim.step_inject(4);
+  for (int i = 0; i < 10; ++i) sim.step_inject(kNoNode);
+  EXPECT_EQ(sim.delivered(), 1u);
+  EXPECT_EQ(sim.config().total_packets(), 0u);
+}
+
+TEST(Bidir, ConservationUnderRandomTraffic) {
+  for (const bool use_diffusion : {false, true}) {
+    BidirOddEven odd_even;
+    BidirDiffusion diffusion;
+    const BidirPolicy& policy =
+        use_diffusion ? static_cast<const BidirPolicy&>(diffusion)
+                      : static_cast<const BidirPolicy&>(odd_even);
+    BidirPathSimulator sim(24, policy);
+    Xoshiro256StarStar rng(77);
+    for (Step s = 0; s < 1000; ++s) {
+      const NodeId t = rng.bernoulli(0.8)
+                           ? static_cast<NodeId>(1 + rng.below(23))
+                           : kNoNode;
+      sim.step_inject(t);
+      ASSERT_EQ(sim.injected(),
+                sim.delivered() + sim.config().total_packets())
+          << policy.name() << " step " << s;
+    }
+  }
+}
+
+TEST(Bidir, CheckpointCopySemantics) {
+  BidirDiffusion policy;
+  BidirPathSimulator sim(16, policy);
+  for (int i = 0; i < 30; ++i) sim.step_inject(15);
+  BidirPathSimulator checkpoint = sim;
+  for (int i = 0; i < 20; ++i) sim.step_inject(1);
+  for (int i = 0; i < 20; ++i) checkpoint.step_inject(1);
+  EXPECT_EQ(sim.config(), checkpoint.config());
+  EXPECT_EQ(sim.delivered(), checkpoint.delivered());
+}
+
+TEST(Bidir, DiffusionSpreadsPilesBackwards) {
+  // Start from a tall pile mid-path with an empty tail behind it: diffusion
+  // must reduce the maximum faster than the directed engine could (which
+  // sheds at most 1/step through the single forward link).
+  BidirDiffusion policy;
+  BidirPathSimulator sim(12, policy);
+  Configuration piled(12);
+  piled.set_height(6, 10);
+  sim.set_config(piled);
+  sim.step_inject(kNoNode);
+  sim.step_inject(kNoNode);
+  // After two steps, the pile shed both forwards and backwards.
+  EXPECT_LE(sim.config().height(6), 7);
+  EXPECT_GE(sim.config().height(7), 1);  // something went backwards
+}
+
+TEST(Bidir, StillLogarithmicUnderSustainedAttack) {
+  // Far-end pressure plus near-sink pressure alternating: diffusion's peak
+  // stays small (the full staged-adversary experiment lives in bench_bidir).
+  BidirDiffusion policy;
+  const std::size_t n = 256;
+  BidirPathSimulator sim(n + 1, policy);
+  for (Step s = 0; s < 4 * n; ++s) {
+    sim.step_inject(s % (2 * 64) < 64 ? static_cast<NodeId>(n) : NodeId{1});
+  }
+  EXPECT_LE(sim.peak_height(),
+            static_cast<Height>(std::log2(static_cast<double>(n))) + 4);
+}
+
+TEST(Bidir, NoBackwardSendOffTheEnd) {
+  BidirDiffusion policy;
+  BidirPathSimulator sim(4, policy);
+  // Pile at the far end (node 3, no right neighbour): must never send away.
+  Configuration piled(4);
+  piled.set_height(3, 8);
+  sim.set_config(piled);
+  for (int i = 0; i < 20; ++i) sim.step_inject(kNoNode);
+  EXPECT_EQ(sim.delivered(), 8u);
+}
+
+}  // namespace
+}  // namespace cvg

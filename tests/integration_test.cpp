@@ -1,0 +1,189 @@
+// Cross-module integration tests: the exhaustive search, the constructive
+// adversaries, the certifier and the sweep pipeline must tell one coherent
+// story about the same instances.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cvg/adversary/killers.hpp"
+#include "cvg/adversary/simple.hpp"
+#include "cvg/adversary/staged.hpp"
+#include "cvg/certify/path_certifier.hpp"
+#include "cvg/parallel/sweep.hpp"
+#include "cvg/policy/registry.hpp"
+#include "cvg/policy/standard.hpp"
+#include "cvg/report/stats.hpp"
+#include "cvg/report/table.hpp"
+#include "cvg/search/beam.hpp"
+#include "cvg/search/exhaustive.hpp"
+#include "cvg/sim/runner.hpp"
+#include "cvg/topology/builders.hpp"
+
+namespace cvg {
+namespace {
+
+TEST(Integration, AdversaryHierarchyOnSmallPaths) {
+  // For every small instance: battery peak ≤ staged peak or vice versa, but
+  // both must be ≤ the exhaustive (true) worst case, which in turn must be
+  // ≤ the certifier's residue-count cap.
+  for (std::size_t n = 4; n <= 9; ++n) {
+    const Tree tree = build::path(n + 1);
+    OddEvenPolicy policy;
+
+    const auto exact =
+        search::exhaustive_worst_case(tree, policy, SimOptions{});
+    ASSERT_FALSE(exact.capped);
+
+    adversary::StagedLowerBound staged(policy, SimOptions{}, 1);
+    const Height staged_peak =
+        run(tree, policy, staged, staged.recommended_steps(tree)).peak_height;
+
+    Height battery_peak = 0;
+    {
+      adversary::TrainAndSlam train(tree);
+      battery_peak = std::max(
+          battery_peak,
+          run(tree, policy, train, static_cast<Step>(8 * n)).peak_height);
+      adversary::PileOn pile;
+      battery_peak = std::max(
+          battery_peak,
+          run(tree, policy, pile, static_cast<Step>(8 * n)).peak_height);
+    }
+
+    certify::PathCertifier certifier(tree, 0);
+    const Height certified_cap = certifier.certified_bound();
+
+    EXPECT_LE(staged_peak, exact.peak) << "n=" << n;
+    EXPECT_LE(battery_peak, exact.peak) << "n=" << n;
+    EXPECT_LE(exact.peak, certified_cap) << "n=" << n;
+    // The staged adversary is near-optimal even at tiny sizes.
+    EXPECT_GE(staged_peak, exact.peak - 1) << "n=" << n;
+  }
+}
+
+TEST(Integration, BeamSitsBetweenBatteryAndExact) {
+  const Tree tree = build::path(9);
+  DownhillOrFlatPolicy policy;
+  const auto exact = search::exhaustive_worst_case(tree, policy, SimOptions{});
+  search::BeamOptions options;
+  options.width = 64;
+  options.generations = 300;
+  const auto beam = search::beam_worst_case(tree, policy, SimOptions{}, options);
+  EXPECT_LE(beam.peak, exact.peak);
+  EXPECT_GE(beam.peak, exact.peak - 1);
+}
+
+TEST(Integration, OptimalSchedulesSurviveCertification) {
+  // Replay the exhaustive search's optimal schedules with the certifier
+  // attached: the proof machinery must accept the true worst-case runs.
+  // Historically valuable: the n = 8 replay is what exposed the 2up
+  // parity-ordering subtlety (an even-height 2up's up-down pair must be
+  // processed before its down-up pair) that random adversaries never hit.
+  for (std::size_t n = 4; n <= 10; ++n) {
+    const Tree tree = build::path(n + 1);
+    OddEvenPolicy policy;
+    search::SearchOptions options;
+    options.keep_schedule = true;
+    const auto exact =
+        search::exhaustive_worst_case(tree, policy, SimOptions{}, options);
+    ASSERT_FALSE(exact.schedule.empty()) << "n=" << n;
+
+    std::vector<std::vector<NodeId>> steps;
+    for (const NodeId t : exact.schedule) {
+      steps.push_back(t == kNoNode ? std::vector<NodeId>{}
+                                   : std::vector<NodeId>{t});
+    }
+    adversary::Trace replay(steps);
+    certify::PathCertifier certifier(tree, 1);
+    const RunResult result = run(
+        tree, policy, replay, static_cast<Step>(steps.size()), SimOptions{},
+        [&certifier](const Simulator& sim, const StepRecord& record) {
+          certifier.observe(sim.config(), record);
+        });
+    certifier.final_validate();
+    EXPECT_EQ(result.peak_height, exact.peak) << "n=" << n;
+  }
+}
+
+TEST(Integration, SweepFeedsReportPipeline) {
+  // End-to-end: jobs -> parallel sweep -> table -> growth fit, exactly the
+  // way the bench binaries compose the modules.
+  std::vector<PeakJob> jobs;
+  const std::vector<std::size_t> sizes = report::geometric_sizes(32, 256);
+  for (const std::size_t n : sizes) {
+    PeakJob job;
+    job.label = std::to_string(n);
+    job.make_tree = [n] { return build::path(n + 1); };
+    job.make_policy = [] { return make_policy("greedy"); };
+    job.make_adversary = [n](const Tree& tree, const Policy&) -> AdversaryPtr {
+      return std::make_unique<adversary::TrainAndSlam>(tree, n / 2);
+    };
+    job.steps = static_cast<Step>(3 * n);
+    jobs.push_back(std::move(job));
+  }
+  const auto outcomes = run_peak_sweep(jobs, 4);
+
+  report::Table table({"n", "peak"});
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    table.row(sizes[i], outcomes[i].peak);
+    xs.push_back(static_cast<double>(sizes[i]));
+    ys.push_back(static_cast<double>(outcomes[i].peak));
+  }
+  EXPECT_EQ(table.row_count(), sizes.size());
+  EXPECT_NEAR(report::loglog_slope(xs, ys), 1.0, 0.1);  // greedy is linear
+}
+
+TEST(Integration, EveryRegistryPolicyRunsOnEveryFamily) {
+  const std::vector<Tree> topologies = {
+      build::path(20),          build::star(6),
+      build::spider(3, 4),      build::complete_kary(3, 3),
+      build::caterpillar(5, 2), build::broom(4, 5),
+      build::spider_staggered(4),
+  };
+  std::vector<std::string> names = standard_policy_names();
+  names.push_back("max-window-3");
+  names.push_back("gradient-2");
+  names.push_back("scaled-odd-even-2");
+  for (const Tree& tree : topologies) {
+    for (const auto& name : names) {
+      const PolicyPtr policy = make_policy(name);
+      adversary::RandomUniform adv(9);
+      const RunResult result =
+          run(tree, *policy, adv, 300, {.validate = true});
+      EXPECT_EQ(result.injected,
+                result.delivered + result.final_config.total_packets())
+          << name;
+    }
+  }
+}
+
+TEST(Integration, StagedAdversaryDominatesBatteryAtScale) {
+  // The Thm 3.1 adversary is the strongest thing we have against Odd-Even:
+  // at every size its forced peak matches or beats the whole battery.
+  for (const std::size_t n : {128u, 512u}) {
+    const Tree tree = build::path(n + 1);
+    OddEvenPolicy policy;
+    adversary::StagedLowerBound staged(policy, SimOptions{}, 1);
+    const Height staged_peak =
+        run(tree, policy, staged, staged.recommended_steps(tree)).peak_height;
+    EXPECT_EQ(staged_peak,
+              static_cast<Height>(std::log2(static_cast<double>(n))) + 1)
+        << "n=" << n;
+
+    adversary::TrainAndSlam train(tree);
+    adversary::Alternator alt(tree, 16);
+    adversary::PileOn pile;
+    for (Adversary* adv :
+         std::initializer_list<Adversary*>{&train, &alt, &pile}) {
+      const Height peak =
+          run(tree, policy, *adv, static_cast<Step>(6 * n)).peak_height;
+      EXPECT_LE(peak, staged_peak) << adv->name() << " n=" << n;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cvg

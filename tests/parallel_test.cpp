@@ -1,0 +1,107 @@
+// Unit tests for cvg_parallel: fork-join loop and the sweep runner,
+// including determinism with respect to thread count.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "cvg/adversary/simple.hpp"
+#include "cvg/parallel/parallel_for.hpp"
+#include "cvg/parallel/sweep.hpp"
+#include "cvg/policy/registry.hpp"
+#include "cvg/topology/builders.hpp"
+
+namespace cvg {
+namespace {
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(1000, 8, [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ZeroAndOneCounts) {
+  int calls = 0;
+  parallel_for(0, 4, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  parallel_for(1, 4, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, SingleThreadFallback) {
+  std::vector<int> order;
+  parallel_for(5, 1, [&](std::size_t i) { order.push_back(static_cast<int>(i)); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelFor, ResultsIndependentOfThreadCount) {
+  const auto compute = [](unsigned threads) {
+    std::vector<std::uint64_t> out(200);
+    parallel_for(200, threads, [&](std::size_t i) {
+      Xoshiro256StarStar rng(derive_seed(7, i));
+      std::uint64_t sum = 0;
+      for (int k = 0; k < 100; ++k) sum += rng.below(1000);
+      out[i] = sum;
+    });
+    return out;
+  };
+  EXPECT_EQ(compute(1), compute(7));
+  EXPECT_EQ(compute(2), compute(16));
+}
+
+TEST(ParallelFor, DefaultThreadCountIsPositive) {
+  EXPECT_GE(default_thread_count(), 1u);
+}
+
+TEST(Sweep, RunsJobsAndPreservesOrder) {
+  std::vector<PeakJob> jobs;
+  for (const std::size_t n : {8u, 16u, 32u}) {
+    PeakJob job;
+    job.label = "greedy n=" + std::to_string(n);
+    job.make_tree = [n] { return build::path(n); };
+    job.make_policy = [] { return make_policy("greedy"); };
+    job.make_adversary = [](const Tree& tree, const Policy&) -> AdversaryPtr {
+      return std::make_unique<adversary::FixedNode>(tree,
+                                                    adversary::Site::Deepest);
+    };
+    job.steps = 100;
+    jobs.push_back(std::move(job));
+  }
+  const auto outcomes = run_peak_sweep(jobs, 3);
+  ASSERT_EQ(outcomes.size(), 3u);
+  EXPECT_EQ(outcomes[0].label, "greedy n=8");
+  EXPECT_EQ(outcomes[2].label, "greedy n=32");
+  for (const auto& outcome : outcomes) {
+    EXPECT_EQ(outcome.injected, 100u);
+    EXPECT_GE(outcome.peak, 1);
+  }
+}
+
+TEST(Sweep, DeterministicAcrossThreadCounts) {
+  const auto make_jobs = [] {
+    std::vector<PeakJob> jobs;
+    for (std::uint64_t seed = 0; seed < 12; ++seed) {
+      PeakJob job;
+      job.label = "seed " + std::to_string(seed);
+      job.make_tree = [] { return build::path(24); };
+      job.make_policy = [] { return make_policy("odd-even"); };
+      job.make_adversary = [seed](const Tree&, const Policy&) -> AdversaryPtr {
+        return std::make_unique<adversary::RandomUniform>(derive_seed(3, seed));
+      };
+      job.steps = 300;
+      jobs.push_back(std::move(job));
+    }
+    return jobs;
+  };
+  const auto a = run_peak_sweep(make_jobs(), 1);
+  const auto b = run_peak_sweep(make_jobs(), 6);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].peak, b[i].peak) << i;
+    EXPECT_EQ(a[i].delivered, b[i].delivered) << i;
+  }
+}
+
+}  // namespace
+}  // namespace cvg

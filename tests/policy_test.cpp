@@ -1,0 +1,315 @@
+// Unit tests for cvg_policy: each scheduling rule against hand-computed
+// expectations, sibling arbitration, locality conformance, and the registry.
+
+#include <gtest/gtest.h>
+
+#include "cvg/policy/centralized_fie.hpp"
+#include "cvg/policy/registry.hpp"
+#include "cvg/policy/standard.hpp"
+#include "cvg/topology/builders.hpp"
+#include "cvg/util/rng.hpp"
+
+namespace cvg {
+namespace {
+
+/// Computes the send vector for `policy` on a path with the given heights.
+std::vector<Capacity> sends_on_path(const Policy& policy,
+                                    std::vector<Height> heights,
+                                    Capacity capacity = 1) {
+  const Tree tree = build::path(heights.size());
+  const Configuration config(std::move(heights));
+  std::vector<Capacity> sends(tree.node_count(), 0);
+  policy.compute_sends(tree, config, {}, capacity, sends);
+  return sends;
+}
+
+TEST(Policy, GreedyForwardsWheneverNonEmpty) {
+  GreedyPolicy greedy;
+  const auto sends = sends_on_path(greedy, {0, 2, 0, 1, 5});
+  EXPECT_EQ(sends[1], 1);
+  EXPECT_EQ(sends[2], 0);
+  EXPECT_EQ(sends[3], 1);
+  EXPECT_EQ(sends[4], 1);
+}
+
+TEST(Policy, GreedyUsesCapacity) {
+  GreedyPolicy greedy;
+  const auto sends = sends_on_path(greedy, {0, 1, 5}, /*capacity=*/3);
+  EXPECT_EQ(sends[1], 1);  // clamped by buffer content
+  EXPECT_EQ(sends[2], 3);  // clamped by capacity
+}
+
+TEST(Policy, DownhillNeedsStrictDescent) {
+  DownhillPolicy downhill;
+  const auto sends = sends_on_path(downhill, {0, 2, 2, 3, 3});
+  EXPECT_EQ(sends[1], 1);  // 2 > 0 (sink)
+  EXPECT_EQ(sends[2], 0);  // 2 == 2
+  EXPECT_EQ(sends[3], 1);  // 3 > 2
+  EXPECT_EQ(sends[4], 0);  // 3 == 3
+}
+
+TEST(Policy, DownhillOrFlatForwardsOnFlat) {
+  DownhillOrFlatPolicy dof;
+  const auto sends = sends_on_path(dof, {0, 2, 2, 3, 3});
+  EXPECT_EQ(sends[1], 1);
+  EXPECT_EQ(sends[2], 1);  // flat forwards
+  EXPECT_EQ(sends[3], 1);
+  EXPECT_EQ(sends[4], 1);
+  // But never uphill.
+  const auto uphill = sends_on_path(dof, {0, 3, 2});
+  EXPECT_EQ(uphill[2], 0);
+}
+
+TEST(Policy, FieLocalNeedsEmptySuccessor) {
+  FieLocalPolicy fie;
+  const auto sends = sends_on_path(fie, {0, 0, 1, 1, 2});
+  EXPECT_EQ(sends[2], 1);  // successor empty
+  EXPECT_EQ(sends[3], 0);  // successor holds 1
+  EXPECT_EQ(sends[4], 0);
+}
+
+TEST(Policy, OddEvenRuleTable) {
+  // Odd own height: forward iff succ <= own.  Even: iff succ < own.
+  EXPECT_TRUE(OddEvenPolicy::rule(1, 0));
+  EXPECT_TRUE(OddEvenPolicy::rule(1, 1));
+  EXPECT_FALSE(OddEvenPolicy::rule(1, 2));
+  EXPECT_TRUE(OddEvenPolicy::rule(2, 1));
+  EXPECT_FALSE(OddEvenPolicy::rule(2, 2));
+  EXPECT_FALSE(OddEvenPolicy::rule(2, 3));
+  EXPECT_TRUE(OddEvenPolicy::rule(3, 3));
+  EXPECT_FALSE(OddEvenPolicy::rule(4, 4));
+}
+
+TEST(Policy, OddEvenOnPath) {
+  OddEvenPolicy odd_even;
+  const auto sends = sends_on_path(odd_even, {0, 1, 1, 2, 2, 3});
+  EXPECT_EQ(sends[1], 1);  // h=1 odd, succ 0 <= 1
+  EXPECT_EQ(sends[2], 1);  // h=1 odd, succ 1 <= 1
+  EXPECT_EQ(sends[3], 1);  // h=2 even, succ 1 < 2
+  EXPECT_EQ(sends[4], 0);  // h=2 even, succ 2 not < 2
+  EXPECT_EQ(sends[5], 1);  // h=3 odd, succ 2 <= 3
+}
+
+TEST(Policy, EmptyNodesNeverSend) {
+  for (const auto& name : standard_policy_names()) {
+    if (name == "centralized-fie") continue;
+    const PolicyPtr policy = make_policy(name);
+    const auto sends = sends_on_path(*policy, {0, 0, 0, 0});
+    for (const Capacity s : sends) EXPECT_EQ(s, 0) << name;
+  }
+}
+
+TEST(Policy, TreeOddEvenStrictArbitration) {
+  // Star: nodes 2..4 are children of hub 1.  Heights: h(2)=3, h(3)=2,
+  // h(4)=2, hub h=1.  The tallest sibling (2) gates; it is odd(3) with
+  // succ 1 <= 3 so it sends; the others must stay silent.
+  const Tree tree = build::star(3);
+  TreeOddEvenPolicy policy(ArbitrationMode::Strict);
+  Configuration config({0, 1, 3, 2, 2});
+  std::vector<Capacity> sends(tree.node_count(), 0);
+  policy.compute_sends(tree, config, {}, 1, sends);
+  EXPECT_EQ(sends[2], 1);
+  EXPECT_EQ(sends[3], 0);
+  EXPECT_EQ(sends[4], 0);
+}
+
+TEST(Policy, TreeOddEvenStrictGateBlocksAll) {
+  // Tallest sibling parity-blocked (h=2 even, succ 2 not < 2): nobody sends
+  // under strict arbitration, even though node 3 (h=1, odd, 2 > 1) wouldn't
+  // send anyway and node 4 (h=3... ) — set up so a shorter sibling *would*
+  // send if allowed.
+  const Tree tree = build::star(2);  // children 2, 3 of hub 1
+  TreeOddEvenPolicy strict(ArbitrationMode::Strict);
+  // h(2)=4 (even, succ 3 < 4 would send... choose succ equal): hub h=4.
+  // h(2)=4 even, succ 4: blocked.  h(3)=3 odd, succ 4 > 3: blocked anyway.
+  // Use hub h=3: h(2)=4 even succ 3 < 4 -> gate sends.  Pick hub height so
+  // the gate is blocked but the short sibling is not: hub=4, h(2)=4 blocked;
+  // h(3)=5 odd... taller.  Use h(2)=6 gate even succ 5... tricky: blocked
+  // even gate needs succ >= gate; shorter sibling odd with succ <= it needs
+  // succ <= sibling < gate <= succ — impossible.  An odd gate blocked needs
+  // succ > gate, and then every shorter sibling is blocked too.  So under
+  // strict arbitration a blocked gate implies nobody could send anyway —
+  // which is exactly why the variant stays work-conserving in practice.
+  Configuration config({0, 4, 4, 3});
+  std::vector<Capacity> sends(tree.node_count(), 0);
+  strict.compute_sends(tree, config, {}, 1, sends);
+  EXPECT_EQ(sends[2], 0);
+  EXPECT_EQ(sends[3], 0);
+}
+
+TEST(Policy, TreeOddEvenWillingArbitration) {
+  // Willing-only: the tallest *willing* sibling sends.  h(2)=2 even with
+  // succ 2 is blocked; h(3)=1 odd with succ 2 is blocked; h(4)=3 odd with
+  // succ 2 <= 3 is willing and sends despite h(2)... make h(2) taller.
+  const Tree tree = build::star(3);
+  TreeOddEvenPolicy willing(ArbitrationMode::WillingOnly);
+  Configuration config({0, 2, 4, 1, 3});  // hub=2; children 2,3,4
+  // h(2)=4 even, succ 2 < 4 -> willing (and tallest) -> sends.
+  std::vector<Capacity> sends(tree.node_count(), 0);
+  willing.compute_sends(tree, config, {}, 1, sends);
+  EXPECT_EQ(sends[2], 1);
+  EXPECT_EQ(sends[3], 0);
+  EXPECT_EQ(sends[4], 0);
+
+  // Now block the tallest: h(2)=4 with hub 4 -> blocked; willing sibling
+  // h(4)=5 odd succ 4 <= 5 -> sends under willing-only.
+  Configuration config2({0, 4, 4, 1, 5});
+  // ... but 5 > 4 makes node 4 the tallest anyway; use h(4)=3 odd succ 4 >
+  // 3 blocked.  Willing arbitration with everyone blocked: nobody sends.
+  std::vector<Capacity> sends2(tree.node_count(), 0);
+  willing.compute_sends(tree, config2, {}, 1, sends2);
+  EXPECT_EQ(sends2[2], 0);
+  EXPECT_EQ(sends2[4], 1);  // h=5 odd, succ 4 <= 5: willing and tallest
+}
+
+TEST(Policy, TreeOddEvenTieBreaksBySmallerId) {
+  const Tree tree = build::star(2);
+  TreeOddEvenPolicy policy(ArbitrationMode::Strict);
+  Configuration config({0, 0, 1, 1});  // equal-height children 2 and 3
+  std::vector<Capacity> sends(tree.node_count(), 0);
+  policy.compute_sends(tree, config, {}, 1, sends);
+  EXPECT_EQ(sends[2], 1);
+  EXPECT_EQ(sends[3], 0);
+}
+
+TEST(Policy, AtMostOnePacketPerIntersection) {
+  Xoshiro256StarStar rng(31);
+  const Tree tree = build::complete_kary(3, 4);
+  TreeOddEvenPolicy policy;
+  for (int trial = 0; trial < 200; ++trial) {
+    Configuration config(tree.node_count());
+    for (NodeId v = 1; v < tree.node_count(); ++v) {
+      config.set_height(v, static_cast<Height>(rng.below(5)));
+    }
+    std::vector<Capacity> sends(tree.node_count(), 0);
+    policy.compute_sends(tree, config, {}, 1, sends);
+    for (NodeId p = 0; p < tree.node_count(); ++p) {
+      Capacity incoming = 0;
+      for (const NodeId c : tree.children(p)) incoming += sends[c];
+      EXPECT_LE(incoming, 1) << "intersection " << p;
+    }
+  }
+}
+
+TEST(Policy, MaxWindowReducesToDownhillOrFlatAtOne) {
+  MaxWindowPolicy window(1);
+  DownhillOrFlatPolicy dof;
+  Xoshiro256StarStar rng(41);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<Height> heights(10, 0);
+    for (std::size_t v = 1; v < heights.size(); ++v) {
+      heights[v] = static_cast<Height>(rng.below(4));
+    }
+    EXPECT_EQ(sends_on_path(window, heights), sends_on_path(dof, heights));
+  }
+}
+
+TEST(Policy, MaxWindowLooksFurther) {
+  MaxWindowPolicy window(3);
+  // Node 4 (h=2) sees successors h = 1, 1, 3 -> max 3 > 2: blocked.
+  const auto sends = sends_on_path(window, {0, 3, 1, 1, 2});
+  EXPECT_EQ(sends[4], 0);
+  // With window 1 it would forward (succ h=1 <= 2).
+  MaxWindowPolicy near(1);
+  EXPECT_EQ(sends_on_path(near, {0, 3, 1, 1, 2})[4], 1);
+}
+
+TEST(Policy, GradientFamily) {
+  GradientPolicy g0(0);
+  GradientPolicy g2(2);
+  const std::vector<Height> heights = {0, 1, 2, 2, 4};
+  EXPECT_EQ(sends_on_path(g0, heights)[3], 1);  // 2-2 >= 0
+  EXPECT_EQ(sends_on_path(g2, heights)[3], 0);  // 2-2 < 2
+  EXPECT_EQ(sends_on_path(g2, heights)[4], 1);  // 4-2 >= 2
+}
+
+TEST(Policy, LocalityConformance) {
+  // A 1-local policy's decision at node v must not change when heights more
+  // than 1 hop away change.
+  Xoshiro256StarStar rng(53);
+  for (const char* name : {"downhill", "downhill-or-flat", "odd-even",
+                           "fie-local", "gradient-1"}) {
+    const PolicyPtr policy = make_policy(name);
+    ASSERT_EQ(policy->locality(), 1) << name;
+    const Tree tree = build::path(12);
+    for (int trial = 0; trial < 50; ++trial) {
+      std::vector<Height> heights(12, 0);
+      for (std::size_t v = 1; v < 12; ++v) {
+        heights[v] = static_cast<Height>(rng.below(5));
+      }
+      std::vector<Capacity> base(12, 0);
+      policy->compute_sends(tree, Configuration(heights), {}, 1, base);
+
+      // Perturb far-away heights relative to node 6 and compare its send.
+      auto perturbed = heights;
+      for (const std::size_t far : {1ul, 2ul, 3ul, 9ul, 10ul, 11ul}) {
+        perturbed[far] = static_cast<Height>(rng.below(5));
+      }
+      std::vector<Capacity> other(12, 0);
+      policy->compute_sends(tree, Configuration(perturbed), {}, 1, other);
+      EXPECT_EQ(base[6], other[6]) << name << " is not 1-local";
+    }
+  }
+}
+
+TEST(Registry, KnownNames) {
+  for (const auto& name : standard_policy_names()) {
+    EXPECT_TRUE(is_known_policy(name)) << name;
+    EXPECT_EQ(make_policy(name)->name(), name);
+  }
+  EXPECT_TRUE(is_known_policy("max-window-4"));
+  EXPECT_TRUE(is_known_policy("gradient-0"));
+  EXPECT_FALSE(is_known_policy("nonsense"));
+  EXPECT_FALSE(is_known_policy("max-window-"));
+  EXPECT_FALSE(is_known_policy("max-window-0"));
+  EXPECT_FALSE(is_known_policy("gradient--1"));
+}
+
+TEST(Registry, LocalityMetadata) {
+  EXPECT_EQ(make_policy("greedy")->locality(), 0);
+  EXPECT_EQ(make_policy("odd-even")->locality(), 1);
+  EXPECT_EQ(make_policy("tree-odd-even")->locality(), 2);
+  EXPECT_EQ(make_policy("centralized-fie")->locality(), -1);
+  EXPECT_EQ(make_policy("max-window-5")->locality(), 5);
+  EXPECT_TRUE(make_policy("centralized-fie")->is_centralized());
+  EXPECT_FALSE(make_policy("odd-even")->is_centralized());
+}
+
+TEST(CentralizedFie, ActivatesPathOfInjection) {
+  const Tree tree = build::path(5);
+  CentralizedFiePolicy fie;
+  fie.reset();
+  Configuration config({0, 1, 1, 0, 1});
+  std::vector<Capacity> sends(5, 0);
+  const NodeId injections[] = {4};
+  fie.compute_sends(tree, config, injections, 1, sends);
+  // Path 4 -> 3 -> 2 -> 1: non-empty nodes on it forward one packet each.
+  EXPECT_EQ(sends[4], 1);
+  EXPECT_EQ(sends[3], 0);  // empty
+  EXPECT_EQ(sends[2], 1);
+  EXPECT_EQ(sends[1], 1);
+}
+
+TEST(CentralizedFie, QueuesBurstActivations) {
+  const Tree tree = build::path(4);
+  CentralizedFiePolicy fie;
+  fie.reset();
+  Configuration config({0, 0, 0, 0});
+  std::vector<Capacity> sends(4, 0);
+  const NodeId burst[] = {3, 3, 3};
+  fie.compute_sends(tree, config, burst, 1, sends);
+  EXPECT_EQ(fie.pending_activations(), 2u);  // one served, two queued
+  sends.assign(4, 0);
+  fie.compute_sends(tree, config, {}, 1, sends);
+  EXPECT_EQ(fie.pending_activations(), 1u);
+}
+
+TEST(ValidateSendsDeathTest, CatchesOverSend) {
+  const Tree tree = build::path(3);
+  const Configuration config({0, 1, 0});
+  const std::vector<Capacity> sends = {0, 1, 1};  // node 2 sends from empty
+  EXPECT_DEATH(validate_sends(tree, config, 1, sends), "more than it buffers");
+}
+
+}  // namespace
+}  // namespace cvg

@@ -1,0 +1,287 @@
+// Property-based suites: parameterized sweeps over (policy × adversary ×
+// topology × seed) grids asserting the model invariants that must hold for
+// *every* execution, plus the policy-specific bounds the paper proves.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "cvg/adversary/killers.hpp"
+#include "cvg/adversary/simple.hpp"
+#include "cvg/policy/registry.hpp"
+#include "cvg/policy/standard.hpp"
+#include "cvg/sim/packet_sim.hpp"
+#include "cvg/sim/runner.hpp"
+#include "cvg/topology/builders.hpp"
+#include "cvg/util/rng.hpp"
+
+namespace cvg {
+namespace {
+
+/// Builds the adversary named by the test parameter.
+AdversaryPtr make_adversary(const std::string& kind, const Tree& tree,
+                            std::uint64_t seed) {
+  if (kind == "fixed-deepest") {
+    return std::make_unique<adversary::FixedNode>(tree,
+                                                  adversary::Site::Deepest);
+  }
+  if (kind == "fixed-sink-child") {
+    return std::make_unique<adversary::FixedNode>(tree,
+                                                  adversary::Site::SinkChild);
+  }
+  if (kind == "random-uniform") {
+    return std::make_unique<adversary::RandomUniform>(seed);
+  }
+  if (kind == "random-leaf") {
+    return std::make_unique<adversary::RandomLeaf>(seed);
+  }
+  if (kind == "train-and-slam") {
+    return std::make_unique<adversary::TrainAndSlam>(tree);
+  }
+  if (kind == "alternator") {
+    return std::make_unique<adversary::Alternator>(tree, 13);
+  }
+  if (kind == "pile-on") return std::make_unique<adversary::PileOn>();
+  if (kind == "feed-the-block") {
+    return std::make_unique<adversary::FeedTheBlock>();
+  }
+  CVG_CHECK(false) << "unknown adversary kind " << kind;
+  return nullptr;
+}
+
+const char* const kAdversaries[] = {
+    "fixed-deepest", "fixed-sink-child", "random-uniform", "random-leaf",
+    "train-and-slam", "alternator",      "pile-on",        "feed-the-block"};
+
+// ---------------------------------------------------------------------------
+// Invariants that hold for every policy under every adversary.
+// ---------------------------------------------------------------------------
+
+using GridParam = std::tuple<const char*, const char*>;  // policy, adversary
+
+class ModelInvariants : public ::testing::TestWithParam<GridParam> {};
+
+TEST_P(ModelInvariants, HoldOnPathsAndTrees) {
+  const std::string policy_name = std::get<0>(GetParam());
+  const std::string adversary_kind = std::get<1>(GetParam());
+  const std::vector<Tree> topologies = {
+      build::path(33),
+      build::complete_kary(2, 5),
+      build::spider(4, 5),
+      build::caterpillar(8, 2),
+  };
+  for (const Tree& tree : topologies) {
+    const PolicyPtr policy = make_policy(policy_name);
+    AdversaryPtr adversary = make_adversary(adversary_kind, tree, 17);
+    Simulator sim(tree, *policy, {.validate = true});
+    adversary->on_simulation_start();
+    std::vector<NodeId> inj;
+    for (Step s = 0; s < 600; ++s) {
+      inj.clear();
+      adversary->plan(tree, sim.config(), s, 1, inj);
+      sim.step(inj);
+      // No packet loss (conservation) and no negative heights (checked
+      // inside Configuration) at every step.
+      ASSERT_EQ(sim.injected(),
+                sim.delivered() + sim.config().total_packets());
+      // Peaks dominate the live configuration.
+      for (NodeId v = 1; v < tree.node_count(); ++v) {
+        ASSERT_GE(sim.peak_per_node()[v], sim.config().height(v));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PolicyAdversaryGrid, ModelInvariants,
+    ::testing::Combine(::testing::Values("greedy", "downhill",
+                                         "downhill-or-flat", "fie-local",
+                                         "odd-even", "tree-odd-even",
+                                         "tree-odd-even-willing",
+                                         "centralized-fie", "max-window-2",
+                                         "gradient-1"),
+                       ::testing::ValuesIn(kAdversaries)),
+    [](const auto& param_info) {
+      std::string name = std::string(std::get<0>(param_info.param)) + "_vs_" +
+                         std::get<1>(param_info.param);
+      for (char& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+// ---------------------------------------------------------------------------
+// The Theorem 4.13 bound: Odd-Even stays under log2(n) + 3 on every path,
+// against the full adversary battery.
+// ---------------------------------------------------------------------------
+
+class OddEvenBound : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(OddEvenBound, HoldsAcrossSizes) {
+  const std::string kind = GetParam();
+  for (const std::size_t n : {9u, 33u, 129u, 513u}) {
+    const Tree tree = build::path(n);
+    OddEvenPolicy policy;
+    AdversaryPtr adversary = make_adversary(kind, tree, 23);
+    const Step steps = static_cast<Step>(6 * n);
+    const RunResult result = run(tree, policy, *adversary, steps);
+    const Height bound =
+        static_cast<Height>(std::log2(static_cast<double>(n))) + 3;
+    EXPECT_LE(result.peak_height, bound) << kind << " n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AdversaryBattery, OddEvenBound,
+                         ::testing::ValuesIn(kAdversaries),
+                         [](const auto& param_info) {
+                           std::string name = param_info.param;
+                           for (char& ch : name) {
+                             if (ch == '-') ch = '_';
+                           }
+                           return name;
+                         });
+
+// ---------------------------------------------------------------------------
+// The Theorem 5.11 bound on trees.
+// ---------------------------------------------------------------------------
+
+class TreeBound : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(TreeBound, HoldsAcrossTopologies) {
+  const std::string kind = GetParam();
+  const std::vector<Tree> topologies = {
+      build::complete_kary(2, 7),   // 127 nodes
+      build::complete_kary(4, 4),   // 85 nodes
+      build::spider(8, 16),         // 130 nodes
+      build::caterpillar(40, 2),    // 121 nodes
+      build::broom(60, 60),         // 121 nodes
+      build::spider_staggered(14),  // 107 nodes
+  };
+  for (const Tree& tree : topologies) {
+    TreeOddEvenPolicy policy;
+    AdversaryPtr adversary = make_adversary(kind, tree, 31);
+    const Step steps = static_cast<Step>(8 * tree.node_count());
+    const RunResult result = run(tree, policy, *adversary, steps);
+    const Height bound = static_cast<Height>(
+        2.0 * std::log2(static_cast<double>(tree.node_count()))) + 4;
+    EXPECT_LE(result.peak_height, bound)
+        << kind << " on " << tree.node_count() << " nodes";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AdversaryBattery, TreeBound,
+                         ::testing::ValuesIn(kAdversaries),
+                         [](const auto& param_info) {
+                           std::string name = param_info.param;
+                           for (char& ch : name) {
+                             if (ch == '-') ch = '_';
+                           }
+                           return name;
+                         });
+
+// ---------------------------------------------------------------------------
+// Randomized differential testing: both engines, both step semantics, many
+// seeds — heights and delivery counts always agree between engines.
+// ---------------------------------------------------------------------------
+
+class EngineEquivalence
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, StepSemantics>> {
+};
+
+TEST_P(EngineEquivalence, RandomTreesRandomTraffic) {
+  const auto& [seed, semantics] = GetParam();
+  Xoshiro256StarStar rng(seed);
+  const Tree tree = build::random_chainy(30 + rng.below(40), 0.5, rng);
+  const SimOptions options{.semantics = semantics};
+  TreeOddEvenPolicy policy;
+  Simulator heights(tree, policy, options);
+  PacketSimulator packets(tree, policy, options);
+  adversary::RandomUniform adversary(seed * 31 + 7, 0.2);
+  adversary.on_simulation_start();
+  std::vector<NodeId> inj;
+  for (Step s = 0; s < 800; ++s) {
+    inj.clear();
+    adversary.plan(tree, heights.config(), s, 1, inj);
+    heights.step(inj);
+    packets.step(inj);
+    ASSERT_EQ(heights.config(), packets.config()) << "seed " << seed;
+  }
+  EXPECT_EQ(heights.delivered(), packets.delivered());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, EngineEquivalence,
+    ::testing::Combine(::testing::Range<std::uint64_t>(1, 13),
+                       ::testing::Values(StepSemantics::DecideBeforeInjection,
+                                         StepSemantics::DecideAfterInjection)),
+    [](const auto& param_info) {
+      return "seed" + std::to_string(std::get<0>(param_info.param)) +
+             (std::get<1>(param_info.param) == StepSemantics::DecideBeforeInjection
+                  ? "_before"
+                  : "_after");
+    });
+
+// ---------------------------------------------------------------------------
+// Idle adversaries drain the network: every work-conserving-ish policy
+// eventually delivers everything once injections stop.
+// ---------------------------------------------------------------------------
+
+TEST(Drainage, AllPoliciesDrainAfterInjectionsStop) {
+  const Tree tree = build::path(24);
+  for (const auto& name : standard_policy_names()) {
+    if (name == "fie-local" || name == "centralized-fie") {
+      continue;  // FIE variants only move on activations/empty successors
+    }
+    const PolicyPtr policy = make_policy(name);
+    Simulator sim(tree, *policy);
+    for (int i = 0; i < 40; ++i) sim.step_inject(23);
+    for (int i = 0; i < 2000 && sim.in_flight() > 0; ++i) {
+      sim.step_inject(kNoNode);
+    }
+    EXPECT_EQ(sim.in_flight(), 0u) << name << " failed to drain";
+  }
+}
+
+TEST(Drainage, FieLocalDrainsToo) {
+  // FIE-local also drains (successor-empty eventually propagates), just
+  // more slowly.
+  const Tree tree = build::path(16);
+  FieLocalPolicy policy;
+  Simulator sim(tree, policy);
+  for (int i = 0; i < 20; ++i) sim.step_inject(15);
+  for (int i = 0; i < 5000 && sim.in_flight() > 0; ++i) {
+    sim.step_inject(kNoNode);
+  }
+  EXPECT_EQ(sim.in_flight(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Odd-Even delivers at full throughput under sustained far-end injection
+// (the first §4 requirement: drain efficiently when fed from the left).
+// ---------------------------------------------------------------------------
+
+TEST(Throughput, OddEvenSustainsRateOneFromFarEnd) {
+  const Tree tree = build::path(64);
+  OddEvenPolicy policy;
+  Simulator sim(tree, policy);
+  const Step total = 4000;
+  for (Step s = 0; s < total; ++s) sim.step_inject(63);
+  // After warmup ~n the delivery rate must be ~1: delivered ≥ total − n − slack.
+  EXPECT_GE(sim.delivered(), total - 64 - 96);
+}
+
+TEST(Throughput, FieLocalIsHalfRate) {
+  // FIE's steady-state throughput is ½, which is exactly why it is
+  // unbounded under a rate-1 adversary [21].
+  const Tree tree = build::path(64);
+  FieLocalPolicy policy;
+  Simulator sim(tree, policy);
+  const Step total = 4000;
+  for (Step s = 0; s < total; ++s) sim.step_inject(63);
+  EXPECT_LE(sim.delivered(), total / 2 + 64);
+  EXPECT_GE(sim.config().max_height(), 100);  // the backlog piles up
+}
+
+}  // namespace
+}  // namespace cvg

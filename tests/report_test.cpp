@@ -1,0 +1,137 @@
+// Unit tests for cvg_report: table rendering and the regression helpers the
+// experiment tables rely on to classify growth curves.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "cvg/report/stats.hpp"
+#include "cvg/report/profile.hpp"
+#include "cvg/report/table.hpp"
+
+namespace cvg::report {
+namespace {
+
+TEST(Table, TextAlignment) {
+  Table table({"name", "n", "peak"});
+  table.row("odd-even", 1024, 8);
+  table.row("greedy", 16, 512);
+  const std::string text = table.to_text();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("odd-even"), std::string::npos);
+  EXPECT_NE(text.find("512"), std::string::npos);
+  // Separator line present.
+  EXPECT_NE(text.find("----"), std::string::npos);
+}
+
+TEST(Table, CsvEscaping) {
+  Table table({"label", "value"});
+  table.row(std::string("a,b"), std::string("say \"hi\""));
+  const std::string csv = table.to_csv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, Markdown) {
+  Table table({"a", "b"});
+  table.row(1, 2);
+  const std::string md = table.to_markdown();
+  EXPECT_NE(md.find("| a | b |"), std::string::npos);
+  EXPECT_NE(md.find("|---|---|"), std::string::npos);
+  EXPECT_NE(md.find("| 1 | 2 |"), std::string::npos);
+}
+
+TEST(Table, DoubleFormatting) {
+  Table table({"x"});
+  table.row(3.14159);
+  EXPECT_NE(table.to_text().find("3.14"), std::string::npos);
+}
+
+TEST(TableDeathTest, RejectsWrongArity) {
+  Table table({"a", "b"});
+  EXPECT_DEATH(table.add_row({"only one"}), "cells");
+}
+
+TEST(Stats, LogLogSlopeRecoversExponent) {
+  // y = 4 x^1.5
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (double x : {2.0, 4.0, 8.0, 16.0, 32.0}) {
+    xs.push_back(x);
+    ys.push_back(4.0 * std::pow(x, 1.5));
+  }
+  EXPECT_NEAR(loglog_slope(xs, ys), 1.5, 1e-9);
+}
+
+TEST(Stats, LogLogSlopeOfLinear) {
+  std::vector<double> xs = {16, 32, 64, 128};
+  std::vector<double> ys = {8, 16, 32, 64};
+  EXPECT_NEAR(loglog_slope(xs, ys), 1.0, 1e-9);
+}
+
+TEST(Stats, SemilogSlopeRecoversLogCoefficient) {
+  // y = 3 + 2 log2 x
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (double x : {4.0, 16.0, 64.0, 256.0}) {
+    xs.push_back(x);
+    ys.push_back(3.0 + 2.0 * std::log2(x));
+  }
+  EXPECT_NEAR(semilog_slope(xs, ys), 2.0, 1e-9);
+}
+
+TEST(Stats, SlopeSkipsNonPositive) {
+  std::vector<double> xs = {0.0, 2.0, 4.0, 8.0};
+  std::vector<double> ys = {5.0, 2.0, 4.0, 8.0};
+  EXPECT_NEAR(loglog_slope(xs, ys), 1.0, 1e-9);  // first point skipped
+}
+
+TEST(Stats, SlopeDegenerateCases) {
+  EXPECT_EQ(loglog_slope({}, {}), 0.0);
+  const std::vector<double> one = {2.0};
+  EXPECT_EQ(loglog_slope(one, one), 0.0);
+  const std::vector<double> same_x = {4.0, 4.0};
+  const std::vector<double> ys = {1.0, 2.0};
+  EXPECT_EQ(loglog_slope(same_x, ys), 0.0);
+}
+
+TEST(Stats, GeometricSizes) {
+  EXPECT_EQ(geometric_sizes(16, 128),
+            (std::vector<std::size_t>{16, 32, 64, 128}));
+  EXPECT_EQ(geometric_sizes(10, 45), (std::vector<std::size_t>{10, 20, 40}));
+  EXPECT_EQ(geometric_sizes(8, 8), (std::vector<std::size_t>{8}));
+}
+
+
+TEST(Profile, HeightStrip) {
+  // heights[0] is the sink; rendering is far-end-first with '|' for sink.
+  const std::vector<cvg::Height> heights = {0, 3, 0, 12, 1};
+  EXPECT_EQ(height_strip(heights), "1#.3|");
+}
+
+TEST(Profile, HeightStripEmptyNetwork) {
+  const std::vector<cvg::Height> heights = {0, 0, 0};
+  EXPECT_EQ(height_strip(heights), "..|");
+}
+
+TEST(Profile, HeightBarsShapes) {
+  const std::vector<cvg::Height> heights = {0, 1, 3, 2};
+  const std::string bars = height_bars(heights);
+  // Three rows (tallest = 3) plus the baseline.
+  EXPECT_EQ(std::count(bars.begin(), bars.end(), '\n'), 4);
+  EXPECT_NE(bars.find("| sink"), std::string::npos);
+  // Column order: node 3 (h=2), node 2 (h=3), node 1 (h=1).
+  EXPECT_NE(bars.find(" # \n## \n###"), std::string::npos);
+}
+
+TEST(Profile, HeightBarsClipsTallBars) {
+  const std::vector<cvg::Height> heights = {0, 50};
+  const std::string bars = height_bars(heights, 4);
+  EXPECT_NE(bars.find('^'), std::string::npos);
+  EXPECT_EQ(std::count(bars.begin(), bars.end(), '\n'), 5);
+}
+
+}  // namespace
+}  // namespace cvg::report

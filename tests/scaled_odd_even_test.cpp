@@ -1,0 +1,114 @@
+// Tests for the experimental ScaledOddEven policy — the library's probe of
+// the paper's §6 open problem (local algorithms for injection rate c > 1).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cvg/adversary/killers.hpp"
+#include "cvg/adversary/simple.hpp"
+#include "cvg/adversary/staged.hpp"
+#include "cvg/policy/registry.hpp"
+#include "cvg/policy/standard.hpp"
+#include "cvg/sim/runner.hpp"
+#include "cvg/topology/builders.hpp"
+
+namespace cvg {
+namespace {
+
+TEST(ScaledOddEven, RateOneEqualsOddEven) {
+  const Tree tree = build::path(64);
+  ScaledOddEvenPolicy scaled(1);
+  OddEvenPolicy plain;
+  Xoshiro256StarStar rng(5);
+  for (int trial = 0; trial < 100; ++trial) {
+    Configuration config(tree.node_count());
+    for (NodeId v = 1; v < tree.node_count(); ++v) {
+      config.set_height(v, static_cast<Height>(rng.below(8)));
+    }
+    std::vector<Capacity> a(tree.node_count(), 0);
+    std::vector<Capacity> b(tree.node_count(), 0);
+    scaled.compute_sends(tree, config, {}, 1, a);
+    plain.compute_sends(tree, config, {}, 1, b);
+    ASSERT_EQ(a, b);
+  }
+}
+
+TEST(ScaledOddEven, MovesFullBucketsAtHigherRates) {
+  const Tree tree = build::path(3);
+  ScaledOddEvenPolicy scaled(3);
+  // h(2)=7 → bucket 2 (even); succ h(1)=3 → bucket 1 < 2 → send 3.
+  Configuration config({0, 3, 7});
+  std::vector<Capacity> sends(3, 0);
+  scaled.compute_sends(tree, config, {}, 3, sends);
+  EXPECT_EQ(sends[2], 3);
+  // h(1)=3 → bucket 1 (odd); succ bucket 0 <= 1 → send 3.
+  EXPECT_EQ(sends[1], 3);
+}
+
+TEST(ScaledOddEven, SustainsRateC) {
+  // Throughput check: under sustained far-end injection at rate c, the
+  // backlog must stay bounded (unlike plain Odd-Even, which caps its
+  // outflow at 1 and diverges).
+  for (const Capacity c : {2, 3}) {
+    const std::size_t n = 128;
+    const Tree tree = build::path(n + 1);
+    ScaledOddEvenPolicy scaled(c);
+    adversary::FixedNode adv(tree, adversary::Site::Deepest);
+    const SimOptions options{.capacity = c};
+    const RunResult result =
+        run(tree, scaled, adv, static_cast<Step>(20 * n), options);
+    EXPECT_LE(result.final_config.total_packets(), 4 * n) << "c=" << c;
+    EXPECT_LE(result.peak_height, c) << "c=" << c;
+  }
+}
+
+TEST(ScaledOddEven, EmpiricallyLogarithmicAtHigherRates) {
+  // The open-problem observation: forced peak vs the staged adversary looks
+  // like c·(log2 n + 1).  Assert the generous envelope c·(log2 n + 3).
+  for (const Capacity c : {2, 4}) {
+    for (const std::size_t n : {128u, 512u}) {
+      const Tree tree = build::path(n + 1);
+      ScaledOddEvenPolicy scaled(c);
+      const SimOptions options{.capacity = c};
+      adversary::StagedLowerBound staged(scaled, options, 1);
+      const RunResult result = run(tree, scaled, staged,
+                                   staged.recommended_steps(tree), options);
+      const double envelope =
+          c * (std::log2(static_cast<double>(n)) + 3.0);
+      EXPECT_LE(result.peak_height, envelope) << "c=" << c << " n=" << n;
+      // And the staged adversary still extracts its guaranteed floor.
+      EXPECT_GE(result.peak_height,
+                std::floor(adversary::staged_bound(n, c, 1)));
+    }
+  }
+}
+
+TEST(ScaledOddEven, BatteryBoundedAtRateTwo) {
+  const std::size_t n = 256;
+  const Tree tree = build::path(n + 1);
+  ScaledOddEvenPolicy scaled(2);
+  const SimOptions options{.capacity = 2};
+  const double envelope = 2 * (std::log2(static_cast<double>(n)) + 3.0);
+
+  std::vector<AdversaryPtr> battery;
+  battery.push_back(std::make_unique<adversary::FixedNode>(tree, adversary::Site::Deepest));
+  battery.push_back(std::make_unique<adversary::FixedNode>(tree, adversary::Site::SinkChild));
+  battery.push_back(std::make_unique<adversary::RandomUniform>(3));
+  battery.push_back(std::make_unique<adversary::PileOn>());
+  for (AdversaryPtr& adv : battery) {
+    const RunResult result =
+        run(tree, scaled, *adv, static_cast<Step>(8 * n), options);
+    EXPECT_LE(result.peak_height, envelope) << adv->name();
+  }
+}
+
+TEST(ScaledOddEven, RegistryNames) {
+  EXPECT_TRUE(is_known_policy("scaled-odd-even-2"));
+  EXPECT_EQ(make_policy("scaled-odd-even-3")->name(), "scaled-odd-even-3");
+  EXPECT_FALSE(is_known_policy("scaled-odd-even-0"));
+  EXPECT_EQ(make_policy("scaled-odd-even-2")->locality(), 1);
+}
+
+}  // namespace
+}  // namespace cvg

@@ -1,0 +1,198 @@
+// Unit tests for cvg_search: exhaustive reachability (exact small-n worst
+// cases), schedule extraction/replay, and the beam search.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cvg/adversary/simple.hpp"
+#include "cvg/policy/registry.hpp"
+#include "cvg/policy/standard.hpp"
+#include "cvg/search/beam.hpp"
+#include "cvg/search/exhaustive.hpp"
+#include "cvg/sim/runner.hpp"
+#include "cvg/topology/builders.hpp"
+
+namespace cvg {
+namespace {
+
+TEST(Exhaustive, TrivialTwoNodePath) {
+  // One non-sink node: inject, it forwards next step; worst case is height 1
+  // for odd-even (decide-before semantics).
+  const Tree tree = build::path(2);
+  OddEvenPolicy policy;
+  const auto result = search::exhaustive_worst_case(tree, policy, SimOptions{});
+  EXPECT_EQ(result.peak, 1);
+  EXPECT_FALSE(result.capped);
+  EXPECT_FALSE(result.truncated);
+}
+
+TEST(Exhaustive, OddEvenStaysLogarithmic) {
+  for (std::size_t n = 3; n <= 8; ++n) {
+    const Tree tree = build::path(n);
+    OddEvenPolicy policy;
+    const auto result =
+        search::exhaustive_worst_case(tree, policy, SimOptions{});
+    EXPECT_FALSE(result.capped) << "n=" << n;
+    EXPECT_FALSE(result.truncated) << "n=" << n;
+    const Height bound =
+        static_cast<Height>(std::log2(static_cast<double>(n))) + 3;
+    EXPECT_LE(result.peak, bound) << "n=" << n;
+    EXPECT_GE(result.peak, 1) << "n=" << n;
+  }
+}
+
+TEST(Exhaustive, ExactWorstCaseIsMonotoneInN) {
+  OddEvenPolicy policy;
+  Height prev = 0;
+  for (std::size_t n = 2; n <= 8; ++n) {
+    const auto result = search::exhaustive_worst_case(build::path(n), policy,
+                                                      SimOptions{});
+    EXPECT_GE(result.peak, prev) << "n=" << n;
+    prev = result.peak;
+  }
+}
+
+TEST(Exhaustive, GreedyReachesHigherThanOddEven) {
+  const Tree tree = build::path(7);
+  GreedyPolicy greedy;
+  OddEvenPolicy odd_even;
+  search::SearchOptions options;
+  options.height_cap = 8;
+  const auto g = search::exhaustive_worst_case(tree, greedy, SimOptions{}, options);
+  const auto o = search::exhaustive_worst_case(tree, odd_even, SimOptions{}, options);
+  EXPECT_GE(g.peak, o.peak);
+}
+
+TEST(Exhaustive, FieLocalHitsTheCap) {
+  // FIE-local is unbounded: the search must report a capped result.
+  const Tree tree = build::path(6);
+  FieLocalPolicy fie;
+  search::SearchOptions options;
+  options.height_cap = 6;
+  const auto result =
+      search::exhaustive_worst_case(tree, fie, SimOptions{}, options);
+  EXPECT_TRUE(result.capped);
+  EXPECT_GE(result.peak, 6);
+}
+
+TEST(Exhaustive, ScheduleReplayReproducesPeak) {
+  const Tree tree = build::path(6);
+  OddEvenPolicy policy;
+  search::SearchOptions options;
+  options.keep_schedule = true;
+  const auto result =
+      search::exhaustive_worst_case(tree, policy, SimOptions{}, options);
+  ASSERT_FALSE(result.schedule.empty());
+
+  std::vector<std::vector<NodeId>> steps;
+  for (const NodeId t : result.schedule) {
+    steps.push_back(t == kNoNode ? std::vector<NodeId>{}
+                                 : std::vector<NodeId>{t});
+  }
+  adversary::Trace replay(steps);
+  const RunResult run_result =
+      run(tree, policy, replay, static_cast<Step>(steps.size()));
+  EXPECT_EQ(run_result.peak_height, result.peak);
+}
+
+TEST(Exhaustive, WorksOnTrees) {
+  const Tree tree = build::star(4);  // 6 nodes
+  TreeOddEvenPolicy policy;
+  const auto result = search::exhaustive_worst_case(tree, policy, SimOptions{});
+  EXPECT_FALSE(result.capped);
+  EXPECT_GE(result.peak, 1);
+  EXPECT_LE(result.peak, 6);
+}
+
+TEST(Locality, OneLocalOddEvenFailsOnStaggeredSpider) {
+  // §5's opening observation: a 1-local rule cannot coordinate siblings, so
+  // all b branch heads can fire into the hub in one step.  The staggered
+  // spider synchronises the arrivals under rate-1 injection: the leaf of the
+  // length-L branch is injected at step b−L, so every packet reaches its
+  // branch head simultaneously.
+  constexpr std::size_t b = 8;
+  const Tree tree = build::spider_staggered(b);
+
+  // leaf of the length-L branch is the unique leaf at depth L+1.
+  std::vector<NodeId> leaf_at_depth(b + 2, kNoNode);
+  for (NodeId v = 1; v < tree.node_count(); ++v) {
+    if (tree.is_leaf(v)) leaf_at_depth[tree.depth(v)] = v;
+  }
+  std::vector<std::vector<NodeId>> schedule;
+  for (std::size_t L = b; L >= 1; --L) {
+    ASSERT_NE(leaf_at_depth[L + 1], kNoNode);
+  }
+  for (std::size_t step = 0; step < b; ++step) {
+    const std::size_t length = b - step;
+    schedule.push_back({leaf_at_depth[length + 1]});
+  }
+
+  OddEvenPolicy no_arbitration;
+  adversary::Trace replay1(schedule);
+  const RunResult bare =
+      run(tree, no_arbitration, replay1, static_cast<Step>(b + 4));
+  EXPECT_GE(bare.peak_height, static_cast<Height>(b - 1))
+      << "synchronised branches failed to overwhelm the hub";
+
+  TreeOddEvenPolicy with_arbitration;
+  adversary::Trace replay2(schedule);
+  const RunResult arbitrated =
+      run(tree, with_arbitration, replay2, static_cast<Step>(b + 4));
+  EXPECT_LT(arbitrated.peak_height, bare.peak_height);
+  EXPECT_LE(arbitrated.peak_height, 3);
+}
+
+TEST(Exhaustive, TruncationReported) {
+  const Tree tree = build::path(8);
+  GreedyPolicy greedy;
+  search::SearchOptions options;
+  options.max_states = 100;  // absurdly small
+  const auto result =
+      search::exhaustive_worst_case(tree, greedy, SimOptions{}, options);
+  EXPECT_TRUE(result.truncated);
+  EXPECT_LE(result.states, 101u);
+}
+
+TEST(ExhaustiveDeathTest, RejectsTooManyNodes) {
+  const Tree tree = build::path(20);
+  OddEvenPolicy policy;
+  EXPECT_DEATH(search::exhaustive_worst_case(tree, policy, SimOptions{}),
+               "at most");
+}
+
+TEST(Beam, NeverExceedsExhaustive) {
+  const Tree tree = build::path(7);
+  OddEvenPolicy policy;
+  const auto exact = search::exhaustive_worst_case(tree, policy, SimOptions{});
+  search::BeamOptions beam_options;
+  beam_options.width = 32;
+  beam_options.generations = 200;
+  const auto beam =
+      search::beam_worst_case(tree, policy, SimOptions{}, beam_options);
+  EXPECT_LE(beam.peak, exact.peak);
+  EXPECT_GE(beam.peak, exact.peak - 1);  // and it should come close
+}
+
+TEST(Beam, FindsGreedyLinearGrowth) {
+  const Tree tree = build::path(24);
+  GreedyPolicy greedy;
+  search::BeamOptions options;
+  options.width = 24;
+  options.generations = 160;
+  const auto result = search::beam_worst_case(tree, greedy, SimOptions{}, options);
+  // Greedy admits Θ(n) pile-ups; the beam should find a pile of at least n/4.
+  EXPECT_GE(result.peak, 6);
+}
+
+TEST(Beam, DeterministicAcrossCalls) {
+  const Tree tree = build::path(10);
+  OddEvenPolicy policy;
+  const auto a = search::beam_worst_case(tree, policy, SimOptions{});
+  const auto b = search::beam_worst_case(tree, policy, SimOptions{});
+  EXPECT_EQ(a.peak, b.peak);
+  EXPECT_EQ(a.peak_step, b.peak_step);
+}
+
+}  // namespace
+}  // namespace cvg

@@ -1,0 +1,269 @@
+// Unit tests for cvg_sim: the height engine, the packet engine, their
+// equivalence, step semantics, burstiness and the runner.
+
+#include <gtest/gtest.h>
+
+#include "cvg/adversary/simple.hpp"
+#include "cvg/policy/registry.hpp"
+#include "cvg/policy/standard.hpp"
+#include "cvg/sim/packet_sim.hpp"
+#include "cvg/sim/runner.hpp"
+#include "cvg/sim/simulator.hpp"
+#include "cvg/topology/builders.hpp"
+#include "cvg/util/rng.hpp"
+
+namespace cvg {
+namespace {
+
+TEST(Simulator, SinglePacketMarchesToSink) {
+  const Tree tree = build::path(4);
+  GreedyPolicy greedy;
+  Simulator sim(tree, greedy);
+  sim.step_inject(3);
+  EXPECT_EQ(sim.config().height(3), 1);
+  sim.step_inject(kNoNode);
+  EXPECT_EQ(sim.config().height(3), 0);
+  EXPECT_EQ(sim.config().height(2), 1);
+  sim.step_inject(kNoNode);
+  sim.step_inject(kNoNode);
+  EXPECT_EQ(sim.delivered(), 1u);
+  EXPECT_EQ(sim.in_flight(), 0u);
+}
+
+TEST(Simulator, ConservationInvariant) {
+  // injected == delivered + sum of heights, at every step, for every policy.
+  Xoshiro256StarStar rng(7);
+  const Tree tree = build::path(20);
+  for (const auto& name : standard_policy_names()) {
+    const PolicyPtr policy = make_policy(name);
+    Simulator sim(tree, *policy);
+    adversary::RandomUniform adv(99);
+    std::vector<NodeId> inj;
+    for (Step s = 0; s < 500; ++s) {
+      inj.clear();
+      adv.plan(tree, sim.config(), s, 1, inj);
+      sim.step(inj);
+      EXPECT_EQ(sim.injected(),
+                sim.delivered() + sim.config().total_packets())
+          << name << " at step " << s;
+    }
+  }
+}
+
+TEST(Simulator, DecideBeforeInjectionCannotForwardFreshPacket) {
+  const Tree tree = build::path(3);
+  GreedyPolicy greedy;
+  Simulator before(tree, greedy,
+                   {.semantics = StepSemantics::DecideBeforeInjection});
+  before.step_inject(1);
+  EXPECT_EQ(before.delivered(), 0u);  // packet waits one step
+  EXPECT_EQ(before.config().height(1), 1);
+
+  Simulator after(tree, greedy,
+                  {.semantics = StepSemantics::DecideAfterInjection});
+  after.step_inject(1);
+  EXPECT_EQ(after.delivered(), 1u);  // observed post-injection, forwarded
+}
+
+TEST(Simulator, InjectionAtSinkIsConsumed) {
+  const Tree tree = build::path(3);
+  GreedyPolicy greedy;
+  Simulator sim(tree, greedy);
+  sim.step_inject(0);
+  EXPECT_EQ(sim.delivered(), 1u);
+  EXPECT_EQ(sim.config().total_packets(), 0u);
+}
+
+TEST(Simulator, PeakTracking) {
+  const Tree tree = build::path(4);
+  DownhillPolicy downhill;
+  Simulator sim(tree, downhill);
+  for (int i = 0; i < 5; ++i) sim.step_inject(3);
+  // Downhill from node 3: builds a staircase; the peak must match the
+  // highest value ever present.
+  EXPECT_EQ(sim.peak_height(), sim.config().height(3));
+  EXPECT_EQ(sim.peak_per_node()[3], sim.peak_height());
+}
+
+TEST(Simulator, CapacityTwoMovesTwoPerLink) {
+  const Tree tree = build::path(3);
+  GreedyPolicy greedy;
+  Simulator sim(tree, greedy, {.capacity = 2});
+  const NodeId two[] = {2, 2};
+  sim.step(two);
+  EXPECT_EQ(sim.config().height(2), 2);
+  sim.step({});
+  EXPECT_EQ(sim.config().height(2), 0);
+  EXPECT_EQ(sim.config().height(1), 2);
+}
+
+TEST(SimulatorDeathTest, RejectsRateViolation) {
+  const Tree tree = build::path(3);
+  GreedyPolicy greedy;
+  Simulator sim(tree, greedy, {.capacity = 1});
+  const NodeId two[] = {1, 2};
+  EXPECT_DEATH(sim.step(two), "exceeded its rate");
+}
+
+TEST(Simulator, BurstinessTokens) {
+  const Tree tree = build::path(5);
+  GreedyPolicy greedy;
+  Simulator sim(tree, greedy, {.capacity = 1, .burstiness = 3});
+  // First step may spend 1 + 3 tokens.
+  const NodeId burst[] = {4, 4, 4, 4};
+  sim.step(burst);
+  EXPECT_EQ(sim.config().height(4), 4);
+  // Tokens exhausted: only the per-step refill remains.
+  const NodeId pair[] = {4, 4};
+  EXPECT_DEATH(sim.step(pair), "exceeded its rate");
+}
+
+TEST(Simulator, BurstTokensRefill) {
+  const Tree tree = build::path(5);
+  GreedyPolicy greedy;
+  Simulator sim(tree, greedy, {.capacity = 1, .burstiness = 2});
+  const NodeId triple[] = {4, 4, 4};
+  sim.step(triple);       // spends 3 of 3
+  sim.step({});           // refill 1
+  sim.step({});           // refill 1
+  const NodeId pair[] = {4, 4};
+  sim.step(pair);         // 2 tokens available again
+  EXPECT_EQ(sim.injected(), 5u);
+}
+
+TEST(Simulator, ResetRestoresEmptyState) {
+  const Tree tree = build::path(6);
+  OddEvenPolicy policy;
+  Simulator sim(tree, policy);
+  for (int i = 0; i < 20; ++i) sim.step_inject(5);
+  sim.reset();
+  EXPECT_EQ(sim.now(), 0u);
+  EXPECT_EQ(sim.injected(), 0u);
+  EXPECT_EQ(sim.peak_height(), 0);
+  EXPECT_EQ(sim.config().total_packets(), 0u);
+}
+
+TEST(Simulator, CheckpointByCopy) {
+  const Tree tree = build::path(10);
+  OddEvenPolicy policy;
+  Simulator sim(tree, policy);
+  for (int i = 0; i < 15; ++i) sim.step_inject(9);
+  Simulator checkpoint = sim;  // value semantics = checkpoint
+  for (int i = 0; i < 15; ++i) sim.step_inject(1);
+  // Replaying the same injections from the checkpoint reproduces sim.
+  for (int i = 0; i < 15; ++i) checkpoint.step_inject(1);
+  EXPECT_EQ(sim.config(), checkpoint.config());
+  EXPECT_EQ(sim.delivered(), checkpoint.delivered());
+}
+
+TEST(PacketEngine, MatchesHeightEngine) {
+  // The two engines must agree on heights at every step, for every policy,
+  // under identical injection sequences.  Separate policy instances per
+  // engine: the centralized comparator keeps per-controller state.
+  const Tree tree = build::complete_kary(2, 5);
+  for (const auto& name : standard_policy_names()) {
+    const PolicyPtr policy = make_policy(name);
+    const PolicyPtr policy2 = make_policy(name);
+    Simulator heights(tree, *policy);
+    PacketSimulator packets(tree, *policy2);
+    adversary::RandomUniform adv(1234);
+    adv.on_simulation_start();
+    std::vector<NodeId> inj;
+    for (Step s = 0; s < 400; ++s) {
+      inj.clear();
+      adv.plan(tree, heights.config(), s, 1, inj);
+      heights.step(inj);
+      packets.step(inj);
+      ASSERT_EQ(heights.config(), packets.config())
+          << name << " diverged at step " << s;
+    }
+    EXPECT_EQ(heights.delivered(), packets.delivered()) << name;
+    EXPECT_EQ(heights.peak_height(), packets.peak_height()) << name;
+  }
+}
+
+TEST(PacketEngine, GreedyPipelineDelays) {
+  const Tree tree = build::path(4);
+  GreedyPolicy greedy;
+  PacketSimulator sim(tree, greedy);
+  // Greedy at rate 1 builds no queue at node 3: every packet waits its
+  // injection step, then takes 3 hops — delay 4 for all.
+  sim.step_inject(3);
+  sim.step_inject(3);
+  sim.step_inject(3);
+  for (int i = 0; i < 10; ++i) sim.step_inject(kNoNode);
+  EXPECT_EQ(sim.delivered(), 3u);
+  EXPECT_EQ(sim.delays().max(), 4u);
+  EXPECT_EQ(sim.delays().quantile(0.0), 4u);
+}
+
+TEST(PacketEngine, BuffersKeepFifoIdOrder) {
+  const Tree tree = build::path(5);
+  DownhillPolicy downhill;  // builds standing queues
+  PacketSimulator sim(tree, downhill);
+  for (int i = 0; i < 12; ++i) sim.step_inject(4);
+  for (NodeId v = 1; v < tree.node_count(); ++v) {
+    const auto& buffer = sim.buffer(v);
+    for (std::size_t i = 1; i < buffer.size(); ++i) {
+      EXPECT_LT(buffer[i - 1].id, buffer[i].id) << "node " << v;
+    }
+  }
+  EXPECT_GE(sim.config().height(4), 2);  // a queue actually formed
+}
+
+TEST(PacketEngine, DelayStatsBasics) {
+  DelayStats stats;
+  for (Step d : {1u, 2u, 2u, 3u, 10u}) stats.record(d);
+  EXPECT_EQ(stats.count(), 5u);
+  EXPECT_EQ(stats.max(), 10u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 18.0 / 5.0);
+  EXPECT_EQ(stats.quantile(0.0), 1u);
+  EXPECT_EQ(stats.quantile(0.5), 2u);
+  EXPECT_EQ(stats.quantile(1.0), 10u);
+}
+
+TEST(PacketEngine, EmptyDelayStats) {
+  DelayStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.quantile(0.5), 0u);
+}
+
+TEST(Runner, RunCollectsResults) {
+  const Tree tree = build::path(16);
+  OddEvenPolicy policy;
+  adversary::FixedNode adv(tree, adversary::Site::Deepest);
+  const RunResult result = run(tree, policy, adv, 200);
+  EXPECT_EQ(result.steps, 200u);
+  EXPECT_EQ(result.injected, 200u);
+  EXPECT_GT(result.delivered, 0u);
+  EXPECT_EQ(result.injected,
+            result.delivered + result.final_config.total_packets());
+  EXPECT_GE(result.peak_height, 1);
+  EXPECT_EQ(result.peak_per_node.size(), tree.node_count());
+}
+
+TEST(Runner, ObserverSeesEveryStep) {
+  const Tree tree = build::path(8);
+  GreedyPolicy policy;
+  adversary::FixedNode adv(tree, adversary::Site::Deepest);
+  Step observed = 0;
+  (void)run(tree, policy, adv, 50, SimOptions{},
+            [&observed](const Simulator&, const StepRecord& record) {
+              EXPECT_EQ(record.step, observed);
+              ++observed;
+            });
+  EXPECT_EQ(observed, 50u);
+}
+
+TEST(Runner, TracedSampling) {
+  const Tree tree = build::path(8);
+  GreedyPolicy policy;
+  adversary::FixedNode adv(tree, adversary::Site::Deepest);
+  std::vector<Height> trace;
+  (void)run_traced(tree, policy, adv, 100, 10, trace);
+  EXPECT_EQ(trace.size(), 10u);
+}
+
+}  // namespace
+}  // namespace cvg

@@ -1,0 +1,173 @@
+// Unit tests for cvg_topology: tree construction/validation and the builder
+// family used across the experiments.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cvg/topology/builders.hpp"
+#include "cvg/topology/tree.hpp"
+
+namespace cvg {
+namespace {
+
+TEST(Tree, PathStructure) {
+  const Tree tree = build::path(5);
+  EXPECT_EQ(tree.node_count(), 5u);
+  EXPECT_TRUE(tree.is_path());
+  EXPECT_EQ(tree.parent(1), 0u);
+  EXPECT_EQ(tree.parent(4), 3u);
+  EXPECT_EQ(tree.parent(0), kNoNode);
+  EXPECT_EQ(tree.depth(0), 0u);
+  EXPECT_EQ(tree.depth(4), 4u);
+  EXPECT_EQ(tree.max_depth(), 4u);
+  EXPECT_TRUE(tree.is_leaf(4));
+  EXPECT_FALSE(tree.is_leaf(2));
+  EXPECT_FALSE(tree.is_intersection(2));
+}
+
+TEST(Tree, SingleNode) {
+  const Tree tree = build::path(1);
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_TRUE(tree.is_leaf(0));
+  EXPECT_EQ(tree.max_depth(), 0u);
+}
+
+TEST(Tree, ChildrenAreSortedAndComplete) {
+  const Tree tree = build::complete_kary(3, 3);  // 1 + 3 + 9 = 13 nodes
+  EXPECT_EQ(tree.node_count(), 13u);
+  const auto children = tree.children(0);
+  ASSERT_EQ(children.size(), 3u);
+  EXPECT_EQ(children[0], 1u);
+  EXPECT_EQ(children[1], 2u);
+  EXPECT_EQ(children[2], 3u);
+  EXPECT_TRUE(tree.is_intersection(0));
+  std::size_t leaves = 0;
+  for (NodeId v = 0; v < tree.node_count(); ++v) leaves += tree.is_leaf(v);
+  EXPECT_EQ(leaves, 9u);
+}
+
+TEST(Tree, BfsOrderVisitsParentsFirst) {
+  Xoshiro256StarStar rng(3);
+  const Tree tree = build::random_recursive(100, rng);
+  std::vector<bool> seen(tree.node_count(), false);
+  for (const NodeId v : tree.bfs_order()) {
+    if (v != Tree::sink()) {
+      EXPECT_TRUE(seen[tree.parent(v)]);
+    }
+    seen[v] = true;
+  }
+  for (const bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(Tree, PathToSink) {
+  const Tree tree = build::path(6);
+  const auto path = tree.path_to_sink(5);
+  ASSERT_EQ(path.size(), 6u);
+  EXPECT_EQ(path.front(), 5u);
+  EXPECT_EQ(path.back(), 0u);
+}
+
+TEST(Tree, SpiderShape) {
+  const Tree tree = build::spider(4, 3);
+  EXPECT_EQ(tree.node_count(), 2u + 4 * 3);
+  // The hub (node 1) has in-degree 4.
+  EXPECT_EQ(tree.in_degree(1), 4u);
+  EXPECT_TRUE(tree.is_intersection(1));
+  EXPECT_EQ(tree.max_depth(), 1u + 3u);
+  std::size_t leaves = 0;
+  for (NodeId v = 0; v < tree.node_count(); ++v) leaves += tree.is_leaf(v);
+  EXPECT_EQ(leaves, 4u);
+}
+
+TEST(Tree, StarShape) {
+  const Tree tree = build::star(7);
+  EXPECT_EQ(tree.node_count(), 9u);
+  EXPECT_EQ(tree.in_degree(1), 7u);
+}
+
+TEST(Tree, CaterpillarShape) {
+  const Tree tree = build::caterpillar(5, 2);
+  EXPECT_EQ(tree.node_count(), 1u + 5 + 10);
+  for (NodeId s = 1; s <= 5; ++s) {
+    EXPECT_EQ(tree.parent(s), s - 1);
+    EXPECT_GE(tree.in_degree(s), 2u);  // next spine node (except last) + legs
+  }
+}
+
+TEST(Tree, BroomShape) {
+  const Tree tree = build::broom(4, 6);
+  EXPECT_EQ(tree.node_count(), 11u);
+  EXPECT_EQ(tree.in_degree(4), 6u);
+  EXPECT_EQ(tree.max_depth(), 5u);
+}
+
+TEST(Tree, RandomRecursiveIsValidAndShallow) {
+  Xoshiro256StarStar rng(17);
+  const Tree tree = build::random_recursive(2000, rng);
+  EXPECT_EQ(tree.node_count(), 2000u);
+  // Random recursive trees have expected depth Θ(log n) — generous cap.
+  EXPECT_LE(tree.max_depth(), 60u);
+}
+
+TEST(Tree, RandomChainyExtremes) {
+  Xoshiro256StarStar rng(23);
+  const Tree path_like = build::random_chainy(50, 1.0, rng);
+  EXPECT_TRUE(path_like.is_path());
+  const Tree tree = build::random_chainy(50, 0.0, rng);
+  EXPECT_EQ(tree.node_count(), 50u);
+}
+
+TEST(Tree, FromParents) {
+  const std::vector<NodeId> parents = {kNoNode, 0, 0, 1};
+  const Tree tree = build::from_parents(parents);
+  EXPECT_EQ(tree.in_degree(0), 2u);
+  EXPECT_EQ(tree.parent(3), 1u);
+}
+
+TEST(TreeDeathTest, RejectsCycle) {
+  EXPECT_DEATH(Tree({kNoNode, 2, 1}), "cycle");
+}
+
+TEST(TreeDeathTest, RejectsNonRootZero) {
+  EXPECT_DEATH(Tree({1, 0}), "node 0 must be the root");
+}
+
+TEST(TreeDeathTest, RejectsSelfParent) {
+  EXPECT_DEATH(Tree({kNoNode, 1}), "its own parent");
+}
+
+TEST(TreeDeathTest, RejectsOutOfRangeParent) {
+  EXPECT_DEATH(Tree({kNoNode, 9}), "out-of-range");
+}
+
+TEST(TreeRender, DotContainsAllEdges) {
+  const Tree tree = build::star(3);
+  const std::string dot = to_dot(tree);
+  EXPECT_NE(dot.find("1 -> 0"), std::string::npos);
+  EXPECT_NE(dot.find("2 -> 1"), std::string::npos);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+}
+
+TEST(TreeRender, AsciiListsEveryNode) {
+  const Tree tree = build::complete_kary(2, 3);
+  const std::string ascii = to_ascii(tree);
+  for (NodeId v = 0; v < tree.node_count(); ++v) {
+    EXPECT_NE(ascii.find(std::to_string(v)), std::string::npos) << v;
+  }
+}
+
+TEST(TreeRender, AsciiWithAnnotations) {
+  const Tree tree = build::path(3);
+  const std::vector<std::string> notes = {"h=0", "h=1", "h=2"};
+  const std::string ascii = to_ascii(tree, notes);
+  EXPECT_NE(ascii.find("h=2"), std::string::npos);
+}
+
+TEST(Tree, EqualityByStructure) {
+  EXPECT_EQ(build::path(4), build::path(4));
+  EXPECT_NE(build::path(4), build::path(5));
+}
+
+}  // namespace
+}  // namespace cvg

@@ -1,0 +1,96 @@
+// Tests for the trace persistence format: round-trips, golden parses,
+// malformed-input rejection, and end-to-end save → load → replay.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "cvg/adversary/simple.hpp"
+#include "cvg/adversary/trace_io.hpp"
+#include "cvg/policy/standard.hpp"
+#include "cvg/search/exhaustive.hpp"
+#include "cvg/sim/runner.hpp"
+#include "cvg/topology/builders.hpp"
+
+namespace cvg::adversary {
+namespace {
+
+TEST(TraceIo, RoundTrip) {
+  const Schedule schedule = {{4}, {}, {3, 3}, {1}};
+  std::stringstream buffer;
+  write_schedule(buffer, schedule, 9);
+  std::size_t nodes = 0;
+  const Schedule loaded = read_schedule(buffer, nodes);
+  EXPECT_EQ(nodes, 9u);
+  EXPECT_EQ(loaded, schedule);
+}
+
+TEST(TraceIo, GoldenFormat) {
+  const Schedule schedule = {{4}, {}, {3, 3}};
+  std::stringstream buffer;
+  write_schedule(buffer, schedule, 5);
+  EXPECT_EQ(buffer.str(), "# cvg-trace v1 nodes=5\n4\n-\n3 3\n");
+}
+
+TEST(TraceIo, ParsesCommentsAndBlankLines) {
+  std::stringstream in(
+      "# cvg-trace v1 nodes=6\n"
+      "# a comment\n"
+      "\n"
+      "5\n"
+      "-\n");
+  std::size_t nodes = 0;
+  const Schedule schedule = read_schedule(in, nodes);
+  EXPECT_EQ(nodes, 6u);
+  ASSERT_EQ(schedule.size(), 2u);
+  EXPECT_EQ(schedule[0], (std::vector<NodeId>{5}));
+  EXPECT_TRUE(schedule[1].empty());
+}
+
+TEST(TraceIoDeathTest, RejectsMissingHeader) {
+  std::stringstream in("4\n");
+  std::size_t nodes = 0;
+  EXPECT_DEATH((void)read_schedule(in, nodes), "header");
+}
+
+TEST(TraceIoDeathTest, RejectsOutOfRangeNode) {
+  std::stringstream in("# cvg-trace v1 nodes=4\n9\n");
+  std::size_t nodes = 0;
+  EXPECT_DEATH((void)read_schedule(in, nodes), "out-of-range");
+}
+
+TEST(TraceIo, ToScheduleFlattens) {
+  const std::vector<NodeId> flat = {4, kNoNode, 2};
+  const Schedule schedule = to_schedule(flat);
+  ASSERT_EQ(schedule.size(), 3u);
+  EXPECT_EQ(schedule[0], (std::vector<NodeId>{4}));
+  EXPECT_TRUE(schedule[1].empty());
+  EXPECT_EQ(schedule[2], (std::vector<NodeId>{2}));
+}
+
+TEST(TraceIo, SaveLoadReplayReproducesWorstCase) {
+  // End-to-end: exhaustive search finds an optimal schedule, we persist it
+  // to disk, reload, and the replay reproduces the exact worst-case peak.
+  const Tree tree = build::path(8);
+  OddEvenPolicy policy;
+  search::SearchOptions options;
+  options.keep_schedule = true;
+  const auto exact =
+      search::exhaustive_worst_case(tree, policy, SimOptions{}, options);
+
+  const std::string path = testing::TempDir() + "/cvg_trace_test.txt";
+  save_schedule(path, to_schedule(exact.schedule), tree.node_count());
+  std::size_t nodes = 0;
+  const Schedule loaded = load_schedule(path, nodes);
+  EXPECT_EQ(nodes, tree.node_count());
+
+  Trace replay(loaded);
+  const RunResult result =
+      run(tree, policy, replay, static_cast<Step>(loaded.size()));
+  EXPECT_EQ(result.peak_height, exact.peak);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace cvg::adversary

@@ -1,0 +1,143 @@
+// Unit tests for cvg_util: deterministic RNG, string helpers, CVG_CHECK.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cvg/util/check.hpp"
+#include "cvg/util/rng.hpp"
+#include "cvg/util/str.hpp"
+
+namespace cvg {
+namespace {
+
+TEST(Rng, SplitMix64IsDeterministic) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SplitMix64KnownVector) {
+  // Reference values for seed 1234567 from the public-domain reference
+  // implementation.
+  SplitMix64 rng(1234567);
+  EXPECT_EQ(rng.next(), 6457827717110365317ULL);
+  EXPECT_EQ(rng.next(), 3203168211198807973ULL);
+}
+
+TEST(Rng, XoshiroDeterministicAcrossInstances) {
+  Xoshiro256StarStar a(7);
+  Xoshiro256StarStar b(7);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Xoshiro256StarStar a(1);
+  Xoshiro256StarStar b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.next() == b.next());
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Xoshiro256StarStar rng(99);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, BelowCoversAllValues) {
+  Xoshiro256StarStar rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, BetweenInclusive) {
+  Xoshiro256StarStar rng(11);
+  for (int i = 0; i < 300; ++i) {
+    const std::uint64_t v = rng.between(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+  }
+}
+
+TEST(Rng, Uniform01InUnitInterval) {
+  Xoshiro256StarStar rng(13);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, DeriveSeedDecorrelatesIndices) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t i = 0; i < 1000; ++i) seeds.insert(derive_seed(42, i));
+  EXPECT_EQ(seeds.size(), 1000u);
+}
+
+TEST(Rng, DeriveSeedDependsOnMaster) {
+  EXPECT_NE(derive_seed(1, 0), derive_seed(2, 0));
+}
+
+TEST(Str, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ", "), "");
+  EXPECT_EQ(join({"solo"}, ", "), "solo");
+}
+
+TEST(Str, Split) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Str, SplitEmpty) {
+  const auto parts = split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(Str, Trim) {
+  EXPECT_EQ(trim("  hi  "), "hi");
+  EXPECT_EQ(trim("hi"), "hi");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(Str, StartsWith) {
+  EXPECT_TRUE(starts_with("max-window-3", "max-window-"));
+  EXPECT_FALSE(starts_with("max", "max-window-"));
+}
+
+TEST(Str, FormatFixed) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(2.0, 0), "2");
+}
+
+TEST(Str, WithCommas) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(1234567), "1,234,567");
+}
+
+TEST(CheckDeathTest, FiresOnFalse) {
+  EXPECT_DEATH({ CVG_CHECK(1 == 2) << "math broke"; }, "math broke");
+}
+
+TEST(CheckDeathTest, SilentOnTrue) {
+  CVG_CHECK(1 == 1) << "never evaluated";
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace cvg
