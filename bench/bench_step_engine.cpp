@@ -1,0 +1,103 @@
+// Experiment E16 — engineering: dense vs sparse step-engine throughput.
+//
+// The dense engine scans all n nodes every step; the sparse engine touches
+// only the occupied set.  Under the paper's rate-c workloads occupancy is
+// far below n, so sparse steps should cost O(occupied) — this bench pins
+// down the crossover and the headline speedup (docs/MODEL.md §1a).
+//
+// Two workloads bracket the occupancy regimes:
+//   sink-child — inject at the sink's child; occupancy stays O(1), the
+//                best case for the sparse engine;
+//   deepest    — inject at the far end; a train of packets marches toward
+//                the sink, so occupancy grows with elapsed steps.
+//
+// Expected shape: sparse wins by orders of magnitude on sink-child at large
+// n (≥ 10× at n = 2^18), and degrades gracefully as occupancy rises.
+
+#include <chrono>
+
+#include "bench_common.hpp"
+
+namespace cvg::bench {
+namespace {
+
+struct Timing {
+  double ns_per_step = 0.0;
+  double steps_per_sec = 0.0;
+  std::size_t occupied_end = 0;
+};
+
+/// Steps one continuously-running simulation in chunks until ~120 ms of
+/// wall clock has accumulated (after a short warmup), then reports the
+/// average step cost.  No resets inside the timed region: reset is O(n)
+/// and would swamp the sparse engine's per-step cost.
+Timing measure(const Tree& tree, const Policy& policy, SparseMode mode,
+               NodeId site) {
+  using Clock = std::chrono::steady_clock;
+  SimOptions options;
+  options.sparse_mode = mode;
+  Simulator sim(tree, policy, options);
+
+  constexpr Step kChunk = 512;
+  for (Step s = 0; s < kChunk; ++s) sim.step_inject(site);  // warmup
+
+  std::uint64_t timed_steps = 0;
+  double elapsed = 0.0;
+  const auto start = Clock::now();
+  do {
+    for (Step s = 0; s < kChunk; ++s) sim.step_inject(site);
+    timed_steps += kChunk;
+    elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+  } while (elapsed < 0.12);
+
+  Timing timing;
+  timing.ns_per_step = elapsed * 1e9 / static_cast<double>(timed_steps);
+  timing.steps_per_sec = static_cast<double>(timed_steps) / elapsed;
+  timing.occupied_end = sim.occupied().size();
+  return timing;
+}
+
+void engine_table(const Flags& flags) {
+  std::vector<std::size_t> sizes = {1u << 10, 1u << 12, 1u << 14, 1u << 16,
+                                    1u << 18};
+  if (flags.large) sizes.push_back(1u << 20);
+
+  struct Workload {
+    const char* name;
+    adversary::Site site;
+  };
+  const Workload workloads[] = {
+      {"sink-child", adversary::Site::SinkChild},
+      {"deepest", adversary::Site::Deepest},
+  };
+
+  OddEvenPolicy policy;
+  report::Table table({"n", "workload", "dense ns/step", "sparse ns/step",
+                       "dense steps/s", "sparse steps/s", "speedup",
+                       "occupied@end"});
+  for (const std::size_t n : sizes) {
+    const Tree tree = build::path(n);
+    for (const Workload& workload : workloads) {
+      const NodeId site = adversary::resolve_site(tree, workload.site);
+      const Timing dense = measure(tree, policy, SparseMode::Never, site);
+      const Timing sparse = measure(tree, policy, SparseMode::Always, site);
+      table.row(n, workload.name, dense.ns_per_step, sparse.ns_per_step,
+                dense.steps_per_sec, sparse.steps_per_sec,
+                dense.ns_per_step / sparse.ns_per_step, sparse.occupied_end);
+    }
+  }
+  print_table("E16: step-engine throughput, odd-even on a directed path "
+              "(sparse crossover default = " +
+                  std::to_string(kSparseCrossover) + ")",
+              table, flags);
+}
+
+}  // namespace
+}  // namespace cvg::bench
+
+int main(int argc, char** argv) {
+  const auto flags = cvg::bench::parse_flags(argc, argv);
+  std::printf("E16 — dense vs sparse step engine\n");
+  cvg::bench::engine_table(flags);
+  return 0;
+}

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Builds the library and tier-1 tests with AddressSanitizer + UBSan and runs
+# the full ctest suite under them.  Uses a dedicated build directory so the
+# regular (uninstrumented) build/ stays untouched.
+#
+# Usage: scripts/check_sanitize.sh [extra ctest args...]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${repo_root}/build-asan"
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCVG_SANITIZE=address,undefined \
+  -DCVG_BUILD_BENCHMARKS=OFF \
+  -DCVG_BUILD_EXAMPLES=OFF
+cmake --build "${build_dir}" -j"$(nproc)"
+
+# halt_on_error so UBSan findings fail the run instead of scrolling past;
+# detect_leaks stays on (the default) to catch allocation regressions.
+ASAN_OPTIONS="strict_string_checks=1:detect_stack_use_after_return=1" \
+UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1" \
+  ctest --test-dir "${build_dir}" --output-on-failure -j"$(nproc)" "$@"

@@ -88,8 +88,14 @@ class StagedLowerBound final : public Adversary {
   void initialize(const Tree& tree);
   void start_stage(const Tree& tree, const Configuration& config);
   void close_block(const Configuration& config);
-  [[nodiscard]] std::uint64_t packets_in_block(const Configuration& config,
-                                               std::size_t lo,
+
+  /// Rebuilds `prefix_` with partial sums of `config`'s heights over spine
+  /// indices [lo, hi], after which `packets_in_block` answers any sub-range
+  /// query in O(1).  One rebuild serves all queries against that snapshot
+  /// (close_block makes one; each scenario evaluation makes two).
+  void rebuild_block_prefix(const Configuration& config, std::size_t lo,
+                            std::size_t hi);
+  [[nodiscard]] std::uint64_t packets_in_block(std::size_t lo,
                                                std::size_t hi) const;
 
   const Policy* policy_;
@@ -107,6 +113,11 @@ class StagedLowerBound final : public Adversary {
   int stage_index_ = 0;
   bool next_half_is_right_ = false;
   std::vector<StageInfo> history_;
+  /// Prefix sums from the last `rebuild_block_prefix`: `prefix_[k]` holds the
+  /// packets at spine indices [prefix_lo_, prefix_lo_ + k).
+  std::vector<std::uint64_t> prefix_;
+  std::size_t prefix_lo_ = 0;
+  std::size_t prefix_hi_ = 0;
 };
 
 }  // namespace cvg::adversary

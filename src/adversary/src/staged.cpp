@@ -36,14 +36,23 @@ void StagedLowerBound::on_simulation_start() {
   stage_index_ = 0;
 }
 
-std::uint64_t StagedLowerBound::packets_in_block(const Configuration& config,
-                                                 std::size_t lo,
-                                                 std::size_t hi) const {
-  std::uint64_t total = 0;
+void StagedLowerBound::rebuild_block_prefix(const Configuration& config,
+                                            std::size_t lo, std::size_t hi) {
+  CVG_DCHECK(lo <= hi && hi < spine_.size());
+  prefix_lo_ = lo;
+  prefix_hi_ = hi;
+  prefix_.resize(hi - lo + 2);
+  prefix_[0] = 0;
   for (std::size_t i = lo; i <= hi; ++i) {
-    total += static_cast<std::uint64_t>(config.height(spine_[i]));
+    prefix_[i - lo + 1] =
+        prefix_[i - lo] + static_cast<std::uint64_t>(config.height(spine_[i]));
   }
-  return total;
+}
+
+std::uint64_t StagedLowerBound::packets_in_block(std::size_t lo,
+                                                 std::size_t hi) const {
+  CVG_DCHECK(prefix_lo_ <= lo && lo <= hi && hi <= prefix_hi_);
+  return prefix_[hi - prefix_lo_ + 1] - prefix_[lo - prefix_lo_];
 }
 
 void StagedLowerBound::initialize(const Tree& tree) {
@@ -74,7 +83,8 @@ void StagedLowerBound::close_block(const Configuration& config) {
   info.index = stage_index_;
   info.lo = spine_[lo_];
   info.hi = spine_[hi_];
-  info.packets = packets_in_block(config, lo_, hi_);
+  rebuild_block_prefix(config, lo_, hi_);
+  info.packets = packets_in_block(lo_, hi_);
   const auto block_size = static_cast<double>(hi_ - lo_ + 1);
   info.density = static_cast<double>(info.packets) / block_size;
   info.target_density =
@@ -104,8 +114,9 @@ void StagedLowerBound::start_stage(const Tree& tree,
     std::vector<NodeId> injections(
         static_cast<std::size_t>(options_.capacity), inject_site);
     for (std::size_t s = 0; s < x; ++s) scratch.step(injections);
-    right_half = packets_in_block(scratch.config(), lo_, mid);
-    left_half = packets_in_block(scratch.config(), mid + 1, hi_);
+    rebuild_block_prefix(scratch.config(), lo_, hi_);
+    right_half = packets_in_block(lo_, mid);
+    left_half = packets_in_block(mid + 1, hi_);
   };
 
   std::uint64_t r_right = 0;

@@ -24,7 +24,7 @@ StepClassification classify_step(const Tree& tree, const Configuration& before,
         break;
       case -1:
         out.classes[v] = NodeClass::Down;
-        CVG_CHECK(record.sent[v] == 1)
+        CVG_CHECK(record.sent_by(v) == 1)
             << "node " << v << " dropped without sending";
         break;
       case 1:
@@ -35,7 +35,7 @@ StepClassification classify_step(const Tree& tree, const Configuration& before,
         CVG_CHECK(out.two_up == kNoNode) << "two 2up nodes in one step";
         CVG_CHECK(v == out.injected)
             << "2up node " << v << " is not the injected node";
-        CVG_CHECK(record.sent[v] == 0) << "2up node " << v << " sent";
+        CVG_CHECK(record.sent_by(v) == 0) << "2up node " << v << " sent";
         out.two_up = v;
         break;
       default:

@@ -31,7 +31,7 @@ LinesDecomposition build_lines(const Tree& tree, const Configuration& before,
     // Rule 1: the child that actually sent into v this round.
     NodeId sender = kNoNode;
     for (const NodeId c : children) {
-      if (record.sent[c] > 0) {
+      if (record.sent_by(c) > 0) {
         CVG_CHECK(sender == kNoNode)
             << "two packets entered intersection " << v << " (from " << sender
             << " and " << c << ") — sibling arbitration violated";

@@ -6,14 +6,31 @@
 /// the proof certifier (`cvg::certify`), which needs to classify nodes as
 /// up/down/steady relative to the step.
 
+#include <algorithm>
 #include <vector>
 
 #include "cvg/core/types.hpp"
 
 namespace cvg {
 
+/// One forwarding event: node `node` sent `count` (≥ 1) packets to its
+/// successor this step.  The sparse unit of both the step record and the
+/// sparse policy entry point (`Policy::compute_sends_sparse`).
+struct SendEntry {
+  NodeId node = 0;
+  Capacity count = 0;
+
+  friend bool operator==(const SendEntry&, const SendEntry&) = default;
+};
+
 /// Per-step transition record.  The simulator fills one of these per step
 /// (re-using the buffers); callers that need history copy it out.
+///
+/// Forwarding is stored *sparsely*: `sends` holds one entry per node that
+/// actually forwarded, sorted by node id, with no zero-count entries.  Under
+/// a rate-c adversary at most O(#occupied) nodes forward per step, so the
+/// record costs O(senders) to fill and reset instead of O(n) — the point of
+/// the sparse step engine.
 struct StepRecord {
   /// Index of the step this record describes (first step is 0).
   Step step = 0;
@@ -23,15 +40,47 @@ struct StepRecord {
   /// when the adversary stayed idle.
   std::vector<NodeId> injections;
 
-  /// `sent[v]` = number of packets node v forwarded to its successor this
-  /// step (0..c).  `sent[0]` is always 0: the sink has no outgoing link.
-  std::vector<Capacity> sent;
+  /// Forwarding events, sorted ascending by node id; only nodes that sent
+  /// (count ≥ 1) appear.  The sink never appears: it has no outgoing link.
+  std::vector<SendEntry> sends;
 
-  /// Resets the record for a step over `node_count` nodes.
-  void reset(Step step_index, std::size_t node_count) {
+  /// Resets the record for a new step.  Keeps both buffers' capacity.
+  void reset(Step step_index) {
     step = step_index;
     injections.clear();
-    sent.assign(node_count, 0);
+    sends.clear();
+  }
+
+  /// Number of packets node `v` forwarded this step (0 if it did not send).
+  /// Binary search over the sorted `sends` list.
+  [[nodiscard]] Capacity sent_by(NodeId v) const noexcept {
+    const auto it = std::lower_bound(
+        sends.begin(), sends.end(), v,
+        [](const SendEntry& e, NodeId node) { return e.node < node; });
+    return (it != sends.end() && it->node == v) ? it->count : 0;
+  }
+
+  /// Sets node `v`'s send count, keeping `sends` sorted and zero-free.
+  /// `k == 0` erases any existing entry.  Convenience for tests and tools
+  /// that assemble records by hand; the simulator fills `sends` directly.
+  void set_sent(NodeId v, Capacity k) {
+    const auto it = std::lower_bound(
+        sends.begin(), sends.end(), v,
+        [](const SendEntry& e, NodeId node) { return e.node < node; });
+    if (it != sends.end() && it->node == v) {
+      if (k == 0) {
+        sends.erase(it);
+      } else {
+        it->count = k;
+      }
+    } else if (k != 0) {
+      sends.insert(it, SendEntry{v, k});
+    }
+  }
+
+  /// Number of distinct nodes that forwarded this step.
+  [[nodiscard]] std::size_t sender_count() const noexcept {
+    return sends.size();
   }
 
   /// Number of packets injected this step.

@@ -68,6 +68,31 @@ class Policy {
                              std::span<const NodeId> injections,
                              Capacity capacity,
                              std::span<Capacity> sends) const = 0;
+
+  /// True when the policy implements `compute_sends_sparse`, i.e. its
+  /// decision at a node depends only on heights in that node's neighbourhood
+  /// and a node with height 0 never sends — so the whole send vector is a
+  /// function of the *occupied set* (nodes with height > 0).  All the
+  /// paper's local policies qualify; the centralized comparator does not
+  /// (it reacts to injections, not heights).
+  [[nodiscard]] virtual bool supports_sparse() const { return false; }
+
+  /// Sparse twin of `compute_sends`: computes the same forwarding decisions
+  /// by visiting only the occupied set, emitting one `(node, count)` pair per
+  /// sender.  Only called when `supports_sparse()` is true.
+  ///
+  /// \param occupied  every node with height > 0, in arbitrary order, no
+  ///                  duplicates, never the sink.
+  /// \param sends_out out, pre-cleared by the caller.  Entries may be
+  ///                  appended in any order (the caller sorts); counts must
+  ///                  be ≥ 1 and obey the same feasibility contract as the
+  ///                  dense path.  Must emit exactly the nonzero entries the
+  ///                  dense `compute_sends` would produce.
+  virtual void compute_sends_sparse(const Tree& tree,
+                                    const Configuration& heights,
+                                    std::span<const NodeId> occupied,
+                                    Capacity capacity,
+                                    std::vector<SendEntry>& sends_out) const;
 };
 
 /// Owning handle used throughout the library.
@@ -77,6 +102,13 @@ using PolicyPtr = std::unique_ptr<Policy>;
 /// `0 ≤ sends[v] ≤ min(capacity, heights[v])`.  Aborts on violation.
 void validate_sends(const Tree& tree, const Configuration& heights,
                     Capacity capacity, std::span<const Capacity> sends);
+
+/// Sparse counterpart of `validate_sends`: entries must be sorted strictly
+/// ascending by node id, name non-sink in-range nodes, and carry counts in
+/// [1, min(capacity, heights[node])].  Aborts on violation.
+void validate_sends_sparse(const Tree& tree, const Configuration& heights,
+                           Capacity capacity,
+                           std::span<const SendEntry> sends);
 
 /// Fills `sends` by evaluating a per-node rule independently at every
 /// non-sink node — the 1-local, arbitration-free shape shared by all the
@@ -95,6 +127,26 @@ void compute_sends_per_node(const Tree& tree, const Configuration& heights,
     const Height succ = heights.height(tree.parent(v));
     const Capacity desired = wants(own, succ);
     sends[v] = std::min({desired, capacity, static_cast<Capacity>(own)});
+  }
+}
+
+/// Sparse twin of `compute_sends_per_node`: evaluates the same per-node rule
+/// over the occupied set only, appending `(node, count)` pairs for nodes that
+/// forward.  Emits exactly the nonzero entries of the dense version.
+template <typename WantsFn>
+void compute_sends_per_node_sparse(const Tree& tree,
+                                   const Configuration& heights,
+                                   std::span<const NodeId> occupied,
+                                   Capacity capacity, WantsFn&& wants,
+                                   std::vector<SendEntry>& out) {
+  for (const NodeId v : occupied) {
+    CVG_DCHECK(v != Tree::sink());
+    const Height own = heights.height(v);
+    CVG_DCHECK(own > 0);
+    const Height succ = heights.height(tree.parent(v));
+    const Capacity desired = wants(own, succ);
+    const Capacity k = std::min({desired, capacity, static_cast<Capacity>(own)});
+    if (k > 0) out.push_back({v, k});
   }
 }
 
@@ -133,6 +185,53 @@ void compute_sends_arbitrated(const Tree& tree, const Configuration& heights,
     sends[winner] =
         std::min({desired, capacity, static_cast<Capacity>(winner_height)});
   }
+}
+
+/// Sparse twin of `compute_sends_arbitrated`: arbitrates only over parents of
+/// occupied nodes.  Candidates are staged inside `out` itself (node = child,
+/// count = its height) so the steady-state path allocates nothing, then
+/// grouped by parent and reduced to one winner per group: greatest height,
+/// ties to the smaller id — identical to the dense scan, which visits each
+/// parent's children in ascending id order.
+template <typename WantsFn>
+void compute_sends_arbitrated_sparse(const Tree& tree,
+                                     const Configuration& heights,
+                                     std::span<const NodeId> occupied,
+                                     ArbitrationMode mode, Capacity capacity,
+                                     WantsFn&& wants,
+                                     std::vector<SendEntry>& out) {
+  for (const NodeId v : occupied) {
+    CVG_DCHECK(v != Tree::sink());
+    const Height own = heights.height(v);
+    CVG_DCHECK(own > 0);
+    if (mode == ArbitrationMode::WillingOnly &&
+        wants(own, heights.height(tree.parent(v))) <= 0) {
+      continue;
+    }
+    out.push_back({v, static_cast<Capacity>(own)});
+  }
+
+  std::sort(out.begin(), out.end(),
+            [&tree](const SendEntry& a, const SendEntry& b) {
+              const NodeId pa = tree.parent(a.node);
+              const NodeId pb = tree.parent(b.node);
+              return pa != pb ? pa < pb : a.node < b.node;
+            });
+
+  std::size_t kept = 0;
+  std::size_t i = 0;
+  while (i < out.size()) {
+    const NodeId parent = tree.parent(out[i].node);
+    SendEntry winner = out[i];
+    for (++i; i < out.size() && tree.parent(out[i].node) == parent; ++i) {
+      if (out[i].count > winner.count) winner = out[i];
+    }
+    const Height winner_height = static_cast<Height>(winner.count);
+    const Capacity desired = wants(winner_height, heights.height(parent));
+    const Capacity k = std::min({desired, capacity, winner.count});
+    if (k > 0) out[kept++] = SendEntry{winner.node, k};
+  }
+  out.resize(kept);
 }
 
 }  // namespace cvg

@@ -29,6 +29,11 @@ class GreedyPolicy final : public Policy {
   void compute_sends(const Tree& tree, const Configuration& heights,
                      std::span<const NodeId> injections, Capacity capacity,
                      std::span<Capacity> sends) const override;
+  [[nodiscard]] bool supports_sparse() const override { return true; }
+  void compute_sends_sparse(const Tree& tree, const Configuration& heights,
+                            std::span<const NodeId> occupied,
+                            Capacity capacity,
+                            std::vector<SendEntry>& sends_out) const override;
 };
 
 /// Forward iff the successor's buffer is strictly lower.  Ω(n) on paths [21]:
@@ -40,6 +45,11 @@ class DownhillPolicy final : public Policy {
   void compute_sends(const Tree& tree, const Configuration& heights,
                      std::span<const NodeId> injections, Capacity capacity,
                      std::span<Capacity> sends) const override;
+  [[nodiscard]] bool supports_sparse() const override { return true; }
+  void compute_sends_sparse(const Tree& tree, const Configuration& heights,
+                            std::span<const NodeId> occupied,
+                            Capacity capacity,
+                            std::vector<SendEntry>& sends_out) const override;
 };
 
 /// Forward iff the successor's buffer is equal or lower (Thm 4.1's
@@ -53,6 +63,11 @@ class DownhillOrFlatPolicy final : public Policy {
   void compute_sends(const Tree& tree, const Configuration& heights,
                      std::span<const NodeId> injections, Capacity capacity,
                      std::span<Capacity> sends) const override;
+  [[nodiscard]] bool supports_sparse() const override { return true; }
+  void compute_sends_sparse(const Tree& tree, const Configuration& heights,
+                            std::span<const NodeId> occupied,
+                            Capacity capacity,
+                            std::vector<SendEntry>& sends_out) const override;
 };
 
 /// Local Forward-If-Empty: forward iff the successor's buffer is empty.  The
@@ -65,6 +80,11 @@ class FieLocalPolicy final : public Policy {
   void compute_sends(const Tree& tree, const Configuration& heights,
                      std::span<const NodeId> injections, Capacity capacity,
                      std::span<Capacity> sends) const override;
+  [[nodiscard]] bool supports_sparse() const override { return true; }
+  void compute_sends_sparse(const Tree& tree, const Configuration& heights,
+                            std::span<const NodeId> occupied,
+                            Capacity capacity,
+                            std::vector<SendEntry>& sends_out) const override;
 };
 
 /// The paper's headline 1-local algorithm (Algorithm 1, `Odd-Even`):
@@ -83,6 +103,11 @@ class OddEvenPolicy final : public Policy {
   void compute_sends(const Tree& tree, const Configuration& heights,
                      std::span<const NodeId> injections, Capacity capacity,
                      std::span<Capacity> sends) const override;
+  [[nodiscard]] bool supports_sparse() const override { return true; }
+  void compute_sends_sparse(const Tree& tree, const Configuration& heights,
+                            std::span<const NodeId> occupied,
+                            Capacity capacity,
+                            std::vector<SendEntry>& sends_out) const override;
 
   /// The bare parity rule, shared with `TreeOddEvenPolicy` and the certifier.
   [[nodiscard]] static constexpr bool rule(Height own, Height succ) noexcept {
@@ -113,6 +138,11 @@ class TreeOddEvenPolicy final : public Policy {
   void compute_sends(const Tree& tree, const Configuration& heights,
                      std::span<const NodeId> injections, Capacity capacity,
                      std::span<Capacity> sends) const override;
+  [[nodiscard]] bool supports_sparse() const override { return true; }
+  void compute_sends_sparse(const Tree& tree, const Configuration& heights,
+                            std::span<const NodeId> occupied,
+                            Capacity capacity,
+                            std::vector<SendEntry>& sends_out) const override;
 
  private:
   ArbitrationMode mode_;
@@ -130,6 +160,11 @@ class MaxWindowPolicy final : public Policy {
   void compute_sends(const Tree& tree, const Configuration& heights,
                      std::span<const NodeId> injections, Capacity capacity,
                      std::span<Capacity> sends) const override;
+  [[nodiscard]] bool supports_sparse() const override { return true; }
+  void compute_sends_sparse(const Tree& tree, const Configuration& heights,
+                            std::span<const NodeId> occupied,
+                            Capacity capacity,
+                            std::vector<SendEntry>& sends_out) const override;
 
  private:
   int window_;
@@ -156,6 +191,11 @@ class ScaledOddEvenPolicy final : public Policy {
   void compute_sends(const Tree& tree, const Configuration& heights,
                      std::span<const NodeId> injections, Capacity capacity,
                      std::span<Capacity> sends) const override;
+  [[nodiscard]] bool supports_sparse() const override { return true; }
+  void compute_sends_sparse(const Tree& tree, const Configuration& heights,
+                            std::span<const NodeId> occupied,
+                            Capacity capacity,
+                            std::vector<SendEntry>& sends_out) const override;
 
  private:
   Capacity rate_;
@@ -173,6 +213,11 @@ class GradientPolicy final : public Policy {
   void compute_sends(const Tree& tree, const Configuration& heights,
                      std::span<const NodeId> injections, Capacity capacity,
                      std::span<Capacity> sends) const override;
+  [[nodiscard]] bool supports_sparse() const override { return true; }
+  void compute_sends_sparse(const Tree& tree, const Configuration& heights,
+                            std::span<const NodeId> occupied,
+                            Capacity capacity,
+                            std::vector<SendEntry>& sends_out) const override;
 
  private:
   Height slope_;

@@ -2,8 +2,19 @@
 
 namespace cvg {
 
-// The Policy interface itself is header-only; this translation unit hosts the
-// shared send-vector validator used by the simulator's debug checks.
+// The Policy interface itself is mostly header-only; this translation unit
+// hosts the sparse-entry-point default and the shared send validators used by
+// the simulator's debug checks.
+
+void Policy::compute_sends_sparse(const Tree& /*tree*/,
+                                  const Configuration& /*heights*/,
+                                  std::span<const NodeId> /*occupied*/,
+                                  Capacity /*capacity*/,
+                                  std::vector<SendEntry>& /*sends_out*/) const {
+  CVG_CHECK(false) << "policy '" << name()
+                   << "' does not implement the sparse entry point "
+                      "(supports_sparse() is false)";
+}
 
 /// Verifies the feasibility contract on a send vector: `sends[0] == 0` and
 /// `0 ≤ sends[v] ≤ min(capacity, heights[v])` for every node.  Aborts with a
@@ -19,6 +30,29 @@ void validate_sends(const Tree& tree, const Configuration& heights,
     CVG_CHECK(sends[v] <= heights.height(v))
         << "node " << v << " forwards more than it buffers (" << sends[v]
         << " > " << heights.height(v) << ")";
+  }
+}
+
+/// Verifies the sparse feasibility contract: entries sorted strictly
+/// ascending by node id, non-sink in-range nodes only, counts in
+/// [1, min(capacity, heights[node])].
+void validate_sends_sparse(const Tree& tree, const Configuration& heights,
+                           Capacity capacity,
+                           std::span<const SendEntry> sends) {
+  NodeId prev = 0;  // entries start at node ≥ 1, so 0 works as "none yet"
+  for (const SendEntry& entry : sends) {
+    CVG_CHECK(entry.node >= 1 && entry.node < tree.node_count())
+        << "sparse send at out-of-range or sink node " << entry.node;
+    CVG_CHECK(entry.node > prev)
+        << "sparse sends unsorted or duplicated at node " << entry.node;
+    CVG_CHECK(entry.count >= 1)
+        << "sparse send with non-positive count at node " << entry.node;
+    CVG_CHECK(entry.count <= capacity)
+        << "node " << entry.node << " exceeds link capacity: " << entry.count;
+    CVG_CHECK(entry.count <= heights.height(entry.node))
+        << "node " << entry.node << " forwards more than it buffers ("
+        << entry.count << " > " << heights.height(entry.node) << ")";
+    prev = entry.node;
   }
 }
 

@@ -153,4 +153,121 @@ void GradientPolicy::compute_sends(const Tree& tree,
       sends);
 }
 
+// ---------------------------------------------------------------------------
+// Sparse twins.  Each mirrors its dense counterpart exactly — same `wants`
+// lambda through the sparse helper — so the step engine can dispatch either
+// way with bit-identical results (asserted by sparse_equivalence_test).
+// ---------------------------------------------------------------------------
+
+void GreedyPolicy::compute_sends_sparse(const Tree& tree,
+                                        const Configuration& heights,
+                                        std::span<const NodeId> occupied,
+                                        Capacity capacity,
+                                        std::vector<SendEntry>& sends_out) const {
+  compute_sends_per_node_sparse(
+      tree, heights, occupied, capacity,
+      [](Height own, Height /*succ*/) { return static_cast<Capacity>(own); },
+      sends_out);
+}
+
+void DownhillPolicy::compute_sends_sparse(
+    const Tree& tree, const Configuration& heights,
+    std::span<const NodeId> occupied, Capacity capacity,
+    std::vector<SendEntry>& sends_out) const {
+  compute_sends_per_node_sparse(
+      tree, heights, occupied, capacity,
+      [](Height own, Height succ) { return Capacity{succ < own ? 1 : 0}; },
+      sends_out);
+}
+
+void DownhillOrFlatPolicy::compute_sends_sparse(
+    const Tree& tree, const Configuration& heights,
+    std::span<const NodeId> occupied, Capacity capacity,
+    std::vector<SendEntry>& sends_out) const {
+  compute_sends_per_node_sparse(
+      tree, heights, occupied, capacity,
+      [](Height own, Height succ) { return Capacity{succ <= own ? 1 : 0}; },
+      sends_out);
+}
+
+void FieLocalPolicy::compute_sends_sparse(
+    const Tree& tree, const Configuration& heights,
+    std::span<const NodeId> occupied, Capacity capacity,
+    std::vector<SendEntry>& sends_out) const {
+  compute_sends_per_node_sparse(
+      tree, heights, occupied, capacity,
+      [](Height /*own*/, Height succ) { return Capacity{succ == 0 ? 1 : 0}; },
+      sends_out);
+}
+
+void OddEvenPolicy::compute_sends_sparse(
+    const Tree& tree, const Configuration& heights,
+    std::span<const NodeId> occupied, Capacity capacity,
+    std::vector<SendEntry>& sends_out) const {
+  compute_sends_per_node_sparse(
+      tree, heights, occupied, capacity,
+      [](Height own, Height succ) { return Capacity{rule(own, succ) ? 1 : 0}; },
+      sends_out);
+}
+
+void TreeOddEvenPolicy::compute_sends_sparse(
+    const Tree& tree, const Configuration& heights,
+    std::span<const NodeId> occupied, Capacity capacity,
+    std::vector<SendEntry>& sends_out) const {
+  compute_sends_arbitrated_sparse(
+      tree, heights, occupied, mode_, capacity,
+      [](Height own, Height succ) {
+        return Capacity{OddEvenPolicy::rule(own, succ) ? 1 : 0};
+      },
+      sends_out);
+}
+
+void MaxWindowPolicy::compute_sends_sparse(
+    const Tree& tree, const Configuration& heights,
+    std::span<const NodeId> occupied, Capacity capacity,
+    std::vector<SendEntry>& sends_out) const {
+  for (const NodeId v : occupied) {
+    const Height own = heights.height(v);
+    CVG_DCHECK(own > 0);
+    Height window_max = 0;
+    NodeId cur = v;
+    for (int hop = 0; hop < window_; ++hop) {
+      cur = tree.parent(cur);
+      if (cur == kNoNode) break;
+      window_max = std::max(window_max, heights.height(cur));
+    }
+    if (own >= window_max) {
+      sends_out.push_back({v, std::min(capacity, static_cast<Capacity>(own))});
+    }
+  }
+}
+
+void ScaledOddEvenPolicy::compute_sends_sparse(
+    const Tree& tree, const Configuration& heights,
+    std::span<const NodeId> occupied, Capacity capacity,
+    std::vector<SendEntry>& sends_out) const {
+  compute_sends_per_node_sparse(
+      tree, heights, occupied, capacity,
+      [rate = rate_](Height own, Height succ) {
+        const Height own_bucket = own / rate;
+        const Height succ_bucket = succ / rate;
+        const bool go = (own_bucket % 2 != 0) ? succ_bucket <= own_bucket
+                                              : succ_bucket < own_bucket;
+        return go ? rate : Capacity{0};
+      },
+      sends_out);
+}
+
+void GradientPolicy::compute_sends_sparse(
+    const Tree& tree, const Configuration& heights,
+    std::span<const NodeId> occupied, Capacity capacity,
+    std::vector<SendEntry>& sends_out) const {
+  compute_sends_per_node_sparse(
+      tree, heights, occupied, capacity,
+      [slope = slope_](Height own, Height succ) {
+        return Capacity{own - succ >= slope ? 1 : 0};
+      },
+      sends_out);
+}
+
 }  // namespace cvg

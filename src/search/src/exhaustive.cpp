@@ -21,13 +21,14 @@ std::uint64_t encode(const Configuration& config) {
   return key;
 }
 
-Configuration decode(std::uint64_t key, std::size_t node_count) {
-  std::vector<Height> heights(node_count, 0);
-  for (NodeId v = static_cast<NodeId>(node_count - 1); v >= 1; --v) {
-    heights[v] = static_cast<Height>(key & ((1u << kBitsPerNode) - 1));
+// Overwrites every non-sink height of `out` (the sink is always 0), so one
+// scratch Configuration can be reused across all visited states — the BFS
+// performs no per-state allocation.
+void decode_into(std::uint64_t key, Configuration& out) {
+  for (NodeId v = static_cast<NodeId>(out.node_count() - 1); v >= 1; --v) {
+    out.set_height(v, static_cast<Height>(key & ((1u << kBitsPerNode) - 1)));
     key >>= kBitsPerNode;
   }
-  return Configuration(std::move(heights));
 }
 
 }  // namespace
@@ -64,6 +65,7 @@ SearchResult exhaustive_worst_case(const Tree& tree, const Policy& policy,
 
   SearchResult result;
   std::uint64_t best_state = start;
+  Configuration config(n);  // scratch, refilled in place for every state
 
   while (!frontier.empty()) {
     if (seen.size() >= options.max_states) {
@@ -72,7 +74,7 @@ SearchResult exhaustive_worst_case(const Tree& tree, const Policy& policy,
     }
     const std::uint64_t key = frontier.front();
     frontier.pop_front();
-    const Configuration config = decode(key, n);
+    decode_into(key, config);
 
     // Idle (kNoNode) plus each possible injection site.
     for (NodeId t = 0; t < n; ++t) {

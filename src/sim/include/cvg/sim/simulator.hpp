@@ -6,6 +6,21 @@
 /// buffer occupancy.  Packets are anonymous here (only buffer *heights*
 /// evolve); use `PacketSimulator` when per-packet delays matter.
 ///
+/// Two step engines share one semantics (docs/MODEL.md §1a):
+///
+///  - the *dense* engine calls `Policy::compute_sends`, which scans all n
+///    nodes — the right choice when a constant fraction of buffers is
+///    occupied;
+///  - the *sparse* engine calls `Policy::compute_sends_sparse` over the
+///    incrementally-maintained *occupied set* (nodes with height > 0), so a
+///    step costs O(occupied · log) instead of O(n) — the right choice for
+///    the paper's rate-c workloads, where at most c buffers rise per step.
+///
+/// Dispatch is per step: sparse when the policy supports it and the occupied
+/// set is below a crossover fraction of n (`SimOptions::sparse_mode` /
+/// `sparse_crossover`), dense otherwise.  Both engines produce bit-identical
+/// configurations, records and peaks (asserted by sparse_equivalence_test).
+///
 /// A `Simulator` is a value: copying it checkpoints the entire simulation
 /// state, which is what the strategic Thm 3.1 adversary uses to evaluate its
 /// two candidate scenarios before committing to one.
@@ -19,6 +34,29 @@
 #include "cvg/topology/tree.hpp"
 
 namespace cvg {
+
+/// Which step engine the simulator may use (see file comment).
+enum class SparseMode : std::uint8_t {
+  Auto,    ///< sparse below the crossover fraction, dense above (default)
+  Always,  ///< sparse whenever the policy supports it (testing / benches)
+  Never,   ///< dense always (the pre-sparse behaviour; baseline in benches)
+};
+
+/// Name of a sparse-mode value, for reports.
+[[nodiscard]] constexpr const char* to_string(SparseMode mode) noexcept {
+  switch (mode) {
+    case SparseMode::Auto: return "auto";
+    case SparseMode::Always: return "always";
+    case SparseMode::Never: return "never";
+  }
+  return "?";
+}
+
+/// Default crossover: sparse while |occupied| < kSparseCrossover · n.  Tuned
+/// with `bench_step_engine`: the sparse step's per-sender cost is ~4× the
+/// dense step's per-node cost (sort + indirection), so the engines break
+/// even near a quarter occupancy; see docs/MODEL.md §1a.
+inline constexpr double kSparseCrossover = 0.25;
 
 /// Knobs of the execution model.
 struct SimOptions {
@@ -35,8 +73,17 @@ struct SimOptions {
   Capacity burstiness = 0;
 
   /// Re-validate every send vector against the feasibility contract
-  /// (`validate_sends`).  Cheap insurance in tests; off in benchmarks.
+  /// (`validate_sends` / `validate_sends_sparse`).  Cheap insurance in
+  /// tests; off in benchmarks.
   bool validate = false;
+
+  /// Step-engine selection (see `SparseMode`).  `CentralizedFie` and any
+  /// policy with `supports_sparse() == false` always run dense, regardless.
+  SparseMode sparse_mode = SparseMode::Auto;
+
+  /// Crossover fraction for `SparseMode::Auto`; ≤ 0 means "use the
+  /// auto-tuned default `kSparseCrossover`".
+  double sparse_crossover = 0.0;
 };
 
 /// Discrete-event executor of (inject, forward) rounds.
@@ -84,27 +131,63 @@ class Simulator {
     return injected_ - delivered_;
   }
 
+  /// Nodes with height > 0, in unspecified order (the sparse engine's key).
+  [[nodiscard]] std::span<const NodeId> occupied() const noexcept {
+    return occupied_;
+  }
+
+  /// Steps executed by each engine so far (diagnostics; benches and the
+  /// equivalence tests use these to verify which engine actually ran).
+  [[nodiscard]] std::uint64_t sparse_steps() const noexcept {
+    return sparse_steps_;
+  }
+  [[nodiscard]] std::uint64_t dense_steps() const noexcept {
+    return dense_steps_;
+  }
+
   [[nodiscard]] const Tree& tree() const noexcept { return *tree_; }
   [[nodiscard]] const Policy& policy() const noexcept { return *policy_; }
   [[nodiscard]] const SimOptions& options() const noexcept { return options_; }
 
-  /// Replaces the configuration (peaks are re-seeded from it).  For tests and
-  /// the exhaustive search, which explore arbitrary reachable states.
-  void set_config(Configuration config);
+  /// Replaces the configuration (peaks are re-seeded from it; the occupied
+  /// set is rebuilt).  For tests and the searches, which explore arbitrary
+  /// reachable states.  Takes a reference so repeated checkpoint/restore
+  /// cycles reuse the internal buffer instead of reallocating.
+  void set_config(const Configuration& config);
 
   /// Returns to the all-empty start state and zeroes all counters.
   void reset();
 
  private:
+  /// Runs the policy (dense or sparse) and leaves the step's forwarding
+  /// events in `record_.sends`, sorted by node id.
+  void compute_step_sends();
+
+  /// True when this step should dispatch to the sparse engine.
+  [[nodiscard]] bool use_sparse_now() const;
+
+  /// Adds `delta` to node `v`'s height, keeping the occupied set in sync.
+  void add_height(NodeId v, Height delta);
+
+  /// Recomputes the occupied set from `config_` (O(n); used on reseed only).
+  void rebuild_occupied();
+
   const Tree* tree_;
   const Policy* policy_;
   SimOptions options_;
   Configuration config_;
   StepRecord record_;
-  std::vector<Capacity> sends_;
+  std::vector<Capacity> sends_;  // dense scratch; all-zero between steps
+  /// Occupied set: `occupied_` lists nodes with height > 0; `occupied_pos_`
+  /// is the inverse index (position in `occupied_`, or `kNoNode` when
+  /// absent), making insert and swap-remove O(1).
+  std::vector<NodeId> occupied_;
+  std::vector<NodeId> occupied_pos_;
   Step now_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t injected_ = 0;
+  std::uint64_t sparse_steps_ = 0;
+  std::uint64_t dense_steps_ = 0;
   Height peak_ = 0;
   std::vector<Height> peak_per_node_;
   Capacity tokens_ = 0;  // burstiness token bucket (see SimOptions::burstiness)

@@ -9,11 +9,69 @@ Simulator::Simulator(const Tree& tree, const Policy& policy, SimOptions options)
       policy_(&policy),
       options_(options),
       config_(tree.node_count()),
+      sends_(tree.node_count(), 0),
+      occupied_pos_(tree.node_count(), kNoNode),
       peak_per_node_(tree.node_count(), 0),
       tokens_(options.burstiness) {
   CVG_CHECK(options_.capacity >= 1);
   CVG_CHECK(options_.burstiness >= 0);
+  // Reserve the per-step buffers once; step() only ever clear()s them, so
+  // the steady state performs no allocation at all.
+  record_.injections.reserve(
+      static_cast<std::size_t>(options_.capacity + options_.burstiness));
   policy_->on_simulation_start();
+}
+
+bool Simulator::use_sparse_now() const {
+  if (!policy_->supports_sparse()) return false;
+  switch (options_.sparse_mode) {
+    case SparseMode::Never:
+      return false;
+    case SparseMode::Always:
+      return true;
+    case SparseMode::Auto:
+      break;
+  }
+  const double crossover = options_.sparse_crossover > 0.0
+                               ? options_.sparse_crossover
+                               : kSparseCrossover;
+  return static_cast<double>(occupied_.size()) <
+         crossover * static_cast<double>(tree_->node_count());
+}
+
+void Simulator::compute_step_sends() {
+  if (use_sparse_now()) {
+    ++sparse_steps_;
+    policy_->compute_sends_sparse(*tree_, config_, occupied_,
+                                  options_.capacity, record_.sends);
+    // Policies may emit in occupied-set order; records are sorted by node so
+    // consumers can binary-search and both engines produce identical records.
+    std::sort(record_.sends.begin(), record_.sends.end(),
+              [](const SendEntry& a, const SendEntry& b) {
+                return a.node < b.node;
+              });
+    if (options_.validate) {
+      validate_sends_sparse(*tree_, config_, options_.capacity, record_.sends);
+    }
+    return;
+  }
+
+  ++dense_steps_;
+  // Invariant: `sends_` is all-zero here; the collection loop below restores
+  // that by zeroing exactly the entries it reads, so the dense path never
+  // pays an O(n) clear.
+  policy_->compute_sends(*tree_, config_, record_.injections,
+                         options_.capacity, sends_);
+  if (options_.validate) {
+    validate_sends(*tree_, config_, options_.capacity, sends_);
+  }
+  const std::size_t n = tree_->node_count();
+  for (NodeId v = 1; v < n; ++v) {
+    if (sends_[v] != 0) {
+      record_.sends.push_back({v, sends_[v]});
+      sends_[v] = 0;
+    }
+  }
 }
 
 const StepRecord& Simulator::step(std::span<const NodeId> injections) {
@@ -26,20 +84,15 @@ const StepRecord& Simulator::step(std::span<const NodeId> injections) {
       << ", sigma=" << options_.burstiness << ")";
   tokens_ = static_cast<Capacity>(tokens_ - static_cast<Capacity>(injections.size()));
 
-  record_.reset(now_, n);
+  record_.reset(now_);
   record_.injections.assign(injections.begin(), injections.end());
-  sends_.assign(n, 0);
 
   // Mini-step order: with decide-before semantics the policy samples the
   // configuration as it stood at the start of the step; with decide-after it
   // samples post-injection heights.  Either way the forwarding itself is
   // simultaneous across all nodes.
   if (options_.semantics == StepSemantics::DecideBeforeInjection) {
-    policy_->compute_sends(*tree_, config_, record_.injections,
-                           options_.capacity, sends_);
-    if (options_.validate) {
-      validate_sends(*tree_, config_, options_.capacity, sends_);
-    }
+    compute_step_sends();
   }
 
   for (const NodeId t : injections) {
@@ -48,31 +101,24 @@ const StepRecord& Simulator::step(std::span<const NodeId> injections) {
     if (t == Tree::sink()) {
       ++delivered_;  // the sink consumes instantly
     } else {
-      config_.add(t, 1);
+      add_height(t, 1);
     }
   }
 
   if (options_.semantics == StepSemantics::DecideAfterInjection) {
-    policy_->compute_sends(*tree_, config_, record_.injections,
-                           options_.capacity, sends_);
-    if (options_.validate) {
-      validate_sends(*tree_, config_, options_.capacity, sends_);
-    }
+    compute_step_sends();
   }
 
   // Apply all forwards simultaneously.  Each node's send count was clamped
   // to its decision-time height, which never exceeds its current height, so
   // intermediate values stay non-negative regardless of application order.
-  for (NodeId v = 1; v < n; ++v) {
-    const Capacity k = sends_[v];
-    if (k == 0) continue;
-    record_.sent[v] = k;
-    config_.add(v, static_cast<Height>(-k));
-    const NodeId p = tree_->parent(v);
+  for (const SendEntry& entry : record_.sends) {
+    add_height(entry.node, static_cast<Height>(-entry.count));
+    const NodeId p = tree_->parent(entry.node);
     if (p == Tree::sink()) {
-      delivered_ += static_cast<std::uint64_t>(k);
+      delivered_ += static_cast<std::uint64_t>(entry.count);
     } else {
-      config_.add(p, static_cast<Height>(k));
+      add_height(p, static_cast<Height>(entry.count));
     }
   }
 
@@ -83,9 +129,8 @@ const StepRecord& Simulator::step(std::span<const NodeId> injections) {
     peak_per_node_[t] = std::max(peak_per_node_[t], h);
     peak_ = std::max(peak_, h);
   }
-  for (NodeId v = 1; v < n; ++v) {
-    if (record_.sent[v] == 0) continue;
-    const NodeId p = tree_->parent(v);
+  for (const SendEntry& entry : record_.sends) {
+    const NodeId p = tree_->parent(entry.node);
     if (p == Tree::sink()) continue;
     const Height h = config_.height(p);
     peak_per_node_[p] = std::max(peak_per_node_[p], h);
@@ -96,9 +141,39 @@ const StepRecord& Simulator::step(std::span<const NodeId> injections) {
   return record_;
 }
 
-void Simulator::set_config(Configuration config) {
+void Simulator::add_height(NodeId v, Height delta) {
+  const Height before = config_.height(v);
+  config_.add(v, delta);
+  const Height after = static_cast<Height>(before + delta);
+  if (before == 0 && after > 0) {
+    occupied_pos_[v] = static_cast<NodeId>(occupied_.size());
+    occupied_.push_back(v);
+  } else if (before > 0 && after == 0) {
+    const NodeId idx = occupied_pos_[v];
+    const NodeId last = occupied_.back();
+    occupied_[idx] = last;
+    occupied_pos_[last] = idx;
+    occupied_.pop_back();
+    occupied_pos_[v] = kNoNode;
+  }
+}
+
+void Simulator::rebuild_occupied() {
+  const std::size_t n = tree_->node_count();
+  occupied_.clear();
+  occupied_pos_.assign(n, kNoNode);
+  for (NodeId v = 1; v < n; ++v) {
+    if (config_.height(v) > 0) {
+      occupied_pos_[v] = static_cast<NodeId>(occupied_.size());
+      occupied_.push_back(v);
+    }
+  }
+}
+
+void Simulator::set_config(const Configuration& config) {
   CVG_CHECK(config.node_count() == tree_->node_count());
-  config_ = std::move(config);
+  config_ = config;  // copy-assign: reuses the existing height buffer
+  rebuild_occupied();
   for (NodeId v = 0; v < tree_->node_count(); ++v) {
     peak_per_node_[v] = std::max(peak_per_node_[v], config_.height(v));
     peak_ = std::max(peak_, config_.height(v));
@@ -107,11 +182,14 @@ void Simulator::set_config(Configuration config) {
 
 void Simulator::reset() {
   config_ = Configuration(tree_->node_count());
+  rebuild_occupied();
   peak_per_node_.assign(tree_->node_count(), 0);
   peak_ = 0;
   now_ = 0;
   delivered_ = 0;
   injected_ = 0;
+  sparse_steps_ = 0;
+  dense_steps_ = 0;
   tokens_ = options_.burstiness;
   policy_->on_simulation_start();
 }

@@ -15,12 +15,12 @@
 namespace cvg::certify {
 namespace {
 
-StepRecord make_record(std::size_t n, std::vector<NodeId> injections,
+StepRecord make_record(std::size_t /*n*/, std::vector<NodeId> injections,
                        std::vector<std::pair<NodeId, Capacity>> sends) {
   StepRecord record;
-  record.reset(0, n);
+  record.reset(0);
   record.injections = std::move(injections);
-  for (const auto& [v, k] : sends) record.sent[v] = k;
+  for (const auto& [v, k] : sends) record.set_sent(v, k);
   return record;
 }
 

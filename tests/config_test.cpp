@@ -56,18 +56,39 @@ TEST(ConfigurationDeathTest, RejectsNonZeroSink) {
 
 TEST(StepRecord, ResetClearsState) {
   StepRecord record;
-  record.reset(7, 4);
+  record.reset(7);
   record.injections.push_back(2);
-  record.sent[3] = 1;
-  record.reset(8, 4);
+  record.set_sent(3, 1);
+  record.reset(8);
   EXPECT_EQ(record.step, 8u);
   EXPECT_TRUE(record.injections.empty());
-  EXPECT_EQ(record.sent[3], 0);
+  EXPECT_EQ(record.sent_by(3), 0);
+}
+
+TEST(StepRecord, SparseSends) {
+  StepRecord record;
+  record.reset(0);
+  // Out-of-order inserts land sorted; zero counts are absent, not stored.
+  record.set_sent(5, 2);
+  record.set_sent(2, 1);
+  record.set_sent(9, 3);
+  EXPECT_EQ(record.sends.size(), 3u);
+  EXPECT_EQ(record.sends[0].node, 2u);
+  EXPECT_EQ(record.sends[2].node, 9u);
+  EXPECT_EQ(record.sent_by(5), 2);
+  EXPECT_EQ(record.sent_by(4), 0);
+  EXPECT_EQ(record.sender_count(), 3u);
+  record.set_sent(5, 4);  // update in place
+  EXPECT_EQ(record.sent_by(5), 4);
+  EXPECT_EQ(record.sends.size(), 3u);
+  record.set_sent(5, 0);  // zero erases
+  EXPECT_EQ(record.sent_by(5), 0);
+  EXPECT_EQ(record.sends.size(), 2u);
 }
 
 TEST(StepRecord, InjectionCounting) {
   StepRecord record;
-  record.reset(0, 5);
+  record.reset(0);
   record.injections = {3, 3, 4};
   EXPECT_EQ(record.injection_count(), 3u);
   EXPECT_EQ(record.injections_at(3), 2);

@@ -1,0 +1,159 @@
+// Differential test for the two step engines: for every sparse-capable
+// policy, the dense (O(n) scan) and sparse (O(occupied)) engines must
+// produce bit-identical executions — same step records, configurations,
+// delivered counts and peaks at every step — across random trees, random
+// rate-c traffic, both step semantics, and forced as well as auto-dispatched
+// engine selection.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "cvg/adversary/simple.hpp"
+#include "cvg/policy/registry.hpp"
+#include "cvg/sim/simulator.hpp"
+#include "cvg/topology/builders.hpp"
+#include "cvg/util/rng.hpp"
+
+namespace cvg {
+namespace {
+
+/// Every registry policy that implements the sparse entry point.
+const char* const kSparsePolicies[] = {
+    "greedy",        "downhill",     "downhill-or-flat",
+    "fie-local",     "odd-even",     "tree-odd-even",
+    "tree-odd-even-willing",         "max-window-2",
+    "max-window-3",  "gradient-1",   "gradient-2",
+    "scaled-odd-even-2"};
+
+std::vector<Tree> make_topologies() {
+  Xoshiro256StarStar rng(99);
+  std::vector<Tree> topologies;
+  topologies.push_back(build::path(48));
+  topologies.push_back(build::complete_kary(3, 4));
+  topologies.push_back(build::spider(5, 6));
+  topologies.push_back(build::random_chainy(40, 0.5, rng));
+  topologies.push_back(build::random_recursive(40, rng));
+  return topologies;
+}
+
+using Param = std::tuple<const char*, Capacity, StepSemantics>;
+
+class SparseEquivalence : public ::testing::TestWithParam<Param> {};
+
+TEST_P(SparseEquivalence, LockstepAcrossEngines) {
+  const auto& [policy_name, capacity, semantics] = GetParam();
+  for (const Tree& tree : make_topologies()) {
+    const PolicyPtr policy = make_policy(policy_name);
+    ASSERT_TRUE(policy->supports_sparse()) << policy_name;
+
+    SimOptions base;
+    base.capacity = capacity;
+    base.semantics = semantics;
+    base.validate = true;
+
+    SimOptions dense_opts = base;
+    dense_opts.sparse_mode = SparseMode::Never;
+    SimOptions sparse_opts = base;
+    sparse_opts.sparse_mode = SparseMode::Always;
+    SimOptions mixed_opts = base;
+    mixed_opts.sparse_mode = SparseMode::Auto;
+    // A low crossover makes the auto engine flip between sparse and dense
+    // as occupancy fluctuates, exercising the dispatch boundary itself.
+    mixed_opts.sparse_crossover = 0.08;
+
+    Simulator dense(tree, *policy, dense_opts);
+    Simulator sparse(tree, *policy, sparse_opts);
+    Simulator mixed(tree, *policy, mixed_opts);
+
+    adversary::RandomUniform adversary(1234, 0.25);
+    adversary.on_simulation_start();
+
+    std::vector<NodeId> inj;
+    const Step steps = 400;
+    for (Step s = 0; s < steps; ++s) {
+      inj.clear();
+      adversary.plan(tree, dense.config(), s, capacity, inj);
+      const StepRecord& dense_rec = dense.step(inj);
+      const StepRecord& sparse_rec = sparse.step(inj);
+      const StepRecord& mixed_rec = mixed.step(inj);
+      ASSERT_EQ(dense_rec.sends, sparse_rec.sends)
+          << policy_name << " diverged at step " << s;
+      ASSERT_EQ(dense_rec.sends, mixed_rec.sends)
+          << policy_name << " (auto) diverged at step " << s;
+      ASSERT_EQ(dense.config(), sparse.config()) << policy_name << " @" << s;
+      ASSERT_EQ(dense.config(), mixed.config()) << policy_name << " @" << s;
+    }
+
+    EXPECT_EQ(dense.delivered(), sparse.delivered());
+    EXPECT_EQ(dense.delivered(), mixed.delivered());
+    EXPECT_EQ(dense.peak_height(), sparse.peak_height());
+    EXPECT_EQ(dense.peak_height(), mixed.peak_height());
+    for (NodeId v = 0; v < tree.node_count(); ++v) {
+      ASSERT_EQ(dense.peak_per_node()[v], sparse.peak_per_node()[v]);
+      ASSERT_EQ(dense.peak_per_node()[v], mixed.peak_per_node()[v]);
+    }
+
+    // The forced modes really forced their engine; auto used both counters.
+    EXPECT_EQ(dense.sparse_steps(), 0u);
+    EXPECT_EQ(dense.dense_steps(), steps);
+    EXPECT_EQ(sparse.dense_steps(), 0u);
+    EXPECT_EQ(sparse.sparse_steps(), steps);
+    EXPECT_EQ(mixed.sparse_steps() + mixed.dense_steps(), steps);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Engines, SparseEquivalence,
+    ::testing::Combine(::testing::ValuesIn(kSparsePolicies),
+                       ::testing::Values(Capacity{1}, Capacity{3}),
+                       ::testing::Values(StepSemantics::DecideBeforeInjection,
+                                         StepSemantics::DecideAfterInjection)),
+    [](const auto& param_info) {
+      std::string name = std::get<0>(param_info.param);
+      for (char& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      name += "_c" + std::to_string(std::get<1>(param_info.param));
+      name += std::get<2>(param_info.param) ==
+                      StepSemantics::DecideBeforeInjection
+                  ? "_before"
+                  : "_after";
+      return name;
+    });
+
+// Policies without a sparse implementation must stay on the dense engine no
+// matter what the options request.
+TEST(SparseDispatch, CentralizedFieAlwaysRunsDense) {
+  const Tree tree = build::path(16);
+  const PolicyPtr policy = make_policy("centralized-fie");
+  EXPECT_FALSE(policy->supports_sparse());
+  SimOptions opts;
+  opts.sparse_mode = SparseMode::Always;
+  Simulator sim(tree, *policy, opts);
+  for (int i = 0; i < 50; ++i) sim.step_inject(15);
+  EXPECT_EQ(sim.sparse_steps(), 0u);
+  EXPECT_EQ(sim.dense_steps(), 50u);
+}
+
+// The occupied set itself stays consistent with the configuration under
+// checkpoint/restore, which the strategic adversary exercises heavily.
+TEST(SparseDispatch, OccupiedSetTracksSetConfig) {
+  const Tree tree = build::path(8);
+  const PolicyPtr policy = make_policy("odd-even");
+  SimOptions opts;
+  opts.sparse_mode = SparseMode::Always;
+  Simulator sim(tree, *policy, opts);
+  sim.set_config(Configuration({0, 0, 2, 0, 1, 0, 0, 3}));
+  EXPECT_EQ(sim.occupied().size(), 3u);
+  for (int i = 0; i < 30; ++i) sim.step_inject(kNoNode);  // drain
+  EXPECT_EQ(sim.config().total_packets(), 0u);
+  EXPECT_TRUE(sim.occupied().empty());
+  sim.reset();
+  EXPECT_TRUE(sim.occupied().empty());
+}
+
+}  // namespace
+}  // namespace cvg
