@@ -35,7 +35,7 @@ Height battery_peak(const Tree& tree, const Policy& policy, Step steps,
 
 void timing_table(const Flags& flags) {
   const std::vector<std::size_t> sizes =
-      report::geometric_sizes(64, flags.large ? 4096 : 1024);
+      report::geometric_sizes(64, ladder_cap(flags, 128, 1024, 4096));
   struct Row {
     std::size_t n;
     Height before = 0;
@@ -50,10 +50,12 @@ void timing_table(const Flags& flags) {
     const Step steps = static_cast<Step>(6 * row.n);
     row.before = battery_peak(
         tree, policy, steps,
-        {.semantics = StepSemantics::DecideBeforeInjection}, derive_seed(1, i));
+        {.semantics = StepSemantics::DecideBeforeInjection},
+        derive_seed(table_seed(flags, 1), i));
     row.after = battery_peak(
         tree, policy, steps,
-        {.semantics = StepSemantics::DecideAfterInjection}, derive_seed(1, i));
+        {.semantics = StepSemantics::DecideAfterInjection},
+        derive_seed(table_seed(flags, 1), i));
   });
 
   report::Table table({"n", "decide-before peak", "decide-after peak"});
@@ -63,8 +65,9 @@ void timing_table(const Flags& flags) {
 }
 
 void arbitration_table(const Flags& flags) {
-  const std::vector<std::size_t> branch_counts = {8, 16,
-                                                  flags.large ? 40u : 24u};
+  const std::vector<std::size_t> branch_counts =
+      flags.smoke ? std::vector<std::size_t>{4, 8}
+                  : std::vector<std::size_t>{8, 16, flags.large ? 40u : 24u};
   struct Row {
     std::size_t nodes = 0;
     Height strict = 0;
@@ -80,8 +83,10 @@ void arbitration_table(const Flags& flags) {
     const Step steps = static_cast<Step>(10 * row.nodes);
     TreeOddEvenPolicy strict(ArbitrationMode::Strict);
     TreeOddEvenPolicy willing(ArbitrationMode::WillingOnly);
-    row.strict = battery_peak(tree, strict, steps, {}, derive_seed(2, i));
-    row.willing = battery_peak(tree, willing, steps, {}, derive_seed(2, i));
+    row.strict = battery_peak(tree, strict, steps, {},
+                              derive_seed(table_seed(flags, 2), i));
+    row.willing = battery_peak(tree, willing, steps, {},
+                               derive_seed(table_seed(flags, 2), i));
   });
 
   report::Table table({"staggered spider b", "nodes", "strict peak",
@@ -95,7 +100,7 @@ void arbitration_table(const Flags& flags) {
 }
 
 void gradient_table(const Flags& flags) {
-  const std::size_t n = flags.large ? 2048 : 512;
+  const std::size_t n = ladder_cap(flags, 128, 512, 2048);
   const Tree tree = build::path(n + 1);
   const Step steps = static_cast<Step>(6 * n);
 
@@ -103,8 +108,8 @@ void gradient_table(const Flags& flags) {
   for (const std::string name :
        {"gradient-0", "gradient-1", "gradient-2", "gradient-3", "odd-even"}) {
     const PolicyPtr policy = make_policy(name);
-    const Height battery =
-        battery_peak(tree, *policy, steps, {}, derive_seed(3, 0));
+    const Height battery = battery_peak(tree, *policy, steps, {},
+                                        derive_seed(table_seed(flags, 3), 0));
     adversary::StagedLowerBound staged(*policy, SimOptions{}, 1);
     const Height forced =
         run(tree, *policy, staged, staged.recommended_steps(tree)).peak_height;
@@ -116,13 +121,12 @@ void gradient_table(const Flags& flags) {
 }
 
 }  // namespace
-}  // namespace cvg::bench
 
-int main(int argc, char** argv) {
-  const auto flags = cvg::bench::parse_flags(argc, argv);
-  std::printf("E11 — ablations over the paper's under-specified choices\n");
-  cvg::bench::timing_table(flags);
-  cvg::bench::arbitration_table(flags);
-  cvg::bench::gradient_table(flags);
-  return 0;
+CVG_EXPERIMENT(11, "E11",
+               "ablations over the paper's under-specified choices") {
+  timing_table(flags);
+  arbitration_table(flags);
+  gradient_table(flags);
 }
+
+}  // namespace cvg::bench

@@ -13,9 +13,9 @@ namespace cvg::bench {
 namespace {
 
 void fie_divergence(const Flags& flags) {
-  const std::size_t n = 256;
+  const std::size_t n = ladder_cap(flags, 64, 256, 256);
   const Tree tree = build::path(n + 1);
-  const Step steps = flags.large ? 65536 : 16384;
+  const Step steps = static_cast<Step>(ladder_cap(flags, 2048, 16384, 65536));
   const Step sample_every = steps / 8;
 
   std::vector<Height> fie_trace;
@@ -39,13 +39,14 @@ void fie_divergence(const Flags& flags) {
   for (std::size_t i = 0; i < fie_trace.size(); ++i) {
     table.row((i + 1) * sample_every, fie_trace[i], odd_even_trace[i]);
   }
-  print_table("E6a: local FIE diverges with time; Odd-Even plateaus (n=256)",
+  print_table("E6a: local FIE diverges with time; Odd-Even plateaus (n=" +
+                  std::to_string(n) + ")",
               table, flags);
 }
 
 void downhill_growth(const Flags& flags) {
   const std::vector<std::size_t> sizes =
-      report::geometric_sizes(16, flags.large ? 256 : 128);
+      report::geometric_sizes(16, ladder_cap(flags, 32, 128, 256));
   struct Row {
     std::size_t n;
     Height peak = 0;
@@ -78,13 +79,12 @@ void downhill_growth(const Flags& flags) {
 }
 
 }  // namespace
-}  // namespace cvg::bench
 
-int main(int argc, char** argv) {
-  const auto flags = cvg::bench::parse_flags(argc, argv);
-  std::printf("E6 — the local baselines of [21]: FIE unbounded, Downhill "
-              "Omega(n)\n");
-  cvg::bench::fie_divergence(flags);
-  cvg::bench::downhill_growth(flags);
-  return 0;
+CVG_EXPERIMENT(6, "E6",
+               "the local baselines of [21]: FIE unbounded, Downhill "
+               "Omega(n)") {
+  fie_divergence(flags);
+  downhill_growth(flags);
 }
+
+}  // namespace cvg::bench

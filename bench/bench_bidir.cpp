@@ -17,13 +17,14 @@
 #include "bench_common.hpp"
 #include "cvg/adversary/staged.hpp"
 #include "cvg/sim/bidir.hpp"
+#include "cvg/sim/engine_run.hpp"
 
 namespace cvg::bench {
 namespace {
 
 /// The staged adversary transplanted onto the undirected engine.  Returns
-/// the forced peak height.
-Height bidir_staged_peak(std::size_t n, const BidirPolicy& policy) {
+/// the full run result (the forced peak is `.peak_height`).
+RunResult bidir_staged_peak(std::size_t n, const BidirPolicy& policy) {
   BidirPathSimulator sim(n + 1, policy);
 
   // Fill phase: n0 injections at the far end.
@@ -67,12 +68,27 @@ Height bidir_staged_peak(std::size_t n, const BidirPolicy& policy) {
       lo = static_cast<NodeId>(mid + 1);
     }
   }
-  return sim.peak_height();
+  return engine_result(sim);
 }
 
 void bidir_table(const Flags& flags) {
   const std::vector<std::size_t> sizes =
-      report::geometric_sizes(64, flags.large ? 8192 : 2048);
+      report::geometric_sizes(64, ladder_cap(flags, 128, 2048, 8192));
+
+  // One generic sweep job per (n, policy): the substrate-agnostic runner
+  // drives the undirected engine exactly as it does the height engine.
+  const BidirOddEven odd_even;
+  const BidirDiffusion diffusion;
+  SweepRunner runner;
+  for (const std::size_t n : sizes) {
+    runner.add("bidir-odd-even n=" + std::to_string(n),
+               static_cast<Step>(4 * n),
+               [n, &odd_even](Step) { return bidir_staged_peak(n, odd_even); });
+    runner.add(
+        "bidir-diffusion n=" + std::to_string(n), static_cast<Step>(4 * n),
+        [n, &diffusion](Step) { return bidir_staged_peak(n, diffusion); });
+  }
+  const std::vector<SweepOutcome> outcomes = runner.run(flags.threads);
 
   struct Row {
     std::size_t n;
@@ -81,15 +97,12 @@ void bidir_table(const Flags& flags) {
     double directed_bound = 0;
   };
   std::vector<Row> rows(sizes.size());
-  parallel_for(rows.size(), flags.threads, [&](std::size_t i) {
-    Row& row = rows[i];
-    row.n = sizes[i];
-    BidirOddEven odd_even;
-    BidirDiffusion diffusion;
-    row.odd_even = bidir_staged_peak(row.n, odd_even);
-    row.diffusion = bidir_staged_peak(row.n, diffusion);
-    row.directed_bound = adversary::staged_bound(row.n, 1, 1);
-  });
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    rows[i].n = sizes[i];
+    rows[i].odd_even = outcomes[2 * i].peak;
+    rows[i].diffusion = outcomes[2 * i + 1].peak;
+    rows[i].directed_bound = adversary::staged_bound(rows[i].n, 1, 1);
+  }
 
   report::Table table({"n", "bidir-odd-even forced peak",
                        "bidir-diffusion forced peak", "Thm 3.1 bound",
@@ -111,12 +124,10 @@ void bidir_table(const Flags& flags) {
 }
 
 }  // namespace
-}  // namespace cvg::bench
 
-int main(int argc, char** argv) {
-  const auto flags = cvg::bench::parse_flags(argc, argv);
-  std::printf("E14 — Theorem 3.3: bidirectional links only improve the "
-              "constant\n");
-  cvg::bench::bidir_table(flags);
-  return 0;
+CVG_EXPERIMENT(14, "E14",
+               "Theorem 3.3: bidirectional links only improve the constant") {
+  bidir_table(flags);
 }
+
+}  // namespace cvg::bench

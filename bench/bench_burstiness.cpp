@@ -13,7 +13,7 @@ namespace cvg::bench {
 namespace {
 
 void burst_table(const Flags& flags) {
-  const std::size_t n = flags.large ? 4096 : 1024;
+  const std::size_t n = ladder_cap(flags, 256, 1024, 4096);
   const std::vector<Capacity> deltas = {0, 2, 4, 8, 16, 32};
 
   struct Row {
@@ -52,11 +52,10 @@ void burst_table(const Flags& flags) {
 }
 
 }  // namespace
-}  // namespace cvg::bench
 
-int main(int argc, char** argv) {
-  const auto flags = cvg::bench::parse_flags(argc, argv);
-  std::printf("E7 — Corollary 3.2: burst of delta forces +delta buffers\n");
-  cvg::bench::burst_table(flags);
-  return 0;
+CVG_EXPERIMENT(7, "E7",
+               "Corollary 3.2: burst of delta forces +delta buffers") {
+  burst_table(flags);
 }
+
+}  // namespace cvg::bench

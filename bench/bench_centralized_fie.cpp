@@ -50,7 +50,11 @@ void fie_table(const Flags& flags) {
     std::uint64_t delivered = 0;
   };
   std::vector<Cell> cells;
-  for (const std::size_t n : {64u, 256u, flags.large ? 4096u : 1024u}) {
+  const std::vector<std::size_t> sizes =
+      flags.smoke ? std::vector<std::size_t>{64u, 128u}
+                  : std::vector<std::size_t>{64u, 256u,
+                                             flags.large ? 4096u : 1024u};
+  for (const std::size_t n : sizes) {
     for (const Capacity rho : {1, 2, 4}) {
       for (const Capacity sigma : {0, 4, 16}) {
         cells.push_back({n, rho, sigma, 0, 0});
@@ -61,7 +65,7 @@ void fie_table(const Flags& flags) {
     Cell& cell = cells[i];
     const Tree tree = build::path(cell.n + 1);
     CentralizedFiePolicy policy;
-    BurstyRandom adv(derive_seed(13, i), cell.sigma,
+    BurstyRandom adv(derive_seed(table_seed(flags, 13), i), cell.sigma,
                      static_cast<Step>(2 * cell.sigma + 8));
     const SimOptions options{.capacity = cell.rho, .burstiness = cell.sigma};
     const RunResult result =
@@ -82,11 +86,10 @@ void fie_table(const Flags& flags) {
 }
 
 }  // namespace
-}  // namespace cvg::bench
 
-int main(int argc, char** argv) {
-  const auto flags = cvg::bench::parse_flags(argc, argv);
-  std::printf("E13 — the centralized comparator: sigma + 2*rho buffers [21]\n");
-  cvg::bench::fie_table(flags);
-  return 0;
+CVG_EXPERIMENT(13, "E13",
+               "the centralized comparator: sigma + 2*rho buffers [21]") {
+  fie_table(flags);
 }
+
+}  // namespace cvg::bench

@@ -1,11 +1,9 @@
 #pragma once
 
 /// \file bench_common.hpp
-/// Shared scaffolding for the experiment binaries: flag parsing, titled
-/// table printing, and the standard adversary battery.  Every bench accepts:
-///   --csv    also emit machine-readable CSV after each table
-///   --large  run the bigger (slower) size ladder
-///   --threads=N  override the worker count (default: all cores)
+/// Shared scaffolding for the experiment bodies: titled table printing, the
+/// standard adversary battery, and seed plumbing.  Flag parsing and the
+/// registry live in experiment.hpp (shared with the `cvg` driver).
 
 #include <cstdio>
 #include <cstdlib>
@@ -23,38 +21,29 @@
 #include "cvg/report/table.hpp"
 #include "cvg/sim/runner.hpp"
 #include "cvg/topology/builders.hpp"
+#include "cvg/util/rng.hpp"
 #include "cvg/util/str.hpp"
+#include "experiment.hpp"
 
 namespace cvg::bench {
 
-struct Flags {
-  bool csv = false;
-  bool large = false;
-  unsigned threads = 0;  // 0 = default
-};
+/// Mixes the CLI `--seed=` into a table's fixed tag.  The default
+/// `--seed=0` returns the tag unchanged, so the historical tables stay
+/// bit-identical; any other seed reshuffles every randomized adversary
+/// deterministically.
+[[nodiscard]] inline std::uint64_t table_seed(const Flags& flags,
+                                              std::uint64_t tag) {
+  return flags.seed == 0 ? tag : derive_seed(flags.seed, tag);
+}
 
-inline Flags parse_flags(int argc, char** argv) {
-  Flags flags;
-  for (int i = 1; i < argc; ++i) {
-    const std::string_view arg = argv[i];
-    if (arg == "--csv") {
-      flags.csv = true;
-    } else if (arg == "--large") {
-      flags.large = true;
-    } else if (starts_with(arg, "--threads=")) {
-      flags.threads = static_cast<unsigned>(
-          std::strtoul(std::string(arg.substr(10)).c_str(), nullptr, 10));
-    } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: %s [--csv] [--large] [--threads=N]\n", argv[0]);
-      std::exit(0);
-    } else {
-      std::fprintf(stderr, "unknown flag: %.*s\n",
-                   static_cast<int>(arg.size()), arg.data());
-      std::exit(2);
-    }
-  }
-  if (flags.threads == 0) flags.threads = default_thread_count();
-  return flags;
+/// Picks a size-ladder cap: `--smoke` clamps every ladder to seconds-scale
+/// (the `cvg run all --smoke` CI test), `--large` grows it.
+[[nodiscard]] inline std::size_t ladder_cap(const Flags& flags,
+                                            std::size_t smoke_cap,
+                                            std::size_t normal_cap,
+                                            std::size_t large_cap) {
+  if (flags.smoke) return smoke_cap;
+  return flags.large ? large_cap : normal_cap;
 }
 
 inline void print_table(const std::string& title, const report::Table& table,

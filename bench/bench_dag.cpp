@@ -12,33 +12,35 @@
 
 #include "bench_common.hpp"
 #include "cvg/dag/dag_sim.hpp"
+#include "cvg/sim/engine_run.hpp"
 
 namespace cvg::bench {
 namespace {
 
-Height dag_peak(const Dag& dag, const DagPolicy& policy, std::uint64_t seed,
-                Step steps, int mode) {
+/// One DAG run through the generic engine loop: the injection source plays
+/// one of three pressure modes, the substrate does the rest.
+RunResult dag_run(const Dag& dag, const DagPolicy& policy, std::uint64_t seed,
+                  Step steps, int mode) {
   DagSimulator sim(dag, policy);
   Xoshiro256StarStar rng(seed);
   const NodeId deepest = static_cast<NodeId>(dag.node_count() - 1);
-  for (Step s = 0; s < steps; ++s) {
-    NodeId t = kNoNode;
+  const auto inject = [&](const Configuration&, Step s,
+                          std::vector<NodeId>& out) {
     switch (mode) {
       case 0:  // far-end pressure
-        t = deepest;
+        out.push_back(deepest);
         break;
       case 1:  // random
-        t = static_cast<NodeId>(1 + rng.below(dag.node_count() - 1));
+        out.push_back(static_cast<NodeId>(1 + rng.below(dag.node_count() - 1)));
         break;
       case 2:  // alternating far/near
-        t = (s / 64) % 2 == 0 ? deepest : NodeId{1};
+        out.push_back((s / 64) % 2 == 0 ? deepest : NodeId{1});
         break;
       default:
         break;
     }
-    sim.step_inject(t);
-  }
-  return sim.peak_height();
+  };
+  return run_engine(sim, inject, steps);
 }
 
 void dag_table(const Flags& flags) {
@@ -66,24 +68,44 @@ void dag_table(const Flags& flags) {
     Height greedy = 0;
     Height log_cap = 0;
   };
-  std::vector<Cell> cells(families.size());
-  parallel_for(cells.size(), flags.threads, [&](std::size_t i) {
-    Cell& cell = cells[i];
+  // One generic sweep job per (family, policy, mode); the table keeps the
+  // historical max-over-modes per policy.
+  const DagOddEven odd_even;
+  const DagGreedy greedy;
+  const DagPolicy* const policies[] = {&odd_even, &greedy};
+  SweepRunner runner;
+  for (std::size_t i = 0; i < families.size(); ++i) {
     const Dag& dag = families[i].dag;
+    const Step steps = static_cast<Step>(
+        static_cast<std::size_t>(flags.smoke ? 2 : 12) * dag.node_count());
+    const std::uint64_t seed = derive_seed(table_seed(flags, 4), i);
+    for (const DagPolicy* policy : policies) {
+      for (int mode = 0; mode < 3; ++mode) {
+        runner.add(families[i].label + " " + policy->name() + " mode=" +
+                       std::to_string(mode),
+                   steps, [&dag, policy, seed, mode](Step budget) {
+                     return dag_run(dag, *policy, seed, budget, mode);
+                   });
+      }
+    }
+  }
+  const std::vector<SweepOutcome> outcomes = runner.run(flags.threads);
+
+  std::vector<Cell> cells(families.size());
+  for (std::size_t i = 0; i < families.size(); ++i) {
+    Cell& cell = cells[i];
     cell.label = families[i].label;
-    cell.nodes = dag.node_count();
+    cell.nodes = families[i].dag.node_count();
     cell.log_cap = static_cast<Height>(
                        2.0 * std::log2(static_cast<double>(cell.nodes))) + 4;
-    const Step steps = static_cast<Step>(12 * cell.nodes);
-    DagOddEven odd_even;
-    DagGreedy greedy;
     for (int mode = 0; mode < 3; ++mode) {
       cell.odd_even = std::max(
-          cell.odd_even, dag_peak(dag, odd_even, derive_seed(4, i), steps, mode));
+          cell.odd_even, outcomes[6 * i + static_cast<std::size_t>(mode)].peak);
       cell.greedy = std::max(
-          cell.greedy, dag_peak(dag, greedy, derive_seed(4, i), steps, mode));
+          cell.greedy,
+          outcomes[6 * i + 3 + static_cast<std::size_t>(mode)].peak);
     }
-  });
+  }
 
   report::Table table({"dag", "nodes", "dag-odd-even peak", "dag-greedy peak",
                        "2log2(n)+4", "ok"});
@@ -97,11 +119,9 @@ void dag_table(const Flags& flags) {
 }
 
 }  // namespace
-}  // namespace cvg::bench
 
-int main(int argc, char** argv) {
-  const auto flags = cvg::bench::parse_flags(argc, argv);
-  std::printf("E15 — does Odd-Even generalize to DAGs? (§6)\n");
-  cvg::bench::dag_table(flags);
-  return 0;
+CVG_EXPERIMENT(15, "E15", "does Odd-Even generalize to DAGs? (§6)") {
+  dag_table(flags);
 }
+
+}  // namespace cvg::bench

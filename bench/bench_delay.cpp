@@ -8,14 +8,17 @@
 // buffers but higher tail delay under sustained load.
 
 #include "bench_common.hpp"
+#include "cvg/sim/engine_run.hpp"
+#include "cvg/sim/metrics.hpp"
 #include "cvg/sim/packet_sim.hpp"
 
 namespace cvg::bench {
 namespace {
 
 void delay_table(const Flags& flags) {
-  const std::size_t n = flags.large ? 512 : 256;
-  const Step steps = static_cast<Step>((flags.large ? 24 : 12) * n);
+  const std::size_t n = ladder_cap(flags, 64, 256, 512);
+  const Step steps =
+      static_cast<Step>(static_cast<std::size_t>(flags.large ? 24 : 12) * n);
   const std::vector<std::string> policies = {
       "greedy", "downhill-or-flat", "odd-even", "centralized-fie"};
   const std::vector<std::pair<std::string, std::uint64_t>> workloads = {
@@ -46,22 +49,22 @@ void delay_table(const Flags& flags) {
       adv = std::make_unique<adversary::FixedNode>(tree,
                                                    adversary::Site::Deepest);
     } else if (cell.workload == "random") {
-      adv = std::make_unique<adversary::RandomUniform>(7);
+      adv = std::make_unique<adversary::RandomUniform>(table_seed(flags, 7));
     } else if (cell.workload == "train-slam") {
       adv = std::make_unique<adversary::TrainAndSlam>(tree, n / 2);
     } else {
       adv = std::make_unique<adversary::Alternator>(tree,
                                                     static_cast<Step>(n / 2));
     }
+    // The generic loop + delay sink: the packet engine reports each step's
+    // deliveries through the DelayReportingEngine hook.
     PacketSimulator sim(tree, *policy);
     adv->on_simulation_start();
-    std::vector<NodeId> inj;
-    for (Step s = 0; s < steps; ++s) {
-      inj.clear();
-      adv->plan(tree, sim.config(), s, 1, inj);
-      sim.step(inj);
-    }
-    const DelayStats& delays = sim.delays();
+    DelayHistogramSink delay_sink;
+    MetricSinkChain sinks;
+    sinks.add(delay_sink);
+    (void)run_engine(sim, adversary_source(tree, *adv, 1), steps, &sinks);
+    const DelayStats& delays = delay_sink.stats();
     cell.mean = delays.mean();
     cell.p50 = delays.quantile(0.5);
     cell.p99 = delays.quantile(0.99);
@@ -82,11 +85,10 @@ void delay_table(const Flags& flags) {
 }
 
 }  // namespace
-}  // namespace cvg::bench
 
-int main(int argc, char** argv) {
-  const auto flags = cvg::bench::parse_flags(argc, argv);
-  std::printf("E10 — delay characteristics (the paper's closing question)\n");
-  cvg::bench::delay_table(flags);
-  return 0;
+CVG_EXPERIMENT(10, "E10",
+               "delay characteristics (the paper's closing question)") {
+  delay_table(flags);
 }
+
+}  // namespace cvg::bench

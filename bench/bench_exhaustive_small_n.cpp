@@ -18,7 +18,7 @@ namespace {
 void exact_table(const Flags& flags) {
   const std::vector<std::string> policies = {"odd-even", "downhill-or-flat",
                                              "downhill", "greedy", "fie-local"};
-  const std::size_t max_n = flags.large ? 9 : 8;
+  const std::size_t max_n = ladder_cap(flags, 5, 8, 9);
 
   struct Cell {
     std::string policy;
@@ -41,7 +41,8 @@ void exact_table(const Flags& flags) {
     search::SearchOptions options;
     options.height_cap =
         static_cast<Height>(std::min<std::size_t>(cell.n + 2, 8));
-    options.max_states = flags.large ? 30'000'000 : 4'000'000;
+    options.max_states =
+        flags.smoke ? 200'000 : (flags.large ? 30'000'000 : 4'000'000);
     const auto result =
         search::exhaustive_worst_case(tree, *policy, SimOptions{}, options);
     cell.peak = result.peak;
@@ -64,8 +65,9 @@ void exact_table(const Flags& flags) {
 }
 
 void schedule_table(const Flags& flags) {
-  // The optimal schedule against Odd-Even on a 7-node path, materialized.
-  const Tree tree = build::path(8);
+  // The optimal schedule against Odd-Even on a 7-node path, materialized
+  // (5 nodes under --smoke).
+  const Tree tree = build::path(flags.smoke ? 6 : 8);
   OddEvenPolicy policy;
   search::SearchOptions options;
   options.keep_schedule = true;
@@ -79,17 +81,17 @@ void schedule_table(const Flags& flags) {
                      : std::to_string(result.schedule[s]));
   }
   print_table("E8b: a shortest optimal adversary schedule vs Odd-Even "
-              "(path of 7, reaches " + std::to_string(result.peak) + ")",
+              "(path of " + std::to_string(tree.node_count() - 1) +
+              ", reaches " + std::to_string(result.peak) + ")",
               table, flags);
 }
 
 }  // namespace
-}  // namespace cvg::bench
 
-int main(int argc, char** argv) {
-  const auto flags = cvg::bench::parse_flags(argc, argv);
-  std::printf("E8 — exhaustive adversary search: exact small-n worst cases\n");
-  cvg::bench::exact_table(flags);
-  cvg::bench::schedule_table(flags);
-  return 0;
+CVG_EXPERIMENT(8, "E8",
+               "exhaustive adversary search: exact small-n worst cases") {
+  exact_table(flags);
+  schedule_table(flags);
 }
+
+}  // namespace cvg::bench

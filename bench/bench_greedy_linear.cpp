@@ -13,7 +13,7 @@ namespace {
 
 void greedy_table(const Flags& flags) {
   const std::vector<std::size_t> sizes =
-      report::geometric_sizes(64, flags.large ? 16384 : 4096);
+      report::geometric_sizes(64, ladder_cap(flags, 128, 4096, 16384));
 
   struct Row {
     std::size_t n;
@@ -56,11 +56,9 @@ void greedy_table(const Flags& flags) {
 }
 
 }  // namespace
-}  // namespace cvg::bench
 
-int main(int argc, char** argv) {
-  const auto flags = cvg::bench::parse_flags(argc, argv);
-  std::printf("E5 — Greedy needs Theta(n) buffers on the path [23]\n");
-  cvg::bench::greedy_table(flags);
-  return 0;
+CVG_EXPERIMENT(5, "E5", "Greedy needs Theta(n) buffers on the path [23]") {
+  greedy_table(flags);
 }
+
+}  // namespace cvg::bench

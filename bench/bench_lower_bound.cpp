@@ -21,7 +21,7 @@ void policies_table(const Flags& flags) {
       "odd-even", "downhill-or-flat", "downhill", "greedy", "fie-local",
       "max-window-2"};
   const std::vector<std::size_t> sizes =
-      report::geometric_sizes(64, flags.large ? 8192 : 2048);
+      report::geometric_sizes(64, ladder_cap(flags, 128, 2048, 8192));
 
   struct Cell {
     std::string policy;
@@ -54,7 +54,7 @@ void policies_table(const Flags& flags) {
 }
 
 void grid_table(const Flags& flags) {
-  const std::size_t n = flags.large ? 4096 : 1024;
+  const std::size_t n = ladder_cap(flags, 256, 1024, 4096);
   struct Cell {
     int ell;
     Capacity c;
@@ -97,7 +97,7 @@ void open_problem_table(const Flags& flags) {
   // The experimental `scaled-odd-even-c` (Odd-Even on ⌊h/c⌋ buckets, moving
   // c packets at a time) is our probe: its forced peaks below are an
   // empirical observation, not a theorem.
-  const std::size_t n = 512;
+  const std::size_t n = ladder_cap(flags, 128, 512, 512);
   report::Table table({"c", "odd-even peak", "scaled-odd-even peak",
                        "scaled vs staged", "greedy peak"});
   for (const Capacity c : {1, 2, 3, 4}) {
@@ -123,7 +123,7 @@ void open_problem_table(const Flags& flags) {
 }
 
 void stage_trace_table(const Flags& flags) {
-  const std::size_t n = 1024;
+  const std::size_t n = ladder_cap(flags, 256, 1024, 1024);
   const Tree tree = build::path(n + 1);
   OddEvenPolicy policy;
   adversary::StagedLowerBound adv(policy, SimOptions{}, 1);
@@ -138,20 +138,20 @@ void stage_trace_table(const Flags& flags) {
               stage.hi - stage.lo + 1, stage.packets, stage.density,
               stage.target_density);
   }
-  print_table("E1c: stage densities vs the proof's H_i ladder (n=1024, l=1)",
+  print_table("E1c: stage densities vs the proof's H_i ladder (n=" +
+                  std::to_string(n) + ", l=1)",
               table, flags);
 }
 
 }  // namespace
-}  // namespace cvg::bench
 
-int main(int argc, char** argv) {
-  const auto flags = cvg::bench::parse_flags(argc, argv);
-  std::printf("E1 — Theorem 3.1 lower bound: Omega(c log n / l) for every "
-              "l-local algorithm\n");
-  cvg::bench::policies_table(flags);
-  cvg::bench::grid_table(flags);
-  cvg::bench::stage_trace_table(flags);
-  cvg::bench::open_problem_table(flags);
-  return 0;
+CVG_EXPERIMENT(1, "E1",
+               "Theorem 3.1 lower bound: Omega(c log n / l) for every "
+               "l-local algorithm") {
+  policies_table(flags);
+  grid_table(flags);
+  stage_trace_table(flags);
+  open_problem_table(flags);
 }
+
+}  // namespace cvg::bench

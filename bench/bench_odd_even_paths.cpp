@@ -25,7 +25,7 @@ struct Row {
 
 void odd_even_table(const Flags& flags) {
   const std::vector<std::size_t> sizes =
-      report::geometric_sizes(16, flags.large ? 16384 : 4096);
+      report::geometric_sizes(16, ladder_cap(flags, 64, 4096, 16384));
 
   std::vector<Row> rows(sizes.size());
   parallel_for(rows.size(), flags.threads, [&](std::size_t i) {
@@ -35,7 +35,7 @@ void odd_even_table(const Flags& flags) {
     OddEvenPolicy policy;
 
     for (const auto& entry : adversary_battery()) {
-      AdversaryPtr adv = entry.make(tree, derive_seed(11, i));
+      AdversaryPtr adv = entry.make(tree, derive_seed(table_seed(flags, 11), i));
       const RunResult result =
           run(tree, policy, *adv, static_cast<Step>(6 * row.n));
       if (result.peak_height > row.battery_peak) {
@@ -74,12 +74,11 @@ void odd_even_table(const Flags& flags) {
 }
 
 }  // namespace
-}  // namespace cvg::bench
 
-int main(int argc, char** argv) {
-  const auto flags = cvg::bench::parse_flags(argc, argv);
-  std::printf("E3 — Theorem 4.13: Odd-Even needs at most log2(n)+3 buffers "
-              "on directed paths\n");
-  cvg::bench::odd_even_table(flags);
-  return 0;
+CVG_EXPERIMENT(3, "E3",
+               "Theorem 4.13: Odd-Even needs at most log2(n)+3 buffers "
+               "on directed paths") {
+  odd_even_table(flags);
 }
+
+}  // namespace cvg::bench

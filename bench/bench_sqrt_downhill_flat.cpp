@@ -15,7 +15,7 @@ namespace {
 
 void sqrt_table(const Flags& flags) {
   const std::vector<std::size_t> sizes =
-      report::geometric_sizes(64, flags.large ? 32768 : 8192);
+      report::geometric_sizes(64, ladder_cap(flags, 128, 8192, 32768));
 
   struct Row {
     std::size_t n;
@@ -64,11 +64,10 @@ void sqrt_table(const Flags& flags) {
 }
 
 }  // namespace
-}  // namespace cvg::bench
 
-int main(int argc, char** argv) {
-  const auto flags = cvg::bench::parse_flags(argc, argv);
-  std::printf("E2 — Downhill-or-Flat uses Theta(sqrt(n)) buffers (Thm 4.1)\n");
-  cvg::bench::sqrt_table(flags);
-  return 0;
+CVG_EXPERIMENT(2, "E2",
+               "Downhill-or-Flat uses Theta(sqrt(n)) buffers (Thm 4.1)") {
+  sqrt_table(flags);
 }
+
+}  // namespace cvg::bench

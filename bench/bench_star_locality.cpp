@@ -28,8 +28,10 @@ std::vector<std::vector<NodeId>> synchronised_schedule(const Tree& tree,
 }
 
 void star_table(const Flags& flags) {
-  const std::vector<std::size_t> branch_counts = {4, 8, 16,
-                                                  flags.large ? 64u : 32u};
+  const std::vector<std::size_t> branch_counts =
+      flags.smoke ? std::vector<std::size_t>{4, 8}
+                  : std::vector<std::size_t>{4, 8, 16,
+                                             flags.large ? 64u : 32u};
   struct Row {
     std::size_t branches;
     std::size_t nodes = 0;
@@ -68,11 +70,9 @@ void star_table(const Flags& flags) {
 }
 
 }  // namespace
-}  // namespace cvg::bench
 
-int main(int argc, char** argv) {
-  const auto flags = cvg::bench::parse_flags(argc, argv);
-  std::printf("E9 — lookahead 1 is insufficient on trees (§5 opening)\n");
-  cvg::bench::star_table(flags);
-  return 0;
+CVG_EXPERIMENT(9, "E9", "lookahead 1 is insufficient on trees (§5 opening)") {
+  star_table(flags);
 }
+
+}  // namespace cvg::bench

@@ -61,6 +61,7 @@ void engine_table(const Flags& flags) {
   std::vector<std::size_t> sizes = {1u << 10, 1u << 12, 1u << 14, 1u << 16,
                                     1u << 18};
   if (flags.large) sizes.push_back(1u << 20);
+  if (flags.smoke) sizes = {1u << 10, 1u << 12};
 
   struct Workload {
     const char* name;
@@ -93,11 +94,9 @@ void engine_table(const Flags& flags) {
 }
 
 }  // namespace
-}  // namespace cvg::bench
 
-int main(int argc, char** argv) {
-  const auto flags = cvg::bench::parse_flags(argc, argv);
-  std::printf("E16 — dense vs sparse step engine\n");
-  cvg::bench::engine_table(flags);
-  return 0;
+CVG_EXPERIMENT(16, "E16", "dense vs sparse step engine") {
+  engine_table(flags);
 }
+
+}  // namespace cvg::bench

@@ -38,13 +38,16 @@ void tree_table(const Flags& flags) {
       {"staggered-spider", make_staggered},
   };
   // Scales chosen so node counts land in comparable ranges per family.
-  const std::vector<std::vector<std::size_t>> scales = {
+  std::vector<std::vector<std::size_t>> scales = {
       {5, 7, 9, flags.large ? 12u : 11u},  // binary: 31..4095 nodes
       {4, 8, 16, flags.large ? 48u : 32u},  // spider: b^2-ish nodes
       {16, 64, 256, flags.large ? 2048u : 1024u},
       {16, 64, 256, flags.large ? 2048u : 1024u},
       {6, 12, 24, flags.large ? 64u : 44u},
   };
+  if (flags.smoke) {
+    scales = {{4, 5}, {4, 6}, {8, 16}, {8, 16}, {4, 6}};
+  }
 
   struct Cell {
     std::string family;
@@ -79,7 +82,7 @@ void tree_table(const Flags& flags) {
     GreedyPolicy greedy;
     for (const auto& entry : adversary_battery()) {
       {
-        AdversaryPtr adv = entry.make(tree, derive_seed(21, i));
+        AdversaryPtr adv = entry.make(tree, derive_seed(table_seed(flags, 21), i));
         const Height peak = run(tree, tree_policy, *adv, steps).peak_height;
         if (peak > cell.tree_peak) {
           cell.tree_peak = peak;
@@ -87,7 +90,7 @@ void tree_table(const Flags& flags) {
         }
       }
       {
-        AdversaryPtr adv = entry.make(tree, derive_seed(21, i));
+        AdversaryPtr adv = entry.make(tree, derive_seed(table_seed(flags, 21), i));
         cell.greedy_peak = std::max(
             cell.greedy_peak, run(tree, greedy, *adv, steps).peak_height);
       }
@@ -119,12 +122,11 @@ void tree_table(const Flags& flags) {
 }
 
 }  // namespace
-}  // namespace cvg::bench
 
-int main(int argc, char** argv) {
-  const auto flags = cvg::bench::parse_flags(argc, argv);
-  std::printf("E4 — Algorithm Tree keeps buffers O(log n) on directed trees "
-              "(Thm 5.11)\n");
-  cvg::bench::tree_table(flags);
-  return 0;
+CVG_EXPERIMENT(4, "E4",
+               "Algorithm Tree keeps buffers O(log n) on directed trees "
+               "(Thm 5.11)") {
+  tree_table(flags);
 }
+
+}  // namespace cvg::bench

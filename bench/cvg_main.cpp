@@ -1,0 +1,11 @@
+/// \file cvg_main.cpp
+/// The single experiment driver: links every experiment TU, so
+/// `cvg list` shows the full DESIGN.md §4 ladder and
+/// `cvg run <id>|all [--csv] [--large] [--smoke] [--threads=N] [--seed=N]`
+/// reproduces any standalone binary's tables.
+
+#include "experiment.hpp"
+
+int main(int argc, char** argv) {
+  return cvg::bench::driver_main(argc, argv);
+}

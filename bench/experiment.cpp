@@ -1,0 +1,165 @@
+#include "experiment.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+
+#include "cvg/parallel/parallel_for.hpp"
+#include "cvg/util/str.hpp"
+
+namespace cvg::bench {
+
+namespace {
+
+std::vector<Experiment>& registry() {
+  static std::vector<Experiment> experiments;
+  return experiments;
+}
+
+/// Strict numeric parse: the whole value must be digits (no sign, no
+/// trailing garbage, no empty string).
+template <class T>
+[[nodiscard]] bool parse_number(std::string_view text, T& out) {
+  if (text.empty()) return false;
+  const char* const first = text.data();
+  const char* const last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc{} && ptr == last;
+}
+
+[[noreturn]] void flag_error(std::string_view arg, const char* expected) {
+  std::fprintf(stderr, "bad flag %.*s (expected %s)\n",
+               static_cast<int>(arg.size()), arg.data(), expected);
+  std::exit(2);
+}
+
+}  // namespace
+
+detail::Registrar::Registrar(int number, const char* id, const char* title,
+                             void (*body)(const Flags&)) {
+  registry().push_back({number, id, title, body});
+  std::sort(registry().begin(), registry().end(),
+            [](const Experiment& a, const Experiment& b) {
+              return a.number < b.number;
+            });
+}
+
+const std::vector<Experiment>& experiments() { return registry(); }
+
+const Experiment* find_experiment(std::string_view id) {
+  for (const Experiment& experiment : registry()) {
+    if (experiment.id == id) return &experiment;
+  }
+  return nullptr;
+}
+
+void run_experiment(const Experiment& experiment, const Flags& flags) {
+  std::printf("%s — %s\n", experiment.id.c_str(), experiment.title.c_str());
+  experiment.body(flags);
+}
+
+Flags parse_flags(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--csv") {
+      flags.csv = true;
+    } else if (arg == "--large") {
+      flags.large = true;
+    } else if (arg == "--smoke") {
+      flags.smoke = true;
+    } else if (starts_with(arg, "--threads=")) {
+      if (!parse_number(arg.substr(10), flags.threads) || flags.threads == 0) {
+        flag_error(arg, "a positive integer");
+      }
+    } else if (starts_with(arg, "--seed=")) {
+      if (!parse_number(arg.substr(7), flags.seed)) {
+        flag_error(arg, "an unsigned integer");
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: %s [--csv] [--large] [--smoke] [--threads=N] [--seed=N]\n",
+          argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown flag: %.*s\n",
+                   static_cast<int>(arg.size()), arg.data());
+      std::exit(2);
+    }
+  }
+  if (flags.threads == 0) flags.threads = default_thread_count();
+  return flags;
+}
+
+int standalone_main(int argc, char** argv) {
+  const Flags flags = parse_flags(argc, argv);
+  const std::vector<Experiment>& all = experiments();
+  if (all.size() != 1) {
+    std::fprintf(stderr,
+                 "standalone bench expects exactly one registered experiment, "
+                 "found %zu\n",
+                 all.size());
+    return 1;
+  }
+  run_experiment(all.front(), flags);
+  return 0;
+}
+
+int driver_main(int argc, char** argv) {
+  const auto usage = [&](std::FILE* out) {
+    std::fprintf(out,
+                 "usage: %s list\n"
+                 "       %s run <id>|all [--csv] [--large] [--smoke] "
+                 "[--threads=N] [--seed=N]\n",
+                 argv[0], argv[0]);
+  };
+  if (argc < 2) {
+    usage(stderr);
+    return 2;
+  }
+  const std::string_view command = argv[1];
+  if (command == "--help" || command == "-h") {
+    usage(stdout);
+    return 0;
+  }
+  if (command == "list") {
+    for (const Experiment& experiment : experiments()) {
+      std::printf("%-4s %s\n", experiment.id.c_str(),
+                  experiment.title.c_str());
+    }
+    return 0;
+  }
+  if (command == "run") {
+    if (argc < 3) {
+      usage(stderr);
+      return 2;
+    }
+    const std::string_view target = argv[2];
+    // argv[2] plays the program-name slot so parse_flags sees only flags.
+    const Flags flags = parse_flags(argc - 2, argv + 2);
+    if (target == "all") {
+      bool first = true;
+      for (const Experiment& experiment : experiments()) {
+        if (!first) std::printf("\n");
+        first = false;
+        run_experiment(experiment, flags);
+      }
+      return 0;
+    }
+    const Experiment* experiment = find_experiment(target);
+    if (experiment == nullptr) {
+      std::fprintf(stderr, "unknown experiment '%.*s' (try: %s list)\n",
+                   static_cast<int>(target.size()), target.data(), argv[0]);
+      return 2;
+    }
+    run_experiment(*experiment, flags);
+    return 0;
+  }
+  std::fprintf(stderr, "unknown command '%.*s'\n",
+               static_cast<int>(command.size()), command.data());
+  usage(stderr);
+  return 2;
+}
+
+}  // namespace cvg::bench

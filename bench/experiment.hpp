@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file experiment.hpp
+/// The experiment registry behind the single `cvg` driver.  Each bench TU
+/// registers its experiment (number, id, title, body) at static-init time
+/// via `CVG_EXPERIMENT`; the standalone binaries and `cvg run` then dispatch
+/// through the same table, so flag parsing and banners live in one place.
+///
+/// Linker note: a registrar in an *archive* member is dropped unless some
+/// symbol in that member is referenced, so bench/CMakeLists.txt compiles the
+/// experiment TUs directly into each executable instead of through a
+/// library.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cvg::bench {
+
+/// Command-line options shared by every experiment binary:
+///   --csv        also emit machine-readable CSV after each table
+///   --large      run the bigger (slower) size ladder
+///   --smoke      shrink every ladder to a seconds-scale CI smoke run
+///   --threads=N  override the worker count (default: all cores)
+///   --seed=N     extra entropy for randomized adversaries (0 = the
+///                historical fixed seeds, so default tables stay
+///                bit-identical)
+struct Flags {
+  bool csv = false;
+  bool large = false;
+  bool smoke = false;
+  unsigned threads = 0;  // resolved to default_thread_count() by parse_flags
+  std::uint64_t seed = 0;
+};
+
+/// Parses the shared flags; rejects malformed or trailing garbage in
+/// `--threads=` / `--seed=` values instead of silently truncating them.
+/// Exits with status 2 on any bad flag (0 for --help).
+[[nodiscard]] Flags parse_flags(int argc, char** argv);
+
+/// One registered experiment (a DESIGN.md §4 row).
+struct Experiment {
+  int number = 0;     ///< numeric sort key (3 for E3)
+  std::string id;     ///< "E3"
+  std::string title;  ///< banner text after the id
+  std::function<void(const Flags&)> body;
+};
+
+/// All registered experiments, sorted numerically by id.
+[[nodiscard]] const std::vector<Experiment>& experiments();
+
+/// The experiment with the given id ("E3"), or nullptr.
+[[nodiscard]] const Experiment* find_experiment(std::string_view id);
+
+/// Prints the "E3 — title" banner, then runs the body.
+void run_experiment(const Experiment& experiment, const Flags& flags);
+
+/// main() body for a standalone bench binary: parses flags and runs the
+/// TU's single registered experiment.
+int standalone_main(int argc, char** argv);
+
+/// main() body for the `cvg` driver: `cvg list` and
+/// `cvg run <id>|all [flags]` over every registered experiment.
+int driver_main(int argc, char** argv);
+
+namespace detail {
+struct Registrar {
+  Registrar(int number, const char* id, const char* title,
+            void (*body)(const Flags&));
+};
+}  // namespace detail
+
+/// Registers an experiment and opens its body:
+///   CVG_EXPERIMENT(3, "E3", "Theorem 4.13: ...") {
+///     cvg::bench::odd_even_table(flags);
+///   }
+/// The body receives `const Flags& flags`.  One experiment per TU.
+#define CVG_EXPERIMENT(num, id_str, title_str)                             \
+  static void cvg_experiment_body_(const ::cvg::bench::Flags& flags);      \
+  static const ::cvg::bench::detail::Registrar cvg_experiment_registrar_{  \
+      num, id_str, title_str, &cvg_experiment_body_};                      \
+  static void cvg_experiment_body_(const ::cvg::bench::Flags& flags)
+
+}  // namespace cvg::bench

@@ -1,0 +1,9 @@
+/// \file standalone_main.cpp
+/// Shared main() for the per-experiment binaries: each one links exactly one
+/// experiment TU plus this file and dispatches through the registry.
+
+#include "experiment.hpp"
+
+int main(int argc, char** argv) {
+  return cvg::bench::standalone_main(argc, argv);
+}

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Tier-1 gate: configure, build (warnings are errors via cvg_warnings) and
+# run the full ctest suite — including the engine-equivalence tests and the
+# `cvg run all --smoke` driver test.  Uses a dedicated build directory so a
+# developer's incremental build/ stays untouched.
+#
+# Usage: scripts/check_tier1.sh [extra ctest args...]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${repo_root}/build-tier1"
+
+cmake -B "${build_dir}" -S "${repo_root}"
+cmake --build "${build_dir}" -j"$(nproc)"
+ctest --test-dir "${build_dir}" --output-on-failure -j"$(nproc)" "$@"

@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file engine.hpp
+/// The *engine* concept: the contract every simulation substrate satisfies so
+/// that one run loop, one metric-sink chain and one sweep runner serve all of
+/// them (docs/MODEL.md §1b).  The library ships four models of the concept —
+/// the height engine (`Simulator`), the packet engine (`PacketSimulator`),
+/// the undirected-path substrate (`BidirPathSimulator`, Thm 3.3) and the DAG
+/// substrate (`DagSimulator`, §6) — and each one `static_assert`s the
+/// concept next to its implementation.
+///
+/// The contract is deliberately small:
+///
+///  - `config()` exposes the current height configuration;
+///  - `step(injections)` executes one (inject, forward) round;
+///  - `now()`, `peak_height()`, `injected()`, `delivered()` are the counters
+///    every experiment reports;
+///  - engines are *values*: copying one checkpoints the entire simulation
+///    state, and copy-assigning restores it.  The strategic Thm 3.1
+///    adversary relies on exactly this to evaluate candidate scenarios
+///    before committing to one.
+///
+/// Optional refinements (detected per engine, never required) let the
+/// generic loop surface extra observability when a substrate has it: sparse
+/// step records (`RecordingEngine`), per-node peak tracking
+/// (`PeakTrackingEngine`) and per-packet delay reporting
+/// (`DelayReportingEngine`).
+
+#include <concepts>
+#include <cstdint>
+#include <span>
+
+#include "cvg/core/config.hpp"
+#include "cvg/core/step.hpp"
+#include "cvg/core/types.hpp"
+
+namespace cvg {
+
+/// A simulation substrate the generic run layer can drive: config access,
+/// one-round stepping, the standard counters, and checkpoint/restore by
+/// copy.  `step` takes the step's injections (at most the substrate's rate);
+/// rate-1 substrates accept spans of size ≤ 1.
+template <class E>
+concept Engine =
+    std::copyable<E> &&
+    requires(E engine, const E& const_engine,
+             std::span<const NodeId> injections) {
+      { const_engine.config() } -> std::same_as<const Configuration&>;
+      { const_engine.now() } -> std::same_as<Step>;
+      { const_engine.peak_height() } -> std::same_as<Height>;
+      { const_engine.injected() } -> std::same_as<std::uint64_t>;
+      { const_engine.delivered() } -> std::same_as<std::uint64_t>;
+      engine.step(injections);
+    };
+
+/// Engine that exposes the sparse per-step transition record (who was
+/// injected, who forwarded).  The certifier hook and the record-consuming
+/// sinks need this; substrates without records are observed via their
+/// configurations alone.
+template <class E>
+concept RecordingEngine =
+    Engine<E> && requires(const E& engine) {
+      { engine.last_record() } -> std::same_as<const StepRecord&>;
+    };
+
+/// Engine that tracks per-node peak heights itself (cheaper than a sink
+/// recomputing them, because the engine knows which nodes rose each step).
+template <class E>
+concept PeakTrackingEngine =
+    Engine<E> && requires(const E& engine) {
+      { engine.peak_per_node() } -> std::same_as<std::span<const Height>>;
+    };
+
+/// Engine that reports the delays of packets delivered in the latest step
+/// (packet engines only); feeds the delay-histogram sink.
+template <class E>
+concept DelayReportingEngine =
+    Engine<E> && requires(const E& engine) {
+      { engine.delivered_delays_last_step() } -> std::same_as<std::span<const Step>>;
+    };
+
+}  // namespace cvg

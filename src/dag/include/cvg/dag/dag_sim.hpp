@@ -7,6 +7,7 @@
 /// every node may forward at most one packet per out-edge (edge capacity 1),
 /// decided from start-of-step heights.
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -56,6 +57,10 @@ class DagSimulator {
 
   /// One step: inject at `t` (or kNoNode), then forward everywhere.
   void step_inject(NodeId t);
+
+  /// Engine-concept entry point; the substrate is rate-1, so `injections`
+  /// holds at most one node.
+  void step(std::span<const NodeId> injections);
 
   [[nodiscard]] const Configuration& config() const noexcept { return config_; }
   [[nodiscard]] Height peak_height() const noexcept { return peak_; }

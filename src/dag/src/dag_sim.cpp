@@ -2,9 +2,12 @@
 
 #include <algorithm>
 
+#include "cvg/core/engine.hpp"
 #include "cvg/util/check.hpp"
 
 namespace cvg {
+
+static_assert(Engine<DagSimulator>);
 
 DagSimulator::DagSimulator(const Dag& dag, const DagPolicy& policy)
     : dag_(&dag), policy_(&policy), config_(dag.node_count()),
@@ -14,6 +17,11 @@ void DagSimulator::set_config(const Configuration& config) {
   CVG_CHECK(config.node_count() == dag_->node_count());
   config_ = config;
   peak_ = std::max(peak_, config_.max_height());
+}
+
+void DagSimulator::step(std::span<const NodeId> injections) {
+  CVG_CHECK(injections.size() <= 1) << "the DAG substrate is rate-1";
+  step_inject(injections.empty() ? kNoNode : injections.front());
 }
 
 void DagSimulator::step_inject(NodeId t) {

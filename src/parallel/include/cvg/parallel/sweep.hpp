@@ -1,9 +1,16 @@
 #pragma once
 
 /// \file sweep.hpp
-/// Declarative parameter sweeps: each job owns factories for its topology,
-/// policy and adversary, so workers build everything thread-locally and no
-/// state is shared across grid points.  Used by every bench table.
+/// Declarative parameter sweeps: each job owns a labelled thunk that builds
+/// its own topology/policy/adversary on the worker thread, so no state is
+/// shared across grid points.  Used by every bench table.
+///
+/// Two layers:
+///  - `SweepRunner` is substrate-agnostic: a job is any callable returning a
+///    `RunResult`, so height, packet, undirected-path and DAG sweeps all go
+///    through the same worker pool.
+///  - `PeakJob`/`run_peak_sweep` are the historical height-engine
+///    convenience, now a thin wrapper over `SweepRunner`.
 
 #include <functional>
 #include <string>
@@ -14,7 +21,51 @@
 
 namespace cvg {
 
-/// One grid point of a peak-height sweep.
+/// One grid point of a generic sweep: run `steps` steps of *some* substrate
+/// and report the result.  `body` is invoked on the worker thread with the
+/// job's step budget.
+struct SweepJob {
+  /// Row label carried into the result (e.g. "odd-even n=4096").
+  std::string label;
+
+  /// Steps to run; must be positive (checked with the label at run time).
+  Step steps = 0;
+
+  /// Builds and runs the grid point; receives `steps`.
+  std::function<RunResult(Step)> body;
+};
+
+/// Outcome of one grid point (any substrate).
+struct SweepOutcome {
+  std::string label;
+  Height peak = 0;
+  std::uint64_t injected = 0;
+  std::uint64_t delivered = 0;
+  Step steps = 0;
+};
+
+/// Historical alias: peak sweeps predate the generic runner.
+using PeakOutcome = SweepOutcome;
+
+/// Collects labelled jobs over any substrate and runs them across a worker
+/// pool, returning outcomes in job order.
+class SweepRunner {
+ public:
+  void add(SweepJob job);
+  void add(std::string label, Step steps, std::function<RunResult(Step)> body);
+
+  [[nodiscard]] std::size_t size() const noexcept { return jobs_.size(); }
+
+  /// Runs every job (in parallel across `threads` workers).  Aborts with the
+  /// job's label if a job has no step budget or no body.
+  [[nodiscard]] std::vector<SweepOutcome> run(
+      unsigned threads = default_thread_count()) const;
+
+ private:
+  std::vector<SweepJob> jobs_;
+};
+
+/// One grid point of a height-engine peak sweep.
 struct PeakJob {
   /// Row label carried into the result (e.g. "odd-even n=4096").
   std::string label;
@@ -34,15 +85,6 @@ struct PeakJob {
   Step steps = 0;
 
   SimOptions options;
-};
-
-/// Outcome of one grid point.
-struct PeakOutcome {
-  std::string label;
-  Height peak = 0;
-  std::uint64_t injected = 0;
-  std::uint64_t delivered = 0;
-  Step steps = 0;
 };
 
 /// Runs every job (in parallel across `threads` workers) and returns

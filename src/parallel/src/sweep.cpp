@@ -2,21 +2,40 @@
 
 namespace cvg {
 
-std::vector<PeakOutcome> run_peak_sweep(const std::vector<PeakJob>& jobs,
-                                        unsigned threads) {
-  std::vector<PeakOutcome> outcomes(jobs.size());
-  parallel_for(jobs.size(), threads, [&](std::size_t i) {
-    const PeakJob& job = jobs[i];
-    CVG_CHECK(job.steps > 0) << "job '" << job.label << "' has no step budget";
-    const Tree tree = job.make_tree();
-    const PolicyPtr policy = job.make_policy();
-    AdversaryPtr adversary = job.make_adversary(tree, *policy);
-    const RunResult result =
-        run(tree, *policy, *adversary, job.steps, job.options);
+void SweepRunner::add(SweepJob job) { jobs_.push_back(std::move(job)); }
+
+void SweepRunner::add(std::string label, Step steps,
+                      std::function<RunResult(Step)> body) {
+  jobs_.push_back({std::move(label), steps, std::move(body)});
+}
+
+std::vector<SweepOutcome> SweepRunner::run(unsigned threads) const {
+  std::vector<SweepOutcome> outcomes(jobs_.size());
+  parallel_for(jobs_.size(), threads, [&](std::size_t i) {
+    const SweepJob& job = jobs_[i];
+    CVG_CHECK(job.steps > 0)
+        << "sweep job '" << job.label << "' has no step budget";
+    CVG_CHECK(job.body != nullptr)
+        << "sweep job '" << job.label << "' has no body";
+    const RunResult result = job.body(job.steps);
     outcomes[i] = {job.label, result.peak_height, result.injected,
                    result.delivered, result.steps};
   });
   return outcomes;
+}
+
+std::vector<PeakOutcome> run_peak_sweep(const std::vector<PeakJob>& jobs,
+                                        unsigned threads) {
+  SweepRunner runner;
+  for (const PeakJob& job : jobs) {
+    runner.add(job.label, job.steps, [&job](Step steps) {
+      const Tree tree = job.make_tree();
+      const PolicyPtr policy = job.make_policy();
+      AdversaryPtr adversary = job.make_adversary(tree, *policy);
+      return run(tree, *policy, *adversary, steps, job.options);
+    });
+  }
+  return runner.run(threads);
 }
 
 }  // namespace cvg

@@ -75,6 +75,10 @@ class BidirPathSimulator {
   /// One step: inject at `t` (or `kNoNode`), then all nodes forward.
   void step_inject(NodeId t);
 
+  /// Engine-concept entry point; the substrate is rate-1, so `injections`
+  /// holds at most one node.
+  void step(std::span<const NodeId> injections);
+
   [[nodiscard]] const Configuration& config() const noexcept { return config_; }
   [[nodiscard]] Step now() const noexcept { return now_; }
   [[nodiscard]] Height peak_height() const noexcept { return peak_; }

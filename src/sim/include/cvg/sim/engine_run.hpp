@@ -1,0 +1,103 @@
+#pragma once
+
+/// \file engine_run.hpp
+/// The single run loop behind every experiment: drive any `Engine` (height,
+/// packet, bidirectional-path or DAG substrate) with an injection source for
+/// a number of steps, broadcasting each completed step to a `MetricSinkChain`
+/// and, optionally, to a substrate-typed observer (the certifier hook).
+///
+/// The loop replaces the four near-duplicate harness bodies the substrates
+/// used to carry (`run()`, `run_traced()`, and the hand-rolled loops in the
+/// bidir/DAG/packet benches).  The tree-specific `run()` / `run_traced()`
+/// wrappers in runner.hpp are thin adapters over this loop and remain
+/// bit-for-bit identical to the pre-refactor harness (asserted by
+/// engine_equivalence_test).
+
+#include <utility>
+#include <vector>
+
+#include "cvg/core/engine.hpp"
+#include "cvg/sim/metrics.hpp"
+
+namespace cvg {
+
+/// Result of one simulation run.
+struct RunResult {
+  /// Largest buffer height any node ever reached.
+  Height peak_height = 0;
+
+  /// Per-node peak heights (filled by engines that track them; attach a
+  /// `PerNodePeakSink` to measure them on substrates that do not).
+  std::vector<Height> peak_per_node;
+
+  /// Heights at the end of the run.
+  Configuration final_config;
+
+  /// Totals over the run.
+  std::uint64_t injected = 0;
+  std::uint64_t delivered = 0;
+  Step steps = 0;
+};
+
+/// Snapshots an engine's cumulative counters into a `RunResult`.
+template <Engine E>
+[[nodiscard]] RunResult engine_result(const E& engine) {
+  RunResult result;
+  result.peak_height = engine.peak_height();
+  if constexpr (PeakTrackingEngine<E>) {
+    result.peak_per_node.assign(engine.peak_per_node().begin(),
+                                engine.peak_per_node().end());
+  }
+  result.final_config = engine.config();
+  result.injected = engine.injected();
+  result.delivered = engine.delivered();
+  result.steps = engine.now();
+  return result;
+}
+
+/// Drives `engine` for `steps` rounds.  Each round: `inject(config, step,
+/// out)` appends this step's injections (the adversary side), the engine
+/// executes the round, then the step is broadcast to `sinks` (if any) and to
+/// `observe(engine, record)` — `record` is the engine's sparse step record,
+/// or nullptr for substrates without one.  Returns the engine's cumulative
+/// counters; the engine is left in its final state for further stepping.
+template <Engine E, class InjectFn, class ObserveFn>
+RunResult run_engine(E& engine, InjectFn&& inject, Step steps,
+                     MetricSinkChain* sinks, ObserveFn&& observe) {
+  if (sinks != nullptr) sinks->run_start(engine.config().node_count());
+  std::vector<NodeId> injections;
+  for (Step s = 0; s < steps; ++s) {
+    injections.clear();
+    inject(engine.config(), s, injections);
+    engine.step(std::span<const NodeId>(injections));
+
+    const StepRecord* record = nullptr;
+    if constexpr (RecordingEngine<E>) record = &engine.last_record();
+    observe(std::as_const(engine), record);
+
+    if (sinks != nullptr) {
+      StepView view{engine.config()};
+      view.record = record;
+      view.step = s;
+      view.peak_height = engine.peak_height();
+      view.injected = engine.injected();
+      view.delivered = engine.delivered();
+      if constexpr (DelayReportingEngine<E>) {
+        view.delivered_delays = engine.delivered_delays_last_step();
+      }
+      sinks->step(view);
+    }
+  }
+  if (sinks != nullptr) sinks->run_end();
+  return engine_result(engine);
+}
+
+/// `run_engine` without an observer.
+template <Engine E, class InjectFn>
+RunResult run_engine(E& engine, InjectFn&& inject, Step steps,
+                     MetricSinkChain* sinks = nullptr) {
+  return run_engine(engine, std::forward<InjectFn>(inject), steps, sinks,
+                    [](const E&, const StepRecord*) {});
+}
+
+}  // namespace cvg

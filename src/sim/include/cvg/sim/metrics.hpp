@@ -1,0 +1,206 @@
+#pragma once
+
+/// \file metrics.hpp
+/// Composable measurement: every quantity the experiments print is a
+/// *metric sink* observing the generic run loop (`run_engine`), not state
+/// baked into an engine.  A `MetricSinkChain` is an ordered, non-owning list
+/// of sinks; the loop hands each completed step to every sink as a
+/// `StepView`, a substrate-agnostic snapshot that works identically for the
+/// height, packet, bidirectional-path and DAG engines.
+///
+/// Shipped sinks: peak tracker, per-node peaks, height-trace sampler, delay
+/// histogram, steps-per-second throughput profile, and a callback hook (the
+/// certifier's entry point).  Composing them replaces the hand-rolled
+/// metrics that `run()` / `run_traced()` / the benches used to carry.
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "cvg/core/config.hpp"
+#include "cvg/core/step.hpp"
+#include "cvg/core/types.hpp"
+
+namespace cvg {
+
+/// Snapshot of one completed step, as every sink sees it.  `config` is the
+/// post-step configuration; the engine-tracked counters are cumulative.
+/// `record` is non-null only for substrates that produce sparse step records
+/// (the height engine); `delivered_delays` is non-empty only for packet
+/// engines, listing the delay of each packet delivered this step.
+struct StepView {
+  const Configuration& config;
+  const StepRecord* record = nullptr;
+  Step step = 0;  ///< 0-based index of the completed step
+  Height peak_height = 0;
+  std::uint64_t injected = 0;
+  std::uint64_t delivered = 0;
+  std::span<const Step> delivered_delays = {};
+};
+
+/// Observer of a simulation run.  Sinks are value-ish objects owned by the
+/// caller; the chain stores non-owning pointers, so a sink outlives the run
+/// and is queried afterwards for what it measured.
+class MetricSink {
+ public:
+  virtual ~MetricSink() = default;
+
+  /// A fresh run over `node_count` nodes is starting.
+  virtual void on_run_start(std::size_t node_count);
+
+  /// One step completed.
+  virtual void on_step(const StepView& view) = 0;
+
+  /// The run finished (after the last step).
+  virtual void on_run_end();
+};
+
+/// Ordered, non-owning chain of sinks; the generic run loop broadcasts to
+/// every member.  Empty chains cost one branch per step.
+class MetricSinkChain {
+ public:
+  /// Appends `sink`; the caller keeps ownership and must keep it alive for
+  /// the duration of the run.  Returns *this for chaining.
+  MetricSinkChain& add(MetricSink& sink);
+
+  [[nodiscard]] bool empty() const noexcept { return sinks_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return sinks_.size(); }
+
+  void run_start(std::size_t node_count);
+  void step(const StepView& view);
+  void run_end();
+
+ private:
+  std::vector<MetricSink*> sinks_;
+};
+
+/// Tracks the largest buffer height observed, and when it was first reached.
+class PeakHeightSink final : public MetricSink {
+ public:
+  void on_run_start(std::size_t node_count) override;
+  void on_step(const StepView& view) override;
+
+  [[nodiscard]] Height peak() const noexcept { return peak_; }
+
+  /// Step index at which `peak()` was first observed (0 if never risen).
+  [[nodiscard]] Step at_step() const noexcept { return at_step_; }
+
+ private:
+  Height peak_ = 0;
+  Step at_step_ = 0;
+};
+
+/// Tracks per-node peak heights by scanning the post-step configuration.
+/// O(n) per step — matches the height engine's internal `peak_per_node()`
+/// bit-for-bit (asserted by engine_equivalence_test), and provides the same
+/// measurement on substrates that do not track it themselves.
+class PerNodePeakSink final : public MetricSink {
+ public:
+  void on_run_start(std::size_t node_count) override;
+  void on_step(const StepView& view) override;
+
+  [[nodiscard]] std::span<const Height> peaks() const noexcept {
+    return peaks_;
+  }
+
+ private:
+  std::vector<Height> peaks_;
+};
+
+/// Samples the network-wide max height every `sample_every` steps into a
+/// caller-owned trace (time-series plots; the FIE divergence experiment).
+class HeightTraceSink final : public MetricSink {
+ public:
+  /// `sample_every` must be ≥ 1; `trace` must outlive the run.
+  HeightTraceSink(Step sample_every, std::vector<Height>& trace);
+
+  void on_step(const StepView& view) override;
+
+ private:
+  Step sample_every_;
+  std::vector<Height>* trace_;
+};
+
+/// Aggregate delay statistics over delivered packets (histogram-backed, so
+/// quantiles are exact).  Usable standalone (the packet engine embeds one)
+/// or as the accumulator inside `DelayHistogramSink`.
+class DelayStats {
+ public:
+  /// Records one delivered packet that spent `delay` steps in the network.
+  void record(Step delay);
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] Step max() const noexcept { return max_; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+
+  /// Exact quantile from the per-delay histogram (q in [0, 1]).
+  [[nodiscard]] Step quantile(double q) const noexcept;
+
+  /// Raw histogram: `histogram()[d]` = packets delivered with delay d.
+  [[nodiscard]] std::span<const std::uint64_t> histogram() const noexcept {
+    return histogram_;
+  }
+
+  friend bool operator==(const DelayStats&, const DelayStats&) = default;
+
+ private:
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  Step max_ = 0;
+  std::vector<std::uint64_t> histogram_;
+};
+
+/// Accumulates the per-packet delay histogram from a delay-reporting engine
+/// (`StepView::delivered_delays`); yields zeros on substrates that do not
+/// report delays.
+class DelayHistogramSink final : public MetricSink {
+ public:
+  void on_step(const StepView& view) override;
+
+  [[nodiscard]] const DelayStats& stats() const noexcept { return stats_; }
+
+ private:
+  DelayStats stats_;
+};
+
+/// Wall-clock throughput profile of the run: steps and packets per second.
+/// Timing spans first step to `on_run_end`.
+class ThroughputSink final : public MetricSink {
+ public:
+  void on_run_start(std::size_t node_count) override;
+  void on_step(const StepView& view) override;
+  void on_run_end() override;
+
+  [[nodiscard]] std::uint64_t steps() const noexcept { return steps_; }
+  [[nodiscard]] double seconds() const noexcept { return seconds_; }
+  [[nodiscard]] double steps_per_second() const noexcept;
+  [[nodiscard]] double deliveries_per_second() const noexcept;
+
+ private:
+  std::chrono::steady_clock::time_point start_{};
+  std::uint64_t steps_ = 0;
+  std::uint64_t delivered_ = 0;
+  double seconds_ = 0.0;
+};
+
+/// Adapts an arbitrary callable into the chain — the certifier hook: wire
+/// `PathCertifier`/`TreeCertifier::observe_step` (or any ad-hoc probe) into
+/// the same run the other sinks measure.
+class CallbackSink final : public MetricSink {
+ public:
+  using Callback = std::function<void(const StepView&)>;
+
+  explicit CallbackSink(Callback callback);
+
+  void on_step(const StepView& view) override;
+
+ private:
+  Callback callback_;
+};
+
+}  // namespace cvg

@@ -15,6 +15,7 @@
 #include "cvg/core/config.hpp"
 #include "cvg/core/step.hpp"
 #include "cvg/policy/policy.hpp"
+#include "cvg/sim/metrics.hpp"
 #include "cvg/sim/simulator.hpp"
 #include "cvg/topology/tree.hpp"
 
@@ -25,34 +26,6 @@ struct Packet {
   std::uint64_t id = 0;       ///< injection sequence number (0-based)
   NodeId origin = kNoNode;    ///< where the adversary injected it
   Step injected_at = 0;       ///< step index of the injection
-};
-
-/// Aggregate delay statistics over delivered packets.
-class DelayStats {
- public:
-  /// Records one delivered packet that spent `delay` steps in the network.
-  void record(Step delay);
-
-  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
-  [[nodiscard]] Step max() const noexcept { return max_; }
-  [[nodiscard]] double mean() const noexcept {
-    return count_ == 0 ? 0.0
-                       : static_cast<double>(sum_) / static_cast<double>(count_);
-  }
-
-  /// Exact quantile from the per-delay histogram (q in [0, 1]).
-  [[nodiscard]] Step quantile(double q) const noexcept;
-
-  /// Raw histogram: `histogram()[d]` = packets delivered with delay d.
-  [[nodiscard]] std::span<const std::uint64_t> histogram() const noexcept {
-    return histogram_;
-  }
-
- private:
-  std::uint64_t count_ = 0;
-  std::uint64_t sum_ = 0;
-  Step max_ = 0;
-  std::vector<std::uint64_t> histogram_;
 };
 
 /// FIFO packet-level twin of `Simulator`.  Heights derived from the queues
@@ -83,12 +56,22 @@ class PacketSimulator {
   [[nodiscard]] std::uint64_t delivered() const noexcept { return delays_.count(); }
   [[nodiscard]] std::uint64_t injected() const noexcept { return next_packet_id_; }
 
+  /// Delays of the packets delivered during the most recent step, in
+  /// delivery order (feeds the delay-histogram sink via the generic loop).
+  [[nodiscard]] std::span<const Step> delivered_delays_last_step()
+      const noexcept {
+    return delivered_delays_;
+  }
+
   /// FIFO buffer contents of node v (front = next packet to forward).
   [[nodiscard]] const std::deque<Packet>& buffer(NodeId v) const {
     return buffers_[v];
   }
 
  private:
+  /// Records a delivery into both the cumulative stats and the per-step list.
+  void record_delivery(Step delay);
+
   const Tree* tree_;
   const Policy* policy_;
   SimOptions options_;
@@ -97,6 +80,7 @@ class PacketSimulator {
   std::vector<Capacity> sends_;
   std::vector<NodeId> injections_scratch_;
   DelayStats delays_;
+  std::vector<Step> delivered_delays_;  // deliveries of the latest step
   Step now_ = 0;
   std::uint64_t next_packet_id_ = 0;
   Height peak_ = 0;

@@ -1,38 +1,37 @@
 #pragma once
 
 /// \file runner.hpp
-/// One-call execution harness: drive a (policy, adversary) pair for a number
-/// of steps and collect the quantities the experiments report.
+/// Tree-substrate execution harness: drive a (policy, adversary) pair for a
+/// number of steps and collect the quantities the experiments report.  Both
+/// entry points are thin adapters over the generic `run_engine` loop
+/// (engine_run.hpp) — the adversary becomes the injection source, the
+/// optional observer becomes the certifier hook, and the height trace is a
+/// `HeightTraceSink`.
 
 #include <functional>
 #include <vector>
 
 #include "cvg/sim/adversary.hpp"
+#include "cvg/sim/engine_run.hpp"
 #include "cvg/sim/simulator.hpp"
 
 namespace cvg {
-
-/// Result of one simulation run.
-struct RunResult {
-  /// Largest buffer height any node ever reached.
-  Height peak_height = 0;
-
-  /// Per-node peak heights.
-  std::vector<Height> peak_per_node;
-
-  /// Heights at the end of the run.
-  Configuration final_config;
-
-  /// Totals over the run.
-  std::uint64_t injected = 0;
-  std::uint64_t delivered = 0;
-  Step steps = 0;
-};
 
 /// Observes each completed step.  `sim.config()` is the post-step
 /// configuration; `record` tells what was injected and who sent.
 using StepObserver =
     std::function<void(const Simulator& sim, const StepRecord& record)>;
+
+/// Adapts a tree adversary into a `run_engine` injection source.  `tree`
+/// and `adversary` must outlive the returned callable.
+[[nodiscard]] inline auto adversary_source(const Tree& tree,
+                                           Adversary& adversary,
+                                           Capacity capacity) {
+  return [&tree, &adversary, capacity](const Configuration& config, Step step,
+                                       std::vector<NodeId>& out) {
+    adversary.plan(tree, config, step, capacity, out);
+  };
+}
 
 /// Runs `steps` rounds of adversary-vs-policy from the empty configuration.
 /// The adversary's `on_simulation_start` hook is invoked first, so a stateful

@@ -109,6 +109,13 @@ class Simulator {
   /// Current configuration (heights at the start of the next step).
   [[nodiscard]] const Configuration& config() const noexcept { return config_; }
 
+  /// The record of the most recently executed step (meaningful once `step`
+  /// has run at least once).  The generic run loop and the certifier hook
+  /// read it between steps; `step` overwrites it in place.
+  [[nodiscard]] const StepRecord& last_record() const noexcept {
+    return record_;
+  }
+
   /// Number of completed steps.
   [[nodiscard]] Step now() const noexcept { return now_; }
 

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 
+#include "cvg/core/engine.hpp"
 #include "cvg/policy/standard.hpp"
 #include "cvg/util/check.hpp"
 
 namespace cvg {
+
+static_assert(Engine<BidirPathSimulator>);
 
 BidirSend BidirOddEven::decide(Height own, Height toward,
                                Height /*away*/) const {
@@ -35,6 +38,12 @@ void BidirPathSimulator::set_config(const Configuration& config) {
   CVG_CHECK(config.node_count() == config_.node_count());
   config_ = config;
   peak_ = std::max(peak_, config_.max_height());
+}
+
+void BidirPathSimulator::step(std::span<const NodeId> injections) {
+  CVG_CHECK(injections.size() <= 1)
+      << "the undirected-path substrate is rate-1";
+  step_inject(injections.empty() ? kNoNode : injections.front());
 }
 
 void BidirPathSimulator::step_inject(NodeId t) {

@@ -1,0 +1,122 @@
+#include "cvg/sim/metrics.hpp"
+
+#include <algorithm>
+
+#include "cvg/util/check.hpp"
+
+namespace cvg {
+
+void MetricSink::on_run_start(std::size_t /*node_count*/) {}
+void MetricSink::on_run_end() {}
+
+MetricSinkChain& MetricSinkChain::add(MetricSink& sink) {
+  sinks_.push_back(&sink);
+  return *this;
+}
+
+void MetricSinkChain::run_start(std::size_t node_count) {
+  for (MetricSink* sink : sinks_) sink->on_run_start(node_count);
+}
+
+void MetricSinkChain::step(const StepView& view) {
+  for (MetricSink* sink : sinks_) sink->on_step(view);
+}
+
+void MetricSinkChain::run_end() {
+  for (MetricSink* sink : sinks_) sink->on_run_end();
+}
+
+void PeakHeightSink::on_run_start(std::size_t /*node_count*/) {
+  peak_ = 0;
+  at_step_ = 0;
+}
+
+void PeakHeightSink::on_step(const StepView& view) {
+  if (view.peak_height > peak_) {
+    peak_ = view.peak_height;
+    at_step_ = view.step;
+  }
+}
+
+void PerNodePeakSink::on_run_start(std::size_t node_count) {
+  peaks_.assign(node_count, 0);
+}
+
+void PerNodePeakSink::on_step(const StepView& view) {
+  const std::size_t n = view.config.node_count();
+  CVG_DCHECK(peaks_.size() == n);
+  for (NodeId v = 0; v < n; ++v) {
+    peaks_[v] = std::max(peaks_[v], view.config.height(v));
+  }
+}
+
+HeightTraceSink::HeightTraceSink(Step sample_every, std::vector<Height>& trace)
+    : sample_every_(sample_every), trace_(&trace) {
+  CVG_CHECK(sample_every >= 1);
+}
+
+void HeightTraceSink::on_step(const StepView& view) {
+  if ((view.step + 1) % sample_every_ == 0) {
+    trace_->push_back(view.config.max_height());
+  }
+}
+
+void DelayStats::record(Step delay) {
+  ++count_;
+  sum_ += delay;
+  max_ = std::max(max_, delay);
+  if (histogram_.size() <= delay) histogram_.resize(delay + 1, 0);
+  ++histogram_[delay];
+}
+
+Step DelayStats::quantile(double q) const noexcept {
+  if (count_ == 0) return 0;
+  const double clamped = std::clamp(q, 0.0, 1.0);
+  const std::uint64_t rank = static_cast<std::uint64_t>(
+      clamped * static_cast<double>(count_ - 1));
+  std::uint64_t seen = 0;
+  for (Step d = 0; d < histogram_.size(); ++d) {
+    seen += histogram_[d];
+    if (seen > rank) return d;
+  }
+  return max_;
+}
+
+void DelayHistogramSink::on_step(const StepView& view) {
+  for (const Step delay : view.delivered_delays) stats_.record(delay);
+}
+
+void ThroughputSink::on_run_start(std::size_t /*node_count*/) {
+  start_ = std::chrono::steady_clock::now();
+  steps_ = 0;
+  delivered_ = 0;
+  seconds_ = 0.0;
+}
+
+void ThroughputSink::on_step(const StepView& view) {
+  ++steps_;
+  delivered_ = view.delivered;
+}
+
+void ThroughputSink::on_run_end() {
+  seconds_ = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           start_)
+                 .count();
+}
+
+double ThroughputSink::steps_per_second() const noexcept {
+  return seconds_ > 0.0 ? static_cast<double>(steps_) / seconds_ : 0.0;
+}
+
+double ThroughputSink::deliveries_per_second() const noexcept {
+  return seconds_ > 0.0 ? static_cast<double>(delivered_) / seconds_ : 0.0;
+}
+
+CallbackSink::CallbackSink(Callback callback)
+    : callback_(std::move(callback)) {
+  CVG_CHECK(callback_ != nullptr);
+}
+
+void CallbackSink::on_step(const StepView& view) { callback_(view); }
+
+}  // namespace cvg

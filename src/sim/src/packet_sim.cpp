@@ -2,28 +2,14 @@
 
 #include <algorithm>
 
+#include "cvg/core/engine.hpp"
+
 namespace cvg {
 
-void DelayStats::record(Step delay) {
-  ++count_;
-  sum_ += delay;
-  max_ = std::max(max_, delay);
-  if (histogram_.size() <= delay) histogram_.resize(delay + 1, 0);
-  ++histogram_[delay];
-}
-
-Step DelayStats::quantile(double q) const noexcept {
-  if (count_ == 0) return 0;
-  const double clamped = std::clamp(q, 0.0, 1.0);
-  const std::uint64_t rank = static_cast<std::uint64_t>(
-      clamped * static_cast<double>(count_ - 1));
-  std::uint64_t seen = 0;
-  for (Step d = 0; d < histogram_.size(); ++d) {
-    seen += histogram_[d];
-    if (seen > rank) return d;
-  }
-  return max_;
-}
+// The packet engine reports per-step delivery delays; it keeps no sparse
+// step record (its observability is the packets themselves).
+static_assert(Engine<PacketSimulator>);
+static_assert(DelayReportingEngine<PacketSimulator>);
 
 PacketSimulator::PacketSimulator(const Tree& tree, const Policy& policy,
                                  SimOptions options)
@@ -37,6 +23,11 @@ PacketSimulator::PacketSimulator(const Tree& tree, const Policy& policy,
   policy_->on_simulation_start();
 }
 
+void PacketSimulator::record_delivery(Step delay) {
+  delays_.record(delay);
+  delivered_delays_.push_back(delay);
+}
+
 void PacketSimulator::step(std::span<const NodeId> injections) {
   const std::size_t n = tree_->node_count();
   tokens_ = std::min(static_cast<Capacity>(options_.capacity + options_.burstiness),
@@ -47,6 +38,7 @@ void PacketSimulator::step(std::span<const NodeId> injections) {
 
   injections_scratch_.assign(injections.begin(), injections.end());
   sends_.assign(n, 0);
+  delivered_delays_.clear();
 
   if (options_.semantics == StepSemantics::DecideBeforeInjection) {
     policy_->compute_sends(*tree_, config_, injections_scratch_,
@@ -60,7 +52,7 @@ void PacketSimulator::step(std::span<const NodeId> injections) {
     CVG_CHECK(t < n);
     const Packet packet{next_packet_id_++, t, now_};
     if (t == Tree::sink()) {
-      delays_.record(0);
+      record_delivery(0);
     } else {
       buffers_[t].push_back(packet);
       config_.add(t, 1);
@@ -93,7 +85,7 @@ void PacketSimulator::step(std::span<const NodeId> injections) {
   }
   for (const Move& move : moves) {
     if (move.to == Tree::sink()) {
-      delays_.record(now_ + 1 - move.packet.injected_at);
+      record_delivery(now_ + 1 - move.packet.injected_at);
     } else {
       buffers_[move.to].push_back(move.packet);
       config_.add(move.to, 1);

@@ -2,52 +2,31 @@
 
 namespace cvg {
 
-namespace {
-
-RunResult finish(const Simulator& sim) {
-  RunResult result;
-  result.peak_height = sim.peak_height();
-  result.peak_per_node.assign(sim.peak_per_node().begin(),
-                              sim.peak_per_node().end());
-  result.final_config = sim.config();
-  result.injected = sim.injected();
-  result.delivered = sim.delivered();
-  result.steps = sim.now();
-  return result;
-}
-
-}  // namespace
-
 RunResult run(const Tree& tree, const Policy& policy, Adversary& adversary,
               Step steps, SimOptions options, const StepObserver& observer) {
   Simulator sim(tree, policy, options);
   adversary.on_simulation_start();
-  std::vector<NodeId> injections;
-  for (Step s = 0; s < steps; ++s) {
-    injections.clear();
-    adversary.plan(tree, sim.config(), s, options.capacity, injections);
-    const StepRecord& record = sim.step(injections);
-    if (observer) observer(sim, record);
+  if (!observer) {
+    return run_engine(sim, adversary_source(tree, adversary, options.capacity),
+                      steps);
   }
-  return finish(sim);
+  return run_engine(
+      sim, adversary_source(tree, adversary, options.capacity), steps, nullptr,
+      [&observer](const Simulator& engine, const StepRecord* record) {
+        observer(engine, *record);
+      });
 }
 
 RunResult run_traced(const Tree& tree, const Policy& policy,
                      Adversary& adversary, Step steps, Step sample_every,
                      std::vector<Height>& height_trace, SimOptions options) {
-  CVG_CHECK(sample_every >= 1);
   Simulator sim(tree, policy, options);
   adversary.on_simulation_start();
-  std::vector<NodeId> injections;
-  for (Step s = 0; s < steps; ++s) {
-    injections.clear();
-    adversary.plan(tree, sim.config(), s, options.capacity, injections);
-    sim.step(injections);
-    if ((s + 1) % sample_every == 0) {
-      height_trace.push_back(sim.config().max_height());
-    }
-  }
-  return finish(sim);
+  HeightTraceSink tracer(sample_every, height_trace);
+  MetricSinkChain sinks;
+  sinks.add(tracer);
+  return run_engine(sim, adversary_source(tree, adversary, options.capacity),
+                    steps, &sinks);
 }
 
 }  // namespace cvg

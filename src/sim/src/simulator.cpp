@@ -2,7 +2,15 @@
 
 #include <algorithm>
 
+#include "cvg/core/engine.hpp"
+
 namespace cvg {
+
+// The height engine is the fullest model of the engine concept: it records
+// steps, tracks per-node peaks, and checkpoints by copy.
+static_assert(Engine<Simulator>);
+static_assert(RecordingEngine<Simulator>);
+static_assert(PeakTrackingEngine<Simulator>);
 
 Simulator::Simulator(const Tree& tree, const Policy& policy, SimOptions options)
     : tree_(&tree),

@@ -1,0 +1,366 @@
+// Cross-engine equivalence: the generic `run_engine` loop (and the
+// `run`/`run_traced` adapters now built on it) must be bit-for-bit identical
+// to the pre-refactor harness.  The legacy loop bodies are reproduced here
+// verbatim as the reference implementation, and every registered policy is
+// pinned against them across the adversary battery and both step semantics.
+// The metric sinks are pinned against the engines' internal counters the
+// same way.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cvg/adversary/killers.hpp"
+#include "cvg/adversary/simple.hpp"
+#include "cvg/dag/dag.hpp"
+#include "cvg/dag/dag_sim.hpp"
+#include "cvg/parallel/sweep.hpp"
+#include "cvg/policy/registry.hpp"
+#include "cvg/sim/bidir.hpp"
+#include "cvg/sim/engine_run.hpp"
+#include "cvg/sim/metrics.hpp"
+#include "cvg/sim/packet_sim.hpp"
+#include "cvg/sim/runner.hpp"
+#include "cvg/topology/builders.hpp"
+#include "cvg/util/rng.hpp"
+
+namespace cvg {
+namespace {
+
+// ---------------------------------------------------------------------------
+// The pre-refactor harness, verbatim (from runner.cpp before engine_run.hpp
+// existed).  Any behavioural drift in the generic loop shows up against it.
+
+RunResult legacy_finish(const Simulator& sim) {
+  RunResult result;
+  result.peak_height = sim.peak_height();
+  result.peak_per_node.assign(sim.peak_per_node().begin(),
+                              sim.peak_per_node().end());
+  result.final_config = sim.config();
+  result.injected = sim.injected();
+  result.delivered = sim.delivered();
+  result.steps = sim.now();
+  return result;
+}
+
+RunResult legacy_run(const Tree& tree, const Policy& policy,
+                     Adversary& adversary, Step steps, SimOptions options = {},
+                     const StepObserver& observer = {}) {
+  Simulator sim(tree, policy, options);
+  adversary.on_simulation_start();
+  std::vector<NodeId> injections;
+  for (Step s = 0; s < steps; ++s) {
+    injections.clear();
+    adversary.plan(tree, sim.config(), s, options.capacity, injections);
+    const StepRecord& record = sim.step(injections);
+    if (observer) observer(sim, record);
+  }
+  return legacy_finish(sim);
+}
+
+RunResult legacy_run_traced(const Tree& tree, const Policy& policy,
+                            Adversary& adversary, Step steps,
+                            Step sample_every,
+                            std::vector<Height>& height_trace,
+                            SimOptions options = {}) {
+  Simulator sim(tree, policy, options);
+  adversary.on_simulation_start();
+  std::vector<NodeId> injections;
+  for (Step s = 0; s < steps; ++s) {
+    injections.clear();
+    adversary.plan(tree, sim.config(), s, options.capacity, injections);
+    sim.step(injections);
+    if ((s + 1) % sample_every == 0) {
+      height_trace.push_back(sim.config().max_height());
+    }
+  }
+  return legacy_finish(sim);
+}
+
+// ---------------------------------------------------------------------------
+
+struct BatteryEntry {
+  const char* kind;
+  AdversaryPtr (*make)(const Tree& tree);
+};
+
+const std::vector<BatteryEntry>& battery() {
+  static const std::vector<BatteryEntry> entries = {
+      {"fixed-deepest",
+       [](const Tree& tree) -> AdversaryPtr {
+         return std::make_unique<adversary::FixedNode>(
+             tree, adversary::Site::Deepest);
+       }},
+      {"fixed-sink-child",
+       [](const Tree& tree) -> AdversaryPtr {
+         return std::make_unique<adversary::FixedNode>(
+             tree, adversary::Site::SinkChild);
+       }},
+      {"train-and-slam",
+       [](const Tree& tree) -> AdversaryPtr {
+         return std::make_unique<adversary::TrainAndSlam>(tree);
+       }},
+      {"alternator",
+       [](const Tree& tree) -> AdversaryPtr {
+         return std::make_unique<adversary::Alternator>(tree, 13);
+       }},
+      {"pile-on",
+       [](const Tree&) -> AdversaryPtr {
+         return std::make_unique<adversary::PileOn>();
+       }},
+      {"feed-the-block",
+       [](const Tree&) -> AdversaryPtr {
+         return std::make_unique<adversary::FeedTheBlock>();
+       }},
+      {"random-uniform",
+       [](const Tree&) -> AdversaryPtr {
+         return std::make_unique<adversary::RandomUniform>(99);
+       }},
+  };
+  return entries;
+}
+
+void expect_identical(const RunResult& a, const RunResult& b,
+                      const std::string& context) {
+  EXPECT_EQ(a.peak_height, b.peak_height) << context;
+  EXPECT_EQ(a.peak_per_node, b.peak_per_node) << context;
+  EXPECT_TRUE(a.final_config == b.final_config) << context;
+  EXPECT_EQ(a.injected, b.injected) << context;
+  EXPECT_EQ(a.delivered, b.delivered) << context;
+  EXPECT_EQ(a.steps, b.steps) << context;
+}
+
+TEST(EngineEquivalence, RunMatchesLegacyForAllPoliciesAndAdversaries) {
+  const Tree tree = build::path(65);
+  const Step steps = 256;
+  for (const std::string& name : standard_policy_names()) {
+    for (const BatteryEntry& entry : battery()) {
+      for (const StepSemantics semantics :
+           {StepSemantics::DecideBeforeInjection,
+            StepSemantics::DecideAfterInjection}) {
+        const SimOptions options{.semantics = semantics};
+        const std::string context =
+            name + " / " + entry.kind + " / " +
+            (semantics == StepSemantics::DecideBeforeInjection ? "before"
+                                                               : "after");
+        const PolicyPtr policy = make_policy(name);
+        AdversaryPtr legacy_adv = entry.make(tree);
+        AdversaryPtr new_adv = entry.make(tree);
+        const RunResult expected =
+            legacy_run(tree, *policy, *legacy_adv, steps, options);
+        const RunResult actual = run(tree, *policy, *new_adv, steps, options);
+        expect_identical(expected, actual, context);
+      }
+    }
+  }
+}
+
+TEST(EngineEquivalence, RunMatchesLegacyOnTreesWithObserver) {
+  const Tree tree = build::complete_kary(2, 6);
+  const Step steps = 200;
+  const PolicyPtr policy = make_policy("tree-odd-even");
+  for (const BatteryEntry& entry : battery()) {
+    std::vector<Step> legacy_sends;
+    std::vector<Step> new_sends;
+    const StepObserver legacy_observer =
+        [&legacy_sends](const Simulator&, const StepRecord& record) {
+          legacy_sends.push_back(record.sends.size());
+        };
+    const StepObserver new_observer =
+        [&new_sends](const Simulator&, const StepRecord& record) {
+          new_sends.push_back(record.sends.size());
+        };
+    AdversaryPtr legacy_adv = entry.make(tree);
+    AdversaryPtr new_adv = entry.make(tree);
+    const RunResult expected =
+        legacy_run(tree, *policy, *legacy_adv, steps, {}, legacy_observer);
+    const RunResult actual =
+        run(tree, *policy, *new_adv, steps, {}, new_observer);
+    expect_identical(expected, actual, entry.kind);
+    EXPECT_EQ(legacy_sends, new_sends) << entry.kind;
+  }
+}
+
+TEST(EngineEquivalence, RunTracedMatchesLegacy) {
+  const Tree tree = build::path(33);
+  const Step steps = 300;
+  const PolicyPtr policy = make_policy("fie-local");
+  for (const Step sample_every : {Step{1}, Step{7}, Step{50}}) {
+    adversary::FixedNode legacy_adv(tree, adversary::Site::Deepest);
+    adversary::FixedNode new_adv(tree, adversary::Site::Deepest);
+    std::vector<Height> legacy_trace;
+    std::vector<Height> new_trace;
+    const RunResult expected = legacy_run_traced(
+        tree, *policy, legacy_adv, steps, sample_every, legacy_trace);
+    const RunResult actual =
+        run_traced(tree, *policy, new_adv, steps, sample_every, new_trace);
+    expect_identical(expected, actual,
+                     "sample_every=" + std::to_string(sample_every));
+    EXPECT_EQ(legacy_trace, new_trace)
+        << "sample_every=" << sample_every;
+  }
+}
+
+TEST(EngineEquivalence, SinksMatchEngineInternalTracking) {
+  const Tree tree = build::path(65);
+  const Step steps = 256;
+  const PolicyPtr policy = make_policy("odd-even");
+  for (const BatteryEntry& entry : battery()) {
+    AdversaryPtr adversary = entry.make(tree);
+    adversary->on_simulation_start();
+    Simulator sim(tree, *policy);
+    PeakHeightSink peak_sink;
+    PerNodePeakSink per_node_sink;
+    MetricSinkChain sinks;
+    sinks.add(peak_sink).add(per_node_sink);
+    const RunResult result =
+        run_engine(sim, adversary_source(tree, *adversary, 1), steps, &sinks);
+    EXPECT_EQ(peak_sink.peak(), result.peak_height) << entry.kind;
+    EXPECT_EQ(std::vector<Height>(per_node_sink.peaks().begin(),
+                                  per_node_sink.peaks().end()),
+              result.peak_per_node)
+        << entry.kind;
+  }
+}
+
+TEST(EngineEquivalence, PacketEngineGenericLoopMatchesManualLoop) {
+  const Tree tree = build::path(33);
+  const Step steps = 400;
+  const PolicyPtr policy = make_policy("odd-even");
+  for (const BatteryEntry& entry : battery()) {
+    // Manual loop (the pre-refactor bench_delay harness).
+    AdversaryPtr manual_adv = entry.make(tree);
+    PacketSimulator manual_sim(tree, *policy);
+    manual_adv->on_simulation_start();
+    std::vector<NodeId> inj;
+    for (Step s = 0; s < steps; ++s) {
+      inj.clear();
+      manual_adv->plan(tree, manual_sim.config(), s, 1, inj);
+      manual_sim.step(inj);
+    }
+
+    // Generic loop with the delay sink.
+    AdversaryPtr generic_adv = entry.make(tree);
+    PacketSimulator generic_sim(tree, *policy);
+    generic_adv->on_simulation_start();
+    DelayHistogramSink delay_sink;
+    MetricSinkChain sinks;
+    sinks.add(delay_sink);
+    const RunResult result = run_engine(
+        generic_sim, adversary_source(tree, *generic_adv, 1), steps, &sinks);
+
+    EXPECT_EQ(result.peak_height, manual_sim.peak_height()) << entry.kind;
+    EXPECT_EQ(result.injected, manual_sim.injected()) << entry.kind;
+    EXPECT_EQ(result.delivered, manual_sim.delivered()) << entry.kind;
+    EXPECT_TRUE(result.final_config == manual_sim.config()) << entry.kind;
+    // The sink's histogram equals both engines' internal stats.
+    EXPECT_TRUE(delay_sink.stats() == manual_sim.delays()) << entry.kind;
+    EXPECT_TRUE(delay_sink.stats() == generic_sim.delays()) << entry.kind;
+  }
+}
+
+TEST(EngineEquivalence, BidirGenericLoopMatchesStepInject) {
+  const std::size_t n = 64;
+  const BidirDiffusion policy;
+  const Step steps = 300;
+
+  BidirPathSimulator manual(n + 1, policy);
+  Xoshiro256StarStar manual_rng(7);
+  for (Step s = 0; s < steps; ++s) {
+    manual.step_inject(static_cast<NodeId>(1 + manual_rng.below(n)));
+  }
+
+  BidirPathSimulator generic(n + 1, policy);
+  Xoshiro256StarStar generic_rng(7);
+  const RunResult result = run_engine(
+      generic,
+      [&](const Configuration&, Step, std::vector<NodeId>& out) {
+        out.push_back(static_cast<NodeId>(1 + generic_rng.below(n)));
+      },
+      steps);
+  EXPECT_EQ(result.peak_height, manual.peak_height());
+  EXPECT_EQ(result.injected, manual.injected());
+  EXPECT_EQ(result.delivered, manual.delivered());
+  EXPECT_TRUE(result.final_config == manual.config());
+  EXPECT_EQ(result.steps, manual.now());
+}
+
+TEST(EngineEquivalence, DagGenericLoopMatchesStepInject) {
+  const Dag dag = build_dag::diamond(4, 16);
+  const DagOddEven policy;
+  const Step steps = 500;
+  const NodeId deepest = static_cast<NodeId>(dag.node_count() - 1);
+
+  DagSimulator manual(dag, policy);
+  for (Step s = 0; s < steps; ++s) {
+    manual.step_inject((s / 64) % 2 == 0 ? deepest : NodeId{1});
+  }
+
+  DagSimulator generic(dag, policy);
+  const RunResult result = run_engine(
+      generic,
+      [&](const Configuration&, Step s, std::vector<NodeId>& out) {
+        out.push_back((s / 64) % 2 == 0 ? deepest : NodeId{1});
+      },
+      steps);
+  EXPECT_EQ(result.peak_height, manual.peak_height());
+  EXPECT_EQ(result.injected, manual.injected());
+  EXPECT_EQ(result.delivered, manual.delivered());
+  EXPECT_TRUE(result.final_config == manual.config());
+}
+
+TEST(EngineEquivalence, CheckpointRestoreResumesIdentically) {
+  // Engines are copyable; a copy is a checkpoint whose continuation matches
+  // the original's continuation exactly (the staged adversary relies on it).
+  const Tree tree = build::path(33);
+  const PolicyPtr policy = make_policy("odd-even");
+  Simulator sim(tree, *policy);
+  const NodeId deepest = static_cast<NodeId>(tree.node_count() - 1);
+  const std::vector<NodeId> inj{deepest};
+  for (Step s = 0; s < 100; ++s) (void)sim.step(inj);
+
+  Simulator checkpoint = sim;
+  for (Step s = 0; s < 50; ++s) {
+    (void)sim.step(inj);
+    (void)checkpoint.step(inj);
+  }
+  EXPECT_TRUE(sim.config() == checkpoint.config());
+  EXPECT_EQ(sim.peak_height(), checkpoint.peak_height());
+  EXPECT_EQ(sim.now(), checkpoint.now());
+}
+
+TEST(SweepRunner, GenericJobsMatchDirectRuns) {
+  const Tree tree = build::path(33);
+  SweepRunner runner;
+  for (const std::string name : {"odd-even", "greedy"}) {
+    runner.add(name, 128, [&tree, name](Step steps) {
+      const PolicyPtr policy = make_policy(name);
+      adversary::FixedNode adv(tree, adversary::Site::Deepest);
+      return run(tree, *policy, adv, steps);
+    });
+  }
+  const std::vector<SweepOutcome> outcomes = runner.run(2);
+  ASSERT_EQ(outcomes.size(), 2u);
+  for (const SweepOutcome& outcome : outcomes) {
+    const PolicyPtr policy = make_policy(outcome.label);
+    adversary::FixedNode adv(tree, adversary::Site::Deepest);
+    const RunResult direct = run(tree, *policy, adv, 128);
+    EXPECT_EQ(outcome.peak, direct.peak_height) << outcome.label;
+    EXPECT_EQ(outcome.injected, direct.injected) << outcome.label;
+    EXPECT_EQ(outcome.delivered, direct.delivered) << outcome.label;
+    EXPECT_EQ(outcome.steps, direct.steps) << outcome.label;
+  }
+}
+
+TEST(SweepRunnerDeathTest, ZeroStepJobAbortsWithLabel) {
+  SweepRunner runner;
+  runner.add("forgot-the-budget", 0,
+             [](Step) { return RunResult{}; });
+  EXPECT_DEATH((void)runner.run(1),
+               "sweep job 'forgot-the-budget' has no step budget");
+}
+
+}  // namespace
+}  // namespace cvg
