@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Formatting gate: clang-format --dry-run -Werror over the audit/analysis
+# surface introduced with the locality wall (configuration in .clang-format).
+# Scoped to these files on purpose — the pre-existing tree predates the
+# formatter config and is reflowed opportunistically, not wholesale.
+#
+# Skips — successfully — when clang-format is not installed, so the script
+# stays usable in minimal containers; CI installs clang-format and enforces.
+#
+# Usage: scripts/check_format.sh [extra clang-format args...]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "check_format: clang-format not found; skipping" >&2
+  exit 0
+fi
+
+files=(
+  src/core/include/cvg/core/read_audit.hpp
+  src/core/src/read_audit.cpp
+  src/audit/include/cvg/audit/locality_auditor.hpp
+  src/audit/include/cvg/audit/blackbox.hpp
+  src/audit/src/locality_auditor.cpp
+  src/audit/src/blackbox.cpp
+  tests/policy_locality_test.cpp
+  tests/parallel_race_test.cpp
+)
+
+cd "${repo_root}"
+clang-format --dry-run -Werror "$@" "${files[@]}"
+echo "check_format: ${#files[@]} files clean"

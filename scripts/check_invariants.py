@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Repo-specific invariant checks (the cheap, always-available half of the
+static-analysis wall — scripts/check_lint.sh runs this before clang-tidy).
+
+Enforced invariants:
+
+  1. Every concrete `Policy` subclass overrides `locality()` — the locality
+     auditor and the black-box check key off the declared radius, so a
+     missing override is a hole in the ℓ-locality wall.
+  2. Every policy name the registry constructs is referenced by at least one
+     test, so nothing ships unexercised (parameterized families are matched
+     by prefix).
+  3. No raw `assert(` in library code: invariants go through CVG_CHECK /
+     CVG_DCHECK, which stay on in release builds resp. stream diagnostics.
+  4. No `std::cout` in library code: libraries report through return values
+     and sinks; only CLIs, benches and examples own stdout.
+
+Exits non-zero listing every violation; prints a one-line summary on success.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+TESTS = REPO / "tests"
+
+
+def source_files(root: Path, suffixes: tuple[str, ...]) -> list[Path]:
+    return sorted(p for p in root.rglob("*") if p.suffix in suffixes)
+
+
+def strip_comments(text: str) -> str:
+    """Removes // and /* */ comments (string literals are rare enough in
+    this codebase that a lexer is not worth it for these checks)."""
+    text = re.sub(r"/\*.*?\*/", "", text, flags=re.S)
+    return re.sub(r"//[^\n]*", "", text)
+
+
+def check_policy_locality_overrides() -> list[str]:
+    """Rule 1: each `class X ... : public Policy` block declares locality()."""
+    errors = []
+    class_re = re.compile(r"^class\s+(\w+)[^;{]*:\s*public\s+Policy\b",
+                          re.M)
+    for path in source_files(SRC, (".hpp",)):
+        text = path.read_text()
+        matches = list(class_re.finditer(text))
+        for i, match in enumerate(matches):
+            # The class body runs until the next top-level class (or EOF);
+            # good enough for this codebase's one-class-after-another headers.
+            end = matches[i + 1].start() if i + 1 < len(matches) else len(text)
+            body = text[match.start():end]
+            if not re.search(r"\blocality\(\)\s*const\s+override\b", body):
+                errors.append(
+                    f"{path.relative_to(REPO)}: class {match.group(1)} "
+                    "inherits Policy but does not override locality()")
+    return errors
+
+
+def registry_names() -> tuple[list[str], list[str]]:
+    """Fixed names and parameterized prefixes the registry recognises."""
+    text = (SRC / "policy" / "src" / "registry.cpp").read_text()
+    fixed = re.findall(r'name\s*==\s*"([^"]+)"', text)
+    prefixes = re.findall(r'parse_suffix\(name,\s*"([^"]+)"\)', text)
+    return fixed, prefixes
+
+
+def check_registry_names_tested() -> list[str]:
+    """Rule 2: every registry name appears in at least one test file."""
+    fixed, prefixes = registry_names()
+    corpus = "\n".join(p.read_text() for p in source_files(TESTS, (".cpp",)))
+    errors = []
+    for name in fixed:
+        if f'"{name}"' not in corpus:
+            errors.append(f"registry policy \"{name}\" is referenced by no "
+                          "test in tests/")
+    for prefix in prefixes:
+        if not re.search(rf'"{re.escape(prefix)}\d+"', corpus):
+            errors.append(f"registry family \"{prefix}<k>\" has no "
+                          "instantiation in tests/")
+    return errors
+
+
+def check_no_raw_assert() -> list[str]:
+    """Rule 3: library code aborts via CVG_CHECK, never raw assert()."""
+    raw_assert = re.compile(r"(?<![\w_])assert\s*\(")
+    errors = []
+    for path in source_files(SRC, (".hpp", ".cpp")):
+        for lineno, line in enumerate(strip_comments(path.read_text())
+                                      .splitlines(), 1):
+            if "static_assert" in line:
+                line = line.replace("static_assert", "")
+            if raw_assert.search(line):
+                errors.append(f"{path.relative_to(REPO)}:{lineno}: raw "
+                              "assert( — use CVG_CHECK / CVG_DCHECK")
+    return errors
+
+
+def check_no_cout_in_library() -> list[str]:
+    """Rule 4: src/ libraries never write to std::cout."""
+    errors = []
+    for path in source_files(SRC, (".hpp", ".cpp")):
+        for lineno, line in enumerate(strip_comments(path.read_text())
+                                      .splitlines(), 1):
+            if "std::cout" in line:
+                errors.append(f"{path.relative_to(REPO)}:{lineno}: std::cout "
+                              "in library code — report via return values "
+                              "or sinks")
+    return errors
+
+
+def main() -> int:
+    checks = [
+        ("policy locality overrides", check_policy_locality_overrides),
+        ("registry names tested", check_registry_names_tested),
+        ("no raw assert", check_no_raw_assert),
+        ("no std::cout in libraries", check_no_cout_in_library),
+    ]
+    failures = []
+    for label, check in checks:
+        errors = check()
+        for error in errors:
+            print(f"check_invariants [{label}]: {error}", file=sys.stderr)
+        failures.extend(errors)
+    if failures:
+        print(f"check_invariants: {len(failures)} violation(s)",
+              file=sys.stderr)
+        return 1
+    print(f"check_invariants: all {len(checks)} invariants hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# The static-analysis wall: clang-tidy over every library, bench, test and
+# example translation unit (configuration in .clang-tidy, WarningsAsErrors
+# '*'), plus the repo-specific invariant checks in check_invariants.py.
+#
+# clang-tidy needs a compilation database; CMAKE_EXPORT_COMPILE_COMMANDS is
+# on globally, so any configured build directory provides one.  A dedicated
+# build-lint/ directory keeps the developer's build/ untouched.
+#
+# The invariant checks always run (they need only python3).  The clang-tidy
+# half is skipped — successfully — when clang-tidy is not installed, so the
+# script stays usable in minimal containers; CI installs clang-tidy and gets
+# the full wall.
+#
+# Usage: scripts/check_lint.sh [extra clang-tidy args...]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${repo_root}/build-lint"
+
+python3 "${repo_root}/scripts/check_invariants.py"
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "check_lint: clang-tidy not found; invariant checks passed," \
+       "skipping the clang-tidy half" >&2
+  exit 0
+fi
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCVG_BUILD_BENCHMARKS=OFF >/dev/null
+
+# Every checked-in translation unit: libraries and tests.  (Benches and
+# examples are excluded from the lint build above to avoid requiring the
+# google-benchmark dev package; their shared code lives in src/ anyway.)
+mapfile -t sources < <(cd "${repo_root}" && ls src/*/src/*.cpp tests/*.cpp)
+
+status=0
+for source in "${sources[@]}"; do
+  if ! clang-tidy -p "${build_dir}" --quiet "$@" "${repo_root}/${source}"; then
+    status=1
+    echo "check_lint: clang-tidy failed on ${source}" >&2
+  fi
+done
+
+exit "${status}"

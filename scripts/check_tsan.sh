@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# The race wall: builds the library and tests with ThreadSanitizer and runs
+# the parallel-layer tests under it (the rest of the suite is single-threaded
+# and covered by check_sanitize.sh / check_tier1.sh).  Uses a dedicated build
+# directory so the regular build/ stays untouched.
+#
+# Usage: scripts/check_tsan.sh [extra ctest args...]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${repo_root}/build-tsan"
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCVG_SANITIZE=tsan \
+  -DCVG_BUILD_BENCHMARKS=OFF \
+  -DCVG_BUILD_EXAMPLES=OFF
+cmake --build "${build_dir}" -j"$(nproc)"
+
+# halt_on_error so the first race fails the test instead of scrolling past.
+# The regex matches gtest-discovered test names (ParallelFor.*, Sweep*,
+# ParallelRaceTest.*), not binary names.
+TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1" \
+  ctest --test-dir "${build_dir}" --output-on-failure -j"$(nproc)" \
+    -R 'Parallel|Sweep' "$@"

@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file blackbox.hpp
+/// The black-box half of the ℓ-locality wall: the read-recording auditor
+/// (locality_auditor.hpp) proves that a policy's *reads* stay inside the
+/// declared radius, but only for reads made inside a decision scope.  This
+/// check needs no cooperation at all: it perturbs every height strictly
+/// outside the ball B(v, ℓ) and asserts that node v's send is unchanged —
+/// the literal definition of ℓ-locality from the paper's §2, applied to the
+/// dense `compute_sends` and, when supported, the sparse
+/// `compute_sends_sparse` path.
+
+#include <cstdint>
+
+#include "cvg/core/config.hpp"
+#include "cvg/core/types.hpp"
+#include "cvg/policy/policy.hpp"
+#include "cvg/topology/tree.hpp"
+
+namespace cvg {
+
+/// Knobs for `check_blackbox_locality`.
+struct BlackboxOptions {
+  /// Random perturbations tried per node.
+  int trials_per_node = 3;
+
+  /// Perturbed heights are drawn uniformly from [0, max_height].
+  Height max_height = 6;
+
+  /// Also re-run every perturbation through `compute_sends_sparse` (when the
+  /// policy supports it) and require the same invariance there.
+  bool check_sparse = true;
+};
+
+/// Verifies that `policy` is ℓ-local in the black-box sense on `base`: for
+/// every non-sink node v and every random perturbation of the heights
+/// outside B(v, ℓ), the policy's send at v equals its send on `base`.
+/// Aborts via `CVG_CHECK` (naming the policy, node and trial) on violation;
+/// returns the number of (node, perturbation, path) comparisons made.
+/// Centralized policies (`locality() < 0`) are rejected by a `CVG_CHECK` —
+/// the caller should skip them.
+std::uint64_t check_blackbox_locality(const Tree& tree, const Policy& policy,
+                                      const Configuration& base,
+                                      Capacity capacity, std::uint64_t seed,
+                                      const BlackboxOptions& options = {});
+
+}  // namespace cvg

@@ -1,0 +1,127 @@
+#pragma once
+
+/// \file locality_auditor.hpp
+/// The dynamic ℓ-locality wall (docs/ANALYSIS.md): an instrumented
+/// height-view proxy that records every height read a policy performs while
+/// computing its sends and aborts — naming the policy, the deciding node,
+/// the step and the offending hop distance — the moment a read exceeds the
+/// policy's declared `locality()` radius.
+///
+/// Mechanism: `Configuration::height` reports reads to a per-thread
+/// `HeightReadObserver` (cvg/core/read_audit.hpp); the auditor implements
+/// the observer, and the policy-layer helpers mark which node each read
+/// serves via `DecisionScope`.  The simulators arm the auditor around
+/// exactly the policy invocation of each step (`ScopedLocalityAudit`), so
+/// harness reads — peak tracking, validation, the adversary — are never
+/// misattributed to the policy.
+///
+/// The auditor is substrate-agnostic: hop distances come from a small
+/// oracle selected at construction — exact tree distance for the height and
+/// packet engines (via depth-aligned parent walks), |u − v| for the
+/// undirected path, and breadth-first search over an explicit undirected
+/// adjacency for DAGs.
+///
+/// Reads outside any decision scope cannot be attributed to one node and
+/// are counted but not checked; the complementary black-box wall
+/// (cvg/audit/blackbox.hpp) covers policies that bypass the scoped helpers.
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cvg/core/config.hpp"
+#include "cvg/core/read_audit.hpp"
+#include "cvg/core/types.hpp"
+#include "cvg/topology/tree.hpp"
+
+namespace cvg {
+
+/// Records and distance-checks the height reads of one policy on one
+/// topology.  Copyable — a copied engine (checkpoint) carries an independent
+/// copy of its auditor, counters and all.
+class LocalityAuditor final : public HeightReadObserver {
+ public:
+  /// Auditor for a tree substrate: hop distance is the exact undirected
+  /// tree distance.  `tree` must outlive the auditor.
+  static LocalityAuditor for_tree(const Tree& tree, std::string policy_name,
+                                  int declared_locality);
+
+  /// Auditor for the undirected path on `node_count` nodes: hop distance is
+  /// |u − v|.
+  static LocalityAuditor for_path(std::size_t node_count,
+                                  std::string policy_name,
+                                  int declared_locality);
+
+  /// Auditor for an arbitrary topology given as undirected adjacency lists
+  /// (`adjacency[v]` = neighbours of v): hop distance by breadth-first
+  /// search.  Used by the DAG substrate.
+  static LocalityAuditor for_adjacency(std::vector<std::vector<NodeId>> adjacency,
+                                       std::string policy_name,
+                                       int declared_locality);
+
+  LocalityAuditor(const LocalityAuditor&) = default;
+  LocalityAuditor& operator=(const LocalityAuditor&) = default;
+  LocalityAuditor(LocalityAuditor&&) = default;
+  LocalityAuditor& operator=(LocalityAuditor&&) = default;
+  ~LocalityAuditor() override = default;
+
+  /// A new step's policy call is about to run under this auditor.
+  void begin_step(Step step);
+
+  /// Everything measured so far (violations abort instead of accumulating).
+  [[nodiscard]] const LocalityAuditReport& report() const noexcept {
+    return report_;
+  }
+
+  /// Undirected hop distance between two nodes under this auditor's oracle.
+  /// Exposed for tests; audit-path cost, not simulation-path cost.
+  [[nodiscard]] int hop_distance(NodeId from, NodeId to) const;
+
+  // HeightReadObserver:
+  void on_height_read(const Configuration& config, NodeId v) override;
+  void on_decision_begin(NodeId v) override;
+  void on_decision_end() override;
+
+ private:
+  enum class Oracle : std::uint8_t { Tree, Path, Adjacency };
+
+  LocalityAuditor(Oracle oracle, const Tree* tree,
+                  std::vector<std::vector<NodeId>> adjacency,
+                  std::string policy_name, int declared_locality);
+
+  Oracle oracle_;
+  const Tree* tree_ = nullptr;                     // Oracle::Tree only
+  std::vector<std::vector<NodeId>> adjacency_;     // Oracle::Adjacency only
+  LocalityAuditReport report_;
+  Step step_ = 0;
+  NodeId focus_ = kNoNode;
+};
+
+/// Arms `auditor` (may be nullptr: auditing off) as the current thread's
+/// height-read observer for the enclosing scope and stamps it with the step
+/// number for diagnostics.  The simulators wrap exactly their policy calls
+/// in one of these.
+class ScopedLocalityAudit {
+ public:
+  ScopedLocalityAudit(LocalityAuditor* auditor, Step step) noexcept
+      : observer_(auditor) {
+    if (auditor != nullptr) auditor->begin_step(step);
+  }
+
+  ScopedLocalityAudit(const ScopedLocalityAudit&) = delete;
+  ScopedLocalityAudit& operator=(const ScopedLocalityAudit&) = delete;
+
+ private:
+  ScopedHeightObserver observer_;
+};
+
+/// Undirected adjacency over `node_count` nodes from a per-node out-edge
+/// view — the shape `LocalityAuditor::for_adjacency` expects.  The DAG
+/// substrate feeds its `Dag::out_edges` through this.  (Lives here so the
+/// audit layer does not depend on the DAG library or vice versa.)
+[[nodiscard]] std::vector<std::vector<NodeId>> undirected_adjacency(
+    std::size_t node_count,
+    const std::function<std::span<const NodeId>(NodeId)>& out_edges);
+
+}  // namespace cvg

@@ -1,0 +1,130 @@
+#include "cvg/audit/blackbox.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+#include "cvg/util/check.hpp"
+#include "cvg/util/rng.hpp"
+
+namespace cvg {
+
+namespace {
+
+/// Nodes within `radius` hops of `v` in the undirected tree (including v).
+/// Marks membership into `in_ball` (size n, caller-owned, reset here).
+void mark_ball(const Tree& tree, NodeId v, int radius,
+               std::vector<char>& in_ball) {
+  std::fill(in_ball.begin(), in_ball.end(), char{0});
+  std::vector<int> dist(tree.node_count(), -1);
+  std::deque<NodeId> queue;
+  dist[v] = 0;
+  in_ball[v] = 1;
+  queue.push_back(v);
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    if (dist[u] == radius) continue;
+    const NodeId parent = tree.parent(u);
+    if (parent != kNoNode && dist[parent] == -1) {
+      dist[parent] = dist[u] + 1;
+      in_ball[parent] = 1;
+      queue.push_back(parent);
+    }
+    for (const NodeId child : tree.children(u)) {
+      if (dist[child] != -1) continue;
+      dist[child] = dist[u] + 1;
+      in_ball[child] = 1;
+      queue.push_back(child);
+    }
+  }
+}
+
+/// Dense send vector of `policy` on `config` (no injections — the black-box
+/// property quantifies over configurations, and local policies must ignore
+/// the injection list anyway).
+std::vector<Capacity> dense_sends(const Tree& tree, const Policy& policy,
+                                  const Configuration& config,
+                                  Capacity capacity) {
+  std::vector<Capacity> sends(tree.node_count(), 0);
+  policy.compute_sends(tree, config, {}, capacity, sends);
+  return sends;
+}
+
+/// Send count of node `v` on the sparse path for `config`.
+Capacity sparse_send_at(const Tree& tree, const Policy& policy,
+                        const Configuration& config, Capacity capacity,
+                        NodeId v) {
+  std::vector<NodeId> occupied;
+  for (NodeId u = 1; u < config.node_count(); ++u) {
+    if (config.height(u) > 0) occupied.push_back(u);
+  }
+  std::vector<SendEntry> entries;
+  policy.compute_sends_sparse(tree, config, occupied, capacity, entries);
+  for (const SendEntry& entry : entries) {
+    if (entry.node == v) return entry.count;
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::uint64_t check_blackbox_locality(const Tree& tree, const Policy& policy,
+                                      const Configuration& base,
+                                      Capacity capacity, std::uint64_t seed,
+                                      const BlackboxOptions& options) {
+  const std::size_t n = tree.node_count();
+  CVG_CHECK(base.node_count() == n);
+  const int radius = policy.locality();
+  CVG_CHECK(radius >= 0) << "black-box locality check on centralized policy '"
+                         << policy.name() << "'";
+
+  const std::vector<Capacity> base_sends =
+      dense_sends(tree, policy, base, capacity);
+  const bool sparse = options.check_sparse && policy.supports_sparse();
+
+  Xoshiro256StarStar rng(seed);
+  std::vector<char> in_ball(n, 0);
+  std::uint64_t comparisons = 0;
+  for (NodeId v = 1; v < n; ++v) {
+    mark_ball(tree, v, radius, in_ball);
+    for (int trial = 0; trial < options.trials_per_node; ++trial) {
+      Configuration perturbed = base;
+      bool changed = false;
+      for (NodeId w = 1; w < n; ++w) {
+        if (in_ball[w]) continue;
+        const auto h = static_cast<Height>(
+            rng.below(static_cast<std::uint64_t>(options.max_height) + 1));
+        changed = changed || h != perturbed.height(w);
+        perturbed.set_height(w, h);
+      }
+      if (!changed) continue;  // ball covers the whole tree: nothing to test
+
+      const std::vector<Capacity> got =
+          dense_sends(tree, policy, perturbed, capacity);
+      ++comparisons;
+      CVG_CHECK(got[v] == base_sends[v])
+          << "black-box locality violation: policy '" << policy.name()
+          << "' (declared l=" << radius << ") changed its send at node " << v
+          << " (" << base_sends[v] << " -> " << got[v]
+          << ") under a perturbation outside B(v, l), trial " << trial
+          << ", base " << base.to_string() << ", perturbed "
+          << perturbed.to_string();
+
+      if (sparse) {
+        ++comparisons;
+        const Capacity sparse_send =
+            sparse_send_at(tree, policy, perturbed, capacity, v);
+        CVG_CHECK(sparse_send == base_sends[v])
+            << "black-box locality violation (sparse path): policy '"
+            << policy.name() << "' (declared l=" << radius
+            << ") sent " << sparse_send << " instead of " << base_sends[v]
+            << " at node " << v << ", trial " << trial << ", perturbed "
+            << perturbed.to_string();
+      }
+    }
+  }
+  return comparisons;
+}
+
+}  // namespace cvg

@@ -1,0 +1,140 @@
+#include "cvg/audit/locality_auditor.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <deque>
+#include <utility>
+
+#include "cvg/util/check.hpp"
+
+namespace cvg {
+
+LocalityAuditor::LocalityAuditor(Oracle oracle, const Tree* tree,
+                                 std::vector<std::vector<NodeId>> adjacency,
+                                 std::string policy_name,
+                                 int declared_locality)
+    : oracle_(oracle), tree_(tree), adjacency_(std::move(adjacency)) {
+  report_.policy = std::move(policy_name);
+  report_.declared_locality = declared_locality;
+}
+
+LocalityAuditor LocalityAuditor::for_tree(const Tree& tree,
+                                          std::string policy_name,
+                                          int declared_locality) {
+  return LocalityAuditor(Oracle::Tree, &tree, {}, std::move(policy_name),
+                         declared_locality);
+}
+
+LocalityAuditor LocalityAuditor::for_path(std::size_t node_count,
+                                          std::string policy_name,
+                                          int declared_locality) {
+  CVG_CHECK(node_count >= 1);
+  return LocalityAuditor(Oracle::Path, nullptr, {}, std::move(policy_name),
+                         declared_locality);
+}
+
+LocalityAuditor LocalityAuditor::for_adjacency(
+    std::vector<std::vector<NodeId>> adjacency, std::string policy_name,
+    int declared_locality) {
+  return LocalityAuditor(Oracle::Adjacency, nullptr, std::move(adjacency),
+                         std::move(policy_name), declared_locality);
+}
+
+void LocalityAuditor::begin_step(Step step) {
+  step_ = step;
+  focus_ = kNoNode;
+  ++report_.steps_audited;
+}
+
+int LocalityAuditor::hop_distance(NodeId from, NodeId to) const {
+  switch (oracle_) {
+    case Oracle::Path: {
+      const auto lo = std::min(from, to);
+      const auto hi = std::max(from, to);
+      return static_cast<int>(hi - lo);
+    }
+    case Oracle::Tree: {
+      // Lift the deeper endpoint to the shallower one's depth, then walk
+      // both up in lockstep until they meet — exact undirected distance,
+      // O(depth), no precomputation.
+      NodeId u = from;
+      NodeId v = to;
+      int distance = 0;
+      while (tree_->depth(u) > tree_->depth(v)) {
+        u = tree_->parent(u);
+        ++distance;
+      }
+      while (tree_->depth(v) > tree_->depth(u)) {
+        v = tree_->parent(v);
+        ++distance;
+      }
+      while (u != v) {
+        u = tree_->parent(u);
+        v = tree_->parent(v);
+        distance += 2;
+      }
+      return distance;
+    }
+    case Oracle::Adjacency: {
+      if (from == to) return 0;
+      // Plain BFS; audit-only cost, and audited topologies are test-sized.
+      std::vector<int> dist(adjacency_.size(), -1);
+      std::deque<NodeId> queue;
+      dist[from] = 0;
+      queue.push_back(from);
+      while (!queue.empty()) {
+        const NodeId u = queue.front();
+        queue.pop_front();
+        for (const NodeId w : adjacency_[u]) {
+          if (dist[w] != -1) continue;
+          dist[w] = dist[u] + 1;
+          if (w == to) return dist[w];
+          queue.push_back(w);
+        }
+      }
+      CVG_UNREACHABLE("disconnected audit topology");
+    }
+  }
+  CVG_UNREACHABLE("bad oracle");
+}
+
+void LocalityAuditor::on_decision_begin(NodeId v) {
+  CVG_DCHECK(focus_ == kNoNode) << "decision scopes must not nest";
+  focus_ = v;
+  ++report_.decisions;
+}
+
+void LocalityAuditor::on_decision_end() { focus_ = kNoNode; }
+
+void LocalityAuditor::on_height_read(const Configuration& /*config*/,
+                                     NodeId v) {
+  ++report_.reads;
+  if (focus_ == kNoNode) {
+    ++report_.unscoped_reads;
+    return;
+  }
+  if (report_.declared_locality < 0) return;  // centralized: record only
+  ++report_.checked_reads;
+  const int distance = hop_distance(focus_, v);
+  report_.max_hop_distance = std::max(report_.max_hop_distance, distance);
+  CVG_CHECK(distance <= report_.declared_locality)
+      << "locality violation: policy '" << report_.policy << "' (declared l="
+      << report_.declared_locality << ") read the height of node " << v
+      << " at hop distance " << distance << " while deciding node " << focus_
+      << " in step " << step_;
+}
+
+std::vector<std::vector<NodeId>> undirected_adjacency(
+    std::size_t node_count,
+    const std::function<std::span<const NodeId>(NodeId)>& out_edges) {
+  std::vector<std::vector<NodeId>> adjacency(node_count);
+  for (NodeId v = 0; v < node_count; ++v) {
+    for (const NodeId w : out_edges(v)) {
+      adjacency[v].push_back(w);
+      adjacency[w].push_back(v);
+    }
+  }
+  return adjacency;
+}
+
+}  // namespace cvg

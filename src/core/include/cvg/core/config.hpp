@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "cvg/core/read_audit.hpp"
 #include "cvg/core/types.hpp"
 #include "cvg/util/check.hpp"
 
@@ -33,6 +34,13 @@ class Configuration {
 
   [[nodiscard]] Height height(NodeId v) const noexcept {
     CVG_DCHECK(v < heights_.size());
+    // The ℓ-locality wall: when an observer is armed on this thread (the
+    // locality auditor, around a policy call), report the read so it can be
+    // checked against the policy's declared radius.  One thread-local load
+    // and a predicted branch when auditing is off.
+    if (audit_detail::tls_height_observer != nullptr) [[unlikely]] {
+      audit_detail::tls_height_observer->on_height_read(*this, v);
+    }
     return heights_[v];
   }
 

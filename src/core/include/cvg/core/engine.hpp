@@ -31,6 +31,7 @@
 #include <span>
 
 #include "cvg/core/config.hpp"
+#include "cvg/core/read_audit.hpp"
 #include "cvg/core/step.hpp"
 #include "cvg/core/types.hpp"
 
@@ -77,6 +78,16 @@ template <class E>
 concept DelayReportingEngine =
     Engine<E> && requires(const E& engine) {
       { engine.delivered_delays_last_step() } -> std::same_as<std::span<const Step>>;
+    };
+
+/// Engine that can run its policy under the ℓ-locality auditor
+/// (cvg/audit/locality_auditor.hpp).  `locality_report()` returns the audit
+/// counters accumulated so far, or nullptr when auditing is off — the
+/// generic run layer copies a non-null report into `RunResult::locality`.
+template <class E>
+concept LocalityAuditingEngine =
+    Engine<E> && requires(const E& engine) {
+      { engine.locality_report() } -> std::same_as<const LocalityAuditReport*>;
     };
 
 }  // namespace cvg

@@ -1,0 +1,150 @@
+#pragma once
+
+/// \file read_audit.hpp
+/// The height-read audit hook: the core-side half of the ℓ-locality wall
+/// (the auditor itself lives in `cvg/audit/locality_auditor.hpp`).
+///
+/// Every theorem the library reproduces is a statement about *ℓ-local*
+/// algorithms — each node's forwarding decision may depend only on buffer
+/// heights at most ℓ hops away.  To make that contract mechanically
+/// checkable, `Configuration::height` reports every read to a per-thread
+/// observer when one is armed:
+///
+///  - `HeightReadObserver` is the observer interface (the locality auditor
+///    implements it);
+///  - `ScopedHeightObserver` arms an observer for the current thread, RAII
+///    style, around a policy invocation;
+///  - `DecisionScope` marks "the reads that follow belong to node v's
+///    forwarding decision", so the observer can attribute each read to the
+///    node whose decision consumed it.  The policy-layer helpers
+///    (`compute_sends_per_node` and friends) and the per-node substrates
+///    (bidir, DAG) place these scopes; decisions do not nest.
+///
+/// When no observer is armed — the default, and the only state benchmarks
+/// ever run in — the hook costs one thread-local load and one predicted
+/// branch per height read, and the scopes cost the same per node.
+///
+/// `LocalityAuditReport` lives here (not in `cvg/audit`) so that the engine
+/// concept layer and `RunResult` can carry audit results without depending
+/// on the audit library.
+
+#include <cstdint>
+#include <string>
+
+#include "cvg/core/types.hpp"
+
+namespace cvg {
+
+class Configuration;
+
+/// Observer of configuration height reads.  Armed per-thread via
+/// `ScopedHeightObserver`; `on_height_read` fires for every
+/// `Configuration::height` call on the arming thread while armed.
+class HeightReadObserver {
+ public:
+  virtual ~HeightReadObserver() = default;
+
+  /// Node `v`'s height was read from `config`.
+  virtual void on_height_read(const Configuration& config, NodeId v) = 0;
+
+  /// The reads that follow (until `on_decision_end`) feed node `v`'s
+  /// forwarding decision.
+  virtual void on_decision_begin(NodeId v) = 0;
+
+  /// The current decision's reads are complete.
+  virtual void on_decision_end() = 0;
+};
+
+namespace audit_detail {
+
+/// The thread's armed observer; nullptr (the default) disables auditing.
+extern thread_local HeightReadObserver* tls_height_observer;
+
+}  // namespace audit_detail
+
+/// True while a height-read observer is armed on this thread.
+[[nodiscard]] inline bool height_audit_armed() noexcept {
+  return audit_detail::tls_height_observer != nullptr;
+}
+
+/// Arms `observer` as this thread's height-read observer for the current
+/// scope (nullptr is allowed and leaves auditing off).  Restores the
+/// previously armed observer on destruction, so arming nests.
+class ScopedHeightObserver {
+ public:
+  explicit ScopedHeightObserver(HeightReadObserver* observer) noexcept
+      : previous_(audit_detail::tls_height_observer) {
+    audit_detail::tls_height_observer = observer;
+  }
+
+  ScopedHeightObserver(const ScopedHeightObserver&) = delete;
+  ScopedHeightObserver& operator=(const ScopedHeightObserver&) = delete;
+
+  ~ScopedHeightObserver() { audit_detail::tls_height_observer = previous_; }
+
+ private:
+  HeightReadObserver* previous_;
+};
+
+/// Marks the enclosed height reads as inputs of node `v`'s forwarding
+/// decision.  A no-op (one thread-local load and branch) when no observer is
+/// armed.  Decision scopes do not nest.
+class DecisionScope {
+ public:
+  explicit DecisionScope(NodeId v) noexcept
+      : observer_(audit_detail::tls_height_observer) {
+    if (observer_ != nullptr) [[unlikely]] {
+      observer_->on_decision_begin(v);
+    }
+  }
+
+  DecisionScope(const DecisionScope&) = delete;
+  DecisionScope& operator=(const DecisionScope&) = delete;
+
+  ~DecisionScope() {
+    if (observer_ != nullptr) [[unlikely]] {
+      observer_->on_decision_end();
+    }
+  }
+
+ private:
+  HeightReadObserver* observer_;
+};
+
+/// Cumulative result of one locality audit — what the auditor measured while
+/// armed around a simulation's policy calls.  Violations abort immediately
+/// via `CVG_CHECK`, so a report you can read means the audited run was clean;
+/// the counters exist to prove the audit actually observed something.
+struct LocalityAuditReport {
+  /// Name of the audited policy.
+  std::string policy;
+
+  /// The policy's declared locality radius ℓ (−1 = centralized: reads are
+  /// recorded but not checked).
+  int declared_locality = 0;
+
+  /// Steps whose policy call ran under the auditor.
+  std::uint64_t steps_audited = 0;
+
+  /// Decision scopes entered (≈ node decisions evaluated).
+  std::uint64_t decisions = 0;
+
+  /// Height reads observed in total.
+  std::uint64_t reads = 0;
+
+  /// Reads inside a decision scope — each was distance-checked.
+  std::uint64_t checked_reads = 0;
+
+  /// Reads outside any decision scope.  Not attributable to one node, hence
+  /// not checkable; the black-box perturbation test covers such policies.
+  std::uint64_t unscoped_reads = 0;
+
+  /// Largest hop distance observed on any checked read (≤ ℓ, or the audit
+  /// would have aborted).
+  int max_hop_distance = 0;
+
+  /// One-line summary for logs and reports.
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace cvg

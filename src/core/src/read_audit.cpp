@@ -1,0 +1,23 @@
+#include "cvg/core/read_audit.hpp"
+
+#include <sstream>
+
+namespace cvg {
+
+namespace audit_detail {
+
+thread_local HeightReadObserver* tls_height_observer = nullptr;
+
+}  // namespace audit_detail
+
+std::string LocalityAuditReport::to_string() const {
+  std::ostringstream out;
+  out << "locality-audit policy=" << policy << " l=" << declared_locality
+      << " steps=" << steps_audited << " decisions=" << decisions
+      << " reads=" << reads << " checked=" << checked_reads
+      << " unscoped=" << unscoped_reads
+      << " max-hop=" << max_hop_distance;
+  return out.str();
+}
+
+}  // namespace cvg

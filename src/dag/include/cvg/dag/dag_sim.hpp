@@ -7,10 +7,12 @@
 /// every node may forward at most one packet per out-edge (edge capacity 1),
 /// decided from start-of-step heights.
 
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "cvg/audit/locality_auditor.hpp"
 #include "cvg/core/config.hpp"
 #include "cvg/core/types.hpp"
 #include "cvg/dag/dag.hpp"
@@ -28,6 +30,12 @@ class DagPolicy {
   /// with 0/1 per edge; the total must not exceed `own`.
   virtual void decide(const Dag& dag, const Configuration& heights, NodeId v,
                       std::vector<Capacity>& sends) const = 0;
+
+  /// Locality radius ℓ of `decide`, in hops of the *undirected* DAG: the
+  /// decision for v may read heights at most ℓ edges away.  Both shipped
+  /// policies look only at v and its out-neighbours (ℓ = 1); enforced by
+  /// the locality auditor when `DagSimulator` runs with auditing on.
+  [[nodiscard]] virtual int locality() const { return 1; }
 };
 
 /// Greedy on DAGs: push one packet down every out-edge while packets last,
@@ -53,7 +61,10 @@ class DagOddEven final : public DagPolicy {
 /// Discrete-event executor on a DAG.  Copyable (copies are checkpoints).
 class DagSimulator {
  public:
-  DagSimulator(const Dag& dag, const DagPolicy& policy);
+  /// `audit_locality` arms the ℓ-locality auditor (BFS distances over the
+  /// undirected DAG) around every `DagPolicy::decide` call.
+  DagSimulator(const Dag& dag, const DagPolicy& policy,
+               bool audit_locality = false);
 
   /// One step: inject at `t` (or kNoNode), then forward everywhere.
   void step_inject(NodeId t);
@@ -70,6 +81,12 @@ class DagSimulator {
 
   void set_config(const Configuration& config);
 
+  /// What the locality auditor measured so far, or nullptr when auditing is
+  /// off (models `LocalityAuditingEngine`).
+  [[nodiscard]] const LocalityAuditReport* locality_report() const noexcept {
+    return auditor_ ? &auditor_->report() : nullptr;
+  }
+
  private:
   const Dag* dag_;
   const DagPolicy* policy_;
@@ -80,6 +97,8 @@ class DagSimulator {
   std::uint64_t delivered_ = 0;
   std::uint64_t injected_ = 0;
   Height peak_ = 0;
+  /// Armed around the decision loop when auditing is on.
+  std::optional<LocalityAuditor> auditor_;
 };
 
 }  // namespace cvg

@@ -8,10 +8,19 @@
 namespace cvg {
 
 static_assert(Engine<DagSimulator>);
+static_assert(LocalityAuditingEngine<DagSimulator>);
 
-DagSimulator::DagSimulator(const Dag& dag, const DagPolicy& policy)
+DagSimulator::DagSimulator(const Dag& dag, const DagPolicy& policy,
+                           bool audit_locality)
     : dag_(&dag), policy_(&policy), config_(dag.node_count()),
-      deltas_(dag.node_count(), 0) {}
+      deltas_(dag.node_count(), 0) {
+  if (audit_locality) {
+    auditor_ = LocalityAuditor::for_adjacency(
+        undirected_adjacency(dag.node_count(),
+                             [&dag](NodeId v) { return dag.out_edges(v); }),
+        policy.name(), policy.locality());
+  }
+}
 
 void DagSimulator::set_config(const Configuration& config) {
   CVG_CHECK(config.node_count() == dag_->node_count());
@@ -31,10 +40,14 @@ void DagSimulator::step_inject(NodeId t) {
   // forwarding is simultaneous.
   std::fill(deltas_.begin(), deltas_.end(), Height{0});
   std::uint64_t consumed = 0;
+  const ScopedLocalityAudit audit(auditor_ ? &*auditor_ : nullptr, now_);
   for (NodeId v = 1; v < n; ++v) {
     const auto edges = dag_->out_edges(v);
     edge_sends_.assign(edges.size(), 0);
-    policy_->decide(*dag_, config_, v, edge_sends_);
+    {
+      const DecisionScope audit_scope(v);
+      policy_->decide(*dag_, config_, v, edge_sends_);
+    }
     Capacity total = 0;
     for (std::size_t e = 0; e < edges.size(); ++e) {
       CVG_CHECK(edge_sends_[e] >= 0 && edge_sends_[e] <= 1)

@@ -11,9 +11,15 @@
 /// in one call.  That keeps the virtual-dispatch cost at one call per step,
 /// lets tree policies implement sibling arbitration naturally, and admits the
 /// centralized comparator (`CentralizedFie`) which is not local at all.
-/// Locality is still auditable: `locality()` reports ℓ, and the conformance
-/// tests in `tests/policy_locality_test.cpp` verify each local policy's sends
-/// are invariant under changes outside its declared radius.
+/// Locality is enforced mechanically, not assumed: `locality()` reports ℓ,
+/// the runtime auditor (`cvg/audit/locality_auditor.hpp`, armed via
+/// `SimOptions::audit_locality`) records every height read a policy makes —
+/// the helpers below tag each read with the deciding node via
+/// `DecisionScope` — and aborts on any read beyond ℓ hops, and the
+/// conformance tests in `tests/policy_locality_test.cpp` run every
+/// registered policy under that auditor on all four substrates plus the
+/// complementary black-box check (`cvg/audit/blackbox.hpp`) that sends are
+/// invariant under perturbations outside the declared radius.
 
 #include <algorithm>
 #include <memory>
@@ -21,6 +27,7 @@
 #include <string>
 
 #include "cvg/core/config.hpp"
+#include "cvg/core/read_audit.hpp"
 #include "cvg/core/step.hpp"
 #include "cvg/core/types.hpp"
 #include "cvg/topology/tree.hpp"
@@ -122,6 +129,7 @@ void compute_sends_per_node(const Tree& tree, const Configuration& heights,
   const std::size_t n = tree.node_count();
   CVG_DCHECK(sends.size() == n);
   for (NodeId v = 1; v < n; ++v) {
+    const DecisionScope audit_scope(v);  // reads below serve v's decision
     const Height own = heights.height(v);
     if (own <= 0) continue;
     const Height succ = heights.height(tree.parent(v));
@@ -141,6 +149,7 @@ void compute_sends_per_node_sparse(const Tree& tree,
                                    std::vector<SendEntry>& out) {
   for (const NodeId v : occupied) {
     CVG_DCHECK(v != Tree::sink());
+    const DecisionScope audit_scope(v);  // reads below serve v's decision
     const Height own = heights.height(v);
     CVG_DCHECK(own > 0);
     const Height succ = heights.height(tree.parent(v));
@@ -164,6 +173,12 @@ void compute_sends_arbitrated(const Tree& tree, const Configuration& heights,
   for (NodeId p = 0; p < n; ++p) {
     const auto children = tree.children(p);
     if (children.empty()) continue;
+    // One audit scope covers the whole sibling group: the arbitration
+    // decision is joint among p's children, and every read below (p itself,
+    // each sibling) is within 2 hops of any one of them — attribute the
+    // group to the first child, whose ball is exactly the 2-local view the
+    // tree algorithm (Thm 5.11) is entitled to.
+    const DecisionScope audit_scope(children.front());
     const Height succ = heights.height(p);
 
     NodeId winner = kNoNode;
@@ -202,6 +217,7 @@ void compute_sends_arbitrated_sparse(const Tree& tree,
                                      std::vector<SendEntry>& out) {
   for (const NodeId v : occupied) {
     CVG_DCHECK(v != Tree::sink());
+    const DecisionScope audit_scope(v);  // candidate v's eligibility reads
     const Height own = heights.height(v);
     CVG_DCHECK(own > 0);
     if (mode == ArbitrationMode::WillingOnly &&
@@ -226,6 +242,7 @@ void compute_sends_arbitrated_sparse(const Tree& tree,
     for (++i; i < out.size() && tree.parent(out[i].node) == parent; ++i) {
       if (out[i].count > winner.count) winner = out[i];
     }
+    const DecisionScope audit_scope(winner.node);  // winner's parity read
     const Height winner_height = static_cast<Height>(winner.count);
     const Capacity desired = wants(winner_height, heights.height(parent));
     const Capacity k = std::min({desired, capacity, winner.count});

@@ -4,14 +4,22 @@
 
 namespace cvg {
 
+// Greedy is the library's only 0-local policy, so it cannot go through
+// `compute_sends_per_node` — the generic helper also reads the successor's
+// height, which the locality auditor would (rightly) flag as a radius-1
+// read.  Its hand-rolled loops read exactly h(v) and nothing else.
 void GreedyPolicy::compute_sends(const Tree& tree, const Configuration& heights,
                                  std::span<const NodeId> /*injections*/,
                                  Capacity capacity,
                                  std::span<Capacity> sends) const {
-  compute_sends_per_node(
-      tree, heights, capacity,
-      [](Height own, Height /*succ*/) { return static_cast<Capacity>(own); },
-      sends);
+  const std::size_t n = tree.node_count();
+  CVG_DCHECK(sends.size() == n);
+  for (NodeId v = 1; v < n; ++v) {
+    const DecisionScope audit_scope(v);
+    const Height own = heights.height(v);
+    if (own <= 0) continue;
+    sends[v] = std::min(capacity, static_cast<Capacity>(own));
+  }
 }
 
 void DownhillPolicy::compute_sends(const Tree& tree,
@@ -92,6 +100,7 @@ void MaxWindowPolicy::compute_sends(const Tree& tree,
   const std::size_t n = tree.node_count();
   CVG_DCHECK(sends.size() == n);
   for (NodeId v = 1; v < n; ++v) {
+    const DecisionScope audit_scope(v);
     const Height own = heights.height(v);
     if (own <= 0) continue;
     Height window_max = 0;
@@ -159,15 +168,18 @@ void GradientPolicy::compute_sends(const Tree& tree,
 // way with bit-identical results (asserted by sparse_equivalence_test).
 // ---------------------------------------------------------------------------
 
-void GreedyPolicy::compute_sends_sparse(const Tree& tree,
+void GreedyPolicy::compute_sends_sparse(const Tree& /*tree*/,
                                         const Configuration& heights,
                                         std::span<const NodeId> occupied,
                                         Capacity capacity,
                                         std::vector<SendEntry>& sends_out) const {
-  compute_sends_per_node_sparse(
-      tree, heights, occupied, capacity,
-      [](Height own, Height /*succ*/) { return static_cast<Capacity>(own); },
-      sends_out);
+  for (const NodeId v : occupied) {
+    CVG_DCHECK(v != Tree::sink());
+    const DecisionScope audit_scope(v);
+    const Height own = heights.height(v);
+    CVG_DCHECK(own > 0);
+    sends_out.push_back({v, std::min(capacity, static_cast<Capacity>(own))});
+  }
 }
 
 void DownhillPolicy::compute_sends_sparse(
@@ -227,6 +239,7 @@ void MaxWindowPolicy::compute_sends_sparse(
     std::span<const NodeId> occupied, Capacity capacity,
     std::vector<SendEntry>& sends_out) const {
   for (const NodeId v : occupied) {
+    const DecisionScope audit_scope(v);
     const Height own = heights.height(v);
     CVG_DCHECK(own > 0);
     Height window_max = 0;

@@ -14,10 +14,12 @@
 /// one packet towards the sink and at most one away, decided from
 /// start-of-step heights).
 
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "cvg/audit/locality_auditor.hpp"
 #include "cvg/core/config.hpp"
 #include "cvg/core/step.hpp"
 #include "cvg/core/types.hpp"
@@ -70,7 +72,12 @@ class BidirDiffusion final : public BidirPolicy {
 /// the staged adversary uses exactly as with the directed engine.
 class BidirPathSimulator {
  public:
-  BidirPathSimulator(std::size_t node_count, const BidirPolicy& policy);
+  /// `audit_locality` arms the ℓ-locality auditor around the decision loop:
+  /// every `BidirPolicy` sees exactly (own, toward, away), so the substrate
+  /// itself declares the reads 1-local and the auditor verifies the loop
+  /// never strays further.
+  BidirPathSimulator(std::size_t node_count, const BidirPolicy& policy,
+                     bool audit_locality = false);
 
   /// One step: inject at `t` (or `kNoNode`), then all nodes forward.
   void step_inject(NodeId t);
@@ -88,6 +95,12 @@ class BidirPathSimulator {
     return config_.node_count();
   }
 
+  /// What the locality auditor measured so far, or nullptr when auditing is
+  /// off (models `LocalityAuditingEngine`).
+  [[nodiscard]] const LocalityAuditReport* locality_report() const noexcept {
+    return auditor_ ? &auditor_->report() : nullptr;
+  }
+
   /// Replaces the configuration (checkpoint restore for scratch scenarios).
   void set_config(const Configuration& config);
 
@@ -99,6 +112,8 @@ class BidirPathSimulator {
   std::uint64_t delivered_ = 0;
   std::uint64_t injected_ = 0;
   Height peak_ = 0;
+  /// Armed around the decision loop when auditing is on.
+  std::optional<LocalityAuditor> auditor_;
 };
 
 }  // namespace cvg

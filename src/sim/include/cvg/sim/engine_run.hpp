@@ -13,6 +13,7 @@
 /// bit-for-bit identical to the pre-refactor harness (asserted by
 /// engine_equivalence_test).
 
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -37,6 +38,12 @@ struct RunResult {
   std::uint64_t injected = 0;
   std::uint64_t delivered = 0;
   Step steps = 0;
+
+  /// What the ℓ-locality auditor measured, when the engine ran with
+  /// `SimOptions::audit_locality` (or the substrate's equivalent toggle) on;
+  /// empty otherwise.  A populated report implies the run was audit-clean —
+  /// violations abort instead of returning.
+  std::optional<LocalityAuditReport> locality;
 };
 
 /// Snapshots an engine's cumulative counters into a `RunResult`.
@@ -52,6 +59,11 @@ template <Engine E>
   result.injected = engine.injected();
   result.delivered = engine.delivered();
   result.steps = engine.now();
+  if constexpr (LocalityAuditingEngine<E>) {
+    if (const LocalityAuditReport* report = engine.locality_report()) {
+      result.locality = *report;
+    }
+  }
   return result;
 }
 

@@ -9,9 +9,11 @@
 
 #include <cstdint>
 #include <deque>
+#include <optional>
 #include <span>
 #include <vector>
 
+#include "cvg/audit/locality_auditor.hpp"
 #include "cvg/core/config.hpp"
 #include "cvg/core/step.hpp"
 #include "cvg/policy/policy.hpp"
@@ -68,6 +70,12 @@ class PacketSimulator {
     return buffers_[v];
   }
 
+  /// What the locality auditor measured so far, or nullptr when
+  /// `SimOptions::audit_locality` is off (models `LocalityAuditingEngine`).
+  [[nodiscard]] const LocalityAuditReport* locality_report() const noexcept {
+    return auditor_ ? &auditor_->report() : nullptr;
+  }
+
  private:
   /// Records a delivery into both the cumulative stats and the per-step list.
   void record_delivery(Step delay);
@@ -85,6 +93,8 @@ class PacketSimulator {
   std::uint64_t next_packet_id_ = 0;
   Height peak_ = 0;
   Capacity tokens_ = 0;  // burstiness token bucket
+  /// Armed around each policy call when `SimOptions::audit_locality` is on.
+  std::optional<LocalityAuditor> auditor_;
 };
 
 }  // namespace cvg

@@ -25,8 +25,10 @@
 /// state, which is what the strategic Thm 3.1 adversary uses to evaluate its
 /// two candidate scenarios before committing to one.
 
+#include <optional>
 #include <span>
 
+#include "cvg/audit/locality_auditor.hpp"
 #include "cvg/core/config.hpp"
 #include "cvg/core/step.hpp"
 #include "cvg/core/types.hpp"
@@ -84,6 +86,15 @@ struct SimOptions {
   /// Crossover fraction for `SparseMode::Auto`; ≤ 0 means "use the
   /// auto-tuned default `kSparseCrossover`".
   double sparse_crossover = 0.0;
+
+  /// Run every policy call under the ℓ-locality auditor
+  /// (cvg/audit/locality_auditor.hpp): each height read the policy makes is
+  /// recorded and checked against its declared `locality()` radius, and any
+  /// read beyond ℓ hops of the deciding node aborts with a diagnostic
+  /// naming the policy, node, step and hop distance.  Centralized policies
+  /// are recorded but not checked.  Off (the default) costs nothing beyond
+  /// a predicted branch per height read.
+  bool audit_locality = false;
 };
 
 /// Discrete-event executor of (inject, forward) rounds.
@@ -156,6 +167,12 @@ class Simulator {
   [[nodiscard]] const Policy& policy() const noexcept { return *policy_; }
   [[nodiscard]] const SimOptions& options() const noexcept { return options_; }
 
+  /// What the locality auditor measured so far, or nullptr when
+  /// `SimOptions::audit_locality` is off (models `LocalityAuditingEngine`).
+  [[nodiscard]] const LocalityAuditReport* locality_report() const noexcept {
+    return auditor_ ? &auditor_->report() : nullptr;
+  }
+
   /// Replaces the configuration (peaks are re-seeded from it; the occupied
   /// set is rebuilt).  For tests and the searches, which explore arbitrary
   /// reachable states.  Takes a reference so repeated checkpoint/restore
@@ -198,6 +215,9 @@ class Simulator {
   Height peak_ = 0;
   std::vector<Height> peak_per_node_;
   Capacity tokens_ = 0;  // burstiness token bucket (see SimOptions::burstiness)
+  /// Armed around each policy call when `SimOptions::audit_locality` is on;
+  /// copies of the simulator carry independent copies of the audit state.
+  std::optional<LocalityAuditor> auditor_;
 };
 
 }  // namespace cvg

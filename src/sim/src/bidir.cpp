@@ -9,6 +9,7 @@
 namespace cvg {
 
 static_assert(Engine<BidirPathSimulator>);
+static_assert(LocalityAuditingEngine<BidirPathSimulator>);
 
 BidirSend BidirOddEven::decide(Height own, Height toward,
                                Height /*away*/) const {
@@ -29,9 +30,14 @@ BidirSend BidirDiffusion::decide(Height own, Height toward,
 }
 
 BidirPathSimulator::BidirPathSimulator(std::size_t node_count,
-                                       const BidirPolicy& policy)
+                                       const BidirPolicy& policy,
+                                       bool audit_locality)
     : policy_(&policy), config_(node_count), sends_(node_count) {
   CVG_CHECK(node_count >= 2);
+  if (audit_locality) {
+    auditor_ = LocalityAuditor::for_path(node_count, policy.name(),
+                                         /*declared_locality=*/1);
+  }
 }
 
 void BidirPathSimulator::set_config(const Configuration& config) {
@@ -50,21 +56,26 @@ void BidirPathSimulator::step_inject(NodeId t) {
   const std::size_t n = config_.node_count();
 
   // Decisions from start-of-step heights (decide-before semantics, matching
-  // the directed engine).
-  for (NodeId v = 1; v < n; ++v) {
-    const Height own = config_.height(v);
-    if (own <= 0) {
-      sends_[v] = {};
-      continue;
+  // the directed engine).  The loop itself performs the height reads on the
+  // policy's behalf, so it owns the audit scopes too.
+  {
+    const ScopedLocalityAudit audit(auditor_ ? &*auditor_ : nullptr, now_);
+    for (NodeId v = 1; v < n; ++v) {
+      const DecisionScope audit_scope(v);
+      const Height own = config_.height(v);
+      if (own <= 0) {
+        sends_[v] = {};
+        continue;
+      }
+      const Height toward = config_.height(v - 1);
+      const Height away = (v + 1 < n) ? config_.height(v + 1) : Height{-1};
+      sends_[v] = policy_->decide(own, toward, away);
+      // Clamp: a node with one packet cannot send two.
+      if (own == 1 && sends_[v].toward_sink && sends_[v].away) {
+        sends_[v].away = false;
+      }
+      if (v + 1 >= n) sends_[v].away = false;
     }
-    const Height toward = config_.height(v - 1);
-    const Height away = (v + 1 < n) ? config_.height(v + 1) : Height{-1};
-    sends_[v] = policy_->decide(own, toward, away);
-    // Clamp: a node with one packet cannot send two.
-    if (own == 1 && sends_[v].toward_sink && sends_[v].away) {
-      sends_[v].away = false;
-    }
-    if (v + 1 >= n) sends_[v].away = false;
   }
 
   if (t != kNoNode) {

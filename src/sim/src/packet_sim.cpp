@@ -10,6 +10,7 @@ namespace cvg {
 // step record (its observability is the packets themselves).
 static_assert(Engine<PacketSimulator>);
 static_assert(DelayReportingEngine<PacketSimulator>);
+static_assert(LocalityAuditingEngine<PacketSimulator>);
 
 PacketSimulator::PacketSimulator(const Tree& tree, const Policy& policy,
                                  SimOptions options)
@@ -20,6 +21,10 @@ PacketSimulator::PacketSimulator(const Tree& tree, const Policy& policy,
       config_(tree.node_count()),
       tokens_(options.burstiness) {
   CVG_CHECK(options_.capacity >= 1);
+  if (options_.audit_locality) {
+    auditor_ = LocalityAuditor::for_tree(tree, policy.name(),
+                                         policy.locality());
+  }
   policy_->on_simulation_start();
 }
 
@@ -41,6 +46,7 @@ void PacketSimulator::step(std::span<const NodeId> injections) {
   delivered_delays_.clear();
 
   if (options_.semantics == StepSemantics::DecideBeforeInjection) {
+    const ScopedLocalityAudit audit(auditor_ ? &*auditor_ : nullptr, now_);
     policy_->compute_sends(*tree_, config_, injections_scratch_,
                            options_.capacity, sends_);
     if (options_.validate) {
@@ -60,6 +66,7 @@ void PacketSimulator::step(std::span<const NodeId> injections) {
   }
 
   if (options_.semantics == StepSemantics::DecideAfterInjection) {
+    const ScopedLocalityAudit audit(auditor_ ? &*auditor_ : nullptr, now_);
     policy_->compute_sends(*tree_, config_, injections_scratch_,
                            options_.capacity, sends_);
     if (options_.validate) {

@@ -7,10 +7,12 @@
 namespace cvg {
 
 // The height engine is the fullest model of the engine concept: it records
-// steps, tracks per-node peaks, and checkpoints by copy.
+// steps, tracks per-node peaks, checkpoints by copy, and can run its policy
+// under the locality auditor.
 static_assert(Engine<Simulator>);
 static_assert(RecordingEngine<Simulator>);
 static_assert(PeakTrackingEngine<Simulator>);
+static_assert(LocalityAuditingEngine<Simulator>);
 
 Simulator::Simulator(const Tree& tree, const Policy& policy, SimOptions options)
     : tree_(&tree),
@@ -27,6 +29,10 @@ Simulator::Simulator(const Tree& tree, const Policy& policy, SimOptions options)
   // the steady state performs no allocation at all.
   record_.injections.reserve(
       static_cast<std::size_t>(options_.capacity + options_.burstiness));
+  if (options_.audit_locality) {
+    auditor_ = LocalityAuditor::for_tree(tree, policy.name(),
+                                         policy.locality());
+  }
   policy_->on_simulation_start();
 }
 
@@ -48,6 +54,10 @@ bool Simulator::use_sparse_now() const {
 }
 
 void Simulator::compute_step_sends() {
+  // Arm the locality auditor (a no-op when auditing is off) around exactly
+  // the policy invocation: harness reads — validation, peak tracking, the
+  // occupied-set bookkeeping — are not the policy's reads.
+  const ScopedLocalityAudit audit(auditor_ ? &*auditor_ : nullptr, now_);
   if (use_sparse_now()) {
     ++sparse_steps_;
     policy_->compute_sends_sparse(*tree_, config_, occupied_,

@@ -1,0 +1,148 @@
+// Stress tests for the parallel layer, written to run under ThreadSanitizer
+// (scripts/check_tsan.sh builds with CVG_SANITIZE=tsan and runs exactly
+// these).  The tests hammer `parallel_for` and `SweepRunner` with many small
+// jobs at several explicit thread counts — the container running the tier-1
+// suite may expose a single core, so relying on `default_thread_count()`
+// would silently serialise everything and give the sanitizer nothing to
+// watch.  They also run audited simulations concurrently, pinning down that
+// the height-read observer hook is genuinely thread-local: each worker's
+// auditor sees only its own simulator's reads.
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cvg/parallel/parallel_for.hpp"
+#include "cvg/parallel/sweep.hpp"
+#include "cvg/policy/registry.hpp"
+#include "cvg/sim/engine_run.hpp"
+#include "cvg/sim/simulator.hpp"
+#include "cvg/topology/builders.hpp"
+#include "cvg/util/rng.hpp"
+
+namespace cvg {
+namespace {
+
+constexpr unsigned kThreadCounts[] = {2, 4, 8};
+
+TEST(ParallelRaceTest, ParallelForCoversEveryIndexOnce) {
+  constexpr std::size_t kCount = 400;
+  for (const unsigned threads : kThreadCounts) {
+    std::vector<std::atomic<int>> hits(kCount);
+    parallel_for(kCount, threads,
+                 [&hits](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < kCount; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << ", " << threads
+                                   << " threads";
+    }
+  }
+}
+
+TEST(ParallelRaceTest, ParallelForContendedAccumulation) {
+  constexpr std::size_t kCount = 2000;
+  for (const unsigned threads : kThreadCounts) {
+    std::atomic<std::uint64_t> sum{0};
+    parallel_for(kCount, threads, [&sum](std::size_t i) {
+      sum.fetch_add(i, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(), kCount * (kCount - 1) / 2);
+  }
+}
+
+TEST(ParallelRaceTest, SweepRunnerManySmallJobs) {
+  // Many tiny simulations, each building its own tree and policy on the
+  // worker thread; outcomes must arrive in job order with the right labels.
+  constexpr int kJobs = 48;
+  SweepRunner runner;
+  for (int j = 0; j < kJobs; ++j) {
+    const std::size_t n = 6 + static_cast<std::size_t>(j % 5);
+    runner.add("job-" + std::to_string(j), /*steps=*/40,
+               [n, j](Step steps) {
+                 const Tree tree = build::path(n);
+                 const PolicyPtr policy =
+                     make_policy(j % 2 == 0 ? "odd-even" : "greedy");
+                 Simulator sim(tree, *policy, SimOptions{});
+                 Xoshiro256StarStar rng(static_cast<std::uint64_t>(j));
+                 const auto inject = [&rng, n](const Configuration&, Step,
+                                               std::vector<NodeId>& out) {
+                   out.push_back(static_cast<NodeId>(1 + rng.below(n - 1)));
+                 };
+                 return run_engine(sim, inject, steps, nullptr);
+               });
+  }
+  for (const unsigned threads : kThreadCounts) {
+    const std::vector<SweepOutcome> outcomes = runner.run(threads);
+    ASSERT_EQ(outcomes.size(), static_cast<std::size_t>(kJobs));
+    for (int j = 0; j < kJobs; ++j) {
+      EXPECT_EQ(outcomes[static_cast<std::size_t>(j)].label,
+                "job-" + std::to_string(j));
+      EXPECT_EQ(outcomes[static_cast<std::size_t>(j)].steps, 40u);
+      EXPECT_GT(outcomes[static_cast<std::size_t>(j)].injected, 0u);
+    }
+  }
+}
+
+TEST(ParallelRaceTest, SweepDeterministicAcrossThreadCounts) {
+  SweepRunner runner;
+  for (int j = 0; j < 24; ++j) {
+    runner.add("det-" + std::to_string(j), /*steps=*/60, [j](Step steps) {
+      const Tree tree = build::spider(3, 3);
+      const PolicyPtr policy = make_policy("downhill-or-flat");
+      Simulator sim(tree, *policy, SimOptions{});
+      Xoshiro256StarStar rng(static_cast<std::uint64_t>(100 + j));
+      const std::size_t n = tree.node_count();
+      const auto inject = [&rng, n](const Configuration&, Step,
+                                    std::vector<NodeId>& out) {
+        out.push_back(static_cast<NodeId>(rng.below(n)));
+      };
+      return run_engine(sim, inject, steps, nullptr);
+    });
+  }
+  const std::vector<SweepOutcome> serial = runner.run(1);
+  for (const unsigned threads : kThreadCounts) {
+    const std::vector<SweepOutcome> parallel = runner.run(threads);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t j = 0; j < serial.size(); ++j) {
+      EXPECT_EQ(parallel[j].peak, serial[j].peak) << serial[j].label;
+      EXPECT_EQ(parallel[j].delivered, serial[j].delivered) << serial[j].label;
+    }
+  }
+}
+
+TEST(ParallelRaceTest, AuditedSimulationsAreThreadLocal) {
+  // Each worker runs its own audited simulator; the thread-local observer
+  // hook must keep every auditor's counters attributable to its own run —
+  // identical jobs must therefore produce identical reports, whatever the
+  // interleaving.
+  constexpr std::size_t kRuns = 24;
+  constexpr int kSteps = 80;
+  std::vector<std::uint64_t> reads(kRuns, 0);
+  std::vector<std::uint64_t> decisions(kRuns, 0);
+  for (const unsigned threads : kThreadCounts) {
+    parallel_for(kRuns, threads, [&reads, &decisions](std::size_t i) {
+      const Tree tree = build::path(12);
+      const PolicyPtr policy = make_policy("odd-even");
+      SimOptions options;
+      options.audit_locality = true;
+      Simulator sim(tree, *policy, options);
+      for (int s = 0; s < kSteps; ++s) {
+        sim.step_inject(static_cast<NodeId>(tree.node_count() - 1));
+      }
+      const LocalityAuditReport* report = sim.locality_report();
+      ASSERT_NE(report, nullptr);
+      reads[i] = report->reads;
+      decisions[i] = report->decisions;
+    });
+    for (std::size_t i = 1; i < kRuns; ++i) {
+      EXPECT_EQ(reads[i], reads[0]) << "run " << i;
+      EXPECT_EQ(decisions[i], decisions[0]) << "run " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cvg

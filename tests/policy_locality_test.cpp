@@ -1,0 +1,332 @@
+// Conformance tests for the ℓ-locality wall (docs/ANALYSIS.md): every
+// registered policy runs under the read-recording auditor on all four
+// substrates — height engine (dense and sparse), packet engine, undirected
+// path and DAG — and under the black-box perturbation check.  Two deliberate
+// violators verify that each half of the wall actually fires: an over-reading
+// policy is caught by the auditor with a diagnostic naming the policy, node,
+// step and hop distance, and a policy whose sends *depend* on far heights
+// (without ever tagging its reads) is caught by the black-box check.
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cvg/audit/blackbox.hpp"
+#include "cvg/audit/locality_auditor.hpp"
+#include "cvg/dag/dag_sim.hpp"
+#include "cvg/policy/registry.hpp"
+#include "cvg/sim/bidir.hpp"
+#include "cvg/sim/engine_run.hpp"
+#include "cvg/sim/packet_sim.hpp"
+#include "cvg/sim/simulator.hpp"
+#include "cvg/topology/builders.hpp"
+#include "cvg/util/rng.hpp"
+
+namespace cvg {
+namespace {
+
+/// Every policy the registry can name, including one instance of each
+/// parameterized family, so nothing ships unaudited.
+std::vector<std::string> audited_policy_names() {
+  std::vector<std::string> names = standard_policy_names();
+  names.insert(names.end(), {"max-window-2", "max-window-3", "gradient-0",
+                             "gradient-2", "scaled-odd-even-2"});
+  return names;
+}
+
+/// The audited tree topologies: a path, a spider (the §5 hub shape) and the
+/// staggered synchronisation gadget — between them every registered policy
+/// exercises both its helper paths and sibling arbitration.
+std::vector<Tree> audited_trees() {
+  std::vector<Tree> trees;
+  trees.push_back(build::path(16));
+  trees.push_back(build::spider(4, 4));
+  trees.push_back(build::spider_staggered(4));
+  return trees;
+}
+
+/// Drives `sim` for `steps` rounds with reproducible random injections
+/// (idling one step in five so buffers drain through interesting states).
+template <typename Sim>
+void drive_random(Sim& sim, std::size_t node_count, int steps,
+                  std::uint64_t seed) {
+  Xoshiro256StarStar rng(seed);
+  for (int s = 0; s < steps; ++s) {
+    const NodeId target = static_cast<NodeId>(rng.below(node_count));
+    sim.step_inject(s % 5 == 4 ? kNoNode : target);
+  }
+}
+
+TEST(PolicyLocalityTest, HeightEngineEveryPolicyAuditClean) {
+  constexpr int kSteps = 160;
+  for (const std::string& name : audited_policy_names()) {
+    const PolicyPtr policy = make_policy(name);
+    for (const Tree& tree : audited_trees()) {
+      for (const SparseMode mode :
+           {SparseMode::Never, SparseMode::Always, SparseMode::Auto}) {
+        SimOptions options;
+        options.capacity = 2;
+        options.validate = true;
+        options.sparse_mode = mode;
+        options.audit_locality = true;
+        Simulator sim(tree, *policy, options);
+        drive_random(sim, tree.node_count(), kSteps, /*seed=*/17);
+
+        const LocalityAuditReport* report = sim.locality_report();
+        ASSERT_NE(report, nullptr) << name;
+        EXPECT_EQ(report->policy, name);
+        EXPECT_EQ(report->steps_audited, static_cast<std::uint64_t>(kSteps))
+            << name;
+        EXPECT_GT(report->reads, 0u) << name;
+        if (policy->is_centralized()) {
+          EXPECT_EQ(report->declared_locality, -1) << name;
+          EXPECT_EQ(report->checked_reads, 0u) << name;
+        } else {
+          EXPECT_GT(report->decisions, 0u) << name;
+          EXPECT_GT(report->checked_reads, 0u) << name;
+          EXPECT_LE(report->max_hop_distance, policy->locality()) << name;
+        }
+      }
+    }
+  }
+}
+
+TEST(PolicyLocalityTest, PacketEngineEveryPolicyAuditClean) {
+  constexpr int kSteps = 120;
+  const Tree tree = build::spider(3, 3);
+  for (const std::string& name : audited_policy_names()) {
+    const PolicyPtr policy = make_policy(name);
+    SimOptions options;
+    options.validate = true;
+    options.audit_locality = true;
+    PacketSimulator sim(tree, *policy, options);
+    drive_random(sim, tree.node_count(), kSteps, /*seed=*/23);
+
+    const LocalityAuditReport* report = sim.locality_report();
+    ASSERT_NE(report, nullptr) << name;
+    EXPECT_EQ(report->policy, name);
+    EXPECT_EQ(report->steps_audited, static_cast<std::uint64_t>(kSteps))
+        << name;
+    if (!policy->is_centralized()) {
+      EXPECT_LE(report->max_hop_distance, policy->locality()) << name;
+    }
+  }
+}
+
+TEST(PolicyLocalityTest, BidirSubstrateAuditClean) {
+  constexpr int kSteps = 150;
+  constexpr std::size_t kNodes = 12;
+  const BidirOddEven odd_even;
+  const BidirDiffusion diffusion;
+  for (const BidirPolicy* policy :
+       {static_cast<const BidirPolicy*>(&odd_even),
+        static_cast<const BidirPolicy*>(&diffusion)}) {
+    BidirPathSimulator sim(kNodes, *policy, /*audit_locality=*/true);
+    drive_random(sim, kNodes, kSteps, /*seed=*/29);
+
+    const LocalityAuditReport* report = sim.locality_report();
+    ASSERT_NE(report, nullptr) << policy->name();
+    EXPECT_EQ(report->policy, policy->name());
+    EXPECT_EQ(report->steps_audited, static_cast<std::uint64_t>(kSteps));
+    EXPECT_GT(report->decisions, 0u);
+    EXPECT_LE(report->max_hop_distance, 1) << policy->name();
+    EXPECT_EQ(report->unscoped_reads, 0u) << policy->name();
+  }
+}
+
+TEST(PolicyLocalityTest, DagSubstrateAuditClean) {
+  constexpr int kSteps = 120;
+  const DagGreedy greedy;
+  const DagOddEven odd_even;
+  std::vector<Dag> dags;
+  dags.push_back(build_dag::path(8));
+  dags.push_back(build_dag::braid(3, 5));
+  dags.push_back(build_dag::diamond(3, 4));
+  for (const DagPolicy* policy : {static_cast<const DagPolicy*>(&greedy),
+                                  static_cast<const DagPolicy*>(&odd_even)}) {
+    for (const Dag& dag : dags) {
+      DagSimulator sim(dag, *policy, /*audit_locality=*/true);
+      drive_random(sim, dag.node_count(), kSteps, /*seed=*/31);
+
+      const LocalityAuditReport* report = sim.locality_report();
+      ASSERT_NE(report, nullptr) << policy->name();
+      EXPECT_EQ(report->policy, policy->name());
+      EXPECT_EQ(report->steps_audited, static_cast<std::uint64_t>(kSteps));
+      EXPECT_GT(report->decisions, 0u);
+      EXPECT_LE(report->max_hop_distance, policy->locality())
+          << policy->name();
+    }
+  }
+}
+
+TEST(PolicyLocalityTest, RunResultCarriesAuditReport) {
+  const Tree tree = build::path(8);
+  const PolicyPtr policy = make_policy("odd-even");
+  const auto inject = [&tree](const Configuration&, Step,
+                              std::vector<NodeId>& out) {
+    out.push_back(static_cast<NodeId>(tree.node_count() - 1));
+  };
+
+  SimOptions audited;
+  audited.audit_locality = true;
+  Simulator sim_on(tree, *policy, audited);
+  const RunResult with_audit = run_engine(sim_on, inject, 50, nullptr);
+  ASSERT_TRUE(with_audit.locality.has_value());
+  EXPECT_EQ(with_audit.locality->policy, "odd-even");
+  EXPECT_EQ(with_audit.locality->steps_audited, 50u);
+  EXPECT_LE(with_audit.locality->max_hop_distance, 1);
+  EXPECT_FALSE(with_audit.locality->to_string().empty());
+
+  Simulator sim_off(tree, *policy, SimOptions{});
+  const RunResult without_audit = run_engine(sim_off, inject, 50, nullptr);
+  EXPECT_FALSE(without_audit.locality.has_value());
+}
+
+TEST(PolicyLocalityTest, TreeOracleMatchesBfsOracle) {
+  const Tree tree = build::spider_staggered(4);
+  const std::size_t n = tree.node_count();
+  std::vector<std::vector<NodeId>> adjacency(n);
+  for (NodeId v = 1; v < n; ++v) {
+    adjacency[v].push_back(tree.parent(v));
+    adjacency[tree.parent(v)].push_back(v);
+  }
+  const LocalityAuditor by_tree = LocalityAuditor::for_tree(tree, "probe", 1);
+  const LocalityAuditor by_bfs =
+      LocalityAuditor::for_adjacency(adjacency, "probe", 1);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      EXPECT_EQ(by_tree.hop_distance(u, v), by_bfs.hop_distance(u, v))
+          << "u=" << u << " v=" << v;
+    }
+  }
+}
+
+TEST(PolicyLocalityTest, PathOracleIsAbsoluteDifference) {
+  const LocalityAuditor oracle = LocalityAuditor::for_path(10, "probe", 1);
+  EXPECT_EQ(oracle.hop_distance(3, 3), 0);
+  EXPECT_EQ(oracle.hop_distance(2, 7), 5);
+  EXPECT_EQ(oracle.hop_distance(7, 2), 5);
+  EXPECT_EQ(oracle.hop_distance(0, 9), 9);
+}
+
+TEST(PolicyLocalityTest, BlackboxInvarianceHoldsForRegisteredPolicies) {
+  for (const std::string& name : audited_policy_names()) {
+    const PolicyPtr policy = make_policy(name);
+    if (policy->is_centralized()) continue;  // no radius to test against
+    for (const Tree& tree : audited_trees()) {
+      Xoshiro256StarStar rng(/*seed=*/41);
+      Configuration base(tree.node_count());
+      for (NodeId v = 1; v < tree.node_count(); ++v) {
+        base.set_height(v, static_cast<Height>(rng.below(5)));
+      }
+      const std::uint64_t comparisons = check_blackbox_locality(
+          tree, *policy, base, /*capacity=*/2, /*seed=*/43);
+      EXPECT_GT(comparisons, 0u) << name;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Deliberate violators: each half of the wall must actually fire.
+// ---------------------------------------------------------------------------
+
+/// Declares ℓ = 1 but reads a height three hops away inside its decision
+/// scope — the auditor must abort naming policy, node, step and distance.
+class PeekingPolicy final : public Policy {
+ public:
+  [[nodiscard]] std::string name() const override { return "peeking"; }
+  [[nodiscard]] int locality() const override { return 1; }
+  void compute_sends(const Tree& tree, const Configuration& heights,
+                     std::span<const NodeId> /*injections*/, Capacity capacity,
+                     std::span<Capacity> sends) const override {
+    const std::size_t n = tree.node_count();
+    for (NodeId v = 1; v < n; ++v) {
+      const DecisionScope audit_scope(v);
+      const Height own = heights.height(v);
+      NodeId far = v;
+      for (int hop = 0; hop < 3 && far != kNoNode; ++hop) {
+        far = tree.parent(far);
+      }
+      if (far != kNoNode) (void)heights.height(far);  // the 3-hop read
+      if (own > 0) sends[v] = std::min(capacity, static_cast<Capacity>(own));
+    }
+  }
+};
+
+TEST(PolicyLocalityDeathTest, AuditorCatchesOverReadingPolicy) {
+  const Tree tree = build::path(8);
+  const PeekingPolicy policy;
+  SimOptions options;
+  options.audit_locality = true;
+  Simulator sim(tree, policy, options);
+  EXPECT_DEATH(sim.step_inject(7),
+               "locality violation: policy 'peeking'.*hop distance 3.*"
+               "in step 0");
+}
+
+/// Never tags its reads (so the auditor can only count them as unscoped)
+/// but genuinely *depends* on a height three hops away: node v forwards
+/// only when the height at its third ancestor is even.  The black-box
+/// perturbation check must catch this; the auditor must not abort.
+class CheatingPolicy final : public Policy {
+ public:
+  [[nodiscard]] std::string name() const override { return "cheating"; }
+  [[nodiscard]] int locality() const override { return 1; }
+  void compute_sends(const Tree& tree, const Configuration& heights,
+                     std::span<const NodeId> /*injections*/, Capacity capacity,
+                     std::span<Capacity> sends) const override {
+    const std::size_t n = tree.node_count();
+    for (NodeId v = 1; v < n; ++v) {
+      const Height own = heights.height(v);
+      if (own <= 0) continue;
+      NodeId far = v;
+      for (int hop = 0; hop < 3 && far != kNoNode; ++hop) {
+        far = tree.parent(far);
+      }
+      const bool go = far == kNoNode || heights.height(far) % 2 == 0;
+      if (go) sends[v] = std::min(capacity, static_cast<Capacity>(own));
+    }
+  }
+};
+
+TEST(PolicyLocalityDeathTest, BlackboxCatchesUntaggedDependence) {
+  const Tree tree = build::path(10);
+  const CheatingPolicy policy;
+  Configuration base(tree.node_count());
+  for (NodeId v = 1; v < tree.node_count(); ++v) base.set_height(v, 2);
+  BlackboxOptions options;
+  options.trials_per_node = 8;
+  EXPECT_DEATH((void)check_blackbox_locality(tree, policy, base,
+                                             /*capacity=*/1, /*seed=*/47,
+                                             options),
+               "black-box locality violation: policy 'cheating'");
+}
+
+TEST(PolicyLocalityTest, AuditorCountsButDoesNotCheckUnscopedReads) {
+  const Tree tree = build::path(10);
+  const CheatingPolicy policy;  // far reads, never inside a DecisionScope
+  SimOptions options;
+  options.audit_locality = true;
+  Simulator sim(tree, policy, options);
+  drive_random(sim, tree.node_count(), 40, /*seed=*/53);  // must not abort
+
+  const LocalityAuditReport* report = sim.locality_report();
+  ASSERT_NE(report, nullptr);
+  EXPECT_GT(report->unscoped_reads, 0u);
+  EXPECT_EQ(report->checked_reads, 0u);
+  EXPECT_EQ(report->decisions, 0u);
+}
+
+TEST(PolicyLocalityDeathTest, BlackboxRejectsCentralizedPolicies) {
+  const Tree tree = build::path(4);
+  const PolicyPtr policy = make_policy("centralized-fie");
+  const Configuration base(tree.node_count());
+  EXPECT_DEATH((void)check_blackbox_locality(tree, *policy, base,
+                                             /*capacity=*/1, /*seed=*/59),
+               "centralized");
+}
+
+}  // namespace
+}  // namespace cvg
