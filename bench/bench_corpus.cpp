@@ -1,0 +1,80 @@
+// Experiment E17 — the worst-case trace corpus as a regression gate.
+//
+// Part 1 replays every checked-in starter-corpus entry (tests/corpus) and
+// aborts if any stored peak is no longer reached: a passing E17 certifies
+// that no simulator/policy change silently weakened a known worst case.
+//
+// Part 2 smoke-tests the discovery pipeline end to end: starting from an
+// EMPTY scratch corpus, the mutation fuzzer must rediscover a √n-scale
+// peak on the staggered spider under the 1-local Odd-Even policy (§5 of
+// the paper: b branches of staggered lengths force hub buffer b−1 ≈ √(2n)
+// via a synchronized volley), minimize the trace, and admit it.  The
+// scratch corpus lives in the system temp directory, never in the repo.
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "cvg/corpus/fuzz.hpp"
+#include "cvg/corpus/replay.hpp"
+#include "cvg/corpus/store.hpp"
+#include "cvg/policy/registry.hpp"
+#include "cvg/topology/spec.hpp"
+#include "cvg/util/check.hpp"
+#include "experiment.hpp"
+
+namespace cvg::bench {
+namespace {
+
+CVG_EXPERIMENT(17, "E17", "corpus regression replay + smoke fuzz") {
+  // Part 1: regression-replay the checked-in starter corpus.
+  const std::string corpus_dir = std::string(CVG_REPO_ROOT) + "/tests/corpus";
+  const std::vector<corpus::ReplayCheck> checks =
+      corpus::replay_corpus(corpus_dir);
+  std::printf("%-4s %9s %9s %6s  %s\n", "ok", "recorded", "replayed", "steps",
+              "entry");
+  for (const corpus::ReplayCheck& check : checks) {
+    std::printf("%-4s %9d %9d %6llu  %s%s%s\n", check.ok ? "PASS" : "FAIL",
+                check.recorded, check.replayed,
+                static_cast<unsigned long long>(check.steps),
+                check.label.c_str(), check.error.empty() ? "" : " — ",
+                check.error.c_str());
+  }
+  CVG_CHECK(corpus::replay_all_ok(checks))
+      << "starter corpus regression under " << corpus_dir
+      << ": a stored worst case no longer reproduces";
+  std::printf("replayed %zu/%zu starter entries\n\n", checks.size(),
+              checks.size());
+
+  // Part 2: fuzz from an empty scratch corpus and require a √n-scale find.
+  const std::filesystem::path scratch =
+      std::filesystem::temp_directory_path() / "cvg-e17-scratch-corpus";
+  std::filesystem::remove_all(scratch);
+  corpus::CorpusStore store(scratch.string());
+  const std::string spec = "staggered-spider:6";
+  const Tree tree = build::make_tree(spec);
+  const PolicyPtr policy = make_policy("odd-even");
+  corpus::FuzzOptions options;
+  options.seed = flags.seed == 0 ? 1 : flags.seed;
+  options.rounds = flags.smoke ? 48 : 256;
+  const corpus::FuzzReport report = corpus::fuzz_bucket(
+      store, tree, spec, *policy, SimOptions{}, options);
+  std::printf(
+      "fuzz %s / odd-even from empty corpus: %zu seeds, %zu candidates, "
+      "best peak %d via %s, trace %zu -> %zu steps\n",
+      spec.c_str(), report.seeds, report.candidates_tried, report.best_peak,
+      report.best_origin.c_str(), report.pre_minimize_steps,
+      report.final_steps);
+  CVG_CHECK(report.admit.admitted)
+      << "smoke fuzz failed to admit anything: " << report.admit.reason;
+  const double root = std::sqrt(static_cast<double>(tree.node_count()));
+  CVG_CHECK(static_cast<double>(report.best_peak) >= root - 2.0)
+      << "smoke fuzz peak " << report.best_peak << " is below sqrt(n)-2 on "
+      << spec;
+  std::filesystem::remove_all(scratch);
+}
+
+}  // namespace
+}  // namespace cvg::bench

@@ -1,0 +1,371 @@
+#include "corpus_cli.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cvg/adversary/trace_io.hpp"
+#include "cvg/corpus/format.hpp"
+#include "cvg/corpus/fuzz.hpp"
+#include "cvg/corpus/minimize.hpp"
+#include "cvg/corpus/replay.hpp"
+#include "cvg/corpus/store.hpp"
+#include "cvg/policy/registry.hpp"
+#include "cvg/topology/spec.hpp"
+#include "cvg/util/check.hpp"
+#include "cvg/util/str.hpp"
+
+namespace cvg::bench {
+
+namespace {
+
+void corpus_usage(std::FILE* out) {
+  std::fprintf(
+      out,
+      "usage: cvg corpus stats    <dir>\n"
+      "       cvg corpus replay   <dir>\n"
+      "       cvg corpus add      <dir> --topology=<spec> --policy=<name>\n"
+      "                           --trace=<file> [--capacity=N]\n"
+      "                           [--burstiness=N] [--semantics=before|after]\n"
+      "                           [--provenance=<text>]\n"
+      "       cvg corpus minimize <dir> [--max-replays=N]\n"
+      "       cvg corpus fuzz     <dir> --topology=<spec> --policy=<name>\n"
+      "                           [--seed=N] [--rounds=N] [--capacity=N]\n"
+      "                           [--burstiness=N] [--semantics=before|after]\n"
+      "                           [--budget-ms=N] [--no-minimize]\n"
+      "\n"
+      "<dir> is a corpus directory of *.cvgc entries; <spec> is a topology\n"
+      "spec (e.g. staggered-spider:8, path:24); traces are cvg-trace text.\n");
+}
+
+template <class T>
+[[nodiscard]] bool parse_number(std::string_view text, T& out) {
+  if (text.empty()) return false;
+  const char* const first = text.data();
+  const char* const last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc{} && ptr == last;
+}
+
+/// Shared flag state across the verbs; each verb validates what it needs.
+struct CorpusFlags {
+  std::string dir;
+  std::string topology;
+  std::string policy;
+  std::string trace;
+  std::string provenance;
+  Capacity capacity = 1;
+  Capacity burstiness = 0;
+  StepSemantics semantics = StepSemantics::DecideBeforeInjection;
+  std::uint64_t seed = 1;
+  std::size_t rounds = 512;
+  std::uint64_t budget_ms = 0;
+  std::uint64_t max_replays = 20000;
+  bool minimize = true;
+};
+
+/// Parses `<dir>` plus the --key=value tail.  Returns false (after printing
+/// to stderr) on any malformed or unknown flag.
+bool parse_corpus_flags(int argc, char** argv, CorpusFlags& flags) {
+  if (argc < 1) {
+    std::fprintf(stderr, "corpus: missing <dir>\n");
+    return false;
+  }
+  flags.dir = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto value = [&](std::string_view prefix) {
+      return std::string(arg.substr(prefix.size()));
+    };
+    if (starts_with(arg, "--topology=")) {
+      flags.topology = value("--topology=");
+    } else if (starts_with(arg, "--policy=")) {
+      flags.policy = value("--policy=");
+    } else if (starts_with(arg, "--trace=")) {
+      flags.trace = value("--trace=");
+    } else if (starts_with(arg, "--provenance=")) {
+      flags.provenance = value("--provenance=");
+    } else if (starts_with(arg, "--semantics=")) {
+      const std::string text = value("--semantics=");
+      if (text == "before") {
+        flags.semantics = StepSemantics::DecideBeforeInjection;
+      } else if (text == "after") {
+        flags.semantics = StepSemantics::DecideAfterInjection;
+      } else {
+        std::fprintf(stderr, "corpus: --semantics must be before|after\n");
+        return false;
+      }
+    } else if (starts_with(arg, "--capacity=")) {
+      if (!parse_number(value("--capacity="), flags.capacity) ||
+          flags.capacity < 1) {
+        std::fprintf(stderr, "corpus: bad --capacity\n");
+        return false;
+      }
+    } else if (starts_with(arg, "--burstiness=")) {
+      if (!parse_number(value("--burstiness="), flags.burstiness) ||
+          flags.burstiness < 0) {
+        std::fprintf(stderr, "corpus: bad --burstiness\n");
+        return false;
+      }
+    } else if (starts_with(arg, "--seed=")) {
+      if (!parse_number(value("--seed="), flags.seed)) {
+        std::fprintf(stderr, "corpus: bad --seed\n");
+        return false;
+      }
+    } else if (starts_with(arg, "--rounds=")) {
+      if (!parse_number(value("--rounds="), flags.rounds)) {
+        std::fprintf(stderr, "corpus: bad --rounds\n");
+        return false;
+      }
+    } else if (starts_with(arg, "--budget-ms=")) {
+      if (!parse_number(value("--budget-ms="), flags.budget_ms)) {
+        std::fprintf(stderr, "corpus: bad --budget-ms\n");
+        return false;
+      }
+    } else if (starts_with(arg, "--max-replays=")) {
+      if (!parse_number(value("--max-replays="), flags.max_replays) ||
+          flags.max_replays == 0) {
+        std::fprintf(stderr, "corpus: bad --max-replays\n");
+        return false;
+      }
+    } else if (arg == "--no-minimize") {
+      flags.minimize = false;
+    } else {
+      std::fprintf(stderr, "corpus: unknown flag %.*s\n",
+                   static_cast<int>(arg.size()), arg.data());
+      return false;
+    }
+  }
+  return true;
+}
+
+const char* semantics_name(StepSemantics semantics) {
+  return semantics == StepSemantics::DecideBeforeInjection ? "before" : "after";
+}
+
+SimOptions sim_options_from(const CorpusFlags& flags) {
+  SimOptions options;
+  options.capacity = flags.capacity;
+  options.burstiness = flags.burstiness;
+  options.semantics = flags.semantics;
+  return options;
+}
+
+int cmd_stats(const CorpusFlags& flags) {
+  const corpus::CorpusStore store(flags.dir);
+  std::printf("corpus %s: %zu entries\n", store.dir().c_str(),
+              store.entries().size());
+  std::printf("%-20s %-24s %-18s %2s %2s %-6s %5s %6s %7s\n", "file",
+              "topology", "policy", "c", "s", "sem", "peak", "steps",
+              "pre-min");
+  for (const corpus::StoredEntry& stored : store.entries()) {
+    const corpus::CorpusEntry& entry = stored.entry;
+    std::printf("%-20s %-24s %-18s %2d %2d %-6s %5d %6zu %7llu\n",
+                std::filesystem::path(stored.path).filename().c_str(),
+                entry.topology.c_str(), entry.policy.c_str(), entry.capacity,
+                entry.burstiness, semantics_name(entry.semantics), entry.peak,
+                entry.schedule.size(),
+                static_cast<unsigned long long>(entry.pre_minimize_steps));
+  }
+  for (const std::string& error : store.load_errors()) {
+    std::fprintf(stderr, "load error: %s\n", error.c_str());
+  }
+  return store.load_errors().empty() ? 0 : 1;
+}
+
+int cmd_replay(const CorpusFlags& flags) {
+  const std::vector<corpus::ReplayCheck> checks =
+      corpus::replay_corpus(flags.dir);
+  std::printf("%-4s %9s %9s %6s  %s\n", "ok", "recorded", "replayed", "steps",
+              "entry");
+  for (const corpus::ReplayCheck& check : checks) {
+    std::printf("%-4s %9d %9d %6llu  %s (%s)%s%s\n",
+                check.ok ? "PASS" : "FAIL", check.recorded, check.replayed,
+                static_cast<unsigned long long>(check.steps),
+                check.label.c_str(),
+                std::filesystem::path(check.path).filename().c_str(),
+                check.error.empty() ? "" : " — ", check.error.c_str());
+  }
+  if (checks.empty()) {
+    std::fprintf(stderr, "corpus replay: no *.cvgc entries under %s\n",
+                 flags.dir.c_str());
+    return 1;
+  }
+  if (!corpus::replay_all_ok(checks)) {
+    std::fprintf(stderr,
+                 "corpus replay: regression — a stored worst case no longer "
+                 "reproduces\n");
+    return 1;
+  }
+  std::printf("corpus replay: %zu/%zu entries reproduced\n", checks.size(),
+              checks.size());
+  return 0;
+}
+
+int cmd_add(const CorpusFlags& flags) {
+  if (flags.topology.empty() || flags.policy.empty() || flags.trace.empty()) {
+    std::fprintf(stderr,
+                 "corpus add: --topology, --policy and --trace are required\n");
+    return 2;
+  }
+  if (!is_known_policy(flags.policy)) {
+    std::fprintf(stderr, "corpus add: unknown policy '%s'\n",
+                 flags.policy.c_str());
+    return 2;
+  }
+  if (!build::is_known_topology_spec(flags.topology)) {
+    std::fprintf(stderr, "corpus add: unknown topology spec '%s'\n",
+                 flags.topology.c_str());
+    return 2;
+  }
+  const Tree tree = build::make_tree(flags.topology);
+  std::size_t node_count = 0;
+  corpus::CorpusEntry entry;
+  entry.schedule = adversary::load_schedule(flags.trace, node_count);
+  if (node_count != tree.node_count()) {
+    std::fprintf(stderr,
+                 "corpus add: trace is for %zu nodes but %s has %zu\n",
+                 node_count, flags.topology.c_str(), tree.node_count());
+    return 2;
+  }
+  entry.parents.assign(tree.parents().begin(), tree.parents().end());
+  entry.topology = flags.topology;
+  entry.policy = flags.policy;
+  entry.capacity = flags.capacity;
+  entry.burstiness = flags.burstiness;
+  entry.semantics = flags.semantics;
+  entry.provenance =
+      flags.provenance.empty() ? "cvg corpus add " + flags.trace
+                               : flags.provenance;
+  if (!corpus::schedule_is_feasible(entry.schedule, tree.node_count(),
+                                    entry.capacity, entry.burstiness)) {
+    std::fprintf(stderr, "corpus add: schedule violates the rate constraint\n");
+    return 2;
+  }
+  corpus::CorpusStore store(flags.dir);
+  const corpus::AdmitResult result = store.admit(std::move(entry));
+  std::printf("peak %d (bucket best was %d): %s — %s\n", result.peak,
+              result.previous, result.admitted ? "admitted" : "rejected",
+              result.reason.c_str());
+  return result.admitted ? 0 : 1;
+}
+
+int cmd_minimize(const CorpusFlags& flags) {
+  corpus::CorpusStore store(flags.dir);
+  if (store.entries().empty()) {
+    std::fprintf(stderr, "corpus minimize: no entries under %s\n",
+                 flags.dir.c_str());
+    return 1;
+  }
+  corpus::MinimizeOptions options;
+  options.max_replays = flags.max_replays;
+  for (const corpus::StoredEntry& stored : store.entries()) {
+    const corpus::CorpusEntry& old = stored.entry;
+    if (!is_known_policy(old.policy)) {
+      std::fprintf(stderr, "skip %s: unknown policy '%s'\n",
+                   stored.path.c_str(), old.policy.c_str());
+      continue;
+    }
+    const Tree tree{std::vector<NodeId>(old.parents)};
+    const PolicyPtr policy = make_policy(old.policy);
+    const corpus::MinimizeResult result = corpus::minimize_schedule(
+        tree, *policy, corpus::replay_options(old), old.schedule, old.peak,
+        options);
+    std::printf("%s: %zu -> %zu steps (peak %d, %llu replays)\n",
+                std::filesystem::path(stored.path).filename().c_str(),
+                result.initial_steps, result.final_steps, result.peak,
+                static_cast<unsigned long long>(result.replays));
+    if (result.final_steps >= result.initial_steps) continue;
+    corpus::CorpusEntry smaller = old;
+    smaller.schedule = result.schedule;
+    if (smaller.pre_minimize_steps == 0) {
+      smaller.pre_minimize_steps = static_cast<Step>(result.initial_steps);
+    }
+    const std::string path =
+        (std::filesystem::path(flags.dir) /
+         corpus::entry_filename(corpus::content_hash(smaller)))
+            .string();
+    corpus::save_entry(path, smaller);
+    if (path != stored.path) {
+      std::error_code ec;
+      std::filesystem::remove(stored.path, ec);  // best-effort cleanup
+    }
+  }
+  return 0;
+}
+
+int cmd_fuzz(const CorpusFlags& flags) {
+  if (flags.topology.empty() || flags.policy.empty()) {
+    std::fprintf(stderr, "corpus fuzz: --topology and --policy are required\n");
+    return 2;
+  }
+  if (!is_known_policy(flags.policy)) {
+    std::fprintf(stderr, "corpus fuzz: unknown policy '%s'\n",
+                 flags.policy.c_str());
+    return 2;
+  }
+  if (!build::is_known_topology_spec(flags.topology)) {
+    std::fprintf(stderr, "corpus fuzz: unknown topology spec '%s'\n",
+                 flags.topology.c_str());
+    return 2;
+  }
+  const Tree tree = build::make_tree(flags.topology);
+  const PolicyPtr policy = make_policy(flags.policy);
+  corpus::CorpusStore store(flags.dir);
+  corpus::FuzzOptions options;
+  options.seed = flags.seed;
+  options.rounds = flags.rounds;
+  options.budget_ms = flags.budget_ms;
+  options.minimize = flags.minimize;
+  options.minimize_options.max_replays = flags.max_replays;
+  const corpus::FuzzReport report = corpus::fuzz_bucket(
+      store, tree, flags.topology, *policy, sim_options_from(flags), options);
+  std::printf(
+      "fuzz %s / %s (c=%d, sigma=%d, %s): %zu seeds, %zu candidates, best "
+      "peak %d via %s\n",
+      flags.topology.c_str(), flags.policy.c_str(), flags.capacity,
+      flags.burstiness, semantics_name(flags.semantics), report.seeds,
+      report.candidates_tried, report.best_peak, report.best_origin.c_str());
+  if (report.admit.admitted) {
+    std::printf("admitted: peak %d (was %d), %zu -> %zu steps, %s\n",
+                report.admit.peak, report.admit.previous,
+                report.pre_minimize_steps, report.final_steps,
+                report.admit.path.c_str());
+  } else {
+    std::printf("not admitted: %s\n", report.admit.reason.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int corpus_main(int argc, char** argv) {
+  if (argc < 2) {
+    corpus_usage(stderr);
+    return 2;
+  }
+  const std::string_view verb = argv[1];
+  if (verb == "--help" || verb == "-h") {
+    corpus_usage(stdout);
+    return 0;
+  }
+  CorpusFlags flags;
+  if (!parse_corpus_flags(argc - 2, argv + 2, flags)) {
+    corpus_usage(stderr);
+    return 2;
+  }
+  if (verb == "stats") return cmd_stats(flags);
+  if (verb == "replay") return cmd_replay(flags);
+  if (verb == "add") return cmd_add(flags);
+  if (verb == "minimize") return cmd_minimize(flags);
+  if (verb == "fuzz") return cmd_fuzz(flags);
+  std::fprintf(stderr, "corpus: unknown verb '%.*s'\n",
+               static_cast<int>(verb.size()), verb.data());
+  corpus_usage(stderr);
+  return 2;
+}
+
+}  // namespace cvg::bench

@@ -1,0 +1,15 @@
+#pragma once
+
+/// \file corpus_cli.hpp
+/// The `cvg corpus` verb family: command-line access to the worst-case
+/// trace corpus (src/corpus).  Dispatched by the driver (`cvg corpus …`);
+/// see corpus_cli.cpp for the per-verb usage.
+
+namespace cvg::bench {
+
+/// main() body for `cvg corpus <verb> …`.  `argv[0]` is the word "corpus"
+/// (the driver passes its tail).  Returns 0 on success, 1 when a gate fails
+/// (e.g. a replay regression), 2 on usage errors.
+int corpus_main(int argc, char** argv);
+
+}  // namespace cvg::bench

@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "corpus_cli.hpp"
+
 #include "cvg/parallel/parallel_for.hpp"
 #include "cvg/util/str.hpp"
 
@@ -111,8 +113,9 @@ int driver_main(int argc, char** argv) {
     std::fprintf(out,
                  "usage: %s list\n"
                  "       %s run <id>|all [--csv] [--large] [--smoke] "
-                 "[--threads=N] [--seed=N]\n",
-                 argv[0], argv[0]);
+                 "[--threads=N] [--seed=N]\n"
+                 "       %s corpus add|minimize|replay|fuzz|stats …\n",
+                 argv[0], argv[0], argv[0]);
   };
   if (argc < 2) {
     usage(stderr);
@@ -128,7 +131,13 @@ int driver_main(int argc, char** argv) {
       std::printf("%-4s %s\n", experiment.id.c_str(),
                   experiment.title.c_str());
     }
+    std::printf("%-4s %s\n", "corpus",
+                "add|minimize|replay|fuzz|stats — worst-case trace corpus "
+                "tools (cvg corpus --help)");
     return 0;
+  }
+  if (command == "corpus") {
+    return corpus_main(argc - 1, argv + 1);
   }
   if (command == "run") {
     if (argc < 3) {

@@ -14,6 +14,17 @@ Enforced invariants:
      CVG_DCHECK, which stay on in release builds resp. stream diagnostics.
   4. No `std::cout` in library code: libraries report through return values
      and sinks; only CLIs, benches and examples own stdout.
+  5. Determinism: no `random_device` outside files that define `int main(`.
+     Everything that randomizes (fuzzer, random topologies, adversaries)
+     takes an explicit 64-bit seed so corpus entries and test failures
+     replay bit-for-bit; only a top-level CLI may ever mix in entropy.
+  6. Every adversary name the registry constructs is referenced by at least
+     one test (parameterized families matched by prefix) — the fuzzer's
+     seed battery pulls from this registry, so an untested strategy would
+     feed the corpus unexercised.
+  7. Every fuzz mutator name in src/corpus/src/fuzz.cpp is referenced by at
+     least one test, so the documented mutator set cannot drift from the
+     implementation silently.
 
 Exits non-zero listing every violation; prints a one-line summary on success.
 """
@@ -27,6 +38,7 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parent.parent
 SRC = REPO / "src"
 TESTS = REPO / "tests"
+BENCH = REPO / "bench"
 
 
 def source_files(root: Path, suffixes: tuple[str, ...]) -> list[Path]:
@@ -112,12 +124,81 @@ def check_no_cout_in_library() -> list[str]:
     return errors
 
 
+def check_no_random_device() -> list[str]:
+    """Rule 5: `random_device` only in files that define `int main(`."""
+    errors = []
+    for root in (SRC, TESTS, BENCH):
+        for path in source_files(root, (".hpp", ".cpp")):
+            text = strip_comments(path.read_text())
+            if re.search(r"\bint\s+main\s*\(", text):
+                continue
+            for lineno, line in enumerate(text.splitlines(), 1):
+                if "random_device" in line:
+                    errors.append(
+                        f"{path.relative_to(REPO)}:{lineno}: random_device "
+                        "outside a main file — take an explicit 64-bit seed "
+                        "so runs replay deterministically")
+    return errors
+
+
+def adversary_registry_names() -> tuple[list[str], list[str]]:
+    """Fixed names and parameterized prefixes the adversary registry
+    recognises (same source-of-truth parse as the policy rule)."""
+    text = (SRC / "adversary" / "src" / "registry.cpp").read_text()
+    fixed = re.findall(r'name\s*==\s*"([^"]+)"', text)
+    prefixes = re.findall(r'parse_suffix\(name,\s*"([^"]+)"\)', text)
+    return fixed, sorted(set(prefixes))
+
+
+def check_adversary_names_tested() -> list[str]:
+    """Rule 6: every adversary registry name appears in some test file."""
+    fixed, prefixes = adversary_registry_names()
+    corpus = "\n".join(p.read_text() for p in source_files(TESTS, (".cpp",)))
+    errors = []
+    for name in fixed:
+        if f'"{name}"' not in corpus:
+            errors.append(f"registry adversary \"{name}\" is referenced by "
+                          "no test in tests/")
+    for prefix in prefixes:
+        if not re.search(rf'"{re.escape(prefix)}\d+"', corpus):
+            errors.append(f"adversary family \"{prefix}<k>\" has no "
+                          "instantiation in tests/")
+    return errors
+
+
+def fuzz_mutator_names() -> list[str]:
+    """The mutator list declared in src/corpus/src/fuzz.cpp."""
+    text = (SRC / "corpus" / "src" / "fuzz.cpp").read_text()
+    match = re.search(r"kMutators\s*=\s*\{(.*?)\};", text, flags=re.S)
+    if not match:
+        return []
+    return re.findall(r'"([^"]+)"', match.group(1))
+
+
+def check_fuzz_mutators_tested() -> list[str]:
+    """Rule 7: every fuzz mutator name appears in some test file."""
+    names = fuzz_mutator_names()
+    if not names:
+        return ["could not parse the kMutators list out of "
+                "src/corpus/src/fuzz.cpp — update check_invariants.py"]
+    corpus = "\n".join(p.read_text() for p in source_files(TESTS, (".cpp",)))
+    errors = []
+    for name in names:
+        if f'"{name}"' not in corpus:
+            errors.append(f"fuzz mutator \"{name}\" is referenced by no test "
+                          "in tests/")
+    return errors
+
+
 def main() -> int:
     checks = [
         ("policy locality overrides", check_policy_locality_overrides),
         ("registry names tested", check_registry_names_tested),
         ("no raw assert", check_no_raw_assert),
         ("no std::cout in libraries", check_no_cout_in_library),
+        ("deterministic seeds only", check_no_random_device),
+        ("adversary names tested", check_adversary_names_tested),
+        ("fuzz mutators tested", check_fuzz_mutators_tested),
     ]
     failures = []
     for label, check in checks:

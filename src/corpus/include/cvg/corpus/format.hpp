@@ -1,0 +1,107 @@
+#pragma once
+
+/// \file format.hpp
+/// The on-disk format of the worst-case trace corpus: one binary file per
+/// entry, versioned, checksummed, and keyed by a canonical content hash so
+/// that semantically identical traces deduplicate regardless of provenance.
+///
+/// Layout (all integers little-endian, lengths bounds-checked on read):
+///
+///     "CVGC"                magic
+///     u32  version          (currently 1)
+///     u64  checksum         FNV-1a64 over every payload byte that follows
+///     ---- payload ----
+///     u64  content_hash     canonical key (recomputed and verified on read)
+///     u32  node_count
+///     str  topology         human-readable label, e.g. "staggered-spider:8"
+///     str  policy           policy-registry name (replay rebuilds from it)
+///     str  provenance       free text: who found this trace and how
+///     i32  capacity         link capacity / injection rate c
+///     i32  burstiness       sigma of the (sigma, rho) token bucket
+///     u8   semantics        StepSemantics
+///     i64  peak             peak height under deterministic replay
+///     u64  pre_minimize_steps  schedule length before minimization (0 = n/a)
+///     u32 × node_count      parent vector (kNoNode for the sink)
+///     u64  step_count
+///     per step: u32 k, then k × u32 injected node ids
+///
+/// where `str` is `u32 length + bytes`.  Readers return structured errors
+/// (never abort, never exhibit UB) on truncated or corrupted input: the
+/// replay gate must be able to point at the one bad file in a corpus
+/// directory instead of dying on it.
+///
+/// The content hash covers exactly the semantic inputs of a replay —
+/// parent vector, policy name, capacity, burstiness, semantics, schedule —
+/// and deliberately excludes the topology label, provenance, recorded peak
+/// and pre-minimization step count, which are metadata about the entry, not
+/// part of the trace.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cvg/adversary/trace_io.hpp"
+#include "cvg/core/types.hpp"
+
+namespace cvg::corpus {
+
+inline constexpr char kMagic[4] = {'C', 'V', 'G', 'C'};
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// One corpus entry: a complete, self-contained replay instruction.
+struct CorpusEntry {
+  std::vector<NodeId> parents;  ///< exact topology (parents[0] == kNoNode)
+  std::string topology;         ///< display label (e.g. a topology spec)
+  std::string policy;           ///< policy-registry name
+  std::string provenance;       ///< how this trace was discovered
+  Capacity capacity = 1;
+  Capacity burstiness = 0;
+  StepSemantics semantics = StepSemantics::DecideBeforeInjection;
+  Height peak = 0;              ///< recorded peak under deterministic replay
+  Step pre_minimize_steps = 0;  ///< schedule length before minimization
+  adversary::Schedule schedule;
+
+  friend bool operator==(const CorpusEntry&, const CorpusEntry&) = default;
+};
+
+/// Canonical key of the trace (see file comment for what it covers).
+[[nodiscard]] std::uint64_t content_hash(const CorpusEntry& entry);
+
+/// Bucket key: the content hash *minus the schedule* — two traces compete in
+/// the admission rule iff they agree on (topology, policy, c, sigma,
+/// semantics).
+[[nodiscard]] std::uint64_t bucket_key(const CorpusEntry& entry);
+
+/// Serializes `entry` to bytes (deterministic: equal entries produce equal
+/// bytes, so corpus files are reproducible bit-for-bit).
+[[nodiscard]] std::string serialize_entry(const CorpusEntry& entry);
+
+/// Parses an entry from `bytes`.  On any malformation — bad magic, wrong
+/// version, checksum mismatch, truncation, out-of-range node ids,
+/// rate-infeasible schedule — returns nullopt and sets `error`.
+[[nodiscard]] std::optional<CorpusEntry> parse_entry(std::string_view bytes,
+                                                     std::string& error);
+
+/// File wrappers.  `save_entry` aborts on I/O failure (a full disk is not a
+/// recoverable condition for the tools); `load_entry` reports read *and*
+/// parse failures through `error`.
+void save_entry(const std::string& path, const CorpusEntry& entry);
+[[nodiscard]] std::optional<CorpusEntry> load_entry(const std::string& path,
+                                                    std::string& error);
+
+/// Canonical file name of an entry: 16 lowercase hex digits of the content
+/// hash plus the ".cvgc" suffix.
+[[nodiscard]] std::string entry_filename(std::uint64_t content_hash);
+
+/// True iff `schedule` respects the token-bucket rate constraint (at most
+/// c·T + sigma injections over any window of T steps) and every injected id
+/// is a valid node of an `node_count`-node topology.  The simulator aborts
+/// on infeasible schedules, so the fuzzer and the parser both pre-filter
+/// with this.
+[[nodiscard]] bool schedule_is_feasible(const adversary::Schedule& schedule,
+                                        std::size_t node_count,
+                                        Capacity capacity,
+                                        Capacity burstiness);
+
+}  // namespace cvg::corpus

@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file fuzz.hpp
+/// Mutation fuzzer over adversary traces: searches for schedules that force
+/// higher buffer peaks than anything stored for their corpus bucket.
+///
+/// The search is seeded from (a) the bucket's existing corpus entries,
+/// (b) the registry's adversary battery unrolled over the horizon (including
+/// the staged Thm-3.1 and height-seeker strategies where applicable), and
+/// (c) *depth-aligned volleys* — a generalization of the §5 synchronization
+/// gadget: for every intersection node, one packet per child subtree,
+/// injected at its deepest leaf and timed so all of them arrive at the
+/// intersection simultaneously (emitted at two global phase offsets, since
+/// parity-sensitive policies care).  On the staggered spider this seed alone
+/// reproduces the paper's √n lower bound for 1-local policies.
+///
+/// Seeds live in a small elite pool which a deterministic RNG then evolves
+/// with trace-level mutators (see `fuzz_mutator_names()`): crossover,
+/// timing/site perturbations, burst merging, and search-guided extensions
+/// that hand the end state of a trace prefix to the lookahead seeker or the
+/// beam search.  Every candidate is rate-filtered, replayed, and scored by
+/// its replayed peak; nothing is ever admitted on faith.
+///
+/// After the round budget, the best trace — if it beats the stored bucket
+/// peak — is minimized (see minimize.hpp) with its own peak as the target
+/// and admitted through the store, which re-replays it one more time.
+
+#include <string>
+#include <vector>
+
+#include "cvg/corpus/minimize.hpp"
+#include "cvg/corpus/store.hpp"
+#include "cvg/policy/policy.hpp"
+#include "cvg/sim/simulator.hpp"
+#include "cvg/topology/tree.hpp"
+
+namespace cvg::corpus {
+
+struct FuzzOptions {
+  std::uint64_t seed = 1;        ///< master seed; equal seeds ⇒ equal runs
+  std::size_t rounds = 512;      ///< mutation attempts after seeding
+  Step horizon = 0;              ///< trace length; 0 = 4·(max_depth + 8)
+  std::size_t pool_size = 8;     ///< elite pool kept between rounds
+  std::size_t seeker_node_cap = 64;   ///< skip seeker seeds/extends above this
+  std::size_t beam_node_cap = 256;    ///< skip beam extends above this
+  int seeker_lookahead = 2;
+  std::uint64_t budget_ms = 0;   ///< wall-clock cutoff for the mutation loop
+                                 ///< (0 = none; determinism holds only when
+                                 ///< the cutoff never fires)
+  bool minimize = true;          ///< minimize the winner before admission
+  MinimizeOptions minimize_options;
+};
+
+/// What a fuzz run did, whether or not it improved the bucket.
+struct FuzzReport {
+  std::size_t seeds = 0;             ///< seed schedules generated
+  std::size_t candidates_tried = 0;  ///< schedules replayed (seeds + mutants)
+  std::size_t pool_improvements = 0; ///< times the pool's best peak rose
+  Height best_peak = 0;              ///< best replayed peak seen
+  std::string best_origin;           ///< seed/mutator that produced it
+  std::size_t pre_minimize_steps = 0;  ///< winner's steps before minimization
+  std::size_t final_steps = 0;         ///< winner's steps as admitted
+  AdmitResult admit;                   ///< outcome of the admission attempt
+};
+
+/// The mutator names, in selection order.  Exposed so tests and the
+/// invariant checker can cross-reference them.
+[[nodiscard]] const std::vector<std::string>& fuzz_mutator_names();
+
+/// Fuzzes the bucket (tree/`topology`, policy, sim_options) and attempts to
+/// admit the best trace found into `store`.  `topology` is the display
+/// label stored with any admitted entry.  Deterministic for fixed options
+/// (when no wall-clock budget is set).
+FuzzReport fuzz_bucket(CorpusStore& store, const Tree& tree,
+                       const std::string& topology, const Policy& policy,
+                       const SimOptions& sim_options,
+                       const FuzzOptions& options = {});
+
+}  // namespace cvg::corpus

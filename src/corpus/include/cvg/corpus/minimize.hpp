@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file minimize.hpp
+/// Delta-debugging trace minimizer: shrinks an injection schedule while
+/// preserving "replayed peak ≥ target" under deterministic replay.  Four
+/// passes, iterated to a fixpoint (or the replay budget):
+///
+///   1. *truncate* — cut everything after the first step at which the
+///      running peak reaches the target (peaks are monotone records, so the
+///      tail can only be dead weight);
+///   2. *step ddmin* — classic delta debugging over whole steps: try
+///      removing contiguous chunks at geometrically shrinking granularity
+///      (removal shifts later steps earlier, so this also compacts idle
+///      gaps when the policy's timing tolerates it);
+///   3. *packet drop* — try removing individual injections while keeping
+///      the step grid (timing-preserving, catches packets the peak never
+///      needed);
+///   4. *node lowering* — try replacing each injection site with its parent
+///      (closer to the sink), normalising traces towards the smallest
+///      neighbourhood that still forces the peak.
+///
+/// Every candidate is accepted or rejected purely by replay, so the result
+/// is valid by construction for any policy, any topology and either step
+/// semantics.
+
+#include "cvg/adversary/trace_io.hpp"
+#include "cvg/sim/simulator.hpp"
+
+namespace cvg::corpus {
+
+struct MinimizeOptions {
+  /// Stop after this many replays (the dominant cost; each replay is
+  /// O(steps · occupied)).  The passes degrade gracefully when the budget
+  /// runs out mid-way: the schedule is simply left at its current stage.
+  std::uint64_t max_replays = 20000;
+
+  /// Fixpoint cap: full pass rounds before giving up on further shrinking.
+  int max_rounds = 8;
+};
+
+struct MinimizeResult {
+  adversary::Schedule schedule;   ///< the minimized trace
+  Height peak = 0;                ///< replayed peak of `schedule` (≥ target)
+  std::size_t initial_steps = 0;  ///< schedule length before
+  std::size_t final_steps = 0;    ///< schedule length after
+  std::uint64_t replays = 0;      ///< replays spent
+};
+
+/// Minimizes `schedule` while preserving peak ≥ `target` against
+/// (tree, policy, options).  `target` must be reachable by the input
+/// schedule (aborts otherwise — minimizing an unreproducible trace is
+/// always a caller bug).
+[[nodiscard]] MinimizeResult minimize_schedule(const Tree& tree,
+                                               const Policy& policy,
+                                               const SimOptions& sim_options,
+                                               adversary::Schedule schedule,
+                                               Height target,
+                                               MinimizeOptions options = {});
+
+}  // namespace cvg::corpus

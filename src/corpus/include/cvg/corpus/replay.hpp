@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file replay.hpp
+/// Deterministic replay of corpus entries, and the regression gate that
+/// replays a whole corpus directory and verifies every recorded peak is
+/// still reached.  Replay semantics: build the entry's exact topology and
+/// policy, drive the height simulator for exactly `schedule.size()` steps
+/// (trailing drain steps, if a trace needs them to realize its peak, are
+/// stored in the schedule as idle steps), and read off the peak height.
+/// Both step engines produce bit-identical peaks, so the gate is engine-
+/// agnostic.
+
+#include <string>
+#include <vector>
+
+#include "cvg/corpus/format.hpp"
+#include "cvg/sim/simulator.hpp"
+
+namespace cvg::corpus {
+
+/// Simulation options an entry prescribes (shared by replay, the minimizer
+/// and the fuzzer, so all three agree on the semantics bit-for-bit).
+[[nodiscard]] SimOptions replay_options(const CorpusEntry& entry);
+
+/// Peak height reached by `schedule` against (tree, policy, options) over
+/// exactly `schedule.size()` steps.
+[[nodiscard]] Height replay_peak(const Tree& tree, const Policy& policy,
+                                 const SimOptions& options,
+                                 const adversary::Schedule& schedule);
+
+/// Like `replay_peak`, but also reports the first step index (0-based) at
+/// which the running peak reached `target` via `first_step_reaching`
+/// (`schedule.size()` when it never did) — the minimizer's truncation pass.
+[[nodiscard]] Height replay_peak_traced(const Tree& tree, const Policy& policy,
+                                        const SimOptions& options,
+                                        const adversary::Schedule& schedule,
+                                        Height target,
+                                        Step& first_step_reaching);
+
+/// Replays one parsed entry.  Aborts if the entry names an unknown policy
+/// (the parser cannot know the registry; the gate reports it instead).
+[[nodiscard]] Height replay_entry(const CorpusEntry& entry);
+
+/// Outcome of replaying one corpus file.
+struct ReplayCheck {
+  std::string path;      ///< the file checked
+  std::string label;     ///< "topology / policy / c=N" for reports
+  Height recorded = 0;   ///< peak stored in the entry
+  Height replayed = 0;   ///< peak reached now
+  Step steps = 0;        ///< schedule length
+  bool ok = false;       ///< parsed, known policy, replayed >= recorded
+  std::string error;     ///< parse/registry failure, empty when parsed
+};
+
+/// Replays every `*.cvgc` file in `dir` (sorted by name, so reports are
+/// deterministic).  A check fails when the file does not parse, names an
+/// unknown policy, or replays below its recorded peak — any of these means
+/// a previously certified worst case is no longer reproduced.
+[[nodiscard]] std::vector<ReplayCheck> replay_corpus(const std::string& dir);
+
+/// True iff `checks` is non-empty and every check passed.
+[[nodiscard]] bool replay_all_ok(const std::vector<ReplayCheck>& checks);
+
+}  // namespace cvg::corpus

@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file store.hpp
+/// The persistent adversary corpus: a directory of `*.cvgc` entries (one
+/// per file, named by content hash) with a peak-monotone admission rule.
+///
+/// Entries compete in *buckets* — (topology, policy, capacity, burstiness,
+/// semantics) — and a candidate is admitted iff its replayed peak strictly
+/// beats the best stored peak of its bucket (or the bucket is empty).
+/// Admission replays the candidate first and records the *replayed* peak,
+/// never the caller's claim, so a stored entry is by construction a
+/// machine-checked lower-bound certificate: "this policy can be forced to
+/// peak ≥ p on this topology".  The superseded best of the bucket is
+/// removed, keeping one champion per bucket.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cvg/corpus/format.hpp"
+
+namespace cvg::corpus {
+
+/// One entry as it sits on disk.
+struct StoredEntry {
+  CorpusEntry entry;
+  std::string path;
+  std::uint64_t hash = 0;    ///< content hash (also the file name stem)
+  std::uint64_t bucket = 0;  ///< bucket key
+};
+
+/// Outcome of an admission attempt.
+struct AdmitResult {
+  bool admitted = false;
+  Height peak = 0;        ///< replayed peak of the candidate
+  Height previous = 0;    ///< bucket best before (0 when the bucket was empty)
+  std::string path;       ///< file written (empty when rejected)
+  std::string reason;     ///< human-readable verdict
+};
+
+/// Directory-backed corpus.  The constructor scans the directory (created
+/// if missing); files that fail to parse are reported via `load_errors()`
+/// and otherwise ignored — a corrupt entry must not brick the store.
+class CorpusStore {
+ public:
+  explicit CorpusStore(std::string dir);
+
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+  [[nodiscard]] const std::vector<StoredEntry>& entries() const noexcept {
+    return entries_;
+  }
+  [[nodiscard]] const std::vector<std::string>& load_errors() const noexcept {
+    return load_errors_;
+  }
+
+  /// Best stored peak of `bucket`, or nullopt when the bucket is empty.
+  [[nodiscard]] std::optional<Height> best_peak(std::uint64_t bucket) const;
+
+  /// The champion entry of `bucket`, or nullptr.
+  [[nodiscard]] const StoredEntry* best_entry(std::uint64_t bucket) const;
+
+  /// Applies the admission rule to `candidate` (see file comment).  The
+  /// candidate's schedule must be feasible and its policy known; its `peak`
+  /// field is overwritten with the replayed value before storing.
+  AdmitResult admit(CorpusEntry candidate);
+
+ private:
+  std::string dir_;
+  std::vector<StoredEntry> entries_;
+  std::vector<std::string> load_errors_;
+};
+
+}  // namespace cvg::corpus

@@ -1,0 +1,349 @@
+#include "cvg/corpus/format.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "cvg/util/check.hpp"
+
+namespace cvg::corpus {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+/// Incremental FNV-1a64 used for both the content hash and the file
+/// checksum.  Multi-byte values are folded in little-endian byte order, so
+/// hashes are identical across hosts.
+class Fnv1a {
+ public:
+  void bytes(const void* data, std::size_t size) noexcept {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      hash_ ^= p[i];
+      hash_ *= kFnvPrime;
+    }
+  }
+  void u8(std::uint8_t value) noexcept { bytes(&value, 1); }
+  void u32(std::uint32_t value) noexcept {
+    unsigned char buffer[4];
+    for (int i = 0; i < 4; ++i) {
+      buffer[i] = static_cast<unsigned char>(value >> (8 * i));
+    }
+    bytes(buffer, 4);
+  }
+  void u64(std::uint64_t value) noexcept {
+    unsigned char buffer[8];
+    for (int i = 0; i < 8; ++i) {
+      buffer[i] = static_cast<unsigned char>(value >> (8 * i));
+    }
+    bytes(buffer, 8);
+  }
+  void str(std::string_view value) noexcept {
+    u32(static_cast<std::uint32_t>(value.size()));
+    bytes(value.data(), value.size());
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept { return hash_; }
+
+ private:
+  std::uint64_t hash_ = kFnvOffset;
+};
+
+/// Append-only little-endian byte writer.
+class Writer {
+ public:
+  void u8(std::uint8_t value) { out_.push_back(static_cast<char>(value)); }
+  void u32(std::uint32_t value) {
+    for (int i = 0; i < 4; ++i) {
+      out_.push_back(static_cast<char>(value >> (8 * i)));
+    }
+  }
+  void u64(std::uint64_t value) {
+    for (int i = 0; i < 8; ++i) {
+      out_.push_back(static_cast<char>(value >> (8 * i)));
+    }
+  }
+  void i32(std::int32_t value) { u32(static_cast<std::uint32_t>(value)); }
+  void i64(std::int64_t value) { u64(static_cast<std::uint64_t>(value)); }
+  void str(std::string_view value) {
+    u32(static_cast<std::uint32_t>(value.size()));
+    out_.append(value);
+  }
+  [[nodiscard]] std::string take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// Bounds-checked little-endian reader: every accessor checks the remaining
+/// size first and latches a failure instead of reading past the end, so a
+/// truncated file can never cause out-of-bounds access.
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+
+  [[nodiscard]] bool failed() const noexcept { return failed_; }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return bytes_.size() - offset_;
+  }
+  [[nodiscard]] bool at_end() const noexcept {
+    return !failed_ && remaining() == 0;
+  }
+
+  std::uint8_t u8() {
+    if (!require(1)) return 0;
+    return static_cast<std::uint8_t>(bytes_[offset_++]);
+  }
+  std::uint32_t u32() {
+    if (!require(4)) return 0;
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      value |= static_cast<std::uint32_t>(
+                   static_cast<unsigned char>(bytes_[offset_ + static_cast<std::size_t>(i)]))
+               << (8 * i);
+    }
+    offset_ += 4;
+    return value;
+  }
+  std::uint64_t u64() {
+    if (!require(8)) return 0;
+    std::uint64_t value = 0;
+    for (int i = 0; i < 8; ++i) {
+      value |= static_cast<std::uint64_t>(
+                   static_cast<unsigned char>(bytes_[offset_ + static_cast<std::size_t>(i)]))
+               << (8 * i);
+    }
+    offset_ += 8;
+    return value;
+  }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  std::string str() {
+    const std::uint32_t length = u32();
+    if (!require(length)) return {};
+    std::string value(bytes_.substr(offset_, length));
+    offset_ += length;
+    return value;
+  }
+  [[nodiscard]] std::string_view rest() const noexcept {
+    return bytes_.substr(offset_);
+  }
+
+ private:
+  bool require(std::size_t count) {
+    if (failed_ || remaining() < count) {
+      failed_ = true;
+      return false;
+    }
+    return true;
+  }
+
+  std::string_view bytes_;
+  std::size_t offset_ = 0;
+  bool failed_ = false;
+};
+
+/// Folds the semantic trace content into `hash` (shared by `content_hash`
+/// and `bucket_key`; the latter stops before the schedule).
+void hash_bucket_fields(Fnv1a& hash, const CorpusEntry& entry) {
+  hash.u32(static_cast<std::uint32_t>(entry.parents.size()));
+  for (const NodeId parent : entry.parents) hash.u32(parent);
+  hash.str(entry.policy);
+  hash.u32(static_cast<std::uint32_t>(entry.capacity));
+  hash.u32(static_cast<std::uint32_t>(entry.burstiness));
+  hash.u8(static_cast<std::uint8_t>(entry.semantics));
+}
+
+}  // namespace
+
+std::uint64_t content_hash(const CorpusEntry& entry) {
+  Fnv1a hash;
+  hash_bucket_fields(hash, entry);
+  hash.u64(entry.schedule.size());
+  for (const auto& step : entry.schedule) {
+    hash.u32(static_cast<std::uint32_t>(step.size()));
+    for (const NodeId node : step) hash.u32(node);
+  }
+  return hash.value();
+}
+
+std::uint64_t bucket_key(const CorpusEntry& entry) {
+  Fnv1a hash;
+  hash_bucket_fields(hash, entry);
+  return hash.value();
+}
+
+std::string serialize_entry(const CorpusEntry& entry) {
+  Writer payload;
+  payload.u64(content_hash(entry));
+  payload.u32(static_cast<std::uint32_t>(entry.parents.size()));
+  payload.str(entry.topology);
+  payload.str(entry.policy);
+  payload.str(entry.provenance);
+  payload.i32(entry.capacity);
+  payload.i32(entry.burstiness);
+  payload.u8(static_cast<std::uint8_t>(entry.semantics));
+  payload.i64(entry.peak);
+  payload.u64(entry.pre_minimize_steps);
+  for (const NodeId parent : entry.parents) payload.u32(parent);
+  payload.u64(entry.schedule.size());
+  for (const auto& step : entry.schedule) {
+    payload.u32(static_cast<std::uint32_t>(step.size()));
+    for (const NodeId node : step) payload.u32(node);
+  }
+  const std::string body = payload.take();
+
+  Fnv1a checksum;
+  checksum.bytes(body.data(), body.size());
+
+  Writer file;
+  for (const char c : kMagic) file.u8(static_cast<std::uint8_t>(c));
+  file.u32(kFormatVersion);
+  file.u64(checksum.value());
+  std::string out = file.take();
+  out += body;
+  return out;
+}
+
+std::optional<CorpusEntry> parse_entry(std::string_view bytes,
+                                       std::string& error) {
+  const auto fail = [&error](std::string message) -> std::optional<CorpusEntry> {
+    error = std::move(message);
+    return std::nullopt;
+  };
+
+  Reader header(bytes);
+  char magic[4] = {};
+  for (char& c : magic) c = static_cast<char>(header.u8());
+  if (header.failed() || !std::equal(magic, magic + 4, kMagic)) {
+    return fail("not a cvg corpus file (bad magic)");
+  }
+  const std::uint32_t version = header.u32();
+  if (header.failed()) return fail("truncated header");
+  if (version != kFormatVersion) {
+    return fail("unsupported corpus format version " + std::to_string(version));
+  }
+  const std::uint64_t stored_checksum = header.u64();
+  if (header.failed()) return fail("truncated header");
+
+  const std::string_view body = header.rest();
+  Fnv1a checksum;
+  checksum.bytes(body.data(), body.size());
+  if (checksum.value() != stored_checksum) {
+    return fail("checksum mismatch (corrupted payload)");
+  }
+
+  Reader reader(body);
+  CorpusEntry entry;
+  const std::uint64_t stored_hash = reader.u64();
+  const std::uint32_t node_count = reader.u32();
+  entry.topology = reader.str();
+  entry.policy = reader.str();
+  entry.provenance = reader.str();
+  entry.capacity = reader.i32();
+  entry.burstiness = reader.i32();
+  const std::uint8_t semantics = reader.u8();
+  entry.peak = static_cast<Height>(reader.i64());
+  entry.pre_minimize_steps = reader.u64();
+  if (reader.failed()) return fail("truncated metadata");
+  if (semantics > static_cast<std::uint8_t>(StepSemantics::DecideAfterInjection)) {
+    return fail("invalid step-semantics value " + std::to_string(semantics));
+  }
+  entry.semantics = static_cast<StepSemantics>(semantics);
+  if (entry.capacity < 1 || entry.burstiness < 0 || entry.peak < 0) {
+    return fail("invalid capacity/burstiness/peak metadata");
+  }
+  // Every node costs ≥ 4 payload bytes, so a count beyond remaining/4 is
+  // corrupt; checking before the resize keeps hostile counts from OOMing.
+  if (node_count < 2 || node_count > reader.remaining() / 4) {
+    return fail("implausible node count " + std::to_string(node_count));
+  }
+  entry.parents.resize(node_count);
+  for (NodeId v = 0; v < node_count; ++v) entry.parents[v] = reader.u32();
+  if (reader.failed()) return fail("truncated parent vector");
+  if (entry.parents[0] != kNoNode) return fail("parents[0] must be the sink");
+  for (NodeId v = 1; v < node_count; ++v) {
+    if (entry.parents[v] >= node_count) {
+      return fail("parent of node " + std::to_string(v) + " out of range");
+    }
+  }
+
+  const std::uint64_t step_count = reader.u64();
+  if (reader.failed() || step_count > reader.remaining() / 4) {
+    return fail("implausible step count");
+  }
+  entry.schedule.resize(step_count);
+  for (auto& step : entry.schedule) {
+    const std::uint32_t injections = reader.u32();
+    if (reader.failed() || injections > reader.remaining() / 4) {
+      return fail("truncated schedule");
+    }
+    step.resize(injections);
+    for (auto& node : step) node = reader.u32();
+  }
+  if (reader.failed()) return fail("truncated schedule");
+  if (!reader.at_end()) return fail("trailing bytes after schedule");
+
+  if (stored_hash != content_hash(entry)) {
+    return fail("content-hash mismatch (metadata edited without rehash)");
+  }
+  if (!schedule_is_feasible(entry.schedule, node_count, entry.capacity,
+                            entry.burstiness)) {
+    return fail("schedule violates the rate constraint or injects out of range");
+  }
+  return entry;
+}
+
+void save_entry(const std::string& path, const CorpusEntry& entry) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  CVG_CHECK(out.good()) << "cannot open " << path << " for writing";
+  const std::string bytes = serialize_entry(entry);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  CVG_CHECK(out.good()) << "write to " << path << " failed";
+}
+
+std::optional<CorpusEntry> load_entry(const std::string& path,
+                                      std::string& error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (in.bad()) {
+    error = "read of " + path + " failed";
+    return std::nullopt;
+  }
+  return parse_entry(bytes, error);
+}
+
+std::string entry_filename(std::uint64_t content_hash) {
+  constexpr char kHex[] = "0123456789abcdef";
+  std::string name(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    name[static_cast<std::size_t>(i)] = kHex[content_hash & 0xF];
+    content_hash >>= 4;
+  }
+  return name + ".cvgc";
+}
+
+bool schedule_is_feasible(const adversary::Schedule& schedule,
+                          std::size_t node_count, Capacity capacity,
+                          Capacity burstiness) {
+  if (capacity < 1 || burstiness < 0) return false;
+  // Mirror of the simulator's token bucket (simulator.cpp): refill by c each
+  // step, cap at c + sigma, spend one token per injection.
+  std::int64_t tokens = burstiness;
+  for (const auto& step : schedule) {
+    tokens = std::min<std::int64_t>(capacity + burstiness, tokens + capacity);
+    if (static_cast<std::int64_t>(step.size()) > tokens) return false;
+    tokens -= static_cast<std::int64_t>(step.size());
+    for (const NodeId node : step) {
+      if (node >= node_count) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace cvg::corpus

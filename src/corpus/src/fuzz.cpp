@@ -1,0 +1,475 @@
+#include "cvg/corpus/fuzz.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_set>
+#include <utility>
+
+#include "cvg/adversary/registry.hpp"
+#include "cvg/adversary/seeker.hpp"
+#include "cvg/corpus/replay.hpp"
+#include "cvg/policy/registry.hpp"
+#include "cvg/search/beam.hpp"
+#include "cvg/util/check.hpp"
+#include "cvg/util/rng.hpp"
+
+namespace cvg::corpus {
+
+namespace {
+
+using adversary::Schedule;
+
+/// Cheap structural fingerprint, used only to dedupe candidates before the
+/// (much more expensive) replay.
+std::uint64_t fingerprint(const Schedule& schedule) {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a
+  const auto mix = [&h](std::uint64_t value) {
+    h ^= value;
+    h *= 1099511628211ULL;
+  };
+  mix(schedule.size());
+  for (const auto& step : schedule) {
+    mix(step.size() + 0x9e3779b97f4a7c15ULL);
+    for (const NodeId node : step) mix(node);
+  }
+  return h;
+}
+
+struct Candidate {
+  Schedule schedule;
+  Height peak = 0;
+  std::uint64_t fp = 0;
+  std::string origin;
+};
+
+/// Elite-pool ordering: taller peak, then shorter trace, then a stable
+/// fingerprint tiebreak so the pool is independent of insertion order.
+bool better(const Candidate& a, const Candidate& b) {
+  if (a.peak != b.peak) return a.peak > b.peak;
+  if (a.schedule.size() != b.schedule.size()) {
+    return a.schedule.size() < b.schedule.size();
+  }
+  return a.fp < b.fp;
+}
+
+/// Normalizes a candidate's length: padded with idle steps up to the horizon
+/// (peaks often occur during the drain after the last injection) and capped
+/// at twice the horizon so mutation cannot grow traces without bound.
+void pad_to_horizon(Schedule& schedule, Step horizon) {
+  const auto lo = static_cast<std::size_t>(horizon);
+  if (schedule.size() < lo) schedule.resize(lo);
+  if (schedule.size() > 2 * lo) schedule.resize(2 * lo);
+}
+
+/// Unrolls a planning adversary into a concrete schedule by playing it
+/// against a live simulation for `horizon` steps.
+Schedule unroll_adversary(const Tree& tree, const Policy& policy,
+                          const SimOptions& sim_options, Adversary& adv,
+                          Step horizon) {
+  Simulator sim(tree, policy, sim_options);
+  adv.on_simulation_start();
+  Schedule schedule;
+  schedule.reserve(static_cast<std::size_t>(horizon));
+  std::vector<NodeId> out;
+  for (Step s = 0; s < horizon; ++s) {
+    out.clear();
+    adv.plan(tree, sim.config(), s, sim_options.capacity, out);
+    sim.step(out);
+    schedule.push_back(out);
+  }
+  return schedule;
+}
+
+/// Deepest node of the subtree rooted at `root` (smallest id on ties).
+NodeId deepest_leaf_in_subtree(const Tree& tree, NodeId root) {
+  NodeId best = root;
+  std::size_t best_depth = tree.depth(root);
+  std::vector<NodeId> stack = {root};
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    if (tree.depth(v) > best_depth ||
+        (tree.depth(v) == best_depth && v < best)) {
+      best = v;
+      best_depth = tree.depth(v);
+    }
+    for (const NodeId child : tree.children(v)) stack.push_back(child);
+  }
+  return best;
+}
+
+/// Depth-aligned volley seeds (see file comment in fuzz.hpp): per
+/// intersection node, one packet per child subtree, injected at the deepest
+/// leaf and timed so all of them arrive at the intersection simultaneously.
+/// Emitted at global phase offsets 0 and 1 because parity-sensitive policies
+/// (Odd-Even) behave differently on shifted schedules.  Injections that the
+/// token bucket cannot afford are dropped deterministically (shorter legs
+/// first), which keeps every seed feasible by construction.
+std::vector<std::pair<Schedule, std::string>> volley_seeds(
+    const Tree& tree, const SimOptions& sim_options) {
+  std::vector<std::pair<Schedule, std::string>> seeds;
+  std::size_t targets = 0;
+  for (const NodeId p : tree.bfs_order()) {
+    if (p == Tree::sink() || !tree.is_intersection(p)) continue;
+    if (++targets > 8) break;
+
+    std::vector<std::pair<std::size_t, NodeId>> legs;  // (distance, leaf)
+    for (const NodeId child : tree.children(p)) {
+      const NodeId leaf = deepest_leaf_in_subtree(tree, child);
+      legs.emplace_back(tree.depth(leaf) - tree.depth(p), leaf);
+    }
+    std::sort(legs.begin(), legs.end(),
+              [](const auto& a, const auto& b) {
+                if (a.first != b.first) return a.first > b.first;
+                return a.second < b.second;
+              });
+    const std::size_t span = legs.front().first;  // longest leg, ≥ 1
+
+    for (std::size_t offset = 0; offset < 2; ++offset) {
+      Schedule desired(offset + span);
+      for (const auto& [dist, leaf] : legs) {
+        desired[offset + span - dist].push_back(leaf);
+      }
+      // Mirror of the simulator's token bucket; drop what it cannot afford.
+      Schedule schedule(desired.size());
+      std::int64_t tokens = sim_options.burstiness;
+      const std::int64_t cap = sim_options.capacity;
+      const std::int64_t bucket_max =
+          static_cast<std::int64_t>(sim_options.capacity) +
+          sim_options.burstiness;
+      for (std::size_t s = 0; s < desired.size(); ++s) {
+        tokens = std::min(bucket_max, tokens + cap);
+        for (const NodeId leaf : desired[s]) {
+          if (tokens == 0) break;
+          schedule[s].push_back(leaf);
+          --tokens;
+        }
+      }
+      seeds.emplace_back(std::move(schedule),
+                         offset == 0 ? "volley" : "volley+1");
+    }
+  }
+  return seeds;
+}
+
+std::size_t pick_index(Xoshiro256StarStar& rng, std::size_t bound) {
+  return static_cast<std::size_t>(rng.below(bound));
+}
+
+/// Index of a random non-empty step, or `schedule.size()` when all idle.
+std::size_t pick_nonempty_step(const Schedule& schedule,
+                               Xoshiro256StarStar& rng) {
+  std::vector<std::size_t> nonempty;
+  for (std::size_t s = 0; s < schedule.size(); ++s) {
+    if (!schedule[s].empty()) nonempty.push_back(s);
+  }
+  if (nonempty.empty()) return schedule.size();
+  return nonempty[pick_index(rng, nonempty.size())];
+}
+
+// ---- mutators (order must match fuzz_mutator_names) ---------------------
+
+Schedule mutate_splice(const Schedule& a, const Schedule& b,
+                       Xoshiro256StarStar& rng) {
+  const std::size_t shared = std::min(a.size(), b.size());
+  if (shared < 2) return {};
+  const std::size_t cut = 1 + pick_index(rng, shared - 1);
+  Schedule child(a.begin(), a.begin() + static_cast<std::ptrdiff_t>(cut));
+  child.insert(child.end(), b.begin() + static_cast<std::ptrdiff_t>(cut),
+               b.end());
+  return child;
+}
+
+Schedule mutate_time_shift(const Schedule& parent, Xoshiro256StarStar& rng) {
+  const std::size_t s = pick_nonempty_step(parent, rng);
+  if (s == parent.size()) return {};
+  const std::size_t delta = 1 + pick_index(rng, 4);
+  std::size_t target;
+  if (rng.below(2) == 0) {
+    target = s >= delta ? s - delta : 0;
+  } else {
+    target = std::min(s + delta, parent.size() - 1);
+  }
+  if (target == s) return {};
+  Schedule child = parent;
+  child[target].insert(child[target].end(), child[s].begin(), child[s].end());
+  child[s].clear();
+  return child;
+}
+
+Schedule mutate_node_shift(const Tree& tree, const Schedule& parent,
+                           Xoshiro256StarStar& rng) {
+  const std::size_t s = pick_nonempty_step(parent, rng);
+  if (s == parent.size()) return {};
+  Schedule child = parent;
+  const std::size_t k = pick_index(rng, child[s].size());
+  const NodeId node = child[s][k];
+  const bool towards_sink = rng.below(2) == 0;
+  NodeId replacement = kNoNode;
+  if (towards_sink) {
+    const NodeId up = tree.parent(node);
+    if (up != kNoNode && up != Tree::sink()) replacement = up;
+  }
+  if (replacement == kNoNode) {  // away from the sink (or `up` was unusable)
+    const std::span<const NodeId> down = tree.children(node);
+    if (!down.empty()) replacement = down[pick_index(rng, down.size())];
+  }
+  if (replacement == kNoNode || replacement == node) return {};
+  child[s][k] = replacement;
+  return child;
+}
+
+Schedule mutate_burst_merge(const Schedule& parent, Xoshiro256StarStar& rng) {
+  std::vector<std::size_t> pairs;  // i where steps i and i+1 both inject
+  for (std::size_t s = 0; s + 1 < parent.size(); ++s) {
+    if (!parent[s].empty() && !parent[s + 1].empty()) pairs.push_back(s);
+  }
+  if (pairs.empty()) return {};
+  const std::size_t s = pairs[pick_index(rng, pairs.size())];
+  Schedule child = parent;
+  child[s].insert(child[s].end(), child[s + 1].begin(), child[s + 1].end());
+  child[s + 1].clear();
+  return child;
+}
+
+/// Replays a random prefix of the parent, then lets the lookahead seeker
+/// continue from the reached configuration for a handful of steps.
+Schedule mutate_seeker_extend(const Tree& tree, const Policy& policy,
+                              const SimOptions& sim_options,
+                              const Schedule& parent, const FuzzOptions& opts,
+                              Xoshiro256StarStar& rng) {
+  if (policy.is_centralized() ||
+      tree.node_count() > opts.seeker_node_cap) {
+    return {};
+  }
+  const std::size_t cut = pick_index(rng, parent.size() + 1);
+  Schedule child(parent.begin(),
+                 parent.begin() + static_cast<std::ptrdiff_t>(cut));
+  Simulator sim(tree, policy, sim_options);
+  for (const auto& step : child) sim.step(step);
+  adversary::HeightSeeker seeker(policy, sim_options, opts.seeker_lookahead);
+  const std::size_t extend = 4 + pick_index(rng, 13);
+  std::vector<NodeId> out;
+  for (std::size_t k = 0; k < extend; ++k) {
+    out.clear();
+    seeker.plan(tree, sim.config(), static_cast<Step>(cut + k),
+                sim_options.capacity, out);
+    sim.step(out);
+    child.push_back(out);
+  }
+  return child;
+}
+
+/// Replays a random prefix of the parent, then warm-starts the beam search
+/// from the reached configuration and splices its best continuation on.
+Schedule mutate_beam_extend(const Tree& tree, const Policy& policy,
+                            const SimOptions& sim_options,
+                            const Schedule& parent, const FuzzOptions& opts,
+                            Xoshiro256StarStar& rng) {
+  if (policy.is_centralized() || sim_options.capacity != 1 ||
+      tree.node_count() > opts.beam_node_cap) {
+    return {};
+  }
+  const std::size_t cut = pick_index(rng, parent.size() + 1);
+  Schedule child(parent.begin(),
+                 parent.begin() + static_cast<std::ptrdiff_t>(cut));
+  Simulator sim(tree, policy, sim_options);
+  for (const auto& step : child) sim.step(step);
+  search::BeamOptions beam_options;
+  beam_options.width = 16;
+  beam_options.generations = 16 + pick_index(rng, 17);
+  beam_options.keep_schedule = true;
+  beam_options.initial = sim.config();
+  const search::BeamResult found =
+      search::beam_worst_case(tree, policy, sim_options, beam_options);
+  if (found.schedule.empty()) return {};
+  for (const NodeId t : found.schedule) {
+    if (t == kNoNode) {
+      child.emplace_back();
+    } else {
+      child.push_back({t});
+    }
+  }
+  return child;
+}
+
+}  // namespace
+
+const std::vector<std::string>& fuzz_mutator_names() {
+  static const std::vector<std::string> kMutators = {
+      "splice",      "time-shift",    "node-shift",
+      "burst-merge", "seeker-extend", "beam-extend"};
+  return kMutators;
+}
+
+FuzzReport fuzz_bucket(CorpusStore& store, const Tree& tree,
+                       const std::string& topology, const Policy& policy,
+                       const SimOptions& sim_options,
+                       const FuzzOptions& options) {
+  CVG_CHECK(tree.node_count() >= 2) << "nothing to fuzz on a sink-only tree";
+  CVG_CHECK(is_known_policy(policy.name()))
+      << "fuzzing needs a registry policy ('" << policy.name()
+      << "' is unknown, so a stored trace could never be replayed)";
+  CVG_CHECK(options.pool_size >= 1);
+
+  const Step horizon =
+      options.horizon != 0
+          ? options.horizon
+          : 4 * (static_cast<Step>(tree.max_depth()) + 8);
+
+  CorpusEntry proto;
+  proto.parents.assign(tree.parents().begin(), tree.parents().end());
+  proto.topology = topology;
+  proto.policy = policy.name();
+  proto.capacity = sim_options.capacity;
+  proto.burstiness = sim_options.burstiness;
+  proto.semantics = sim_options.semantics;
+  const std::uint64_t bucket = bucket_key(proto);
+
+  FuzzReport report;
+  std::vector<Candidate> pool;
+  std::unordered_set<std::uint64_t> seen;
+
+  const auto consider = [&](Schedule schedule, std::string origin) {
+    pad_to_horizon(schedule, horizon);
+    if (!schedule_is_feasible(schedule, tree.node_count(),
+                              sim_options.capacity, sim_options.burstiness)) {
+      return;
+    }
+    Candidate candidate;
+    candidate.fp = fingerprint(schedule);
+    if (!seen.insert(candidate.fp).second) return;
+    ++report.candidates_tried;
+    candidate.peak = replay_peak(tree, policy, sim_options, schedule);
+    candidate.schedule = std::move(schedule);
+    candidate.origin = std::move(origin);
+    const Height best_before = pool.empty() ? -1 : pool.front().peak;
+    pool.push_back(std::move(candidate));
+    std::sort(pool.begin(), pool.end(), better);
+    if (pool.size() > options.pool_size) pool.resize(options.pool_size);
+    if (pool.front().peak > best_before) ++report.pool_improvements;
+  };
+
+  // Seed (a): the bucket's existing corpus entries.
+  for (const StoredEntry& stored : store.entries()) {
+    if (stored.bucket != bucket) continue;
+    ++report.seeds;
+    consider(stored.entry.schedule, "corpus");
+  }
+
+  // Seed (b): the adversary battery, unrolled over the horizon.
+  std::vector<std::string> battery = {
+      "fixed-deepest", "fixed-sink-child", "train-and-slam", "alternator-13",
+      "pile-on",       "feed-the-block",   "random-uniform"};
+  if (!policy.is_centralized() && policy.locality() >= 1 &&
+      static_cast<std::size_t>(policy.locality()) <= tree.max_depth()) {
+    battery.push_back("staged-l" + std::to_string(policy.locality()));
+  }
+  if (!policy.is_centralized() &&
+      tree.node_count() <= options.seeker_node_cap) {
+    battery.push_back("height-seeker-" +
+                      std::to_string(options.seeker_lookahead));
+  }
+  for (std::size_t i = 0; i < battery.size(); ++i) {
+    adversary::AdversaryContext context;
+    context.tree = &tree;
+    context.policy = &policy;
+    context.options = sim_options;
+    context.seed = derive_seed(options.seed, 101 + i);
+    const AdversaryPtr adv = adversary::make_adversary(battery[i], context);
+    ++report.seeds;
+    consider(unroll_adversary(tree, policy, sim_options, *adv, horizon),
+             "adversary:" + battery[i]);
+  }
+
+  // Seed (c): depth-aligned volleys.
+  for (auto& [schedule, origin] : volley_seeds(tree, sim_options)) {
+    ++report.seeds;
+    consider(std::move(schedule), std::move(origin));
+  }
+
+  CVG_CHECK(!pool.empty()) << "fuzz seeding produced no feasible candidate";
+
+  // Mutation loop.
+  Xoshiro256StarStar rng(derive_seed(options.seed, 1));
+  const auto start = std::chrono::steady_clock::now();
+  const auto expired = [&] {
+    if (options.budget_ms == 0) return false;
+    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - start);
+    return static_cast<std::uint64_t>(elapsed.count()) >= options.budget_ms;
+  };
+  const std::vector<std::string>& mutators = fuzz_mutator_names();
+  for (std::size_t round = 0; round < options.rounds; ++round) {
+    if (expired()) break;
+    const std::size_t which = pick_index(rng, mutators.size());
+    // Copy the parent: `consider` reshuffles the pool.
+    const Schedule parent = pool[pick_index(rng, pool.size())].schedule;
+    Schedule child;
+    switch (which) {
+      case 0:
+        child = mutate_splice(
+            parent, pool[pick_index(rng, pool.size())].schedule, rng);
+        break;
+      case 1:
+        child = mutate_time_shift(parent, rng);
+        break;
+      case 2:
+        child = mutate_node_shift(tree, parent, rng);
+        break;
+      case 3:
+        child = mutate_burst_merge(parent, rng);
+        break;
+      case 4:
+        child = mutate_seeker_extend(tree, policy, sim_options, parent,
+                                     options, rng);
+        break;
+      default:
+        child = mutate_beam_extend(tree, policy, sim_options, parent, options,
+                                   rng);
+        break;
+    }
+    if (child.empty()) continue;
+    consider(std::move(child), mutators[which]);
+  }
+
+  const Candidate& best = pool.front();
+  report.best_peak = best.peak;
+  report.best_origin = best.origin;
+
+  if (best.peak <= 0) {
+    report.admit.reason = "no candidate forced a positive peak";
+    return report;
+  }
+  const std::optional<Height> incumbent = store.best_peak(bucket);
+  if (incumbent.has_value() && best.peak <= *incumbent) {
+    report.admit.peak = best.peak;
+    report.admit.previous = *incumbent;
+    report.admit.reason = "best fuzzed peak " + std::to_string(best.peak) +
+                          " does not beat stored peak " +
+                          std::to_string(*incumbent);
+    return report;
+  }
+
+  report.pre_minimize_steps = best.schedule.size();
+  Schedule winner = best.schedule;
+  if (options.minimize) {
+    MinimizeResult minimized =
+        minimize_schedule(tree, policy, sim_options, std::move(winner),
+                          best.peak, options.minimize_options);
+    winner = std::move(minimized.schedule);
+  }
+  report.final_steps = winner.size();
+
+  CorpusEntry entry = proto;
+  entry.schedule = std::move(winner);
+  entry.peak = best.peak;
+  entry.pre_minimize_steps = static_cast<Step>(report.pre_minimize_steps);
+  entry.provenance = "fuzz seed=" + std::to_string(options.seed) +
+                     " rounds=" + std::to_string(options.rounds) +
+                     " origin=" + best.origin;
+  report.admit = store.admit(std::move(entry));
+  return report;
+}
+
+}  // namespace cvg::corpus

@@ -1,0 +1,160 @@
+#include "cvg/corpus/minimize.hpp"
+
+#include <algorithm>
+
+#include "cvg/corpus/replay.hpp"
+#include "cvg/util/check.hpp"
+
+namespace cvg::corpus {
+
+namespace {
+
+/// Shared state of one minimization run: the current (always target-
+/// preserving) schedule plus the replay budget.
+class Minimizer {
+ public:
+  Minimizer(const Tree& tree, const Policy& policy,
+            const SimOptions& sim_options, adversary::Schedule schedule,
+            Height target, const MinimizeOptions& options)
+      : tree_(tree),
+        policy_(policy),
+        sim_options_(sim_options),
+        schedule_(std::move(schedule)),
+        target_(target),
+        options_(options) {}
+
+  /// Replays `candidate`; on success (peak ≥ target and strictly smaller
+  /// cost) installs it as the current schedule.
+  bool try_accept(adversary::Schedule candidate) {
+    if (replays_ >= options_.max_replays) return false;
+    ++replays_;
+    if (replay_peak(tree_, policy_, sim_options_, candidate) < target_) {
+      return false;
+    }
+    schedule_ = std::move(candidate);
+    return true;
+  }
+
+  /// Pass 1: truncate after the first step that realizes the target.
+  void truncate() {
+    if (replays_ >= options_.max_replays) return;
+    ++replays_;
+    Step first = 0;
+    const Height peak = replay_peak_traced(tree_, policy_, sim_options_,
+                                           schedule_, target_, first);
+    CVG_CHECK(peak >= target_)
+        << "minimizer invariant broken: current schedule lost the target";
+    if (first + 1 < schedule_.size()) {
+      schedule_.resize(first + 1);
+    }
+  }
+
+  /// Pass 2: ddmin over whole steps.  Returns true if anything shrank.
+  bool ddmin_steps() {
+    bool shrank = false;
+    for (std::size_t chunk = std::max<std::size_t>(schedule_.size() / 2, 1);
+         chunk >= 1; chunk /= 2) {
+      std::size_t i = 0;
+      while (i < schedule_.size() && schedule_.size() > 1) {
+        adversary::Schedule candidate;
+        candidate.reserve(schedule_.size());
+        candidate.insert(candidate.end(), schedule_.begin(),
+                         schedule_.begin() + static_cast<std::ptrdiff_t>(i));
+        const std::size_t end = std::min(i + chunk, schedule_.size());
+        candidate.insert(candidate.end(),
+                         schedule_.begin() + static_cast<std::ptrdiff_t>(end),
+                         schedule_.end());
+        if (!candidate.empty() && try_accept(std::move(candidate))) {
+          shrank = true;  // the chunk at i is gone; retry the same position
+        } else {
+          i += chunk;
+        }
+      }
+      if (chunk == 1) break;
+    }
+    return shrank;
+  }
+
+  /// Pass 3: drop individual injections, keeping the step grid.
+  bool drop_packets() {
+    bool shrank = false;
+    for (std::size_t s = 0; s < schedule_.size(); ++s) {
+      for (std::size_t k = 0; k < schedule_[s].size();) {
+        adversary::Schedule candidate = schedule_;
+        candidate[s].erase(candidate[s].begin() +
+                           static_cast<std::ptrdiff_t>(k));
+        if (try_accept(std::move(candidate))) {
+          shrank = true;  // injection k removed; the next one slid into k
+        } else {
+          ++k;
+        }
+      }
+    }
+    return shrank;
+  }
+
+  /// Pass 4: replace injection sites with their parents (never the sink —
+  /// injecting at the sink is a no-op the packet-drop pass handles better).
+  bool lower_nodes() {
+    bool changed = false;
+    for (std::size_t s = 0; s < schedule_.size(); ++s) {
+      for (std::size_t k = 0; k < schedule_[s].size(); ++k) {
+        for (;;) {
+          const NodeId node = schedule_[s][k];
+          const NodeId parent = tree_.parent(node);
+          if (node == Tree::sink() || parent == Tree::sink() ||
+              parent == kNoNode) {
+            break;
+          }
+          adversary::Schedule candidate = schedule_;
+          candidate[s][k] = parent;
+          if (!try_accept(std::move(candidate))) break;
+          changed = true;  // keep walking the same packet towards the sink
+        }
+      }
+    }
+    return changed;
+  }
+
+  MinimizeResult run() {
+    MinimizeResult result;
+    result.initial_steps = schedule_.size();
+    truncate();
+    for (int round = 0; round < options_.max_rounds; ++round) {
+      bool any = ddmin_steps();
+      any = drop_packets() || any;
+      any = lower_nodes() || any;
+      if (!any || replays_ >= options_.max_replays) break;
+    }
+    result.final_steps = schedule_.size();
+    result.peak = replay_peak(tree_, policy_, sim_options_, schedule_);
+    result.replays = replays_ + 1;
+    result.schedule = std::move(schedule_);
+    return result;
+  }
+
+ private:
+  const Tree& tree_;
+  const Policy& policy_;
+  const SimOptions& sim_options_;
+  adversary::Schedule schedule_;
+  Height target_;
+  MinimizeOptions options_;
+  std::uint64_t replays_ = 0;
+};
+
+}  // namespace
+
+MinimizeResult minimize_schedule(const Tree& tree, const Policy& policy,
+                                 const SimOptions& sim_options,
+                                 adversary::Schedule schedule, Height target,
+                                 MinimizeOptions options) {
+  CVG_CHECK(!schedule.empty()) << "cannot minimize an empty schedule";
+  CVG_CHECK(replay_peak(tree, policy, sim_options, schedule) >= target)
+      << "input schedule does not reach the minimization target " << target;
+  Minimizer minimizer(tree, policy, sim_options, std::move(schedule), target,
+                      options);
+  return minimizer.run();
+}
+
+}  // namespace cvg::corpus

@@ -1,0 +1,107 @@
+#include "cvg/corpus/replay.hpp"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "cvg/policy/registry.hpp"
+#include "cvg/util/check.hpp"
+
+namespace cvg::corpus {
+
+SimOptions replay_options(const CorpusEntry& entry) {
+  SimOptions options;
+  options.capacity = entry.capacity;
+  options.burstiness = entry.burstiness;
+  options.semantics = entry.semantics;
+  return options;
+}
+
+Height replay_peak(const Tree& tree, const Policy& policy,
+                   const SimOptions& options,
+                   const adversary::Schedule& schedule) {
+  Simulator sim(tree, policy, options);
+  for (const auto& step : schedule) {
+    sim.step(std::span<const NodeId>(step));
+  }
+  return sim.peak_height();
+}
+
+Height replay_peak_traced(const Tree& tree, const Policy& policy,
+                          const SimOptions& options,
+                          const adversary::Schedule& schedule, Height target,
+                          Step& first_step_reaching) {
+  Simulator sim(tree, policy, options);
+  first_step_reaching = schedule.size();
+  Step index = 0;
+  for (const auto& step : schedule) {
+    sim.step(std::span<const NodeId>(step));
+    if (first_step_reaching == schedule.size() && sim.peak_height() >= target) {
+      first_step_reaching = index;
+    }
+    ++index;
+  }
+  return sim.peak_height();
+}
+
+Height replay_entry(const CorpusEntry& entry) {
+  CVG_CHECK(is_known_policy(entry.policy))
+      << "corpus entry names unknown policy '" << entry.policy << "'";
+  const Tree tree(entry.parents);
+  const PolicyPtr policy = make_policy(entry.policy);
+  return replay_peak(tree, *policy, replay_options(entry), entry.schedule);
+}
+
+std::vector<ReplayCheck> replay_corpus(const std::string& dir) {
+  std::vector<std::string> paths;
+  std::error_code ec;
+  for (const auto& item : std::filesystem::directory_iterator(dir, ec)) {
+    if (item.path().extension() == ".cvgc") {
+      paths.push_back(item.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+
+  std::vector<ReplayCheck> checks;
+  if (ec) {
+    ReplayCheck check;
+    check.path = dir;
+    check.error = "cannot list corpus directory: " + ec.message();
+    checks.push_back(std::move(check));
+    return checks;
+  }
+  for (const std::string& path : paths) {
+    ReplayCheck check;
+    check.path = path;
+    std::string error;
+    const std::optional<CorpusEntry> entry = load_entry(path, error);
+    if (!entry.has_value()) {
+      check.error = error;
+      checks.push_back(std::move(check));
+      continue;
+    }
+    check.label = entry->topology + " / " + entry->policy + " / c=" +
+                  std::to_string(entry->capacity);
+    check.recorded = entry->peak;
+    check.steps = entry->schedule.size();
+    if (!is_known_policy(entry->policy)) {
+      check.error = "unknown policy '" + entry->policy + "'";
+      checks.push_back(std::move(check));
+      continue;
+    }
+    check.replayed = replay_entry(*entry);
+    // The gate is one-sided: replaying *above* the recorded peak still
+    // certifies the stored lower bound (the entry is merely stale); only a
+    // shortfall means a known-bad trace stopped reproducing.
+    check.ok = check.replayed >= check.recorded;
+    checks.push_back(std::move(check));
+  }
+  return checks;
+}
+
+bool replay_all_ok(const std::vector<ReplayCheck>& checks) {
+  if (checks.empty()) return false;
+  return std::all_of(checks.begin(), checks.end(),
+                     [](const ReplayCheck& check) { return check.ok; });
+}
+
+}  // namespace cvg::corpus

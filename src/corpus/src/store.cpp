@@ -1,0 +1,113 @@
+#include "cvg/corpus/store.hpp"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "cvg/corpus/replay.hpp"
+#include "cvg/policy/registry.hpp"
+#include "cvg/util/check.hpp"
+
+namespace cvg::corpus {
+
+CorpusStore::CorpusStore(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  CVG_CHECK(!ec) << "cannot create corpus directory " << dir_ << ": "
+                 << ec.message();
+
+  std::vector<std::string> paths;
+  for (const auto& item : std::filesystem::directory_iterator(dir_)) {
+    if (item.path().extension() == ".cvgc") {
+      paths.push_back(item.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const std::string& path : paths) {
+    std::string error;
+    std::optional<CorpusEntry> entry = load_entry(path, error);
+    if (!entry.has_value()) {
+      load_errors_.push_back(path + ": " + error);
+      continue;
+    }
+    StoredEntry stored;
+    stored.hash = content_hash(*entry);
+    stored.bucket = bucket_key(*entry);
+    stored.path = path;
+    stored.entry = *std::move(entry);
+    entries_.push_back(std::move(stored));
+  }
+}
+
+std::optional<Height> CorpusStore::best_peak(std::uint64_t bucket) const {
+  const StoredEntry* best = best_entry(bucket);
+  if (best == nullptr) return std::nullopt;
+  return best->entry.peak;
+}
+
+const StoredEntry* CorpusStore::best_entry(std::uint64_t bucket) const {
+  const StoredEntry* best = nullptr;
+  for (const StoredEntry& stored : entries_) {
+    if (stored.bucket != bucket) continue;
+    if (best == nullptr || stored.entry.peak > best->entry.peak) {
+      best = &stored;
+    }
+  }
+  return best;
+}
+
+AdmitResult CorpusStore::admit(CorpusEntry candidate) {
+  CVG_CHECK(is_known_policy(candidate.policy))
+      << "cannot admit entry for unknown policy '" << candidate.policy << "'";
+  CVG_CHECK(schedule_is_feasible(candidate.schedule, candidate.parents.size(),
+                                 candidate.capacity, candidate.burstiness))
+      << "cannot admit rate-infeasible schedule";
+
+  AdmitResult result;
+  // Never trust the caller's peak: the stored value is what replay produces
+  // here and now, which is exactly what the regression gate will re-check.
+  result.peak = replay_entry(candidate);
+  candidate.peak = result.peak;
+
+  const std::uint64_t bucket = bucket_key(candidate);
+  const std::optional<Height> incumbent = best_peak(bucket);
+  result.previous = incumbent.value_or(0);
+  if (incumbent.has_value() && result.peak <= *incumbent) {
+    result.reason = "peak " + std::to_string(result.peak) +
+                    " does not beat stored peak " + std::to_string(*incumbent);
+    return result;
+  }
+
+  const std::uint64_t hash = content_hash(candidate);
+  result.path =
+      (std::filesystem::path(dir_) / entry_filename(hash)).string();
+  save_entry(result.path, candidate);
+
+  // One champion per bucket: drop every superseded entry of this bucket
+  // (there is normally exactly one) from disk and from the index.
+  for (const StoredEntry& stored : entries_) {
+    if (stored.bucket == bucket && stored.path != result.path) {
+      std::error_code ec;
+      std::filesystem::remove(stored.path, ec);  // best-effort cleanup
+    }
+  }
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [&](const StoredEntry& stored) {
+                                  return stored.bucket == bucket;
+                                }),
+                 entries_.end());
+
+  StoredEntry stored;
+  stored.hash = hash;
+  stored.bucket = bucket;
+  stored.path = result.path;
+  stored.entry = std::move(candidate);
+  entries_.push_back(std::move(stored));
+
+  result.admitted = true;
+  result.reason = incumbent.has_value()
+                      ? "beats stored peak " + std::to_string(*incumbent)
+                      : "first entry of its bucket";
+  return result;
+}
+
+}  // namespace cvg::corpus

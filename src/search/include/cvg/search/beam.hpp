@@ -9,7 +9,17 @@
 /// (≤ 12 nodes) and the hand-crafted adversaries: it lower-bounds the true
 /// worst case and in practice recovers the known growth shapes (Θ(n) for
 /// Greedy, Θ(√n) for Downhill-or-Flat, Θ(log n) for Odd-Even).
+///
+/// With `keep_schedule` the search additionally records, for every kept
+/// state, which predecessor and injection produced it, and reconstructs the
+/// injection sequence realizing the best peak — this is how the corpus
+/// fuzzer turns a beam run into a replayable, storable trace.  A warm start
+/// from a non-empty configuration (`initial`) lets the fuzzer resume the
+/// search from the end state of an existing corpus entry.
 
+#include <optional>
+
+#include "cvg/core/config.hpp"
 #include "cvg/policy/policy.hpp"
 #include "cvg/sim/simulator.hpp"
 #include "cvg/topology/tree.hpp"
@@ -19,15 +29,22 @@ namespace cvg::search {
 struct BeamOptions {
   std::size_t width = 64;     ///< configurations kept per generation
   Step generations = 1000;    ///< search horizon in steps
+  bool keep_schedule = false; ///< record predecessors, fill BeamResult::schedule
+  /// Start state; empty configuration when not set.  The peak reported is
+  /// over the *explored* states (the initial heights are not counted).
+  std::optional<Configuration> initial;
 };
 
 struct BeamResult {
   Height peak = 0;            ///< best height found (a lower bound)
   Step peak_step = 0;         ///< generation at which it was reached
+  /// With `keep_schedule`: per-step injections realizing `peak` from the
+  /// start state (`kNoNode` = idle step), exactly `peak_step` entries.
+  std::vector<NodeId> schedule;
 };
 
-/// Runs the beam search from the empty configuration.  Requires a
-/// deterministic, non-centralized policy and capacity 1.
+/// Runs the beam search from the start state.  Requires a deterministic,
+/// non-centralized policy and capacity 1.
 [[nodiscard]] BeamResult beam_worst_case(const Tree& tree, const Policy& policy,
                                          SimOptions sim_options,
                                          BeamOptions options = {});

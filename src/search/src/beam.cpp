@@ -1,6 +1,7 @@
 #include "cvg/search/beam.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "cvg/util/check.hpp"
 
@@ -17,6 +18,8 @@ BeamResult beam_worst_case(const Tree& tree, const Policy& policy,
     Height peak;
     std::uint64_t packets;
     std::uint64_t hash;
+    std::size_t parent;  ///< index into the previous kept generation
+    NodeId injected;     ///< injection that produced this state
   };
   const auto hash_of = [](const Configuration& config) {
     std::uint64_t h = 1469598103934665603ULL;  // FNV-1a over the heights
@@ -27,26 +30,52 @@ BeamResult beam_worst_case(const Tree& tree, const Policy& policy,
     return h;
   };
 
+  Configuration start = options.initial.has_value()
+                            ? *options.initial
+                            : Configuration(tree.node_count());
+  CVG_CHECK(start.heights().size() == tree.node_count())
+      << "beam initial configuration does not match the tree";
+
   Simulator sim(tree, policy, sim_options);
   std::vector<Scored> beam;
-  beam.push_back({Configuration(tree.node_count()), 0, 0,
-                  hash_of(Configuration(tree.node_count()))});
+  const std::uint64_t start_hash = hash_of(start);
+  beam.push_back({std::move(start), 0, 0, start_hash, 0, kNoNode});
+
+  // history[k] describes the kept states after k+1 steps: for each one, the
+  // index of its predecessor in the previous kept generation and the
+  // injection that produced it.  Only populated under `keep_schedule`.
+  std::vector<std::vector<std::pair<std::size_t, NodeId>>> history;
 
   BeamResult result;
   std::vector<Scored> next_gen;
   for (Step gen = 0; gen < options.generations; ++gen) {
     next_gen.clear();
-    for (const Scored& state : beam) {
+    for (std::size_t si = 0; si < beam.size(); ++si) {
+      const Scored& state = beam[si];
       for (NodeId t = 0; t < tree.node_count(); ++t) {
+        const NodeId injected = (t == 0 ? kNoNode : t);
         sim.set_config(state.config);
-        sim.step_inject(t == 0 ? kNoNode : t);
+        sim.step_inject(injected);
         const Configuration& next = sim.config();
         const Height peak = next.max_height();
         if (peak > result.peak) {
           result.peak = peak;
           result.peak_step = gen + 1;
+          if (options.keep_schedule) {
+            // Reconstruct the injection path: the new step, then the chain
+            // of (parent, injected) records back to the start state.
+            result.schedule.assign(static_cast<std::size_t>(gen) + 1, kNoNode);
+            result.schedule[static_cast<std::size_t>(gen)] = injected;
+            std::size_t idx = si;
+            for (std::size_t k = static_cast<std::size_t>(gen); k >= 1; --k) {
+              const auto& link = history[k - 1][idx];
+              result.schedule[k - 1] = link.second;
+              idx = link.first;
+            }
+          }
         }
-        next_gen.push_back({next, peak, next.total_packets(), hash_of(next)});
+        next_gen.push_back(
+            {next, peak, next.total_packets(), hash_of(next), si, injected});
       }
     }
     // Keep the best `width` states, deduplicated (equal configurations sort
@@ -63,6 +92,14 @@ BeamResult beam_worst_case(const Tree& tree, const Policy& policy,
                                }),
                    next_gen.end());
     if (next_gen.size() > options.width) next_gen.resize(options.width);
+    if (options.keep_schedule) {
+      std::vector<std::pair<std::size_t, NodeId>> kept;
+      kept.reserve(next_gen.size());
+      for (const Scored& state : next_gen) {
+        kept.emplace_back(state.parent, state.injected);
+      }
+      history.push_back(std::move(kept));
+    }
     beam.swap(next_gen);
   }
   return result;

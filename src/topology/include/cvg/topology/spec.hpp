@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file spec.hpp
+/// Textual topology specifications, so CLIs and corpus tools can name a tree
+/// family + size in one token instead of hard-coding builder calls.
+///
+/// Grammar (one token, no spaces):
+///
+///     path:<n>                  build::path(n)
+///     star:<b>                  build::star(b)
+///     spider:<b>x<len>          build::spider(b, len)
+///     staggered-spider:<b>      build::spider_staggered(b)
+///     kary:<arity>x<levels>     build::complete_kary(arity, levels)
+///     caterpillar:<spine>x<legs>  build::caterpillar(spine, legs)
+///     broom:<handle>x<bristles>   build::broom(handle, bristles)
+///     random-recursive:<n>:<seed> build::random_recursive(n, rng(seed))
+///
+/// Specs are deterministic: the same string always builds the same tree
+/// (randomized families carry their seed in the spec).
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cvg/topology/tree.hpp"
+
+namespace cvg::build {
+
+/// Builds the tree named by `spec`; aborts on malformed or unknown specs
+/// (use `is_known_topology_spec` first for untrusted input).
+[[nodiscard]] Tree make_tree(std::string_view spec);
+
+/// True iff `make_tree(spec)` would succeed.
+[[nodiscard]] bool is_known_topology_spec(std::string_view spec);
+
+/// One example spec per family, for usage messages.
+[[nodiscard]] std::vector<std::string> topology_spec_examples();
+
+}  // namespace cvg::build

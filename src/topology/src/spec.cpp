@@ -1,0 +1,116 @@
+#include "cvg/topology/spec.hpp"
+
+#include <charconv>
+#include <optional>
+
+#include "cvg/topology/builders.hpp"
+#include "cvg/util/check.hpp"
+#include "cvg/util/rng.hpp"
+#include "cvg/util/str.hpp"
+
+namespace cvg::build {
+
+namespace {
+
+/// Parses a whole-token decimal number (no sign, no trailing garbage).
+std::optional<std::uint64_t> parse_number(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+/// Splits "<a>x<b>" into two numbers.
+std::optional<std::pair<std::uint64_t, std::uint64_t>> parse_pair(
+    std::string_view text) {
+  const std::size_t cross = text.find('x');
+  if (cross == std::string_view::npos) return std::nullopt;
+  const auto a = parse_number(text.substr(0, cross));
+  const auto b = parse_number(text.substr(cross + 1));
+  if (!a || !b) return std::nullopt;
+  return std::make_pair(*a, *b);
+}
+
+/// The family table: each entry validates its argument string and, when not
+/// in dry-run mode, builds the tree.  `try_build` returns nullopt for
+/// unknown/malformed specs so `is_known_topology_spec` shares the parser.
+std::optional<Tree> try_build(std::string_view spec, bool dry_run) {
+  const std::size_t colon = spec.find(':');
+  if (colon == std::string_view::npos || colon == 0) return std::nullopt;
+  const std::string_view family = spec.substr(0, colon);
+  const std::string_view args = spec.substr(colon + 1);
+  const auto tiny = [&] { return Tree({kNoNode, 0}); };
+
+  if (family == "path") {
+    const auto n = parse_number(args);
+    if (!n || *n < 2) return std::nullopt;
+    return dry_run ? tiny() : path(*n);
+  }
+  if (family == "star") {
+    const auto b = parse_number(args);
+    if (!b || *b < 1) return std::nullopt;
+    return dry_run ? tiny() : star(*b);
+  }
+  if (family == "spider") {
+    const auto pair = parse_pair(args);
+    if (!pair || pair->first < 1 || pair->second < 1) return std::nullopt;
+    return dry_run ? tiny() : spider(pair->first, pair->second);
+  }
+  if (family == "staggered-spider") {
+    const auto b = parse_number(args);
+    if (!b || *b < 1) return std::nullopt;
+    return dry_run ? tiny() : spider_staggered(*b);
+  }
+  if (family == "kary") {
+    const auto pair = parse_pair(args);
+    if (!pair || pair->first < 1 || pair->second < 1) return std::nullopt;
+    return dry_run ? tiny() : complete_kary(pair->first, pair->second);
+  }
+  if (family == "caterpillar") {
+    const auto pair = parse_pair(args);
+    if (!pair || pair->first < 1) return std::nullopt;
+    return dry_run ? tiny() : caterpillar(pair->first, pair->second);
+  }
+  if (family == "broom") {
+    const auto pair = parse_pair(args);
+    if (!pair || pair->first < 1 || pair->second < 1) return std::nullopt;
+    return dry_run ? tiny() : broom(pair->first, pair->second);
+  }
+  if (family == "random-recursive") {
+    const std::size_t second_colon = args.find(':');
+    if (second_colon == std::string_view::npos) return std::nullopt;
+    const auto n = parse_number(args.substr(0, second_colon));
+    const auto seed = parse_number(args.substr(second_colon + 1));
+    if (!n || *n < 2 || !seed) return std::nullopt;
+    if (dry_run) return tiny();
+    Xoshiro256StarStar rng(*seed);
+    return random_recursive(*n, rng);
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+Tree make_tree(std::string_view spec) {
+  std::optional<Tree> tree = try_build(spec, /*dry_run=*/false);
+  CVG_CHECK(tree.has_value())
+      << "unknown topology spec '" << spec << "' (examples: "
+      << join(topology_spec_examples(), ", ") << ")";
+  return *std::move(tree);
+}
+
+bool is_known_topology_spec(std::string_view spec) {
+  return try_build(spec, /*dry_run=*/true).has_value();
+}
+
+std::vector<std::string> topology_spec_examples() {
+  return {"path:32",        "star:8",          "spider:8x4",
+          "staggered-spider:8", "kary:2x5",    "caterpillar:12x2",
+          "broom:8x8",      "random-recursive:64:1"};
+}
+
+}  // namespace cvg::build

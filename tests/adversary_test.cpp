@@ -239,6 +239,23 @@ TEST(AdversaryRegistry, KnownNames) {
   EXPECT_FALSE(is_known_adversary("staged-l0"));
 }
 
+TEST(AdversaryRegistry, FixedMiddleTargetsHalfMaxDepth) {
+  // "fixed-middle" resolves Site::Middle: a node at half the maximum depth.
+  const Tree tree = build::path(9);
+  EXPECT_EQ(adversary::resolve_site(tree, adversary::Site::Middle), 4);
+
+  OddEvenPolicy policy;
+  adversary::AdversaryContext context;
+  context.tree = &tree;
+  AdversaryPtr middle = adversary::make_adversary("fixed-middle", context);
+  const RunResult result = run(tree, policy, *middle, 60);
+  EXPECT_GT(result.injected, 0);
+  // Everything lands at depth 4, so nothing ever sits below it.
+  for (NodeId v = 5; v < tree.node_count(); ++v) {
+    EXPECT_EQ(result.final_config.height(v), 0) << v;
+  }
+}
+
 TEST(AdversaryRegistry, ConstructsWithContext) {
   const Tree tree = build::path(33);
   OddEvenPolicy policy;

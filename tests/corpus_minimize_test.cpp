@@ -1,0 +1,117 @@
+// Tests for the delta-debugging trace minimizer: the ISSUE's <= 50% shrink
+// bound on padded traces, peak preservation, idempotence, graceful budget
+// exhaustion, and the abort contract for unreachable targets.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "cvg/corpus/minimize.hpp"
+#include "cvg/corpus/replay.hpp"
+#include "cvg/policy/registry.hpp"
+#include "cvg/topology/tree.hpp"
+
+namespace cvg::corpus {
+namespace {
+
+/// c = 1, sigma = 8: room for one large burst plus trickle noise.
+SimOptions bursty_options() {
+  SimOptions options;
+  options.capacity = 1;
+  options.burstiness = 8;
+  return options;
+}
+
+/// A deliberately bloated trace on an 8-node path: 40 steps, mostly idle,
+/// one 6-packet burst at the deepest node buried in the middle, plus
+/// trickle injections the peak never needs.  Under greedy, peak = 6 lands
+/// the moment the burst does, so almost the whole trace is dead weight.
+adversary::Schedule padded_burst_schedule() {
+  adversary::Schedule schedule(40);
+  schedule[10] = std::vector<NodeId>(6, 7);
+  schedule[3] = {3};
+  schedule[17] = {4};
+  schedule[25] = {3};
+  schedule[33] = {2};
+  return schedule;
+}
+
+TEST(CorpusMinimize, ShrinksPaddedTraceToAtMostHalf) {
+  const Tree tree(std::vector<NodeId>{kNoNode, 0, 1, 2, 3, 4, 5, 6});
+  const PolicyPtr policy = make_policy("greedy");
+  const SimOptions options = bursty_options();
+  const adversary::Schedule input = padded_burst_schedule();
+  const Height target = replay_peak(tree, *policy, options, input);
+  ASSERT_GE(target, 6);
+
+  const MinimizeResult result =
+      minimize_schedule(tree, *policy, options, input, target);
+  EXPECT_EQ(result.initial_steps, input.size());
+  EXPECT_LE(result.final_steps, input.size() / 2)
+      << "minimizer left more than half of a mostly-idle trace";
+  EXPECT_EQ(result.schedule.size(), result.final_steps);
+  EXPECT_GE(result.peak, target);
+  EXPECT_GT(result.replays, 0u);
+  // The reported peak is the actual replayed peak of the output.
+  EXPECT_EQ(replay_peak(tree, *policy, options, result.schedule), result.peak);
+}
+
+TEST(CorpusMinimize, DropsTrickleInjectionsThePeakNeverNeeded) {
+  const Tree tree(std::vector<NodeId>{kNoNode, 0, 1, 2, 3, 4, 5, 6});
+  const PolicyPtr policy = make_policy("greedy");
+  const SimOptions options = bursty_options();
+  const MinimizeResult result = minimize_schedule(
+      tree, *policy, options, padded_burst_schedule(), /*target=*/6);
+  std::size_t injections = 0;
+  for (const auto& step : result.schedule) injections += step.size();
+  // The burst alone suffices; every trickle packet should be gone.
+  EXPECT_EQ(injections, 6u);
+}
+
+TEST(CorpusMinimize, IsIdempotent) {
+  const Tree tree(std::vector<NodeId>{kNoNode, 0, 1, 2, 3, 4, 5, 6});
+  const PolicyPtr policy = make_policy("greedy");
+  const SimOptions options = bursty_options();
+  const MinimizeResult once = minimize_schedule(
+      tree, *policy, options, padded_burst_schedule(), /*target=*/6);
+  const MinimizeResult twice = minimize_schedule(
+      tree, *policy, options, once.schedule, /*target=*/6);
+  EXPECT_EQ(twice.schedule, once.schedule)
+      << "re-minimizing a minimal trace changed it";
+  EXPECT_EQ(twice.final_steps, twice.initial_steps);
+}
+
+TEST(CorpusMinimize, ExhaustedBudgetStillReturnsAValidTrace) {
+  const Tree tree(std::vector<NodeId>{kNoNode, 0, 1, 2, 3, 4, 5, 6});
+  const PolicyPtr policy = make_policy("greedy");
+  const SimOptions options = bursty_options();
+  MinimizeOptions tight;
+  tight.max_replays = 1;
+  const MinimizeResult result = minimize_schedule(
+      tree, *policy, options, padded_burst_schedule(), /*target=*/6, tight);
+  EXPECT_LE(result.final_steps, result.initial_steps);
+  EXPECT_GE(result.peak, 6);
+  EXPECT_GE(replay_peak(tree, *policy, options, result.schedule), 6);
+}
+
+TEST(CorpusMinimizeDeath, AbortsWhenTargetIsUnreachable) {
+  const Tree tree(std::vector<NodeId>{kNoNode, 0, 1, 2});
+  const PolicyPtr policy = make_policy("greedy");
+  const SimOptions options = bursty_options();
+  const adversary::Schedule schedule = {{3, 3}};
+  EXPECT_DEATH(
+      (void)minimize_schedule(tree, *policy, options, schedule, /*target=*/50),
+      "does not reach the minimization target");
+}
+
+TEST(CorpusMinimizeDeath, AbortsOnEmptySchedule) {
+  const Tree tree(std::vector<NodeId>{kNoNode, 0, 1, 2});
+  const PolicyPtr policy = make_policy("greedy");
+  EXPECT_DEATH((void)minimize_schedule(tree, *policy, bursty_options(), {},
+                                       /*target=*/1),
+               "empty schedule");
+}
+
+}  // namespace
+}  // namespace cvg::corpus

@@ -1,0 +1,185 @@
+// Tests for the corpus store: replay-verified admission, one champion per
+// bucket, persistence across reopen, resilience to corrupt files, and the
+// regression gate (including the checked-in starter corpus and the
+// deliberately broken tests/corpus_bad fixture).
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "cvg/corpus/replay.hpp"
+#include "cvg/corpus/store.hpp"
+
+namespace cvg::corpus {
+namespace {
+
+/// Fresh scratch directory per test.
+std::string scratch_dir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "/cvg_store_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+/// A burst entry on a path: with sigma = 8 and c = 1, injecting k packets
+/// at the deepest node in one step forces peak exactly >= k immediately,
+/// so tests can dial in strictly ordered peaks.
+CorpusEntry burst_entry(int k) {
+  CorpusEntry entry;
+  entry.parents = {kNoNode, 0, 1, 2};
+  entry.topology = "path:4";
+  entry.policy = "greedy";
+  entry.provenance = "store test burst-" + std::to_string(k);
+  entry.capacity = 1;
+  entry.burstiness = 8;
+  entry.schedule = {std::vector<NodeId>(static_cast<std::size_t>(k), 3)};
+  return entry;
+}
+
+TEST(CorpusStore, AdmitsFirstEntryOfABucket) {
+  CorpusStore store(scratch_dir("first"));
+  const AdmitResult result = store.admit(burst_entry(2));
+  EXPECT_TRUE(result.admitted);
+  EXPECT_EQ(result.peak, 2);
+  EXPECT_EQ(result.previous, 0);
+  EXPECT_TRUE(std::filesystem::exists(result.path));
+  EXPECT_EQ(store.entries().size(), 1u);
+}
+
+TEST(CorpusStore, OverwritesCallerClaimedPeakWithReplayedPeak) {
+  CorpusStore store(scratch_dir("claimed"));
+  CorpusEntry entry = burst_entry(2);
+  entry.peak = 999;  // lying caller
+  const AdmitResult result = store.admit(entry);
+  ASSERT_TRUE(result.admitted);
+  EXPECT_EQ(result.peak, 2);
+  EXPECT_EQ(store.entries().front().entry.peak, 2);
+  // And the stored file passes the gate (a stored lie would fail it).
+  const auto checks = replay_corpus(store.dir());
+  EXPECT_TRUE(replay_all_ok(checks));
+}
+
+TEST(CorpusStore, RejectsNonImprovingCandidates) {
+  CorpusStore store(scratch_dir("reject"));
+  ASSERT_TRUE(store.admit(burst_entry(3)).admitted);
+  const AdmitResult same = store.admit(burst_entry(3));
+  EXPECT_FALSE(same.admitted);
+  EXPECT_EQ(same.previous, 3);
+  const AdmitResult worse = store.admit(burst_entry(2));
+  EXPECT_FALSE(worse.admitted);
+  EXPECT_EQ(store.entries().size(), 1u);
+}
+
+TEST(CorpusStore, KeepsOneChampionPerBucket) {
+  const std::string dir = scratch_dir("champion");
+  CorpusStore store(dir);
+  const AdmitResult small = store.admit(burst_entry(2));
+  const AdmitResult big = store.admit(burst_entry(4));
+  ASSERT_TRUE(small.admitted);
+  ASSERT_TRUE(big.admitted);
+  EXPECT_EQ(big.previous, 2);
+  EXPECT_FALSE(std::filesystem::exists(small.path))
+      << "superseded entry should be removed";
+  EXPECT_TRUE(std::filesystem::exists(big.path));
+  EXPECT_EQ(store.entries().size(), 1u);
+  EXPECT_EQ(store.entries().front().entry.peak, 4);
+}
+
+TEST(CorpusStore, DistinctBucketsDoNotCompete) {
+  CorpusStore store(scratch_dir("buckets"));
+  ASSERT_TRUE(store.admit(burst_entry(3)).admitted);
+  CorpusEntry other = burst_entry(2);
+  other.policy = "odd-even";  // different bucket
+  EXPECT_TRUE(store.admit(other).admitted);
+  EXPECT_EQ(store.entries().size(), 2u);
+}
+
+TEST(CorpusStore, PersistsAcrossReopen) {
+  const std::string dir = scratch_dir("reopen");
+  {
+    CorpusStore store(dir);
+    ASSERT_TRUE(store.admit(burst_entry(5)).admitted);
+  }
+  CorpusStore reopened(dir);
+  ASSERT_EQ(reopened.entries().size(), 1u);
+  EXPECT_EQ(reopened.entries().front().entry.peak, 5);
+  EXPECT_TRUE(reopened.load_errors().empty());
+  // And the next admission still has to beat the persisted champion.
+  EXPECT_FALSE(reopened.admit(burst_entry(5)).admitted);
+  EXPECT_TRUE(reopened.admit(burst_entry(6)).admitted);
+}
+
+TEST(CorpusStore, CorruptFileIsReportedNotFatal) {
+  const std::string dir = scratch_dir("corrupt");
+  {
+    CorpusStore store(dir);
+    ASSERT_TRUE(store.admit(burst_entry(2)).admitted);
+  }
+  {
+    std::ofstream junk(dir + "/zz_junk.cvgc", std::ios::binary);
+    junk << "not a corpus entry";
+  }
+  CorpusStore reopened(dir);
+  EXPECT_EQ(reopened.entries().size(), 1u);
+  ASSERT_EQ(reopened.load_errors().size(), 1u);
+  EXPECT_NE(reopened.load_errors().front().find("zz_junk"), std::string::npos);
+  // The gate, however, must fail: a corpus with an unreadable entry cannot
+  // certify anything.
+  EXPECT_FALSE(replay_all_ok(replay_corpus(dir)));
+}
+
+TEST(CorpusReplayGate, FailsWhenRecordedPeakIsInflated) {
+  const std::string dir = scratch_dir("inflated");
+  std::filesystem::create_directories(dir);
+  CorpusEntry entry = burst_entry(2);
+  entry.peak = 50;  // stored directly, bypassing the admission replay
+  save_entry(dir + "/" + entry_filename(content_hash(entry)), entry);
+  const auto checks = replay_corpus(dir);
+  ASSERT_EQ(checks.size(), 1u);
+  EXPECT_FALSE(checks.front().ok);
+  EXPECT_EQ(checks.front().recorded, 50);
+  EXPECT_EQ(checks.front().replayed, 2);
+  EXPECT_FALSE(replay_all_ok(checks));
+}
+
+TEST(CorpusReplayGate, FailsOnUnknownPolicy) {
+  const std::string dir = scratch_dir("unknown_policy");
+  std::filesystem::create_directories(dir);
+  CorpusEntry entry = burst_entry(2);
+  entry.policy = "no-such-policy";
+  save_entry(dir + "/" + entry_filename(content_hash(entry)), entry);
+  const auto checks = replay_corpus(dir);
+  ASSERT_EQ(checks.size(), 1u);
+  EXPECT_FALSE(checks.front().ok);
+  EXPECT_NE(checks.front().error.find("policy"), std::string::npos);
+}
+
+TEST(CorpusReplayGate, EmptyCorpusDoesNotCertify) {
+  const std::string dir = scratch_dir("empty");
+  std::filesystem::create_directories(dir);
+  EXPECT_FALSE(replay_all_ok(replay_corpus(dir)));
+}
+
+TEST(StarterCorpus, EveryCheckedInEntryReproduces) {
+  // The library-level twin of the `cvg corpus replay tests/corpus` CI gate.
+  const std::string dir = std::string(CVG_REPO_ROOT) + "/tests/corpus";
+  const auto checks = replay_corpus(dir);
+  EXPECT_GE(checks.size(), 4u) << "starter corpus went missing";
+  for (const ReplayCheck& check : checks) {
+    EXPECT_TRUE(check.ok) << check.path << ": recorded " << check.recorded
+                          << ", replayed " << check.replayed << " "
+                          << check.error;
+  }
+  EXPECT_TRUE(replay_all_ok(checks));
+}
+
+TEST(StarterCorpus, BadFixtureFailsTheGate) {
+  const std::string dir = std::string(CVG_REPO_ROOT) + "/tests/corpus_bad";
+  const auto checks = replay_corpus(dir);
+  ASSERT_FALSE(checks.empty());
+  EXPECT_FALSE(replay_all_ok(checks));
+}
+
+}  // namespace
+}  // namespace cvg::corpus

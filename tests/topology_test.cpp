@@ -6,6 +6,7 @@
 #include <set>
 
 #include "cvg/topology/builders.hpp"
+#include "cvg/topology/spec.hpp"
 #include "cvg/topology/tree.hpp"
 
 namespace cvg {
@@ -167,6 +168,43 @@ TEST(TreeRender, AsciiWithAnnotations) {
 TEST(Tree, EqualityByStructure) {
   EXPECT_EQ(build::path(4), build::path(4));
   EXPECT_NE(build::path(4), build::path(5));
+}
+
+TEST(TopologySpec, SpecsMatchTheirBuilders) {
+  EXPECT_EQ(build::make_tree("path:7"), build::path(7));
+  EXPECT_EQ(build::make_tree("star:5"), build::star(5));
+  EXPECT_EQ(build::make_tree("spider:3x4"), build::spider(3, 4));
+  EXPECT_EQ(build::make_tree("staggered-spider:6"), build::spider_staggered(6));
+  EXPECT_EQ(build::make_tree("kary:2x3"), build::complete_kary(2, 3));
+  EXPECT_EQ(build::make_tree("caterpillar:5x2"), build::caterpillar(5, 2));
+  EXPECT_EQ(build::make_tree("broom:4x3"), build::broom(4, 3));
+}
+
+TEST(TopologySpec, RandomRecursiveCarriesItsSeed) {
+  // Specs are deterministic: the seed lives in the spec string.
+  EXPECT_EQ(build::make_tree("random-recursive:20:9"),
+            build::make_tree("random-recursive:20:9"));
+  EXPECT_NE(build::make_tree("random-recursive:20:9"),
+            build::make_tree("random-recursive:20:10"));
+}
+
+TEST(TopologySpec, KnownSpecPredicateMatchesTheGrammar) {
+  for (const std::string& example : build::topology_spec_examples()) {
+    EXPECT_TRUE(build::is_known_topology_spec(example)) << example;
+    EXPECT_GE(build::make_tree(example).node_count(), 2u) << example;
+  }
+  EXPECT_FALSE(build::is_known_topology_spec(""));
+  EXPECT_FALSE(build::is_known_topology_spec("path"));
+  EXPECT_FALSE(build::is_known_topology_spec("path:"));
+  EXPECT_FALSE(build::is_known_topology_spec("path:1"));
+  EXPECT_FALSE(build::is_known_topology_spec("path:x"));
+  EXPECT_FALSE(build::is_known_topology_spec("spider:3"));
+  EXPECT_FALSE(build::is_known_topology_spec("random-recursive:20"));
+  EXPECT_FALSE(build::is_known_topology_spec("mobius:8"));
+}
+
+TEST(TopologySpecDeathTest, MakeTreeAbortsOnUnknownSpec) {
+  EXPECT_DEATH((void)build::make_tree("mobius:8"), "unknown topology spec");
 }
 
 }  // namespace

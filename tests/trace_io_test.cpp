@@ -12,6 +12,7 @@
 #include "cvg/search/exhaustive.hpp"
 #include "cvg/sim/runner.hpp"
 #include "cvg/topology/builders.hpp"
+#include "cvg/util/rng.hpp"
 
 namespace cvg::adversary {
 namespace {
@@ -24,6 +25,28 @@ TEST(TraceIo, RoundTrip) {
   const Schedule loaded = read_schedule(buffer, nodes);
   EXPECT_EQ(nodes, 9u);
   EXPECT_EQ(loaded, schedule);
+}
+
+TEST(TraceIo, RoundTripsRandomSchedules) {
+  // Property test: any schedule (idle steps, repeated nodes, multi-packet
+  // bursts) survives write -> read bit-exactly, for 200 random instances.
+  Xoshiro256StarStar rng(20260807);
+  for (int iter = 0; iter < 200; ++iter) {
+    const std::size_t nodes = 2 + rng.below(30);
+    Schedule schedule(rng.below(25));
+    for (auto& step : schedule) {
+      const std::uint64_t count = rng.below(4);
+      for (std::uint64_t k = 0; k < count; ++k) {
+        step.push_back(static_cast<NodeId>(rng.below(nodes)));
+      }
+    }
+    std::stringstream buffer;
+    write_schedule(buffer, schedule, nodes);
+    std::size_t loaded_nodes = 0;
+    const Schedule loaded = read_schedule(buffer, loaded_nodes);
+    ASSERT_EQ(loaded_nodes, nodes);
+    ASSERT_EQ(loaded, schedule) << "round-trip mismatch at iteration " << iter;
+  }
 }
 
 TEST(TraceIo, GoldenFormat) {
