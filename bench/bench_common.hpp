@@ -21,6 +21,7 @@
 #include "cvg/report/table.hpp"
 #include "cvg/sim/runner.hpp"
 #include "cvg/topology/builders.hpp"
+#include "cvg/util/check.hpp"
 #include "cvg/util/rng.hpp"
 #include "cvg/util/str.hpp"
 #include "experiment.hpp"
@@ -52,6 +53,29 @@ inline void print_table(const std::string& title, const report::Table& table,
   if (flags.csv) {
     std::printf("-- csv --\n%s", table.to_csv().c_str());
   }
+  std::fflush(stdout);
+}
+
+/// Named variant: under `--json`, additionally writes the table as a
+/// trajectory file `BENCH_<json_name>.json` in the working directory —
+/// `{"title": ..., "rows": <to_json()>}` — so sweep tooling can track a
+/// bench's trajectory across commits without scraping text tables.
+inline void print_table(const std::string& title, const report::Table& table,
+                        const Flags& flags, const std::string& json_name) {
+  print_table(title, table, flags);
+  if (!flags.json) return;
+  const std::string path = "BENCH_" + json_name + ".json";
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  CVG_CHECK(out != nullptr) << "cannot write " << path;
+  std::string quoted_title;
+  for (const char ch : title) {
+    if (ch == '"' || ch == '\\') quoted_title += '\\';
+    quoted_title += ch;
+  }
+  std::fprintf(out, "{\"title\":\"%s\",\"rows\":%s}\n", quoted_title.c_str(),
+               table.to_json().c_str());
+  std::fclose(out);
+  std::printf("-- json: %s --\n", path.c_str());
   std::fflush(stdout);
 }
 

@@ -1,0 +1,195 @@
+/// \file bench_serve.cpp
+/// E18 — the simulation service end to end (DESIGN.md §4, EXPERIMENTS.md).
+///
+/// Phase 1 (socket smoke): starts the service on a Unix domain socket,
+/// replays every starter-corpus entry through it, and checks each replayed
+/// peak against a direct in-process `corpus::replay_entry` — the service
+/// transport and executors must not change a single peak.  The service is
+/// then stopped through its own `shutdown` op.
+///
+/// Phase 2 (cache throughput): issues the same sweep repeatedly against one
+/// service.  The first issue is cold (every cell simulates); repeats hit the
+/// content-addressed cache.  The acceptance criterion for the subsystem is a
+/// ≥ 10x warm-vs-cold throughput ratio — cache hits skip simulation
+/// entirely, so the margin is normally orders of magnitude.
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "bench_common.hpp"
+#include "cvg/corpus/format.hpp"
+#include "cvg/corpus/replay.hpp"
+#include "cvg/serve/json.hpp"
+#include "cvg/serve/service.hpp"
+#include "cvg/serve/transport.hpp"
+
+namespace cvg::bench {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[nodiscard]] double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Extracts result.<key> as an integer from a service response line,
+/// aborting with context when the response is not the expected shape (this
+/// is a bench over our own service — a malformed response is a bug).
+[[nodiscard]] std::int64_t result_int(const std::string& response,
+                                      const char* key) {
+  std::string error;
+  const auto parsed = serve::parse_json(response, error);
+  CVG_CHECK(parsed.has_value()) << "unparseable response: " << error;
+  const serve::JsonValue* ok = parsed->find("ok");
+  CVG_CHECK(ok != nullptr && ok->is_bool() && ok->as_bool())
+      << "error response: " << response;
+  const serve::JsonValue* result = parsed->find("result");
+  CVG_CHECK(result != nullptr) << "response without result: " << response;
+  const serve::JsonValue* value = result->find(key);
+  CVG_CHECK(value != nullptr && value->is_int())
+      << "result without integer " << key << ": " << response;
+  return value->as_int();
+}
+
+/// Phase 1: replay the starter corpus through the socket transport and
+/// compare with direct replay.  Returns the number of entries checked.
+std::size_t socket_smoke(const Flags& flags, report::Table& table) {
+  const std::string corpus_dir = std::string(CVG_REPO_ROOT) + "/tests/corpus";
+  std::vector<std::string> paths;
+  for (const auto& item : std::filesystem::directory_iterator(corpus_dir)) {
+    if (item.path().extension() == ".cvgc") paths.push_back(item.path().string());
+  }
+  std::sort(paths.begin(), paths.end());
+  CVG_CHECK(!paths.empty()) << "starter corpus is empty: " << corpus_dir;
+
+  const std::string socket_path =
+      "/tmp/cvg_bench_serve_" + std::to_string(::getpid()) + ".sock";
+  serve::ServiceOptions options;
+  options.threads = flags.threads;
+  serve::Service service(options);
+  std::atomic<bool> stop{false};
+  std::thread server([&] {
+    (void)serve::serve_unix_socket(service, socket_path, stop);
+  });
+  // Wait for the socket to come up (bounded; the bind happens immediately).
+  for (int tries = 0; tries < 200; ++tries) {
+    if (std::filesystem::exists(socket_path)) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  std::size_t checked = 0;
+  for (const std::string& path : paths) {
+    const std::string request = std::string("{\"op\":\"replay\",\"file\":") +
+                                serve::json_quote(path) + "}";
+    std::string error;
+    const auto response = serve::submit_unix_socket(socket_path, request, error);
+    CVG_CHECK(response.has_value()) << "submit failed: " << error;
+    const std::int64_t served = result_int(*response, "replayed");
+
+    std::string load_error;
+    const auto entry = corpus::load_entry(path, load_error);
+    CVG_CHECK(entry.has_value()) << load_error;
+    const Height direct = corpus::replay_entry(*entry);
+    CVG_CHECK(served == direct)
+        << path << ": served peak " << served << " != direct " << direct;
+    ++checked;
+  }
+
+  // Stop through the service's own graceful path, then unblock the accept
+  // loop (it polls its stop flag every 100ms).
+  std::string error;
+  const auto bye = serve::submit_unix_socket(
+      socket_path, "{\"op\":\"shutdown\",\"id\":\"bye\"}", error);
+  CVG_CHECK(bye.has_value()) << "shutdown submit failed: " << error;
+  server.join();
+
+  table.row("socket replay smoke", checked, "-", "-", "peaks match direct");
+  return checked;
+}
+
+/// Phase 2: repeated sweep against one service; cold vs warm throughput.
+void cache_throughput(const Flags& flags, report::Table& table) {
+  const std::vector<std::string> topologies =
+      flags.smoke ? std::vector<std::string>{"path:512", "spider:16x16"}
+                  : std::vector<std::string>{"path:4096", "spider:64x64",
+                                             "staggered-spider:64",
+                                             "broom:1024x1024"};
+  const std::vector<std::string> policies =
+      flags.smoke ? std::vector<std::string>{"odd-even", "greedy"}
+                  : std::vector<std::string>{"odd-even", "greedy", "downhill"};
+  const Step steps = flags.smoke ? 2048 : 8192;
+
+  std::string request = "{\"op\":\"sweep\",\"topologies\":[";
+  for (std::size_t i = 0; i < topologies.size(); ++i) {
+    if (i != 0) request += ",";
+    request += serve::json_quote(topologies[i]);
+  }
+  request += "],\"policies\":[";
+  for (std::size_t i = 0; i < policies.size(); ++i) {
+    if (i != 0) request += ",";
+    request += serve::json_quote(policies[i]);
+  }
+  request += "],\"adversary\":\"train-and-slam\",\"steps\":" +
+             std::to_string(steps) + "}";
+
+  serve::ServiceOptions options;
+  options.threads = flags.threads;
+  serve::Service service(options);
+  const std::size_t cells = topologies.size() * policies.size();
+
+  const Clock::time_point cold_start = Clock::now();
+  const std::string cold_response = service.process_line(request);
+  const double cold_seconds = seconds_since(cold_start);
+  CVG_CHECK(result_int(cold_response, "cached_cells") == 0)
+      << "first sweep must be fully cold";
+
+  const int warm_rounds = flags.smoke ? 20 : 50;
+  const Clock::time_point warm_start = Clock::now();
+  for (int round = 0; round < warm_rounds; ++round) {
+    const std::string response = service.process_line(request);
+    CVG_CHECK(result_int(response, "cached_cells") ==
+              static_cast<std::int64_t>(cells))
+        << "warm sweep must be fully cached";
+  }
+  const double warm_seconds = seconds_since(warm_start) / warm_rounds;
+
+  const double cold_jobs_per_sec = static_cast<double>(cells) / cold_seconds;
+  const double warm_jobs_per_sec = static_cast<double>(cells) / warm_seconds;
+  const double speedup = cold_seconds / warm_seconds;
+
+  const serve::CacheStats cache = service.cache_stats();
+  const std::uint64_t lookups = cache.hits + cache.spill_hits + cache.misses;
+  const double hit_rate =
+      lookups == 0 ? 0.0
+                   : static_cast<double>(cache.hits + cache.spill_hits) /
+                         static_cast<double>(lookups);
+
+  table.row("sweep cold", cells, cold_jobs_per_sec, "1.00",
+            std::to_string(steps) + " steps/cell");
+  table.row("sweep warm", cells, warm_jobs_per_sec, speedup,
+            "hit rate " + format_fixed(hit_rate, 3));
+
+  // The subsystem's acceptance criterion: warm throughput ≥ 10x cold.
+  CVG_CHECK(speedup >= 10.0)
+      << "cache speedup " << speedup << "x is below the 10x floor";
+}
+
+}  // namespace
+
+CVG_EXPERIMENT(18, "E18", "simulation service: socket smoke + result cache") {
+  report::Table table({"phase", "jobs", "jobs/sec", "speedup", "notes"});
+  (void)socket_smoke(flags, table);
+  cache_throughput(flags, table);
+  print_table("E18: simulation service over NDJSON (replay smoke via Unix "
+              "socket; repeated sweep, content-addressed cache)",
+              table, flags, "serve");
+}
+
+}  // namespace cvg::bench

@@ -90,7 +90,7 @@ void engine_table(const Flags& flags) {
   print_table("E16: step-engine throughput, odd-even on a directed path "
               "(sparse crossover default = " +
                   std::to_string(kSparseCrossover) + ")",
-              table, flags);
+              table, flags, "step_engine");
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 #include <cstdlib>
 
 #include "corpus_cli.hpp"
+#include "serve_cli.hpp"
 
 #include "cvg/parallel/parallel_for.hpp"
 #include "cvg/util/str.hpp"
@@ -67,6 +68,8 @@ Flags parse_flags(int argc, char** argv) {
     const std::string_view arg = argv[i];
     if (arg == "--csv") {
       flags.csv = true;
+    } else if (arg == "--json") {
+      flags.json = true;
     } else if (arg == "--large") {
       flags.large = true;
     } else if (arg == "--smoke") {
@@ -81,7 +84,8 @@ Flags parse_flags(int argc, char** argv) {
       }
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
-          "usage: %s [--csv] [--large] [--smoke] [--threads=N] [--seed=N]\n",
+          "usage: %s [--csv] [--json] [--large] [--smoke] [--threads=N] "
+          "[--seed=N]\n",
           argv[0]);
       std::exit(0);
     } else {
@@ -112,10 +116,12 @@ int driver_main(int argc, char** argv) {
   const auto usage = [&](std::FILE* out) {
     std::fprintf(out,
                  "usage: %s list\n"
-                 "       %s run <id>|all [--csv] [--large] [--smoke] "
+                 "       %s run <id>|all [--csv] [--json] [--large] [--smoke] "
                  "[--threads=N] [--seed=N]\n"
-                 "       %s corpus add|minimize|replay|fuzz|stats …\n",
-                 argv[0], argv[0], argv[0]);
+                 "       %s corpus add|minimize|replay|fuzz|stats …\n"
+                 "       %s serve [--socket=<path>] … | submit "
+                 "--socket=<path> <request>\n",
+                 argv[0], argv[0], argv[0], argv[0]);
   };
   if (argc < 2) {
     usage(stderr);
@@ -134,10 +140,22 @@ int driver_main(int argc, char** argv) {
     std::printf("%-4s %s\n", "corpus",
                 "add|minimize|replay|fuzz|stats — worst-case trace corpus "
                 "tools (cvg corpus --help)");
+    std::printf("%-4s %s\n", "serve",
+                "run|sweep|replay|certify|minimize over NDJSON — simulation "
+                "service (cvg serve --help)");
+    std::printf("%-4s %s\n", "submit",
+                "send one request to a running service socket "
+                "(cvg submit --help)");
     return 0;
   }
   if (command == "corpus") {
     return corpus_main(argc - 1, argv + 1);
+  }
+  if (command == "serve") {
+    return serve_main(argc - 1, argv + 1);
+  }
+  if (command == "submit") {
+    return submit_main(argc - 1, argv + 1);
   }
   if (command == "run") {
     if (argc < 3) {

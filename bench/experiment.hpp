@@ -21,6 +21,9 @@ namespace cvg::bench {
 
 /// Command-line options shared by every experiment binary:
 ///   --csv        also emit machine-readable CSV after each table
+///   --json       write each named table as a BENCH_<name>.json trajectory
+///                file in the working directory (benches opt tables in by
+///                passing a json name to print_table)
 ///   --large      run the bigger (slower) size ladder
 ///   --smoke      shrink every ladder to a seconds-scale CI smoke run
 ///   --threads=N  override the worker count (default: all cores)
@@ -29,6 +32,7 @@ namespace cvg::bench {
 ///                bit-identical)
 struct Flags {
   bool csv = false;
+  bool json = false;
   bool large = false;
   bool smoke = false;
   unsigned threads = 0;  // resolved to default_thread_count() by parse_flags

@@ -1,0 +1,204 @@
+#include "serve_cli.hpp"
+
+#include <atomic>
+#include <charconv>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include <csignal>
+#include <unistd.h>
+
+#include "cvg/serve/job.hpp"
+#include "cvg/serve/service.hpp"
+#include "cvg/serve/transport.hpp"
+#include "cvg/util/str.hpp"
+
+namespace cvg::bench {
+
+namespace {
+
+void serve_usage(std::FILE* out) {
+  std::fprintf(
+      out,
+      "usage: cvg serve [--socket=<path>] [--threads=N] [--queue=N]\n"
+      "                 [--cache-entries=N] [--spill-dir=<dir>]\n"
+      "                 [--timeout-ms=N]\n"
+      "       cvg serve --fuzz-rounds=N [--fuzz-ms=N] [--seed=N]\n"
+      "       cvg submit --socket=<path> <request-json>\n"
+      "\n"
+      "Without --socket, `serve` reads NDJSON requests from stdin and\n"
+      "writes responses to stdout; with it, the service listens on a Unix\n"
+      "domain socket.  SIGINT/SIGTERM drain in-flight jobs (new jobs get a\n"
+      "structured shutting_down error) and exit 0.  The --fuzz-rounds mode\n"
+      "runs the deterministic request-parser fuzzer instead of serving.\n");
+}
+
+template <class T>
+[[nodiscard]] bool parse_number(std::string_view text, T& out) {
+  if (text.empty()) return false;
+  const char* const first = text.data();
+  const char* const last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc{} && ptr == last;
+}
+
+/// Signal flag shared with the transport loops.  sigaction without
+/// SA_RESTART, so a blocking read/accept returns EINTR and the loop can
+/// notice the flag.
+std::atomic<bool> g_stop{false};
+
+void handle_stop_signal(int) { g_stop.store(true, std::memory_order_relaxed); }
+
+void install_signal_handlers() {
+  struct sigaction action = {};
+  action.sa_handler = handle_stop_signal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // deliberately no SA_RESTART
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+}
+
+void print_shutdown_summary(const serve::Service& service) {
+  const serve::ServiceStats stats = service.stats();
+  const serve::CacheStats cache = service.cache_stats();
+  std::fprintf(stderr,
+               "cvg serve: drained; %llu requests (%llu ok, %llu errors), "
+               "%llu cache hits\n",
+               static_cast<unsigned long long>(stats.received),
+               static_cast<unsigned long long>(stats.ok),
+               static_cast<unsigned long long>(stats.errors),
+               static_cast<unsigned long long>(cache.hits + cache.spill_hits));
+}
+
+}  // namespace
+
+int serve_main(int argc, char** argv) {
+  serve::ServiceOptions options;
+  std::string socket_path;
+  std::uint64_t fuzz_rounds = 0;
+  std::uint64_t fuzz_budget_ms = 0;
+  std::uint64_t fuzz_seed = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto value = [&](std::string_view prefix) {
+      return arg.substr(prefix.size());
+    };
+    if (arg == "--help" || arg == "-h") {
+      serve_usage(stdout);
+      return 0;
+    } else if (starts_with(arg, "--socket=")) {
+      socket_path = std::string(value("--socket="));
+    } else if (starts_with(arg, "--threads=")) {
+      if (!parse_number(value("--threads="), options.threads) ||
+          options.threads == 0) {
+        std::fprintf(stderr, "serve: bad --threads value\n");
+        return 2;
+      }
+    } else if (starts_with(arg, "--queue=")) {
+      if (!parse_number(value("--queue="), options.queue_capacity) ||
+          options.queue_capacity == 0) {
+        std::fprintf(stderr, "serve: bad --queue value\n");
+        return 2;
+      }
+    } else if (starts_with(arg, "--cache-entries=")) {
+      if (!parse_number(value("--cache-entries="), options.cache_entries) ||
+          options.cache_entries == 0) {
+        std::fprintf(stderr, "serve: bad --cache-entries value\n");
+        return 2;
+      }
+    } else if (starts_with(arg, "--spill-dir=")) {
+      options.spill_dir = std::string(value("--spill-dir="));
+    } else if (starts_with(arg, "--timeout-ms=")) {
+      if (!parse_number(value("--timeout-ms="), options.default_timeout_ms) ||
+          options.default_timeout_ms == 0) {
+        std::fprintf(stderr, "serve: bad --timeout-ms value\n");
+        return 2;
+      }
+    } else if (starts_with(arg, "--fuzz-rounds=")) {
+      if (!parse_number(value("--fuzz-rounds="), fuzz_rounds) ||
+          fuzz_rounds == 0) {
+        std::fprintf(stderr, "serve: bad --fuzz-rounds value\n");
+        return 2;
+      }
+    } else if (starts_with(arg, "--fuzz-ms=")) {
+      if (!parse_number(value("--fuzz-ms="), fuzz_budget_ms)) {
+        std::fprintf(stderr, "serve: bad --fuzz-ms value\n");
+        return 2;
+      }
+    } else if (starts_with(arg, "--seed=")) {
+      if (!parse_number(value("--seed="), fuzz_seed)) {
+        std::fprintf(stderr, "serve: bad --seed value\n");
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "serve: unknown flag %.*s\n",
+                   static_cast<int>(arg.size()), arg.data());
+      serve_usage(stderr);
+      return 2;
+    }
+  }
+
+  if (fuzz_rounds > 0) {
+    const serve::RequestFuzzReport report =
+        serve::fuzz_requests(fuzz_seed, fuzz_rounds, fuzz_budget_ms);
+    std::printf(
+        "request fuzz: %llu rounds, %llu parsed, %llu rejected with "
+        "structured errors (seed %llu)\n",
+        static_cast<unsigned long long>(report.rounds),
+        static_cast<unsigned long long>(report.parsed_ok),
+        static_cast<unsigned long long>(report.rejected),
+        static_cast<unsigned long long>(fuzz_seed));
+    return 0;
+  }
+
+  install_signal_handlers();
+  serve::Service service(options);
+  int exit_code = 0;
+  if (socket_path.empty()) {
+    exit_code = serve::serve_fd(service, STDIN_FILENO, STDOUT_FILENO, &g_stop);
+  } else {
+    std::fprintf(stderr, "cvg serve: listening on %s\n", socket_path.c_str());
+    exit_code = serve::serve_unix_socket(service, socket_path, g_stop);
+  }
+  print_shutdown_summary(service);
+  return exit_code;
+}
+
+int submit_main(int argc, char** argv) {
+  std::string socket_path;
+  std::string request;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      serve_usage(stdout);
+      return 0;
+    } else if (starts_with(arg, "--socket=")) {
+      socket_path = std::string(arg.substr(9));
+    } else if (request.empty() && !starts_with(arg, "--")) {
+      request = std::string(arg);
+    } else {
+      std::fprintf(stderr, "submit: unexpected argument %.*s\n",
+                   static_cast<int>(arg.size()), arg.data());
+      serve_usage(stderr);
+      return 2;
+    }
+  }
+  if (socket_path.empty() || request.empty()) {
+    std::fprintf(stderr, "submit: need --socket=<path> and a request line\n");
+    serve_usage(stderr);
+    return 2;
+  }
+  std::string error;
+  const std::optional<std::string> response =
+      serve::submit_unix_socket(socket_path, request, error);
+  if (!response.has_value()) {
+    std::fprintf(stderr, "submit: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("%s\n", response->c_str());
+  return 0;
+}
+
+}  // namespace cvg::bench

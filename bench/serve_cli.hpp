@@ -1,0 +1,22 @@
+#pragma once
+
+/// \file serve_cli.hpp
+/// The `cvg serve` / `cvg submit` verbs: command-line access to the
+/// simulation service (src/serve).  `serve` runs the service over stdio or
+/// a Unix domain socket (with SIGINT/SIGTERM graceful drain); `submit`
+/// sends one request line to a running socket service and prints the
+/// response.  See serve_cli.cpp for per-verb usage.
+
+namespace cvg::bench {
+
+/// main() body for `cvg serve …`.  `argv[0]` is the word "serve" (the
+/// driver passes its tail).  Returns 0 on orderly shutdown (including
+/// signal-driven drains), 1 on transport failures, 2 on usage errors.
+int serve_main(int argc, char** argv);
+
+/// main() body for `cvg submit …`.  Returns 0 when a response was received
+/// (even an error response — the transport worked), 1 on transport
+/// failures, 2 on usage errors.
+int submit_main(int argc, char** argv);
+
+}  // namespace cvg::bench

@@ -25,6 +25,9 @@ Enforced invariants:
   7. Every fuzz mutator name in src/corpus/src/fuzz.cpp is referenced by at
      least one test, so the documented mutator set cannot drift from the
      implementation silently.
+  8. Every service job type in src/serve/src/job.cpp (the kJobKinds wire
+     names) is referenced by at least one tests/serve_*_test.cpp, so the
+     NDJSON protocol surface cannot grow an op the tests never exercise.
 
 Exits non-zero listing every violation; prints a one-line summary on success.
 """
@@ -190,6 +193,34 @@ def check_fuzz_mutators_tested() -> list[str]:
     return errors
 
 
+def serve_job_kind_names() -> list[str]:
+    """The wire-protocol op names declared in src/serve/src/job.cpp."""
+    text = (SRC / "serve" / "src" / "job.cpp").read_text()
+    match = re.search(r"kJobKinds\[\]\s*=\s*\{(.*?)\};", text, flags=re.S)
+    if not match:
+        return []
+    return re.findall(r'"([^"]+)"', match.group(1))
+
+
+def check_serve_job_kinds_tested() -> list[str]:
+    """Rule 8: every service op name appears in some tests/serve_*_test.cpp."""
+    names = serve_job_kind_names()
+    if not names:
+        return ["could not parse the kJobKinds list out of "
+                "src/serve/src/job.cpp — update check_invariants.py"]
+    corpus = "\n".join(p.read_text()
+                       for p in sorted(TESTS.glob("serve_*_test.cpp")))
+    if not corpus:
+        return ["no tests/serve_*_test.cpp files — the service protocol "
+                "has no test surface"]
+    errors = []
+    for name in names:
+        if f'"{name}"' not in corpus:
+            errors.append(f"service job type \"{name}\" is referenced by no "
+                          "tests/serve_*_test.cpp")
+    return errors
+
+
 def main() -> int:
     checks = [
         ("policy locality overrides", check_policy_locality_overrides),
@@ -199,6 +230,7 @@ def main() -> int:
         ("deterministic seeds only", check_no_random_device),
         ("adversary names tested", check_adversary_names_tested),
         ("fuzz mutators tested", check_fuzz_mutators_tested),
+        ("service job types tested", check_serve_job_kinds_tested),
     ]
     failures = []
     for label, check in checks:

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Pins the signal-driven graceful-shutdown contract of `cvg serve` over the
+# stdio transport: SIGTERM while a job is in flight must (1) let the job
+# finish and deliver its response, (2) print the drain summary, and (3) exit
+# with status 0.  The in-process shutdown op and the shutting_down rejection
+# of late jobs are pinned separately by tests/serve_service_test.cpp; this
+# script covers the part only a real process can: the signal handler, EINTR
+# surfacing through the blocked read, and the exit status.
+#
+# Usage: scripts/serve_shutdown_test.sh <path-to-cvg>
+set -euo pipefail
+
+cvg="${1:?usage: serve_shutdown_test.sh <path-to-cvg>}"
+workdir="$(mktemp -d)"
+trap 'rm -rf "${workdir}"' EXIT
+
+fifo="${workdir}/in"
+out="${workdir}/out"
+err="${workdir}/err"
+mkfifo "${fifo}"
+
+"${cvg}" serve --threads=2 < "${fifo}" > "${out}" 2> "${err}" &
+pid=$!
+
+# Hold the fifo's write end open so the service blocks in read (not EOF),
+# submit one job, give it a moment to be picked up, then signal.
+exec 3> "${fifo}"
+printf '%s\n' \
+  '{"op":"run","topology":"path:256","policy":"odd-even","steps":65536,"id":"drain-me"}' >&3
+sleep 1
+kill -TERM "${pid}"
+
+status=0
+wait "${pid}" || status=$?
+exec 3>&-
+
+if [ "${status}" -ne 0 ]; then
+  echo "FAIL: cvg serve exited ${status} after SIGTERM (want 0)" >&2
+  cat "${err}" >&2
+  exit 1
+fi
+if ! grep -q '"id":"drain-me"' "${out}"; then
+  echo "FAIL: in-flight job response was not delivered before exit" >&2
+  cat "${out}" >&2
+  exit 1
+fi
+if ! grep -q '"ok":true' "${out}"; then
+  echo "FAIL: in-flight job did not complete successfully" >&2
+  cat "${out}" >&2
+  exit 1
+fi
+if ! grep -q 'drained' "${err}"; then
+  echo "FAIL: drain summary missing from stderr" >&2
+  cat "${err}" >&2
+  exit 1
+fi
+echo "PASS: SIGTERM drained the in-flight job and exited 0"

@@ -4,50 +4,11 @@
 #include <fstream>
 
 #include "cvg/util/check.hpp"
+#include "cvg/util/fnv.hpp"
 
 namespace cvg::corpus {
 
 namespace {
-
-constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
-constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
-
-/// Incremental FNV-1a64 used for both the content hash and the file
-/// checksum.  Multi-byte values are folded in little-endian byte order, so
-/// hashes are identical across hosts.
-class Fnv1a {
- public:
-  void bytes(const void* data, std::size_t size) noexcept {
-    const auto* p = static_cast<const unsigned char*>(data);
-    for (std::size_t i = 0; i < size; ++i) {
-      hash_ ^= p[i];
-      hash_ *= kFnvPrime;
-    }
-  }
-  void u8(std::uint8_t value) noexcept { bytes(&value, 1); }
-  void u32(std::uint32_t value) noexcept {
-    unsigned char buffer[4];
-    for (int i = 0; i < 4; ++i) {
-      buffer[i] = static_cast<unsigned char>(value >> (8 * i));
-    }
-    bytes(buffer, 4);
-  }
-  void u64(std::uint64_t value) noexcept {
-    unsigned char buffer[8];
-    for (int i = 0; i < 8; ++i) {
-      buffer[i] = static_cast<unsigned char>(value >> (8 * i));
-    }
-    bytes(buffer, 8);
-  }
-  void str(std::string_view value) noexcept {
-    u32(static_cast<std::uint32_t>(value.size()));
-    bytes(value.data(), value.size());
-  }
-  [[nodiscard]] std::uint64_t value() const noexcept { return hash_; }
-
- private:
-  std::uint64_t hash_ = kFnvOffset;
-};
 
 /// Append-only little-endian byte writer.
 class Writer {

@@ -1,0 +1,103 @@
+#pragma once
+
+/// \file pool.hpp
+/// A persistent worker pool with a bounded queue, for long-lived consumers
+/// such as the simulation service (src/serve).  `parallel_for` remains the
+/// right tool for fork-join sweeps; this pool is for open-ended streams of
+/// independent jobs where the caller needs explicit backpressure
+/// (`Submit::QueueFull`), graceful shutdown (drain in-flight, reject new),
+/// and cooperative per-job cancellation (`CancelToken`).
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cvg {
+
+/// Cooperative cancellation: long-running job bodies poll `cancelled()` at
+/// natural checkpoints (every few hundred simulation steps).  A token
+/// trips either explicitly (`cancel()`) or by passing its deadline, so one
+/// mechanism implements both per-job timeouts and shutdown aborts.
+class CancelToken {
+ public:
+  /// Trips the token permanently.
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// Arms a wall-clock deadline; `cancelled()` reports true once it passes.
+  void set_deadline(std::chrono::steady_clock::time_point deadline) noexcept {
+    deadline_ns_.store(deadline.time_since_epoch().count(),
+                       std::memory_order_relaxed);
+  }
+
+  /// Convenience: deadline `timeout_ms` from now (0 disarms any deadline).
+  void set_timeout_ms(std::uint64_t timeout_ms) noexcept;
+
+  [[nodiscard]] bool cancelled() const noexcept;
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::atomic<std::int64_t> deadline_ns_{0};  // 0 = no deadline armed
+};
+
+/// Fixed-size worker pool draining a bounded FIFO queue.  Tasks are opaque
+/// thunks; result delivery and error reporting are the caller's protocol
+/// (the service responds over its transport from inside the task).
+class WorkerPool {
+ public:
+  enum class Submit {
+    Accepted,      ///< queued; a worker will run it
+    QueueFull,     ///< bounded queue at capacity — explicit backpressure
+    ShuttingDown,  ///< shutdown() has begun; no new work is accepted
+  };
+
+  /// Spawns `threads` workers (at least 1) over a queue bounded at
+  /// `queue_capacity` pending tasks (at least 1).
+  WorkerPool(unsigned threads, std::size_t queue_capacity);
+
+  /// Drains and joins (equivalent to `shutdown()`).
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Attempts to enqueue `task`.  Never blocks: a full queue or a shutdown
+  /// in progress is reported to the caller instead of being waited out.
+  [[nodiscard]] Submit try_submit(std::function<void()> task);
+
+  /// Blocks until every queued and running task has finished.  New tasks
+  /// may still be submitted afterwards (this is a barrier, not a shutdown).
+  void drain();
+
+  /// Stops accepting new tasks, drains everything already queued or
+  /// running, and joins the workers.  Idempotent.
+  void shutdown();
+
+  /// Tasks queued but not yet picked up by a worker.
+  [[nodiscard]] std::size_t queue_depth() const;
+
+  /// Tasks queued or currently running.
+  [[nodiscard]] std::size_t in_flight() const;
+
+  [[nodiscard]] bool accepting() const;
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_ready_;   // workers wait for tasks/shutdown
+  std::condition_variable all_idle_;     // drain()/shutdown() wait here
+  std::deque<std::function<void()>> queue_;
+  std::size_t queue_capacity_;
+  std::size_t running_ = 0;
+  bool accepting_ = true;
+  bool joining_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace cvg

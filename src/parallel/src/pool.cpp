@@ -1,0 +1,102 @@
+#include "cvg/parallel/pool.hpp"
+
+#include <algorithm>
+
+#include "cvg/util/check.hpp"
+
+namespace cvg {
+
+void CancelToken::set_timeout_ms(std::uint64_t timeout_ms) noexcept {
+  if (timeout_ms == 0) {
+    deadline_ns_.store(0, std::memory_order_relaxed);
+    return;
+  }
+  set_deadline(std::chrono::steady_clock::now() +
+               std::chrono::milliseconds(timeout_ms));
+}
+
+bool CancelToken::cancelled() const noexcept {
+  if (cancelled_.load(std::memory_order_relaxed)) return true;
+  const std::int64_t deadline = deadline_ns_.load(std::memory_order_relaxed);
+  if (deadline == 0) return false;
+  return std::chrono::steady_clock::now().time_since_epoch().count() >=
+         deadline;
+}
+
+WorkerPool::WorkerPool(unsigned threads, std::size_t queue_capacity)
+    : queue_capacity_(std::max<std::size_t>(1, queue_capacity)) {
+  const unsigned workers = std::max(1u, threads);
+  workers_.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() { shutdown(); }
+
+WorkerPool::Submit WorkerPool::try_submit(std::function<void()> task) {
+  CVG_CHECK(static_cast<bool>(task)) << "WorkerPool: empty task";
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!accepting_) return Submit::ShuttingDown;
+    if (queue_.size() >= queue_capacity_) return Submit::QueueFull;
+    queue_.push_back(std::move(task));
+  }
+  work_ready_.notify_one();
+  return Submit::Accepted;
+}
+
+void WorkerPool::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_idle_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+}
+
+void WorkerPool::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    accepting_ = false;
+    joining_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+std::size_t WorkerPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+std::size_t WorkerPool::in_flight() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size() + running_;
+}
+
+bool WorkerPool::accepting() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return accepting_;
+}
+
+void WorkerPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [this] { return !queue_.empty() || joining_; });
+      if (queue_.empty()) return;  // joining_ and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++running_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --running_;
+      if (queue_.empty() && running_ == 0) all_idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace cvg

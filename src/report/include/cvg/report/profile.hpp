@@ -1,11 +1,15 @@
 #pragma once
 
 /// \file profile.hpp
-/// Text rendering of buffer-height profiles: single-line strips for
-/// animations and multi-line bar charts for reports.
+/// Profiles for reports: text rendering of buffer-height profiles
+/// (single-line strips for animations, multi-line bar charts), and a
+/// bounded-memory latency profile used by the simulation service for
+/// per-request latency quantiles.
 
+#include <cstdint>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "cvg/core/types.hpp"
 
@@ -19,5 +23,37 @@ namespace cvg::report {
 /// at most `max_rows` rows (taller bars are clipped with '^').
 [[nodiscard]] std::string height_bars(std::span<const Height> heights,
                                       int max_rows = 12);
+
+/// Bounded-memory latency profile: exact count / mean / max plus quantiles
+/// from a deterministically decimated sample buffer.  Once the buffer fills
+/// (4096 samples), every other retained sample is dropped and the sampling
+/// stride doubles, so memory stays O(1) while the retained samples remain an
+/// unbiased systematic subsample of the stream.  Deterministic: the same
+/// sequence of `record` calls always yields the same quantiles (no RNG —
+/// the service's stats output must be reproducible in tests).  Not
+/// thread-safe; callers (the service) serialize access.
+class LatencyProfile {
+ public:
+  void record(std::uint64_t micros);
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] std::uint64_t max() const noexcept { return max_; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ == 0 ? 0.0 : static_cast<double>(total_) /
+                                   static_cast<double>(count_);
+  }
+
+  /// Latency at quantile `q` in [0, 1] over the retained samples (0 when
+  /// nothing was recorded).
+  [[nodiscard]] std::uint64_t quantile(double q) const;
+
+ private:
+  std::vector<std::uint64_t> samples_;
+  std::uint64_t stride_ = 1;       ///< record every stride_-th observation
+  std::uint64_t until_next_ = 0;   ///< observations left before next retain
+  std::uint64_t count_ = 0;
+  std::uint64_t total_ = 0;
+  std::uint64_t max_ = 0;
+};
 
 }  // namespace cvg::report

@@ -35,6 +35,12 @@ class Table {
   /// GitHub-flavoured Markdown.
   [[nodiscard]] std::string to_markdown() const;
 
+  /// JSON array of row objects keyed by header (numeric-looking cells stay
+  /// strings — the table stores formatted text, and round-tripping through
+  /// double would corrupt it).  For the `--json` trajectory files the bench
+  /// harness writes.
+  [[nodiscard]] std::string to_json() const;
+
  private:
   static std::string cell_to_string(const std::string& s) { return s; }
   static std::string cell_to_string(const char* s) { return s; }

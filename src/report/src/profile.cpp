@@ -44,4 +44,40 @@ std::string height_bars(std::span<const Height> heights, int max_rows) {
   return out;
 }
 
+namespace {
+constexpr std::size_t kMaxLatencySamples = 4096;
+}  // namespace
+
+void LatencyProfile::record(std::uint64_t micros) {
+  ++count_;
+  total_ += micros;
+  max_ = std::max(max_, micros);
+  if (until_next_ > 0) {
+    --until_next_;
+    return;
+  }
+  samples_.push_back(micros);
+  until_next_ = stride_ - 1;
+  if (samples_.size() >= kMaxLatencySamples) {
+    // Systematic decimation: keep the even-indexed retained samples and
+    // double the stride, preserving an evenly spaced subsample.
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < samples_.size(); i += 2) {
+      samples_[kept++] = samples_[i];
+    }
+    samples_.resize(kept);
+    stride_ *= 2;
+  }
+}
+
+std::uint64_t LatencyProfile::quantile(double q) const {
+  if (samples_.empty()) return 0;
+  std::vector<std::uint64_t> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  q = std::min(1.0, std::max(0.0, q));
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[rank];
+}
+
 }  // namespace cvg::report

@@ -69,6 +69,46 @@ std::string Table::to_csv() const {
   return out;
 }
 
+std::string Table::to_json() const {
+  const auto quote = [](const std::string& text) {
+    std::string out = "\"";
+    for (const char ch : text) {
+      switch (ch) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        case '\r': out += "\\r"; break;
+        default:
+          if (static_cast<unsigned char>(ch) < 0x20) {
+            constexpr char kHex[] = "0123456789abcdef";
+            out += "\\u00";
+            out += kHex[(static_cast<unsigned char>(ch) >> 4) & 0xF];
+            out += kHex[static_cast<unsigned char>(ch) & 0xF];
+          } else {
+            out += ch;
+          }
+      }
+    }
+    out += '"';
+    return out;
+  };
+  std::string out = "[";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    if (r != 0) out += ',';
+    out += '{';
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      if (c != 0) out += ',';
+      out += quote(headers_[c]);
+      out += ':';
+      out += quote(rows_[r][c]);
+    }
+    out += '}';
+  }
+  out += "]";
+  return out;
+}
+
 std::string Table::to_markdown() const {
   std::string out = "|";
   for (const auto& header : headers_) out += " " + header + " |";

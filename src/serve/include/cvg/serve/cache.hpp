@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file cache.hpp
+/// Content-addressed result cache for the simulation service.
+///
+/// Every job the service runs is a deterministic function of its semantic
+/// fields (the same property that makes corpus entries replayable
+/// certificates), so results are memoizable by content hash alone: the key
+/// is the FNV-1a64 fold of exactly the fields that determine the outcome
+/// (see `run_job_hash` in job.hpp), and the value is the serialized result
+/// payload.  Hash-equal jobs — whether issued twice by one client, by two
+/// clients, or as a `run` matching an earlier `sweep` cell — return the
+/// memoized payload without touching a worker.
+///
+/// In-memory tier: strict LRU bounded by entry count and total payload
+/// bytes.  Optional disk tier: evicted entries spill to
+/// `<spill_dir>/<hex-key>.json` and are promoted back on a later miss, so a
+/// long-lived service survives restarts of its hot set without recomputing.
+/// All operations are thread-safe; workers race on lookup/insert freely.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace cvg::serve {
+
+/// Monotonic counters describing cache behaviour (profiled per-service).
+struct CacheStats {
+  std::uint64_t hits = 0;        ///< memory-tier hits
+  std::uint64_t spill_hits = 0;  ///< disk-tier hits (promoted to memory)
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;  ///< LRU evictions (spilled when a dir is set)
+  std::uint64_t entries = 0;    ///< current memory-tier entry count
+  std::uint64_t bytes = 0;      ///< current memory-tier payload bytes
+};
+
+class ResultCache {
+ public:
+  /// `max_entries` / `max_bytes` bound the memory tier (both must be > 0).
+  /// `spill_dir` empty disables the disk tier; otherwise the directory is
+  /// created on first spill.
+  ResultCache(std::size_t max_entries, std::size_t max_bytes,
+              std::string spill_dir = {});
+  ~ResultCache();
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Returns the memoized payload for `key`, or nullopt.  A disk-tier hit
+  /// promotes the entry back into memory.
+  [[nodiscard]] std::optional<std::string> lookup(std::uint64_t key);
+
+  /// Memoizes `payload` under `key`; inserting an existing key refreshes
+  /// its recency and payload.  Oversized payloads (> max_bytes) are not
+  /// cached.
+  void insert(std::uint64_t key, std::string payload);
+
+  [[nodiscard]] CacheStats stats() const;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace cvg::serve

@@ -1,0 +1,136 @@
+#pragma once
+
+/// \file job.hpp
+/// The service's job schema: NDJSON-framed requests, validated with the same
+/// hostile-input discipline as the corpus parser — every malformed byte
+/// sequence, unknown field, wrong type or out-of-range value yields a
+/// structured `JobError`, never a crash (pinned by the request fuzzer below
+/// under ASan/UBSan).
+///
+/// A request is one JSON object per line:
+///
+///     {"op":"run","topology":"path:64","policy":"odd-even",
+///      "adversary":"staged-l1","steps":4096,"id":"r1"}
+///
+/// Ops: `run` (one simulation), `sweep` (topologies × policies grid),
+/// `replay` (one .cvgc corpus entry), `certify` (replay-gate a corpus
+/// directory), `minimize` (delta-debug one entry), `stats` (service
+/// counters), `shutdown` (graceful drain).  See `parse_request` for the
+/// field-by-field contract.
+///
+/// Jobs are deterministic functions of their semantic fields — the same
+/// property the corpus exploits for replayable certificates — so results
+/// are content-addressed: `run_job_hash` folds exactly the semantic inputs
+/// with the FNV-1a64 hasher shared with `src/corpus/format.cpp`, and the
+/// service's cache returns memoized results for hash-equal jobs.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cvg/core/types.hpp"
+#include "cvg/serve/json.hpp"
+
+namespace cvg::serve {
+
+/// Everything a request can ask for.  Names match the wire field `op`.
+enum class JobKind : std::uint8_t {
+  Run,
+  Sweep,
+  Replay,
+  Certify,
+  Minimize,
+  Stats,
+  Shutdown,
+};
+
+[[nodiscard]] std::string_view job_kind_name(JobKind kind);
+
+/// Structured request rejection: a stable machine-readable `code` plus a
+/// human-readable message.  Codes: `bad_request`, `queue_full`,
+/// `shutting_down`, `timeout`, `not_found`, `internal`.
+struct JobError {
+  std::string code;
+  std::string message;
+};
+
+/// One validated request.  Fields not applicable to the op keep their
+/// defaults (the parser rejects requests that set them explicitly).
+struct JobRequest {
+  JobKind kind = JobKind::Stats;
+  std::string id;  ///< client-chosen tag, echoed verbatim in the response
+
+  // run / sweep
+  std::vector<std::string> topologies;  ///< canonical specs; run has exactly 1
+  std::vector<std::string> policies;    ///< registry names; run has exactly 1
+  std::string adversary = "fixed-deepest";  ///< adversary-registry name
+  Step steps = 0;
+  Capacity capacity = 1;
+  Capacity burstiness = 0;
+  StepSemantics semantics = StepSemantics::DecideBeforeInjection;
+  std::uint64_t seed = 1;
+
+  // replay / certify / minimize
+  std::string file;  ///< .cvgc entry path (replay, minimize) or dir (certify)
+  std::uint64_t max_replays = 20000;  ///< minimize budget
+
+  // execution controls (not part of the semantic hash)
+  std::uint64_t timeout_ms = 0;  ///< 0 = the service default
+  bool use_cache = true;
+};
+
+/// Ceiling on `steps` for a single run/sweep cell, so a hostile request
+/// cannot pin a worker for hours.  Generous: 16M steps of the biggest
+/// spec-buildable topology is minutes, not days.
+inline constexpr Step kMaxJobSteps = 1u << 24;
+
+/// Parses and validates one NDJSON request line.  On any malformation —
+/// invalid JSON, unknown op, unknown/duplicate/ill-typed fields, fields
+/// foreign to the op, out-of-range counts, unknown topology/policy/
+/// adversary names — returns nullopt and fills `error` (code
+/// `bad_request`).
+[[nodiscard]] std::optional<JobRequest> parse_request(std::string_view line,
+                                                      JobError& error);
+
+/// Semantic content hash of one run cell: folds (topology spec, policy,
+/// adversary, steps, capacity, burstiness, semantics, seed) — exactly the
+/// inputs that determine the simulation outcome, nothing operational (id,
+/// timeout, cache flags).  Shared by `run` jobs and each `sweep` cell, so a
+/// sweep warms the cache for later single runs and vice versa.
+[[nodiscard]] std::uint64_t run_job_hash(const std::string& topology,
+                                         const std::string& policy,
+                                         const std::string& adversary,
+                                         Step steps, Capacity capacity,
+                                         Capacity burstiness,
+                                         StepSemantics semantics,
+                                         std::uint64_t seed);
+
+/// Formats one response line (no trailing newline).  `ok` responses carry
+/// `result` (spliced verbatim — it must be a serialized JSON value),
+/// `cached` and `micros`; error responses carry the structured error.
+[[nodiscard]] std::string format_ok_response(const std::string& id,
+                                             std::string_view result_json,
+                                             bool cached,
+                                             std::uint64_t micros);
+[[nodiscard]] std::string format_error_response(const std::string& id,
+                                                const JobError& error);
+
+/// Deterministic request-parser fuzzer: `rounds` iterations of (a) random
+/// byte lines, (b) structure-aware mutations of valid requests, (c) token
+/// splices of schema keywords, each fed through `parse_request`.  The
+/// property under test is "no crash, no UB, and every rejection carries a
+/// structured error"; run it under CVG_SANITIZE for the real teeth.  Stops
+/// early after `budget_ms` (0 = no time budget).  Returns counters for
+/// reporting.
+struct RequestFuzzReport {
+  std::uint64_t rounds = 0;
+  std::uint64_t parsed_ok = 0;
+  std::uint64_t rejected = 0;
+};
+[[nodiscard]] RequestFuzzReport fuzz_requests(std::uint64_t seed,
+                                              std::uint64_t rounds,
+                                              std::uint64_t budget_ms);
+
+}  // namespace cvg::serve

@@ -1,0 +1,99 @@
+#pragma once
+
+/// \file json.hpp
+/// A minimal, strict JSON value + parser + writer for the service's NDJSON
+/// framing.  Hostile-input discipline mirrors the corpus format parser
+/// (src/corpus/format.cpp): every malformation — truncation, bad escapes,
+/// trailing garbage, numbers out of range, nesting past `kMaxJsonDepth` —
+/// returns a structured error, never crashes, never reads out of bounds.
+///
+/// Deliberately small: objects and arrays, strings with the standard
+/// escapes (\uXXXX limited to the BMP), 64-bit integers and doubles, bools,
+/// null.  Object member order is preserved (requests are written by
+/// machines; canonical order keeps hashes and tests stable).  Duplicate
+/// keys are rejected — a request that says "steps" twice is hostile, not
+/// ambiguous.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace cvg::serve {
+
+/// Nesting ceiling for parsed documents, so `[[[[...` cannot exhaust the
+/// stack (the parser recurses once per level).
+inline constexpr int kMaxJsonDepth = 64;
+
+class JsonValue;
+
+using JsonArray = std::vector<JsonValue>;
+using JsonMember = std::pair<std::string, JsonValue>;
+using JsonObject = std::vector<JsonMember>;
+
+/// One JSON value.  Integers and doubles are kept distinct so counters
+/// round-trip exactly; a number with a fraction or exponent parses as
+/// double, everything else as int64.
+class JsonValue {
+ public:
+  JsonValue() : value_(nullptr) {}
+  JsonValue(std::nullptr_t) : value_(nullptr) {}  // NOLINT(google-explicit-constructor)
+  JsonValue(bool b) : value_(b) {}                // NOLINT(google-explicit-constructor)
+  /// Any non-bool integral narrows to the int64 representation, so counters
+  /// of every width (Step, std::size_t, NodeId, …) convert without casts.
+  template <typename T,
+            typename = std::enable_if_t<std::is_integral_v<T> &&
+                                        !std::is_same_v<T, bool>>>
+  JsonValue(T i) : value_(static_cast<std::int64_t>(i)) {}  // NOLINT(google-explicit-constructor)
+  JsonValue(double d) : value_(d) {}              // NOLINT(google-explicit-constructor)
+  JsonValue(std::string s) : value_(std::move(s)) {}  // NOLINT(google-explicit-constructor)
+  JsonValue(const char* s) : value_(std::string(s)) {}  // NOLINT(google-explicit-constructor)
+  JsonValue(JsonArray a) : value_(std::move(a)) {}    // NOLINT(google-explicit-constructor)
+  JsonValue(JsonObject o) : value_(std::move(o)) {}   // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  [[nodiscard]] bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  [[nodiscard]] bool is_int() const { return std::holds_alternative<std::int64_t>(value_); }
+  [[nodiscard]] bool is_double() const { return std::holds_alternative<double>(value_); }
+  [[nodiscard]] bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  [[nodiscard]] bool is_array() const { return std::holds_alternative<JsonArray>(value_); }
+  [[nodiscard]] bool is_object() const { return std::holds_alternative<JsonObject>(value_); }
+
+  [[nodiscard]] bool as_bool() const { return std::get<bool>(value_); }
+  [[nodiscard]] std::int64_t as_int() const { return std::get<std::int64_t>(value_); }
+  [[nodiscard]] double as_double() const { return std::get<double>(value_); }
+  [[nodiscard]] const std::string& as_string() const { return std::get<std::string>(value_); }
+  [[nodiscard]] const JsonArray& as_array() const { return std::get<JsonArray>(value_); }
+  [[nodiscard]] const JsonObject& as_object() const { return std::get<JsonObject>(value_); }
+
+  /// Member lookup on an object; nullptr when absent (or not an object).
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+  friend bool operator==(const JsonValue&, const JsonValue&) = default;
+
+ private:
+  std::variant<std::nullptr_t, bool, std::int64_t, double, std::string,
+               JsonArray, JsonObject>
+      value_;
+};
+
+/// Parses exactly one JSON document from `text` (leading/trailing ASCII
+/// whitespace allowed, anything else after the value is an error).  On any
+/// malformation returns nullopt and sets `error` to a one-line diagnostic
+/// with a byte offset.
+[[nodiscard]] std::optional<JsonValue> parse_json(std::string_view text,
+                                                  std::string& error);
+
+/// Serializes `value` on one line (NDJSON-safe: the output never contains a
+/// raw newline).  Parsing the output yields the original value back.
+[[nodiscard]] std::string write_json(const JsonValue& value);
+
+/// Escapes `text` as a quoted JSON string literal (helper for hand-built
+/// payload splicing in the service's response path).
+[[nodiscard]] std::string json_quote(std::string_view text);
+
+}  // namespace cvg::serve

@@ -1,0 +1,104 @@
+#pragma once
+
+/// \file service.hpp
+/// The simulation service: validated NDJSON jobs in, deterministic results
+/// out, with content-addressed memoization.
+///
+/// Lifecycle of one request line (`submit_line`):
+///
+///   1. parse + validate (`parse_request`) — malformed lines answer
+///      immediately with a `bad_request` error;
+///   2. `stats` / `shutdown` execute inline (they must work while the pool
+///      is saturated, or the service could not be observed or stopped);
+///   3. everything else is scheduled on the bounded `cvg::WorkerPool`:
+///      a full queue answers `queue_full` (explicit backpressure — the
+///      client decides whether to retry), a draining service answers
+///      `shutting_down`;
+///   4. the worker consults the `ResultCache` by semantic hash (hit =
+///      zero recompute), else runs the simulation under a `CancelToken`
+///      deadline (`timeout` error on expiry) and memoizes the payload.
+///
+/// Responses are delivered through the callback passed to `submit_line`,
+/// on the worker thread that finished the job (inline ops invoke it on the
+/// caller's thread).  `process_line` is the synchronous convenience used by
+/// tests, benches and `cvg submit`.
+///
+/// Determinism contract (docs/ANALYSIS.md): every cacheable job is a pure
+/// function of the fields its hash folds, so a cache hit is
+/// indistinguishable from recomputation except in latency.  The service
+/// never caches error outcomes, and never caches when the request says
+/// `"cache": false`.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "cvg/report/profile.hpp"
+#include "cvg/serve/cache.hpp"
+#include "cvg/serve/job.hpp"
+#include "cvg/serve/json.hpp"
+
+namespace cvg::serve {
+
+struct ServiceOptions {
+  unsigned threads = 0;  ///< worker threads; 0 = hardware concurrency
+  std::size_t queue_capacity = 64;        ///< pending jobs before queue_full
+  std::size_t cache_entries = 4096;       ///< memory-tier LRU entry bound
+  std::size_t cache_bytes = 64ull << 20;  ///< memory-tier LRU byte bound
+  std::string spill_dir;                  ///< disk tier; empty = disabled
+  std::uint64_t default_timeout_ms = 60'000;  ///< per-job, when not requested
+};
+
+/// Aggregate service counters, exposed by the `stats` op and the shutdown
+/// summary.
+struct ServiceStats {
+  std::uint64_t received = 0;   ///< request lines seen
+  std::uint64_t ok = 0;         ///< jobs answered with ok:true
+  std::uint64_t errors = 0;     ///< jobs answered with ok:false
+  std::uint64_t cache_hits = 0; ///< ok answers served from the cache
+  std::uint64_t queue_depth = 0;  ///< snapshot: jobs waiting in the pool
+};
+
+class Service {
+ public:
+  explicit Service(ServiceOptions options = {});
+  ~Service();  ///< drains in-flight jobs, then joins the pool
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Handles one request line.  `respond` is invoked exactly once with the
+  /// response line (no trailing newline) — inline for parse errors,
+  /// backpressure rejections and the stats/shutdown ops, on a worker thread
+  /// otherwise.  Thread-safe.
+  void submit_line(std::string_view line,
+                   std::function<void(std::string)> respond);
+
+  /// Synchronous convenience: submits and waits for the one response.
+  [[nodiscard]] std::string process_line(std::string_view line);
+
+  /// Stops accepting new jobs (subsequent submissions answer
+  /// `shutting_down`); in-flight jobs keep running.  Idempotent.  The
+  /// `shutdown` op and the signal path both funnel here.
+  void begin_shutdown();
+
+  /// Blocks until every accepted job has answered.
+  void drain();
+
+  [[nodiscard]] bool shutting_down() const;
+  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] CacheStats cache_stats() const;
+
+  /// The stats payload the `stats` op returns: counters, cache behaviour
+  /// and the request-latency profile (count / mean / p50 / p95 / max) via
+  /// `cvg::report::LatencyProfile`.
+  [[nodiscard]] JsonValue stats_json() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace cvg::serve

@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file transport.hpp
+/// NDJSON transports for the simulation service: a byte-stream loop over an
+/// arbitrary fd pair (stdin/stdout, pipes in tests) and a Unix-domain-socket
+/// server accepting concurrent clients.  Both frame one request per line and
+/// one response per line; responses may interleave out of request order
+/// (jobs finish on whichever worker is free — clients correlate by `id`).
+///
+/// Signal-driven shutdown composes through the `stop` flag: the CLI's signal
+/// handler sets it, blocking reads/accepts return with EINTR, the loops
+/// notice the flag, stop admitting, drain in-flight jobs (each response is
+/// still written), and return 0.
+
+#include <atomic>
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "cvg/serve/service.hpp"
+
+namespace cvg::serve {
+
+/// Longest accepted request line; longer lines are rejected with a
+/// structured error without buffering them (a hostile client cannot balloon
+/// the reader).
+inline constexpr std::size_t kMaxLineBytes = 1u << 20;
+
+/// Incremental line reader over a raw fd with explicit EINTR surfacing.
+class LineReader {
+ public:
+  enum class Status {
+    Line,         ///< `line` holds one complete request line (no newline)
+    Oversized,    ///< a line exceeded kMaxLineBytes and was discarded
+    Eof,          ///< orderly end of stream
+    Interrupted,  ///< read returned EINTR — caller should check its stop flag
+    Error,        ///< unrecoverable read error
+  };
+
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  /// Reads until the next newline (or EOF with a non-empty tail, which
+  /// counts as a final line).
+  [[nodiscard]] Status next(std::string& line);
+
+ private:
+  int fd_;
+  std::string buffer_;
+  std::size_t discarding_ = 0;  ///< nonzero while skipping an oversized line
+};
+
+/// Serves NDJSON requests from `in_fd`, writing responses to `out_fd`, until
+/// EOF or `*stop` becomes true.  Every accepted job's response is written
+/// before returning (the loop drains).  Returns 0 on an orderly end, 1 on a
+/// transport-level I/O failure.
+int serve_fd(Service& service, int in_fd, int out_fd,
+             const std::atomic<bool>* stop = nullptr);
+
+/// Binds `path` (unlinking any stale socket first), accepts clients, and
+/// runs each connection through `serve_fd` on its own thread.  Returns when
+/// `stop` becomes true or the service enters shutdown and all connections
+/// have closed; the socket file is unlinked on exit.  Returns 0 on orderly
+/// shutdown, 1 when the socket could not be created.
+int serve_unix_socket(Service& service, const std::string& path,
+                      const std::atomic<bool>& stop);
+
+/// Client helper: connects to `path`, sends one request line, and returns
+/// the one response line; nullopt (with `error` set) on any transport
+/// failure.  Used by `cvg submit` and the service benches.
+[[nodiscard]] std::optional<std::string> submit_unix_socket(
+    const std::string& path, const std::string& request_line,
+    std::string& error);
+
+}  // namespace cvg::serve

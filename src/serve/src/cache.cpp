@@ -1,0 +1,144 @@
+#include "cvg/serve/cache.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "cvg/util/check.hpp"
+
+namespace cvg::serve {
+
+namespace {
+
+/// Spill file name for a key: 16 lowercase hex digits, matching the corpus
+/// store's content-hash naming so a cache directory is greppable.
+[[nodiscard]] std::string hex_name(std::uint64_t key) {
+  constexpr char kHex[] = "0123456789abcdef";
+  std::string name(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    name[static_cast<std::size_t>(i)] = kHex[key & 0xF];
+    key >>= 4;
+  }
+  return name + ".json";
+}
+
+}  // namespace
+
+struct ResultCache::Impl {
+  using Entry = std::pair<std::uint64_t, std::string>;  // key, payload
+
+  std::size_t max_entries;
+  std::size_t max_bytes;
+  std::string spill_dir;
+
+  mutable std::mutex mutex;
+  std::list<Entry> lru;  // front = most recent
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index;
+  std::size_t bytes = 0;
+  CacheStats counters;
+  bool spill_dir_ready = false;
+
+  /// Drops LRU entries until both bounds hold; spills each victim when the
+  /// disk tier is enabled.  Caller holds the mutex.
+  void evict_to_fit() {
+    while (!lru.empty() &&
+           (lru.size() > max_entries || bytes > max_bytes)) {
+      Entry victim = std::move(lru.back());
+      lru.pop_back();
+      index.erase(victim.first);
+      bytes -= victim.second.size();
+      ++counters.evictions;
+      spill(victim.first, victim.second);
+    }
+  }
+
+  void spill(std::uint64_t key, const std::string& payload) {
+    if (spill_dir.empty()) return;
+    std::error_code ec;
+    if (!spill_dir_ready) {
+      std::filesystem::create_directories(spill_dir, ec);
+      if (ec) return;  // disk tier is best-effort; memory tier still correct
+      spill_dir_ready = true;
+    }
+    const std::string path = spill_dir + "/" + hex_name(key);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) return;
+    out.write(payload.data(),
+              static_cast<std::streamsize>(payload.size()));
+    if (!out) std::filesystem::remove(path, ec);
+  }
+
+  [[nodiscard]] std::optional<std::string> load_spilled(std::uint64_t key) {
+    if (spill_dir.empty()) return std::nullopt;
+    std::ifstream in(spill_dir + "/" + hex_name(key), std::ios::binary);
+    if (!in) return std::nullopt;
+    std::string payload((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    if (!in.good() && !in.eof()) return std::nullopt;
+    return payload;
+  }
+};
+
+ResultCache::ResultCache(std::size_t max_entries, std::size_t max_bytes,
+                         std::string spill_dir)
+    : impl_(new Impl) {
+  CVG_CHECK(max_entries > 0 && max_bytes > 0)
+      << "ResultCache: bounds must be positive";
+  impl_->max_entries = max_entries;
+  impl_->max_bytes = max_bytes;
+  impl_->spill_dir = std::move(spill_dir);
+}
+
+ResultCache::~ResultCache() { delete impl_; }
+
+std::optional<std::string> ResultCache::lookup(std::uint64_t key) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  const auto it = impl_->index.find(key);
+  if (it != impl_->index.end()) {
+    impl_->lru.splice(impl_->lru.begin(), impl_->lru, it->second);
+    ++impl_->counters.hits;
+    return it->second->second;
+  }
+  if (std::optional<std::string> payload = impl_->load_spilled(key)) {
+    ++impl_->counters.spill_hits;
+    // Promote back into the memory tier.
+    impl_->lru.emplace_front(key, *payload);
+    impl_->index.emplace(key, impl_->lru.begin());
+    impl_->bytes += payload->size();
+    impl_->evict_to_fit();
+    return payload;
+  }
+  ++impl_->counters.misses;
+  return std::nullopt;
+}
+
+void ResultCache::insert(std::uint64_t key, std::string payload) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  if (payload.size() > impl_->max_bytes) return;
+  const auto it = impl_->index.find(key);
+  if (it != impl_->index.end()) {
+    impl_->bytes -= it->second->second.size();
+    impl_->bytes += payload.size();
+    it->second->second = std::move(payload);
+    impl_->lru.splice(impl_->lru.begin(), impl_->lru, it->second);
+  } else {
+    impl_->lru.emplace_front(key, std::move(payload));
+    impl_->index.emplace(key, impl_->lru.begin());
+    impl_->bytes += impl_->lru.front().second.size();
+    ++impl_->counters.insertions;
+  }
+  impl_->evict_to_fit();
+}
+
+CacheStats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  CacheStats out = impl_->counters;
+  out.entries = impl_->lru.size();
+  out.bytes = impl_->bytes;
+  return out;
+}
+
+}  // namespace cvg::serve

@@ -1,0 +1,494 @@
+#include "cvg/serve/job.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+#include "cvg/adversary/registry.hpp"
+#include "cvg/policy/registry.hpp"
+#include "cvg/topology/spec.hpp"
+#include "cvg/util/check.hpp"
+#include "cvg/util/fnv.hpp"
+#include "cvg/util/rng.hpp"
+
+namespace cvg::serve {
+
+namespace {
+
+/// Wire names of every job kind, indexed by JobKind.  scripts/
+/// check_invariants.py cross-references these quoted names against the
+/// serve tests — every job type the service accepts must be exercised.
+constexpr const char* kJobKinds[] = {
+    "run", "sweep", "replay", "certify", "minimize", "stats", "shutdown",
+};
+
+[[nodiscard]] std::optional<JobKind> job_kind_from_name(std::string_view name) {
+  for (std::size_t i = 0; i < std::size(kJobKinds); ++i) {
+    if (name == kJobKinds[i]) return static_cast<JobKind>(i);
+  }
+  return std::nullopt;
+}
+
+/// Latches the first validation failure as a `bad_request` JobError.
+class Validator {
+ public:
+  explicit Validator(JobError& error) : error_(error) {}
+
+  [[nodiscard]] bool failed() const { return failed_; }
+
+  void fail(std::string message) {
+    if (failed_) return;
+    failed_ = true;
+    error_.code = "bad_request";
+    error_.message = std::move(message);
+  }
+
+  /// Field must be a string.
+  [[nodiscard]] std::optional<std::string> string_field(const JsonValue& value,
+                                                        const std::string& key) {
+    if (!value.is_string()) {
+      fail("field \"" + key + "\" must be a string");
+      return std::nullopt;
+    }
+    return value.as_string();
+  }
+
+  /// Field must be an integer in [min, max].
+  [[nodiscard]] std::optional<std::uint64_t> count_field(const JsonValue& value,
+                                                         const std::string& key,
+                                                         std::uint64_t min,
+                                                         std::uint64_t max) {
+    if (!value.is_int() || value.as_int() < 0) {
+      fail("field \"" + key + "\" must be a non-negative integer");
+      return std::nullopt;
+    }
+    const auto count = static_cast<std::uint64_t>(value.as_int());
+    if (count < min || count > max) {
+      fail("field \"" + key + "\" must be in [" + std::to_string(min) + ", " +
+           std::to_string(max) + "]");
+      return std::nullopt;
+    }
+    return count;
+  }
+
+  /// Field must be an array of 1..max_items non-empty strings.
+  [[nodiscard]] std::optional<std::vector<std::string>> string_list_field(
+      const JsonValue& value, const std::string& key, std::size_t max_items) {
+    if (!value.is_array()) {
+      fail("field \"" + key + "\" must be an array of strings");
+      return std::nullopt;
+    }
+    const JsonArray& array = value.as_array();
+    if (array.empty() || array.size() > max_items) {
+      fail("field \"" + key + "\" must hold 1.." + std::to_string(max_items) +
+           " entries");
+      return std::nullopt;
+    }
+    std::vector<std::string> items;
+    items.reserve(array.size());
+    for (const JsonValue& item : array) {
+      if (!item.is_string() || item.as_string().empty()) {
+        fail("field \"" + key + "\" entries must be non-empty strings");
+        return std::nullopt;
+      }
+      items.push_back(item.as_string());
+    }
+    return items;
+  }
+
+ private:
+  JobError& error_;
+  bool failed_ = false;
+};
+
+/// Ceilings keeping one request's worth of work bounded.
+constexpr std::size_t kMaxSweepAxis = 64;
+constexpr std::size_t kMaxIdBytes = 128;
+constexpr std::size_t kMaxPathBytes = 4096;
+constexpr std::uint64_t kMaxTimeoutMs = 600'000;
+constexpr std::uint64_t kMaxMinimizeReplays = 1'000'000;
+constexpr Capacity kMaxCapacity = 1024;
+
+[[nodiscard]] bool validate_topology(const std::string& spec, Validator& v) {
+  std::string spec_error;
+  if (!build::parse_topology_spec(spec, spec_error).has_value()) {
+    v.fail("topology \"" + spec + "\": " + spec_error);
+    return false;
+  }
+  return true;
+}
+
+[[nodiscard]] bool validate_policy(const std::string& name, Validator& v) {
+  if (!is_known_policy(name)) {
+    v.fail("unknown policy \"" + name + "\"");
+    return false;
+  }
+  return true;
+}
+
+/// Fields each op accepts beyond the universal `op` / `id` / `timeout_ms` /
+/// `cache`.  Everything else in the request is a structured rejection.
+[[nodiscard]] bool field_allowed(JobKind kind, std::string_view key) {
+  static constexpr std::string_view kRunFields[] = {
+      "topology", "policy",    "adversary", "steps",
+      "capacity", "burstiness", "semantics", "seed"};
+  static constexpr std::string_view kSweepFields[] = {
+      "topologies", "policies",  "adversary", "steps",
+      "capacity",   "burstiness", "semantics", "seed"};
+  switch (kind) {
+    case JobKind::Run:
+      return std::find(std::begin(kRunFields), std::end(kRunFields), key) !=
+             std::end(kRunFields);
+    case JobKind::Sweep:
+      return std::find(std::begin(kSweepFields), std::end(kSweepFields), key) !=
+             std::end(kSweepFields);
+    case JobKind::Replay:
+    case JobKind::Certify:
+      return key == "file";
+    case JobKind::Minimize:
+      return key == "file" || key == "max_replays";
+    case JobKind::Stats:
+    case JobKind::Shutdown:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string_view job_kind_name(JobKind kind) {
+  const auto index = static_cast<std::size_t>(kind);
+  CVG_CHECK(index < std::size(kJobKinds)) << "job_kind_name: bad kind";
+  return kJobKinds[index];
+}
+
+std::optional<JobRequest> parse_request(std::string_view line, JobError& error) {
+  Validator v(error);
+
+  std::string json_error;
+  const std::optional<JsonValue> document = parse_json(line, json_error);
+  if (!document.has_value()) {
+    v.fail("invalid JSON: " + json_error);
+    return std::nullopt;
+  }
+  if (!document->is_object()) {
+    v.fail("request must be a JSON object");
+    return std::nullopt;
+  }
+
+  const JsonValue* op = document->find("op");
+  if (op == nullptr || !op->is_string()) {
+    v.fail("missing string field \"op\"");
+    return std::nullopt;
+  }
+  const std::optional<JobKind> kind = job_kind_from_name(op->as_string());
+  if (!kind.has_value()) {
+    v.fail("unknown op \"" + op->as_string() + "\"");
+    return std::nullopt;
+  }
+
+  JobRequest request;
+  request.kind = *kind;
+
+  bool saw_topology = false;
+  bool saw_policy = false;
+  bool saw_file = false;
+
+  for (const JsonMember& member : document->as_object()) {
+    const std::string& key = member.first;
+    const JsonValue& value = member.second;
+    if (key == "op") continue;
+    if (key == "id") {
+      if (const auto id = v.string_field(value, key)) {
+        if (id->size() > kMaxIdBytes) {
+          v.fail("field \"id\" longer than " + std::to_string(kMaxIdBytes) +
+                 " bytes");
+        } else {
+          request.id = *id;
+        }
+      }
+      continue;
+    }
+    if (key == "timeout_ms") {
+      if (const auto ms = v.count_field(value, key, 0, kMaxTimeoutMs)) {
+        request.timeout_ms = *ms;
+      }
+      continue;
+    }
+    if (key == "cache") {
+      if (!value.is_bool()) {
+        v.fail("field \"cache\" must be a boolean");
+      } else {
+        request.use_cache = value.as_bool();
+      }
+      continue;
+    }
+    if (!field_allowed(*kind, key)) {
+      v.fail("field \"" + key + "\" is not valid for op \"" +
+             std::string(job_kind_name(*kind)) + "\"");
+      continue;
+    }
+    if (key == "topology") {
+      if (const auto spec = v.string_field(value, key)) {
+        if (validate_topology(*spec, v)) {
+          request.topologies = {*spec};
+          saw_topology = true;
+        }
+      }
+    } else if (key == "topologies") {
+      if (auto specs = v.string_list_field(value, key, kMaxSweepAxis)) {
+        bool ok = true;
+        for (const std::string& spec : *specs) ok = ok && validate_topology(spec, v);
+        if (ok) {
+          request.topologies = std::move(*specs);
+          saw_topology = true;
+        }
+      }
+    } else if (key == "policy") {
+      if (const auto name = v.string_field(value, key)) {
+        if (validate_policy(*name, v)) {
+          request.policies = {*name};
+          saw_policy = true;
+        }
+      }
+    } else if (key == "policies") {
+      if (auto names = v.string_list_field(value, key, kMaxSweepAxis)) {
+        bool ok = true;
+        for (const std::string& name : *names) ok = ok && validate_policy(name, v);
+        if (ok) {
+          request.policies = std::move(*names);
+          saw_policy = true;
+        }
+      }
+    } else if (key == "adversary") {
+      if (const auto name = v.string_field(value, key)) {
+        if (!adversary::is_known_adversary(*name)) {
+          v.fail("unknown adversary \"" + *name + "\"");
+        } else {
+          request.adversary = *name;
+        }
+      }
+    } else if (key == "steps") {
+      if (const auto steps = v.count_field(value, key, 1, kMaxJobSteps)) {
+        request.steps = *steps;
+      }
+    } else if (key == "capacity") {
+      if (const auto c = v.count_field(value, key, 1,
+                                       static_cast<std::uint64_t>(kMaxCapacity))) {
+        request.capacity = static_cast<Capacity>(*c);
+      }
+    } else if (key == "burstiness") {
+      if (const auto b = v.count_field(value, key, 0,
+                                       static_cast<std::uint64_t>(kMaxCapacity))) {
+        request.burstiness = static_cast<Capacity>(*b);
+      }
+    } else if (key == "semantics") {
+      if (const auto name = v.string_field(value, key)) {
+        if (*name == "before") {
+          request.semantics = StepSemantics::DecideBeforeInjection;
+        } else if (*name == "after") {
+          request.semantics = StepSemantics::DecideAfterInjection;
+        } else {
+          v.fail("field \"semantics\" must be \"before\" or \"after\"");
+        }
+      }
+    } else if (key == "seed") {
+      if (!value.is_int() || value.as_int() < 0) {
+        v.fail("field \"seed\" must be a non-negative integer");
+      } else {
+        request.seed = static_cast<std::uint64_t>(value.as_int());
+      }
+    } else if (key == "file") {
+      if (const auto path = v.string_field(value, key)) {
+        if (path->empty() || path->size() > kMaxPathBytes) {
+          v.fail("field \"file\" must be 1.." + std::to_string(kMaxPathBytes) +
+                 " bytes");
+        } else if (path->find('\0') != std::string::npos) {
+          v.fail("field \"file\" contains a NUL byte");
+        } else {
+          request.file = *path;
+          saw_file = true;
+        }
+      }
+    } else if (key == "max_replays") {
+      if (const auto n = v.count_field(value, key, 1, kMaxMinimizeReplays)) {
+        request.max_replays = *n;
+      }
+    }
+    if (v.failed()) return std::nullopt;
+  }
+  if (v.failed()) return std::nullopt;
+
+  // Per-op required fields.
+  switch (*kind) {
+    case JobKind::Run:
+    case JobKind::Sweep: {
+      const char* topo_key = *kind == JobKind::Run ? "topology" : "topologies";
+      const char* policy_key = *kind == JobKind::Run ? "policy" : "policies";
+      if (!saw_topology) v.fail(std::string("missing field \"") + topo_key + "\"");
+      if (!v.failed() && !saw_policy) {
+        v.fail(std::string("missing field \"") + policy_key + "\"");
+      }
+      if (!v.failed() && request.steps == 0) v.fail("missing field \"steps\"");
+      break;
+    }
+    case JobKind::Replay:
+    case JobKind::Certify:
+    case JobKind::Minimize:
+      if (!saw_file) v.fail("missing field \"file\"");
+      break;
+    case JobKind::Stats:
+    case JobKind::Shutdown:
+      break;
+  }
+  if (v.failed()) return std::nullopt;
+  return request;
+}
+
+std::uint64_t run_job_hash(const std::string& topology,
+                           const std::string& policy,
+                           const std::string& adversary, Step steps,
+                           Capacity capacity, Capacity burstiness,
+                           StepSemantics semantics, std::uint64_t seed) {
+  Fnv1a hash;
+  hash.str("run");
+  hash.str(topology);
+  hash.str(policy);
+  hash.str(adversary);
+  hash.u64(steps);
+  hash.u32(static_cast<std::uint32_t>(capacity));
+  hash.u32(static_cast<std::uint32_t>(burstiness));
+  hash.u8(static_cast<std::uint8_t>(semantics));
+  hash.u64(seed);
+  return hash.value();
+}
+
+std::string format_ok_response(const std::string& id,
+                               std::string_view result_json, bool cached,
+                               std::uint64_t micros) {
+  std::string out = "{\"id\":";
+  out += json_quote(id);
+  out += ",\"ok\":true,\"cached\":";
+  out += cached ? "true" : "false";
+  out += ",\"micros\":";
+  out += std::to_string(micros);
+  out += ",\"result\":";
+  out += result_json;
+  out += "}";
+  return out;
+}
+
+std::string format_error_response(const std::string& id, const JobError& error) {
+  std::string out = "{\"id\":";
+  out += json_quote(id);
+  out += ",\"ok\":false,\"error\":{\"code\":";
+  out += json_quote(error.code);
+  out += ",\"message\":";
+  out += json_quote(error.message);
+  out += "}}";
+  return out;
+}
+
+namespace {
+
+/// Raw material for structure-aware fuzzing: schema tokens the mutator
+/// splices into otherwise-valid requests.
+constexpr std::string_view kFuzzTokens[] = {
+    "\"op\"",        "\"run\"",     "\"sweep\"",      "\"replay\"",
+    "\"certify\"",   "\"minimize\"", "\"stats\"",      "\"shutdown\"",
+    "\"topology\"",  "\"topologies\"", "\"policy\"",  "\"policies\"",
+    "\"adversary\"", "\"steps\"",   "\"capacity\"",   "\"burstiness\"",
+    "\"semantics\"", "\"seed\"",    "\"file\"",       "\"max_replays\"",
+    "\"timeout_ms\"", "\"cache\"",  "\"id\"",         "\"before\"",
+    "\"after\"",     "path:64",     "spider:4x4",     "odd-even",
+    "greedy",        "fixed-deepest", ":",            ",",
+    "{",             "}",           "[",              "]",
+    "0",             "-1",          "1e308",          "18446744073709551615",
+    "null",          "true",        "false",          "\\u0000",
+    "\"\\ud800\"",   "0x10",        "  ",             "\n",
+};
+
+constexpr std::string_view kSeedRequests[] = {
+    R"({"op":"run","topology":"path:64","policy":"odd-even","steps":128})",
+    R"({"op":"run","topology":"spider:4x4","policy":"greedy","adversary":"random-uniform","steps":64,"seed":7})",
+    R"({"op":"sweep","topologies":["path:8","star:4"],"policies":["greedy","odd-even"],"steps":32})",
+    R"({"op":"replay","file":"corpus/entry.cvgc","id":"r"})",
+    R"({"op":"certify","file":"corpus"})",
+    R"({"op":"minimize","file":"corpus/entry.cvgc","max_replays":100})",
+    R"({"op":"stats"})",
+    R"({"op":"shutdown","id":"bye"})",
+};
+
+}  // namespace
+
+RequestFuzzReport fuzz_requests(std::uint64_t seed, std::uint64_t rounds,
+                                std::uint64_t budget_ms) {
+  Xoshiro256StarStar rng(seed);
+  const auto start = std::chrono::steady_clock::now();
+  RequestFuzzReport report;
+
+  for (std::uint64_t round = 0; round < rounds; ++round) {
+    if (budget_ms != 0 && (round & 0xFF) == 0) {
+      const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start);
+      if (static_cast<std::uint64_t>(elapsed.count()) >= budget_ms) break;
+    }
+
+    std::string line;
+    switch (rng.next() % 3) {
+      case 0: {
+        // Random bytes, newline-free (the transport splits on newlines).
+        const std::size_t length = rng.next() % 200;
+        line.reserve(length);
+        for (std::size_t i = 0; i < length; ++i) {
+          char c = static_cast<char>(rng.next() & 0xFF);
+          if (c == '\n') c = ' ';
+          line.push_back(c);
+        }
+        break;
+      }
+      case 1: {
+        // Mutate a valid request: byte flips, truncation, duplication.
+        line = std::string(kSeedRequests[rng.next() % std::size(kSeedRequests)]);
+        const std::uint64_t edits = 1 + rng.next() % 8;
+        for (std::uint64_t e = 0; e < edits && !line.empty(); ++e) {
+          const std::size_t at = rng.next() % line.size();
+          switch (rng.next() % 4) {
+            case 0: line[at] = static_cast<char>(rng.next() & 0x7F); break;
+            case 1: line.erase(at, 1 + rng.next() % 4); break;
+            case 2: line.insert(at, std::string(kFuzzTokens[rng.next() % std::size(kFuzzTokens)])); break;
+            default: line.resize(at); break;
+          }
+        }
+        break;
+      }
+      default: {
+        // Splice schema tokens into a fresh soup.
+        const std::uint64_t parts = rng.next() % 16;
+        for (std::uint64_t p = 0; p < parts; ++p) {
+          line += kFuzzTokens[rng.next() % std::size(kFuzzTokens)];
+        }
+        break;
+      }
+    }
+    // Newlines would never reach parse_request through the NDJSON framing.
+    std::replace(line.begin(), line.end(), '\n', ' ');
+
+    JobError error;
+    const std::optional<JobRequest> request = parse_request(line, error);
+    ++report.rounds;
+    if (request.has_value()) {
+      ++report.parsed_ok;
+      // Accepted requests must re-reject or re-accept deterministically and
+      // carry a usable kind; a malformed accept is a fuzzer catch.
+      CVG_CHECK(!job_kind_name(request->kind).empty());
+    } else {
+      ++report.rejected;
+      CVG_CHECK(!error.code.empty() && !error.message.empty())
+          << "fuzz_requests: rejection without a structured error";
+    }
+  }
+  return report;
+}
+
+}  // namespace cvg::serve

@@ -1,0 +1,392 @@
+#include "cvg/serve/json.hpp"
+
+#include <charconv>
+#include <cmath>
+
+#include "cvg/util/check.hpp"
+
+namespace cvg::serve {
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const JsonMember& member : as_object()) {
+    if (member.first == key) return &member.second;
+  }
+  return nullptr;
+}
+
+namespace {
+
+/// Cursor over the input with latched structured errors; every accessor
+/// bounds-checks before reading, mirroring the corpus format Reader.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  [[nodiscard]] bool failed() const { return !error_.empty(); }
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+  std::optional<JsonValue> parse_document() {
+    skip_whitespace();
+    JsonValue value = parse_value(0);
+    if (failed()) return std::nullopt;
+    skip_whitespace();
+    if (pos_ != text_.size()) {
+      fail("trailing bytes after the JSON value");
+      return std::nullopt;
+    }
+    return value;
+  }
+
+ private:
+  void fail(const std::string& message) {
+    if (error_.empty()) {
+      error_ = message + " (at byte " + std::to_string(pos_) + ")";
+    }
+  }
+
+  [[nodiscard]] bool at_end() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return at_end() ? '\0' : text_[pos_]; }
+
+  void skip_whitespace() {
+    while (!at_end()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool consume(char expected, const char* what) {
+    if (at_end() || text_[pos_] != expected) {
+      fail(std::string("expected ") + what);
+      return false;
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_).substr(0, literal.size()) != literal) {
+      fail("unrecognized literal");
+      return false;
+    }
+    pos_ += literal.size();
+    return true;
+  }
+
+  JsonValue parse_value(int depth) {
+    if (depth > kMaxJsonDepth) {
+      fail("nesting deeper than " + std::to_string(kMaxJsonDepth) + " levels");
+      return JsonValue();
+    }
+    skip_whitespace();
+    if (at_end()) {
+      fail("unexpected end of input");
+      return JsonValue();
+    }
+    const char c = peek();
+    if (c == '{') return parse_object(depth);
+    if (c == '[') return parse_array(depth);
+    if (c == '"') return JsonValue(parse_string());
+    if (c == 't') {
+      return consume_literal("true") ? JsonValue(true) : JsonValue();
+    }
+    if (c == 'f') {
+      return consume_literal("false") ? JsonValue(false) : JsonValue();
+    }
+    if (c == 'n') {
+      consume_literal("null");
+      return JsonValue();
+    }
+    if (c == '-' || (c >= '0' && c <= '9')) return parse_number();
+    fail(std::string("unexpected character '") + c + "'");
+    return JsonValue();
+  }
+
+  JsonValue parse_object(int depth) {
+    consume('{', "'{'");
+    JsonObject object;
+    skip_whitespace();
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue(std::move(object));
+    }
+    for (;;) {
+      skip_whitespace();
+      if (peek() != '"') {
+        fail("expected a quoted object key");
+        return JsonValue();
+      }
+      std::string key = parse_string();
+      if (failed()) return JsonValue();
+      for (const JsonMember& member : object) {
+        if (member.first == key) {
+          fail("duplicate object key \"" + key + "\"");
+          return JsonValue();
+        }
+      }
+      skip_whitespace();
+      if (!consume(':', "':' after object key")) return JsonValue();
+      JsonValue value = parse_value(depth + 1);
+      if (failed()) return JsonValue();
+      object.emplace_back(std::move(key), std::move(value));
+      skip_whitespace();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (!consume('}', "',' or '}' in object")) return JsonValue();
+      return JsonValue(std::move(object));
+    }
+  }
+
+  JsonValue parse_array(int depth) {
+    consume('[', "'['");
+    JsonArray array;
+    skip_whitespace();
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue(std::move(array));
+    }
+    for (;;) {
+      JsonValue value = parse_value(depth + 1);
+      if (failed()) return JsonValue();
+      array.push_back(std::move(value));
+      skip_whitespace();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (!consume(']', "',' or ']' in array")) return JsonValue();
+      return JsonValue(std::move(array));
+    }
+  }
+
+  std::string parse_string() {
+    consume('"', "'\"'");
+    std::string out;
+    while (!at_end()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("raw control character in string");
+        return out;
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (at_end()) break;
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          const std::optional<unsigned> code = parse_hex4();
+          if (!code) return out;
+          if (*code >= 0xD800 && *code <= 0xDFFF) {
+            fail("surrogate \\u escapes are not supported");
+            return out;
+          }
+          append_utf8(out, *code);
+          break;
+        }
+        default:
+          fail(std::string("invalid escape '\\") + escape + "'");
+          return out;
+      }
+    }
+    fail("unterminated string");
+    return out;
+  }
+
+  std::optional<unsigned> parse_hex4() {
+    if (text_.size() - pos_ < 4) {
+      fail("truncated \\u escape");
+      return std::nullopt;
+    }
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      code <<= 4;
+      if (c >= '0' && c <= '9') {
+        code |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        code |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        code |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        fail("non-hex digit in \\u escape");
+        return std::nullopt;
+      }
+    }
+    return code;
+  }
+
+  static void append_utf8(std::string& out, unsigned code) {
+    if (code < 0x80) {
+      out.push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (at_end() || peek() < '0' || peek() > '9') {
+      fail("malformed number");
+      return JsonValue();
+    }
+    // JSON forbids leading zeros: either a lone 0 or [1-9][0-9]*.
+    if (peek() == '0') {
+      ++pos_;
+    } else {
+      while (!at_end() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    bool is_integer = true;
+    if (peek() == '.') {
+      is_integer = false;
+      ++pos_;
+      if (at_end() || peek() < '0' || peek() > '9') {
+        fail("malformed fraction");
+        return JsonValue();
+      }
+      while (!at_end() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      is_integer = false;
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (at_end() || peek() < '0' || peek() > '9') {
+        fail("malformed exponent");
+        return JsonValue();
+      }
+      while (!at_end() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    if (is_integer) {
+      std::int64_t value = 0;
+      const auto [ptr, ec] =
+          std::from_chars(token.data(), token.data() + token.size(), value);
+      if (ec == std::errc{} && ptr == token.data() + token.size()) {
+        return JsonValue(value);
+      }
+      // Out of int64 range: fall through to double so huge counters are a
+      // validation error ("not an integer"), not a parse crash.
+    }
+    double value = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), value);
+    if (ec != std::errc{} || ptr != token.data() + token.size() ||
+        !std::isfinite(value)) {
+      fail("number out of range");
+      return JsonValue();
+    }
+    return JsonValue(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+void write_value(const JsonValue& value, std::string& out);
+
+void write_string(std::string_view text, std::string& out) {
+  out.push_back('"');
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out.push_back(kHex[(static_cast<unsigned char>(c) >> 4) & 0xF]);
+          out.push_back(kHex[static_cast<unsigned char>(c) & 0xF]);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void write_value(const JsonValue& value, std::string& out) {
+  if (value.is_null()) {
+    out += "null";
+  } else if (value.is_bool()) {
+    out += value.as_bool() ? "true" : "false";
+  } else if (value.is_int()) {
+    out += std::to_string(value.as_int());
+  } else if (value.is_double()) {
+    const double d = value.as_double();
+    CVG_CHECK(std::isfinite(d)) << "write_json: non-finite double";
+    char buffer[32];
+    const auto [ptr, ec] = std::to_chars(buffer, buffer + sizeof buffer, d);
+    CVG_CHECK(ec == std::errc{}) << "write_json: double format failure";
+    out.append(buffer, ptr);
+  } else if (value.is_string()) {
+    write_string(value.as_string(), out);
+  } else if (value.is_array()) {
+    out.push_back('[');
+    bool first = true;
+    for (const JsonValue& item : value.as_array()) {
+      if (!first) out.push_back(',');
+      first = false;
+      write_value(item, out);
+    }
+    out.push_back(']');
+  } else {
+    out.push_back('{');
+    bool first = true;
+    for (const JsonMember& member : value.as_object()) {
+      if (!first) out.push_back(',');
+      first = false;
+      write_string(member.first, out);
+      out.push_back(':');
+      write_value(member.second, out);
+    }
+    out.push_back('}');
+  }
+}
+
+}  // namespace
+
+std::optional<JsonValue> parse_json(std::string_view text, std::string& error) {
+  Parser parser(text);
+  std::optional<JsonValue> value = parser.parse_document();
+  if (!value.has_value()) error = parser.error();
+  return value;
+}
+
+std::string write_json(const JsonValue& value) {
+  std::string out;
+  write_value(value, out);
+  return out;
+}
+
+std::string json_quote(std::string_view text) {
+  std::string out;
+  write_string(text, out);
+  return out;
+}
+
+}  // namespace cvg::serve

@@ -1,0 +1,597 @@
+#include "cvg/serve/service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "cvg/adversary/registry.hpp"
+#include "cvg/corpus/format.hpp"
+#include "cvg/corpus/minimize.hpp"
+#include "cvg/corpus/replay.hpp"
+#include "cvg/parallel/pool.hpp"
+#include "cvg/policy/registry.hpp"
+#include "cvg/topology/spec.hpp"
+#include "cvg/util/check.hpp"
+#include "cvg/util/fnv.hpp"
+
+namespace cvg::serve {
+
+namespace {
+
+/// How often the simulation loops poll their CancelToken: cheap enough to
+/// be invisible, frequent enough that timeouts land within milliseconds.
+constexpr Step kCancelPollMask = 1023;
+
+[[nodiscard]] std::uint64_t now_micros(std::chrono::steady_clock::time_point t0) {
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count());
+}
+
+/// Outcome of one executor: a serialized JSON payload or a structured error.
+struct ExecResult {
+  std::string payload;  ///< serialized JSON value; meaningful when ok
+  JobError error;
+  bool ok = false;
+
+  static ExecResult success(std::string payload) {
+    ExecResult r;
+    r.payload = std::move(payload);
+    r.ok = true;
+    return r;
+  }
+  static ExecResult failure(std::string code, std::string message) {
+    ExecResult r;
+    r.error = {std::move(code), std::move(message)};
+    return r;
+  }
+};
+
+/// Executes one run cell (shared by `run` and each `sweep` cell).  The
+/// request was validated, so registry lookups cannot fail; only the
+/// cancellation deadline can.
+[[nodiscard]] ExecResult execute_run_cell(const std::string& topology,
+                                          const std::string& policy_name,
+                                          const JobRequest& request,
+                                          const CancelToken& cancel) {
+  std::string spec_error;
+  const auto spec = build::parse_topology_spec(topology, spec_error);
+  CVG_CHECK(spec.has_value()) << "validated spec failed to re-parse";
+  const Tree tree = build::make_tree(*spec);
+  const PolicyPtr policy = make_policy(policy_name);
+
+  SimOptions options;
+  options.capacity = request.capacity;
+  options.burstiness = request.burstiness;
+  options.semantics = request.semantics;
+
+  adversary::AdversaryContext context;
+  context.tree = &tree;
+  context.policy = policy.get();
+  context.options = options;
+  context.seed = request.seed;
+  const AdversaryPtr adversary =
+      adversary::make_adversary(request.adversary, context);
+  adversary->on_simulation_start();
+
+  Simulator sim(tree, *policy, options);
+  std::vector<NodeId> injections;
+  for (Step step = 0; step < request.steps; ++step) {
+    if ((step & kCancelPollMask) == 0 && cancel.cancelled()) {
+      return ExecResult::failure(
+          "timeout", "run cancelled after " + std::to_string(step) + " steps");
+    }
+    injections.clear();
+    adversary->plan(tree, sim.config(), step, options.capacity, injections);
+    sim.step(injections);
+  }
+
+  JsonObject cell;
+  cell.emplace_back("topology", JsonValue(topology));
+  cell.emplace_back("policy", JsonValue(policy_name));
+  cell.emplace_back("adversary", JsonValue(request.adversary));
+  cell.emplace_back("steps", JsonValue(request.steps));
+  cell.emplace_back("peak", JsonValue(sim.peak_height()));
+  cell.emplace_back("injected", JsonValue(sim.injected()));
+  cell.emplace_back("delivered", JsonValue(sim.delivered()));
+  return ExecResult::success(write_json(JsonValue(std::move(cell))));
+}
+
+[[nodiscard]] JsonValue replay_payload(const std::string& file,
+                                       const corpus::CorpusEntry& entry,
+                                       Height replayed) {
+  JsonObject payload;
+  payload.emplace_back("file", JsonValue(file));
+  payload.emplace_back("topology", JsonValue(entry.topology));
+  payload.emplace_back("policy", JsonValue(entry.policy));
+  payload.emplace_back("steps", JsonValue(entry.schedule.size()));
+  payload.emplace_back("recorded", JsonValue(entry.peak));
+  payload.emplace_back("replayed", JsonValue(replayed));
+  payload.emplace_back("ok", JsonValue(replayed >= entry.peak));
+  return JsonValue(std::move(payload));
+}
+
+/// FNV over a file's raw bytes, for certify cache keys: any byte change in
+/// any corpus file changes the job hash.  nullopt when unreadable.
+[[nodiscard]] std::optional<std::uint64_t> file_bytes_hash(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  Fnv1a hash;
+  char buffer[4096];
+  while (in.read(buffer, sizeof buffer) || in.gcount() > 0) {
+    hash.bytes(buffer, static_cast<std::size_t>(in.gcount()));
+    if (in.eof()) break;
+  }
+  return hash.value();
+}
+
+}  // namespace
+
+struct Service::Impl {
+  ServiceOptions options;
+  WorkerPool pool;
+  ResultCache cache;
+
+  mutable std::mutex stats_mutex;
+  ServiceStats counters;
+  report::LatencyProfile latency;
+  bool shutting_down = false;  ///< admission gate (guarded by stats_mutex)
+
+  explicit Impl(ServiceOptions opts)
+      : options(opts),
+        pool(opts.threads != 0 ? opts.threads
+                               : std::max(1u, std::thread::hardware_concurrency()),
+             opts.queue_capacity),
+        cache(opts.cache_entries, opts.cache_bytes, opts.spill_dir) {}
+
+  void count_response(bool ok, bool cached, std::uint64_t micros) {
+    std::lock_guard<std::mutex> lock(stats_mutex);
+    if (ok) {
+      ++counters.ok;
+      if (cached) ++counters.cache_hits;
+    } else {
+      ++counters.errors;
+    }
+    latency.record(micros);
+  }
+
+  /// Cache key of a validated request, or nullopt when the job is not
+  /// cacheable (stats/shutdown) or its key cannot be computed yet
+  /// (replay/minimize/certify keys depend on file bytes and are computed by
+  /// the executor, which loads the file anyway).
+  [[nodiscard]] static std::optional<std::uint64_t> direct_cache_key(
+      const JobRequest& request) {
+    if (request.kind != JobKind::Run) return std::nullopt;
+    return run_job_hash(request.topologies.front(), request.policies.front(),
+                        request.adversary, request.steps, request.capacity,
+                        request.burstiness, request.semantics, request.seed);
+  }
+
+  [[nodiscard]] ExecResult execute_sweep(const JobRequest& request,
+                                         const CancelToken& cancel,
+                                         std::uint64_t& cached_cells) {
+    std::string cells = "[";
+    bool first = true;
+    for (const std::string& topology : request.topologies) {
+      for (const std::string& policy : request.policies) {
+        if (cancel.cancelled()) {
+          return ExecResult::failure("timeout", "sweep cancelled mid-grid");
+        }
+        const std::uint64_t key = run_job_hash(
+            topology, policy, request.adversary, request.steps,
+            request.capacity, request.burstiness, request.semantics,
+            request.seed);
+        std::string cell;
+        std::optional<std::string> hit =
+            request.use_cache ? cache.lookup(key) : std::nullopt;
+        if (hit.has_value()) {
+          cell = std::move(*hit);
+          ++cached_cells;
+        } else {
+          ExecResult result = execute_run_cell(topology, policy, request, cancel);
+          if (!result.ok) return result;
+          cell = std::move(result.payload);
+          if (request.use_cache) cache.insert(key, cell);
+        }
+        if (!first) cells += ",";
+        first = false;
+        cells += cell;
+      }
+    }
+    cells += "]";
+    const std::uint64_t total = static_cast<std::uint64_t>(
+        request.topologies.size() * request.policies.size());
+    std::string payload = "{\"cells\":" + cells +
+                          ",\"cell_count\":" + std::to_string(total) +
+                          ",\"cached_cells\":" + std::to_string(cached_cells) +
+                          "}";
+    return ExecResult::success(std::move(payload));
+  }
+
+  [[nodiscard]] ExecResult execute_replay(const JobRequest& request,
+                                          bool& cached) {
+    std::string error;
+    const std::optional<corpus::CorpusEntry> entry =
+        corpus::load_entry(request.file, error);
+    if (!entry.has_value()) {
+      return ExecResult::failure("not_found",
+                                 "cannot load \"" + request.file + "\": " + error);
+    }
+    if (!is_known_policy(entry->policy)) {
+      return ExecResult::failure(
+          "bad_request", "entry names unknown policy \"" + entry->policy + "\"");
+    }
+    Fnv1a key;
+    key.str("replay");
+    key.u64(corpus::content_hash(*entry));
+    if (request.use_cache) {
+      if (std::optional<std::string> hit = cache.lookup(key.value())) {
+        cached = true;
+        return ExecResult::success(std::move(*hit));
+      }
+    }
+    const Height replayed = corpus::replay_entry(*entry);
+    std::string payload =
+        write_json(replay_payload(request.file, *entry, replayed));
+    if (request.use_cache) cache.insert(key.value(), payload);
+    return ExecResult::success(std::move(payload));
+  }
+
+  [[nodiscard]] ExecResult execute_certify(const JobRequest& request,
+                                           const CancelToken& cancel,
+                                           bool& cached) {
+    std::vector<std::string> paths;
+    std::error_code ec;
+    for (const auto& item :
+         std::filesystem::directory_iterator(request.file, ec)) {
+      if (item.path().extension() == ".cvgc") paths.push_back(item.path().string());
+    }
+    if (ec) {
+      return ExecResult::failure(
+          "not_found", "cannot list \"" + request.file + "\": " + ec.message());
+    }
+    std::sort(paths.begin(), paths.end());
+
+    // Content-addressed key over the raw bytes of every file in the corpus:
+    // touch any file and the certify recomputes; touch nothing and it hits.
+    Fnv1a key;
+    key.str("certify");
+    for (const std::string& path : paths) {
+      key.str(path);
+      const std::optional<std::uint64_t> bytes = file_bytes_hash(path);
+      key.u64(bytes.value_or(0));
+      key.u8(bytes.has_value() ? 1 : 0);
+    }
+    if (request.use_cache) {
+      if (std::optional<std::string> hit = cache.lookup(key.value())) {
+        cached = true;
+        return ExecResult::success(std::move(*hit));
+      }
+    }
+
+    JsonArray checks;
+    std::uint64_t failures = 0;
+    for (const std::string& path : paths) {
+      if (cancel.cancelled()) {
+        return ExecResult::failure("timeout", "certify cancelled at \"" + path +
+                                                  "\"");
+      }
+      JsonObject check;
+      check.emplace_back("file", JsonValue(path));
+      std::string error;
+      const std::optional<corpus::CorpusEntry> entry =
+          corpus::load_entry(path, error);
+      if (!entry.has_value()) {
+        check.emplace_back("ok", JsonValue(false));
+        check.emplace_back("error", JsonValue(error));
+        ++failures;
+      } else if (!is_known_policy(entry->policy)) {
+        check.emplace_back("ok", JsonValue(false));
+        check.emplace_back("error",
+                           JsonValue("unknown policy \"" + entry->policy + "\""));
+        ++failures;
+      } else {
+        const Height replayed = corpus::replay_entry(*entry);
+        const bool ok = replayed >= entry->peak;
+        check.emplace_back("ok", JsonValue(ok));
+        check.emplace_back("recorded", JsonValue(entry->peak));
+        check.emplace_back("replayed", JsonValue(replayed));
+        if (!ok) ++failures;
+      }
+      checks.emplace_back(JsonValue(std::move(check)));
+    }
+
+    JsonObject payload;
+    payload.emplace_back("dir", JsonValue(request.file));
+    payload.emplace_back("entries", JsonValue(checks.size()));
+    payload.emplace_back("failures", JsonValue(failures));
+    payload.emplace_back("ok", JsonValue(!checks.empty() && failures == 0));
+    payload.emplace_back("checks", JsonValue(std::move(checks)));
+    std::string text = write_json(JsonValue(std::move(payload)));
+    if (request.use_cache) cache.insert(key.value(), text);
+    return ExecResult::success(std::move(text));
+  }
+
+  [[nodiscard]] ExecResult execute_minimize(const JobRequest& request,
+                                            bool& cached) {
+    std::string error;
+    const std::optional<corpus::CorpusEntry> entry =
+        corpus::load_entry(request.file, error);
+    if (!entry.has_value()) {
+      return ExecResult::failure("not_found",
+                                 "cannot load \"" + request.file + "\": " + error);
+    }
+    if (!is_known_policy(entry->policy)) {
+      return ExecResult::failure(
+          "bad_request", "entry names unknown policy \"" + entry->policy + "\"");
+    }
+    const Height replayed = corpus::replay_entry(*entry);
+    if (replayed < entry->peak) {
+      return ExecResult::failure(
+          "bad_request",
+          "entry does not reproduce its recorded peak (replayed " +
+              std::to_string(replayed) + " < recorded " +
+              std::to_string(entry->peak) + "); refusing to minimize");
+    }
+    Fnv1a key;
+    key.str("minimize");
+    key.u64(corpus::content_hash(*entry));
+    key.u64(request.max_replays);
+    if (request.use_cache) {
+      if (std::optional<std::string> hit = cache.lookup(key.value())) {
+        cached = true;
+        return ExecResult::success(std::move(*hit));
+      }
+    }
+    const Tree tree(entry->parents);
+    const PolicyPtr policy = make_policy(entry->policy);
+    corpus::MinimizeOptions minimize_options;
+    minimize_options.max_replays = request.max_replays;
+    const corpus::MinimizeResult result = corpus::minimize_schedule(
+        tree, *policy, corpus::replay_options(*entry), entry->schedule,
+        entry->peak, minimize_options);
+
+    JsonObject payload;
+    payload.emplace_back("file", JsonValue(request.file));
+    payload.emplace_back("peak", JsonValue(result.peak));
+    payload.emplace_back("initial_steps", JsonValue(result.initial_steps));
+    payload.emplace_back("final_steps", JsonValue(result.final_steps));
+    payload.emplace_back("replays", JsonValue(result.replays));
+    std::string text = write_json(JsonValue(std::move(payload)));
+    if (request.use_cache) cache.insert(key.value(), text);
+    return ExecResult::success(std::move(text));
+  }
+
+  /// Runs one pool-scheduled job start to finish and responds.
+  void run_job(const JobRequest& request,
+               const std::function<void(std::string)>& respond) {
+    const auto t0 = std::chrono::steady_clock::now();
+    CancelToken cancel;
+    cancel.set_timeout_ms(request.timeout_ms != 0 ? request.timeout_ms
+                                                  : options.default_timeout_ms);
+
+    bool cached = false;
+    ExecResult result;
+    switch (request.kind) {
+      case JobKind::Run: {
+        const std::optional<std::uint64_t> key = direct_cache_key(request);
+        CVG_CHECK(key.has_value());
+        if (request.use_cache) {
+          if (std::optional<std::string> hit = cache.lookup(*key)) {
+            cached = true;
+            result = ExecResult::success(std::move(*hit));
+            break;
+          }
+        }
+        result = execute_run_cell(request.topologies.front(),
+                                  request.policies.front(), request, cancel);
+        if (result.ok && request.use_cache) cache.insert(*key, result.payload);
+        break;
+      }
+      case JobKind::Sweep: {
+        std::uint64_t cached_cells = 0;
+        result = execute_sweep(request, cancel, cached_cells);
+        // A sweep counts as a cache hit when every cell came from the cache
+        // (the whole grid skipped simulation).
+        cached = result.ok && cached_cells == request.topologies.size() *
+                                                  request.policies.size();
+        break;
+      }
+      case JobKind::Replay:
+        result = execute_replay(request, cached);
+        break;
+      case JobKind::Certify:
+        result = execute_certify(request, cancel, cached);
+        break;
+      case JobKind::Minimize:
+        result = execute_minimize(request, cached);
+        break;
+      case JobKind::Stats:
+      case JobKind::Shutdown:
+        result = ExecResult::failure("internal", "inline op reached the pool");
+        break;
+    }
+
+    const std::uint64_t micros = now_micros(t0);
+    count_response(result.ok, cached, micros);
+    if (result.ok) {
+      respond(format_ok_response(request.id, result.payload, cached, micros));
+    } else {
+      respond(format_error_response(request.id, result.error));
+    }
+  }
+};
+
+Service::Service(ServiceOptions options)
+    : impl_(std::make_unique<Impl>(options)) {}
+
+Service::~Service() { impl_->pool.shutdown(); }
+
+void Service::submit_line(std::string_view line,
+                          std::function<void(std::string)> respond) {
+  {
+    std::lock_guard<std::mutex> lock(impl_->stats_mutex);
+    ++impl_->counters.received;
+  }
+
+  JobError error;
+  std::optional<JobRequest> request = parse_request(line, error);
+  if (!request.has_value()) {
+    // The id, if the line had a readable one, is unknowable — echo empty.
+    {
+      std::lock_guard<std::mutex> lock(impl_->stats_mutex);
+      ++impl_->counters.errors;
+    }
+    respond(format_error_response("", error));
+    return;
+  }
+
+  // Observability and shutdown must not queue behind a saturated pool.
+  if (request->kind == JobKind::Stats) {
+    {
+      std::lock_guard<std::mutex> lock(impl_->stats_mutex);
+      ++impl_->counters.ok;
+    }
+    respond(format_ok_response(request->id, write_json(stats_json()),
+                               /*cached=*/false, /*micros=*/0));
+    return;
+  }
+  if (request->kind == JobKind::Shutdown) {
+    begin_shutdown();
+    {
+      std::lock_guard<std::mutex> lock(impl_->stats_mutex);
+      ++impl_->counters.ok;
+    }
+    respond(format_ok_response(request->id, "{\"shutting_down\":true}",
+                               /*cached=*/false, /*micros=*/0));
+    return;
+  }
+
+  // Admission gate: a draining service rejects new simulation work (the
+  // pool itself keeps running so in-flight jobs can finish and answer).
+  bool rejected = false;
+  {
+    std::lock_guard<std::mutex> lock(impl_->stats_mutex);
+    if (impl_->shutting_down) {
+      ++impl_->counters.errors;
+      rejected = true;
+    }
+  }
+  if (rejected) {
+    respond(format_error_response(
+        request->id, {"shutting_down", "service is draining; job rejected"}));
+    return;
+  }
+
+  // std::function must be copyable; share the request with the task.
+  auto shared = std::make_shared<JobRequest>(std::move(*request));
+  auto callback = std::make_shared<std::function<void(std::string)>>(
+      std::move(respond));
+  const WorkerPool::Submit submitted = impl_->pool.try_submit(
+      [impl = impl_.get(), shared, callback] { impl->run_job(*shared, *callback); });
+  if (submitted == WorkerPool::Submit::Accepted) return;
+
+  {
+    std::lock_guard<std::mutex> lock(impl_->stats_mutex);
+    ++impl_->counters.errors;
+  }
+  if (submitted == WorkerPool::Submit::QueueFull) {
+    (*callback)(format_error_response(
+        shared->id,
+        {"queue_full", "job queue is at capacity; retry after a response"}));
+  } else {
+    (*callback)(format_error_response(
+        shared->id, {"shutting_down", "service is draining; job rejected"}));
+  }
+}
+
+std::string Service::process_line(std::string_view line) {
+  std::mutex mutex;
+  std::condition_variable done;
+  std::string response;
+  bool ready = false;
+  submit_line(line, [&](std::string text) {
+    std::lock_guard<std::mutex> lock(mutex);
+    response = std::move(text);
+    ready = true;
+    done.notify_one();
+  });
+  std::unique_lock<std::mutex> lock(mutex);
+  done.wait(lock, [&] { return ready; });
+  return response;
+}
+
+void Service::begin_shutdown() {
+  // The pool keeps draining already-queued jobs; only admission stops.
+  // WorkerPool's own shutdown() joins the workers, so admission is gated
+  // here and the pool is only joined by the destructor.
+  std::lock_guard<std::mutex> lock(impl_->stats_mutex);
+  impl_->shutting_down = true;
+}
+
+void Service::drain() { impl_->pool.drain(); }
+
+bool Service::shutting_down() const {
+  std::lock_guard<std::mutex> lock(impl_->stats_mutex);
+  return impl_->shutting_down;
+}
+
+ServiceStats Service::stats() const {
+  std::lock_guard<std::mutex> lock(impl_->stats_mutex);
+  ServiceStats out = impl_->counters;
+  out.queue_depth = impl_->pool.queue_depth();
+  return out;
+}
+
+CacheStats Service::cache_stats() const { return impl_->cache.stats(); }
+
+JsonValue Service::stats_json() const {
+  const ServiceStats service = stats();
+  const CacheStats cache = cache_stats();
+
+  JsonObject latency;
+  {
+    std::lock_guard<std::mutex> lock(impl_->stats_mutex);
+    latency.emplace_back("count", JsonValue(impl_->latency.count()));
+    latency.emplace_back("mean_micros", JsonValue(impl_->latency.mean()));
+    latency.emplace_back("p50_micros", JsonValue(impl_->latency.quantile(0.5)));
+    latency.emplace_back("p95_micros", JsonValue(impl_->latency.quantile(0.95)));
+    latency.emplace_back("max_micros", JsonValue(impl_->latency.max()));
+  }
+
+  JsonObject cache_json;
+  cache_json.emplace_back("hits", JsonValue(cache.hits));
+  cache_json.emplace_back("spill_hits", JsonValue(cache.spill_hits));
+  cache_json.emplace_back("misses", JsonValue(cache.misses));
+  cache_json.emplace_back("insertions", JsonValue(cache.insertions));
+  cache_json.emplace_back("evictions", JsonValue(cache.evictions));
+  cache_json.emplace_back("entries", JsonValue(cache.entries));
+  cache_json.emplace_back("bytes", JsonValue(cache.bytes));
+  const std::uint64_t lookups = cache.hits + cache.spill_hits + cache.misses;
+  cache_json.emplace_back(
+      "hit_rate",
+      JsonValue(lookups == 0
+                    ? 0.0
+                    : static_cast<double>(cache.hits + cache.spill_hits) /
+                          static_cast<double>(lookups)));
+
+  JsonObject out;
+  out.emplace_back("received", JsonValue(service.received));
+  out.emplace_back("ok", JsonValue(service.ok));
+  out.emplace_back("errors", JsonValue(service.errors));
+  out.emplace_back("cache_hits", JsonValue(service.cache_hits));
+  out.emplace_back("queue_depth", JsonValue(service.queue_depth));
+  out.emplace_back("shutting_down", JsonValue(shutting_down()));
+  out.emplace_back("cache", JsonValue(std::move(cache_json)));
+  out.emplace_back("latency", JsonValue(std::move(latency)));
+  return JsonValue(std::move(out));
+}
+
+}  // namespace cvg::serve

@@ -1,0 +1,263 @@
+#include "cvg/serve/transport.hpp"
+
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace cvg::serve {
+
+namespace {
+
+/// Writes all of `data`, riding out EINTR and short writes.
+[[nodiscard]] bool write_all(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t wrote = ::write(fd, data, size);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += wrote;
+    size -= static_cast<std::size_t>(wrote);
+  }
+  return true;
+}
+
+/// Shared response sink for one connection: serializes writes and counts
+/// outstanding responses so the reader can drain before closing.
+struct ResponseSink {
+  int fd;
+  std::mutex mutex;
+  std::condition_variable all_delivered;
+  std::size_t pending = 0;
+  bool write_failed = false;
+
+  explicit ResponseSink(int out_fd) : fd(out_fd) {}
+
+  void expect_one() {
+    std::lock_guard<std::mutex> lock(mutex);
+    ++pending;
+  }
+
+  void deliver(const std::string& line) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (!write_failed) {
+      const std::string framed = line + "\n";
+      // A dead client (closed pipe) must not kill the service; the job's
+      // result is simply dropped and the connection winds down.
+      if (!write_all(fd, framed.data(), framed.size())) write_failed = true;
+    }
+    --pending;
+    if (pending == 0) all_delivered.notify_all();
+  }
+
+  void drain() {
+    std::unique_lock<std::mutex> lock(mutex);
+    all_delivered.wait(lock, [this] { return pending == 0; });
+  }
+};
+
+}  // namespace
+
+LineReader::Status LineReader::next(std::string& line) {
+  for (;;) {
+    // Hand out a buffered line first.
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      if (discarding_ > 0) {
+        // End of an oversized line: drop the tail and report it once.
+        buffer_.erase(0, newline + 1);
+        discarding_ = 0;
+        return Status::Oversized;
+      }
+      line.assign(buffer_, 0, newline);
+      buffer_.erase(0, newline + 1);
+      return Status::Line;
+    }
+    if (buffer_.size() > kMaxLineBytes) {
+      // Still no newline: stop buffering, start discarding.
+      discarding_ += buffer_.size();
+      buffer_.clear();
+    }
+
+    char chunk[4096];
+    const ssize_t got = ::read(fd_, chunk, sizeof chunk);
+    if (got < 0) {
+      if (errno == EINTR) return Status::Interrupted;
+      return Status::Error;
+    }
+    if (got == 0) {
+      if (discarding_ > 0) {
+        discarding_ = 0;
+        return Status::Oversized;
+      }
+      if (!buffer_.empty()) {
+        // Final unterminated line.
+        line = std::move(buffer_);
+        buffer_.clear();
+        return Status::Line;
+      }
+      return Status::Eof;
+    }
+    if (discarding_ > 0) {
+      // Scan the fresh chunk for the terminating newline without buffering.
+      const char* end = static_cast<const char*>(
+          memchr(chunk, '\n', static_cast<std::size_t>(got)));
+      if (end == nullptr) {
+        discarding_ += static_cast<std::size_t>(got);
+        continue;
+      }
+      const std::size_t tail =
+          static_cast<std::size_t>(chunk + got - (end + 1));
+      buffer_.assign(end + 1, tail);
+      discarding_ = 0;
+      return Status::Oversized;
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(got));
+  }
+}
+
+int serve_fd(Service& service, int in_fd, int out_fd,
+             const std::atomic<bool>* stop) {
+  LineReader reader(in_fd);
+  auto sink = std::make_shared<ResponseSink>(out_fd);
+
+  int exit_code = 0;
+  for (;;) {
+    if (stop != nullptr && stop->load(std::memory_order_relaxed)) {
+      service.begin_shutdown();
+      break;
+    }
+    std::string line;
+    const LineReader::Status status = reader.next(line);
+    if (status == LineReader::Status::Interrupted) continue;  // recheck stop
+    if (status == LineReader::Status::Eof) break;
+    if (status == LineReader::Status::Error) {
+      exit_code = 1;
+      break;
+    }
+    if (status == LineReader::Status::Oversized) {
+      sink->expect_one();
+      sink->deliver(format_error_response(
+          "", {"bad_request", "request line longer than " +
+                                  std::to_string(kMaxLineBytes) + " bytes"}));
+      continue;
+    }
+    if (line.empty()) continue;  // blank lines are keep-alives, not requests
+    sink->expect_one();
+    service.submit_line(line,
+                        [sink](std::string response) { sink->deliver(response); });
+  }
+
+  // Every accepted job still answers before the transport goes away.
+  service.drain();
+  sink->drain();
+  return exit_code;
+}
+
+int serve_unix_socket(Service& service, const std::string& path,
+                      const std::atomic<bool>& stop) {
+  sockaddr_un address{};
+  if (path.size() >= sizeof(address.sun_path)) return 1;
+  address.sun_family = AF_UNIX;
+  std::memcpy(address.sun_path, path.c_str(), path.size() + 1);
+
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) return 1;
+  ::unlink(path.c_str());
+  if (::bind(listener, reinterpret_cast<const sockaddr*>(&address),
+             sizeof address) != 0 ||
+      ::listen(listener, 16) != 0) {
+    ::close(listener);
+    ::unlink(path.c_str());
+    return 1;
+  }
+
+  std::vector<std::thread> connections;
+  for (;;) {
+    if (stop.load(std::memory_order_relaxed)) {
+      service.begin_shutdown();
+      break;
+    }
+    if (service.shutting_down()) break;
+
+    pollfd poller{};
+    poller.fd = listener;
+    poller.events = POLLIN;
+    const int ready = ::poll(&poller, 1, /*timeout_ms=*/100);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) continue;
+
+    const int connection = ::accept(listener, nullptr, nullptr);
+    if (connection < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    connections.emplace_back([&service, connection, &stop] {
+      (void)serve_fd(service, connection, connection, &stop);
+      ::close(connection);
+    });
+  }
+
+  for (std::thread& connection : connections) connection.join();
+  service.drain();
+  ::close(listener);
+  ::unlink(path.c_str());
+  return 0;
+}
+
+std::optional<std::string> submit_unix_socket(const std::string& path,
+                                              const std::string& request_line,
+                                              std::string& error) {
+  sockaddr_un address{};
+  if (path.size() >= sizeof(address.sun_path)) {
+    error = "socket path too long";
+    return std::nullopt;
+  }
+  address.sun_family = AF_UNIX;
+  std::memcpy(address.sun_path, path.c_str(), path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    error = "socket: " + std::string(std::strerror(errno));
+    return std::nullopt;
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&address),
+                sizeof address) != 0) {
+    error = "connect " + path + ": " + std::strerror(errno);
+    ::close(fd);
+    return std::nullopt;
+  }
+  const std::string framed = request_line + "\n";
+  if (!write_all(fd, framed.data(), framed.size())) {
+    error = "write: " + std::string(std::strerror(errno));
+    ::close(fd);
+    return std::nullopt;
+  }
+  LineReader reader(fd);
+  std::string response;
+  for (;;) {
+    const LineReader::Status status = reader.next(response);
+    if (status == LineReader::Status::Interrupted) continue;
+    if (status == LineReader::Status::Line) {
+      ::close(fd);
+      return response;
+    }
+    error = status == LineReader::Status::Eof ? "connection closed before reply"
+                                              : "read failure";
+    ::close(fd);
+    return std::nullopt;
+  }
+}
+
+}  // namespace cvg::serve

@@ -1,8 +1,9 @@
 #pragma once
 
 /// \file spec.hpp
-/// Textual topology specifications, so CLIs and corpus tools can name a tree
-/// family + size in one token instead of hard-coding builder calls.
+/// Textual topology specifications, so CLIs, corpus tools and the simulation
+/// service can name a tree family + size in one token instead of hard-coding
+/// builder calls.
 ///
 /// Grammar (one token, no spaces):
 ///
@@ -17,7 +18,19 @@
 ///
 /// Specs are deterministic: the same string always builds the same tree
 /// (randomized families carry their seed in the spec).
+///
+/// Two layers:
+///  - `parse_topology_spec` / `format_topology_spec` give structured access
+///    with hostile-input discipline: every malformed spec (unknown family,
+///    zero or overflowing counts, leading zeros, trailing garbage, sizes
+///    beyond `kMaxSpecNodes`) yields a one-line structured error instead of
+///    a crash, and `format` is the canonical inverse of `parse` —
+///    `format_topology_spec(*parse_topology_spec(s)) == s` for canonical `s`.
+///  - `make_tree` / `is_known_topology_spec` are the historical string
+///    entry points, now thin wrappers over the structured layer.
 
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -25,6 +38,39 @@
 #include "cvg/topology/tree.hpp"
 
 namespace cvg::build {
+
+/// Hard ceiling on the node count any spec may describe (2^26 ≈ 67M nodes).
+/// Untrusted spec strings reach the parser through the corpus CLI and the
+/// simulation service, so a hostile "kary:10x12" must be rejected here
+/// rather than OOM the process inside a builder.
+inline constexpr std::uint64_t kMaxSpecNodes = 1ULL << 26;
+
+/// A parsed spec: the family name plus its numeric arguments in grammar
+/// order (e.g. {"spider", {8, 4}}).  Equal specs build equal trees.
+struct TopologySpec {
+  std::string family;
+  std::vector<std::uint64_t> args;
+
+  friend bool operator==(const TopologySpec&, const TopologySpec&) = default;
+};
+
+/// Parses `text` into a structured spec.  On any malformation — unknown
+/// family, missing/extra/zero/undersized arguments, non-canonical numerals
+/// (leading zeros, signs), overflow, or a node count above `kMaxSpecNodes` —
+/// returns nullopt and sets `error` to a one-line diagnostic.
+[[nodiscard]] std::optional<TopologySpec> parse_topology_spec(
+    std::string_view text, std::string& error);
+
+/// Canonical text of a parsed spec (the exact inverse of
+/// `parse_topology_spec` on canonical input).
+[[nodiscard]] std::string format_topology_spec(const TopologySpec& spec);
+
+/// Exact node count (including the sink) of the tree `spec` describes.
+/// Only valid for specs that passed `parse_topology_spec`.
+[[nodiscard]] std::uint64_t spec_node_count(const TopologySpec& spec);
+
+/// Builds the tree a validated spec describes.
+[[nodiscard]] Tree make_tree(const TopologySpec& spec);
 
 /// Builds the tree named by `spec`; aborts on malformed or unknown specs
 /// (use `is_known_topology_spec` first for untrusted input).

@@ -1,7 +1,6 @@
 #include "cvg/topology/spec.hpp"
 
 #include <charconv>
-#include <optional>
 
 #include "cvg/topology/builders.hpp"
 #include "cvg/util/check.hpp"
@@ -12,9 +11,41 @@ namespace cvg::build {
 
 namespace {
 
-/// Parses a whole-token decimal number (no sign, no trailing garbage).
-std::optional<std::uint64_t> parse_number(std::string_view text) {
+/// One row of the family table: grammar arity, the separator between the two
+/// numeric arguments, and the minimum each argument must meet.
+struct Family {
+  std::string_view name;
+  int arity;               // number of numeric arguments (1 or 2)
+  char sep;                // separator between the two args ('x' or ':')
+  std::uint64_t min0;      // minimum for args[0]
+  std::uint64_t min1;      // minimum for args[1]
+  const char* shape;       // usage text, e.g. "spider:<b>x<len>"
+};
+
+constexpr Family kFamilies[] = {
+    {"path", 1, 0, 2, 0, "path:<n>"},
+    {"star", 1, 0, 1, 0, "star:<b>"},
+    {"spider", 2, 'x', 1, 1, "spider:<b>x<len>"},
+    {"staggered-spider", 1, 0, 1, 0, "staggered-spider:<b>"},
+    {"kary", 2, 'x', 1, 1, "kary:<arity>x<levels>"},
+    {"caterpillar", 2, 'x', 1, 0, "caterpillar:<spine>x<legs>"},
+    {"broom", 2, 'x', 1, 1, "broom:<handle>x<bristles>"},
+    {"random-recursive", 2, ':', 2, 0, "random-recursive:<n>:<seed>"},
+};
+
+const Family* find_family(std::string_view name) {
+  for (const Family& family : kFamilies) {
+    if (family.name == name) return &family;
+  }
+  return nullptr;
+}
+
+/// Parses one canonical decimal number: digits only, no sign, no leading
+/// zero (except "0" itself), no trailing garbage.  Canonical numerals make
+/// `format_topology_spec` an exact inverse of the parser.
+std::optional<std::uint64_t> parse_canonical_number(std::string_view text) {
   if (text.empty()) return std::nullopt;
+  if (text.size() > 1 && text.front() == '0') return std::nullopt;
   std::uint64_t value = 0;
   const auto [ptr, ec] =
       std::from_chars(text.data(), text.data() + text.size(), value);
@@ -24,87 +55,173 @@ std::optional<std::uint64_t> parse_number(std::string_view text) {
   return value;
 }
 
-/// Splits "<a>x<b>" into two numbers.
-std::optional<std::pair<std::uint64_t, std::uint64_t>> parse_pair(
-    std::string_view text) {
-  const std::size_t cross = text.find('x');
-  if (cross == std::string_view::npos) return std::nullopt;
-  const auto a = parse_number(text.substr(0, cross));
-  const auto b = parse_number(text.substr(cross + 1));
-  if (!a || !b) return std::nullopt;
-  return std::make_pair(*a, *b);
-}
-
-/// The family table: each entry validates its argument string and, when not
-/// in dry-run mode, builds the tree.  `try_build` returns nullopt for
-/// unknown/malformed specs so `is_known_topology_spec` shares the parser.
-std::optional<Tree> try_build(std::string_view spec, bool dry_run) {
-  const std::size_t colon = spec.find(':');
-  if (colon == std::string_view::npos || colon == 0) return std::nullopt;
-  const std::string_view family = spec.substr(0, colon);
-  const std::string_view args = spec.substr(colon + 1);
-  const auto tiny = [&] { return Tree({kNoNode, 0}); };
-
-  if (family == "path") {
-    const auto n = parse_number(args);
-    if (!n || *n < 2) return std::nullopt;
-    return dry_run ? tiny() : path(*n);
+/// Node count of a parsed (family, args) pair with overflow discipline:
+/// returns nullopt as soon as the count exceeds `kMaxSpecNodes`, so hostile
+/// argument values can never overflow the arithmetic below.
+std::optional<std::uint64_t> checked_node_count(const Family& family,
+                                                const std::vector<std::uint64_t>& args) {
+  const auto capped = [](std::uint64_t v) -> std::optional<std::uint64_t> {
+    if (v > kMaxSpecNodes) return std::nullopt;
+    return v;
+  };
+  if (family.name == "path") return capped(args[0]);
+  if (family.name == "star") return capped(args[0] + 2);
+  if (family.name == "spider") {
+    if (args[0] > kMaxSpecNodes / args[1]) return std::nullopt;
+    return capped(args[0] * args[1] + 2);
   }
-  if (family == "star") {
-    const auto b = parse_number(args);
-    if (!b || *b < 1) return std::nullopt;
-    return dry_run ? tiny() : star(*b);
+  if (family.name == "staggered-spider") {
+    // b(b+1)/2 + 2 > kMaxSpecNodes for every b past 2^14, well before the
+    // multiplication could overflow.
+    if (args[0] > (1ULL << 14)) return std::nullopt;
+    return capped(args[0] * (args[0] + 1) / 2 + 2);
   }
-  if (family == "spider") {
-    const auto pair = parse_pair(args);
-    if (!pair || pair->first < 1 || pair->second < 1) return std::nullopt;
-    return dry_run ? tiny() : spider(pair->first, pair->second);
+  if (family.name == "kary") {
+    // complete_kary(arity, levels) has sum_{i<levels} arity^i nodes.
+    std::uint64_t count = 0;
+    std::uint64_t power = 1;
+    for (std::uint64_t level = 0; level < args[1]; ++level) {
+      count += power;
+      if (count > kMaxSpecNodes) return std::nullopt;
+      if (level + 1 < args[1]) {
+        if (args[0] != 0 && power > kMaxSpecNodes / args[0]) return std::nullopt;
+        power *= args[0];
+      }
+    }
+    return count;
   }
-  if (family == "staggered-spider") {
-    const auto b = parse_number(args);
-    if (!b || *b < 1) return std::nullopt;
-    return dry_run ? tiny() : spider_staggered(*b);
+  if (family.name == "caterpillar") {
+    if (args[1] >= kMaxSpecNodes) return std::nullopt;
+    if (args[0] > kMaxSpecNodes / (args[1] + 1)) return std::nullopt;
+    return capped(args[0] * (args[1] + 1) + 1);
   }
-  if (family == "kary") {
-    const auto pair = parse_pair(args);
-    if (!pair || pair->first < 1 || pair->second < 1) return std::nullopt;
-    return dry_run ? tiny() : complete_kary(pair->first, pair->second);
+  if (family.name == "broom") {
+    if (args[0] > kMaxSpecNodes || args[1] > kMaxSpecNodes) return std::nullopt;
+    return capped(args[0] + args[1] + 1);
   }
-  if (family == "caterpillar") {
-    const auto pair = parse_pair(args);
-    if (!pair || pair->first < 1) return std::nullopt;
-    return dry_run ? tiny() : caterpillar(pair->first, pair->second);
-  }
-  if (family == "broom") {
-    const auto pair = parse_pair(args);
-    if (!pair || pair->first < 1 || pair->second < 1) return std::nullopt;
-    return dry_run ? tiny() : broom(pair->first, pair->second);
-  }
-  if (family == "random-recursive") {
-    const std::size_t second_colon = args.find(':');
-    if (second_colon == std::string_view::npos) return std::nullopt;
-    const auto n = parse_number(args.substr(0, second_colon));
-    const auto seed = parse_number(args.substr(second_colon + 1));
-    if (!n || *n < 2 || !seed) return std::nullopt;
-    if (dry_run) return tiny();
-    Xoshiro256StarStar rng(*seed);
-    return random_recursive(*n, rng);
-  }
+  if (family.name == "random-recursive") return capped(args[0]);
   return std::nullopt;
 }
 
 }  // namespace
 
+std::optional<TopologySpec> parse_topology_spec(std::string_view text,
+                                                std::string& error) {
+  const auto fail = [&error](std::string message) -> std::optional<TopologySpec> {
+    error = std::move(message);
+    return std::nullopt;
+  };
+
+  const std::size_t colon = text.find(':');
+  if (colon == std::string_view::npos || colon == 0) {
+    return fail("topology spec must look like <family>:<args> (examples: " +
+                join(topology_spec_examples(), ", ") + ")");
+  }
+  const std::string_view name = text.substr(0, colon);
+  const std::string_view rest = text.substr(colon + 1);
+  const Family* family = find_family(name);
+  if (family == nullptr) {
+    return fail("unknown topology family '" + std::string(name) +
+                "' (examples: " + join(topology_spec_examples(), ", ") + ")");
+  }
+
+  TopologySpec spec;
+  spec.family = std::string(name);
+  if (family->arity == 1) {
+    const auto value = parse_canonical_number(rest);
+    if (!value) {
+      return fail(std::string(family->shape) + ": '" + std::string(rest) +
+                  "' is not a canonical decimal count");
+    }
+    spec.args = {*value};
+  } else {
+    const std::size_t sep = rest.find(family->sep);
+    if (sep == std::string_view::npos) {
+      return fail(std::string(family->shape) + ": missing '" +
+                  std::string(1, family->sep) + "' separator in '" +
+                  std::string(rest) + "'");
+    }
+    const auto first = parse_canonical_number(rest.substr(0, sep));
+    const auto second = parse_canonical_number(rest.substr(sep + 1));
+    if (!first || !second) {
+      return fail(std::string(family->shape) + ": '" + std::string(rest) +
+                  "' is not a canonical <a>" + std::string(1, family->sep) +
+                  "<b> pair");
+    }
+    spec.args = {*first, *second};
+  }
+
+  const std::uint64_t minimums[2] = {family->min0, family->min1};
+  for (std::size_t i = 0; i < spec.args.size(); ++i) {
+    if (spec.args[i] < minimums[i]) {
+      return fail(std::string(family->shape) + ": argument " +
+                  std::to_string(i + 1) + " must be >= " +
+                  std::to_string(minimums[i]) + " (got " +
+                  std::to_string(spec.args[i]) + ")");
+    }
+  }
+
+  const auto nodes = checked_node_count(*family, spec.args);
+  if (!nodes) {
+    return fail(std::string(family->shape) + ": node count exceeds the " +
+                std::to_string(kMaxSpecNodes) + "-node spec ceiling");
+  }
+  return spec;
+}
+
+std::string format_topology_spec(const TopologySpec& spec) {
+  const Family* family = find_family(spec.family);
+  CVG_CHECK(family != nullptr && spec.args.size() ==
+                                     static_cast<std::size_t>(family->arity))
+      << "format_topology_spec: malformed spec '" << spec.family << "'";
+  std::string text = spec.family + ":" + std::to_string(spec.args[0]);
+  if (family->arity == 2) {
+    text += family->sep;
+    text += std::to_string(spec.args[1]);
+  }
+  return text;
+}
+
+std::uint64_t spec_node_count(const TopologySpec& spec) {
+  const Family* family = find_family(spec.family);
+  CVG_CHECK(family != nullptr) << "spec_node_count: unknown family '"
+                               << spec.family << "'";
+  const auto nodes = checked_node_count(*family, spec.args);
+  CVG_CHECK(nodes.has_value())
+      << "spec_node_count: '" << format_topology_spec(spec)
+      << "' exceeds the spec ceiling";
+  return *nodes;
+}
+
+Tree make_tree(const TopologySpec& spec) {
+  const auto a = [&spec](std::size_t i) {
+    return static_cast<std::size_t>(spec.args[i]);
+  };
+  if (spec.family == "path") return path(a(0));
+  if (spec.family == "star") return star(a(0));
+  if (spec.family == "spider") return spider(a(0), a(1));
+  if (spec.family == "staggered-spider") return spider_staggered(a(0));
+  if (spec.family == "kary") return complete_kary(a(0), a(1));
+  if (spec.family == "caterpillar") return caterpillar(a(0), a(1));
+  if (spec.family == "broom") return broom(a(0), a(1));
+  if (spec.family == "random-recursive") {
+    Xoshiro256StarStar rng(spec.args[1]);
+    return random_recursive(a(0), rng);
+  }
+  CVG_UNREACHABLE("make_tree: unknown family '" + spec.family + "'");
+}
+
 Tree make_tree(std::string_view spec) {
-  std::optional<Tree> tree = try_build(spec, /*dry_run=*/false);
-  CVG_CHECK(tree.has_value())
-      << "unknown topology spec '" << spec << "' (examples: "
-      << join(topology_spec_examples(), ", ") << ")";
-  return *std::move(tree);
+  std::string error;
+  const std::optional<TopologySpec> parsed = parse_topology_spec(spec, error);
+  CVG_CHECK(parsed.has_value()) << "unknown topology spec '" << spec << "': "
+                                << error;
+  return make_tree(*parsed);
 }
 
 bool is_known_topology_spec(std::string_view spec) {
-  return try_build(spec, /*dry_run=*/true).has_value();
+  std::string error;
+  return parse_topology_spec(spec, error).has_value();
 }
 
 std::vector<std::string> topology_spec_examples() {

@@ -1,0 +1,146 @@
+/// Content-addressed result cache: LRU ordering, the byte bound, recency
+/// refresh on re-insert, and the disk spill/promote tier.
+
+#include "cvg/serve/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+
+namespace cvg::serve {
+namespace {
+
+class SpillDir {
+ public:
+  SpillDir()
+      : path_(std::filesystem::temp_directory_path() /
+              ("cvg_cache_test_" + std::to_string(::getpid()))) {
+    std::filesystem::remove_all(path_);
+  }
+  ~SpillDir() { std::filesystem::remove_all(path_); }
+  [[nodiscard]] std::string str() const { return path_.string(); }
+
+ private:
+  std::filesystem::path path_;
+};
+
+TEST(ServeCache, HitsAfterInsertMissesBefore) {
+  ResultCache cache(8, 1 << 20);
+  EXPECT_FALSE(cache.lookup(1).has_value());
+  cache.insert(1, "payload-one");
+  const auto hit = cache.lookup(1);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "payload-one");
+
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.bytes, std::string("payload-one").size());
+}
+
+TEST(ServeCache, EvictsLeastRecentlyUsedAtTheEntryBound) {
+  ResultCache cache(2, 1 << 20);
+  cache.insert(1, "a");
+  cache.insert(2, "b");
+  // Touch key 1 so key 2 becomes the LRU victim.
+  EXPECT_TRUE(cache.lookup(1).has_value());
+  cache.insert(3, "c");
+  EXPECT_TRUE(cache.lookup(1).has_value());
+  EXPECT_FALSE(cache.lookup(2).has_value());
+  EXPECT_TRUE(cache.lookup(3).has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().entries, 2u);
+}
+
+TEST(ServeCache, EnforcesTheByteBound) {
+  ResultCache cache(100, 10);
+  cache.insert(1, "aaaa");  // 4 bytes
+  cache.insert(2, "bbbb");  // 8 bytes total
+  cache.insert(3, "cccc");  // would be 12 — evicts key 1
+  EXPECT_FALSE(cache.lookup(1).has_value());
+  EXPECT_TRUE(cache.lookup(2).has_value());
+  EXPECT_TRUE(cache.lookup(3).has_value());
+  EXPECT_LE(cache.stats().bytes, 10u);
+}
+
+TEST(ServeCache, RefusesPayloadsLargerThanTheByteBound) {
+  ResultCache cache(100, 8);
+  cache.insert(1, "way too large to ever fit");
+  EXPECT_FALSE(cache.lookup(1).has_value());
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(ServeCache, ReinsertRefreshesRecencyAndPayload) {
+  ResultCache cache(2, 1 << 20);
+  cache.insert(1, "old");
+  cache.insert(2, "b");
+  cache.insert(1, "new");  // refresh: key 2 is now the LRU victim
+  cache.insert(3, "c");
+  EXPECT_FALSE(cache.lookup(2).has_value());
+  const auto hit = cache.lookup(1);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "new");
+}
+
+TEST(ServeCache, SpillsEvictionsToDiskAndPromotesThemBack) {
+  SpillDir dir;
+  ResultCache cache(1, 1 << 20, dir.str());
+  cache.insert(1, "spilled-payload");
+  cache.insert(2, "resident");  // evicts key 1 to disk
+
+  // Key 1 is gone from memory but comes back from the disk tier.
+  const auto promoted = cache.lookup(1);
+  ASSERT_TRUE(promoted.has_value());
+  EXPECT_EQ(*promoted, "spilled-payload");
+
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.spill_hits, 1u);
+  EXPECT_GE(stats.evictions, 1u);
+
+  // The promotion re-entered the memory tier, so a repeat lookup is a
+  // plain memory hit.
+  EXPECT_TRUE(cache.lookup(1).has_value());
+  EXPECT_GE(cache.stats().hits, 1u);
+}
+
+TEST(ServeCache, MissesStayMissesWithoutASpillDir) {
+  ResultCache cache(1, 1 << 20);  // no disk tier
+  cache.insert(1, "a");
+  cache.insert(2, "b");  // evicts key 1 for good
+  EXPECT_FALSE(cache.lookup(1).has_value());
+  EXPECT_EQ(cache.stats().spill_hits, 0u);
+}
+
+TEST(ServeCache, SpillFilesAreNamedByHexKey) {
+  SpillDir dir;
+  {
+    ResultCache cache(1, 1 << 20, dir.str());
+    cache.insert(0xdeadbeefu, "x");
+    cache.insert(2, "y");  // spill 0xdeadbeef
+    const std::filesystem::path expected =
+        std::filesystem::path(dir.str()) / "00000000deadbeef.json";
+    EXPECT_TRUE(std::filesystem::exists(expected)) << expected;
+  }
+}
+
+TEST(ServeCache, SpilledEntriesSurviveACacheRestart) {
+  SpillDir dir;
+  {
+    ResultCache cache(1, 1 << 20, dir.str());
+    cache.insert(7, "durable");
+    cache.insert(8, "other");  // spill key 7
+  }
+  ResultCache reborn(4, 1 << 20, dir.str());
+  const auto hit = reborn.lookup(7);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "durable");
+  EXPECT_EQ(reborn.stats().spill_hits, 1u);
+}
+
+}  // namespace
+}  // namespace cvg::serve

@@ -1,0 +1,185 @@
+/// Job-schema layer of the simulation service: strict request validation
+/// (every "run" / "sweep" / "replay" / "certify" / "minimize" / "stats" /
+/// "shutdown" op), semantic hashing, and the bounded request fuzz that the
+/// sanitize CI lane runs under ASan/UBSan.
+
+#include "cvg/serve/job.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace cvg::serve {
+namespace {
+
+JobRequest must_parse(const std::string& line) {
+  JobError error;
+  const auto request = parse_request(line, error);
+  EXPECT_TRUE(request.has_value()) << line << " -> " << error.message;
+  return request.value_or(JobRequest{});
+}
+
+JobError must_reject(const std::string& line) {
+  JobError error;
+  const auto request = parse_request(line, error);
+  EXPECT_FALSE(request.has_value()) << "hostile request parsed: " << line;
+  EXPECT_EQ(error.code, "bad_request") << line;
+  EXPECT_FALSE(error.message.empty()) << line;
+  return error;
+}
+
+TEST(ServeJob, ParsesEveryOpWithItsFields) {
+  const JobRequest run = must_parse(
+      R"({"op":"run","topology":"path:64","policy":"odd-even","steps":128,)"
+      R"("adversary":"train-and-slam","capacity":2,"burstiness":1,)"
+      R"("semantics":"after","seed":9,"id":"r1","timeout_ms":500,"cache":false})");
+  EXPECT_EQ(run.kind, JobKind::Run);
+  EXPECT_EQ(run.topologies, std::vector<std::string>{"path:64"});
+  EXPECT_EQ(run.policies, std::vector<std::string>{"odd-even"});
+  EXPECT_EQ(run.adversary, "train-and-slam");
+  EXPECT_EQ(run.steps, 128u);
+  EXPECT_EQ(run.capacity, 2);
+  EXPECT_EQ(run.burstiness, 1);
+  EXPECT_EQ(run.semantics, StepSemantics::DecideAfterInjection);
+  EXPECT_EQ(run.seed, 9u);
+  EXPECT_EQ(run.id, "r1");
+  EXPECT_EQ(run.timeout_ms, 500u);
+  EXPECT_FALSE(run.use_cache);
+
+  const JobRequest sweep = must_parse(
+      R"({"op":"sweep","topologies":["path:8","star:4"],)"
+      R"("policies":["greedy","odd-even"],"steps":32})");
+  EXPECT_EQ(sweep.kind, JobKind::Sweep);
+  EXPECT_EQ(sweep.topologies.size(), 2u);
+  EXPECT_EQ(sweep.policies.size(), 2u);
+
+  EXPECT_EQ(must_parse(R"({"op":"replay","file":"x.cvgc"})").kind,
+            JobKind::Replay);
+  EXPECT_EQ(must_parse(R"({"op":"certify","file":"corpus-dir"})").kind,
+            JobKind::Certify);
+  const JobRequest minimize =
+      must_parse(R"({"op":"minimize","file":"x.cvgc","max_replays":100})");
+  EXPECT_EQ(minimize.kind, JobKind::Minimize);
+  EXPECT_EQ(minimize.max_replays, 100u);
+  EXPECT_EQ(must_parse(R"({"op":"stats"})").kind, JobKind::Stats);
+  EXPECT_EQ(must_parse(R"({"op":"shutdown","id":"bye"})").kind,
+            JobKind::Shutdown);
+}
+
+TEST(ServeJob, JobKindNamesMatchTheWireProtocol) {
+  EXPECT_EQ(job_kind_name(JobKind::Run), "run");
+  EXPECT_EQ(job_kind_name(JobKind::Sweep), "sweep");
+  EXPECT_EQ(job_kind_name(JobKind::Replay), "replay");
+  EXPECT_EQ(job_kind_name(JobKind::Certify), "certify");
+  EXPECT_EQ(job_kind_name(JobKind::Minimize), "minimize");
+  EXPECT_EQ(job_kind_name(JobKind::Stats), "stats");
+  EXPECT_EQ(job_kind_name(JobKind::Shutdown), "shutdown");
+}
+
+TEST(ServeJob, RejectsStructurallyHostileRequests) {
+  must_reject("");
+  must_reject("not json");
+  must_reject("[1,2,3]");                       // not an object
+  must_reject("{}");                            // missing op
+  must_reject(R"({"op":"explode"})");           // unknown op
+  must_reject(R"({"op":42})");                  // op wrong type
+  must_reject(R"({"op":"run"})");               // missing everything
+  must_reject(R"({"op":"run","topology":"path:64","policy":"odd-even"})");
+  must_reject(R"({"op":"stats","steps":1})");   // field foreign to the op
+  must_reject(R"({"op":"shutdown","file":"x"})");
+  must_reject(R"({"op":"replay"})");            // missing file
+  must_reject(R"({"op":"replay","file":""})");  // empty file
+  must_reject(
+      R"({"op":"run","topology":"path:64","policy":"odd-even","steps":128,)"
+      R"("bogus":1})");                         // unknown field
+}
+
+TEST(ServeJob, RejectsSemanticallyHostileValues) {
+  // Unknown registry names and malformed topology specs.
+  must_reject(R"({"op":"run","topology":"torus:5","policy":"odd-even","steps":1})");
+  must_reject(R"({"op":"run","topology":"spider:0x5","policy":"odd-even","steps":1})");
+  must_reject(R"({"op":"run","topology":"path:64","policy":"nonsense","steps":1})");
+  must_reject(
+      R"({"op":"run","topology":"path:64","policy":"odd-even","steps":1,)"
+      R"("adversary":"nonsense"})");
+  // Out-of-range counters.
+  must_reject(R"({"op":"run","topology":"path:64","policy":"odd-even","steps":0})");
+  must_reject(
+      R"({"op":"run","topology":"path:64","policy":"odd-even","steps":99999999999})");
+  must_reject(
+      R"({"op":"run","topology":"path:64","policy":"odd-even","steps":-5})");
+  must_reject(
+      R"({"op":"run","topology":"path:64","policy":"odd-even","steps":1.5})");
+  must_reject(
+      R"({"op":"run","topology":"path:64","policy":"odd-even","steps":1,)"
+      R"("capacity":0})");
+  must_reject(
+      R"({"op":"run","topology":"path:64","policy":"odd-even","steps":1,)"
+      R"("semantics":"sideways"})");
+  // Oversized / hostile strings.
+  must_reject(R"({"op":"sweep","topologies":[],"policies":["greedy"],"steps":1})");
+  const std::string long_id(4096, 'x');
+  must_reject(R"({"op":"stats","id":")" + long_id + R"("})");
+}
+
+TEST(ServeJob, RunHashFoldsExactlyTheSemanticFields) {
+  const auto base = [] {
+    return run_job_hash("path:64", "odd-even", "fixed-deepest", 128, 1, 0,
+                        StepSemantics::DecideBeforeInjection, 1);
+  };
+  EXPECT_EQ(base(), base());  // deterministic
+  EXPECT_NE(base(), run_job_hash("path:65", "odd-even", "fixed-deepest", 128,
+                                 1, 0, StepSemantics::DecideBeforeInjection, 1));
+  EXPECT_NE(base(), run_job_hash("path:64", "greedy", "fixed-deepest", 128, 1,
+                                 0, StepSemantics::DecideBeforeInjection, 1));
+  EXPECT_NE(base(), run_job_hash("path:64", "odd-even", "pile-on", 128, 1, 0,
+                                 StepSemantics::DecideBeforeInjection, 1));
+  EXPECT_NE(base(), run_job_hash("path:64", "odd-even", "fixed-deepest", 129,
+                                 1, 0, StepSemantics::DecideBeforeInjection, 1));
+  EXPECT_NE(base(), run_job_hash("path:64", "odd-even", "fixed-deepest", 128,
+                                 2, 0, StepSemantics::DecideBeforeInjection, 1));
+  EXPECT_NE(base(), run_job_hash("path:64", "odd-even", "fixed-deepest", 128,
+                                 1, 1, StepSemantics::DecideBeforeInjection, 1));
+  EXPECT_NE(base(), run_job_hash("path:64", "odd-even", "fixed-deepest", 128,
+                                 1, 0, StepSemantics::DecideAfterInjection, 1));
+  EXPECT_NE(base(), run_job_hash("path:64", "odd-even", "fixed-deepest", 128,
+                                 1, 0, StepSemantics::DecideBeforeInjection, 2));
+}
+
+TEST(ServeJob, ResponsesAreWellFormedNdjsonLines) {
+  const std::string ok = format_ok_response("r\"1", "{\"peak\":3}", true, 42);
+  EXPECT_EQ(ok.find('\n'), std::string::npos);
+  EXPECT_NE(ok.find("\"cached\":true"), std::string::npos);
+  EXPECT_NE(ok.find("\"micros\":42"), std::string::npos);
+  EXPECT_NE(ok.find("\"result\":{\"peak\":3}"), std::string::npos);
+
+  const std::string err = format_error_response(
+      "x", {"queue_full", "job queue is at capacity"});
+  EXPECT_NE(err.find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(err.find("\"code\":\"queue_full\""), std::string::npos);
+}
+
+/// The fuzzer property proper — run under CVG_SANITIZE this is the
+/// ASan/UBSan request-parser gate from the PR acceptance criteria.  Bounded
+/// so the plain tier-1 run stays fast; the CI serve-smoke lane runs a
+/// longer budgeted pass via `cvg serve --fuzz-rounds=… --fuzz-ms=15000`.
+TEST(ServeJob, FuzzedRequestsNeverCrashAndAlwaysGetStructuredErrors) {
+  const RequestFuzzReport report =
+      fuzz_requests(/*seed=*/1, /*rounds=*/20000, /*budget_ms=*/0);
+  EXPECT_EQ(report.rounds, 20000u);
+  EXPECT_EQ(report.parsed_ok + report.rejected, report.rounds);
+  // The corpus of seeds guarantees some mutants survive validation and the
+  // vast majority die with structured errors; both sides being exercised is
+  // what makes the property non-vacuous.
+  EXPECT_GT(report.parsed_ok, 0u);
+  EXPECT_GT(report.rejected, report.parsed_ok);
+}
+
+TEST(ServeJob, FuzzRespectsItsTimeBudget) {
+  const RequestFuzzReport report =
+      fuzz_requests(/*seed=*/2, /*rounds=*/100000000, /*budget_ms=*/50);
+  EXPECT_LT(report.rounds, 100000000u);
+}
+
+}  // namespace
+}  // namespace cvg::serve

@@ -1,0 +1,144 @@
+/// Strict JSON layer of the simulation service: round-trips, hostile-input
+/// rejection with structured errors, and the depth/duplicate-key limits.
+
+#include "cvg/serve/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace cvg::serve {
+namespace {
+
+std::optional<JsonValue> parse_ok(const std::string& text) {
+  std::string error;
+  auto value = parse_json(text, error);
+  EXPECT_TRUE(value.has_value()) << text << " -> " << error;
+  return value;
+}
+
+std::string parse_error(const std::string& text) {
+  std::string error;
+  const auto value = parse_json(text, error);
+  EXPECT_FALSE(value.has_value()) << "hostile input parsed: " << text;
+  EXPECT_FALSE(error.empty());
+  return error;
+}
+
+TEST(ServeJson, RoundTripsScalarsAndContainers) {
+  const std::string documents[] = {
+      "null",
+      "true",
+      "false",
+      "0",
+      "-7",
+      "9223372036854775807",
+      "1.5",
+      "\"\"",
+      "\"with \\\"escapes\\\" and \\u00e9\"",
+      "[]",
+      "[1,2,3]",
+      "{}",
+      R"({"op":"run","steps":128,"nested":{"a":[true,null]}})",
+  };
+  for (const std::string& document : documents) {
+    const auto value = parse_ok(document);
+    ASSERT_TRUE(value.has_value());
+    // write ∘ parse is the identity on values: re-parsing the writer's
+    // output yields an equal value.
+    const std::string written = write_json(*value);
+    const auto reparsed = parse_ok(written);
+    ASSERT_TRUE(reparsed.has_value()) << written;
+    EXPECT_EQ(*value, *reparsed) << document;
+  }
+}
+
+TEST(ServeJson, IntegersAndDoublesStayDistinct) {
+  EXPECT_TRUE(parse_ok("42")->is_int());
+  EXPECT_TRUE(parse_ok("42.0")->is_double());
+  EXPECT_TRUE(parse_ok("4e2")->is_double());
+  EXPECT_EQ(parse_ok("42")->as_int(), 42);
+  // Integers past int64 degrade to double rather than failing the parse.
+  EXPECT_TRUE(parse_ok("99999999999999999999999")->is_double());
+}
+
+TEST(ServeJson, RejectsMalformedDocumentsWithStructuredErrors) {
+  const std::string hostile[] = {
+      "",
+      "   ",
+      "{",
+      "}",
+      "[1,2",
+      "{\"a\":}",
+      "{\"a\" 1}",
+      "{a:1}",
+      "[1 2]",
+      "tru",
+      "nul",
+      "+1",
+      "01",
+      "1.",
+      "1e",
+      ".5",
+      "\"unterminated",
+      "\"bad escape \\q\"",
+      "\"truncated \\u12\"",
+      "\"surrogate \\ud834\\udd1e\"",
+      std::string("\"raw\x01control\""),
+      "1 2",
+      "{} trailing",
+      "\xff\xfe",
+      "1e99999",
+  };
+  for (const std::string& text : hostile) {
+    const std::string error = parse_error(text);
+    EXPECT_NE(error.find("at byte"), std::string::npos) << error;
+  }
+}
+
+TEST(ServeJson, RejectsDuplicateKeys) {
+  const std::string error = parse_error(R"({"steps":1,"steps":2})");
+  EXPECT_NE(error.find("duplicate"), std::string::npos) << error;
+}
+
+TEST(ServeJson, EnforcesTheDepthCeiling) {
+  std::string deep_ok, deep_bad;
+  for (int i = 0; i < kMaxJsonDepth; ++i) deep_ok += '[';
+  deep_ok += "1";
+  for (int i = 0; i < kMaxJsonDepth; ++i) deep_ok += ']';
+  for (int i = 0; i < kMaxJsonDepth + 8; ++i) deep_bad += '[';
+  EXPECT_TRUE(parse_ok(deep_ok).has_value());
+  const std::string error = parse_error(deep_bad);
+  EXPECT_NE(error.find("nesting"), std::string::npos) << error;
+}
+
+TEST(ServeJson, FindLooksUpObjectMembers) {
+  const auto value = parse_ok(R"({"op":"run","steps":7})");
+  ASSERT_TRUE(value.has_value());
+  ASSERT_NE(value->find("steps"), nullptr);
+  EXPECT_EQ(value->find("steps")->as_int(), 7);
+  EXPECT_EQ(value->find("missing"), nullptr);
+  EXPECT_EQ(JsonValue(3).find("anything"), nullptr);
+}
+
+TEST(ServeJson, WriterEscapesControlCharactersNdjsonSafely) {
+  const std::string written =
+      write_json(JsonValue(std::string("line\nbreak\ttab \x02")));
+  EXPECT_EQ(written.find('\n'), std::string::npos);
+  EXPECT_NE(written.find("\\n"), std::string::npos);
+  EXPECT_NE(written.find("\\t"), std::string::npos);
+  EXPECT_NE(written.find("\\u0002"), std::string::npos);
+  const auto reparsed = parse_ok(written);
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(reparsed->as_string(), "line\nbreak\ttab \x02");
+}
+
+TEST(ServeJson, QuoteProducesParseableStringLiterals) {
+  const std::string quoted = json_quote("path:64 \"quoted\" \\ end");
+  const auto value = parse_ok(quoted);
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(value->as_string(), "path:64 \"quoted\" \\ end");
+}
+
+}  // namespace
+}  // namespace cvg::serve

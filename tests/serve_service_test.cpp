@@ -1,0 +1,327 @@
+/// End-to-end service behaviour: content-addressed memoization (including
+/// sweep cells warming later runs), explicit queue_full backpressure,
+/// per-job timeouts, the shutdown admission gate, the stats op, and the
+/// fd-pair transport's drain-on-EOF contract.
+
+#include "cvg/serve/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cvg/serve/json.hpp"
+#include "cvg/serve/transport.hpp"
+
+namespace cvg::serve {
+namespace {
+
+bool has(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+TEST(ServeService, SecondIdenticalRunIsACacheHit) {
+  Service service;
+  const std::string request =
+      R"({"op":"run","topology":"path:32","policy":"odd-even","steps":256,"id":"a"})";
+  const std::string cold = service.process_line(request);
+  EXPECT_TRUE(has(cold, "\"ok\":true")) << cold;
+  EXPECT_TRUE(has(cold, "\"cached\":false")) << cold;
+
+  const std::string warm = service.process_line(request);
+  EXPECT_TRUE(has(warm, "\"ok\":true")) << warm;
+  EXPECT_TRUE(has(warm, "\"cached\":true")) << warm;
+
+  // The memoized payload is byte-identical to the computed one.
+  const auto result_of = [](const std::string& line) {
+    const std::size_t at = line.find("\"result\":");
+    return at == std::string::npos ? std::string{} : line.substr(at);
+  };
+  EXPECT_EQ(result_of(cold), result_of(warm));
+  EXPECT_EQ(service.stats().cache_hits, 1u);
+  EXPECT_EQ(service.cache_stats().hits, 1u);
+}
+
+TEST(ServeService, CacheFalseBypassesMemoization) {
+  Service service;
+  const std::string request =
+      R"({"op":"run","topology":"path:32","policy":"odd-even","steps":256,"cache":false})";
+  EXPECT_TRUE(has(service.process_line(request), "\"cached\":false"));
+  EXPECT_TRUE(has(service.process_line(request), "\"cached\":false"));
+  EXPECT_EQ(service.stats().cache_hits, 0u);
+}
+
+TEST(ServeService, SweepCellsWarmTheRunCacheAndViceVersa) {
+  Service service;
+  const std::string sweep = service.process_line(
+      R"({"op":"sweep","topologies":["path:16","star:4"],)"
+      R"("policies":["odd-even","greedy"],"steps":128})");
+  EXPECT_TRUE(has(sweep, "\"ok\":true")) << sweep;
+  EXPECT_TRUE(has(sweep, "\"cached\":false")) << sweep;
+
+  // Every cell of the sweep is now memoized under its run-cell hash, so the
+  // matching single `run` never touches a worker's simulator.
+  const std::string run = service.process_line(
+      R"({"op":"run","topology":"star:4","policy":"greedy","steps":128})");
+  EXPECT_TRUE(has(run, "\"ok\":true")) << run;
+  EXPECT_TRUE(has(run, "\"cached\":true")) << run;
+
+  // And a repeat of the whole sweep is served entirely from the cache.
+  const std::string warm_sweep = service.process_line(
+      R"({"op":"sweep","topologies":["path:16","star:4"],)"
+      R"("policies":["odd-even","greedy"],"steps":128})");
+  EXPECT_TRUE(has(warm_sweep, "\"cached\":true")) << warm_sweep;
+}
+
+TEST(ServeService, DifferentSemanticFieldsMissTheCache) {
+  Service service;
+  EXPECT_TRUE(has(
+      service.process_line(
+          R"({"op":"run","topology":"path:32","policy":"odd-even","steps":256})"),
+      "\"cached\":false"));
+  // Same cell except for the seed — must recompute, not alias.
+  EXPECT_TRUE(has(
+      service.process_line(
+          R"({"op":"run","topology":"path:32","policy":"odd-even","steps":256,"seed":2})"),
+      "\"cached\":false"));
+}
+
+TEST(ServeService, FullQueueAnswersQueueFullInline) {
+  ServiceOptions options;
+  options.threads = 1;
+  options.queue_capacity = 1;
+  Service service(options);
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<std::string> responses;
+  const auto respond = [&](std::string response) {
+    std::lock_guard<std::mutex> lock(mutex);
+    responses.push_back(std::move(response));
+    cv.notify_all();
+  };
+
+  // With one worker and a one-slot queue, submitting uncached jobs
+  // back-to-back must hit explicit backpressure: queue_full is answered
+  // inline on the submitting thread (do NOT hold locks across
+  // submit_line), so once the worker and the queue slot are both busy the
+  // rejection is deterministic.  The jobs are sized to run for
+  // milliseconds — orders of magnitude longer than the submission loop's
+  // microseconds, yet nowhere near the 60 s default timeout even under the
+  // sanitizers (a timeout here would corrupt the ok-count below).
+  std::size_t submitted = 0;
+  bool saw_queue_full = false;
+  for (int i = 0; i < 64 && !saw_queue_full; ++i) {
+    const std::string request =
+        R"({"op":"run","topology":"path:256","policy":"odd-even","steps":65536,)"
+        R"("cache":false,"seed":)" +
+        std::to_string(i + 1) + "}";
+    service.submit_line(request, respond);
+    ++submitted;
+    std::lock_guard<std::mutex> lock(mutex);
+    for (const std::string& response : responses)
+      if (has(response, "\"code\":\"queue_full\"")) saw_queue_full = true;
+  }
+  EXPECT_TRUE(saw_queue_full);
+
+  // Exactly one response per submission, and every accepted job still
+  // answers ok — backpressure rejects, it never drops.
+  service.drain();
+  std::unique_lock<std::mutex> lock(mutex);
+  cv.wait(lock, [&] { return responses.size() >= submitted; });
+  EXPECT_EQ(responses.size(), submitted);
+  std::size_t ok = 0, rejected = 0;
+  for (const std::string& response : responses) {
+    if (has(response, "\"ok\":true")) ++ok;
+    if (has(response, "\"code\":\"queue_full\"")) ++rejected;
+  }
+  EXPECT_GE(rejected, 1u);
+  EXPECT_EQ(ok + rejected, submitted);
+}
+
+TEST(ServeService, TimeoutsAnswerStructuredTimeoutErrors) {
+  Service service;
+  const std::string response = service.process_line(
+      R"({"op":"run","topology":"path:1024","policy":"odd-even",)"
+      R"("steps":16777216,"timeout_ms":1,"id":"slow"})");
+  EXPECT_TRUE(has(response, "\"ok\":false")) << response;
+  EXPECT_TRUE(has(response, "\"code\":\"timeout\"")) << response;
+  EXPECT_TRUE(has(response, "\"id\":\"slow\"")) << response;
+  // Error outcomes are never memoized: a generous retry recomputes.
+  EXPECT_EQ(service.cache_stats().insertions, 0u);
+}
+
+TEST(ServeService, ReplayOfAMissingFileIsNotFound) {
+  Service service;
+  const std::string response = service.process_line(
+      R"({"op":"replay","file":"/nonexistent/entry.cvgc"})");
+  EXPECT_TRUE(has(response, "\"ok\":false")) << response;
+  EXPECT_TRUE(has(response, "\"code\":\"not_found\"")) << response;
+}
+
+TEST(ServeService, ReplaysTheStarterCorpus) {
+  Service service;
+  const std::string dir = std::string(CVG_REPO_ROOT) + "/tests/corpus";
+  const std::string response = service.process_line(
+      R"({"op":"certify","file":")" + dir + R"("})");
+  EXPECT_TRUE(has(response, "\"ok\":true")) << response;
+  EXPECT_TRUE(has(response, "\"failures\":0")) << response;
+  // Certify is content-addressed over the corpus bytes, so an immediate
+  // repeat is a hit.
+  EXPECT_TRUE(has(service.process_line(
+                      R"({"op":"certify","file":")" + dir + R"("})"),
+                  "\"cached\":true"));
+}
+
+TEST(ServeService, StatsOpReportsCountersCacheAndLatency) {
+  Service service;
+  (void)service.process_line(
+      R"({"op":"run","topology":"path:16","policy":"odd-even","steps":64})");
+  const std::string stats = service.process_line(R"({"op":"stats","id":"s"})");
+  EXPECT_TRUE(has(stats, "\"ok\":true")) << stats;
+  EXPECT_TRUE(has(stats, "\"received\"")) << stats;
+  EXPECT_TRUE(has(stats, "\"cache\"")) << stats;
+  EXPECT_TRUE(has(stats, "\"hit_rate\"")) << stats;
+  EXPECT_TRUE(has(stats, "\"latency\"")) << stats;
+  EXPECT_TRUE(has(stats, "\"p95_micros\"")) << stats;
+
+  // The payload is well-formed JSON, not just greppable text.
+  std::string error;
+  EXPECT_TRUE(parse_json(write_json(service.stats_json()), error).has_value())
+      << error;
+}
+
+TEST(ServeService, ShutdownOpDrainsAndRejectsLateJobs) {
+  Service service;
+  const std::string bye = service.process_line(R"({"op":"shutdown","id":"b"})");
+  EXPECT_TRUE(has(bye, "\"ok\":true")) << bye;
+  EXPECT_TRUE(has(bye, "\"shutting_down\":true")) << bye;
+  EXPECT_TRUE(service.shutting_down());
+
+  const std::string late = service.process_line(
+      R"({"op":"run","topology":"path:16","policy":"odd-even","steps":64})");
+  EXPECT_TRUE(has(late, "\"ok\":false")) << late;
+  EXPECT_TRUE(has(late, "\"code\":\"shutting_down\"")) << late;
+
+  // Stats still answers while draining — observability survives shutdown.
+  EXPECT_TRUE(has(service.process_line(R"({"op":"stats"})"), "\"ok\":true"));
+}
+
+TEST(ServeService, MalformedLinesAnswerBadRequestInline) {
+  Service service;
+  EXPECT_TRUE(has(service.process_line("not json"), "\"code\":\"bad_request\""));
+  EXPECT_TRUE(has(service.process_line(R"({"op":"warp"})"),
+                  "\"code\":\"bad_request\""));
+}
+
+/// The fd-pair transport drains on EOF: a stream of [job A, shutdown op,
+/// job B] must answer A ok (even though it raced the shutdown), confirm the
+/// shutdown, reject B with shutting_down, and return 0.  This is the
+/// in-process half of the graceful-shutdown contract; the process half
+/// (SIGTERM, EINTR, exit status) is scripts/serve_shutdown_test.sh.
+TEST(ServeService, FdTransportDrainsInFlightJobsPastShutdown) {
+  int in_pipe[2], out_pipe[2];
+  ASSERT_EQ(::pipe(in_pipe), 0);
+  ASSERT_EQ(::pipe(out_pipe), 0);
+
+  const std::string script =
+      R"({"op":"run","topology":"path:128","policy":"odd-even","steps":65536,"id":"A"})"
+      "\n"
+      R"({"op":"shutdown","id":"quit"})"
+      "\n"
+      "\n"  // blank keep-alive line: skipped, not an error
+      R"({"op":"run","topology":"path:128","policy":"odd-even","steps":64,"id":"B"})"
+      "\n";
+  ASSERT_EQ(::write(in_pipe[1], script.data(), script.size()),
+            static_cast<ssize_t>(script.size()));
+  ::close(in_pipe[1]);  // EOF after the scripted requests
+
+  Service service;
+  const int rc = serve_fd(service, in_pipe[0], out_pipe[1]);
+  EXPECT_EQ(rc, 0);
+  ::close(in_pipe[0]);
+  ::close(out_pipe[1]);
+
+  std::string output;
+  char chunk[4096];
+  ssize_t got;
+  while ((got = ::read(out_pipe[0], chunk, sizeof chunk)) > 0)
+    output.append(chunk, static_cast<std::size_t>(got));
+  ::close(out_pipe[0]);
+
+  // One response line per request, in some order; correlate by id.
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < output.size(); ++i) {
+    if (output[i] == '\n') {
+      lines.push_back(output.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  ASSERT_EQ(lines.size(), 3u) << output;
+  std::string a, quit, b;
+  for (const std::string& line : lines) {
+    if (has(line, "\"id\":\"A\"")) a = line;
+    if (has(line, "\"id\":\"quit\"")) quit = line;
+    if (has(line, "\"id\":\"B\"")) b = line;
+  }
+  EXPECT_TRUE(has(a, "\"ok\":true")) << a;
+  EXPECT_TRUE(has(quit, "\"shutting_down\":true")) << quit;
+  EXPECT_TRUE(has(b, "\"code\":\"shutting_down\"")) << b;
+}
+
+TEST(ServeService, FdTransportRejectsOversizedLinesWithoutBufferingThem) {
+  int in_pipe[2], out_pipe[2];
+  ASSERT_EQ(::pipe(in_pipe), 0);
+  ASSERT_EQ(::pipe(out_pipe), 0);
+
+  // Feed an oversized line from a writer thread (it exceeds the pipe
+  // buffer, so a single write would block), then one valid request.
+  std::atomic<bool> wrote{false};
+  std::thread writer([&] {
+    const std::string filler(1 << 16, 'x');
+    std::size_t sent = 0;
+    while (sent < kMaxLineBytes + 16) {
+      const ssize_t got = ::write(in_pipe[1], filler.data(), filler.size());
+      if (got <= 0) break;
+      sent += static_cast<std::size_t>(got);
+    }
+    const std::string tail =
+        "\n"
+        R"({"op":"stats","id":"after"})"
+        "\n";
+    (void)::write(in_pipe[1], tail.data(), tail.size());
+    ::close(in_pipe[1]);
+    wrote = true;
+  });
+
+  Service service;
+  std::string output;
+  std::thread reader([&] {
+    char chunk[4096];
+    ssize_t got;
+    while ((got = ::read(out_pipe[0], chunk, sizeof chunk)) > 0)
+      output.append(chunk, static_cast<std::size_t>(got));
+  });
+
+  const int rc = serve_fd(service, in_pipe[0], out_pipe[1]);
+  ::close(out_pipe[1]);
+  writer.join();
+  reader.join();
+  ::close(in_pipe[0]);
+  ::close(out_pipe[0]);
+
+  EXPECT_EQ(rc, 0);
+  EXPECT_TRUE(wrote);
+  EXPECT_TRUE(has(output, "\"code\":\"bad_request\"")) << output;
+  EXPECT_TRUE(has(output, "\"id\":\"after\"")) << output;
+}
+
+}  // namespace
+}  // namespace cvg::serve

@@ -1,0 +1,122 @@
+// Round-trip property tests for the structured topology-spec layer: for
+// every family × size in the battery, `format_topology_spec` inverts
+// `parse_topology_spec` exactly, the structured and string `make_tree`
+// entry points build identical trees, and `spec_node_count` predicts the
+// built size.  Hostile strings — zero counts, overflow, leading zeros,
+// trailing garbage — are rejected with structured errors, never crashes.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cvg/topology/builders.hpp"
+#include "cvg/topology/spec.hpp"
+
+namespace cvg::build {
+namespace {
+
+std::vector<std::string> battery_specs() {
+  std::vector<std::string> specs;
+  for (const std::uint64_t n : {2u, 3u, 17u, 64u}) {
+    specs.push_back("path:" + std::to_string(n));
+    specs.push_back("random-recursive:" + std::to_string(n) + ":" +
+                    std::to_string(n * 7 + 1));
+  }
+  for (const std::uint64_t b : {1u, 5u, 12u}) {
+    specs.push_back("star:" + std::to_string(b));
+    specs.push_back("staggered-spider:" + std::to_string(b));
+    specs.push_back("spider:" + std::to_string(b) + "x3");
+    specs.push_back("broom:" + std::to_string(b) + "x4");
+  }
+  specs.push_back("kary:2x5");
+  specs.push_back("kary:3x4");
+  specs.push_back("kary:1x9");  // degenerates to a path
+  specs.push_back("caterpillar:12x2");
+  specs.push_back("caterpillar:5x0");  // legless spine is legal
+  return specs;
+}
+
+TEST(TopologySpecRoundTrip, FormatInvertsParseAcrossTheBattery) {
+  for (const std::string& text : battery_specs()) {
+    std::string error;
+    const auto spec = parse_topology_spec(text, error);
+    ASSERT_TRUE(spec.has_value()) << text << ": " << error;
+    EXPECT_EQ(format_topology_spec(*spec), text);
+
+    // Reparsing the canonical form is a fixed point.
+    const auto again = parse_topology_spec(format_topology_spec(*spec), error);
+    ASSERT_TRUE(again.has_value());
+    EXPECT_EQ(*again, *spec);
+  }
+}
+
+TEST(TopologySpecRoundTrip, StructuredAndStringBuildersAgree) {
+  for (const std::string& text : battery_specs()) {
+    std::string error;
+    const auto spec = parse_topology_spec(text, error);
+    ASSERT_TRUE(spec.has_value()) << text << ": " << error;
+    const Tree structured = make_tree(*spec);
+    const Tree from_string = make_tree(text);
+    EXPECT_EQ(std::vector<NodeId>(structured.parents().begin(),
+                                  structured.parents().end()),
+              std::vector<NodeId>(from_string.parents().begin(),
+                                  from_string.parents().end()))
+        << text;
+    EXPECT_EQ(spec_node_count(*spec), structured.node_count()) << text;
+  }
+}
+
+TEST(TopologySpecRoundTrip, RandomizedFamiliesAreSeedDeterministic) {
+  const Tree a = make_tree("random-recursive:64:9");
+  const Tree b = make_tree("random-recursive:64:9");
+  const Tree c = make_tree("random-recursive:64:10");
+  EXPECT_TRUE(std::equal(a.parents().begin(), a.parents().end(),
+                         b.parents().begin()));
+  EXPECT_FALSE(std::equal(a.parents().begin(), a.parents().end(),
+                          c.parents().begin()));
+}
+
+TEST(TopologySpecHostileInput, RejectsWithStructuredErrors) {
+  const char* hostile[] = {
+      "",                       // empty
+      ":",                      // no family
+      "path",                   // no colon
+      "path:",                  // missing count
+      "path:1",                 // below the 2-node minimum
+      "spider:0x5",             // zero arms
+      "spider:5x0",             // zero arm length
+      "spider:4",               // missing separator
+      "spider:4x",              // missing second argument
+      "spider:4x5x6",           // trailing garbage after the pair
+      "path:24 ",               // trailing space
+      "path:+24",               // signed numeral
+      "path:0032",              // leading zeros are non-canonical
+      "path:99999999999999999999999",  // u64 overflow
+      "kary:10x12",             // node count above kMaxSpecNodes
+      "caterpillar:9999999x9999999",   // multiplication guard
+      "staggered-spider:4294967295",   // quadratic guard
+      "random-recursive:64",    // missing seed
+      "random-recursive:64:",   // empty seed
+      "torus:5",                // unknown family
+      "path:24:7",              // garbage after a valid count
+  };
+  for (const char* text : hostile) {
+    std::string error;
+    const auto spec = parse_topology_spec(text, error);
+    EXPECT_FALSE(spec.has_value()) << text;
+    EXPECT_FALSE(error.empty()) << text;
+    EXPECT_FALSE(is_known_topology_spec(text)) << text;
+  }
+}
+
+TEST(TopologySpecHostileInput, CeilingAdmitsLargeButBoundedSpecs) {
+  // The ceiling is about protecting the service from hostile OOMs, not about
+  // blocking legitimate large experiments: a 2^20-node path parses fine.
+  std::string error;
+  EXPECT_TRUE(parse_topology_spec("path:1048576", error).has_value()) << error;
+  EXPECT_FALSE(parse_topology_spec("path:134217729", error).has_value());
+}
+
+}  // namespace
+}  // namespace cvg::build
