@@ -58,9 +58,11 @@ int serve_fd(Service& service, int in_fd, int out_fd,
 
 /// Binds `path` (unlinking any stale socket first), accepts clients, and
 /// runs each connection through `serve_fd` on its own thread.  Returns when
-/// `stop` becomes true or the service enters shutdown and all connections
-/// have closed; the socket file is unlinked on exit.  Returns 0 on orderly
-/// shutdown, 1 when the socket could not be created.
+/// `stop` becomes true or the service enters shutdown: draining half-closes
+/// the read side of every live connection (idle clients cannot pin the
+/// server in read(2)), in-flight jobs still deliver their responses, then
+/// all connection threads are joined and the socket file is unlinked.
+/// Returns 0 on orderly shutdown, 1 when the socket could not be created.
 int serve_unix_socket(Service& service, const std::string& path,
                       const std::atomic<bool>& stop);
 

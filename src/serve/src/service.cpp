@@ -228,8 +228,12 @@ struct Service::Impl {
       return ExecResult::failure(
           "bad_request", "entry names unknown policy \"" + entry->policy + "\"");
     }
+    // Fold the path in alongside the content hash: the cached payload embeds
+    // the request's "file" field, so two paths holding byte-identical entries
+    // must not share a cache entry (the second would echo the first's path).
     Fnv1a key;
     key.str("replay");
+    key.str(request.file);
     key.u64(corpus::content_hash(*entry));
     if (request.use_cache) {
       if (std::optional<std::string> hit = cache.lookup(key.value())) {
@@ -247,15 +251,23 @@ struct Service::Impl {
   [[nodiscard]] ExecResult execute_certify(const JobRequest& request,
                                            const CancelToken& cancel,
                                            bool& cached) {
+    // Walk the directory with error codes throughout: the range-for form
+    // throws from operator++ (e.g. an entry vanishing mid-scan), and a throw
+    // on a pool thread would take down the whole service.
     std::vector<std::string> paths;
     std::error_code ec;
-    for (const auto& item :
-         std::filesystem::directory_iterator(request.file, ec)) {
-      if (item.path().extension() == ".cvgc") paths.push_back(item.path().string());
-    }
+    std::filesystem::directory_iterator it(request.file, ec);
     if (ec) {
       return ExecResult::failure(
           "not_found", "cannot list \"" + request.file + "\": " + ec.message());
+    }
+    for (const std::filesystem::directory_iterator end; it != end;) {
+      if (it->path().extension() == ".cvgc") paths.push_back(it->path().string());
+      it.increment(ec);
+      if (ec) {
+        return ExecResult::failure(
+            "not_found", "cannot list \"" + request.file + "\": " + ec.message());
+      }
     }
     std::sort(paths.begin(), paths.end());
 
@@ -340,8 +352,11 @@ struct Service::Impl {
               std::to_string(replayed) + " < recorded " +
               std::to_string(entry->peak) + "); refusing to minimize");
     }
+    // Path folded in for the same reason as replay: the payload echoes
+    // "file", so byte-identical entries at different paths must not alias.
     Fnv1a key;
     key.str("minimize");
+    key.str(request.file);
     key.u64(corpus::content_hash(*entry));
     key.u64(request.max_replays);
     if (request.use_cache) {

@@ -1,5 +1,6 @@
 #include "cvg/serve/transport.hpp"
 
+#include <algorithm>
 #include <cerrno>
 #include <condition_variable>
 #include <cstring>
@@ -180,6 +181,12 @@ int serve_unix_socket(Service& service, const std::string& path,
     return 1;
   }
 
+  // Live connection fds, so draining can half-close readers parked in
+  // read(2).  A thread removes its fd (under the mutex) before closing it —
+  // the main thread never touches an fd number after it could be recycled.
+  std::mutex live_mutex;
+  std::vector<int> live_fds;
+
   std::vector<std::thread> connections;
   for (;;) {
     if (stop.load(std::memory_order_relaxed)) {
@@ -203,12 +210,31 @@ int serve_unix_socket(Service& service, const std::string& path,
       if (errno == EINTR) continue;
       break;
     }
-    connections.emplace_back([&service, connection, &stop] {
-      (void)serve_fd(service, connection, connection, &stop);
-      ::close(connection);
-    });
+    {
+      std::lock_guard<std::mutex> lock(live_mutex);
+      live_fds.push_back(connection);
+    }
+    connections.emplace_back(
+        [&service, connection, &stop, &live_mutex, &live_fds] {
+          (void)serve_fd(service, connection, connection, &stop);
+          {
+            std::lock_guard<std::mutex> lock(live_mutex);
+            live_fds.erase(
+                std::remove(live_fds.begin(), live_fds.end(), connection),
+                live_fds.end());
+          }
+          ::close(connection);
+        });
   }
 
+  // The signal only interrupts the thread it lands on; connection threads
+  // may still be parked in read(2) on idle clients.  Half-close their read
+  // sides: the readers see EOF and wind down through the normal drain path,
+  // while responses for in-flight jobs still go out on the open write sides.
+  {
+    std::lock_guard<std::mutex> lock(live_mutex);
+    for (const int fd : live_fds) ::shutdown(fd, SHUT_RD);
+  }
   for (std::thread& connection : connections) connection.join();
   service.drain();
   ::close(listener);

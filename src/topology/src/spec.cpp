@@ -65,7 +65,12 @@ std::optional<std::uint64_t> checked_node_count(const Family& family,
     return v;
   };
   if (family.name == "path") return capped(args[0]);
-  if (family.name == "star") return capped(args[0] + 2);
+  if (family.name == "star") {
+    // Reject before the +2: args[0] near UINT64_MAX must not wrap past the
+    // ceiling check.
+    if (args[0] > kMaxSpecNodes) return std::nullopt;
+    return capped(args[0] + 2);
+  }
   if (family.name == "spider") {
     if (args[0] > kMaxSpecNodes / args[1]) return std::nullopt;
     return capped(args[0] * args[1] + 2);

@@ -1,16 +1,23 @@
 /// End-to-end service behaviour: content-addressed memoization (including
 /// sweep cells warming later runs), explicit queue_full backpressure,
-/// per-job timeouts, the shutdown admission gate, the stats op, and the
-/// fd-pair transport's drain-on-EOF contract.
+/// per-job timeouts, the shutdown admission gate, the stats op, the
+/// fd-pair transport's drain-on-EOF contract, and the socket transport's
+/// idle-connection shutdown.
 
 #include "cvg/serve/service.hpp"
 
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -179,6 +186,37 @@ TEST(ServeService, ReplaysTheStarterCorpus) {
                   "\"cached\":true"));
 }
 
+TEST(ServeService, ReplayCacheDoesNotAliasIdenticalEntriesAtDifferentPaths) {
+  // The cached replay payload embeds the request's "file" field, so two
+  // paths holding byte-identical corpus entries must not share a cache
+  // entry — the second response would echo the first request's path.
+  char tmpl[] = "/tmp/cvg_replay_alias_XXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl), nullptr);
+  const std::string dir(tmpl);
+  const std::string source =
+      std::string(CVG_REPO_ROOT) + "/tests/corpus/2e1aead424229a20.cvgc";
+  const std::string first_path = dir + "/a.cvgc";
+  const std::string second_path = dir + "/b.cvgc";
+  ASSERT_TRUE(std::filesystem::copy_file(source, first_path));
+  ASSERT_TRUE(std::filesystem::copy_file(source, second_path));
+
+  Service service;
+  const auto replay = [&](const std::string& path) {
+    return service.process_line(R"({"op":"replay","file":")" + path + R"("})");
+  };
+  const std::string first = replay(first_path);
+  EXPECT_TRUE(has(first, "\"ok\":true")) << first;
+  EXPECT_TRUE(has(first, "\"file\":\"" + first_path + "\"")) << first;
+
+  const std::string second = replay(second_path);
+  EXPECT_TRUE(has(second, "\"cached\":false")) << second;
+  EXPECT_TRUE(has(second, "\"file\":\"" + second_path + "\"")) << second;
+
+  // Same path, same bytes: that one is a legitimate hit.
+  EXPECT_TRUE(has(replay(first_path), "\"cached\":true"));
+  std::filesystem::remove_all(dir);
+}
+
 TEST(ServeService, StatsOpReportsCountersCacheAndLatency) {
   Service service;
   (void)service.process_line(
@@ -321,6 +359,60 @@ TEST(ServeService, FdTransportRejectsOversizedLinesWithoutBufferingThem) {
   EXPECT_TRUE(wrote);
   EXPECT_TRUE(has(output, "\"code\":\"bad_request\"")) << output;
   EXPECT_TRUE(has(output, "\"id\":\"after\"")) << output;
+}
+
+/// The socket transport must be able to finish shutdown while clients sit
+/// idle: connection threads park in read(2), the signal only interrupts the
+/// accept loop's poll, so draining half-closes the read side of every live
+/// connection to unblock them.  Without that, serve_unix_socket joins
+/// forever and SIGTERM never reaches exit 0.
+TEST(ServeService, SocketShutdownUnblocksIdleConnections) {
+  char tmpl[] = "/tmp/cvg_serve_sock_XXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl), nullptr);
+  const std::string dir(tmpl);
+  const std::string socket_path = dir + "/serve.sock";
+
+  Service service;
+  std::atomic<bool> stop{false};
+  int rc = -1;
+  std::thread server(
+      [&] { rc = serve_unix_socket(service, socket_path, stop); });
+
+  // Connect once the server has bound the socket.
+  sockaddr_un address{};
+  address.sun_family = AF_UNIX;
+  std::memcpy(address.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  int client = -1;
+  for (int attempt = 0; attempt < 500 && client < 0; ++attempt) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&address),
+                  sizeof address) == 0) {
+      client = fd;
+    } else {
+      ::close(fd);
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  ASSERT_GE(client, 0);
+
+  // One round trip proves the connection is live before it goes idle.
+  const std::string request = "{\"op\":\"stats\",\"id\":\"idle\"}\n";
+  ASSERT_EQ(::write(client, request.data(), request.size()),
+            static_cast<ssize_t>(request.size()));
+  char chunk[4096];
+  ASSERT_GT(::read(client, chunk, sizeof chunk), 0);
+
+  // Now the client just sits there.  Stop must still complete: the server
+  // thread returns 0 instead of blocking in join on the parked reader.
+  stop = true;
+  server.join();
+  EXPECT_EQ(rc, 0);
+
+  // The client's next read is an orderly EOF from the server's close.
+  EXPECT_EQ(::read(client, chunk, sizeof chunk), 0);
+  ::close(client);
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

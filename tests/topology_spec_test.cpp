@@ -110,6 +110,43 @@ TEST(TopologySpecHostileInput, RejectsWithStructuredErrors) {
   }
 }
 
+TEST(TopologySpecHostileInput, NearUint64MaxArgumentsNeverWrapTheCeiling) {
+  // Every family, every argument slot, pushed to the edge of uint64: the
+  // node-count arithmetic must reject before it can wrap back under the
+  // ceiling (star's "+2" once turned UINT64_MAX-1 into 0 and admitted a
+  // ~2^64-node allocation).
+  const char* hostile[] = {
+      "path:18446744073709551615",
+      "star:18446744073709551614",  // +2 wraps to 0 without the guard
+      "star:18446744073709551615",
+      "spider:18446744073709551615x1",
+      "spider:1x18446744073709551615",
+      "spider:4294967296x4294967296",  // product wraps to 0 without the guard
+      "staggered-spider:18446744073709551615",
+      "kary:18446744073709551615x2",
+      "kary:2x18446744073709551615",
+      "caterpillar:18446744073709551615x1",
+      "caterpillar:1x18446744073709551615",  // legs+1 would wrap to 0
+      "broom:18446744073709551615x1",
+      "broom:1x18446744073709551615",
+      "broom:18446744073709551615x18446744073709551615",  // sum wraps
+      "random-recursive:18446744073709551615:1",
+  };
+  for (const char* text : hostile) {
+    std::string error;
+    const auto spec = parse_topology_spec(text, error);
+    EXPECT_FALSE(spec.has_value()) << text;
+    EXPECT_FALSE(error.empty()) << text;
+  }
+
+  // The seed slot is genuinely unbounded — only node counts are capped.
+  std::string error;
+  EXPECT_TRUE(
+      parse_topology_spec("random-recursive:64:18446744073709551615", error)
+          .has_value())
+      << error;
+}
+
 TEST(TopologySpecHostileInput, CeilingAdmitsLargeButBoundedSpecs) {
   // The ceiling is about protecting the service from hostile OOMs, not about
   // blocking legitimate large experiments: a 2^20-node path parses fine.
