@@ -1,9 +1,12 @@
-// Experiment E16 — engineering: dense vs sparse step-engine throughput.
+// Experiment E16 — engineering: dense vs sparse vs lane-batched throughput.
 //
 // The dense engine scans all n nodes every step; the sparse engine touches
-// only the occupied set.  Under the paper's rate-c workloads occupancy is
-// far below n, so sparse steps should cost O(occupied) — this bench pins
-// down the crossover and the headline speedup (docs/MODEL.md §1a).
+// only the occupied set; the lane-batched engine advances K independent
+// simulations per pass over the nodes, with heights stored lane-contiguous
+// so the per-lane work vectorizes (cvg/core/lanes.hpp).  Under the paper's
+// rate-c workloads occupancy is far below n, so sparse steps should cost
+// O(occupied) — this bench pins down the crossover and the headline
+// speedups (docs/MODEL.md §1a).
 //
 // Two workloads bracket the occupancy regimes:
 //   sink-child — inject at the sink's child; occupancy stays O(1), the
@@ -11,19 +14,35 @@
 //   deepest    — inject at the far end; a train of packets marches toward
 //                the sink, so occupancy grows with elapsed steps.
 //
-// Expected shape: sparse wins by orders of magnitude on sink-child at large
-// n (≥ 10× at n = 2^18), and degrades gracefully as occupancy rises.
+// Throughputs are compared in node-steps/s (nodes touched per second of
+// simulated stepping, × lanes for the batch engine), the unit that is
+// invariant across engines.  Expected shape: sparse wins by orders of
+// magnitude on sink-child at large n (≥ 10× at n = 2^18) and degrades
+// gracefully as occupancy rises; the lane engine amortizes one scan across
+// K lanes and should clear 10× the dense engine's node-steps/s on dense
+// n = 2^12 at K = 256.
+//
+// Hard gate (CI runs this under --smoke): the lane-batched engine must
+// never be slower than the scalar dense engine on a measured cell —
+// CVG_CHECK aborts the bench, failing the job, if batching ever loses.
 
 #include <chrono>
+#include <span>
 
 #include "bench_common.hpp"
+#include "cvg/sim/lane_engine.hpp"
 
 namespace cvg::bench {
 namespace {
 
+/// Lane count for the batched measurements: the default block width of the
+/// batch drivers (kDefaultReplayLanes), and the K the 10× target is quoted
+/// at.
+constexpr std::size_t kBenchLanes = 256;
+
 struct Timing {
-  double ns_per_step = 0.0;
-  double steps_per_sec = 0.0;
+  double ns_per_step = 0.0;    ///< per lane-step for the batched engine
+  double steps_per_sec = 0.0;  ///< lane-steps/s for the batched engine
   std::size_t occupied_end = 0;
 };
 
@@ -57,6 +76,38 @@ Timing measure(const Tree& tree, const Policy& policy, SparseMode mode,
   return timing;
 }
 
+/// The lane-batched twin of `measure`: every lane injects at `site` each
+/// step, so lane 0 replays exactly the scalar workload.  Costs are reported
+/// per *lane*-step (one step of one simulation), the unit comparable to the
+/// scalar engines.  Chunks are smaller — one batched step does K lanes'
+/// worth of work.
+Timing measure_lanes(const Tree& tree, const Policy& policy, NodeId site) {
+  using Clock = std::chrono::steady_clock;
+  LaneSimulator sim(tree, policy, SimOptions{}, kBenchLanes);
+  const std::vector<NodeId> inject = {site};
+  const std::vector<std::span<const NodeId>> rows(
+      kBenchLanes, std::span<const NodeId>(inject));
+
+  constexpr Step kChunk = 64;
+  for (Step s = 0; s < kChunk; ++s) sim.step_lanes(rows);  // warmup
+
+  std::uint64_t timed_steps = 0;
+  double elapsed = 0.0;
+  const auto start = Clock::now();
+  do {
+    for (Step s = 0; s < kChunk; ++s) sim.step_lanes(rows);
+    timed_steps += kChunk;
+    elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+  } while (elapsed < 0.12);
+
+  const double lane_steps =
+      static_cast<double>(timed_steps) * static_cast<double>(kBenchLanes);
+  Timing timing;
+  timing.ns_per_step = elapsed * 1e9 / lane_steps;
+  timing.steps_per_sec = lane_steps / elapsed;
+  return timing;
+}
+
 void engine_table(const Flags& flags) {
   std::vector<std::size_t> sizes = {1u << 10, 1u << 12, 1u << 14, 1u << 16,
                                     1u << 18};
@@ -74,28 +125,41 @@ void engine_table(const Flags& flags) {
 
   OddEvenPolicy policy;
   report::Table table({"n", "workload", "dense ns/step", "sparse ns/step",
-                       "dense steps/s", "sparse steps/s", "speedup",
-                       "occupied@end"});
+                       "batch ns/lane-step", "sparse speedup",
+                       "dense node-steps/s", "batch node-steps/s",
+                       "batch speedup", "occupied@end"});
   for (const std::size_t n : sizes) {
     const Tree tree = build::path(n);
     for (const Workload& workload : workloads) {
       const NodeId site = adversary::resolve_site(tree, workload.site);
       const Timing dense = measure(tree, policy, SparseMode::Never, site);
       const Timing sparse = measure(tree, policy, SparseMode::Always, site);
+      const Timing batch = measure_lanes(tree, policy, site);
+      const double dense_node_steps =
+          dense.steps_per_sec * static_cast<double>(n);
+      const double batch_node_steps =
+          batch.steps_per_sec * static_cast<double>(n);
+      const double batch_speedup = batch_node_steps / dense_node_steps;
+      CVG_CHECK(batch_node_steps >= dense_node_steps)
+          << "lane-batched engine slower than scalar dense at n=" << n << " ("
+          << workload.name << "): " << batch_node_steps << " < "
+          << dense_node_steps << " node-steps/s";
       table.row(n, workload.name, dense.ns_per_step, sparse.ns_per_step,
-                dense.steps_per_sec, sparse.steps_per_sec,
-                dense.ns_per_step / sparse.ns_per_step, sparse.occupied_end);
+                batch.ns_per_step, dense.ns_per_step / sparse.ns_per_step,
+                dense_node_steps, batch_node_steps, batch_speedup,
+                sparse.occupied_end);
     }
   }
   print_table("E16: step-engine throughput, odd-even on a directed path "
               "(sparse crossover default = " +
-                  std::to_string(kSparseCrossover) + ")",
-              table, flags, "step_engine");
+                  std::to_string(kSparseCrossover) +
+                  ", lane width K = " + std::to_string(kBenchLanes) + ")",
+              table, flags, "E16");
 }
 
 }  // namespace
 
-CVG_EXPERIMENT(16, "E16", "dense vs sparse step engine") {
+CVG_EXPERIMENT(16, "E16", "dense vs sparse vs lane-batched step engine") {
   engine_table(flags);
 }
 

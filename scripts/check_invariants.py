@@ -28,6 +28,10 @@ Enforced invariants:
   8. Every service job type in src/serve/src/job.cpp (the kJobKinds wire
      names) is referenced by at least one tests/serve_*_test.cpp, so the
      NDJSON protocol surface cannot grow an op the tests never exercise.
+  9. Every `LaneRuleKind` enumerator in src/core/include/cvg/core/lanes.hpp
+     is referenced by tests/lane_engine_test.cpp — each branch-free lane
+     kernel must stay pinned bit-identical to its scalar policy, so a rule
+     kind without an equivalence test is an unverified fast path.
 
 Exits non-zero listing every violation; prints a one-line summary on success.
 """
@@ -221,6 +225,38 @@ def check_serve_job_kinds_tested() -> list[str]:
     return errors
 
 
+def lane_rule_kind_names() -> list[str]:
+    """The enumerators of `enum class LaneRuleKind` in cvg/core/lanes.hpp."""
+    text = (SRC / "core" / "include" / "cvg" / "core" /
+            "lanes.hpp").read_text()
+    match = re.search(r"enum\s+class\s+LaneRuleKind[^{]*\{(.*?)\};", text,
+                      flags=re.S)
+    if not match:
+        return []
+    return re.findall(r"^\s*(\w+),", strip_comments(match.group(1)), re.M)
+
+
+def check_lane_rule_kinds_tested() -> list[str]:
+    """Rule 9: every LaneRuleKind enumerator appears in the lane
+    equivalence suite."""
+    names = lane_rule_kind_names()
+    if not names:
+        return ["could not parse enum class LaneRuleKind out of "
+                "src/core/include/cvg/core/lanes.hpp — update "
+                "check_invariants.py"]
+    test = TESTS / "lane_engine_test.cpp"
+    if not test.exists():
+        return ["tests/lane_engine_test.cpp is missing — the lane kernels "
+                "have no scalar-equivalence pin"]
+    corpus = test.read_text()
+    errors = []
+    for name in names:
+        if not re.search(rf"\bLaneRuleKind::{name}\b", corpus):
+            errors.append(f"lane rule kind \"{name}\" is referenced by no "
+                          "equivalence test in tests/lane_engine_test.cpp")
+    return errors
+
+
 def main() -> int:
     checks = [
         ("policy locality overrides", check_policy_locality_overrides),
@@ -231,6 +267,7 @@ def main() -> int:
         ("adversary names tested", check_adversary_names_tested),
         ("fuzz mutators tested", check_fuzz_mutators_tested),
         ("service job types tested", check_serve_job_kinds_tested),
+        ("lane rule kinds pinned", check_lane_rule_kinds_tested),
     ]
     failures = []
     for label, check in checks:

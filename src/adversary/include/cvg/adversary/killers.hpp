@@ -30,6 +30,9 @@ class TrainAndSlam final : public Adversary {
   void plan(const Tree& tree, const Configuration& config, Step step,
             Capacity capacity, std::vector<NodeId>& out) override;
 
+  /// Phase switching is purely step-indexed; sites are fixed at build time.
+  [[nodiscard]] bool oblivious() const override { return true; }
+
   [[nodiscard]] Step train_length() const noexcept { return train_length_; }
   [[nodiscard]] NodeId train_site() const noexcept { return train_site_; }
   [[nodiscard]] NodeId slam_site() const noexcept { return slam_site_; }
@@ -52,6 +55,7 @@ class Alternator final : public Adversary {
   [[nodiscard]] std::string name() const override { return "alternator"; }
   void plan(const Tree& tree, const Configuration& config, Step step,
             Capacity capacity, std::vector<NodeId>& out) override;
+  [[nodiscard]] bool oblivious() const override { return true; }
 
  private:
   Step period_;

@@ -36,6 +36,8 @@ class FixedNode final : public Adversary {
   void plan(const Tree& tree, const Configuration& config, Step step,
             Capacity capacity, std::vector<NodeId>& out) override;
 
+  [[nodiscard]] bool oblivious() const override { return true; }
+
   [[nodiscard]] NodeId node() const noexcept { return node_; }
 
  private:
@@ -52,6 +54,7 @@ class RoundRobin final : public Adversary {
   void plan(const Tree& tree, const Configuration& config, Step step,
             Capacity capacity, std::vector<NodeId>& out) override;
   void on_simulation_start() override { next_ = 0; }
+  [[nodiscard]] bool oblivious() const override { return true; }
 
  private:
   std::vector<NodeId> targets_;
@@ -68,6 +71,8 @@ class RandomUniform final : public Adversary {
   void plan(const Tree& tree, const Configuration& config, Step step,
             Capacity capacity, std::vector<NodeId>& out) override;
   void on_simulation_start() override { rng_ = Xoshiro256StarStar(seed_); }
+  /// Random but oblivious: the stream depends on the seed, never on heights.
+  [[nodiscard]] bool oblivious() const override { return true; }
 
  private:
   std::uint64_t seed_;
@@ -85,6 +90,7 @@ class RandomLeaf final : public Adversary {
   void plan(const Tree& tree, const Configuration& config, Step step,
             Capacity capacity, std::vector<NodeId>& out) override;
   void on_simulation_start() override;
+  [[nodiscard]] bool oblivious() const override { return true; }
 
  private:
   std::uint64_t seed_;
@@ -104,6 +110,7 @@ class Trace final : public Adversary {
   [[nodiscard]] std::string name() const override { return "trace"; }
   void plan(const Tree& tree, const Configuration& config, Step step,
             Capacity capacity, std::vector<NodeId>& out) override;
+  [[nodiscard]] bool oblivious() const override { return true; }
 
  private:
   std::vector<std::vector<NodeId>> schedule_;

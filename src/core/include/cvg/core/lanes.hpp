@@ -1,0 +1,164 @@
+#pragma once
+
+/// \file lanes.hpp
+/// Structure-of-arrays building blocks of the lane-batched step engine
+/// (`cvg/sim/lane_engine.hpp`): K independent simulations advance in
+/// lockstep, with every per-node quantity stored contiguously *per lane* —
+/// `plane[node * K + lane]` — so the inner loop over lanes is a stride-1
+/// scan the compiler auto-vectorizes.
+///
+/// Three pieces live here, beneath the policy layer:
+///
+///  - `LanePlane<T>`: the SoA container (one `T` per (node, lane) pair);
+///  - `LaneRuleKind` / `LaneRule`: a closed descriptor of the forwarding
+///    rules the lane engine can execute branch-free.  A `Policy` advertises
+///    its descriptor via `Policy::lane_rule()`; policies outside this closed
+///    set simply return nothing and run on the scalar engine;
+///  - `lane_rules::*`: the branch-free rule arithmetic itself, shared by the
+///    lane kernels and written to be bit-equivalent to the `wants` lambdas in
+///    `src/policy/src/standard.cpp` for every height the simulator can
+///    produce (heights are never negative).  The scalar↔batch equivalence
+///    suite (`tests/lane_engine_test.cpp`) pins that equivalence per rule.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "cvg/core/types.hpp"
+#include "cvg/util/check.hpp"
+
+namespace cvg {
+
+/// Forwarding rules the lane engine executes without virtual dispatch.
+/// `scripts/check_invariants.py` cross-references every enumerator against
+/// the lane equivalence tests, so adding a kind without pinning it fails CI.
+enum class LaneRuleKind : std::uint8_t {
+  Greedy,            ///< forward min(c, h) whenever non-empty (0-local)
+  Downhill,          ///< forward 1 iff h(succ) <  h(v)
+  DownhillOrFlat,    ///< forward 1 iff h(succ) <= h(v)
+  FieLocal,          ///< forward 1 iff h(succ) == 0
+  OddEven,           ///< the paper's parity rule (Algorithm 1)
+  ScaledOddEven,     ///< parity on ⌊h/c⌋ buckets, moving `rate` at a time
+  Gradient,          ///< forward 1 iff h(v) − h(succ) ≥ slope
+  MaxWindow,         ///< forward min(c, h) iff h(v) ≥ max of next ℓ heights
+  ArbitratedOddEven, ///< OddEven + sibling arbitration (Algorithm 5)
+};
+
+/// Name of a rule kind, for diagnostics and bench labels.
+[[nodiscard]] constexpr const char* to_string(LaneRuleKind kind) noexcept {
+  switch (kind) {
+    case LaneRuleKind::Greedy: return "greedy";
+    case LaneRuleKind::Downhill: return "downhill";
+    case LaneRuleKind::DownhillOrFlat: return "downhill-or-flat";
+    case LaneRuleKind::FieLocal: return "fie-local";
+    case LaneRuleKind::OddEven: return "odd-even";
+    case LaneRuleKind::ScaledOddEven: return "scaled-odd-even";
+    case LaneRuleKind::Gradient: return "gradient";
+    case LaneRuleKind::MaxWindow: return "max-window";
+    case LaneRuleKind::ArbitratedOddEven: return "arbitrated-odd-even";
+  }
+  return "?";
+}
+
+/// What a policy tells the lane engine about itself: which branch-free rule
+/// reproduces its `compute_sends`, plus the rule's parameter (the gradient
+/// slope, the scaled rate, the window width — zero when unused) and, for the
+/// arbitrated rule, which sibling-competition reading applies.
+struct LaneRule {
+  LaneRuleKind kind = LaneRuleKind::Greedy;
+  std::int32_t param = 0;
+  ArbitrationMode arbitration = ArbitrationMode::Strict;
+};
+
+/// One SoA plane: a `T` per (node, lane) pair, lanes contiguous per node.
+/// This is deliberately a thin layer over `std::vector` — the lane kernels
+/// work on raw rows so the per-lane loop stays a stride-1 scan.
+template <typename T>
+class LanePlane {
+ public:
+  LanePlane() = default;
+  LanePlane(std::size_t nodes, std::size_t lanes, T fill = T{})
+      : lanes_(lanes), data_(nodes * lanes, fill) {
+    CVG_CHECK(lanes >= 1);
+  }
+
+  [[nodiscard]] std::size_t lanes() const noexcept { return lanes_; }
+  [[nodiscard]] std::size_t nodes() const noexcept {
+    return lanes_ == 0 ? 0 : data_.size() / lanes_;
+  }
+
+  /// Row of node `v`: `row(v)[lane]` is the value for (v, lane).
+  [[nodiscard]] T* row(NodeId v) noexcept {
+    return data_.data() + static_cast<std::size_t>(v) * lanes_;
+  }
+  [[nodiscard]] const T* row(NodeId v) const noexcept {
+    return data_.data() + static_cast<std::size_t>(v) * lanes_;
+  }
+
+  [[nodiscard]] T& at(NodeId v, std::size_t lane) noexcept {
+    return row(v)[lane];
+  }
+  [[nodiscard]] const T& at(NodeId v, std::size_t lane) const noexcept {
+    return row(v)[lane];
+  }
+
+  void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
+
+ private:
+  std::size_t lanes_ = 0;
+  std::vector<T> data_;
+};
+
+/// Branch-free rule arithmetic.  Each function returns the *desired* send
+/// count for a node with height `own` whose successor holds `succ`; the
+/// kernel clamps to `min(desired, capacity, own)`, which also zeroes empty
+/// nodes (heights are never negative), so no `own > 0` branch is needed.
+/// Comparisons are written as integer expressions so the lane loop compiles
+/// to vector compare/select instructions instead of branches.
+namespace lane_rules {
+
+[[nodiscard]] constexpr Capacity greedy(Height /*own*/, Height /*succ*/,
+                                        Capacity capacity) noexcept {
+  return capacity;
+}
+
+[[nodiscard]] constexpr Capacity downhill(Height own, Height succ) noexcept {
+  return static_cast<Capacity>(succ < own);
+}
+
+[[nodiscard]] constexpr Capacity downhill_or_flat(Height own,
+                                                  Height succ) noexcept {
+  return static_cast<Capacity>(succ <= own);
+}
+
+[[nodiscard]] constexpr Capacity fie_local(Height /*own*/,
+                                           Height succ) noexcept {
+  return static_cast<Capacity>(succ == 0);
+}
+
+/// Odd-Even without the ternary: for `own ≥ 0`, `own & 1` is the parity, and
+/// `succ < own + parity` is `succ ≤ own` when odd, `succ < own` when even —
+/// exactly `OddEvenPolicy::rule`.
+[[nodiscard]] constexpr Capacity odd_even(Height own, Height succ) noexcept {
+  return static_cast<Capacity>(succ < own + (own & 1));
+}
+
+/// Scaled Odd-Even: the same parity comparison on ⌊h/rate⌋ buckets, moving
+/// `rate` packets when the rule fires.
+[[nodiscard]] constexpr Capacity scaled_odd_even(Height own, Height succ,
+                                                 Capacity rate) noexcept {
+  const Height own_bucket = static_cast<Height>(own / rate);
+  const Height succ_bucket = static_cast<Height>(succ / rate);
+  return static_cast<Capacity>(
+      static_cast<Capacity>(succ_bucket < own_bucket + (own_bucket & 1)) *
+      rate);
+}
+
+[[nodiscard]] constexpr Capacity gradient(Height own, Height succ,
+                                          Height slope) noexcept {
+  return static_cast<Capacity>(own - succ >= slope);
+}
+
+}  // namespace lane_rules
+
+}  // namespace cvg

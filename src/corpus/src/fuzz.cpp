@@ -10,6 +10,7 @@
 #include "cvg/corpus/replay.hpp"
 #include "cvg/policy/registry.hpp"
 #include "cvg/search/beam.hpp"
+#include "cvg/sim/lane_engine.hpp"
 #include "cvg/util/check.hpp"
 #include "cvg/util/rng.hpp"
 
@@ -330,24 +331,48 @@ FuzzReport fuzz_bucket(CorpusStore& store, const Tree& tree,
   std::vector<Candidate> pool;
   std::unordered_set<std::uint64_t> seen;
 
+  // Candidates are scored in lane batches: `consider` stages deduped,
+  // rate-feasible schedules, and `flush` replays the whole batch through the
+  // lane-batched engine (`replay_schedules` — one SoA step pass scores up to
+  // kDefaultReplayLanes schedules at once, with a scalar fallback for
+  // unsupported buckets) before folding results into the elite pool in
+  // staging order.  Mutation parents see the pool as of the last flush,
+  // which keeps runs deterministic for a fixed seed.
+  std::vector<Schedule> staged;
+  std::vector<std::pair<std::uint64_t, std::string>> staged_meta;
+
+  const auto flush = [&] {
+    if (staged.empty()) return;
+    const std::vector<LaneReplayOutcome> scored =
+        replay_schedules(tree, policy, sim_options, staged);
+    for (std::size_t k = 0; k < staged.size(); ++k) {
+      Candidate candidate;
+      candidate.schedule = std::move(staged[k]);
+      candidate.peak = scored[k].peak;
+      candidate.fp = staged_meta[k].first;
+      candidate.origin = std::move(staged_meta[k].second);
+      const Height best_before = pool.empty() ? -1 : pool.front().peak;
+      pool.push_back(std::move(candidate));
+      std::sort(pool.begin(), pool.end(), better);
+      if (pool.size() > options.pool_size) pool.resize(options.pool_size);
+      if (pool.front().peak > best_before) ++report.pool_improvements;
+    }
+    staged.clear();
+    staged_meta.clear();
+  };
+
   const auto consider = [&](Schedule schedule, std::string origin) {
     pad_to_horizon(schedule, horizon);
     if (!schedule_is_feasible(schedule, tree.node_count(),
                               sim_options.capacity, sim_options.burstiness)) {
       return;
     }
-    Candidate candidate;
-    candidate.fp = fingerprint(schedule);
-    if (!seen.insert(candidate.fp).second) return;
+    const std::uint64_t fp = fingerprint(schedule);
+    if (!seen.insert(fp).second) return;
     ++report.candidates_tried;
-    candidate.peak = replay_peak(tree, policy, sim_options, schedule);
-    candidate.schedule = std::move(schedule);
-    candidate.origin = std::move(origin);
-    const Height best_before = pool.empty() ? -1 : pool.front().peak;
-    pool.push_back(std::move(candidate));
-    std::sort(pool.begin(), pool.end(), better);
-    if (pool.size() > options.pool_size) pool.resize(options.pool_size);
-    if (pool.front().peak > best_before) ++report.pool_improvements;
+    staged.push_back(std::move(schedule));
+    staged_meta.emplace_back(fp, std::move(origin));
+    if (staged.size() >= kDefaultReplayLanes) flush();
   };
 
   // Seed (a): the bucket's existing corpus entries.
@@ -388,6 +413,7 @@ FuzzReport fuzz_bucket(CorpusStore& store, const Tree& tree,
     consider(std::move(schedule), std::move(origin));
   }
 
+  flush();  // score all seeds before the pool is read
   CVG_CHECK(!pool.empty()) << "fuzz seeding produced no feasible candidate";
 
   // Mutation loop.
@@ -432,6 +458,7 @@ FuzzReport fuzz_bucket(CorpusStore& store, const Tree& tree,
     if (child.empty()) continue;
     consider(std::move(child), mutators[which]);
   }
+  flush();  // score the tail of the last mutation batch
 
   const Candidate& best = pool.front();
   report.best_peak = best.peak;

@@ -47,22 +47,48 @@ struct SweepOutcome {
 /// Historical alias: peak sweeps predate the generic runner.
 using PeakOutcome = SweepOutcome;
 
+/// Several grid points that one body evaluates together — the unit the
+/// lane-batched engine (`cvg/sim/lane_engine.hpp`) works in: a block of K
+/// same-bucket schedules advances as one SoA simulation, so the whole block
+/// costs about one scalar run.  The body returns exactly
+/// `labels.size()` outcomes, in label order.
+struct SweepBlock {
+  std::vector<std::string> labels;
+  std::function<std::vector<SweepOutcome>()> body;
+};
+
 /// Collects labelled jobs over any substrate and runs them across a worker
-/// pool, returning outcomes in job order.
+/// pool, returning outcomes in job order.  A block counts as
+/// `labels.size()` consecutive jobs but occupies a single worker: lanes
+/// batch *within* a block, threads parallelize *across* blocks.
 class SweepRunner {
  public:
   void add(SweepJob job);
   void add(std::string label, Step steps, std::function<RunResult(Step)> body);
+  void add_block(SweepBlock block);
+  void add_block(std::vector<std::string> labels,
+                 std::function<std::vector<SweepOutcome>()> body);
 
-  [[nodiscard]] std::size_t size() const noexcept { return jobs_.size(); }
+  /// Total number of outcomes `run` will produce (blocks count per label).
+  [[nodiscard]] std::size_t size() const noexcept { return total_; }
 
   /// Runs every job (in parallel across `threads` workers).  Aborts with the
-  /// job's label if a job has no step budget or no body.
+  /// job's label if a job has no step budget or no body, and with the first
+  /// label of a block whose body returns the wrong number of outcomes.
+  /// Outcomes land in insertion order regardless of `threads`.
   [[nodiscard]] std::vector<SweepOutcome> run(
       unsigned threads = default_thread_count()) const;
 
  private:
-  std::vector<SweepJob> jobs_;
+  /// One schedulable unit: a single job (when `block.body` is empty) or a
+  /// lane block.
+  struct Unit {
+    SweepJob job;
+    SweepBlock block;
+  };
+
+  std::vector<Unit> units_;
+  std::size_t total_ = 0;
 };
 
 /// One grid point of a height-engine peak sweep.
@@ -87,8 +113,12 @@ struct PeakJob {
   SimOptions options;
 };
 
-/// Runs every job (in parallel across `threads` workers) and returns
-/// outcomes in job order.
+/// Runs every job and returns outcomes in job order.  Grid points whose
+/// bucket fits the lane-batched engine — same tree, policy and options,
+/// lane-supported policy, oblivious adversary — are grouped into lane
+/// blocks (schedules unrolled up front, replayed K-per-block); the rest run
+/// on the scalar engine.  Results are bit-identical either way, and
+/// identical for every `threads` value.
 [[nodiscard]] std::vector<PeakOutcome> run_peak_sweep(
     const std::vector<PeakJob>& jobs, unsigned threads = default_thread_count());
 

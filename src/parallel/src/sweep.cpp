@@ -1,41 +1,174 @@
 #include "cvg/parallel/sweep.hpp"
 
+#include <utility>
+
+#include "cvg/sim/lane_engine.hpp"
+
 namespace cvg {
 
-void SweepRunner::add(SweepJob job) { jobs_.push_back(std::move(job)); }
+void SweepRunner::add(SweepJob job) {
+  units_.push_back({std::move(job), {}});
+  ++total_;
+}
 
 void SweepRunner::add(std::string label, Step steps,
                       std::function<RunResult(Step)> body) {
-  jobs_.push_back({std::move(label), steps, std::move(body)});
+  add(SweepJob{std::move(label), steps, std::move(body)});
+}
+
+void SweepRunner::add_block(SweepBlock block) {
+  CVG_CHECK(!block.labels.empty()) << "sweep block with no labels";
+  total_ += block.labels.size();
+  units_.push_back({{}, std::move(block)});
+}
+
+void SweepRunner::add_block(std::vector<std::string> labels,
+                            std::function<std::vector<SweepOutcome>()> body) {
+  add_block(SweepBlock{std::move(labels), std::move(body)});
 }
 
 std::vector<SweepOutcome> SweepRunner::run(unsigned threads) const {
-  std::vector<SweepOutcome> outcomes(jobs_.size());
-  parallel_for(jobs_.size(), threads, [&](std::size_t i) {
-    const SweepJob& job = jobs_[i];
+  // Insertion-order offsets: each unit owns a fixed outcome range, so the
+  // result is independent of worker scheduling.
+  std::vector<std::size_t> offset(units_.size());
+  std::size_t at = 0;
+  for (std::size_t i = 0; i < units_.size(); ++i) {
+    offset[i] = at;
+    at += units_[i].block.body ? units_[i].block.labels.size() : 1;
+  }
+
+  std::vector<SweepOutcome> outcomes(total_);
+  parallel_for(units_.size(), threads, [&](std::size_t i) {
+    const Unit& unit = units_[i];
+    if (unit.block.body) {
+      const SweepBlock& block = unit.block;
+      std::vector<SweepOutcome> got = block.body();
+      CVG_CHECK(got.size() == block.labels.size())
+          << "sweep block '" << block.labels.front() << "' returned "
+          << got.size() << " outcomes for " << block.labels.size()
+          << " labels";
+      for (std::size_t k = 0; k < got.size(); ++k) {
+        outcomes[offset[i] + k] = std::move(got[k]);
+        outcomes[offset[i] + k].label = block.labels[k];
+      }
+      return;
+    }
+    const SweepJob& job = unit.job;
     CVG_CHECK(job.steps > 0)
         << "sweep job '" << job.label << "' has no step budget";
     CVG_CHECK(job.body != nullptr)
         << "sweep job '" << job.label << "' has no body";
     const RunResult result = job.body(job.steps);
-    outcomes[i] = {job.label, result.peak_height, result.injected,
-                   result.delivered, result.steps};
+    outcomes[offset[i]] = {job.label, result.peak_height, result.injected,
+                           result.delivered, result.steps};
   });
   return outcomes;
 }
 
+namespace {
+
+/// One materialized grid point of a peak sweep.  `run_peak_sweep` builds
+/// every point up front (instead of inside the worker closure) so that
+/// same-bucket points can be recognized and fused into a lane block.
+struct PeakPoint {
+  Tree tree;
+  PolicyPtr policy;
+  AdversaryPtr adversary;
+};
+
+/// Two points share a lane block iff the lane engine would execute them
+/// under identical kernels: same topology, same policy (registry names are
+/// injective over behaviour) and same execution-model knobs.  Sparse-mode
+/// knobs are irrelevant — the lane engine has one substrate, and the scalar
+/// engines are bit-identical across them anyway.
+bool same_bucket(const PeakPoint& a, const PeakJob& ja, const PeakPoint& b,
+                 const PeakJob& jb) {
+  return ja.options.capacity == jb.options.capacity &&
+         ja.options.burstiness == jb.options.burstiness &&
+         ja.options.semantics == jb.options.semantics &&
+         a.policy->name() == b.policy->name() && a.tree == b.tree;
+}
+
+}  // namespace
+
 std::vector<PeakOutcome> run_peak_sweep(const std::vector<PeakJob>& jobs,
                                         unsigned threads) {
+  // Materialize every grid point once, on the calling thread.
+  std::vector<PeakPoint> points;
+  points.reserve(jobs.size());  // closures below keep references into this
+  std::vector<bool> laneable(jobs.size(), false);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const PeakJob& job = jobs[i];
+    Tree tree = job.make_tree();
+    PolicyPtr policy = job.make_policy();
+    AdversaryPtr adversary = job.make_adversary(tree, *policy);
+    laneable[i] = job.steps > 0 && adversary->oblivious() &&
+                  LaneSimulator::supported(*policy, job.options);
+    points.push_back(
+        {std::move(tree), std::move(policy), std::move(adversary)});
+  }
+
+  // Greedy grouping in job order: every unclaimed lane-compatible point
+  // joins the earliest block of its bucket.  Deterministic, so outcomes are
+  // reproducible across thread counts.
   SweepRunner runner;
-  for (const PeakJob& job : jobs) {
-    runner.add(job.label, job.steps, [&job](Step steps) {
-      const Tree tree = job.make_tree();
-      const PolicyPtr policy = job.make_policy();
-      AdversaryPtr adversary = job.make_adversary(tree, *policy);
-      return run(tree, *policy, *adversary, steps, job.options);
+  std::vector<std::size_t> origin;  // runner outcome slot -> job index
+  origin.reserve(jobs.size());
+  std::vector<bool> claimed(jobs.size(), false);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (claimed[i]) continue;
+    claimed[i] = true;
+    if (!laneable[i]) {
+      const PeakJob& job = jobs[i];
+      const PeakPoint& point = points[i];
+      origin.push_back(i);
+      runner.add(job.label, job.steps, [&job, &point](Step steps) {
+        return run(point.tree, *point.policy, *point.adversary, steps,
+                   job.options);
+      });
+      continue;
+    }
+    std::vector<std::size_t> members{i};
+    for (std::size_t j = i + 1; j < jobs.size(); ++j) {
+      if (claimed[j] || !laneable[j]) continue;
+      if (!same_bucket(points[i], jobs[i], points[j], jobs[j])) continue;
+      claimed[j] = true;
+      members.push_back(j);
+    }
+    std::vector<std::string> labels;
+    labels.reserve(members.size());
+    for (const std::size_t m : members) {
+      origin.push_back(m);
+      labels.push_back(jobs[m].label);
+    }
+    runner.add_block(std::move(labels), [&jobs, &points, members] {
+      const PeakPoint& lead = points[members.front()];
+      const SimOptions& options = jobs[members.front()].options;
+      std::vector<LaneSchedule> schedules;
+      schedules.reserve(members.size());
+      for (const std::size_t m : members) {
+        schedules.push_back(unroll_oblivious(lead.tree, *points[m].adversary,
+                                             jobs[m].steps, options.capacity));
+      }
+      const std::vector<LaneReplayOutcome> replayed =
+          replay_schedules(lead.tree, *lead.policy, options, schedules);
+      std::vector<SweepOutcome> out(members.size());
+      for (std::size_t k = 0; k < members.size(); ++k) {
+        out[k] = {jobs[members[k]].label, replayed[k].peak,
+                  replayed[k].injected, replayed[k].delivered,
+                  replayed[k].steps};
+      }
+      return out;
     });
   }
-  return runner.run(threads);
+
+  // Scatter back to job order (grouping may interleave buckets).
+  const std::vector<SweepOutcome> flat = runner.run(threads);
+  std::vector<PeakOutcome> out(jobs.size());
+  for (std::size_t slot = 0; slot < flat.size(); ++slot) {
+    out[origin[slot]] = flat[slot];
+  }
+  return out;
 }
 
 }  // namespace cvg

@@ -26,7 +26,10 @@
 #include <span>
 #include <string>
 
+#include <optional>
+
 #include "cvg/core/config.hpp"
+#include "cvg/core/lanes.hpp"
 #include "cvg/core/read_audit.hpp"
 #include "cvg/core/step.hpp"
 #include "cvg/core/types.hpp"
@@ -100,6 +103,15 @@ class Policy {
                                     std::span<const NodeId> occupied,
                                     Capacity capacity,
                                     std::vector<SendEntry>& sends_out) const;
+
+  /// Descriptor of the branch-free forwarding rule that reproduces this
+  /// policy bit-for-bit, if the lane-batched engine
+  /// (`cvg/sim/lane_engine.hpp`) has one.  The default — no descriptor —
+  /// routes the policy to the scalar engine; policies advertising a rule are
+  /// pinned against it by the scalar↔batch equivalence suite.
+  [[nodiscard]] virtual std::optional<LaneRule> lane_rule() const {
+    return std::nullopt;
+  }
 };
 
 /// Owning handle used throughout the library.

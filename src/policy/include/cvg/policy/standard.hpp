@@ -34,6 +34,9 @@ class GreedyPolicy final : public Policy {
                             std::span<const NodeId> occupied,
                             Capacity capacity,
                             std::vector<SendEntry>& sends_out) const override;
+  [[nodiscard]] std::optional<LaneRule> lane_rule() const override {
+    return LaneRule{LaneRuleKind::Greedy, 0, ArbitrationMode::Strict};
+  }
 };
 
 /// Forward iff the successor's buffer is strictly lower.  Ω(n) on paths [21]:
@@ -50,6 +53,9 @@ class DownhillPolicy final : public Policy {
                             std::span<const NodeId> occupied,
                             Capacity capacity,
                             std::vector<SendEntry>& sends_out) const override;
+  [[nodiscard]] std::optional<LaneRule> lane_rule() const override {
+    return LaneRule{LaneRuleKind::Downhill, 0, ArbitrationMode::Strict};
+  }
 };
 
 /// Forward iff the successor's buffer is equal or lower (Thm 4.1's
@@ -68,6 +74,9 @@ class DownhillOrFlatPolicy final : public Policy {
                             std::span<const NodeId> occupied,
                             Capacity capacity,
                             std::vector<SendEntry>& sends_out) const override;
+  [[nodiscard]] std::optional<LaneRule> lane_rule() const override {
+    return LaneRule{LaneRuleKind::DownhillOrFlat, 0, ArbitrationMode::Strict};
+  }
 };
 
 /// Local Forward-If-Empty: forward iff the successor's buffer is empty.  The
@@ -85,6 +94,9 @@ class FieLocalPolicy final : public Policy {
                             std::span<const NodeId> occupied,
                             Capacity capacity,
                             std::vector<SendEntry>& sends_out) const override;
+  [[nodiscard]] std::optional<LaneRule> lane_rule() const override {
+    return LaneRule{LaneRuleKind::FieLocal, 0, ArbitrationMode::Strict};
+  }
 };
 
 /// The paper's headline 1-local algorithm (Algorithm 1, `Odd-Even`):
@@ -108,6 +120,10 @@ class OddEvenPolicy final : public Policy {
                             std::span<const NodeId> occupied,
                             Capacity capacity,
                             std::vector<SendEntry>& sends_out) const override;
+
+  [[nodiscard]] std::optional<LaneRule> lane_rule() const override {
+    return LaneRule{LaneRuleKind::OddEven, 0, ArbitrationMode::Strict};
+  }
 
   /// The bare parity rule, shared with `TreeOddEvenPolicy` and the certifier.
   [[nodiscard]] static constexpr bool rule(Height own, Height succ) noexcept {
@@ -143,6 +159,9 @@ class TreeOddEvenPolicy final : public Policy {
                             std::span<const NodeId> occupied,
                             Capacity capacity,
                             std::vector<SendEntry>& sends_out) const override;
+  [[nodiscard]] std::optional<LaneRule> lane_rule() const override {
+    return LaneRule{LaneRuleKind::ArbitratedOddEven, 0, mode_};
+  }
 
  private:
   ArbitrationMode mode_;
@@ -165,6 +184,9 @@ class MaxWindowPolicy final : public Policy {
                             std::span<const NodeId> occupied,
                             Capacity capacity,
                             std::vector<SendEntry>& sends_out) const override;
+  [[nodiscard]] std::optional<LaneRule> lane_rule() const override {
+    return LaneRule{LaneRuleKind::MaxWindow, window_, ArbitrationMode::Strict};
+  }
 
  private:
   int window_;
@@ -196,6 +218,10 @@ class ScaledOddEvenPolicy final : public Policy {
                             std::span<const NodeId> occupied,
                             Capacity capacity,
                             std::vector<SendEntry>& sends_out) const override;
+  [[nodiscard]] std::optional<LaneRule> lane_rule() const override {
+    return LaneRule{LaneRuleKind::ScaledOddEven, rate_,
+                    ArbitrationMode::Strict};
+  }
 
  private:
   Capacity rate_;
@@ -218,6 +244,9 @@ class GradientPolicy final : public Policy {
                             std::span<const NodeId> occupied,
                             Capacity capacity,
                             std::vector<SendEntry>& sends_out) const override;
+  [[nodiscard]] std::optional<LaneRule> lane_rule() const override {
+    return LaneRule{LaneRuleKind::Gradient, slope_, ArbitrationMode::Strict};
+  }
 
  private:
   Height slope_;

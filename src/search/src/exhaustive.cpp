@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <deque>
+#include <optional>
+#include <span>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "cvg/sim/lane_engine.hpp"
 #include "cvg/util/check.hpp"
 
 namespace cvg::search {
@@ -49,6 +52,23 @@ SearchResult exhaustive_worst_case(const Tree& tree, const Policy& policy,
 
   Simulator sim(tree, policy, sim_options);
 
+  // Lane-batched expansion: the n injection choices of a popped state (idle
+  // plus each site) advance as one SoA lane block — one vectorized step pass
+  // instead of n scalar steps.  The block is reused across states
+  // (`set_config_all_lanes` reseeds it); per-choice peaks read the resulting
+  // lane configurations, so the block's running peak is never consulted.
+  std::optional<LaneSimulator> batch;
+  std::vector<NodeId> sites(n);
+  std::vector<std::span<const NodeId>> spans(n);
+  if (LaneSimulator::supported(policy, sim_options)) {
+    batch.emplace(tree, policy, sim_options, n);
+    for (NodeId t = 1; t < n; ++t) {
+      sites[t] = t;
+      spans[t] = std::span<const NodeId>(&sites[t], 1);
+    }
+    spans[0] = {};  // lane 0 expands the idle step
+  }
+
   // Predecessor info for schedule extraction: state → (previous state,
   // injection that led here).
   struct Pred {
@@ -76,12 +96,23 @@ SearchResult exhaustive_worst_case(const Tree& tree, const Policy& policy,
     frontier.pop_front();
     decode_into(key, config);
 
-    // Idle (kNoNode) plus each possible injection site.
+    if (batch) {
+      batch->set_config_all_lanes(config);
+      batch->step_lanes(spans);
+    }
+
+    // Idle (kNoNode) plus each possible injection site — lane t of the
+    // batch, or a scalar (set_config, step) pair in the fallback.
+    Configuration lane_next(n);
     for (NodeId t = 0; t < n; ++t) {
       const NodeId injection = (t == 0) ? kNoNode : t;
-      sim.set_config(config);
-      sim.step_inject(injection);
-      const Configuration& next = sim.config();
+      if (batch) {
+        lane_next = batch->lane_config(t);
+      } else {
+        sim.set_config(config);
+        sim.step_inject(injection);
+      }
+      const Configuration& next = batch ? lane_next : sim.config();
       const Height peak = next.max_height();
 
       if (peak > result.peak) {

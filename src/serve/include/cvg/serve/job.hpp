@@ -71,6 +71,11 @@ struct JobRequest {
   Capacity burstiness = 0;
   StepSemantics semantics = StepSemantics::DecideBeforeInjection;
   std::uint64_t seed = 1;
+  /// Sweep-only third grid axis (`"seeds":[…]`, exclusive with `"seed"`):
+  /// the grid is topologies × policies × seeds, and same-(topology, policy)
+  /// cells differing only in seed form one lane block on the batched
+  /// engine.  Empty means the single-`seed` grid.
+  std::vector<std::uint64_t> seeds;
 
   // replay / certify / minimize
   std::string file;  ///< .cvgc entry path (replay, minimize) or dir (certify)
@@ -97,15 +102,22 @@ inline constexpr Step kMaxJobSteps = 1u << 24;
 /// Semantic content hash of one run cell: folds (topology spec, policy,
 /// adversary, steps, capacity, burstiness, semantics, seed) — exactly the
 /// inputs that determine the simulation outcome, nothing operational (id,
-/// timeout, cache flags).  Shared by `run` jobs and each `sweep` cell, so a
-/// sweep warms the cache for later single runs and vice versa.
+/// timeout, cache flags) — plus the engine variant the service would pick
+/// for the cell (`"scalar"` / `"lanes"` and the configured lane width).
+/// The variant is itself a pure function of (policy, options), so run jobs
+/// and sweep cells still share keys — a sweep warms the cache for later
+/// single runs and vice versa — while a change of kernel generation (a new
+/// lane width, a policy moving on or off the lane engine) retires stale
+/// entries instead of serving them across substrates.
 [[nodiscard]] std::uint64_t run_job_hash(const std::string& topology,
                                          const std::string& policy,
                                          const std::string& adversary,
                                          Step steps, Capacity capacity,
                                          Capacity burstiness,
                                          StepSemantics semantics,
-                                         std::uint64_t seed);
+                                         std::uint64_t seed,
+                                         std::string_view engine,
+                                         std::uint32_t lane_width);
 
 /// Formats one response line (no trailing newline).  `ok` responses carry
 /// `result` (spliced verbatim — it must be a serialized JSON value),

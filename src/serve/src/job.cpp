@@ -134,7 +134,7 @@ constexpr Capacity kMaxCapacity = 1024;
       "capacity", "burstiness", "semantics", "seed"};
   static constexpr std::string_view kSweepFields[] = {
       "topologies", "policies",  "adversary", "steps",
-      "capacity",   "burstiness", "semantics", "seed"};
+      "capacity",   "burstiness", "semantics", "seed", "seeds"};
   switch (kind) {
     case JobKind::Run:
       return std::find(std::begin(kRunFields), std::end(kRunFields), key) !=
@@ -193,6 +193,8 @@ std::optional<JobRequest> parse_request(std::string_view line, JobError& error) 
   bool saw_topology = false;
   bool saw_policy = false;
   bool saw_file = false;
+  bool saw_seed = false;
+  bool saw_seeds = false;
 
   for (const JsonMember& member : document->as_object()) {
     const std::string& key = member.first;
@@ -297,6 +299,33 @@ std::optional<JobRequest> parse_request(std::string_view line, JobError& error) 
         v.fail("field \"seed\" must be a non-negative integer");
       } else {
         request.seed = static_cast<std::uint64_t>(value.as_int());
+        saw_seed = true;
+      }
+    } else if (key == "seeds") {
+      if (!value.is_array()) {
+        v.fail("field \"seeds\" must be an array of non-negative integers");
+      } else {
+        const JsonArray& array = value.as_array();
+        if (array.empty() || array.size() > kMaxSweepAxis) {
+          v.fail("field \"seeds\" must hold 1.." +
+                 std::to_string(kMaxSweepAxis) + " entries");
+        } else {
+          std::vector<std::uint64_t> seeds;
+          seeds.reserve(array.size());
+          bool ok = true;
+          for (const JsonValue& item : array) {
+            if (!item.is_int() || item.as_int() < 0) {
+              v.fail("field \"seeds\" entries must be non-negative integers");
+              ok = false;
+              break;
+            }
+            seeds.push_back(static_cast<std::uint64_t>(item.as_int()));
+          }
+          if (ok) {
+            request.seeds = std::move(seeds);
+            saw_seeds = true;
+          }
+        }
       }
     } else if (key == "file") {
       if (const auto path = v.string_field(value, key)) {
@@ -330,6 +359,9 @@ std::optional<JobRequest> parse_request(std::string_view line, JobError& error) 
         v.fail(std::string("missing field \"") + policy_key + "\"");
       }
       if (!v.failed() && request.steps == 0) v.fail("missing field \"steps\"");
+      if (!v.failed() && saw_seed && saw_seeds) {
+        v.fail("fields \"seed\" and \"seeds\" are mutually exclusive");
+      }
       break;
     }
     case JobKind::Replay:
@@ -349,7 +381,9 @@ std::uint64_t run_job_hash(const std::string& topology,
                            const std::string& policy,
                            const std::string& adversary, Step steps,
                            Capacity capacity, Capacity burstiness,
-                           StepSemantics semantics, std::uint64_t seed) {
+                           StepSemantics semantics, std::uint64_t seed,
+                           std::string_view engine,
+                           std::uint32_t lane_width) {
   Fnv1a hash;
   hash.str("run");
   hash.str(topology);
@@ -360,6 +394,8 @@ std::uint64_t run_job_hash(const std::string& topology,
   hash.u32(static_cast<std::uint32_t>(burstiness));
   hash.u8(static_cast<std::uint8_t>(semantics));
   hash.u64(seed);
+  hash.str(std::string(engine));
+  hash.u32(lane_width);
   return hash.value();
 }
 
@@ -398,7 +434,8 @@ constexpr std::string_view kFuzzTokens[] = {
     "\"certify\"",   "\"minimize\"", "\"stats\"",      "\"shutdown\"",
     "\"topology\"",  "\"topologies\"", "\"policy\"",  "\"policies\"",
     "\"adversary\"", "\"steps\"",   "\"capacity\"",   "\"burstiness\"",
-    "\"semantics\"", "\"seed\"",    "\"file\"",       "\"max_replays\"",
+    "\"semantics\"", "\"seed\"",    "\"seeds\"",      "\"file\"",
+    "\"max_replays\"",
     "\"timeout_ms\"", "\"cache\"",  "\"id\"",         "\"before\"",
     "\"after\"",     "path:64",     "spider:4x4",     "odd-even",
     "greedy",        "fixed-deepest", ":",            ",",
@@ -412,6 +449,7 @@ constexpr std::string_view kSeedRequests[] = {
     R"({"op":"run","topology":"path:64","policy":"odd-even","steps":128})",
     R"({"op":"run","topology":"spider:4x4","policy":"greedy","adversary":"random-uniform","steps":64,"seed":7})",
     R"({"op":"sweep","topologies":["path:8","star:4"],"policies":["greedy","odd-even"],"steps":32})",
+    R"({"op":"sweep","topologies":["path:8"],"policies":["odd-even"],"adversary":"random-uniform","steps":32,"seeds":[1,2,3]})",
     R"({"op":"replay","file":"corpus/entry.cvgc","id":"r"})",
     R"({"op":"certify","file":"corpus"})",
     R"({"op":"minimize","file":"corpus/entry.cvgc","max_replays":100})",

@@ -5,7 +5,9 @@
 #include <condition_variable>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <mutex>
+#include <span>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -16,6 +18,7 @@
 #include "cvg/corpus/replay.hpp"
 #include "cvg/parallel/pool.hpp"
 #include "cvg/policy/registry.hpp"
+#include "cvg/sim/lane_engine.hpp"
 #include "cvg/topology/spec.hpp"
 #include "cvg/util/check.hpp"
 #include "cvg/util/fnv.hpp"
@@ -27,6 +30,70 @@ namespace {
 /// How often the simulation loops poll their CancelToken: cheap enough to
 /// be invisible, frequent enough that timeouts land within milliseconds.
 constexpr Step kCancelPollMask = 1023;
+
+/// Lane width the service configures for lane-eligible sweep blocks.  It is
+/// folded into every cell's cache key (`run_job_hash`), so changing the
+/// width — a new kernel generation — retires memoized results instead of
+/// serving them across substrates.
+constexpr std::uint32_t kServeLaneWidth = 64;
+
+[[nodiscard]] SimOptions request_sim_options(const JobRequest& request) {
+  SimOptions options;
+  options.capacity = request.capacity;
+  options.burstiness = request.burstiness;
+  options.semantics = request.semantics;
+  return options;
+}
+
+/// The engine variant the service would execute a cell on.  A pure function
+/// of (policy, options) — never of grid shape or runtime block width — so a
+/// run job and the equal-parameter sweep cell compute identical cache keys
+/// and keep warming each other's results.
+struct EngineVariant {
+  std::string_view engine;
+  std::uint32_t lane_width = 0;
+};
+
+[[nodiscard]] EngineVariant cell_engine_variant(const Policy& policy,
+                                                const SimOptions& options) {
+  if (LaneSimulator::supported(policy, options)) {
+    return {"lanes", kServeLaneWidth};
+  }
+  return {"scalar", 0};
+}
+
+[[nodiscard]] std::uint64_t cell_cache_key(const std::string& topology,
+                                           const std::string& policy_name,
+                                           const JobRequest& request,
+                                           std::uint64_t seed) {
+  const PolicyPtr policy = make_policy(policy_name);
+  const EngineVariant variant =
+      cell_engine_variant(*policy, request_sim_options(request));
+  return run_job_hash(topology, policy_name, request.adversary, request.steps,
+                      request.capacity, request.burstiness, request.semantics,
+                      seed, variant.engine, variant.lane_width);
+}
+
+/// One cell's serialized payload.  Shared by the run executor and the lane
+/// block executor so cached payloads are byte-identical regardless of which
+/// path computed them.
+[[nodiscard]] std::string cell_payload(const std::string& topology,
+                                       const std::string& policy_name,
+                                       const JobRequest& request,
+                                       std::uint64_t seed, Height peak,
+                                       std::uint64_t injected,
+                                       std::uint64_t delivered) {
+  JsonObject cell;
+  cell.emplace_back("topology", JsonValue(topology));
+  cell.emplace_back("policy", JsonValue(policy_name));
+  cell.emplace_back("adversary", JsonValue(request.adversary));
+  cell.emplace_back("steps", JsonValue(request.steps));
+  cell.emplace_back("seed", JsonValue(seed));
+  cell.emplace_back("peak", JsonValue(peak));
+  cell.emplace_back("injected", JsonValue(injected));
+  cell.emplace_back("delivered", JsonValue(delivered));
+  return write_json(JsonValue(std::move(cell)));
+}
 
 [[nodiscard]] std::uint64_t now_micros(std::chrono::steady_clock::time_point t0) {
   const auto elapsed = std::chrono::steady_clock::now() - t0;
@@ -53,54 +120,138 @@ struct ExecResult {
   }
 };
 
-/// Executes one run cell (shared by `run` and each `sweep` cell).  The
-/// request was validated, so registry lookups cannot fail; only the
-/// cancellation deadline can.
+/// Executes one run cell (shared by `run` and each scalar `sweep` cell).
+/// Lane-eligible cells run on a width-1 `LaneSimulator` facade — the same
+/// kernels a sweep block uses, and the engine variant its cache key names —
+/// everything else on the scalar `Simulator`.  The request was validated,
+/// so registry lookups cannot fail; only the cancellation deadline can.
 [[nodiscard]] ExecResult execute_run_cell(const std::string& topology,
                                           const std::string& policy_name,
                                           const JobRequest& request,
+                                          std::uint64_t seed,
                                           const CancelToken& cancel) {
   std::string spec_error;
   const auto spec = build::parse_topology_spec(topology, spec_error);
   CVG_CHECK(spec.has_value()) << "validated spec failed to re-parse";
   const Tree tree = build::make_tree(*spec);
   const PolicyPtr policy = make_policy(policy_name);
-
-  SimOptions options;
-  options.capacity = request.capacity;
-  options.burstiness = request.burstiness;
-  options.semantics = request.semantics;
+  const SimOptions options = request_sim_options(request);
 
   adversary::AdversaryContext context;
   context.tree = &tree;
   context.policy = policy.get();
   context.options = options;
-  context.seed = request.seed;
+  context.seed = seed;
   const AdversaryPtr adversary =
       adversary::make_adversary(request.adversary, context);
   adversary->on_simulation_start();
 
-  Simulator sim(tree, *policy, options);
+  Height peak = 0;
+  std::uint64_t injected = 0;
+  std::uint64_t delivered = 0;
   std::vector<NodeId> injections;
+  const auto drive = [&](auto& sim) -> std::optional<Step> {
+    for (Step step = 0; step < request.steps; ++step) {
+      if ((step & kCancelPollMask) == 0 && cancel.cancelled()) return step;
+      injections.clear();
+      adversary->plan(tree, sim.config(), step, options.capacity, injections);
+      sim.step(injections);
+    }
+    peak = sim.peak_height();
+    injected = sim.injected();
+    delivered = sim.delivered();
+    return std::nullopt;
+  };
+
+  std::optional<Step> cancelled_at;
+  if (LaneSimulator::supported(*policy, options)) {
+    LaneSimulator sim(tree, *policy, options, /*lanes=*/1);
+    cancelled_at = drive(sim);
+  } else {
+    Simulator sim(tree, *policy, options);
+    cancelled_at = drive(sim);
+  }
+  if (cancelled_at.has_value()) {
+    return ExecResult::failure(
+        "timeout",
+        "run cancelled after " + std::to_string(*cancelled_at) + " steps");
+  }
+  return ExecResult::success(cell_payload(topology, policy_name, request, seed,
+                                          peak, injected, delivered));
+}
+
+/// Executes one sweep block — the cells of one (topology, policy) pair
+/// across `seeds` — appending one payload per seed to `payloads`.  Blocks
+/// whose adversary is oblivious and whose policy the lane engine supports
+/// advance as one SoA lane block (per-seed schedules unrolled up front);
+/// everything else falls back to per-cell runs.  Results are bit-identical
+/// either way (tests/lane_engine_test.cpp), so the cache never observes
+/// which path computed a payload.
+[[nodiscard]] ExecResult execute_sweep_block(const std::string& topology,
+                                             const std::string& policy_name,
+                                             const JobRequest& request,
+                                             std::span<const std::uint64_t> seeds,
+                                             const CancelToken& cancel,
+                                             std::vector<std::string>& payloads) {
+  std::string spec_error;
+  const auto spec = build::parse_topology_spec(topology, spec_error);
+  CVG_CHECK(spec.has_value()) << "validated spec failed to re-parse";
+  const Tree tree = build::make_tree(*spec);
+  const PolicyPtr policy = make_policy(policy_name);
+  const SimOptions options = request_sim_options(request);
+
+  bool lane_eligible =
+      seeds.size() > 1 && LaneSimulator::supported(*policy, options);
+  std::vector<LaneSchedule> schedules;
+  if (lane_eligible) {
+    schedules.reserve(seeds.size());
+    for (const std::uint64_t seed : seeds) {
+      adversary::AdversaryContext context;
+      context.tree = &tree;
+      context.policy = policy.get();
+      context.options = options;
+      context.seed = seed;
+      const AdversaryPtr adversary =
+          adversary::make_adversary(request.adversary, context);
+      if (!adversary->oblivious()) {
+        lane_eligible = false;  // adaptive plans need live heights
+        break;
+      }
+      schedules.push_back(unroll_oblivious(tree, *adversary, request.steps,
+                                           options.capacity));
+    }
+  }
+
+  if (!lane_eligible) {
+    for (const std::uint64_t seed : seeds) {
+      ExecResult cell =
+          execute_run_cell(topology, policy_name, request, seed, cancel);
+      if (!cell.ok) return cell;
+      payloads.push_back(std::move(cell.payload));
+    }
+    return ExecResult::success("");
+  }
+
+  LaneSimulator sim(tree, *policy, options, seeds.size());
+  std::vector<std::span<const NodeId>> row(seeds.size());
   for (Step step = 0; step < request.steps; ++step) {
     if ((step & kCancelPollMask) == 0 && cancel.cancelled()) {
       return ExecResult::failure(
-          "timeout", "run cancelled after " + std::to_string(step) + " steps");
+          "timeout",
+          "sweep block cancelled after " + std::to_string(step) + " steps");
     }
-    injections.clear();
-    adversary->plan(tree, sim.config(), step, options.capacity, injections);
-    sim.step(injections);
+    for (std::size_t lane = 0; lane < seeds.size(); ++lane) {
+      row[lane] = schedules[lane][static_cast<std::size_t>(step)];
+    }
+    sim.step_lanes(row);
   }
-
-  JsonObject cell;
-  cell.emplace_back("topology", JsonValue(topology));
-  cell.emplace_back("policy", JsonValue(policy_name));
-  cell.emplace_back("adversary", JsonValue(request.adversary));
-  cell.emplace_back("steps", JsonValue(request.steps));
-  cell.emplace_back("peak", JsonValue(sim.peak_height()));
-  cell.emplace_back("injected", JsonValue(sim.injected()));
-  cell.emplace_back("delivered", JsonValue(sim.delivered()));
-  return ExecResult::success(write_json(JsonValue(std::move(cell))));
+  for (std::size_t lane = 0; lane < seeds.size(); ++lane) {
+    payloads.push_back(cell_payload(topology, policy_name, request,
+                                    seeds[lane], sim.lane_peak(lane),
+                                    sim.lane_injected(lane),
+                                    sim.lane_delivered(lane)));
+  }
+  return ExecResult::success("");
 }
 
 [[nodiscard]] JsonValue replay_payload(const std::string& file,
@@ -163,56 +314,198 @@ struct Service::Impl {
   }
 
   /// Cache key of a validated request, or nullopt when the job is not
-  /// cacheable (stats/shutdown) or its key cannot be computed yet
-  /// (replay/minimize/certify keys depend on file bytes and are computed by
-  /// the executor, which loads the file anyway).
+  /// cacheable (stats/shutdown), takes per-cell keys (sweep), or its key
+  /// cannot be computed yet (replay/minimize/certify keys depend on file
+  /// bytes and are computed by the executor, which loads the file anyway).
   [[nodiscard]] static std::optional<std::uint64_t> direct_cache_key(
       const JobRequest& request) {
     if (request.kind != JobKind::Run) return std::nullopt;
-    return run_job_hash(request.topologies.front(), request.policies.front(),
-                        request.adversary, request.steps, request.capacity,
-                        request.burstiness, request.semantics, request.seed);
+    return cell_cache_key(request.topologies.front(), request.policies.front(),
+                          request, request.seed);
   }
 
-  [[nodiscard]] ExecResult execute_sweep(const JobRequest& request,
-                                         const CancelToken& cancel,
-                                         std::uint64_t& cached_cells) {
-    std::string cells = "[";
-    bool first = true;
+  /// One in-flight sweep.  Cells resolve out of order — cache hits inline on
+  /// the transport thread during planning, uncached blocks on pool workers —
+  /// into `cells` slots laid out in grid order (topology-major, then policy,
+  /// then seed), and whichever thread resolves the last open block formats
+  /// and sends the single response.
+  struct SweepState {
+    JobRequest request;
+    std::function<void(std::string)> respond;
+    CancelToken cancel;
+    std::chrono::steady_clock::time_point t0;
+    std::vector<std::uint64_t> seeds;  ///< effective axis: `seeds` or {seed}
+
+    std::mutex mutex;
+    std::vector<std::string> cells;  ///< grid order; filled as blocks finish
+    std::size_t open_blocks = 0;
+    std::uint64_t cached_cells = 0;
+    JobError error;  ///< first failure wins; later blocks still drain
+    bool failed = false;
+  };
+
+  /// One pool job's worth of sweep work: the uncached seeds of a single
+  /// (topology, policy) pair — exactly the cells that share a lane block.
+  struct SweepBlock {
+    const std::string* topology;  ///< into SweepState::request (shared_ptr-kept)
+    const std::string* policy;
+    std::vector<std::uint64_t> seeds;
+    std::vector<std::size_t> slots;  ///< cells[] indices, parallel to seeds
+    std::vector<std::uint64_t> keys;  ///< cache keys, parallel to seeds
+  };
+
+  /// Plans a sweep on the transport thread and fans its blocks out to the
+  /// pool as independent jobs.  Planning resolves cache hits inline, so a
+  /// fully-warm sweep answers without touching a worker; block submission
+  /// happens here — never from inside a pool task — so a saturated queue
+  /// yields queue_full backpressure instead of a self-deadlock.
+  void submit_sweep(JobRequest&& request_in,
+                    std::function<void(std::string)>&& respond) {
+    auto state = std::make_shared<SweepState>();
+    state->request = std::move(request_in);
+    state->respond = std::move(respond);
+    state->t0 = std::chrono::steady_clock::now();
+    state->cancel.set_timeout_ms(state->request.timeout_ms != 0
+                                     ? state->request.timeout_ms
+                                     : options.default_timeout_ms);
+    state->seeds = state->request.seeds.empty()
+                       ? std::vector<std::uint64_t>{state->request.seed}
+                       : state->request.seeds;
+    const JobRequest& request = state->request;
+    state->cells.resize(request.topologies.size() * request.policies.size() *
+                        state->seeds.size());
+
+    // Planning runs before any block is submitted, so `state` is still
+    // exclusively ours here — no lock needed yet.
+    std::vector<SweepBlock> blocks;
+    std::size_t index = 0;
     for (const std::string& topology : request.topologies) {
       for (const std::string& policy : request.policies) {
-        if (cancel.cancelled()) {
-          return ExecResult::failure("timeout", "sweep cancelled mid-grid");
+        SweepBlock block;
+        block.topology = &topology;
+        block.policy = &policy;
+        for (const std::uint64_t seed : state->seeds) {
+          const std::size_t slot = index++;
+          const std::uint64_t key =
+              cell_cache_key(topology, policy, request, seed);
+          std::optional<std::string> hit =
+              request.use_cache ? cache.lookup(key) : std::nullopt;
+          if (hit.has_value()) {
+            state->cells[slot] = std::move(*hit);
+            ++state->cached_cells;
+            continue;
+          }
+          block.seeds.push_back(seed);
+          block.slots.push_back(slot);
+          block.keys.push_back(key);
         }
-        const std::uint64_t key = run_job_hash(
-            topology, policy, request.adversary, request.steps,
-            request.capacity, request.burstiness, request.semantics,
-            request.seed);
-        std::string cell;
-        std::optional<std::string> hit =
-            request.use_cache ? cache.lookup(key) : std::nullopt;
-        if (hit.has_value()) {
-          cell = std::move(*hit);
-          ++cached_cells;
-        } else {
-          ExecResult result = execute_run_cell(topology, policy, request, cancel);
-          if (!result.ok) return result;
-          cell = std::move(result.payload);
-          if (request.use_cache) cache.insert(key, cell);
-        }
-        if (!first) cells += ",";
-        first = false;
-        cells += cell;
+        if (!block.seeds.empty()) blocks.push_back(std::move(block));
       }
     }
+
+    if (blocks.empty()) {
+      finish_sweep(state);  // fully cached: answer inline
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(state->mutex);
+      state->open_blocks = blocks.size();
+    }
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+      auto block = std::make_shared<SweepBlock>(std::move(blocks[b]));
+      const WorkerPool::Submit submitted = pool.try_submit(
+          [this, state, block] { run_sweep_block(state, *block); });
+      if (submitted == WorkerPool::Submit::Accepted) continue;
+      {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        if (!state->failed) {
+          state->failed = true;
+          state->error =
+              submitted == WorkerPool::Submit::QueueFull
+                  ? JobError{"queue_full",
+                             "job queue is at capacity; retry after a response"}
+                  : JobError{"shutting_down",
+                             "service is draining; job rejected"};
+        }
+      }
+      // Close this block and everything after it; in-flight blocks still
+      // drain, and whoever closes the last one sends the (failed) response.
+      close_blocks(state, blocks.size() - b);
+      return;
+    }
+  }
+
+  void run_sweep_block(const std::shared_ptr<SweepState>& state,
+                       const SweepBlock& block) {
+    bool abandoned = false;
+    {
+      std::lock_guard<std::mutex> lock(state->mutex);
+      abandoned = state->failed;  // first error won; skip the simulation
+    }
+    if (!abandoned) {
+      std::vector<std::string> payloads;
+      payloads.reserve(block.seeds.size());
+      ExecResult result =
+          execute_sweep_block(*block.topology, *block.policy, state->request,
+                              block.seeds, state->cancel, payloads);
+      if (result.ok && state->request.use_cache) {
+        for (std::size_t i = 0; i < payloads.size(); ++i) {
+          cache.insert(block.keys[i], payloads[i]);
+        }
+      }
+      std::lock_guard<std::mutex> lock(state->mutex);
+      if (!result.ok) {
+        if (!state->failed) {
+          state->failed = true;
+          state->error = std::move(result.error);
+        }
+      } else {
+        for (std::size_t i = 0; i < payloads.size(); ++i) {
+          state->cells[block.slots[i]] = std::move(payloads[i]);
+        }
+      }
+    }
+    close_blocks(state, 1);
+  }
+
+  void close_blocks(const std::shared_ptr<SweepState>& state,
+                    std::size_t count) {
+    bool last = false;
+    {
+      std::lock_guard<std::mutex> lock(state->mutex);
+      state->open_blocks -= count;
+      last = state->open_blocks == 0;
+    }
+    if (last) finish_sweep(state);
+  }
+
+  /// Called exactly once per sweep, after the last open block resolves (or
+  /// inline when every cell was cached).
+  void finish_sweep(const std::shared_ptr<SweepState>& state) {
+    const std::uint64_t micros = now_micros(state->t0);
+    if (state->failed) {
+      count_response(false, false, micros);
+      state->respond(format_error_response(state->request.id, state->error));
+      return;
+    }
+    std::string cells = "[";
+    for (std::size_t i = 0; i < state->cells.size(); ++i) {
+      if (i != 0) cells += ",";
+      cells += state->cells[i];
+    }
     cells += "]";
-    const std::uint64_t total = static_cast<std::uint64_t>(
-        request.topologies.size() * request.policies.size());
+    const std::uint64_t total =
+        static_cast<std::uint64_t>(state->cells.size());
+    // A sweep counts as a cache hit when every cell came from the cache
+    // (the whole grid skipped simulation).
+    const bool cached = state->cached_cells == total;
     std::string payload = "{\"cells\":" + cells +
                           ",\"cell_count\":" + std::to_string(total) +
-                          ",\"cached_cells\":" + std::to_string(cached_cells) +
-                          "}";
-    return ExecResult::success(std::move(payload));
+                          ",\"cached_cells\":" +
+                          std::to_string(state->cached_cells) + "}";
+    count_response(true, cached, micros);
+    state->respond(
+        format_ok_response(state->request.id, payload, cached, micros));
   }
 
   [[nodiscard]] ExecResult execute_replay(const JobRequest& request,
@@ -406,17 +699,9 @@ struct Service::Impl {
           }
         }
         result = execute_run_cell(request.topologies.front(),
-                                  request.policies.front(), request, cancel);
+                                  request.policies.front(), request,
+                                  request.seed, cancel);
         if (result.ok && request.use_cache) cache.insert(*key, result.payload);
-        break;
-      }
-      case JobKind::Sweep: {
-        std::uint64_t cached_cells = 0;
-        result = execute_sweep(request, cancel, cached_cells);
-        // A sweep counts as a cache hit when every cell came from the cache
-        // (the whole grid skipped simulation).
-        cached = result.ok && cached_cells == request.topologies.size() *
-                                                  request.policies.size();
         break;
       }
       case JobKind::Replay:
@@ -428,9 +713,11 @@ struct Service::Impl {
       case JobKind::Minimize:
         result = execute_minimize(request, cached);
         break;
+      case JobKind::Sweep:  // planned into per-block jobs by submit_sweep
       case JobKind::Stats:
       case JobKind::Shutdown:
-        result = ExecResult::failure("internal", "inline op reached the pool");
+        result = ExecResult::failure(
+            "internal", "op is never scheduled as a single pool job");
         break;
     }
 
@@ -502,6 +789,15 @@ void Service::submit_line(std::string_view line,
   if (rejected) {
     respond(format_error_response(
         request->id, {"shutting_down", "service is draining; job rejected"}));
+    return;
+  }
+
+  // Sweeps are planned here on the transport thread — cache hits resolve
+  // inline and each uncached (topology, policy) lane block becomes its own
+  // pool job — so the grid parallelizes across workers instead of
+  // serializing inside one.
+  if (request->kind == JobKind::Sweep) {
+    impl_->submit_sweep(std::move(*request), std::move(respond));
     return;
   }
 

@@ -36,6 +36,14 @@ class Adversary {
   /// Hook invoked when a fresh simulation starts; stateful adversaries reset
   /// their stage bookkeeping here so an instance can be reused across runs.
   virtual void on_simulation_start() {}
+
+  /// True when `plan` never reads `config` — the adversary's schedule is a
+  /// function of (tree, step, capacity, own state) alone.  Oblivious
+  /// adversaries can be unrolled into a fixed schedule up front and replayed
+  /// on any engine (in particular, many of them per lane block on the
+  /// lane-batched engine); adaptive ones must be driven against a live
+  /// simulation.  Conservative default: adaptive.
+  [[nodiscard]] virtual bool oblivious() const { return false; }
 };
 
 /// Owning handle used throughout the library.

@@ -1,0 +1,220 @@
+#pragma once
+
+/// \file lane_engine.hpp
+/// The lane-batched step engine: K independent height simulations of the
+/// same (tree, policy, options) bucket advance in lockstep, with every
+/// height stored lane-contiguous (`height[node*K + lane]`,
+/// `cvg/core/lanes.hpp`) so each step is a handful of stride-1 passes the
+/// compiler vectorizes across lanes.  One batched step costs roughly one
+/// scalar step regardless of K, which is what makes the search-shaped
+/// consumers (sweeps, the corpus fuzzer, exhaustive expansion, cvg_serve
+/// sweep jobs) an order of magnitude faster per schedule.
+///
+/// Semantics are *bit-identical* to the scalar `Simulator` by construction
+/// and by test (tests/lane_engine_test.cpp):
+///
+///  - sends are computed branch-free from the decision-time heights via the
+///    policy's `LaneRule` descriptor, clamped exactly like
+///    `compute_sends_per_node` (`min(desired, capacity, own)`);
+///  - injections, forwarding and the per-lane burstiness token bucket follow
+///    the scalar mini-step order for both `StepSemantics` values;
+///  - the per-lane peak is a max-scan over final post-step heights, which
+///    equals the scalar engine's targeted update because only injected nodes
+///    and receiving parents can rise in a step (every other node's height is
+///    bounded by the previous peak).
+///
+/// The engine has two faces:
+///
+///  - the **lane-block face** (`step_lanes`, `halt_lane`, `lane_peak`, …)
+///    used by batch drivers: per-lane injection streams, per-lane
+///    termination masks (a halted lane is frozen — no injections, no
+///    forwarding, counters stop — so schedules of different lengths share
+///    one block), per-lane counters;
+///  - the **`Engine`-concept face** (`step`, `config`, `peak_height`, …):
+///    lane 0 is the *designated scalar lane*.  `step(injections)` injects
+///    lane 0 and advances every lane in lockstep, drawing other lanes'
+///    injections from schedules bound via `bind_shadow_schedule`; the
+///    concept accessors report lane 0.  This is what lets `run_engine`,
+///    `MetricSink` chains and `RunResult` drive a whole block unchanged —
+///    and it is also why ℓ-locality audits keep their meaning: audited runs
+///    execute on the scalar engine (see `supported()`), and any lane-block
+///    result can be re-derived on the designated scalar lane
+///    (docs/ANALYSIS.md).
+///
+/// Policies without a `LaneRule`, centralized policies, and runs that ask
+/// for validation or locality auditing are *not supported* here; callers use
+/// `supported()` (or the `replay_schedules` driver, which falls back to the
+/// scalar engine per schedule) so every bucket still runs somewhere.
+
+#include <span>
+#include <vector>
+
+#include "cvg/core/config.hpp"
+#include "cvg/core/lanes.hpp"
+#include "cvg/policy/policy.hpp"
+#include "cvg/sim/adversary.hpp"
+#include "cvg/sim/simulator.hpp"
+#include "cvg/topology/tree.hpp"
+
+namespace cvg {
+
+/// A fixed injection schedule: `schedule[s]` lists step s's injections.
+/// Structurally identical to `adversary::Schedule` (the alias lives in the
+/// adversary library, which sits above this one).
+using LaneSchedule = std::vector<std::vector<NodeId>>;
+
+/// Executes K lockstep simulations of one (tree, policy, options) bucket.
+/// Copyable: copying checkpoints the entire block, like the scalar engine.
+class LaneSimulator {
+ public:
+  /// Aborts unless `supported(policy, options)`; `tree` and `policy` must
+  /// outlive the simulator.  All lanes start from the all-empty
+  /// configuration.
+  LaneSimulator(const Tree& tree, const Policy& policy, SimOptions options,
+                std::size_t lanes);
+
+  /// True when this bucket can run on the lane engine: the policy advertises
+  /// a `LaneRule` and the run asks for neither send validation nor locality
+  /// auditing (both are scalar-engine concerns: validation re-checks a
+  /// policy's virtual `compute_sends`, which the lane kernels bypass, and
+  /// audits must observe real policy reads — see docs/ANALYSIS.md).
+  [[nodiscard]] static bool supported(const Policy& policy,
+                                      const SimOptions& options);
+
+  // ---- lane-block face ---------------------------------------------------
+
+  /// Advances every active lane one step; `injections[l]` is lane l's
+  /// injection list (must be empty for halted lanes) and must respect the
+  /// per-lane token bucket, exactly like the scalar engine.
+  void step_lanes(std::span<const std::span<const NodeId>> injections);
+
+  /// Freezes lane `lane`: no further injections, forwarding or counter
+  /// movement.  Lets schedules of different lengths share one block while
+  /// each lane stops at exactly its own horizon.
+  void halt_lane(std::size_t lane);
+  [[nodiscard]] bool lane_active(std::size_t lane) const {
+    return amask_[lane] != 0;
+  }
+
+  [[nodiscard]] Height lane_peak(std::size_t lane) const {
+    return peak_[lane];
+  }
+  [[nodiscard]] std::uint64_t lane_injected(std::size_t lane) const {
+    return injected_[lane];
+  }
+  [[nodiscard]] std::uint64_t lane_delivered(std::size_t lane) const {
+    return delivered_[lane];
+  }
+
+  /// Materializes lane `lane`'s configuration (a strided gather).
+  [[nodiscard]] Configuration lane_config(std::size_t lane) const;
+
+  /// Reseeds *every* lane from `config` (peaks fold it in, mirroring the
+  /// scalar `set_config`) — the exhaustive search seeds a block with one
+  /// frontier state and expands all injection choices as lanes.
+  void set_config_all_lanes(const Configuration& config);
+
+  [[nodiscard]] std::size_t lanes() const noexcept { return lanes_; }
+  [[nodiscard]] const Tree& tree() const noexcept { return *tree_; }
+  [[nodiscard]] const Policy& policy() const noexcept { return *policy_; }
+  [[nodiscard]] const SimOptions& options() const noexcept { return options_; }
+
+  // ---- Engine-concept face (designated scalar lane 0) --------------------
+
+  /// Binds the fixed injection stream of a shadow lane (`lane ≥ 1`); the
+  /// facade `step` feeds lane `lane` from it, idle once it runs out.
+  void bind_shadow_schedule(std::size_t lane, LaneSchedule schedule);
+
+  /// One lockstep round: `injections` land on lane 0, shadow lanes draw
+  /// from their bound schedules.
+  void step(std::span<const NodeId> injections);
+
+  [[nodiscard]] const Configuration& config() const noexcept {
+    return lane0_config_;
+  }
+  [[nodiscard]] Step now() const noexcept { return now_; }
+  [[nodiscard]] Height peak_height() const noexcept { return peak_[0]; }
+  [[nodiscard]] std::uint64_t injected() const noexcept {
+    return injected_[0];
+  }
+  [[nodiscard]] std::uint64_t delivered() const noexcept {
+    return delivered_[0];
+  }
+
+ private:
+  template <typename WantsFn>
+  void path_pass(WantsFn wants);
+  template <typename WantsFn>
+  void compute_per_node(WantsFn wants);
+  template <typename WantsFn>
+  void run_rule(WantsFn wants);
+  void compute_max_window();
+  void compute_arbitrated();
+  void apply_pass();
+  void forward_pass();
+  void scatter_injections(std::span<const std::span<const NodeId>> injections,
+                          bool fix_peaks);
+  void refresh_lane0();
+
+  const Tree* tree_;
+  const Policy* policy_;
+  SimOptions options_;
+  LaneRule rule_;
+  std::size_t lanes_;
+  std::size_t n_;
+  /// True when the fused single-pass path kernel applies: canonical path
+  /// topology and a rule expressible as wants(own, succ).
+  bool path_fast_;
+
+  LanePlane<Height> h_;
+  LanePlane<Capacity> send_;  ///< empty when `path_fast_` (carry_ suffices)
+  std::vector<Height> peak_;
+  std::vector<Capacity> amask_;  ///< 1 = active, 0 = halted (branch-free)
+  std::vector<std::uint64_t> injected_;
+  std::vector<std::uint64_t> delivered_;
+  std::vector<Capacity> tokens_;
+  Step now_ = 0;
+
+  Configuration lane0_config_;
+  std::vector<LaneSchedule> shadow_;
+
+  // Per-step scratch, sized once so the steady state never allocates.
+  std::vector<Capacity> carry_;
+  std::vector<Height> peak_scratch_;
+  std::vector<Height> winner_h_;
+  std::vector<std::int32_t> winner_idx_;
+  std::vector<Height> window_max_;
+  std::vector<std::span<const NodeId>> span_scratch_;
+};
+
+/// Outcome of replaying one schedule (the counters a sweep reports).
+struct LaneReplayOutcome {
+  Height peak = 0;
+  std::uint64_t injected = 0;
+  std::uint64_t delivered = 0;
+  Step steps = 0;
+};
+
+/// Default lane-block width for the batch drivers: wide enough to saturate
+/// vector units with headroom, small enough that a block's working set
+/// (n · lanes heights) stays cache-resident for the common sweep sizes.
+inline constexpr std::size_t kDefaultReplayLanes = 256;
+
+/// Replays each schedule for exactly `schedule.size()` steps against the
+/// bucket and reports peak/injected/delivered — the batch twin of the corpus
+/// `replay_peak` loop.  Runs lane blocks of up to `max_lanes` when
+/// `LaneSimulator::supported`, and falls back to the scalar engine per
+/// schedule otherwise, so results are bit-identical either way.
+[[nodiscard]] std::vector<LaneReplayOutcome> replay_schedules(
+    const Tree& tree, const Policy& policy, const SimOptions& options,
+    std::span<const LaneSchedule> schedules,
+    std::size_t max_lanes = kDefaultReplayLanes);
+
+/// Unrolls an *oblivious* adversary (`Adversary::oblivious`) into the fixed
+/// schedule it would produce over `steps` steps.  Aborts on adaptive
+/// adversaries — their plans depend on live heights, which a pre-unrolled
+/// schedule cannot know.
+[[nodiscard]] LaneSchedule unroll_oblivious(const Tree& tree, Adversary& adv,
+                                            Step steps, Capacity capacity);
+
+}  // namespace cvg

@@ -1,0 +1,446 @@
+#include "cvg/sim/lane_engine.hpp"
+
+#include <algorithm>
+
+#include "cvg/core/engine.hpp"
+
+namespace cvg {
+
+// The lane block drives run_engine, MetricSink chains and RunResult through
+// its designated scalar lane.  It models the base concept only: step records,
+// per-node peaks and locality audits stay scalar-engine features (the latter
+// by design — see the file comment).
+static_assert(Engine<LaneSimulator>);
+
+namespace {
+
+/// The `compute_sends_per_node` clamp — min(desired, capacity, own) — with
+/// the empty-node zero folded in (heights are never negative, so `own = 0`
+/// clamps every desire to 0) and the halted-lane mask multiplied on top.
+/// Pure integer select/min arithmetic: one lane per SIMD element.
+inline Capacity clamp_send(Capacity desired, Capacity cap, Height own,
+                           Capacity amask) noexcept {
+  return static_cast<Capacity>(
+      std::min({desired, cap, static_cast<Capacity>(own)}) * amask);
+}
+
+}  // namespace
+
+bool LaneSimulator::supported(const Policy& policy, const SimOptions& options) {
+  return policy.lane_rule().has_value() && !policy.is_centralized() &&
+         !options.validate && !options.audit_locality;
+}
+
+LaneSimulator::LaneSimulator(const Tree& tree, const Policy& policy,
+                             SimOptions options, std::size_t lanes)
+    : tree_(&tree),
+      policy_(&policy),
+      options_(options),
+      lanes_(lanes),
+      n_(tree.node_count()) {
+  CVG_CHECK(lanes_ >= 1);
+  CVG_CHECK(options_.capacity >= 1);
+  CVG_CHECK(options_.burstiness >= 0);
+  CVG_CHECK(supported(policy, options_))
+      << "bucket (policy '" << policy.name()
+      << "') is not lane-batchable; run it on the scalar engine";
+  rule_ = *policy.lane_rule();
+
+  // The fused single-pass kernel applies on the canonical path whenever the
+  // rule reads only (own, succ): every per-node rule qualifies, sibling
+  // arbitration degenerates to the bare parity rule (every sibling group has
+  // one member), and a 1-wide window *is* the successor read.
+  path_fast_ = tree.is_path() && (rule_.kind != LaneRuleKind::MaxWindow ||
+                                  rule_.param == 1);
+
+  h_ = LanePlane<Height>(n_, lanes_, 0);
+  if (!path_fast_) send_ = LanePlane<Capacity>(n_, lanes_, 0);
+  peak_.assign(lanes_, 0);
+  amask_.assign(lanes_, 1);
+  injected_.assign(lanes_, 0);
+  delivered_.assign(lanes_, 0);
+  tokens_.assign(lanes_, options_.burstiness);
+  lane0_config_ = Configuration(n_);
+  shadow_.resize(lanes_);
+  carry_.assign(lanes_, 0);
+  peak_scratch_.assign(lanes_, 0);
+  winner_h_.assign(lanes_, 0);
+  winner_idx_.assign(lanes_, -1);
+  window_max_.assign(lanes_, 0);
+  span_scratch_.assign(lanes_, {});
+  policy_->on_simulation_start();
+}
+
+/// Fused path kernel: one descending pass computes each node's send from the
+/// pre-pass heights and applies it together with the send arriving from
+/// behind (`carry`), so a step streams the height plane exactly once.
+/// Processing v writes h(v) only after both reads of it — wants(v) and
+/// wants(v+1), the latter in the previous iteration — have happened.
+template <typename WantsFn>
+void LaneSimulator::path_pass(WantsFn wants) {
+  const std::size_t K = lanes_;
+  const Capacity cap = options_.capacity;
+  Capacity* __restrict__ carry = carry_.data();
+  Height* __restrict__ ps = peak_scratch_.data();
+  const Capacity* __restrict__ am = amask_.data();
+  std::fill(carry_.begin(), carry_.end(), Capacity{0});
+  std::fill(peak_scratch_.begin(), peak_scratch_.end(), Height{0});
+  for (NodeId v = static_cast<NodeId>(n_ - 1); v >= 1; --v) {
+    Height* __restrict__ own = h_.row(v);
+    const Height* succ = h_.row(static_cast<NodeId>(v - 1));
+    for (std::size_t l = 0; l < K; ++l) {
+      const Height ow = own[l];
+      const Capacity s = clamp_send(wants(ow, succ[l]), cap, ow, am[l]);
+      const Height nh = static_cast<Height>(ow - s + carry[l]);
+      own[l] = nh;
+      carry[l] = s;
+      ps[l] = std::max(ps[l], nh);
+    }
+  }
+  // After v = 1 the carry holds the sends into the sink.
+  for (std::size_t l = 0; l < K; ++l) {
+    delivered_[l] += static_cast<std::uint64_t>(carry[l]);
+    peak_[l] = std::max(peak_[l], ps[l]);
+  }
+}
+
+template <typename WantsFn>
+void LaneSimulator::compute_per_node(WantsFn wants) {
+  const std::size_t K = lanes_;
+  const Capacity cap = options_.capacity;
+  const Capacity* __restrict__ am = amask_.data();
+  for (NodeId v = 1; v < n_; ++v) {
+    const Height* __restrict__ own = h_.row(v);
+    const Height* __restrict__ succ = h_.row(tree_->parent(v));
+    Capacity* __restrict__ s = send_.row(v);
+    for (std::size_t l = 0; l < K; ++l) {
+      s[l] = clamp_send(wants(own[l], succ[l]), cap, own[l], am[l]);
+    }
+  }
+}
+
+void LaneSimulator::compute_max_window() {
+  const std::size_t K = lanes_;
+  const Capacity cap = options_.capacity;
+  const Capacity* __restrict__ am = amask_.data();
+  Height* __restrict__ wm = window_max_.data();
+  for (NodeId v = 1; v < n_; ++v) {
+    std::fill(window_max_.begin(), window_max_.end(), Height{0});
+    NodeId cur = v;
+    for (std::int32_t hop = 0; hop < rule_.param; ++hop) {
+      cur = tree_->parent(cur);
+      if (cur == kNoNode) break;
+      const Height* hc = h_.row(cur);
+      for (std::size_t l = 0; l < K; ++l) wm[l] = std::max(wm[l], hc[l]);
+    }
+    const Height* __restrict__ own = h_.row(v);
+    Capacity* __restrict__ s = send_.row(v);
+    for (std::size_t l = 0; l < K; ++l) {
+      const Capacity desired =
+          static_cast<Capacity>(static_cast<Capacity>(own[l] >= wm[l]) * cap);
+      s[l] = clamp_send(desired, cap, own[l], am[l]);
+    }
+  }
+}
+
+/// Sibling arbitration (Algorithm 5), vectorized per lane: each sibling
+/// group elects the tallest candidate (first in child order on ties —
+/// identical to the dense scalar scan) independently in every lane, then
+/// writes each child's send as winner-mask × parity rule × clamp.
+void LaneSimulator::compute_arbitrated() {
+  const std::size_t K = lanes_;
+  const Capacity cap = options_.capacity;
+  const Capacity* __restrict__ am = amask_.data();
+  const bool strict = rule_.arbitration == ArbitrationMode::Strict;
+  Height* __restrict__ wh = winner_h_.data();
+  std::int32_t* __restrict__ wi = winner_idx_.data();
+  for (NodeId p = 0; p < n_; ++p) {
+    const std::span<const NodeId> children = tree_->children(p);
+    if (children.empty()) continue;
+    const Height* __restrict__ succ = h_.row(p);
+    std::fill(winner_h_.begin(), winner_h_.end(), Height{0});
+    std::fill(winner_idx_.begin(), winner_idx_.end(), std::int32_t{-1});
+    for (const NodeId c : children) {
+      const Height* hc = h_.row(c);
+      const std::int32_t ci = static_cast<std::int32_t>(c);
+      for (std::size_t l = 0; l < K; ++l) {
+        const Height ow = hc[l];
+        const bool cand =
+            ow > 0 && (strict || lane_rules::odd_even(ow, succ[l]) > 0);
+        const bool better = cand && ow > wh[l];
+        wh[l] = better ? ow : wh[l];
+        wi[l] = better ? ci : wi[l];
+      }
+    }
+    for (const NodeId c : children) {
+      Capacity* s = send_.row(c);
+      const std::int32_t ci = static_cast<std::int32_t>(c);
+      for (std::size_t l = 0; l < K; ++l) {
+        const Capacity is_winner = static_cast<Capacity>(wi[l] == ci);
+        const Capacity desired = static_cast<Capacity>(
+            lane_rules::odd_even(wh[l], succ[l]) * is_winner);
+        s[l] = clamp_send(desired, cap, wh[l], am[l]);
+      }
+    }
+  }
+}
+
+/// General-tree application: subtract each node's send, credit its parent
+/// (or the delivered counters for sink children), then max-scan the final
+/// heights into the per-lane peaks — which matches the scalar engine's
+/// targeted peak update because only risers can exceed the previous peak.
+void LaneSimulator::apply_pass() {
+  const std::size_t K = lanes_;
+  Height* __restrict__ ps = peak_scratch_.data();
+  std::fill(peak_scratch_.begin(), peak_scratch_.end(), Height{0});
+  for (NodeId v = 1; v < n_; ++v) {
+    Height* __restrict__ hv = h_.row(v);
+    const Capacity* __restrict__ sv = send_.row(v);
+    const NodeId p = tree_->parent(v);
+    if (p == Tree::sink()) {
+      for (std::size_t l = 0; l < K; ++l) {
+        hv[l] = static_cast<Height>(hv[l] - sv[l]);
+        delivered_[l] += static_cast<std::uint64_t>(sv[l]);
+      }
+    } else {
+      Height* hp = h_.row(p);
+      for (std::size_t l = 0; l < K; ++l) {
+        hv[l] = static_cast<Height>(hv[l] - sv[l]);
+        hp[l] = static_cast<Height>(hp[l] + sv[l]);
+      }
+    }
+  }
+  for (NodeId v = 1; v < n_; ++v) {
+    const Height* hv = h_.row(v);
+    for (std::size_t l = 0; l < K; ++l) ps[l] = std::max(ps[l], hv[l]);
+  }
+  for (std::size_t l = 0; l < K; ++l) peak_[l] = std::max(peak_[l], ps[l]);
+}
+
+template <typename WantsFn>
+void LaneSimulator::run_rule(WantsFn wants) {
+  if (path_fast_) {
+    path_pass(wants);
+  } else {
+    compute_per_node(wants);
+    apply_pass();
+  }
+}
+
+void LaneSimulator::forward_pass() {
+  const Capacity cap = options_.capacity;
+  switch (rule_.kind) {
+    case LaneRuleKind::Greedy:
+      return run_rule(
+          [cap](Height o, Height s) { return lane_rules::greedy(o, s, cap); });
+    case LaneRuleKind::Downhill:
+      return run_rule(
+          [](Height o, Height s) { return lane_rules::downhill(o, s); });
+    case LaneRuleKind::DownhillOrFlat:
+      return run_rule([](Height o, Height s) {
+        return lane_rules::downhill_or_flat(o, s);
+      });
+    case LaneRuleKind::FieLocal:
+      return run_rule(
+          [](Height o, Height s) { return lane_rules::fie_local(o, s); });
+    case LaneRuleKind::OddEven:
+      return run_rule(
+          [](Height o, Height s) { return lane_rules::odd_even(o, s); });
+    case LaneRuleKind::ScaledOddEven: {
+      const Capacity rate = rule_.param;
+      return run_rule([rate](Height o, Height s) {
+        return lane_rules::scaled_odd_even(o, s, rate);
+      });
+    }
+    case LaneRuleKind::Gradient: {
+      const Height slope = rule_.param;
+      return run_rule([slope](Height o, Height s) {
+        return lane_rules::gradient(o, s, slope);
+      });
+    }
+    case LaneRuleKind::MaxWindow:
+      if (rule_.param == 1) {
+        // A 1-wide window is the plain successor read: forward min(c, own)
+        // iff own ≥ succ.
+        return run_rule([cap](Height o, Height s) {
+          return static_cast<Capacity>(static_cast<Capacity>(s <= o) * cap);
+        });
+      }
+      compute_max_window();
+      return apply_pass();
+    case LaneRuleKind::ArbitratedOddEven:
+      if (path_fast_) {
+        // Single-child sibling groups: arbitration elects the only
+        // candidate, leaving exactly the bare parity rule.
+        return run_rule(
+            [](Height o, Height s) { return lane_rules::odd_even(o, s); });
+      }
+      compute_arbitrated();
+      return apply_pass();
+  }
+  CVG_CHECK(false) << "unhandled lane rule kind";
+}
+
+void LaneSimulator::scatter_injections(
+    std::span<const std::span<const NodeId>> injections, bool fix_peaks) {
+  for (std::size_t l = 0; l < lanes_; ++l) {
+    if (amask_[l] == 0) continue;
+    for (const NodeId t : injections[l]) {
+      CVG_CHECK(t < n_) << "injection at out-of-range node " << t;
+      ++injected_[l];
+      if (t == Tree::sink()) {
+        ++delivered_[l];  // the sink consumes instantly
+        continue;
+      }
+      Height& hv = h_.at(t, l);
+      hv = static_cast<Height>(hv + 1);
+      if (fix_peaks) peak_[l] = std::max(peak_[l], hv);
+    }
+  }
+}
+
+void LaneSimulator::step_lanes(
+    std::span<const std::span<const NodeId>> injections) {
+  CVG_CHECK(injections.size() == lanes_);
+  const Capacity bucket_max =
+      static_cast<Capacity>(options_.capacity + options_.burstiness);
+  for (std::size_t l = 0; l < lanes_; ++l) {
+    if (amask_[l] == 0) {
+      CVG_CHECK(injections[l].empty())
+          << "injection into halted lane " << l;
+      continue;
+    }
+    tokens_[l] = std::min(
+        bucket_max, static_cast<Capacity>(tokens_[l] + options_.capacity));
+    CVG_CHECK(injections[l].size() <= static_cast<std::size_t>(tokens_[l]))
+        << "adversary exceeded its rate on lane " << l << ": "
+        << injections[l].size() << " injections with " << tokens_[l]
+        << " tokens (c=" << options_.capacity
+        << ", sigma=" << options_.burstiness << ")";
+    tokens_[l] = static_cast<Capacity>(
+        tokens_[l] - static_cast<Capacity>(injections[l].size()));
+  }
+
+  // Scalar mini-step order: with decide-before semantics, sends are a
+  // function of pre-injection heights; the forwarding deltas and the
+  // injections then commute (both are additions), so the pass runs first and
+  // the injection scatter patches the peaks of the nodes it raised.  With
+  // decide-after semantics injections land first and the pass sees them.
+  if (options_.semantics == StepSemantics::DecideBeforeInjection) {
+    forward_pass();
+    scatter_injections(injections, /*fix_peaks=*/true);
+  } else {
+    scatter_injections(injections, /*fix_peaks=*/false);
+    forward_pass();
+  }
+  ++now_;
+  refresh_lane0();
+}
+
+void LaneSimulator::halt_lane(std::size_t lane) {
+  CVG_CHECK(lane < lanes_);
+  amask_[lane] = 0;
+}
+
+Configuration LaneSimulator::lane_config(std::size_t lane) const {
+  CVG_CHECK(lane < lanes_);
+  Configuration out(n_);
+  for (NodeId v = 1; v < n_; ++v) out.set_height(v, h_.at(v, lane));
+  return out;
+}
+
+void LaneSimulator::set_config_all_lanes(const Configuration& config) {
+  CVG_CHECK(config.node_count() == n_);
+  for (NodeId v = 1; v < n_; ++v) {
+    Height* row = h_.row(v);
+    std::fill(row, row + lanes_, config.height(v));
+  }
+  const Height top = config.max_height();
+  for (std::size_t l = 0; l < lanes_; ++l) {
+    peak_[l] = std::max(peak_[l], top);
+  }
+  refresh_lane0();
+}
+
+void LaneSimulator::bind_shadow_schedule(std::size_t lane,
+                                         LaneSchedule schedule) {
+  CVG_CHECK(lane >= 1 && lane < lanes_)
+      << "shadow schedules bind to lanes 1.." << lanes_ - 1
+      << " (lane 0 is the designated scalar lane)";
+  shadow_[lane] = std::move(schedule);
+}
+
+void LaneSimulator::step(std::span<const NodeId> injections) {
+  span_scratch_[0] = injections;
+  for (std::size_t l = 1; l < lanes_; ++l) {
+    const LaneSchedule& sched = shadow_[l];
+    span_scratch_[l] = now_ < sched.size()
+                           ? std::span<const NodeId>(
+                                 sched[static_cast<std::size_t>(now_)])
+                           : std::span<const NodeId>{};
+  }
+  step_lanes(span_scratch_);
+}
+
+void LaneSimulator::refresh_lane0() {
+  for (NodeId v = 1; v < n_; ++v) lane0_config_.set_height(v, h_.at(v, 0));
+}
+
+std::vector<LaneReplayOutcome> replay_schedules(
+    const Tree& tree, const Policy& policy, const SimOptions& options,
+    std::span<const LaneSchedule> schedules, std::size_t max_lanes) {
+  CVG_CHECK(max_lanes >= 1);
+  std::vector<LaneReplayOutcome> out(schedules.size());
+  if (!LaneSimulator::supported(policy, options)) {
+    for (std::size_t i = 0; i < schedules.size(); ++i) {
+      Simulator sim(tree, policy, options);
+      for (const auto& step : schedules[i]) sim.step(step);
+      out[i] = {sim.peak_height(), sim.injected(), sim.delivered(),
+                static_cast<Step>(schedules[i].size())};
+    }
+    return out;
+  }
+  for (std::size_t base = 0; base < schedules.size(); base += max_lanes) {
+    const std::size_t width = std::min(max_lanes, schedules.size() - base);
+    LaneSimulator sim(tree, policy, options, width);
+    std::size_t longest = 0;
+    for (std::size_t l = 0; l < width; ++l) {
+      longest = std::max(longest, schedules[base + l].size());
+    }
+    std::vector<std::span<const NodeId>> spans(width);
+    for (std::size_t s = 0; s < longest; ++s) {
+      for (std::size_t l = 0; l < width; ++l) {
+        const LaneSchedule& sched = schedules[base + l];
+        // Replay semantics: exactly schedule.size() steps per lane; shorter
+        // lanes freeze at their own horizon while the block runs on.
+        if (s == sched.size()) sim.halt_lane(l);
+        spans[l] = s < sched.size() ? std::span<const NodeId>(sched[s])
+                                    : std::span<const NodeId>{};
+      }
+      sim.step_lanes(spans);
+    }
+    for (std::size_t l = 0; l < width; ++l) {
+      out[base + l] = {sim.lane_peak(l), sim.lane_injected(l),
+                       sim.lane_delivered(l),
+                       static_cast<Step>(schedules[base + l].size())};
+    }
+  }
+  return out;
+}
+
+LaneSchedule unroll_oblivious(const Tree& tree, Adversary& adv, Step steps,
+                              Capacity capacity) {
+  CVG_CHECK(adv.oblivious())
+      << "adversary '" << adv.name()
+      << "' is adaptive and cannot be unrolled into a fixed schedule";
+  const Configuration config(tree.node_count());  // never read when oblivious
+  adv.on_simulation_start();
+  LaneSchedule schedule(static_cast<std::size_t>(steps));
+  for (Step s = 0; s < steps; ++s) {
+    adv.plan(tree, config, s, capacity,
+             schedule[static_cast<std::size_t>(s)]);
+  }
+  return schedule;
+}
+
+}  // namespace cvg

@@ -1,0 +1,362 @@
+// Scalar ↔ batch equivalence for the lane-batched step engine
+// (cvg/sim/lane_engine.hpp).  Every LaneRuleKind is pinned bit-identical to
+// the scalar policy it advertises (`scripts/check_invariants.py` rule 9
+// cross-references the enumerators against this file), across topologies,
+// capacities, burstiness budgets and both step semantics — on the lane-block
+// face (heterogeneous schedules sharing one block), on the batch drivers
+// (`replay_schedules`, `unroll_oblivious`) and on the Engine-concept facade
+// (designated scalar lane 0 under `run_engine`).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cvg/adversary/killers.hpp"
+#include "cvg/adversary/simple.hpp"
+#include "cvg/policy/registry.hpp"
+#include "cvg/policy/standard.hpp"
+#include "cvg/sim/engine_run.hpp"
+#include "cvg/sim/lane_engine.hpp"
+#include "cvg/sim/runner.hpp"
+#include "cvg/topology/builders.hpp"
+#include "cvg/util/rng.hpp"
+
+namespace cvg {
+namespace {
+
+// ---------------------------------------------------------------------------
+// The closed rule set, as (policy, expected descriptor) rows.  This table is
+// the test's source of truth: a new LaneRuleKind must add a row here (and the
+// invariant checker makes sure the enumerator is mentioned at all).
+
+struct RuleCase {
+  std::string label;
+  PolicyPtr policy;
+  LaneRuleKind kind;
+};
+
+std::vector<RuleCase> rule_cases() {
+  std::vector<RuleCase> cases;
+  cases.push_back({"greedy", std::make_unique<GreedyPolicy>(),
+                   LaneRuleKind::Greedy});
+  cases.push_back({"downhill", std::make_unique<DownhillPolicy>(),
+                   LaneRuleKind::Downhill});
+  cases.push_back({"downhill-or-flat",
+                   std::make_unique<DownhillOrFlatPolicy>(),
+                   LaneRuleKind::DownhillOrFlat});
+  cases.push_back({"fie-local", std::make_unique<FieLocalPolicy>(),
+                   LaneRuleKind::FieLocal});
+  cases.push_back({"odd-even", std::make_unique<OddEvenPolicy>(),
+                   LaneRuleKind::OddEven});
+  cases.push_back({"scaled-odd-even-3",
+                   std::make_unique<ScaledOddEvenPolicy>(3),
+                   LaneRuleKind::ScaledOddEven});
+  cases.push_back({"gradient-2", std::make_unique<GradientPolicy>(2),
+                   LaneRuleKind::Gradient});
+  cases.push_back({"max-window-1", std::make_unique<MaxWindowPolicy>(1),
+                   LaneRuleKind::MaxWindow});
+  cases.push_back({"max-window-3", std::make_unique<MaxWindowPolicy>(3),
+                   LaneRuleKind::MaxWindow});
+  cases.push_back({"tree-odd-even",
+                   std::make_unique<TreeOddEvenPolicy>(),
+                   LaneRuleKind::ArbitratedOddEven});
+  cases.push_back(
+      {"tree-odd-even-willing",
+       std::make_unique<TreeOddEvenPolicy>(ArbitrationMode::WillingOnly),
+       LaneRuleKind::ArbitratedOddEven});
+  return cases;
+}
+
+TEST(LaneRules, EveryPolicyAdvertisesItsDescriptor) {
+  for (const RuleCase& c : rule_cases()) {
+    ASSERT_TRUE(c.policy->lane_rule().has_value()) << c.label;
+    EXPECT_EQ(c.policy->lane_rule()->kind, c.kind) << c.label;
+  }
+}
+
+TEST(LaneRules, SupportedRefusesScalarOnlyConfigurations) {
+  const OddEvenPolicy odd_even;
+  SimOptions options;
+  EXPECT_TRUE(LaneSimulator::supported(odd_even, options));
+
+  SimOptions validating = options;
+  validating.validate = true;
+  EXPECT_FALSE(LaneSimulator::supported(odd_even, validating));
+
+  SimOptions audited = options;
+  audited.audit_locality = true;
+  EXPECT_FALSE(LaneSimulator::supported(odd_even, audited));
+
+  const PolicyPtr centralized = make_policy("centralized-fie");
+  EXPECT_FALSE(LaneSimulator::supported(*centralized, options));
+}
+
+// ---------------------------------------------------------------------------
+// Schedule generation: a seeded stream of token-bucket-feasible injection
+// lists.  tokens starts at σ; each step refills by c up to c+σ, and the step
+// spends at most what is banked — exactly the scalar engine's admission rule.
+
+LaneSchedule random_schedule(std::uint64_t seed, const Tree& tree, Step steps,
+                             Capacity capacity, Capacity burstiness) {
+  SplitMix64 rng(seed);
+  LaneSchedule schedule(steps);
+  Capacity tokens = burstiness;
+  const auto n = static_cast<std::uint64_t>(tree.node_count());
+  for (Step s = 0; s < steps; ++s) {
+    tokens = std::min(static_cast<Capacity>(capacity + burstiness),
+                      static_cast<Capacity>(tokens + capacity));
+    const auto want = static_cast<Capacity>(
+        rng.next() % static_cast<std::uint64_t>(tokens + 1));
+    for (Capacity k = 0; k < want; ++k) {
+      const NodeId site = static_cast<NodeId>(1 + rng.next() % (n - 1));
+      schedule[s].push_back(site);
+    }
+    tokens = static_cast<Capacity>(tokens - want);
+  }
+  return schedule;
+}
+
+struct ScalarOutcome {
+  Height peak = 0;
+  std::uint64_t injected = 0;
+  std::uint64_t delivered = 0;
+  Configuration final_config;
+};
+
+ScalarOutcome scalar_replay(const Tree& tree, const Policy& policy,
+                            const SimOptions& options,
+                            const LaneSchedule& schedule) {
+  Simulator sim(tree, policy, options);
+  for (const std::vector<NodeId>& injections : schedule) {
+    sim.step(injections);
+  }
+  return {sim.peak_height(), sim.injected(), sim.delivered(), sim.config()};
+}
+
+// ---------------------------------------------------------------------------
+// Core pin: a heterogeneous lane block — every lane running a *different*
+// schedule — must be bit-identical, lane for lane, to the scalar engine
+// replaying each schedule on its own: peaks, counters and the full final
+// configuration.
+
+TEST(LaneEngine, HeterogeneousLaneBlockMatchesScalarPerLane) {
+  const std::vector<Tree> trees = {build::path(33), build::complete_kary(2, 5),
+                                   build::spider_staggered(4),
+                                   build::caterpillar(9, 2)};
+  const Step steps = 96;
+  const std::size_t lanes = 12;
+  for (const RuleCase& c : rule_cases()) {
+    for (const Tree& tree : trees) {
+      for (const StepSemantics semantics :
+           {StepSemantics::DecideBeforeInjection,
+            StepSemantics::DecideAfterInjection}) {
+        for (const auto& [capacity, burstiness] :
+             std::vector<std::pair<Capacity, Capacity>>{{1, 0}, {3, 2}}) {
+          SimOptions options;
+          options.capacity = capacity;
+          options.burstiness = burstiness;
+          options.semantics = semantics;
+          const std::string context =
+              c.label + " / n=" + std::to_string(tree.node_count()) +
+              " / c=" + std::to_string(capacity) +
+              " sigma=" + std::to_string(burstiness) +
+              (semantics == StepSemantics::DecideBeforeInjection ? " / before"
+                                                                 : " / after");
+
+          std::vector<LaneSchedule> schedules;
+          schedules.reserve(lanes);
+          for (std::size_t l = 0; l < lanes; ++l) {
+            schedules.push_back(random_schedule(0x5eedUL * (l + 1), tree,
+                                                steps, capacity, burstiness));
+          }
+
+          LaneSimulator batch(tree, *c.policy, options, lanes);
+          std::vector<std::span<const NodeId>> row(lanes);
+          for (Step s = 0; s < steps; ++s) {
+            for (std::size_t l = 0; l < lanes; ++l) row[l] = schedules[l][s];
+            batch.step_lanes(row);
+          }
+
+          for (std::size_t l = 0; l < lanes; ++l) {
+            const ScalarOutcome scalar =
+                scalar_replay(tree, *c.policy, options, schedules[l]);
+            EXPECT_EQ(batch.lane_peak(l), scalar.peak)
+                << context << " lane " << l;
+            EXPECT_EQ(batch.lane_injected(l), scalar.injected)
+                << context << " lane " << l;
+            EXPECT_EQ(batch.lane_delivered(l), scalar.delivered)
+                << context << " lane " << l;
+            EXPECT_TRUE(batch.lane_config(l) == scalar.final_config)
+                << context << " lane " << l;
+          }
+        }
+      }
+    }
+  }
+}
+
+// Mixed-length schedules share one block: each lane halts at its own horizon
+// and its counters freeze there — `replay_schedules` must agree with the
+// scalar engine even when the block is ragged, and must agree with its own
+// scalar fallback (audit_locality forces it off the lane engine).
+
+TEST(LaneEngine, ReplaySchedulesIsSubstrateInvariant) {
+  const Tree tree = build::spider_staggered(5);
+  const Step base = 40;
+  for (const RuleCase& c : rule_cases()) {
+    SimOptions options;
+    options.capacity = 2;
+    options.burstiness = 1;
+    std::vector<LaneSchedule> schedules;
+    for (std::size_t i = 0; i < 9; ++i) {
+      schedules.push_back(random_schedule(0xabc0 + i, tree,
+                                          base + 11 * static_cast<Step>(i),
+                                          options.capacity,
+                                          options.burstiness));
+    }
+    // max_lanes below the schedule count forces chunking as well.
+    const std::vector<LaneReplayOutcome> laned =
+        replay_schedules(tree, *c.policy, options, schedules, 4);
+    ASSERT_EQ(laned.size(), schedules.size()) << c.label;
+    for (std::size_t i = 0; i < schedules.size(); ++i) {
+      const ScalarOutcome scalar =
+          scalar_replay(tree, *c.policy, options, schedules[i]);
+      EXPECT_EQ(laned[i].peak, scalar.peak) << c.label << " schedule " << i;
+      EXPECT_EQ(laned[i].injected, scalar.injected)
+          << c.label << " schedule " << i;
+      EXPECT_EQ(laned[i].delivered, scalar.delivered)
+          << c.label << " schedule " << i;
+      EXPECT_EQ(laned[i].steps, schedules[i].size())
+          << c.label << " schedule " << i;
+    }
+    // The scalar fallback path reports the same outcomes bit for bit.
+    SimOptions audited = options;
+    audited.audit_locality = true;
+    ASSERT_FALSE(LaneSimulator::supported(*c.policy, audited));
+    const std::vector<LaneReplayOutcome> fallback =
+        replay_schedules(tree, *c.policy, audited, schedules, 4);
+    ASSERT_EQ(fallback.size(), laned.size()) << c.label;
+    for (std::size_t i = 0; i < laned.size(); ++i) {
+      EXPECT_EQ(fallback[i].peak, laned[i].peak) << c.label << " " << i;
+      EXPECT_EQ(fallback[i].injected, laned[i].injected)
+          << c.label << " " << i;
+      EXPECT_EQ(fallback[i].delivered, laned[i].delivered)
+          << c.label << " " << i;
+    }
+  }
+}
+
+// The Engine-concept facade: lane 0 is the designated scalar lane, and
+// driving the whole block through `run_engine` must be bit-identical to the
+// scalar `run` — independent of what the shadow lanes are doing.
+
+TEST(LaneEngine, FacadeLaneZeroMatchesScalarRunUnderRunEngine) {
+  const Tree tree = build::path(49);
+  const Step steps = 200;
+  for (const RuleCase& c : rule_cases()) {
+    SimOptions options;
+    adversary::FixedNode scalar_adv(tree, adversary::Site::Deepest);
+    const RunResult expected =
+        run(tree, *c.policy, scalar_adv, steps, options);
+
+    LaneSimulator batch(tree, *c.policy, options, 4);
+    // Shadow lanes run unrelated traffic; lane 0 must not notice.
+    for (std::size_t l = 1; l < batch.lanes(); ++l) {
+      batch.bind_shadow_schedule(
+          l, random_schedule(0xfadeUL + l, tree, steps, options.capacity,
+                             options.burstiness));
+    }
+    adversary::FixedNode lane_adv(tree, adversary::Site::Deepest);
+    lane_adv.on_simulation_start();
+    std::vector<NodeId> injections;
+    for (Step s = 0; s < steps; ++s) {
+      injections.clear();
+      lane_adv.plan(tree, batch.config(), s, options.capacity, injections);
+      batch.step(injections);
+    }
+    EXPECT_EQ(batch.peak_height(), expected.peak_height) << c.label;
+    EXPECT_EQ(batch.injected(), expected.injected) << c.label;
+    EXPECT_EQ(batch.delivered(), expected.delivered) << c.label;
+    EXPECT_TRUE(batch.config() == expected.final_config) << c.label;
+    EXPECT_EQ(batch.now(), expected.steps) << c.label;
+  }
+}
+
+// Unrolling an oblivious adversary and replaying the fixed schedule must
+// reproduce the live run exactly; that is what lets `run_peak_sweep` fuse
+// same-bucket grid points into lane blocks without changing any table.
+
+TEST(LaneEngine, UnrolledObliviousScheduleReproducesLiveRun) {
+  const Tree tree = build::spider_staggered(6);
+  const Step steps = 150;
+  SimOptions options;
+  const OddEvenPolicy policy;
+  const auto make_adv = [&tree](std::uint64_t seed) {
+    return adversary::RandomUniform(seed);
+  };
+  adversary::RandomUniform live = make_adv(77);
+  const RunResult expected = run(tree, policy, live, steps, options);
+
+  adversary::RandomUniform unrolled = make_adv(77);
+  ASSERT_TRUE(unrolled.oblivious());
+  const LaneSchedule schedule =
+      unroll_oblivious(tree, unrolled, steps, options.capacity);
+  ASSERT_EQ(schedule.size(), steps);
+  const std::vector<LaneSchedule> one{schedule};
+  const std::vector<LaneReplayOutcome> replayed =
+      replay_schedules(tree, policy, options, one);
+  ASSERT_EQ(replayed.size(), 1u);
+  EXPECT_EQ(replayed[0].peak, expected.peak_height);
+  EXPECT_EQ(replayed[0].injected, expected.injected);
+  EXPECT_EQ(replayed[0].delivered, expected.delivered);
+}
+
+// Checkpointing: copying the block checkpoints every lane, like the scalar
+// engine's copy semantics — divergent futures never share state.
+
+TEST(LaneEngine, CopyCheckpointsTheWholeBlock) {
+  const Tree tree = build::path(17);
+  const OddEvenPolicy policy;
+  SimOptions options;
+  LaneSimulator batch(tree, policy, options, 3);
+  const std::vector<NodeId> deep{static_cast<NodeId>(16)};
+  std::vector<std::span<const NodeId>> row{deep, deep, deep};
+  for (int s = 0; s < 20; ++s) batch.step_lanes(row);
+
+  LaneSimulator checkpoint = batch;
+  for (int s = 0; s < 20; ++s) batch.step_lanes(row);
+  // The original advanced past the checkpoint (counters moved on)…
+  EXPECT_GT(batch.lane_injected(0), checkpoint.lane_injected(0));
+  EXPECT_GT(batch.lane_delivered(0), checkpoint.lane_delivered(0));
+  // …and the checkpoint, resumed, converges on the same 40-step state.
+  for (int s = 0; s < 20; ++s) checkpoint.step_lanes(row);
+  for (std::size_t l = 0; l < 3; ++l) {
+    EXPECT_TRUE(batch.lane_config(l) == checkpoint.lane_config(l));
+    EXPECT_EQ(batch.lane_peak(l), checkpoint.lane_peak(l));
+    EXPECT_EQ(batch.lane_injected(l), checkpoint.lane_injected(l));
+    EXPECT_EQ(batch.lane_delivered(l), checkpoint.lane_delivered(l));
+  }
+}
+
+TEST(LaneEngineDeathTest, UnsupportedBucketAbortsWithPolicyName) {
+  const Tree tree = build::path(9);
+  const PolicyPtr centralized = make_policy("centralized-fie");
+  SimOptions options;
+  EXPECT_DEATH(LaneSimulator(tree, *centralized, options, 4),
+               "centralized-fie");
+}
+
+TEST(LaneEngineDeathTest, AdaptiveAdversaryCannotBeUnrolled) {
+  const Tree tree = build::path(9);
+  adversary::PileOn adaptive;
+  ASSERT_FALSE(adaptive.oblivious());
+  EXPECT_DEATH(
+      { [[maybe_unused]] const LaneSchedule s = unroll_oblivious(tree, adaptive, 5, 1); },
+      "oblivious");
+}
+
+}  // namespace
+}  // namespace cvg

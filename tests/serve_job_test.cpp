@@ -125,25 +125,68 @@ TEST(ServeJob, RejectsSemanticallyHostileValues) {
 TEST(ServeJob, RunHashFoldsExactlyTheSemanticFields) {
   const auto base = [] {
     return run_job_hash("path:64", "odd-even", "fixed-deepest", 128, 1, 0,
-                        StepSemantics::DecideBeforeInjection, 1);
+                        StepSemantics::DecideBeforeInjection, 1, "lanes", 64);
   };
   EXPECT_EQ(base(), base());  // deterministic
-  EXPECT_NE(base(), run_job_hash("path:65", "odd-even", "fixed-deepest", 128,
-                                 1, 0, StepSemantics::DecideBeforeInjection, 1));
-  EXPECT_NE(base(), run_job_hash("path:64", "greedy", "fixed-deepest", 128, 1,
-                                 0, StepSemantics::DecideBeforeInjection, 1));
-  EXPECT_NE(base(), run_job_hash("path:64", "odd-even", "pile-on", 128, 1, 0,
-                                 StepSemantics::DecideBeforeInjection, 1));
-  EXPECT_NE(base(), run_job_hash("path:64", "odd-even", "fixed-deepest", 129,
-                                 1, 0, StepSemantics::DecideBeforeInjection, 1));
-  EXPECT_NE(base(), run_job_hash("path:64", "odd-even", "fixed-deepest", 128,
-                                 2, 0, StepSemantics::DecideBeforeInjection, 1));
-  EXPECT_NE(base(), run_job_hash("path:64", "odd-even", "fixed-deepest", 128,
-                                 1, 1, StepSemantics::DecideBeforeInjection, 1));
-  EXPECT_NE(base(), run_job_hash("path:64", "odd-even", "fixed-deepest", 128,
-                                 1, 0, StepSemantics::DecideAfterInjection, 1));
-  EXPECT_NE(base(), run_job_hash("path:64", "odd-even", "fixed-deepest", 128,
-                                 1, 0, StepSemantics::DecideBeforeInjection, 2));
+  EXPECT_NE(base(),
+            run_job_hash("path:65", "odd-even", "fixed-deepest", 128, 1, 0,
+                         StepSemantics::DecideBeforeInjection, 1, "lanes", 64));
+  EXPECT_NE(base(),
+            run_job_hash("path:64", "greedy", "fixed-deepest", 128, 1, 0,
+                         StepSemantics::DecideBeforeInjection, 1, "lanes", 64));
+  EXPECT_NE(base(),
+            run_job_hash("path:64", "odd-even", "pile-on", 128, 1, 0,
+                         StepSemantics::DecideBeforeInjection, 1, "lanes", 64));
+  EXPECT_NE(base(),
+            run_job_hash("path:64", "odd-even", "fixed-deepest", 129, 1, 0,
+                         StepSemantics::DecideBeforeInjection, 1, "lanes", 64));
+  EXPECT_NE(base(),
+            run_job_hash("path:64", "odd-even", "fixed-deepest", 128, 2, 0,
+                         StepSemantics::DecideBeforeInjection, 1, "lanes", 64));
+  EXPECT_NE(base(),
+            run_job_hash("path:64", "odd-even", "fixed-deepest", 128, 1, 1,
+                         StepSemantics::DecideBeforeInjection, 1, "lanes", 64));
+  EXPECT_NE(base(),
+            run_job_hash("path:64", "odd-even", "fixed-deepest", 128, 1, 0,
+                         StepSemantics::DecideAfterInjection, 1, "lanes", 64));
+  EXPECT_NE(base(),
+            run_job_hash("path:64", "odd-even", "fixed-deepest", 128, 1, 0,
+                         StepSemantics::DecideBeforeInjection, 2, "lanes", 64));
+  // The engine variant is semantic too: a kernel-generation change (scalar
+  // vs lane-batched, or a new lane width) must retire stale entries.
+  EXPECT_NE(base(),
+            run_job_hash("path:64", "odd-even", "fixed-deepest", 128, 1, 0,
+                         StepSemantics::DecideBeforeInjection, 1, "scalar", 0));
+  EXPECT_NE(base(),
+            run_job_hash("path:64", "odd-even", "fixed-deepest", 128, 1, 0,
+                         StepSemantics::DecideBeforeInjection, 1, "lanes", 128));
+}
+
+TEST(ServeJob, ParsesTheSweepSeedsAxis) {
+  const JobRequest sweep = must_parse(
+      R"({"op":"sweep","topologies":["path:8"],"policies":["odd-even"],)"
+      R"("steps":32,"seeds":[3,1,4,1]})");
+  EXPECT_EQ(sweep.seeds, (std::vector<std::uint64_t>{3, 1, 4, 1}));
+
+  // "seed" and "seeds" are mutually exclusive; entries must be non-negative
+  // integers; the axis is bounded and sweep-only.
+  must_reject(
+      R"({"op":"sweep","topologies":["path:8"],"policies":["odd-even"],)"
+      R"("steps":32,"seed":1,"seeds":[2]})");
+  must_reject(
+      R"({"op":"sweep","topologies":["path:8"],"policies":["odd-even"],)"
+      R"("steps":32,"seeds":[]})");
+  must_reject(
+      R"({"op":"sweep","topologies":["path:8"],"policies":["odd-even"],)"
+      R"("steps":32,"seeds":[-1]})");
+  must_reject(
+      R"({"op":"sweep","topologies":["path:8"],"policies":["odd-even"],)"
+      R"("steps":32,"seeds":[1.5]})");
+  must_reject(
+      R"({"op":"sweep","topologies":["path:8"],"policies":["odd-even"],)"
+      R"("steps":32,"seeds":"1"})");
+  must_reject(R"({"op":"run","topology":"path:8","policy":"odd-even",)"
+              R"("steps":32,"seeds":[1]})");
 }
 
 TEST(ServeJob, ResponsesAreWellFormedNdjsonLines) {

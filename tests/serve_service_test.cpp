@@ -86,6 +86,40 @@ TEST(ServeService, SweepCellsWarmTheRunCacheAndViceVersa) {
   EXPECT_TRUE(has(warm_sweep, "\"cached\":true")) << warm_sweep;
 }
 
+TEST(ServeService, SeedsAxisRunsAsOneLaneBlockAndWarmsTheRunCache) {
+  Service service;
+  // random-uniform is oblivious and odd-even is lane-supported, so the three
+  // seeds of the (topology, policy) pair advance as one lane block on the
+  // batched engine.
+  const std::string sweep = service.process_line(
+      R"({"op":"sweep","topologies":["path:16"],"policies":["odd-even"],)"
+      R"("adversary":"random-uniform","steps":128,"seeds":[7,8,9]})");
+  EXPECT_TRUE(has(sweep, "\"ok\":true")) << sweep;
+  EXPECT_TRUE(has(sweep, "\"cell_count\":3")) << sweep;
+  EXPECT_TRUE(has(sweep, "\"cached_cells\":0")) << sweep;
+  EXPECT_TRUE(has(sweep, "\"seed\":8")) << sweep;
+
+  // A later single run at one of the seeds is a cache hit: the lane block
+  // stored its cell under the same key the run path computes.
+  const std::string run = service.process_line(
+      R"({"op":"run","topology":"path:16","policy":"odd-even",)"
+      R"("adversary":"random-uniform","steps":128,"seed":8})");
+  EXPECT_TRUE(has(run, "\"ok\":true")) << run;
+  EXPECT_TRUE(has(run, "\"cached\":true")) << run;
+
+  // And the block's memoized payload is byte-identical to an uncached
+  // recompute of the same cell — the lane block and the single-cell path
+  // agree bit-for-bit.
+  const std::string recompute = service.process_line(
+      R"({"op":"run","topology":"path:16","policy":"odd-even",)"
+      R"("adversary":"random-uniform","steps":128,"seed":8,"cache":false})");
+  const auto result_of = [](const std::string& line) {
+    const std::size_t at = line.find("\"result\":");
+    return at == std::string::npos ? std::string{} : line.substr(at);
+  };
+  EXPECT_EQ(result_of(run), result_of(recompute));
+}
+
 TEST(ServeService, DifferentSemanticFieldsMissTheCache) {
   Service service;
   EXPECT_TRUE(has(
