@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablations.cpp" "bench_build/CMakeFiles/bench_ablations.dir/bench_ablations.cpp.o" "gcc" "bench_build/CMakeFiles/bench_ablations.dir/bench_ablations.cpp.o.d"
+  "/root/repo/bench/corpus_cli.cpp" "bench_build/CMakeFiles/bench_ablations.dir/corpus_cli.cpp.o" "gcc" "bench_build/CMakeFiles/bench_ablations.dir/corpus_cli.cpp.o.d"
+  "/root/repo/bench/experiment.cpp" "bench_build/CMakeFiles/bench_ablations.dir/experiment.cpp.o" "gcc" "bench_build/CMakeFiles/bench_ablations.dir/experiment.cpp.o.d"
+  "/root/repo/bench/serve_cli.cpp" "bench_build/CMakeFiles/bench_ablations.dir/serve_cli.cpp.o" "gcc" "bench_build/CMakeFiles/bench_ablations.dir/serve_cli.cpp.o.d"
+  "/root/repo/bench/standalone_main.cpp" "bench_build/CMakeFiles/bench_ablations.dir/standalone_main.cpp.o" "gcc" "bench_build/CMakeFiles/bench_ablations.dir/standalone_main.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/serve/CMakeFiles/cvg_serve.dir/DependInfo.cmake"
+  "/root/repo/src/corpus/CMakeFiles/cvg_corpus.dir/DependInfo.cmake"
+  "/root/repo/src/certify/CMakeFiles/cvg_certify.dir/DependInfo.cmake"
+  "/root/repo/src/adversary/CMakeFiles/cvg_adversary.dir/DependInfo.cmake"
+  "/root/repo/src/search/CMakeFiles/cvg_search.dir/DependInfo.cmake"
+  "/root/repo/src/parallel/CMakeFiles/cvg_parallel.dir/DependInfo.cmake"
+  "/root/repo/src/report/CMakeFiles/cvg_report.dir/DependInfo.cmake"
+  "/root/repo/src/dag/CMakeFiles/cvg_dag.dir/DependInfo.cmake"
+  "/root/repo/src/sim/CMakeFiles/cvg_sim.dir/DependInfo.cmake"
+  "/root/repo/src/policy/CMakeFiles/cvg_policy.dir/DependInfo.cmake"
+  "/root/repo/src/topology/CMakeFiles/cvg_topology.dir/DependInfo.cmake"
+  "/root/repo/src/core/CMakeFiles/cvg_core.dir/DependInfo.cmake"
+  "/root/repo/src/util/CMakeFiles/cvg_util.dir/DependInfo.cmake"
+  "/root/repo/src/audit/CMakeFiles/cvg_audit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "../bench/bench_bad_locals"
+  "../bench/bench_bad_locals.pdb"
+  "CMakeFiles/bench_bad_locals.dir/bench_bad_locals.cpp.o"
+  "CMakeFiles/bench_bad_locals.dir/bench_bad_locals.cpp.o.d"
+  "CMakeFiles/bench_bad_locals.dir/corpus_cli.cpp.o"
+  "CMakeFiles/bench_bad_locals.dir/corpus_cli.cpp.o.d"
+  "CMakeFiles/bench_bad_locals.dir/experiment.cpp.o"
+  "CMakeFiles/bench_bad_locals.dir/experiment.cpp.o.d"
+  "CMakeFiles/bench_bad_locals.dir/serve_cli.cpp.o"
+  "CMakeFiles/bench_bad_locals.dir/serve_cli.cpp.o.d"
+  "CMakeFiles/bench_bad_locals.dir/standalone_main.cpp.o"
+  "CMakeFiles/bench_bad_locals.dir/standalone_main.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bad_locals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

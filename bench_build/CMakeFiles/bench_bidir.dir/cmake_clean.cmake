@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "../bench/bench_bidir"
+  "../bench/bench_bidir.pdb"
+  "CMakeFiles/bench_bidir.dir/bench_bidir.cpp.o"
+  "CMakeFiles/bench_bidir.dir/bench_bidir.cpp.o.d"
+  "CMakeFiles/bench_bidir.dir/corpus_cli.cpp.o"
+  "CMakeFiles/bench_bidir.dir/corpus_cli.cpp.o.d"
+  "CMakeFiles/bench_bidir.dir/experiment.cpp.o"
+  "CMakeFiles/bench_bidir.dir/experiment.cpp.o.d"
+  "CMakeFiles/bench_bidir.dir/serve_cli.cpp.o"
+  "CMakeFiles/bench_bidir.dir/serve_cli.cpp.o.d"
+  "CMakeFiles/bench_bidir.dir/standalone_main.cpp.o"
+  "CMakeFiles/bench_bidir.dir/standalone_main.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bidir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

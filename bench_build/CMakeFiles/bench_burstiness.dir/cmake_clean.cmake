@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "../bench/bench_burstiness"
+  "../bench/bench_burstiness.pdb"
+  "CMakeFiles/bench_burstiness.dir/bench_burstiness.cpp.o"
+  "CMakeFiles/bench_burstiness.dir/bench_burstiness.cpp.o.d"
+  "CMakeFiles/bench_burstiness.dir/corpus_cli.cpp.o"
+  "CMakeFiles/bench_burstiness.dir/corpus_cli.cpp.o.d"
+  "CMakeFiles/bench_burstiness.dir/experiment.cpp.o"
+  "CMakeFiles/bench_burstiness.dir/experiment.cpp.o.d"
+  "CMakeFiles/bench_burstiness.dir/serve_cli.cpp.o"
+  "CMakeFiles/bench_burstiness.dir/serve_cli.cpp.o.d"
+  "CMakeFiles/bench_burstiness.dir/standalone_main.cpp.o"
+  "CMakeFiles/bench_burstiness.dir/standalone_main.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_burstiness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

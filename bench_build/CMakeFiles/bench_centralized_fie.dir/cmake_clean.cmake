@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "../bench/bench_centralized_fie"
+  "../bench/bench_centralized_fie.pdb"
+  "CMakeFiles/bench_centralized_fie.dir/bench_centralized_fie.cpp.o"
+  "CMakeFiles/bench_centralized_fie.dir/bench_centralized_fie.cpp.o.d"
+  "CMakeFiles/bench_centralized_fie.dir/corpus_cli.cpp.o"
+  "CMakeFiles/bench_centralized_fie.dir/corpus_cli.cpp.o.d"
+  "CMakeFiles/bench_centralized_fie.dir/experiment.cpp.o"
+  "CMakeFiles/bench_centralized_fie.dir/experiment.cpp.o.d"
+  "CMakeFiles/bench_centralized_fie.dir/serve_cli.cpp.o"
+  "CMakeFiles/bench_centralized_fie.dir/serve_cli.cpp.o.d"
+  "CMakeFiles/bench_centralized_fie.dir/standalone_main.cpp.o"
+  "CMakeFiles/bench_centralized_fie.dir/standalone_main.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_centralized_fie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "../bench/bench_corpus"
+  "../bench/bench_corpus.pdb"
+  "CMakeFiles/bench_corpus.dir/bench_corpus.cpp.o"
+  "CMakeFiles/bench_corpus.dir/bench_corpus.cpp.o.d"
+  "CMakeFiles/bench_corpus.dir/corpus_cli.cpp.o"
+  "CMakeFiles/bench_corpus.dir/corpus_cli.cpp.o.d"
+  "CMakeFiles/bench_corpus.dir/experiment.cpp.o"
+  "CMakeFiles/bench_corpus.dir/experiment.cpp.o.d"
+  "CMakeFiles/bench_corpus.dir/serve_cli.cpp.o"
+  "CMakeFiles/bench_corpus.dir/serve_cli.cpp.o.d"
+  "CMakeFiles/bench_corpus.dir/standalone_main.cpp.o"
+  "CMakeFiles/bench_corpus.dir/standalone_main.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "../bench/bench_dag"
+  "../bench/bench_dag.pdb"
+  "CMakeFiles/bench_dag.dir/bench_dag.cpp.o"
+  "CMakeFiles/bench_dag.dir/bench_dag.cpp.o.d"
+  "CMakeFiles/bench_dag.dir/corpus_cli.cpp.o"
+  "CMakeFiles/bench_dag.dir/corpus_cli.cpp.o.d"
+  "CMakeFiles/bench_dag.dir/experiment.cpp.o"
+  "CMakeFiles/bench_dag.dir/experiment.cpp.o.d"
+  "CMakeFiles/bench_dag.dir/serve_cli.cpp.o"
+  "CMakeFiles/bench_dag.dir/serve_cli.cpp.o.d"
+  "CMakeFiles/bench_dag.dir/standalone_main.cpp.o"
+  "CMakeFiles/bench_dag.dir/standalone_main.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

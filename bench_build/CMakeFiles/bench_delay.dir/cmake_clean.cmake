@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "../bench/bench_delay"
+  "../bench/bench_delay.pdb"
+  "CMakeFiles/bench_delay.dir/bench_delay.cpp.o"
+  "CMakeFiles/bench_delay.dir/bench_delay.cpp.o.d"
+  "CMakeFiles/bench_delay.dir/corpus_cli.cpp.o"
+  "CMakeFiles/bench_delay.dir/corpus_cli.cpp.o.d"
+  "CMakeFiles/bench_delay.dir/experiment.cpp.o"
+  "CMakeFiles/bench_delay.dir/experiment.cpp.o.d"
+  "CMakeFiles/bench_delay.dir/serve_cli.cpp.o"
+  "CMakeFiles/bench_delay.dir/serve_cli.cpp.o.d"
+  "CMakeFiles/bench_delay.dir/standalone_main.cpp.o"
+  "CMakeFiles/bench_delay.dir/standalone_main.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "../bench/bench_exhaustive_small_n"
+  "../bench/bench_exhaustive_small_n.pdb"
+  "CMakeFiles/bench_exhaustive_small_n.dir/bench_exhaustive_small_n.cpp.o"
+  "CMakeFiles/bench_exhaustive_small_n.dir/bench_exhaustive_small_n.cpp.o.d"
+  "CMakeFiles/bench_exhaustive_small_n.dir/corpus_cli.cpp.o"
+  "CMakeFiles/bench_exhaustive_small_n.dir/corpus_cli.cpp.o.d"
+  "CMakeFiles/bench_exhaustive_small_n.dir/experiment.cpp.o"
+  "CMakeFiles/bench_exhaustive_small_n.dir/experiment.cpp.o.d"
+  "CMakeFiles/bench_exhaustive_small_n.dir/serve_cli.cpp.o"
+  "CMakeFiles/bench_exhaustive_small_n.dir/serve_cli.cpp.o.d"
+  "CMakeFiles/bench_exhaustive_small_n.dir/standalone_main.cpp.o"
+  "CMakeFiles/bench_exhaustive_small_n.dir/standalone_main.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exhaustive_small_n.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

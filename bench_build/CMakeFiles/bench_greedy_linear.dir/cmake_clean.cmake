@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "../bench/bench_greedy_linear"
+  "../bench/bench_greedy_linear.pdb"
+  "CMakeFiles/bench_greedy_linear.dir/bench_greedy_linear.cpp.o"
+  "CMakeFiles/bench_greedy_linear.dir/bench_greedy_linear.cpp.o.d"
+  "CMakeFiles/bench_greedy_linear.dir/corpus_cli.cpp.o"
+  "CMakeFiles/bench_greedy_linear.dir/corpus_cli.cpp.o.d"
+  "CMakeFiles/bench_greedy_linear.dir/experiment.cpp.o"
+  "CMakeFiles/bench_greedy_linear.dir/experiment.cpp.o.d"
+  "CMakeFiles/bench_greedy_linear.dir/serve_cli.cpp.o"
+  "CMakeFiles/bench_greedy_linear.dir/serve_cli.cpp.o.d"
+  "CMakeFiles/bench_greedy_linear.dir/standalone_main.cpp.o"
+  "CMakeFiles/bench_greedy_linear.dir/standalone_main.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_greedy_linear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

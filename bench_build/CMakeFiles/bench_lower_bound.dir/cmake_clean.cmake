@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "../bench/bench_lower_bound"
+  "../bench/bench_lower_bound.pdb"
+  "CMakeFiles/bench_lower_bound.dir/bench_lower_bound.cpp.o"
+  "CMakeFiles/bench_lower_bound.dir/bench_lower_bound.cpp.o.d"
+  "CMakeFiles/bench_lower_bound.dir/corpus_cli.cpp.o"
+  "CMakeFiles/bench_lower_bound.dir/corpus_cli.cpp.o.d"
+  "CMakeFiles/bench_lower_bound.dir/experiment.cpp.o"
+  "CMakeFiles/bench_lower_bound.dir/experiment.cpp.o.d"
+  "CMakeFiles/bench_lower_bound.dir/serve_cli.cpp.o"
+  "CMakeFiles/bench_lower_bound.dir/serve_cli.cpp.o.d"
+  "CMakeFiles/bench_lower_bound.dir/standalone_main.cpp.o"
+  "CMakeFiles/bench_lower_bound.dir/standalone_main.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lower_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "../bench/bench_odd_even_paths"
+  "../bench/bench_odd_even_paths.pdb"
+  "CMakeFiles/bench_odd_even_paths.dir/bench_odd_even_paths.cpp.o"
+  "CMakeFiles/bench_odd_even_paths.dir/bench_odd_even_paths.cpp.o.d"
+  "CMakeFiles/bench_odd_even_paths.dir/corpus_cli.cpp.o"
+  "CMakeFiles/bench_odd_even_paths.dir/corpus_cli.cpp.o.d"
+  "CMakeFiles/bench_odd_even_paths.dir/experiment.cpp.o"
+  "CMakeFiles/bench_odd_even_paths.dir/experiment.cpp.o.d"
+  "CMakeFiles/bench_odd_even_paths.dir/serve_cli.cpp.o"
+  "CMakeFiles/bench_odd_even_paths.dir/serve_cli.cpp.o.d"
+  "CMakeFiles/bench_odd_even_paths.dir/standalone_main.cpp.o"
+  "CMakeFiles/bench_odd_even_paths.dir/standalone_main.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_odd_even_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

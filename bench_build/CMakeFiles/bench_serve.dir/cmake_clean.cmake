@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "../bench/bench_serve"
+  "../bench/bench_serve.pdb"
+  "CMakeFiles/bench_serve.dir/bench_serve.cpp.o"
+  "CMakeFiles/bench_serve.dir/bench_serve.cpp.o.d"
+  "CMakeFiles/bench_serve.dir/corpus_cli.cpp.o"
+  "CMakeFiles/bench_serve.dir/corpus_cli.cpp.o.d"
+  "CMakeFiles/bench_serve.dir/experiment.cpp.o"
+  "CMakeFiles/bench_serve.dir/experiment.cpp.o.d"
+  "CMakeFiles/bench_serve.dir/serve_cli.cpp.o"
+  "CMakeFiles/bench_serve.dir/serve_cli.cpp.o.d"
+  "CMakeFiles/bench_serve.dir/standalone_main.cpp.o"
+  "CMakeFiles/bench_serve.dir/standalone_main.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sqrt_downhill_flat"
+  "../bench/bench_sqrt_downhill_flat.pdb"
+  "CMakeFiles/bench_sqrt_downhill_flat.dir/bench_sqrt_downhill_flat.cpp.o"
+  "CMakeFiles/bench_sqrt_downhill_flat.dir/bench_sqrt_downhill_flat.cpp.o.d"
+  "CMakeFiles/bench_sqrt_downhill_flat.dir/corpus_cli.cpp.o"
+  "CMakeFiles/bench_sqrt_downhill_flat.dir/corpus_cli.cpp.o.d"
+  "CMakeFiles/bench_sqrt_downhill_flat.dir/experiment.cpp.o"
+  "CMakeFiles/bench_sqrt_downhill_flat.dir/experiment.cpp.o.d"
+  "CMakeFiles/bench_sqrt_downhill_flat.dir/serve_cli.cpp.o"
+  "CMakeFiles/bench_sqrt_downhill_flat.dir/serve_cli.cpp.o.d"
+  "CMakeFiles/bench_sqrt_downhill_flat.dir/standalone_main.cpp.o"
+  "CMakeFiles/bench_sqrt_downhill_flat.dir/standalone_main.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sqrt_downhill_flat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

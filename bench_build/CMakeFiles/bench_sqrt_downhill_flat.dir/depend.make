@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sqrt_downhill_flat.
+# This may be replaced when dependencies are built.

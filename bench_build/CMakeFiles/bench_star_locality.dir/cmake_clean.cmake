@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "../bench/bench_star_locality"
+  "../bench/bench_star_locality.pdb"
+  "CMakeFiles/bench_star_locality.dir/bench_star_locality.cpp.o"
+  "CMakeFiles/bench_star_locality.dir/bench_star_locality.cpp.o.d"
+  "CMakeFiles/bench_star_locality.dir/corpus_cli.cpp.o"
+  "CMakeFiles/bench_star_locality.dir/corpus_cli.cpp.o.d"
+  "CMakeFiles/bench_star_locality.dir/experiment.cpp.o"
+  "CMakeFiles/bench_star_locality.dir/experiment.cpp.o.d"
+  "CMakeFiles/bench_star_locality.dir/serve_cli.cpp.o"
+  "CMakeFiles/bench_star_locality.dir/serve_cli.cpp.o.d"
+  "CMakeFiles/bench_star_locality.dir/standalone_main.cpp.o"
+  "CMakeFiles/bench_star_locality.dir/standalone_main.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_star_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

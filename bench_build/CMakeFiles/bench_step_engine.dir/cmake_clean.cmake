@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "../bench/bench_step_engine"
+  "../bench/bench_step_engine.pdb"
+  "CMakeFiles/bench_step_engine.dir/bench_step_engine.cpp.o"
+  "CMakeFiles/bench_step_engine.dir/bench_step_engine.cpp.o.d"
+  "CMakeFiles/bench_step_engine.dir/corpus_cli.cpp.o"
+  "CMakeFiles/bench_step_engine.dir/corpus_cli.cpp.o.d"
+  "CMakeFiles/bench_step_engine.dir/experiment.cpp.o"
+  "CMakeFiles/bench_step_engine.dir/experiment.cpp.o.d"
+  "CMakeFiles/bench_step_engine.dir/serve_cli.cpp.o"
+  "CMakeFiles/bench_step_engine.dir/serve_cli.cpp.o.d"
+  "CMakeFiles/bench_step_engine.dir/standalone_main.cpp.o"
+  "CMakeFiles/bench_step_engine.dir/standalone_main.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_step_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

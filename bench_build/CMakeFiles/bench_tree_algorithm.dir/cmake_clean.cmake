@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tree_algorithm"
+  "../bench/bench_tree_algorithm.pdb"
+  "CMakeFiles/bench_tree_algorithm.dir/bench_tree_algorithm.cpp.o"
+  "CMakeFiles/bench_tree_algorithm.dir/bench_tree_algorithm.cpp.o.d"
+  "CMakeFiles/bench_tree_algorithm.dir/corpus_cli.cpp.o"
+  "CMakeFiles/bench_tree_algorithm.dir/corpus_cli.cpp.o.d"
+  "CMakeFiles/bench_tree_algorithm.dir/experiment.cpp.o"
+  "CMakeFiles/bench_tree_algorithm.dir/experiment.cpp.o.d"
+  "CMakeFiles/bench_tree_algorithm.dir/serve_cli.cpp.o"
+  "CMakeFiles/bench_tree_algorithm.dir/serve_cli.cpp.o.d"
+  "CMakeFiles/bench_tree_algorithm.dir/standalone_main.cpp.o"
+  "CMakeFiles/bench_tree_algorithm.dir/standalone_main.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tree_algorithm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablations.cpp" "bench_build/CMakeFiles/cvg.dir/bench_ablations.cpp.o" "gcc" "bench_build/CMakeFiles/cvg.dir/bench_ablations.cpp.o.d"
+  "/root/repo/bench/bench_bad_locals.cpp" "bench_build/CMakeFiles/cvg.dir/bench_bad_locals.cpp.o" "gcc" "bench_build/CMakeFiles/cvg.dir/bench_bad_locals.cpp.o.d"
+  "/root/repo/bench/bench_bidir.cpp" "bench_build/CMakeFiles/cvg.dir/bench_bidir.cpp.o" "gcc" "bench_build/CMakeFiles/cvg.dir/bench_bidir.cpp.o.d"
+  "/root/repo/bench/bench_burstiness.cpp" "bench_build/CMakeFiles/cvg.dir/bench_burstiness.cpp.o" "gcc" "bench_build/CMakeFiles/cvg.dir/bench_burstiness.cpp.o.d"
+  "/root/repo/bench/bench_centralized_fie.cpp" "bench_build/CMakeFiles/cvg.dir/bench_centralized_fie.cpp.o" "gcc" "bench_build/CMakeFiles/cvg.dir/bench_centralized_fie.cpp.o.d"
+  "/root/repo/bench/bench_corpus.cpp" "bench_build/CMakeFiles/cvg.dir/bench_corpus.cpp.o" "gcc" "bench_build/CMakeFiles/cvg.dir/bench_corpus.cpp.o.d"
+  "/root/repo/bench/bench_dag.cpp" "bench_build/CMakeFiles/cvg.dir/bench_dag.cpp.o" "gcc" "bench_build/CMakeFiles/cvg.dir/bench_dag.cpp.o.d"
+  "/root/repo/bench/bench_delay.cpp" "bench_build/CMakeFiles/cvg.dir/bench_delay.cpp.o" "gcc" "bench_build/CMakeFiles/cvg.dir/bench_delay.cpp.o.d"
+  "/root/repo/bench/bench_exhaustive_small_n.cpp" "bench_build/CMakeFiles/cvg.dir/bench_exhaustive_small_n.cpp.o" "gcc" "bench_build/CMakeFiles/cvg.dir/bench_exhaustive_small_n.cpp.o.d"
+  "/root/repo/bench/bench_greedy_linear.cpp" "bench_build/CMakeFiles/cvg.dir/bench_greedy_linear.cpp.o" "gcc" "bench_build/CMakeFiles/cvg.dir/bench_greedy_linear.cpp.o.d"
+  "/root/repo/bench/bench_lower_bound.cpp" "bench_build/CMakeFiles/cvg.dir/bench_lower_bound.cpp.o" "gcc" "bench_build/CMakeFiles/cvg.dir/bench_lower_bound.cpp.o.d"
+  "/root/repo/bench/bench_odd_even_paths.cpp" "bench_build/CMakeFiles/cvg.dir/bench_odd_even_paths.cpp.o" "gcc" "bench_build/CMakeFiles/cvg.dir/bench_odd_even_paths.cpp.o.d"
+  "/root/repo/bench/bench_serve.cpp" "bench_build/CMakeFiles/cvg.dir/bench_serve.cpp.o" "gcc" "bench_build/CMakeFiles/cvg.dir/bench_serve.cpp.o.d"
+  "/root/repo/bench/bench_sqrt_downhill_flat.cpp" "bench_build/CMakeFiles/cvg.dir/bench_sqrt_downhill_flat.cpp.o" "gcc" "bench_build/CMakeFiles/cvg.dir/bench_sqrt_downhill_flat.cpp.o.d"
+  "/root/repo/bench/bench_star_locality.cpp" "bench_build/CMakeFiles/cvg.dir/bench_star_locality.cpp.o" "gcc" "bench_build/CMakeFiles/cvg.dir/bench_star_locality.cpp.o.d"
+  "/root/repo/bench/bench_step_engine.cpp" "bench_build/CMakeFiles/cvg.dir/bench_step_engine.cpp.o" "gcc" "bench_build/CMakeFiles/cvg.dir/bench_step_engine.cpp.o.d"
+  "/root/repo/bench/bench_tree_algorithm.cpp" "bench_build/CMakeFiles/cvg.dir/bench_tree_algorithm.cpp.o" "gcc" "bench_build/CMakeFiles/cvg.dir/bench_tree_algorithm.cpp.o.d"
+  "/root/repo/bench/corpus_cli.cpp" "bench_build/CMakeFiles/cvg.dir/corpus_cli.cpp.o" "gcc" "bench_build/CMakeFiles/cvg.dir/corpus_cli.cpp.o.d"
+  "/root/repo/bench/cvg_main.cpp" "bench_build/CMakeFiles/cvg.dir/cvg_main.cpp.o" "gcc" "bench_build/CMakeFiles/cvg.dir/cvg_main.cpp.o.d"
+  "/root/repo/bench/experiment.cpp" "bench_build/CMakeFiles/cvg.dir/experiment.cpp.o" "gcc" "bench_build/CMakeFiles/cvg.dir/experiment.cpp.o.d"
+  "/root/repo/bench/serve_cli.cpp" "bench_build/CMakeFiles/cvg.dir/serve_cli.cpp.o" "gcc" "bench_build/CMakeFiles/cvg.dir/serve_cli.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/serve/CMakeFiles/cvg_serve.dir/DependInfo.cmake"
+  "/root/repo/src/corpus/CMakeFiles/cvg_corpus.dir/DependInfo.cmake"
+  "/root/repo/src/certify/CMakeFiles/cvg_certify.dir/DependInfo.cmake"
+  "/root/repo/src/adversary/CMakeFiles/cvg_adversary.dir/DependInfo.cmake"
+  "/root/repo/src/search/CMakeFiles/cvg_search.dir/DependInfo.cmake"
+  "/root/repo/src/parallel/CMakeFiles/cvg_parallel.dir/DependInfo.cmake"
+  "/root/repo/src/report/CMakeFiles/cvg_report.dir/DependInfo.cmake"
+  "/root/repo/src/dag/CMakeFiles/cvg_dag.dir/DependInfo.cmake"
+  "/root/repo/src/sim/CMakeFiles/cvg_sim.dir/DependInfo.cmake"
+  "/root/repo/src/policy/CMakeFiles/cvg_policy.dir/DependInfo.cmake"
+  "/root/repo/src/topology/CMakeFiles/cvg_topology.dir/DependInfo.cmake"
+  "/root/repo/src/core/CMakeFiles/cvg_core.dir/DependInfo.cmake"
+  "/root/repo/src/util/CMakeFiles/cvg_util.dir/DependInfo.cmake"
+  "/root/repo/src/audit/CMakeFiles/cvg_audit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/bench_build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cvg_list_smoke "/root/repo/bench/cvg" "list")
+set_tests_properties(cvg_list_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;64;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(cvg_run_all_smoke "/root/repo/bench/cvg" "run" "all" "--smoke" "--threads=4")
+set_tests_properties(cvg_run_all_smoke PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;65;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(cvg_list_corpus_verbs "/root/repo/bench/cvg" "list")
+set_tests_properties(cvg_list_corpus_verbs PROPERTIES  PASS_REGULAR_EXPRESSION "corpus +add\\|minimize\\|replay\\|fuzz\\|stats" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;69;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(cvg_corpus_replay_gate "/root/repo/bench/cvg" "corpus" "replay" "/root/repo/tests/corpus")
+set_tests_properties(cvg_corpus_replay_gate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;73;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(cvg_corpus_replay_detects_regression "/root/repo/bench/cvg" "corpus" "replay" "/root/repo/tests/corpus_bad")
+set_tests_properties(cvg_corpus_replay_detects_regression PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;77;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(cvg_corpus_stats_smoke "/root/repo/bench/cvg" "corpus" "stats" "/root/repo/tests/corpus")
+set_tests_properties(cvg_corpus_stats_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;81;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(cvg_list_serve_verbs "/root/repo/bench/cvg" "list")
+set_tests_properties(cvg_list_serve_verbs PROPERTIES  PASS_REGULAR_EXPRESSION "serve +run\\|sweep\\|replay\\|certify\\|minimize" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;85;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(cvg_serve_request_fuzz_smoke "/root/repo/bench/cvg" "serve" "--fuzz-rounds=4096" "--seed=1")
+set_tests_properties(cvg_serve_request_fuzz_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;90;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(cvg_serve_graceful_shutdown "/root/repo/scripts/serve_shutdown_test.sh" "/root/repo/bench/cvg")
+set_tests_properties(cvg_serve_graceful_shutdown PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;93;add_test;/root/repo/bench/CMakeLists.txt;0;")

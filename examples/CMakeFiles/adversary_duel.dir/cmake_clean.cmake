@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adversary_duel.dir/adversary_duel.cpp.o"
+  "CMakeFiles/adversary_duel.dir/adversary_duel.cpp.o.d"
+  "adversary_duel"
+  "adversary_duel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adversary_duel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

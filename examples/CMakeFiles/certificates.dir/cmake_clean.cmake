@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/certificates.dir/certificates.cpp.o"
+  "CMakeFiles/certificates.dir/certificates.cpp.o.d"
+  "certificates"
+  "certificates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/certificates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

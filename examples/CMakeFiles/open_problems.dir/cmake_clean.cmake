@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/open_problems.dir/open_problems.cpp.o"
+  "CMakeFiles/open_problems.dir/open_problems.cpp.o.d"
+  "open_problems"
+  "open_problems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/open_problems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_animation.dir/trace_animation.cpp.o"
+  "CMakeFiles/trace_animation.dir/trace_animation.cpp.o.d"
+  "trace_animation"
+  "trace_animation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_animation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

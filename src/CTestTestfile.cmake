@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("core")
+subdirs("topology")
+subdirs("policy")
+subdirs("audit")
+subdirs("sim")
+subdirs("adversary")
+subdirs("certify")
+subdirs("search")
+subdirs("corpus")
+subdirs("parallel")
+subdirs("report")
+subdirs("dag")
+subdirs("serve")

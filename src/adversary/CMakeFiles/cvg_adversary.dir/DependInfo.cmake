@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adversary/src/killers.cpp" "src/adversary/CMakeFiles/cvg_adversary.dir/src/killers.cpp.o" "gcc" "src/adversary/CMakeFiles/cvg_adversary.dir/src/killers.cpp.o.d"
+  "/root/repo/src/adversary/src/registry.cpp" "src/adversary/CMakeFiles/cvg_adversary.dir/src/registry.cpp.o" "gcc" "src/adversary/CMakeFiles/cvg_adversary.dir/src/registry.cpp.o.d"
+  "/root/repo/src/adversary/src/seeker.cpp" "src/adversary/CMakeFiles/cvg_adversary.dir/src/seeker.cpp.o" "gcc" "src/adversary/CMakeFiles/cvg_adversary.dir/src/seeker.cpp.o.d"
+  "/root/repo/src/adversary/src/simple.cpp" "src/adversary/CMakeFiles/cvg_adversary.dir/src/simple.cpp.o" "gcc" "src/adversary/CMakeFiles/cvg_adversary.dir/src/simple.cpp.o.d"
+  "/root/repo/src/adversary/src/staged.cpp" "src/adversary/CMakeFiles/cvg_adversary.dir/src/staged.cpp.o" "gcc" "src/adversary/CMakeFiles/cvg_adversary.dir/src/staged.cpp.o.d"
+  "/root/repo/src/adversary/src/trace_io.cpp" "src/adversary/CMakeFiles/cvg_adversary.dir/src/trace_io.cpp.o" "gcc" "src/adversary/CMakeFiles/cvg_adversary.dir/src/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/sim/CMakeFiles/cvg_sim.dir/DependInfo.cmake"
+  "/root/repo/src/policy/CMakeFiles/cvg_policy.dir/DependInfo.cmake"
+  "/root/repo/src/topology/CMakeFiles/cvg_topology.dir/DependInfo.cmake"
+  "/root/repo/src/util/CMakeFiles/cvg_util.dir/DependInfo.cmake"
+  "/root/repo/src/audit/CMakeFiles/cvg_audit.dir/DependInfo.cmake"
+  "/root/repo/src/core/CMakeFiles/cvg_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cvg_adversary.dir/src/killers.cpp.o"
+  "CMakeFiles/cvg_adversary.dir/src/killers.cpp.o.d"
+  "CMakeFiles/cvg_adversary.dir/src/registry.cpp.o"
+  "CMakeFiles/cvg_adversary.dir/src/registry.cpp.o.d"
+  "CMakeFiles/cvg_adversary.dir/src/seeker.cpp.o"
+  "CMakeFiles/cvg_adversary.dir/src/seeker.cpp.o.d"
+  "CMakeFiles/cvg_adversary.dir/src/simple.cpp.o"
+  "CMakeFiles/cvg_adversary.dir/src/simple.cpp.o.d"
+  "CMakeFiles/cvg_adversary.dir/src/staged.cpp.o"
+  "CMakeFiles/cvg_adversary.dir/src/staged.cpp.o.d"
+  "CMakeFiles/cvg_adversary.dir/src/trace_io.cpp.o"
+  "CMakeFiles/cvg_adversary.dir/src/trace_io.cpp.o.d"
+  "libcvg_adversary.a"
+  "libcvg_adversary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cvg_adversary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

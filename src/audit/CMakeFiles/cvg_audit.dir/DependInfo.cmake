@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/audit/src/blackbox.cpp" "src/audit/CMakeFiles/cvg_audit.dir/src/blackbox.cpp.o" "gcc" "src/audit/CMakeFiles/cvg_audit.dir/src/blackbox.cpp.o.d"
+  "/root/repo/src/audit/src/locality_auditor.cpp" "src/audit/CMakeFiles/cvg_audit.dir/src/locality_auditor.cpp.o" "gcc" "src/audit/CMakeFiles/cvg_audit.dir/src/locality_auditor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/core/CMakeFiles/cvg_core.dir/DependInfo.cmake"
+  "/root/repo/src/topology/CMakeFiles/cvg_topology.dir/DependInfo.cmake"
+  "/root/repo/src/policy/CMakeFiles/cvg_policy.dir/DependInfo.cmake"
+  "/root/repo/src/util/CMakeFiles/cvg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cvg_audit.dir/src/blackbox.cpp.o"
+  "CMakeFiles/cvg_audit.dir/src/blackbox.cpp.o.d"
+  "CMakeFiles/cvg_audit.dir/src/locality_auditor.cpp.o"
+  "CMakeFiles/cvg_audit.dir/src/locality_auditor.cpp.o.d"
+  "libcvg_audit.a"
+  "libcvg_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cvg_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/certify/src/attachment.cpp" "src/certify/CMakeFiles/cvg_certify.dir/src/attachment.cpp.o" "gcc" "src/certify/CMakeFiles/cvg_certify.dir/src/attachment.cpp.o.d"
+  "/root/repo/src/certify/src/classify.cpp" "src/certify/CMakeFiles/cvg_certify.dir/src/classify.cpp.o" "gcc" "src/certify/CMakeFiles/cvg_certify.dir/src/classify.cpp.o.d"
+  "/root/repo/src/certify/src/lines.cpp" "src/certify/CMakeFiles/cvg_certify.dir/src/lines.cpp.o" "gcc" "src/certify/CMakeFiles/cvg_certify.dir/src/lines.cpp.o.d"
+  "/root/repo/src/certify/src/path_certifier.cpp" "src/certify/CMakeFiles/cvg_certify.dir/src/path_certifier.cpp.o" "gcc" "src/certify/CMakeFiles/cvg_certify.dir/src/path_certifier.cpp.o.d"
+  "/root/repo/src/certify/src/path_matching.cpp" "src/certify/CMakeFiles/cvg_certify.dir/src/path_matching.cpp.o" "gcc" "src/certify/CMakeFiles/cvg_certify.dir/src/path_matching.cpp.o.d"
+  "/root/repo/src/certify/src/tree_certifier.cpp" "src/certify/CMakeFiles/cvg_certify.dir/src/tree_certifier.cpp.o" "gcc" "src/certify/CMakeFiles/cvg_certify.dir/src/tree_certifier.cpp.o.d"
+  "/root/repo/src/certify/src/tree_matching.cpp" "src/certify/CMakeFiles/cvg_certify.dir/src/tree_matching.cpp.o" "gcc" "src/certify/CMakeFiles/cvg_certify.dir/src/tree_matching.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/sim/CMakeFiles/cvg_sim.dir/DependInfo.cmake"
+  "/root/repo/src/policy/CMakeFiles/cvg_policy.dir/DependInfo.cmake"
+  "/root/repo/src/topology/CMakeFiles/cvg_topology.dir/DependInfo.cmake"
+  "/root/repo/src/util/CMakeFiles/cvg_util.dir/DependInfo.cmake"
+  "/root/repo/src/audit/CMakeFiles/cvg_audit.dir/DependInfo.cmake"
+  "/root/repo/src/core/CMakeFiles/cvg_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

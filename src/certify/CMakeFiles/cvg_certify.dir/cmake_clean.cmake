@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cvg_certify.dir/src/attachment.cpp.o"
+  "CMakeFiles/cvg_certify.dir/src/attachment.cpp.o.d"
+  "CMakeFiles/cvg_certify.dir/src/classify.cpp.o"
+  "CMakeFiles/cvg_certify.dir/src/classify.cpp.o.d"
+  "CMakeFiles/cvg_certify.dir/src/lines.cpp.o"
+  "CMakeFiles/cvg_certify.dir/src/lines.cpp.o.d"
+  "CMakeFiles/cvg_certify.dir/src/path_certifier.cpp.o"
+  "CMakeFiles/cvg_certify.dir/src/path_certifier.cpp.o.d"
+  "CMakeFiles/cvg_certify.dir/src/path_matching.cpp.o"
+  "CMakeFiles/cvg_certify.dir/src/path_matching.cpp.o.d"
+  "CMakeFiles/cvg_certify.dir/src/tree_certifier.cpp.o"
+  "CMakeFiles/cvg_certify.dir/src/tree_certifier.cpp.o.d"
+  "CMakeFiles/cvg_certify.dir/src/tree_matching.cpp.o"
+  "CMakeFiles/cvg_certify.dir/src/tree_matching.cpp.o.d"
+  "libcvg_certify.a"
+  "libcvg_certify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cvg_certify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

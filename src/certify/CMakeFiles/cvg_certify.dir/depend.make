@@ -1,0 +1,2 @@
+# Empty dependencies file for cvg_certify.
+# This may be replaced when dependencies are built.

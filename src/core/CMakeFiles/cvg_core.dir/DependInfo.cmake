@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/src/config.cpp" "src/core/CMakeFiles/cvg_core.dir/src/config.cpp.o" "gcc" "src/core/CMakeFiles/cvg_core.dir/src/config.cpp.o.d"
+  "/root/repo/src/core/src/read_audit.cpp" "src/core/CMakeFiles/cvg_core.dir/src/read_audit.cpp.o" "gcc" "src/core/CMakeFiles/cvg_core.dir/src/read_audit.cpp.o.d"
+  "/root/repo/src/core/src/step.cpp" "src/core/CMakeFiles/cvg_core.dir/src/step.cpp.o" "gcc" "src/core/CMakeFiles/cvg_core.dir/src/step.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/util/CMakeFiles/cvg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

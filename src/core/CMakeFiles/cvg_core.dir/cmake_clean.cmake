@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cvg_core.dir/src/config.cpp.o"
+  "CMakeFiles/cvg_core.dir/src/config.cpp.o.d"
+  "CMakeFiles/cvg_core.dir/src/read_audit.cpp.o"
+  "CMakeFiles/cvg_core.dir/src/read_audit.cpp.o.d"
+  "CMakeFiles/cvg_core.dir/src/step.cpp.o"
+  "CMakeFiles/cvg_core.dir/src/step.cpp.o.d"
+  "libcvg_core.a"
+  "libcvg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cvg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

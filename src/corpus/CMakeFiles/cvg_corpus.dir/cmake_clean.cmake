@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cvg_corpus.dir/src/format.cpp.o"
+  "CMakeFiles/cvg_corpus.dir/src/format.cpp.o.d"
+  "CMakeFiles/cvg_corpus.dir/src/fuzz.cpp.o"
+  "CMakeFiles/cvg_corpus.dir/src/fuzz.cpp.o.d"
+  "CMakeFiles/cvg_corpus.dir/src/minimize.cpp.o"
+  "CMakeFiles/cvg_corpus.dir/src/minimize.cpp.o.d"
+  "CMakeFiles/cvg_corpus.dir/src/replay.cpp.o"
+  "CMakeFiles/cvg_corpus.dir/src/replay.cpp.o.d"
+  "CMakeFiles/cvg_corpus.dir/src/store.cpp.o"
+  "CMakeFiles/cvg_corpus.dir/src/store.cpp.o.d"
+  "libcvg_corpus.a"
+  "libcvg_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cvg_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dag/src/dag.cpp" "src/dag/CMakeFiles/cvg_dag.dir/src/dag.cpp.o" "gcc" "src/dag/CMakeFiles/cvg_dag.dir/src/dag.cpp.o.d"
+  "/root/repo/src/dag/src/dag_policy.cpp" "src/dag/CMakeFiles/cvg_dag.dir/src/dag_policy.cpp.o" "gcc" "src/dag/CMakeFiles/cvg_dag.dir/src/dag_policy.cpp.o.d"
+  "/root/repo/src/dag/src/dag_sim.cpp" "src/dag/CMakeFiles/cvg_dag.dir/src/dag_sim.cpp.o" "gcc" "src/dag/CMakeFiles/cvg_dag.dir/src/dag_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/core/CMakeFiles/cvg_core.dir/DependInfo.cmake"
+  "/root/repo/src/policy/CMakeFiles/cvg_policy.dir/DependInfo.cmake"
+  "/root/repo/src/audit/CMakeFiles/cvg_audit.dir/DependInfo.cmake"
+  "/root/repo/src/util/CMakeFiles/cvg_util.dir/DependInfo.cmake"
+  "/root/repo/src/topology/CMakeFiles/cvg_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cvg_dag.dir/src/dag.cpp.o"
+  "CMakeFiles/cvg_dag.dir/src/dag.cpp.o.d"
+  "CMakeFiles/cvg_dag.dir/src/dag_policy.cpp.o"
+  "CMakeFiles/cvg_dag.dir/src/dag_policy.cpp.o.d"
+  "CMakeFiles/cvg_dag.dir/src/dag_sim.cpp.o"
+  "CMakeFiles/cvg_dag.dir/src/dag_sim.cpp.o.d"
+  "libcvg_dag.a"
+  "libcvg_dag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cvg_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cvg_dag.
+# This may be replaced when dependencies are built.

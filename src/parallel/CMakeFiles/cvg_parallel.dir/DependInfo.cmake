@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parallel/src/parallel_for.cpp" "src/parallel/CMakeFiles/cvg_parallel.dir/src/parallel_for.cpp.o" "gcc" "src/parallel/CMakeFiles/cvg_parallel.dir/src/parallel_for.cpp.o.d"
+  "/root/repo/src/parallel/src/pool.cpp" "src/parallel/CMakeFiles/cvg_parallel.dir/src/pool.cpp.o" "gcc" "src/parallel/CMakeFiles/cvg_parallel.dir/src/pool.cpp.o.d"
+  "/root/repo/src/parallel/src/sweep.cpp" "src/parallel/CMakeFiles/cvg_parallel.dir/src/sweep.cpp.o" "gcc" "src/parallel/CMakeFiles/cvg_parallel.dir/src/sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/sim/CMakeFiles/cvg_sim.dir/DependInfo.cmake"
+  "/root/repo/src/util/CMakeFiles/cvg_util.dir/DependInfo.cmake"
+  "/root/repo/src/audit/CMakeFiles/cvg_audit.dir/DependInfo.cmake"
+  "/root/repo/src/policy/CMakeFiles/cvg_policy.dir/DependInfo.cmake"
+  "/root/repo/src/topology/CMakeFiles/cvg_topology.dir/DependInfo.cmake"
+  "/root/repo/src/core/CMakeFiles/cvg_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

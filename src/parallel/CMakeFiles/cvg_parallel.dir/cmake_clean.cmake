@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cvg_parallel.dir/src/parallel_for.cpp.o"
+  "CMakeFiles/cvg_parallel.dir/src/parallel_for.cpp.o.d"
+  "CMakeFiles/cvg_parallel.dir/src/pool.cpp.o"
+  "CMakeFiles/cvg_parallel.dir/src/pool.cpp.o.d"
+  "CMakeFiles/cvg_parallel.dir/src/sweep.cpp.o"
+  "CMakeFiles/cvg_parallel.dir/src/sweep.cpp.o.d"
+  "libcvg_parallel.a"
+  "libcvg_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cvg_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

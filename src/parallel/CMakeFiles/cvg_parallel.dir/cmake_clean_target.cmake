@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcvg_parallel.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/policy/src/centralized_fie.cpp" "src/policy/CMakeFiles/cvg_policy.dir/src/centralized_fie.cpp.o" "gcc" "src/policy/CMakeFiles/cvg_policy.dir/src/centralized_fie.cpp.o.d"
+  "/root/repo/src/policy/src/policy.cpp" "src/policy/CMakeFiles/cvg_policy.dir/src/policy.cpp.o" "gcc" "src/policy/CMakeFiles/cvg_policy.dir/src/policy.cpp.o.d"
+  "/root/repo/src/policy/src/registry.cpp" "src/policy/CMakeFiles/cvg_policy.dir/src/registry.cpp.o" "gcc" "src/policy/CMakeFiles/cvg_policy.dir/src/registry.cpp.o.d"
+  "/root/repo/src/policy/src/standard.cpp" "src/policy/CMakeFiles/cvg_policy.dir/src/standard.cpp.o" "gcc" "src/policy/CMakeFiles/cvg_policy.dir/src/standard.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/core/CMakeFiles/cvg_core.dir/DependInfo.cmake"
+  "/root/repo/src/topology/CMakeFiles/cvg_topology.dir/DependInfo.cmake"
+  "/root/repo/src/util/CMakeFiles/cvg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

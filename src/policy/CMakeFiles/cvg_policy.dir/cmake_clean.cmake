@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cvg_policy.dir/src/centralized_fie.cpp.o"
+  "CMakeFiles/cvg_policy.dir/src/centralized_fie.cpp.o.d"
+  "CMakeFiles/cvg_policy.dir/src/policy.cpp.o"
+  "CMakeFiles/cvg_policy.dir/src/policy.cpp.o.d"
+  "CMakeFiles/cvg_policy.dir/src/registry.cpp.o"
+  "CMakeFiles/cvg_policy.dir/src/registry.cpp.o.d"
+  "CMakeFiles/cvg_policy.dir/src/standard.cpp.o"
+  "CMakeFiles/cvg_policy.dir/src/standard.cpp.o.d"
+  "libcvg_policy.a"
+  "libcvg_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cvg_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

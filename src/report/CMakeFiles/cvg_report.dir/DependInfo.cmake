@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/report/src/profile.cpp" "src/report/CMakeFiles/cvg_report.dir/src/profile.cpp.o" "gcc" "src/report/CMakeFiles/cvg_report.dir/src/profile.cpp.o.d"
+  "/root/repo/src/report/src/stats.cpp" "src/report/CMakeFiles/cvg_report.dir/src/stats.cpp.o" "gcc" "src/report/CMakeFiles/cvg_report.dir/src/stats.cpp.o.d"
+  "/root/repo/src/report/src/table.cpp" "src/report/CMakeFiles/cvg_report.dir/src/table.cpp.o" "gcc" "src/report/CMakeFiles/cvg_report.dir/src/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/core/CMakeFiles/cvg_core.dir/DependInfo.cmake"
+  "/root/repo/src/util/CMakeFiles/cvg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cvg_report.dir/src/profile.cpp.o"
+  "CMakeFiles/cvg_report.dir/src/profile.cpp.o.d"
+  "CMakeFiles/cvg_report.dir/src/stats.cpp.o"
+  "CMakeFiles/cvg_report.dir/src/stats.cpp.o.d"
+  "CMakeFiles/cvg_report.dir/src/table.cpp.o"
+  "CMakeFiles/cvg_report.dir/src/table.cpp.o.d"
+  "libcvg_report.a"
+  "libcvg_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cvg_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

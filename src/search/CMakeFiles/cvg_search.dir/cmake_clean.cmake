@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cvg_search.dir/src/beam.cpp.o"
+  "CMakeFiles/cvg_search.dir/src/beam.cpp.o.d"
+  "CMakeFiles/cvg_search.dir/src/exhaustive.cpp.o"
+  "CMakeFiles/cvg_search.dir/src/exhaustive.cpp.o.d"
+  "libcvg_search.a"
+  "libcvg_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cvg_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

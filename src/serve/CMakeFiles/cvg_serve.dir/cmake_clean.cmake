@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cvg_serve.dir/src/cache.cpp.o"
+  "CMakeFiles/cvg_serve.dir/src/cache.cpp.o.d"
+  "CMakeFiles/cvg_serve.dir/src/job.cpp.o"
+  "CMakeFiles/cvg_serve.dir/src/job.cpp.o.d"
+  "CMakeFiles/cvg_serve.dir/src/json.cpp.o"
+  "CMakeFiles/cvg_serve.dir/src/json.cpp.o.d"
+  "CMakeFiles/cvg_serve.dir/src/service.cpp.o"
+  "CMakeFiles/cvg_serve.dir/src/service.cpp.o.d"
+  "CMakeFiles/cvg_serve.dir/src/transport.cpp.o"
+  "CMakeFiles/cvg_serve.dir/src/transport.cpp.o.d"
+  "libcvg_serve.a"
+  "libcvg_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cvg_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcvg_serve.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/src/bidir.cpp" "src/sim/CMakeFiles/cvg_sim.dir/src/bidir.cpp.o" "gcc" "src/sim/CMakeFiles/cvg_sim.dir/src/bidir.cpp.o.d"
+  "/root/repo/src/sim/src/lane_engine.cpp" "src/sim/CMakeFiles/cvg_sim.dir/src/lane_engine.cpp.o" "gcc" "src/sim/CMakeFiles/cvg_sim.dir/src/lane_engine.cpp.o.d"
+  "/root/repo/src/sim/src/metrics.cpp" "src/sim/CMakeFiles/cvg_sim.dir/src/metrics.cpp.o" "gcc" "src/sim/CMakeFiles/cvg_sim.dir/src/metrics.cpp.o.d"
+  "/root/repo/src/sim/src/packet_sim.cpp" "src/sim/CMakeFiles/cvg_sim.dir/src/packet_sim.cpp.o" "gcc" "src/sim/CMakeFiles/cvg_sim.dir/src/packet_sim.cpp.o.d"
+  "/root/repo/src/sim/src/runner.cpp" "src/sim/CMakeFiles/cvg_sim.dir/src/runner.cpp.o" "gcc" "src/sim/CMakeFiles/cvg_sim.dir/src/runner.cpp.o.d"
+  "/root/repo/src/sim/src/simulator.cpp" "src/sim/CMakeFiles/cvg_sim.dir/src/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/cvg_sim.dir/src/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/core/CMakeFiles/cvg_core.dir/DependInfo.cmake"
+  "/root/repo/src/topology/CMakeFiles/cvg_topology.dir/DependInfo.cmake"
+  "/root/repo/src/policy/CMakeFiles/cvg_policy.dir/DependInfo.cmake"
+  "/root/repo/src/audit/CMakeFiles/cvg_audit.dir/DependInfo.cmake"
+  "/root/repo/src/util/CMakeFiles/cvg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

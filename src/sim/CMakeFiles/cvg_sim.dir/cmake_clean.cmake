@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cvg_sim.dir/src/bidir.cpp.o"
+  "CMakeFiles/cvg_sim.dir/src/bidir.cpp.o.d"
+  "CMakeFiles/cvg_sim.dir/src/lane_engine.cpp.o"
+  "CMakeFiles/cvg_sim.dir/src/lane_engine.cpp.o.d"
+  "CMakeFiles/cvg_sim.dir/src/metrics.cpp.o"
+  "CMakeFiles/cvg_sim.dir/src/metrics.cpp.o.d"
+  "CMakeFiles/cvg_sim.dir/src/packet_sim.cpp.o"
+  "CMakeFiles/cvg_sim.dir/src/packet_sim.cpp.o.d"
+  "CMakeFiles/cvg_sim.dir/src/runner.cpp.o"
+  "CMakeFiles/cvg_sim.dir/src/runner.cpp.o.d"
+  "CMakeFiles/cvg_sim.dir/src/simulator.cpp.o"
+  "CMakeFiles/cvg_sim.dir/src/simulator.cpp.o.d"
+  "libcvg_sim.a"
+  "libcvg_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cvg_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/src/builders.cpp" "src/topology/CMakeFiles/cvg_topology.dir/src/builders.cpp.o" "gcc" "src/topology/CMakeFiles/cvg_topology.dir/src/builders.cpp.o.d"
+  "/root/repo/src/topology/src/render.cpp" "src/topology/CMakeFiles/cvg_topology.dir/src/render.cpp.o" "gcc" "src/topology/CMakeFiles/cvg_topology.dir/src/render.cpp.o.d"
+  "/root/repo/src/topology/src/spec.cpp" "src/topology/CMakeFiles/cvg_topology.dir/src/spec.cpp.o" "gcc" "src/topology/CMakeFiles/cvg_topology.dir/src/spec.cpp.o.d"
+  "/root/repo/src/topology/src/tree.cpp" "src/topology/CMakeFiles/cvg_topology.dir/src/tree.cpp.o" "gcc" "src/topology/CMakeFiles/cvg_topology.dir/src/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/core/CMakeFiles/cvg_core.dir/DependInfo.cmake"
+  "/root/repo/src/util/CMakeFiles/cvg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

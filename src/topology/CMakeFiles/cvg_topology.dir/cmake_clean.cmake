@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cvg_topology.dir/src/builders.cpp.o"
+  "CMakeFiles/cvg_topology.dir/src/builders.cpp.o.d"
+  "CMakeFiles/cvg_topology.dir/src/render.cpp.o"
+  "CMakeFiles/cvg_topology.dir/src/render.cpp.o.d"
+  "CMakeFiles/cvg_topology.dir/src/spec.cpp.o"
+  "CMakeFiles/cvg_topology.dir/src/spec.cpp.o.d"
+  "CMakeFiles/cvg_topology.dir/src/tree.cpp.o"
+  "CMakeFiles/cvg_topology.dir/src/tree.cpp.o.d"
+  "libcvg_topology.a"
+  "libcvg_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cvg_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/src/check.cpp" "src/util/CMakeFiles/cvg_util.dir/src/check.cpp.o" "gcc" "src/util/CMakeFiles/cvg_util.dir/src/check.cpp.o.d"
+  "/root/repo/src/util/src/rng.cpp" "src/util/CMakeFiles/cvg_util.dir/src/rng.cpp.o" "gcc" "src/util/CMakeFiles/cvg_util.dir/src/rng.cpp.o.d"
+  "/root/repo/src/util/src/str.cpp" "src/util/CMakeFiles/cvg_util.dir/src/str.cpp.o" "gcc" "src/util/CMakeFiles/cvg_util.dir/src/str.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

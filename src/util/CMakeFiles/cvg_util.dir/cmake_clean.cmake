@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cvg_util.dir/src/check.cpp.o"
+  "CMakeFiles/cvg_util.dir/src/check.cpp.o.d"
+  "CMakeFiles/cvg_util.dir/src/rng.cpp.o"
+  "CMakeFiles/cvg_util.dir/src/rng.cpp.o.d"
+  "CMakeFiles/cvg_util.dir/src/str.cpp.o"
+  "CMakeFiles/cvg_util.dir/src/str.cpp.o.d"
+  "libcvg_util.a"
+  "libcvg_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cvg_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bidir_test.dir/bidir_test.cpp.o"
+  "CMakeFiles/bidir_test.dir/bidir_test.cpp.o.d"
+  "bidir_test"
+  "bidir_test.pdb"
+  "bidir_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bidir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/centralized_fie_test.dir/centralized_fie_test.cpp.o"
+  "CMakeFiles/centralized_fie_test.dir/centralized_fie_test.cpp.o.d"
+  "centralized_fie_test"
+  "centralized_fie_test.pdb"
+  "centralized_fie_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/centralized_fie_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/certify_path_test.dir/certify_path_test.cpp.o"
+  "CMakeFiles/certify_path_test.dir/certify_path_test.cpp.o.d"
+  "certify_path_test"
+  "certify_path_test.pdb"
+  "certify_path_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/certify_path_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

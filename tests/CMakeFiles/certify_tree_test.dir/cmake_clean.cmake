@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/certify_tree_test.dir/certify_tree_test.cpp.o"
+  "CMakeFiles/certify_tree_test.dir/certify_tree_test.cpp.o.d"
+  "certify_tree_test"
+  "certify_tree_test.pdb"
+  "certify_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/certify_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/certify_units_test.dir/certify_units_test.cpp.o"
+  "CMakeFiles/certify_units_test.dir/certify_units_test.cpp.o.d"
+  "certify_units_test"
+  "certify_units_test.pdb"
+  "certify_units_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/certify_units_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corpus_format_test.dir/corpus_format_test.cpp.o"
+  "CMakeFiles/corpus_format_test.dir/corpus_format_test.cpp.o.d"
+  "corpus_format_test"
+  "corpus_format_test.pdb"
+  "corpus_format_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corpus_format_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

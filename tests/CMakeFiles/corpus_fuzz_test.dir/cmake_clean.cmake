@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corpus_fuzz_test.dir/corpus_fuzz_test.cpp.o"
+  "CMakeFiles/corpus_fuzz_test.dir/corpus_fuzz_test.cpp.o.d"
+  "corpus_fuzz_test"
+  "corpus_fuzz_test.pdb"
+  "corpus_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corpus_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corpus_store_test.dir/corpus_store_test.cpp.o"
+  "CMakeFiles/corpus_store_test.dir/corpus_store_test.cpp.o.d"
+  "corpus_store_test"
+  "corpus_store_test.pdb"
+  "corpus_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corpus_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_equivalence_test.dir/engine_equivalence_test.cpp.o"
+  "CMakeFiles/engine_equivalence_test.dir/engine_equivalence_test.cpp.o.d"
+  "engine_equivalence_test"
+  "engine_equivalence_test.pdb"
+  "engine_equivalence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

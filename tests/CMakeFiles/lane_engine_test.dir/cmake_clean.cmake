@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lane_engine_test.dir/lane_engine_test.cpp.o"
+  "CMakeFiles/lane_engine_test.dir/lane_engine_test.cpp.o.d"
+  "lane_engine_test"
+  "lane_engine_test.pdb"
+  "lane_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lane_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_race_test.dir/parallel_race_test.cpp.o"
+  "CMakeFiles/parallel_race_test.dir/parallel_race_test.cpp.o.d"
+  "parallel_race_test"
+  "parallel_race_test.pdb"
+  "parallel_race_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_race_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

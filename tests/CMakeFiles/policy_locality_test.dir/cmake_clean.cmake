@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_locality_test.dir/policy_locality_test.cpp.o"
+  "CMakeFiles/policy_locality_test.dir/policy_locality_test.cpp.o.d"
+  "policy_locality_test"
+  "policy_locality_test.pdb"
+  "policy_locality_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_locality_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

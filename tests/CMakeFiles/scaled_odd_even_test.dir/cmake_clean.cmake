@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaled_odd_even_test.dir/scaled_odd_even_test.cpp.o"
+  "CMakeFiles/scaled_odd_even_test.dir/scaled_odd_even_test.cpp.o.d"
+  "scaled_odd_even_test"
+  "scaled_odd_even_test.pdb"
+  "scaled_odd_even_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaled_odd_even_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

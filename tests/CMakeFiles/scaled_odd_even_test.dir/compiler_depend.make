@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for scaled_odd_even_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve_cache_test.dir/serve_cache_test.cpp.o"
+  "CMakeFiles/serve_cache_test.dir/serve_cache_test.cpp.o.d"
+  "serve_cache_test"
+  "serve_cache_test.pdb"
+  "serve_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve_json_test.dir/serve_json_test.cpp.o"
+  "CMakeFiles/serve_json_test.dir/serve_json_test.cpp.o.d"
+  "serve_json_test"
+  "serve_json_test.pdb"
+  "serve_json_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve_json_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve_service_test.dir/serve_service_test.cpp.o"
+  "CMakeFiles/serve_service_test.dir/serve_service_test.cpp.o.d"
+  "serve_service_test"
+  "serve_service_test.pdb"
+  "serve_service_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve_service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topology_spec_test.dir/topology_spec_test.cpp.o"
+  "CMakeFiles/topology_spec_test.dir/topology_spec_test.cpp.o.d"
+  "topology_spec_test"
+  "topology_spec_test.pdb"
+  "topology_spec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topology_spec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
