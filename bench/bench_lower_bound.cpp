@@ -132,11 +132,13 @@ void stage_trace_table(const Flags& flags) {
   report::Table table(
       {"stage", "block [lo,hi]", "size", "packets", "density", "target H_i"});
   for (const auto& stage : adv.history()) {
-    table.row(stage.index,
-              "[" + std::to_string(stage.lo) + "," + std::to_string(stage.hi) +
-                  "]",
-              stage.hi - stage.lo + 1, stage.packets, stage.density,
-              stage.target_density);
+    std::string block = "[";
+    block += std::to_string(stage.lo);
+    block += ',';
+    block += std::to_string(stage.hi);
+    block += ']';
+    table.row(stage.index, block, stage.hi - stage.lo + 1, stage.packets,
+              stage.density, stage.target_density);
   }
   print_table("E1c: stage densities vs the proof's H_i ladder (n=" +
                   std::to_string(n) + ", l=1)",

@@ -43,10 +43,15 @@ int main(int argc, char** argv) {
   cvg::report::Table table({"stage", "block", "block size", "avg density",
                             "proof target H_i"});
   for (const auto& stage : adversary.history()) {
-    table.row(stage.index,
-              "[" + std::to_string(stage.lo) + ".." + std::to_string(stage.hi) +
-                  "]",
-              stage.hi - stage.lo + 1, stage.density, stage.target_density);
+    // Incremental appends rather than an operator+ chain: GCC 12's -O3
+    // -Werror=restrict mis-fires on the temporary-string concatenation.
+    std::string block = "[";
+    block += std::to_string(stage.lo);
+    block += "..";
+    block += std::to_string(stage.hi);
+    block += "]";
+    table.row(stage.index, block, stage.hi - stage.lo + 1, stage.density,
+              stage.target_density);
   }
   std::printf("%s", table.to_text().c_str());
 

@@ -32,6 +32,14 @@ Enforced invariants:
      is referenced by tests/lane_engine_test.cpp — each branch-free lane
      kernel must stay pinned bit-identical to its scalar policy, so a rule
      kind without an equivalence test is an unverified fast path.
+ 10. Fixed-footprint hot paths: the per-step engines and the certifier
+     pipeline (the files listed in HOT_PATH_FILES) must not use the
+     allocation-churning vocabulary — node-based containers (std::deque,
+     std::list, std::map/set, unordered_map/set), make_unique/make_shared,
+     or raw non-placement `new`.  Scratch lives in construction-sized
+     workspaces, cvg::mem containers, or arenas; the allocation_audit_test
+     proves the dynamic half of this invariant, this rule pins the static
+     half so a regression is caught at lint time, before a profile run.
 
 Exits non-zero listing every violation; prints a one-line summary on success.
 """
@@ -257,6 +265,64 @@ def check_lane_rule_kinds_tested() -> list[str]:
     return errors
 
 
+# Files whose steady-state loops the allocation audit holds to zero heap
+# traffic.  src/search/src/exhaustive.cpp is deliberately absent: its
+# visited-set/predecessor map cover an unbounded state space, so unordered
+# containers are the right tool there (the BFS *frontier* still rides the
+# fixed-footprint RingQueue).
+HOT_PATH_FILES = [
+    "src/sim/src/simulator.cpp",
+    "src/sim/src/packet_sim.cpp",
+    "src/sim/src/bidir.cpp",
+    "src/sim/src/lane_engine.cpp",
+    "src/dag/src/dag_sim.cpp",
+    "src/certify/src/attachment.cpp",
+    "src/certify/src/classify.cpp",
+    "src/certify/src/lines.cpp",
+    "src/certify/src/path_matching.cpp",
+    "src/certify/src/tree_matching.cpp",
+    "src/certify/src/path_certifier.cpp",
+    "src/certify/src/tree_certifier.cpp",
+    "src/search/src/beam.cpp",
+]
+
+HOT_PATH_BANNED = [
+    (re.compile(r"std::deque\b"), "std::deque (use cvg::mem::RingQueue)"),
+    (re.compile(r"std::list\s*<"), "std::list"),
+    (re.compile(r"std::map\s*<"), "std::map"),
+    (re.compile(r"std::set\s*<"), "std::set"),
+    (re.compile(r"std::unordered_map\b"),
+     "std::unordered_map (use cvg::mem::SlotMap or a dense index)"),
+    (re.compile(r"std::unordered_set\b"),
+     "std::unordered_set (use cvg::mem::SparseSet)"),
+    (re.compile(r"\bmake_unique\b"), "make_unique"),
+    (re.compile(r"\bmake_shared\b"), "make_shared"),
+    # Raw new expressions; placement-new (`new (addr) T`) is the one form
+    # that does not touch the heap and stays allowed.
+    (re.compile(r"(?<![\w_])new\s+[A-Za-z_:]"), "raw new"),
+]
+
+
+def check_hot_paths_fixed_footprint() -> list[str]:
+    """Rule 10: no allocation-churning vocabulary in hot-path files."""
+    errors = []
+    for rel in HOT_PATH_FILES:
+        path = REPO / rel
+        if not path.exists():
+            errors.append(f"{rel}: listed in HOT_PATH_FILES but missing — "
+                          "update check_invariants.py")
+            continue
+        for lineno, line in enumerate(strip_comments(path.read_text())
+                                      .splitlines(), 1):
+            for pattern, what in HOT_PATH_BANNED:
+                if pattern.search(line):
+                    errors.append(
+                        f"{rel}:{lineno}: {what} on a fixed-footprint hot "
+                        "path — use construction-sized workspaces, cvg::mem "
+                        "containers or an arena (see docs/ANALYSIS.md)")
+    return errors
+
+
 def main() -> int:
     checks = [
         ("policy locality overrides", check_policy_locality_overrides),
@@ -268,6 +334,7 @@ def main() -> int:
         ("fuzz mutators tested", check_fuzz_mutators_tested),
         ("service job types tested", check_serve_job_kinds_tested),
         ("lane rule kinds pinned", check_lane_rule_kinds_tested),
+        ("hot paths fixed-footprint", check_hot_paths_fixed_footprint),
     ]
     failures = []
     for label, check in checks:

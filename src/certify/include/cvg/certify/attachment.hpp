@@ -21,12 +21,13 @@
 /// from the proof's model (i.e. a bug — in the library or in the paper).
 
 #include <optional>
+#include <span>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "cvg/core/config.hpp"
 #include "cvg/core/types.hpp"
+#include "cvg/mem/slot_map.hpp"
 #include "cvg/topology/tree.hpp"
 
 namespace cvg::certify {
@@ -62,23 +63,23 @@ class AttachmentScheme {
 
   /// True iff y is currently a (tracked) residue.
   [[nodiscard]] bool is_residue(NodeId y) const {
-    return guardian_.contains(y);
+    return !guardian_[y].is_null();
   }
 
   /// Algorithm 4: processes matching pair (x_d, x_u) against the working
   /// heights `heights` (the intermediate configuration C_P), updating both
   /// the attachments and the two nodes' entries in `heights`.
-  void process_pair(NodeId x_d, NodeId x_u, std::vector<Height>& heights);
+  void process_pair(NodeId x_d, NodeId x_u, std::span<Height> heights);
 
   /// Handles the unmatched rightmost down node (Theorem 4.13's closing
   /// argument): drops its top packet, releasing that packet's residues.
-  void process_unmatched_down(NodeId x, std::vector<Height>& heights);
+  void process_unmatched_down(NodeId x, std::span<Height> heights);
 
   /// Handles an unmatched up node (the leading-zero, or the second copy of
   /// a 0 → 2 "2up" at the empty frontier): its height rises by one without
   /// creating slots.  Checks it was not a residue and stays below the
   /// slot-bearing heights.
-  void process_unmatched_up(NodeId x, std::vector<Height>& heights);
+  void process_unmatched_up(NodeId x, std::span<Height> heights);
 
   /// Verifies Rules 1–2 plus fullness against `config`, and — given the
   /// topology — the positional Rules 3–5 (path mode) or 6–7 (tree mode),
@@ -95,7 +96,7 @@ class AttachmentScheme {
 
   /// Number of current attachments.
   [[nodiscard]] std::size_t attachment_count() const noexcept {
-    return occupant_.size();
+    return attachments_.size();
   }
 
   /// Human-readable dump of all attachments around node x (Figure 1 style).
@@ -109,16 +110,35 @@ class AttachmentScheme {
   void detach_slot(NodeId x, Height i, Height j);
 
  private:
-  static std::uint64_t key(NodeId x, Height i, Height j) noexcept {
-    return (static_cast<std::uint64_t>(x) << 20) |
-           (static_cast<std::uint64_t>(i) << 10) |
-           static_cast<std::uint64_t>(j);
-  }
+  /// One live attachment: residue `residue` occupies slot `slot`.  Owned by
+  /// the generational slot map, so every cross-reference to it is a
+  /// `mem::SlotHandle` — a recycled attachment can never serve a stale
+  /// reference (access through an old handle trips CVG_CHECK).
+  struct Attachment {
+    Slot slot;
+    NodeId residue = kNoNode;
+  };
+
+  /// Handle for the attachment occupying slot (x, i, j), or null.  Linear
+  /// scan over x's attachment list: a node of height h carries O(h²) slots
+  /// and h is certified ≤ O(log n), so the list stays small; the scan is
+  /// hash-free and the list's capacity is retained across churn
+  /// (fixed-footprint hot path).
+  [[nodiscard]] mem::SlotHandle find_slot(NodeId x, Height i, Height j) const;
 
   std::size_t node_count_;
   ResidueMode mode_;
-  std::unordered_map<std::uint64_t, NodeId> occupant_;  // slot → residue
-  std::unordered_map<NodeId, Slot> guardian_;           // residue → slot
+  /// All live attachments; the single owner.
+  mem::SlotMap<Attachment> attachments_;
+  /// Per guardian node x: handles of the attachments whose slot lives on x
+  /// (the occupant index).  Swap-removed on detach, capacity retained.
+  std::vector<std::vector<mem::SlotHandle>> slots_of_;
+  /// Per node y: handle of the attachment in which y is the residue, or
+  /// null (the guardian index — Rule 2's injectivity makes it single-valued).
+  std::vector<mem::SlotHandle> guardian_;
+  /// `process_pair` scratch (top-packet occupants); sized per call with
+  /// retained capacity.
+  std::vector<NodeId> top_scratch_;
 };
 
 }  // namespace cvg::certify

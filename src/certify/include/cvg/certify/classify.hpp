@@ -53,4 +53,12 @@ struct StepClassification {
                                                const Configuration& after,
                                                const StepRecord& record);
 
+/// In-place variant: rebuilds the classification into `out`, reusing its
+/// storage.  Allocation-free once `out.classes` has reached node_count
+/// capacity — the certifiers call this every step (fixed-footprint hot
+/// path).
+void classify_step(const Tree& tree, const Configuration& before,
+                   const Configuration& after, const StepRecord& record,
+                   StepClassification& out);
+
 }  // namespace cvg::certify

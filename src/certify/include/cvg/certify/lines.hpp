@@ -36,6 +36,11 @@ struct LinesDecomposition {
   std::uint32_t injected_line = npos;      ///< line holding the injected node
 
   static constexpr std::uint32_t npos = 0xffffffff;
+
+  /// Builder scratch (marks of the injected node's sink path); not part of
+  /// the decomposition proper.  Lives here so the in-place builder reuses
+  /// its capacity across rounds.
+  std::vector<char> injected_path_scratch;
 };
 
 /// Builds the decomposition for the round described by `record` (with
@@ -44,5 +49,13 @@ struct LinesDecomposition {
 [[nodiscard]] LinesDecomposition build_lines(const Tree& tree,
                                              const Configuration& before,
                                              const StepRecord& record);
+
+/// In-place variant: rebuilds the decomposition into `out`, reusing the
+/// per-line node vectors.  The number of lines is a topological invariant
+/// (heads = non-priority children plus the sink's children regardless of
+/// which child wins priority), so after the first round on a tree the
+/// rebuild allocates only while some line grows past its high-water mark.
+void build_lines(const Tree& tree, const Configuration& before,
+                 const StepRecord& record, LinesDecomposition& out);
 
 }  // namespace cvg::certify

@@ -12,6 +12,7 @@
 #include "cvg/certify/classify.hpp"
 #include "cvg/certify/path_matching.hpp"
 #include "cvg/core/step.hpp"
+#include "cvg/mem/arena.hpp"
 #include "cvg/sim/simulator.hpp"
 
 namespace cvg::certify {
@@ -54,6 +55,15 @@ class PathCertifier {
   Configuration prev_;  // last certified configuration
   Step validate_every_;
   Step steps_ = 0;
+  /// Per-observe state, reused across steps so the certifier's hot path
+  /// stops allocating once every buffer reaches its high-water mark
+  /// (fixed-footprint discipline; see docs/ANALYSIS.md).
+  StepClassification cls_;
+  PathMatchingWorkspace match_ws_;
+  PathMatching matching_;
+  /// Step-scoped scratch (the work-height array and the reordered pair
+  /// list): `reset()` at the top of every `observe`, chunks retained.
+  mem::Arena arena_;
 };
 
 }  // namespace cvg::certify

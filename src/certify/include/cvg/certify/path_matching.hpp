@@ -40,11 +40,29 @@ struct PathMatching {
   NodeId unmatched = kNoNode;
 };
 
+/// Reusable staging buffers for `build_path_matching`: the left-to-right
+/// non-steady sequence.  Owned by the caller (the certifier keeps one per
+/// instance) so the per-step rebuild reuses capacity instead of allocating.
+struct PathMatchingWorkspace {
+  struct Entry {
+    NodeId node;
+    bool is_up;  ///< up-typed (up or one of the 2up copies) vs down-typed
+  };
+  std::vector<Entry> order;
+};
+
 /// Runs Algorithm 2 for the step `before` → `after` on a directed path and
 /// verifies Claim 1 and the height conditions of Lemma 4.4.
 [[nodiscard]] PathMatching build_path_matching(const Tree& tree,
                                                const Configuration& before,
                                                const Configuration& after,
                                                const StepClassification& cls);
+
+/// In-place variant: rebuilds the matching into `out` through `ws`,
+/// reusing both buffers' capacity (the certifier's per-step hot path).
+void build_path_matching(const Tree& tree, const Configuration& before,
+                         const Configuration& after,
+                         const StepClassification& cls,
+                         PathMatchingWorkspace& ws, PathMatching& out);
 
 }  // namespace cvg::certify

@@ -12,6 +12,7 @@
 #include "cvg/certify/classify.hpp"
 #include "cvg/certify/lines.hpp"
 #include "cvg/certify/tree_matching.hpp"
+#include "cvg/mem/arena.hpp"
 #include "cvg/sim/simulator.hpp"
 
 namespace cvg::certify {
@@ -48,6 +49,16 @@ class TreeCertifier {
   Configuration prev_;
   Step validate_every_;
   Step steps_ = 0;
+  /// Per-observe state, reused across steps so the certifier's hot path
+  /// stops allocating once every buffer reaches its high-water mark
+  /// (fixed-footprint discipline; see docs/ANALYSIS.md).
+  StepClassification cls_;
+  LinesDecomposition lines_;
+  TreeMatchingWorkspace match_ws_;
+  TreeMatching matching_;
+  /// Step-scoped scratch (the work-height array and the reordered pair
+  /// list): `reset()` at the top of every `observe`, chunks retained.
+  mem::Arena arena_;
 };
 
 }  // namespace cvg::certify

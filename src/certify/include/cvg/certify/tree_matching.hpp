@@ -31,6 +31,24 @@ struct TreeMatching {
   std::vector<NodeId> unmatched_ups;    ///< height-0 frontier rises
 };
 
+/// Reusable staging buffers for `build_tree_matching`: per-line entry
+/// sequences, the crossover list, and the Lemma 5.3 path-walk scratch.
+/// Owned by the caller (the certifier keeps one per instance); every vector
+/// is cleared, never shrunk, so per-step rebuilds stop allocating once the
+/// buffers reach their high-water marks.
+struct TreeMatchingWorkspace {
+  struct Entry {
+    NodeId node = kNoNode;
+    bool is_up = false;
+    bool taken = false;  ///< stolen by a crossover (downs) or exported (ups)
+  };
+  std::vector<std::vector<Entry>> entries;  ///< per line, leaf to head
+  std::vector<TreeMatchPair> crossovers;
+  std::vector<char> on_up;         ///< Lemma 5.3 ancestor marks (n-sized)
+  std::vector<NodeId> down_chain;  ///< Lemma 5.3: x_d .. child-of-LCA
+  std::vector<NodeId> up_chain;    ///< Lemma 5.3: x_u .. child-of-LCA
+};
+
 /// Runs per-line Algorithm 2 plus the Algorithm 6 crossover cascade and
 /// verifies the §5 structural claims (Lemma 5.1/5.2 analogues) along the way.
 [[nodiscard]] TreeMatching build_tree_matching(const Tree& tree,
@@ -38,5 +56,13 @@ struct TreeMatching {
                                                const Configuration& after,
                                                const StepClassification& cls,
                                                const LinesDecomposition& lines);
+
+/// In-place variant: rebuilds the matching into `out` through `ws`,
+/// reusing both buffers' capacity (the certifier's per-step hot path).
+void build_tree_matching(const Tree& tree, const Configuration& before,
+                         const Configuration& after,
+                         const StepClassification& cls,
+                         const LinesDecomposition& lines,
+                         TreeMatchingWorkspace& ws, TreeMatching& out);
 
 }  // namespace cvg::certify

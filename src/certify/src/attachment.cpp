@@ -7,17 +7,29 @@
 namespace cvg::certify {
 
 AttachmentScheme::AttachmentScheme(std::size_t node_count, ResidueMode mode)
-    : node_count_(node_count), mode_(mode) {}
+    : node_count_(node_count),
+      mode_(mode),
+      slots_of_(node_count),
+      guardian_(node_count) {}
+
+mem::SlotHandle AttachmentScheme::find_slot(NodeId x, Height i,
+                                            Height j) const {
+  for (const mem::SlotHandle h : slots_of_[x]) {
+    const Attachment& a = attachments_[h];
+    if (a.slot.i == i && a.slot.j == j) return h;
+  }
+  return {};
+}
 
 NodeId AttachmentScheme::occupant(NodeId x, Height i, Height j) const {
-  const auto it = occupant_.find(key(x, i, j));
-  return it == occupant_.end() ? kNoNode : it->second;
+  const mem::SlotHandle h = find_slot(x, i, j);
+  return h.is_null() ? kNoNode : attachments_[h].residue;
 }
 
 std::optional<Slot> AttachmentScheme::guardian_of(NodeId y) const {
-  const auto it = guardian_.find(y);
-  if (it == guardian_.end()) return std::nullopt;
-  return it->second;
+  const mem::SlotHandle h = guardian_[y];
+  if (h.is_null()) return std::nullopt;
+  return attachments_[h].slot;
 }
 
 void AttachmentScheme::attach(NodeId x, Height i, Height j, NodeId y) {
@@ -25,25 +37,40 @@ void AttachmentScheme::attach(NodeId x, Height i, Height j, NodeId y) {
   CVG_CHECK(tracked(j));
   CVG_CHECK(j >= 1 && j <= i - 2) << "slot (" << x << "," << i << "," << j
                                   << ") out of range";
-  const auto [it, inserted] = occupant_.emplace(key(x, i, j), y);
-  CVG_CHECK(inserted) << "slot (" << x << "," << i << "," << j
-                      << ") already occupied by " << it->second;
-  const auto [git, ginserted] = guardian_.emplace(y, Slot{x, i, j});
-  CVG_CHECK(ginserted) << "node " << y << " is already a residue of ("
-                       << git->second.x << "," << git->second.i << ","
-                       << git->second.j << ")";
+  const mem::SlotHandle existing = find_slot(x, i, j);
+  CVG_CHECK(existing.is_null())
+      << "slot (" << x << "," << i << "," << j << ") already occupied by "
+      << attachments_[existing].residue;
+  const mem::SlotHandle prior = guardian_[y];
+  CVG_CHECK(prior.is_null()) << "node " << y << " is already a residue of ("
+                             << attachments_[prior].slot.x << ","
+                             << attachments_[prior].slot.i << ","
+                             << attachments_[prior].slot.j << ")";
+  const mem::SlotHandle h = attachments_.insert(Attachment{Slot{x, i, j}, y});
+  slots_of_[x].push_back(h);
+  guardian_[y] = h;
 }
 
 void AttachmentScheme::detach_slot(NodeId x, Height i, Height j) {
-  const auto it = occupant_.find(key(x, i, j));
-  CVG_CHECK(it != occupant_.end())
+  const mem::SlotHandle h = find_slot(x, i, j);
+  CVG_CHECK(!h.is_null())
       << "detaching empty slot (" << x << "," << i << "," << j << ")";
-  guardian_.erase(it->second);
-  occupant_.erase(it);
+  guardian_[attachments_[h].residue] = {};
+  std::vector<mem::SlotHandle>& list = slots_of_[x];
+  for (std::size_t k = 0; k < list.size(); ++k) {
+    if (list[k] == h) {
+      list[k] = list.back();
+      list.pop_back();
+      break;
+    }
+  }
+  // Generation bump: any handle to this attachment still held anywhere is
+  // now detectably stale (access trips CVG_CHECK instead of aliasing).
+  attachments_.erase(h);
 }
 
 void AttachmentScheme::process_pair(NodeId x_d, NodeId x_u,
-                                    std::vector<Height>& heights) {
+                                    std::span<Height> heights) {
   const Height h_d = heights[x_d];
   const Height h_u = heights[x_u];
 
@@ -82,14 +109,16 @@ void AttachmentScheme::process_pair(NodeId x_d, NodeId x_u,
 
   // Snapshot x_u's guardian in A_P and the occupants of x_d's top packet.
   const std::optional<Slot> u_guardian = guardian_of(x_u);
-  std::vector<NodeId> top(static_cast<std::size_t>(std::max(h_d - 1, Height{0})),
-                          kNoNode);  // top[j] = att(x_d[h_d, j])
+  // top_scratch_[j] = att(x_d[h_d, j]); member scratch so the per-pair hot
+  // path allocates nothing once its capacity has plateaued.
+  top_scratch_.assign(static_cast<std::size_t>(std::max(h_d - 1, Height{0})),
+                      kNoNode);
   for (Height j = 1; j <= h_d - 2; ++j) {
     if (!tracked(j)) continue;
     const NodeId y = occupant(x_d, h_d, j);
     CVG_CHECK(y != kNoNode) << "scheme not full: slot (" << x_d << "," << h_d
                             << "," << j << ") empty at pair processing";
-    top[static_cast<std::size_t>(j)] = y;
+    top_scratch_[static_cast<std::size_t>(j)] = y;
   }
 
   // Lines 4–6: if x_u occupies a *surviving* slot of x_d at level h_u, swap
@@ -99,7 +128,7 @@ void AttachmentScheme::process_pair(NodeId x_d, NodeId x_u,
     CVG_CHECK(h_u <= h_d - 2)
         << "swap target slot (" << x_d << "," << h_d << "," << h_u
         << ") does not exist";
-    const NodeId w = top[static_cast<std::size_t>(h_u)];
+    const NodeId w = top_scratch_[static_cast<std::size_t>(h_u)];
     detach_slot(x_d, u_guardian->i, h_u);
     detach_slot(x_d, h_d, h_u);
     attach(x_d, u_guardian->i, h_u, w);
@@ -115,7 +144,7 @@ void AttachmentScheme::process_pair(NodeId x_d, NodeId x_u,
   const Height pass_limit = std::min<Height>(h_d - 2, h_u - 1);
   for (Height j = 1; j <= pass_limit; ++j) {
     if (!tracked(j)) continue;
-    attach(x_u, h_u + 1, j, top[static_cast<std::size_t>(j)]);
+    attach(x_u, h_u + 1, j, top_scratch_[static_cast<std::size_t>(j)]);
   }
 
   // Lines 8–10: equal heights — x_d itself becomes a residue of x_u, filling
@@ -142,7 +171,7 @@ void AttachmentScheme::process_pair(NodeId x_d, NodeId x_u,
             << "unexpected pair heights with residue up node (h_d=" << h_d
             << ", h_u=" << h_u << ")";
         // The resident of x_d's vanished slot at level h_u takes the place.
-        const NodeId y = top[static_cast<std::size_t>(h_u)];
+        const NodeId y = top_scratch_[static_cast<std::size_t>(h_u)];
         CVG_CHECK(y != kNoNode && y != x_u);
         attach(g.x, g.i, g.j, y);
       }
@@ -154,7 +183,7 @@ void AttachmentScheme::process_pair(NodeId x_d, NodeId x_u,
 }
 
 void AttachmentScheme::process_unmatched_down(NodeId x,
-                                              std::vector<Height>& heights) {
+                                              std::span<Height> heights) {
   const Height h = heights[x];
   CVG_CHECK(h >= 1);
   CVG_CHECK(!is_residue(x))
@@ -167,7 +196,7 @@ void AttachmentScheme::process_unmatched_down(NodeId x,
 }
 
 void AttachmentScheme::process_unmatched_up(NodeId x,
-                                            std::vector<Height>& heights) {
+                                            std::span<Height> heights) {
   // Only nodes of (work) height ≤ 1 can rise unmatched: the resulting
   // height ≤ 2 carries no slots, so fullness is unaffected, and a node that
   // started the step at height 0 cannot be a residue.
@@ -228,13 +257,19 @@ void AttachmentScheme::validate(const Tree& tree,
   }
   // No stale attachments beyond standing packets, and maps are mutually
   // consistent (Rule 2's injectivity is enforced structurally by attach()).
-  CVG_CHECK(occupant_.size() == expected_slots)
-      << "attachment count " << occupant_.size() << " != expected "
+  CVG_CHECK(attachments_.size() == expected_slots)
+      << "attachment count " << attachments_.size() << " != expected "
       << expected_slots << " (stale slots exist)";
-  CVG_CHECK(guardian_.size() == occupant_.size());
+  std::size_t guarded = 0;
+  for (const mem::SlotHandle h : guardian_) {
+    if (!h.is_null()) ++guarded;
+  }
+  CVG_CHECK(guarded == attachments_.size());
 
   // Positional rules.
-  for (const auto& [y, slot] : guardian_) {
+  attachments_.for_each([&](mem::SlotHandle, const Attachment& att) {
+    const Slot& slot = att.slot;
+    const NodeId y = att.residue;
     const NodeId x = slot.x;
     const Height hy = config.height(y);
     CVG_CHECK(hy == slot.j);
@@ -309,7 +344,7 @@ void AttachmentScheme::validate(const Tree& tree,
         }
       }
     }
-  }
+  });
 
   // Lemma 4.6/4.7: the tallest node's transitive residue requirement must
   // fit among the other nodes.

@@ -7,13 +7,23 @@ namespace cvg::certify {
 StepClassification classify_step(const Tree& tree, const Configuration& before,
                                  const Configuration& after,
                                  const StepRecord& record) {
+  StepClassification out;
+  classify_step(tree, before, after, record, out);
+  return out;
+}
+
+void classify_step(const Tree& tree, const Configuration& before,
+                   const Configuration& after, const StepRecord& record,
+                   StepClassification& out) {
   const std::size_t n = tree.node_count();
   CVG_CHECK(before.node_count() == n && after.node_count() == n);
   CVG_CHECK(record.injections.size() <= 1)
       << "classification requires capacity c = 1";
 
-  StepClassification out;
   out.classes.assign(n, NodeClass::Steady);
+  out.injected = kNoNode;
+  out.leading_zero = kNoNode;
+  out.two_up = kNoNode;
   if (!record.injections.empty()) out.injected = record.injections[0];
 
   for (NodeId v = 1; v < n; ++v) {
@@ -66,7 +76,6 @@ StepClassification classify_step(const Tree& tree, const Configuration& before,
       }
     }
   }
-  return out;
 }
 
 }  // namespace cvg::certify

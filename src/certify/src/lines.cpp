@@ -8,6 +8,13 @@ namespace cvg::certify {
 
 LinesDecomposition build_lines(const Tree& tree, const Configuration& before,
                                const StepRecord& record) {
+  LinesDecomposition out;
+  build_lines(tree, before, record, out);
+  return out;
+}
+
+void build_lines(const Tree& tree, const Configuration& before,
+                 const StepRecord& record, LinesDecomposition& out) {
   const std::size_t n = tree.node_count();
   CVG_CHECK(record.injections.size() <= 1) << "lines require capacity c = 1";
   const NodeId injected =
@@ -15,14 +22,16 @@ LinesDecomposition build_lines(const Tree& tree, const Configuration& before,
 
   // Mark the injected node's path to the sink so rule 2 (priority = branch
   // holding the injection) is O(1) per intersection.
-  std::vector<char> on_injected_path(n, 0);
+  std::vector<char>& on_injected_path = out.injected_path_scratch;
+  on_injected_path.assign(n, 0);
   if (injected != kNoNode) {
     for (NodeId w = injected; w != kNoNode; w = tree.parent(w)) {
       on_injected_path[w] = 1;
     }
   }
 
-  LinesDecomposition out;
+  out.drain = LinesDecomposition::npos;
+  out.injected_line = LinesDecomposition::npos;
   out.priority_child.assign(n, kNoNode);
   for (NodeId v = 0; v < n; ++v) {
     const auto children = tree.children(v);
@@ -68,6 +77,7 @@ LinesDecomposition build_lines(const Tree& tree, const Configuration& before,
   // running backwards through priority children; stored leaf-first.
   out.line_of.assign(n, LinesDecomposition::npos);
   out.pos_in_line.assign(n, LinesDecomposition::npos);
+  std::size_t line_count = 0;
   for (NodeId head = 1; head < n; ++head) {
     const NodeId parent = tree.parent(head);
     // Every child of the sink heads a line (the priority one is the drain);
@@ -77,14 +87,16 @@ LinesDecomposition build_lines(const Tree& tree, const Configuration& before,
         parent == Tree::sink() || out.priority_child[parent] != head;
     if (!is_head) continue;
 
-    Line line;
+    if (line_count == out.lines.size()) out.lines.emplace_back();
+    Line& line = out.lines[line_count];
+    line.nodes.clear();
     NodeId cur = head;
     while (cur != kNoNode) {
       line.nodes.push_back(cur);
       cur = out.priority_child[cur];
     }
     std::reverse(line.nodes.begin(), line.nodes.end());
-    const auto index = static_cast<std::uint32_t>(out.lines.size());
+    const auto index = static_cast<std::uint32_t>(line_count);
     for (std::size_t pos = 0; pos < line.nodes.size(); ++pos) {
       out.line_of[line.nodes[pos]] = index;
       out.pos_in_line[line.nodes[pos]] = static_cast<std::uint32_t>(pos);
@@ -92,8 +104,9 @@ LinesDecomposition build_lines(const Tree& tree, const Configuration& before,
     if (parent == Tree::sink() && out.priority_child[Tree::sink()] == head) {
       out.drain = index;
     }
-    out.lines.push_back(std::move(line));
+    ++line_count;
   }
+  out.lines.resize(line_count);
 
   // Every non-sink node landed in exactly one line.
   for (NodeId v = 1; v < n; ++v) {
@@ -105,7 +118,6 @@ LinesDecomposition build_lines(const Tree& tree, const Configuration& before,
   if (injected != kNoNode && injected != Tree::sink()) {
     out.injected_line = out.line_of[injected];
   }
-  return out;
 }
 
 }  // namespace cvg::certify

@@ -1,5 +1,8 @@
 #include "cvg/certify/path_certifier.hpp"
 
+#include <algorithm>
+#include <span>
+
 #include "cvg/util/check.hpp"
 
 namespace cvg::certify {
@@ -14,8 +17,11 @@ PathCertifier::PathCertifier(const Tree& tree, Step validate_every)
 
 void PathCertifier::observe(const Configuration& after,
                             const StepRecord& record) {
-  const StepClassification cls = classify_step(*tree_, prev_, after, record);
-  const PathMatching matching = build_path_matching(*tree_, prev_, after, cls);
+  classify_step(*tree_, prev_, after, record, cls_);
+  const StepClassification& cls = cls_;
+  build_path_matching(*tree_, prev_, after, cls, match_ws_, matching_);
+  const PathMatching& matching = matching_;
+  arena_.reset();
 
   // Work heights = the intermediate configuration C_P, advanced pair by pair
   // (Algorithm 3).  Disjoint pairs commute; only the 2up node's two pairs
@@ -26,7 +32,9 @@ void PathCertifier::observe(const Configuration& after,
   // cases are mutually exclusive — a == h needs h odd, b == h needs h even —
   // which is why a correct order always exists.  Found by replaying the
   // exhaustive search's optimal schedules; see integration_test.cpp.)
-  std::vector<PathMatchPair> ordered(matching.pairs);
+  const std::span<PathMatchPair> ordered =
+      arena_.make_array<PathMatchPair>(matching.pairs.size());
+  std::copy(matching.pairs.begin(), matching.pairs.end(), ordered.begin());
   if (cls.two_up != kNoNode && prev_.height(cls.two_up) % 2 == 0) {
     for (std::size_t i = 0; i + 1 < ordered.size(); ++i) {
       if (ordered[i].up == cls.two_up && ordered[i + 1].up == cls.two_up) {
@@ -35,7 +43,9 @@ void PathCertifier::observe(const Configuration& after,
       }
     }
   }
-  std::vector<Height> work(prev_.heights().begin(), prev_.heights().end());
+  const std::span<Height> work =
+      arena_.make_array<Height>(tree_->node_count());
+  std::copy(prev_.heights().begin(), prev_.heights().end(), work.begin());
   for (const PathMatchPair& pair : ordered) {
     scheme_.process_pair(pair.down, pair.up, work);
   }

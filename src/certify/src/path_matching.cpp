@@ -37,15 +37,23 @@ void check_pair_interior(const Configuration& before, const PathMatchPair& pair,
 PathMatching build_path_matching(const Tree& tree, const Configuration& before,
                                  const Configuration& after,
                                  const StepClassification& cls) {
+  PathMatchingWorkspace ws;
+  PathMatching out;
+  build_path_matching(tree, before, after, cls, ws, out);
+  return out;
+}
+
+void build_path_matching(const Tree& tree, const Configuration& before,
+                         const Configuration& after,
+                         const StepClassification& cls,
+                         PathMatchingWorkspace& ws, PathMatching& out) {
   CVG_CHECK(tree.is_path()) << "path matching requires a path topology";
   const std::size_t n = tree.node_count();
 
   // X: non-steady nodes left to right (= descending id), the 2up node twice.
-  struct Entry {
-    NodeId node;
-    bool is_up;  // up-typed (up or one of the 2up copies) vs down-typed
-  };
-  std::vector<Entry> order;
+  using Entry = PathMatchingWorkspace::Entry;
+  std::vector<Entry>& order = ws.order;
+  order.clear();
   for (NodeId v = static_cast<NodeId>(n - 1); v >= 1; --v) {
     switch (cls.of(v)) {
       case NodeClass::Steady:
@@ -63,7 +71,9 @@ PathMatching build_path_matching(const Tree& tree, const Configuration& before,
     }
   }
 
-  PathMatching matching;
+  PathMatching& matching = out;
+  matching.pairs.clear();
+  matching.unmatched = kNoNode;
   std::size_t i = 0;
   for (; i + 1 < order.size(); i += 2) {
     const Entry& a = order[i];
@@ -99,8 +109,6 @@ PathMatching build_path_matching(const Tree& tree, const Configuration& before,
       CVG_CHECK(after.height(last.node) == before.height(last.node) - 1);
     }
   }
-
-  return matching;
 }
 
 }  // namespace cvg::certify

@@ -1,5 +1,8 @@
 #include "cvg/certify/tree_certifier.hpp"
 
+#include <algorithm>
+#include <span>
+
 #include "cvg/util/check.hpp"
 
 namespace cvg::certify {
@@ -12,14 +15,19 @@ TreeCertifier::TreeCertifier(const Tree& tree, Step validate_every)
 
 void TreeCertifier::observe(const Configuration& after,
                             const StepRecord& record) {
-  const StepClassification cls = classify_step(*tree_, prev_, after, record);
-  const LinesDecomposition lines = build_lines(*tree_, prev_, record);
-  const TreeMatching matching =
-      build_tree_matching(*tree_, prev_, after, cls, lines);
+  classify_step(*tree_, prev_, after, record, cls_);
+  const StepClassification& cls = cls_;
+  build_lines(*tree_, prev_, record, lines_);
+  const LinesDecomposition& lines = lines_;
+  build_tree_matching(*tree_, prev_, after, cls, lines, match_ws_, matching_);
+  const TreeMatching& matching = matching_;
+  arena_.reset();
 
   // The 2up node's two pairs are processed in a parity-dependent order
   // (see PathCertifier::observe): even-height 2up → its second pair first.
-  std::vector<TreeMatchPair> ordered(matching.pairs);
+  const std::span<TreeMatchPair> ordered =
+      arena_.make_array<TreeMatchPair>(matching.pairs.size());
+  std::copy(matching.pairs.begin(), matching.pairs.end(), ordered.begin());
   if (cls.two_up != kNoNode && prev_.height(cls.two_up) % 2 == 0) {
     std::size_t first = ordered.size();
     std::size_t second = ordered.size();
@@ -34,7 +42,9 @@ void TreeCertifier::observe(const Configuration& after,
     }
     if (second != ordered.size()) std::swap(ordered[first], ordered[second]);
   }
-  std::vector<Height> work(prev_.heights().begin(), prev_.heights().end());
+  const std::span<Height> work =
+      arena_.make_array<Height>(tree_->node_count());
+  std::copy(prev_.heights().begin(), prev_.heights().end(), work.begin());
   for (const TreeMatchPair& pair : ordered) {
     scheme_.process_pair(pair.down, pair.up, work);
   }

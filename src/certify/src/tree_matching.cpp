@@ -8,15 +8,13 @@ namespace cvg::certify {
 
 namespace {
 
-struct Entry {
-  NodeId node = kNoNode;
-  bool is_up = false;
-  bool taken = false;  // stolen by a crossover (downs) or exported (ups)
-};
+using Entry = TreeMatchingWorkspace::Entry;
 
 /// Non-steady entries of one line, leaf to head, with the 2up doubled.
-std::vector<Entry> line_entries(const Line& line, const StepClassification& cls) {
-  std::vector<Entry> entries;
+/// Fills `entries` in place, reusing its capacity.
+void line_entries(const Line& line, const StepClassification& cls,
+                  std::vector<Entry>& entries) {
+  entries.clear();
   for (const NodeId v : line.nodes) {
     switch (cls.of(v)) {
       case NodeClass::Steady:
@@ -33,7 +31,6 @@ std::vector<Entry> line_entries(const Line& line, const StepClassification& cls)
         break;
     }
   }
-  return entries;
 }
 
 /// Lemma 5.3: along the path from x_d to x_u the heights (at the start of
@@ -43,13 +40,19 @@ std::vector<Entry> line_entries(const Line& line, const StepClassification& cls)
 /// (their effective heights are staged; the scheme's fillability check
 /// covers them).
 void check_lemma_5_3(const Tree& tree, const Configuration& before,
-                     NodeId x_d, NodeId x_u) {
-  // Ancestor chains up to the lowest common ancestor.
-  std::vector<NodeId> up_chain;  // x_u .. child-of-LCA
-  std::vector<char> on_up(tree.node_count(), 0);
+                     NodeId x_d, NodeId x_u, TreeMatchingWorkspace& ws) {
+  // Ancestor chains up to the lowest common ancestor.  The mark array is
+  // set and then *unset* along the same x_u → root walk, so one check costs
+  // O(path length), not O(n), and the workspace buffers make it
+  // allocation-free after warm-up.
+  if (ws.on_up.size() < tree.node_count()) {
+    ws.on_up.assign(tree.node_count(), 0);
+  }
+  std::vector<char>& on_up = ws.on_up;
   for (NodeId w = x_u; w != kNoNode; w = tree.parent(w)) on_up[w] = 1;
   NodeId lca = kNoNode;
-  std::vector<NodeId> down_chain;  // x_d .. child-of-LCA
+  std::vector<NodeId>& down_chain = ws.down_chain;  // x_d .. child-of-LCA
+  down_chain.clear();
   for (NodeId w = x_d; w != kNoNode; w = tree.parent(w)) {
     if (on_up[w]) {
       lca = w;
@@ -58,19 +61,27 @@ void check_lemma_5_3(const Tree& tree, const Configuration& before,
     down_chain.push_back(w);
   }
   CVG_CHECK(lca != kNoNode);
+  std::vector<NodeId>& up_chain = ws.up_chain;  // x_u .. child-of-LCA
+  up_chain.clear();
   for (NodeId w = x_u; w != lca; w = tree.parent(w)) up_chain.push_back(w);
+  for (NodeId w = x_u; w != kNoNode; w = tree.parent(w)) on_up[w] = 0;
 
-  // Sequence from x_d towards x_u, omitting the tip (the LCA) unless the
-  // LCA is an endpoint (then there is no turn and it participates).
-  std::vector<NodeId> seq = down_chain;          // x_d ... below-LCA
-  if (lca == x_d || lca == x_u) seq.push_back(lca);
+  // Walk from x_d towards x_u, omitting the tip (the LCA) unless the LCA is
+  // an endpoint (then there is no turn and it participates): the down chain
+  // in order, then the up chain reversed.
+  if (lca == x_d || lca == x_u) down_chain.push_back(lca);
+  NodeId prev = kNoNode;
+  const auto check_edge = [&](NodeId next) {
+    if (prev != kNoNode) {
+      CVG_CHECK(before.height(prev) >= before.height(next))
+          << "Lemma 5.3 violated on pair (" << x_d << "," << x_u
+          << ") between nodes " << prev << " and " << next;
+    }
+    prev = next;
+  };
+  for (const NodeId w : down_chain) check_edge(w);
   for (auto it = up_chain.rbegin(); it != up_chain.rend(); ++it) {
-    seq.push_back(*it);                          // below-LCA ... x_u
-  }
-  for (std::size_t i = 1; i < seq.size(); ++i) {
-    CVG_CHECK(before.height(seq[i - 1]) >= before.height(seq[i]))
-        << "Lemma 5.3 violated on pair (" << x_d << "," << x_u
-        << ") between nodes " << seq[i - 1] << " and " << seq[i];
+    check_edge(*it);
   }
 }
 
@@ -90,15 +101,31 @@ std::size_t leftover_index(const std::vector<Entry>& entries) {
 }  // namespace
 
 TreeMatching build_tree_matching(const Tree& tree, const Configuration& before,
-                                 const Configuration& /*after*/,
+                                 const Configuration& after,
                                  const StepClassification& cls,
                                  const LinesDecomposition& lines) {
-  constexpr auto kNone = static_cast<std::size_t>(-1);
+  TreeMatchingWorkspace ws;
   TreeMatching out;
+  build_tree_matching(tree, before, after, cls, lines, ws, out);
+  return out;
+}
 
-  std::vector<std::vector<Entry>> entries(lines.lines.size());
+void build_tree_matching(const Tree& tree, const Configuration& before,
+                         const Configuration& /*after*/,
+                         const StepClassification& cls,
+                         const LinesDecomposition& lines,
+                         TreeMatchingWorkspace& ws, TreeMatching& out) {
+  constexpr auto kNone = static_cast<std::size_t>(-1);
+  out.pairs.clear();
+  out.unmatched_downs.clear();
+  out.unmatched_ups.clear();
+
+  // Line count is a topological invariant, so this resize settles after the
+  // first round; the per-line vectors are refilled in place.
+  ws.entries.resize(lines.lines.size());
+  std::vector<std::vector<Entry>>& entries = ws.entries;
   for (std::size_t i = 0; i < lines.lines.size(); ++i) {
-    entries[i] = line_entries(lines.lines[i], cls);
+    line_entries(lines.lines[i], cls, entries[i]);
   }
 
   // The crossover cascade.  At most one surplus up exists at a time: it
@@ -106,7 +133,8 @@ TreeMatching build_tree_matching(const Tree& tree, const Configuration& before,
   // argument only the injected line can have one — and each crossover
   // consumes it while possibly exposing a new one on a line whose head is
   // strictly closer to the sink, so the loop terminates.
-  std::vector<TreeMatchPair> crossovers;
+  std::vector<TreeMatchPair>& crossovers = ws.crossovers;
+  crossovers.clear();
   for (std::size_t li = 0; li < entries.size(); ++li) {
     if (li == lines.drain) continue;
     std::size_t lo = leftover_index(entries[li]);
@@ -217,9 +245,8 @@ TreeMatching build_tree_matching(const Tree& tree, const Configuration& before,
   // Certify Lemma 5.3 on every pair not involving the 2up node.
   for (const TreeMatchPair& pair : out.pairs) {
     if (pair.up == cls.two_up) continue;
-    check_lemma_5_3(tree, before, pair.down, pair.up);
+    check_lemma_5_3(tree, before, pair.down, pair.up, ws);
   }
-  return out;
 }
 
 }  // namespace cvg::certify

@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file workspace.hpp
+/// Per-instance step workspace: every buffer a substrate touches while
+/// executing one step, allocated once at construction and only `reset()`
+/// between steps.
+///
+/// The fixed-footprint discipline (ROADMAP; docs/ANALYSIS.md) demands that
+/// the steady-state step loop perform zero heap allocations — the model's
+/// nodes are buffer-constrained sensor devices, and the fastest simulator of
+/// a bounded-memory system is itself bounded-memory.  Each simulator
+/// (`Simulator`, `PacketSimulator`, `BidirPathSimulator`, `DagSimulator`)
+/// owns one `StepWorkspace`; the `allocation_audit_test` counting allocator
+/// pins the invariant that warmed-up steps never allocate through it.
+///
+/// Members:
+///  - `record`       — the step's sparse transition record (send list +
+///                     injection list), capacity retained across steps;
+///  - `dense_sends`  — dense policy output scratch with the all-zero
+///                     between-steps invariant (the dense engine zeroes
+///                     exactly the entries it read);
+///  - `occupied`     — the sparse engine's occupied set (height > 0),
+///                     Briggs–Torczon so membership updates are O(1) and
+///                     allocation-free.
+
+#include <cstddef>
+#include <vector>
+
+#include "cvg/core/step.hpp"
+#include "cvg/core/types.hpp"
+#include "cvg/mem/sparse_set.hpp"
+
+namespace cvg {
+
+struct StepWorkspace {
+  StepWorkspace() = default;
+
+  /// Sizes every buffer for a topology of `nodes` nodes and an adversary
+  /// that injects at most `max_injections` packets per step (c + σ).  The
+  /// only allocating member besides copies; never called on the step path.
+  StepWorkspace(std::size_t nodes, std::size_t max_injections)
+      : dense_sends(nodes, 0), occupied(nodes) {
+    record.injections.reserve(max_injections);
+  }
+
+  /// Step's transition record; `begin_step` clears it, capacity retained.
+  StepRecord record;
+
+  /// Dense policy-output scratch.  Invariant: all-zero between steps.
+  std::vector<Capacity> dense_sends;
+
+  /// Nodes with height > 0 — the sparse engine's key.
+  mem::SparseSet<NodeId> occupied;
+
+  /// Opens a new step: clears the record, retaining capacity.  O(1) plus
+  /// O(previous senders) vector clears; no allocation.
+  void begin_step(Step now) { record.reset(now); }
+
+  /// Full reset to the post-construction state (occupied set emptied).
+  /// `dense_sends` is already all-zero by invariant.
+  void reset() {
+    record.reset(0);
+    occupied.clear();
+  }
+};
+
+}  // namespace cvg

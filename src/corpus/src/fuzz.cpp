@@ -340,23 +340,36 @@ FuzzReport fuzz_bucket(CorpusStore& store, const Tree& tree,
   // which keeps runs deterministic for a fixed seed.
   std::vector<Schedule> staged;
   std::vector<std::pair<std::uint64_t, std::string>> staged_meta;
+  staged.reserve(kDefaultReplayLanes);
+  staged_meta.reserve(kDefaultReplayLanes);
 
   const auto flush = [&] {
     if (staged.empty()) return;
     const std::vector<LaneReplayOutcome> scored =
         replay_schedules(tree, policy, sim_options, staged);
+    // Fold the whole batch in with ONE sort + trim instead of re-sorting the
+    // pool per candidate.  Equivalent to the incremental fold: trimming keeps
+    // the globally best `pool_size` candidates either way (the `better` order
+    // is total — fingerprints are unique post-dedup), and an "improvement"
+    // is a candidate whose peak strictly exceeds the running best, which the
+    // running counter reproduces in staging order.
+    Height running_best = pool.empty() ? -1 : pool.front().peak;
     for (std::size_t k = 0; k < staged.size(); ++k) {
       Candidate candidate;
       candidate.schedule = std::move(staged[k]);
       candidate.peak = scored[k].peak;
       candidate.fp = staged_meta[k].first;
       candidate.origin = std::move(staged_meta[k].second);
-      const Height best_before = pool.empty() ? -1 : pool.front().peak;
+      if (candidate.peak > running_best) {
+        running_best = candidate.peak;
+        ++report.pool_improvements;
+      }
       pool.push_back(std::move(candidate));
-      std::sort(pool.begin(), pool.end(), better);
-      if (pool.size() > options.pool_size) pool.resize(options.pool_size);
-      if (pool.front().peak > best_before) ++report.pool_improvements;
     }
+    std::sort(pool.begin(), pool.end(), better);
+    if (pool.size() > options.pool_size) pool.resize(options.pool_size);
+    // Batch buffers keep their capacity: the next `consider` wave refills
+    // them without reallocating (fixed-footprint candidate staging).
     staged.clear();
     staged_meta.clear();
   };

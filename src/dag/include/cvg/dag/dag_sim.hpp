@@ -88,11 +88,19 @@ class DagSimulator {
   }
 
  private:
+  /// Per-instance step workspace (fixed-footprint invariant): every buffer
+  /// the step loop touches, sized once at construction — `edge_sends`
+  /// pre-reserved to the maximum out-degree so the per-node refill never
+  /// allocates, `deltas` sized to the node count.
+  struct Workspace {
+    std::vector<Capacity> edge_sends;  // scratch, per node
+    std::vector<Height> deltas;        // scratch, per step
+  };
+
   const Dag* dag_;
   const DagPolicy* policy_;
   Configuration config_;
-  std::vector<Capacity> edge_sends_;  // scratch, per node
-  std::vector<Height> deltas_;        // scratch, per node
+  Workspace ws_;
   Step now_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t injected_ = 0;

@@ -1,5 +1,4 @@
 #include <algorithm>
-#include <numeric>
 
 #include "cvg/dag/dag_sim.hpp"
 #include "cvg/policy/standard.hpp"
@@ -13,17 +12,25 @@ void DagGreedy::decide(const Dag& dag, const Configuration& heights, NodeId v,
   Height remaining = heights.height(v);
   if (remaining <= 0) return;
 
-  // Lowest successors first (stable on ties: id order is the edge order).
-  std::vector<std::size_t> order(edges.size());
-  std::iota(order.begin(), order.end(), 0u);
-  std::stable_sort(order.begin(), order.end(),
-                   [&](std::size_t a, std::size_t b) {
-                     return heights.height(edges[a]) < heights.height(edges[b]);
-                   });
-  for (const std::size_t e : order) {
-    if (remaining <= 0) break;
-    sends[e] = 1;
-    --remaining;
+  // Lowest successors first (ties: edge order).  When packets cover every
+  // edge the order is moot; otherwise pick the `remaining` lowest by
+  // repeated argmin over the unchosen edges — identical selection and order
+  // to a stable sort, with zero scratch (fixed-footprint hot path: `decide`
+  // runs once per node per step).
+  if (remaining >= static_cast<Height>(edges.size())) {
+    std::fill(sends.begin(), sends.end(), Capacity{1});
+    return;
+  }
+  for (; remaining > 0; --remaining) {
+    std::size_t best = edges.size();
+    for (std::size_t e = 0; e < edges.size(); ++e) {
+      if (sends[e] != 0) continue;
+      if (best == edges.size() ||
+          heights.height(edges[e]) < heights.height(edges[best])) {
+        best = e;
+      }
+    }
+    sends[best] = 1;
   }
 }
 

@@ -12,8 +12,13 @@ static_assert(LocalityAuditingEngine<DagSimulator>);
 
 DagSimulator::DagSimulator(const Dag& dag, const DagPolicy& policy,
                            bool audit_locality)
-    : dag_(&dag), policy_(&policy), config_(dag.node_count()),
-      deltas_(dag.node_count(), 0) {
+    : dag_(&dag), policy_(&policy), config_(dag.node_count()) {
+  ws_.deltas.assign(dag.node_count(), 0);
+  std::size_t max_degree = 0;
+  for (NodeId v = 0; v < dag.node_count(); ++v) {
+    max_degree = std::max(max_degree, dag.out_edges(v).size());
+  }
+  ws_.edge_sends.reserve(max_degree);
   if (audit_locality) {
     auditor_ = LocalityAuditor::for_adjacency(
         undirected_adjacency(dag.node_count(),
@@ -38,31 +43,31 @@ void DagSimulator::step_inject(NodeId t) {
 
   // Decisions from start-of-step heights; effects accumulate in deltas so
   // forwarding is simultaneous.
-  std::fill(deltas_.begin(), deltas_.end(), Height{0});
+  std::fill(ws_.deltas.begin(), ws_.deltas.end(), Height{0});
   std::uint64_t consumed = 0;
   const ScopedLocalityAudit audit(auditor_ ? &*auditor_ : nullptr, now_);
   for (NodeId v = 1; v < n; ++v) {
     const auto edges = dag_->out_edges(v);
-    edge_sends_.assign(edges.size(), 0);
+    ws_.edge_sends.assign(edges.size(), 0);
     {
       const DecisionScope audit_scope(v);
-      policy_->decide(*dag_, config_, v, edge_sends_);
+      policy_->decide(*dag_, config_, v, ws_.edge_sends);
     }
     Capacity total = 0;
     for (std::size_t e = 0; e < edges.size(); ++e) {
-      CVG_CHECK(edge_sends_[e] >= 0 && edge_sends_[e] <= 1)
+      CVG_CHECK(ws_.edge_sends[e] >= 0 && ws_.edge_sends[e] <= 1)
           << "edge capacity is 1";
-      if (edge_sends_[e] == 0) continue;
+      if (ws_.edge_sends[e] == 0) continue;
       ++total;
       if (edges[e] == Dag::sink()) {
         ++consumed;
       } else {
-        deltas_[edges[e]] = static_cast<Height>(deltas_[edges[e]] + 1);
+        ws_.deltas[edges[e]] = static_cast<Height>(ws_.deltas[edges[e]] + 1);
       }
     }
     CVG_CHECK(total <= config_.height(v))
         << "policy over-sent at node " << v;
-    deltas_[v] = static_cast<Height>(deltas_[v] - total);
+    ws_.deltas[v] = static_cast<Height>(ws_.deltas[v] - total);
   }
 
   if (t != kNoNode) {
@@ -71,12 +76,12 @@ void DagSimulator::step_inject(NodeId t) {
     if (t == Dag::sink()) {
       ++delivered_;
     } else {
-      deltas_[t] = static_cast<Height>(deltas_[t] + 1);
+      ws_.deltas[t] = static_cast<Height>(ws_.deltas[t] + 1);
     }
   }
 
   for (NodeId v = 1; v < n; ++v) {
-    if (deltas_[v] != 0) config_.add(v, deltas_[v]);
+    if (ws_.deltas[v] != 0) config_.add(v, ws_.deltas[v]);
   }
   delivered_ += consumed;
   peak_ = std::max(peak_, config_.max_height());

@@ -1,0 +1,136 @@
+#pragma once
+
+/// \file alloc_probe.hpp
+/// Counting-allocator probe: the enforcement arm of the fixed-footprint
+/// invariant.
+///
+/// The library never interposes the global allocator itself — that would
+/// tax every binary.  Instead, a *test binary* that wants to prove a code
+/// path allocation-free defines interposing `operator new`/`delete` via
+/// `CVG_DEFINE_COUNTING_ALLOCATOR()` (one macro expansion at namespace
+/// scope in exactly one translation unit), and measurement windows read the
+/// counters through `AllocationScope`:
+///
+/// ```cpp
+/// CVG_DEFINE_COUNTING_ALLOCATOR()   // in the test .cpp, once
+/// ...
+/// sim.step();                        // warm-up: capacities plateau
+/// cvg::mem::AllocationScope scope;
+/// for (int i = 0; i < 1000; ++i) sim.step();
+/// EXPECT_EQ(scope.news(), 0u);       // steady state is allocation-free
+/// ```
+///
+/// Counters are relaxed atomics: cheap enough to leave in the interposers,
+/// and exact whenever the measured window is single-threaded (every audit
+/// window is).
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cvg::mem {
+
+struct AllocStats {
+  std::uint64_t news = 0;     ///< calls to any operator new form
+  std::uint64_t deletes = 0;  ///< calls to any operator delete form
+  std::uint64_t bytes = 0;    ///< total bytes requested through new
+};
+
+/// Snapshot of the process-wide counters.  All zero unless the binary
+/// interposed the allocator with `CVG_DEFINE_COUNTING_ALLOCATOR()`.
+[[nodiscard]] AllocStats alloc_stats() noexcept;
+
+/// True when an interposing allocator registered itself (i.e. the counters
+/// are meaningful).  Audit tests assert this to fail loudly if the macro
+/// expansion is ever lost.
+[[nodiscard]] bool alloc_probe_active() noexcept;
+
+/// Interposer hooks — called by the macro-generated operators only.
+void probe_note_new(std::size_t bytes) noexcept;
+void probe_note_delete() noexcept;
+void probe_mark_active() noexcept;
+
+/// Delta-counter over a scope: captures the stats at construction, reports
+/// traffic since.
+class AllocationScope {
+ public:
+  AllocationScope() : start_(alloc_stats()) {}
+
+  [[nodiscard]] std::uint64_t news() const {
+    return alloc_stats().news - start_.news;
+  }
+  [[nodiscard]] std::uint64_t deletes() const {
+    return alloc_stats().deletes - start_.deletes;
+  }
+  [[nodiscard]] std::uint64_t bytes() const {
+    return alloc_stats().bytes - start_.bytes;
+  }
+
+ private:
+  AllocStats start_;
+};
+
+}  // namespace cvg::mem
+
+/// Expands to the full set of replaceable global allocation functions,
+/// each forwarding to malloc/free and ticking the probe counters.  Expand
+/// at namespace scope in exactly one TU of the auditing binary.
+#define CVG_DEFINE_COUNTING_ALLOCATOR()                                        \
+  namespace cvg_alloc_probe_detail {                                           \
+  inline void* counted_alloc(std::size_t size, std::size_t align) {            \
+    ::cvg::mem::probe_note_new(size);                                          \
+    void* p = (align <= alignof(std::max_align_t))                             \
+                  ? std::malloc(size ? size : 1)                               \
+                  : std::aligned_alloc(align, ((size + align - 1) / align) *   \
+                                                  align);                      \
+    if (p == nullptr) throw std::bad_alloc();                                  \
+    return p;                                                                  \
+  }                                                                            \
+  inline void counted_free(void* p) noexcept {                                 \
+    if (p != nullptr) ::cvg::mem::probe_note_delete();                         \
+    std::free(p);                                                              \
+  }                                                                            \
+  struct ProbeActivator {                                                      \
+    ProbeActivator() { ::cvg::mem::probe_mark_active(); }                      \
+  };                                                                           \
+  const ProbeActivator probe_activator{};                                      \
+  }                                                                            \
+  void* operator new(std::size_t size) {                                       \
+    return cvg_alloc_probe_detail::counted_alloc(                              \
+        size, alignof(std::max_align_t));                                      \
+  }                                                                            \
+  void* operator new[](std::size_t size) {                                     \
+    return cvg_alloc_probe_detail::counted_alloc(                              \
+        size, alignof(std::max_align_t));                                      \
+  }                                                                            \
+  void* operator new(std::size_t size, std::align_val_t align) {               \
+    return cvg_alloc_probe_detail::counted_alloc(                              \
+        size, static_cast<std::size_t>(align));                                \
+  }                                                                            \
+  void* operator new[](std::size_t size, std::align_val_t align) {             \
+    return cvg_alloc_probe_detail::counted_alloc(                              \
+        size, static_cast<std::size_t>(align));                                \
+  }                                                                            \
+  void operator delete(void* p) noexcept {                                     \
+    cvg_alloc_probe_detail::counted_free(p);                                   \
+  }                                                                            \
+  void operator delete[](void* p) noexcept {                                   \
+    cvg_alloc_probe_detail::counted_free(p);                                   \
+  }                                                                            \
+  void operator delete(void* p, std::size_t) noexcept {                        \
+    cvg_alloc_probe_detail::counted_free(p);                                   \
+  }                                                                            \
+  void operator delete[](void* p, std::size_t) noexcept {                      \
+    cvg_alloc_probe_detail::counted_free(p);                                   \
+  }                                                                            \
+  void operator delete(void* p, std::align_val_t) noexcept {                   \
+    cvg_alloc_probe_detail::counted_free(p);                                   \
+  }                                                                            \
+  void operator delete[](void* p, std::align_val_t) noexcept {                 \
+    cvg_alloc_probe_detail::counted_free(p);                                   \
+  }                                                                            \
+  void operator delete(void* p, std::size_t, std::align_val_t) noexcept {      \
+    cvg_alloc_probe_detail::counted_free(p);                                   \
+  }                                                                            \
+  void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {    \
+    cvg_alloc_probe_detail::counted_free(p);                                   \
+  }

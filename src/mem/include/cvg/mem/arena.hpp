@@ -1,0 +1,96 @@
+#pragma once
+
+/// \file arena.hpp
+/// Bump/reset arena for per-step and per-request scratch.
+///
+/// The paper's setting is a buffer-constrained sensor node: memory is the
+/// scarce resource, and the honest realization of the model is a core whose
+/// working set is statically bounded.  The `Arena` is the workhorse of that
+/// fixed-footprint discipline (ROADMAP: "allocation-free hot paths via
+/// static pools").  Allocation is a pointer bump; `reset()` rewinds to empty
+/// while *retaining* every chunk ever acquired, so a warmed-up arena serves
+/// an unbounded stream of steps/requests with zero heap traffic.  Chunks
+/// grow geometrically, which bounds the number of heap allocations over the
+/// arena's whole lifetime by O(log total-bytes).
+///
+/// Objects placed in an arena are never individually freed and must be
+/// trivially destructible — the arena forgets them wholesale on `reset()`.
+/// That restriction is what makes the reset O(1) and is exactly the Contiki
+/// `memb`/stack-allocator contract the embedded targets expect.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "cvg/util/check.hpp"
+
+namespace cvg::mem {
+
+class Arena {
+ public:
+  static constexpr std::size_t kDefaultChunkBytes = 16 * 1024;
+
+  /// Acquires the first chunk eagerly so a default-sized arena performs its
+  /// only warm-path allocation at construction time.
+  explicit Arena(std::size_t first_chunk_bytes = kDefaultChunkBytes);
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Bump-allocates `bytes` aligned to `alignment` (a power of two).
+  /// Falls through to a new geometric chunk only when every retained chunk
+  /// is exhausted — never on the steady-state path of a warmed-up arena.
+  void* allocate(std::size_t bytes, std::size_t alignment);
+
+  /// Typed array carve-out, value-initialized.  `T` must be trivially
+  /// destructible: the arena will never run destructors.
+  template <typename T>
+  std::span<T> make_array(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory is reclaimed wholesale; T must not need a "
+                  "destructor");
+    if (count == 0) return {};
+    T* data = static_cast<T*>(allocate(count * sizeof(T), alignof(T)));
+    for (std::size_t i = 0; i < count; ++i) new (&data[i]) T();
+    return {data, count};
+  }
+
+  /// Rewinds to empty, retaining every chunk.  O(1); the next allocations
+  /// reuse the retained chunks in order.
+  void reset();
+
+  /// Bytes handed out since the last `reset()`.
+  [[nodiscard]] std::size_t used() const { return used_; }
+
+  /// Total bytes held across all retained chunks (the arena's footprint).
+  [[nodiscard]] std::size_t reserved() const { return reserved_; }
+
+  /// Number of chunks acquired over the arena's lifetime.
+  [[nodiscard]] std::size_t chunk_count() const { return chunks_.size(); }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size;
+  };
+
+  /// Moves to the next retained chunk able to hold `bytes`, acquiring a new
+  /// geometric chunk if none can.
+  void advance(std::size_t bytes);
+
+  /// Smallest offset ≥ `offset_` whose *address* in the current chunk is
+  /// `alignment`-aligned (chunk bases only carry the default new[]
+  /// alignment).
+  [[nodiscard]] std::size_t aligned_offset(std::size_t alignment) const;
+
+  std::vector<Chunk> chunks_;
+  std::size_t current_ = 0;  ///< index of the chunk being bumped
+  std::size_t offset_ = 0;   ///< bump offset within the current chunk
+  std::size_t used_ = 0;
+  std::size_t reserved_ = 0;
+};
+
+}  // namespace cvg::mem

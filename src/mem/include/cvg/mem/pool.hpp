@@ -1,0 +1,107 @@
+#pragma once
+
+/// \file pool.hpp
+/// Fixed-capacity typed object pool, after Contiki's static `MEMB` blocks.
+///
+/// A `Pool<T>` owns `capacity` slots of storage allocated once at
+/// construction; `alloc()` placement-constructs into a free slot and
+/// `release()` destroys and recycles it.  Exhaustion returns `nullptr`
+/// (Contiki's `memb_alloc` contract) rather than growing — the caller
+/// decides whether an overflow is an error (`CVG_CHECK` it) or a signal to
+/// flush/spill, but the pool's footprint never moves.  Double-release and
+/// foreign pointers trip `CVG_CHECK`.
+///
+/// Use a `Pool` when objects have identity and independent lifetimes (search
+/// candidate blocks, cached configurations); use `Arena` for scratch that
+/// dies wholesale at the end of a step.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "cvg/util/check.hpp"
+
+namespace cvg::mem {
+
+template <typename T>
+class Pool {
+ public:
+  explicit Pool(std::size_t capacity)
+      : storage_(std::make_unique<std::byte[]>(capacity * sizeof(Slot))),
+        live_(capacity, 0) {
+    free_.reserve(capacity);
+    // LIFO free list: hand back the lowest-index slot first so iteration
+    // order in tests is deterministic.
+    for (std::size_t i = capacity; i > 0; --i) {
+      free_.push_back(static_cast<std::uint32_t>(i - 1));
+    }
+  }
+
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+
+  ~Pool() {
+    for (std::size_t i = 0; i < live_.size(); ++i) {
+      if (live_[i]) slot(i)->~T();
+    }
+  }
+
+  /// Constructs a `T` in a free slot; returns `nullptr` when the pool is
+  /// exhausted (never grows).
+  template <typename... Args>
+  T* alloc(Args&&... args) {
+    if (free_.empty()) return nullptr;
+    const std::uint32_t index = free_.back();
+    free_.pop_back();
+    T* obj = new (slot(index)) T(std::forward<Args>(args)...);
+    live_[index] = 1;
+    return obj;
+  }
+
+  /// Destroys `obj` and recycles its slot.  Aborts on pointers the pool
+  /// does not own and on double release.
+  void release(T* obj) {
+    CVG_CHECK(owns(obj)) << "release of a pointer this pool does not own";
+    const std::size_t index = index_of(obj);
+    CVG_CHECK(live_[index]) << "double release of pool slot " << index;
+    obj->~T();
+    live_[index] = 0;
+    free_.push_back(static_cast<std::uint32_t>(index));
+  }
+
+  /// True when `obj` points at one of this pool's slots (live or not).
+  [[nodiscard]] bool owns(const T* obj) const {
+    const auto* p = reinterpret_cast<const std::byte*>(obj);
+    const std::byte* base = storage_.get();
+    if (p < base || p >= base + live_.size() * sizeof(Slot)) return false;
+    return (static_cast<std::size_t>(p - base) % sizeof(Slot)) == 0;
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return live_.size(); }
+  [[nodiscard]] std::size_t in_use() const {
+    return live_.size() - free_.size();
+  }
+  [[nodiscard]] bool full() const { return free_.empty(); }
+
+ private:
+  struct alignas(alignof(T)) Slot {
+    std::byte bytes[sizeof(T)];
+  };
+
+  T* slot(std::size_t index) {
+    return reinterpret_cast<T*>(storage_.get() + index * sizeof(Slot));
+  }
+  std::size_t index_of(const T* obj) const {
+    return static_cast<std::size_t>(reinterpret_cast<const std::byte*>(obj) -
+                                    storage_.get()) /
+           sizeof(Slot);
+  }
+
+  std::unique_ptr<std::byte[]> storage_;
+  std::vector<std::uint8_t> live_;
+  std::vector<std::uint32_t> free_;
+};
+
+}  // namespace cvg::mem

@@ -1,0 +1,100 @@
+#pragma once
+
+/// \file ring_queue.hpp
+/// Flat circular FIFO that never shrinks — the fixed-footprint `std::deque`
+/// replacement for packet buffers and BFS frontiers.
+///
+/// `std::deque` allocates and frees a segment every time push/pop crosses a
+/// block boundary, so a FIFO cycling at steady state still churns the heap
+/// forever.  `RingQueue` stores elements in one contiguous buffer indexed
+/// modulo a power-of-two capacity: once the buffer has grown to the
+/// workload's high-water mark, push/pop are allocation-free no matter how
+/// long the run.  Growth doubles the buffer and un-wraps the contents.
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "cvg/util/check.hpp"
+
+namespace cvg::mem {
+
+template <typename T>
+class RingQueue {
+ public:
+  RingQueue() = default;
+
+  explicit RingQueue(std::size_t initial_capacity) {
+    reserve(initial_capacity);
+  }
+
+  /// Grows the buffer to hold at least `capacity` elements (rounded up to a
+  /// power of two).  Never shrinks.
+  void reserve(std::size_t capacity) {
+    if (capacity <= buf_.size()) return;
+    std::size_t grown = buf_.empty() ? 8 : buf_.size();
+    while (grown < capacity) grown *= 2;
+    std::vector<T> next(grown);
+    for (std::size_t i = 0; i < count_; ++i) {
+      next[i] = std::move(buf_[(head_ + i) & (buf_.size() - 1)]);
+    }
+    buf_ = std::move(next);
+    head_ = 0;
+  }
+
+  void push_back(T value) {
+    if (count_ == buf_.size()) reserve(count_ + 1);
+    buf_[(head_ + count_) & (buf_.size() - 1)] = std::move(value);
+    ++count_;
+  }
+
+  [[nodiscard]] T& front() {
+    CVG_DCHECK(count_ > 0);
+    return buf_[head_];
+  }
+  [[nodiscard]] const T& front() const {
+    CVG_DCHECK(count_ > 0);
+    return buf_[head_];
+  }
+  [[nodiscard]] T& back() {
+    CVG_DCHECK(count_ > 0);
+    return buf_[(head_ + count_ - 1) & (buf_.size() - 1)];
+  }
+  [[nodiscard]] const T& back() const {
+    CVG_DCHECK(count_ > 0);
+    return buf_[(head_ + count_ - 1) & (buf_.size() - 1)];
+  }
+
+  void pop_front() {
+    CVG_DCHECK(count_ > 0);
+    head_ = (head_ + 1) & (buf_.size() - 1);
+    --count_;
+  }
+
+  /// i-th element from the front (0 = front), for in-order scans.
+  [[nodiscard]] T& operator[](std::size_t i) {
+    CVG_DCHECK(i < count_);
+    return buf_[(head_ + i) & (buf_.size() - 1)];
+  }
+  [[nodiscard]] const T& operator[](std::size_t i) const {
+    CVG_DCHECK(i < count_);
+    return buf_[(head_ + i) & (buf_.size() - 1)];
+  }
+
+  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] std::size_t capacity() const { return buf_.size(); }
+
+  /// Drops every element; storage is retained.
+  void clear() {
+    head_ = 0;
+    count_ = 0;
+  }
+
+ private:
+  std::vector<T> buf_;  ///< capacity is always zero or a power of two
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace cvg::mem

@@ -1,0 +1,159 @@
+#pragma once
+
+/// \file slot_map.hpp
+/// Generational slot map: dense storage with stable, stale-proof handles.
+///
+/// Slots are recycled through a free list, and every slot carries a
+/// generation counter that is bumped on `erase`.  A `Handle` captures the
+/// generation at insertion time, so a handle kept across a recycle can never
+/// silently alias the slot's new occupant: `operator[]` trips `CVG_CHECK`
+/// and `try_get` returns `nullptr`.  This is the classic generational-index
+/// pattern (cf. the attachment managers in entity-component engines) applied
+/// to the certifier's attachment bookkeeping, where a stale slot→residue
+/// reference is precisely the kind of bug Algorithm 4's invariants must
+/// catch loudly rather than corrupt quietly.
+///
+/// The map never shrinks: `reserve()` pre-sizes the slot vector so a
+/// bounded-population workload (at most one attachment per node, say)
+/// performs all its heap allocation up front and none per insert/erase.
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "cvg/util/check.hpp"
+
+namespace cvg::mem {
+
+/// Generation-tagged reference into a `SlotMap`.  Value-semantic and
+/// trivially copyable; the default-constructed handle is null.
+struct SlotHandle {
+  static constexpr std::uint32_t kNullIndex = 0xFFFFFFFFu;
+
+  std::uint32_t index = kNullIndex;
+  std::uint32_t generation = 0;
+
+  [[nodiscard]] bool is_null() const { return index == kNullIndex; }
+  friend bool operator==(SlotHandle a, SlotHandle b) = default;
+};
+
+template <typename T>
+class SlotMap {
+ public:
+  SlotMap() = default;
+
+  /// Pre-sizes internal storage for `capacity` concurrent residents, making
+  /// subsequent insert/erase churn allocation-free up to that population.
+  void reserve(std::size_t capacity) {
+    slots_.reserve(capacity);
+    free_.reserve(capacity);
+  }
+
+  /// Inserts `value`, recycling a freed slot when one exists.
+  SlotHandle insert(T value) {
+    std::uint32_t index;
+    if (!free_.empty()) {
+      index = free_.back();
+      free_.pop_back();
+      slots_[index].value = std::move(value);
+      slots_[index].live = true;
+    } else {
+      index = static_cast<std::uint32_t>(slots_.size());
+      CVG_CHECK(index != SlotHandle::kNullIndex) << "slot map exhausted";
+      slots_.push_back(Slot{std::move(value), 0, true});
+    }
+    ++size_;
+    return SlotHandle{index, slots_[index].generation};
+  }
+
+  /// Erases the resident `h` refers to and bumps the slot's generation so
+  /// every outstanding copy of `h` becomes detectably stale.  Aborts when
+  /// `h` is already stale (double erase is a lifetime bug, not a no-op).
+  void erase(SlotHandle h) {
+    CVG_CHECK(contains(h)) << "erase through a stale or null slot handle "
+                           << "(index " << h.index << ", generation "
+                           << h.generation << ")";
+    Slot& s = slots_[h.index];
+    s.live = false;
+    ++s.generation;
+    free_.push_back(h.index);
+    --size_;
+  }
+
+  /// True when `h` still refers to the resident it was minted for.
+  [[nodiscard]] bool contains(SlotHandle h) const {
+    return h.index < slots_.size() && slots_[h.index].live &&
+           slots_[h.index].generation == h.generation;
+  }
+
+  /// Checked access: a stale handle aborts with a diagnostic rather than
+  /// returning the slot's new occupant.
+  T& operator[](SlotHandle h) {
+    CVG_CHECK(contains(h)) << "access through a stale or null slot handle "
+                           << "(index " << h.index << ", generation "
+                           << h.generation << ")";
+    return slots_[h.index].value;
+  }
+  const T& operator[](SlotHandle h) const {
+    CVG_CHECK(contains(h)) << "access through a stale or null slot handle "
+                           << "(index " << h.index << ", generation "
+                           << h.generation << ")";
+    return slots_[h.index].value;
+  }
+
+  /// Unchecked-failure access: `nullptr` for stale/null handles.
+  [[nodiscard]] T* try_get(SlotHandle h) {
+    return contains(h) ? &slots_[h.index].value : nullptr;
+  }
+  [[nodiscard]] const T* try_get(SlotHandle h) const {
+    return contains(h) ? &slots_[h.index].value : nullptr;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  /// Erases every resident, invalidating all outstanding handles (each live
+  /// slot's generation is bumped).  Storage is retained.
+  void clear() {
+    for (std::uint32_t i = 0; i < slots_.size(); ++i) {
+      if (slots_[i].live) {
+        slots_[i].live = false;
+        ++slots_[i].generation;
+        free_.push_back(i);
+      }
+    }
+    size_ = 0;
+  }
+
+  /// Visits every live resident as `fn(handle, value&)`.
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (std::uint32_t i = 0; i < slots_.size(); ++i) {
+      if (slots_[i].live) {
+        fn(SlotHandle{i, slots_[i].generation}, slots_[i].value);
+      }
+    }
+  }
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::uint32_t i = 0; i < slots_.size(); ++i) {
+      if (slots_[i].live) {
+        fn(SlotHandle{i, slots_[i].generation}, slots_[i].value);
+      }
+    }
+  }
+
+ private:
+  struct Slot {
+    T value;
+    std::uint32_t generation = 0;
+    bool live = false;
+  };
+
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace cvg::mem

@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file sparse_set.hpp
+/// Briggs–Torczon sparse set over a fixed universe `[0, n)`.
+///
+/// Backs the simulators' occupied sets (PR 1's sparse step engine keys the
+/// policy's work off "nodes with height > 0").  All storage is sized to the
+/// universe at construction, so membership updates on the step path are
+/// allocation-free, and `clear()` is O(1) — a set version counter, not a
+/// sweep — which is what lets a `StepWorkspace` reset between steps without
+/// touching O(n) memory.
+///
+/// Iteration order is insertion order with swap-remove holes, matching the
+/// contract the sparse policy entry points already accept ("arbitrary order,
+/// no duplicates").
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cvg/util/check.hpp"
+
+namespace cvg::mem {
+
+template <typename Index = std::uint32_t>
+class SparseSet {
+ public:
+  SparseSet() = default;
+
+  explicit SparseSet(std::size_t universe) { resize_universe(universe); }
+
+  /// Re-sizes the universe and clears the set.  The only allocating member;
+  /// call at construction/reconfiguration, never per step.
+  void resize_universe(std::size_t universe) {
+    dense_.clear();
+    dense_.reserve(universe);
+    pos_.assign(universe, 0);
+  }
+
+  [[nodiscard]] std::size_t universe() const { return pos_.size(); }
+
+  [[nodiscard]] bool contains(Index v) const {
+    CVG_DCHECK(static_cast<std::size_t>(v) < pos_.size());
+    const std::size_t p = pos_[static_cast<std::size_t>(v)];
+    return p < dense_.size() && dense_[p] == v;
+  }
+
+  /// Inserts `v`; returns false when already present.  Never allocates
+  /// (dense storage is reserved to the universe size).
+  bool insert(Index v) {
+    if (contains(v)) return false;
+    pos_[static_cast<std::size_t>(v)] = dense_.size();
+    dense_.push_back(v);
+    return true;
+  }
+
+  /// Swap-removes `v`; returns false when absent.
+  bool erase(Index v) {
+    if (!contains(v)) return false;
+    const std::size_t p = pos_[static_cast<std::size_t>(v)];
+    const Index last = dense_.back();
+    dense_[p] = last;
+    pos_[static_cast<std::size_t>(last)] = p;
+    dense_.pop_back();
+    return true;
+  }
+
+  [[nodiscard]] std::span<const Index> items() const {
+    return {dense_.data(), dense_.size()};
+  }
+  [[nodiscard]] std::size_t size() const { return dense_.size(); }
+  [[nodiscard]] bool empty() const { return dense_.empty(); }
+
+  /// O(1): stale `pos_` entries are disarmed by the emptiness of `dense_`.
+  void clear() { dense_.clear(); }
+
+ private:
+  std::vector<Index> dense_;
+  std::vector<std::size_t> pos_;
+};
+
+}  // namespace cvg::mem

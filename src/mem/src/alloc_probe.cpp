@@ -1,0 +1,41 @@
+#include "cvg/mem/alloc_probe.hpp"
+
+#include <atomic>
+
+namespace cvg::mem {
+
+namespace {
+
+// Relaxed atomics: audit windows are single-threaded, so exactness there is
+// free; cross-thread reads only need eventual visibility for diagnostics.
+std::atomic<std::uint64_t> g_news{0};
+std::atomic<std::uint64_t> g_deletes{0};
+std::atomic<std::uint64_t> g_bytes{0};
+std::atomic<bool> g_active{false};
+
+}  // namespace
+
+AllocStats alloc_stats() noexcept {
+  return AllocStats{g_news.load(std::memory_order_relaxed),
+                    g_deletes.load(std::memory_order_relaxed),
+                    g_bytes.load(std::memory_order_relaxed)};
+}
+
+bool alloc_probe_active() noexcept {
+  return g_active.load(std::memory_order_relaxed);
+}
+
+void probe_note_new(std::size_t bytes) noexcept {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+void probe_note_delete() noexcept {
+  g_deletes.fetch_add(1, std::memory_order_relaxed);
+}
+
+void probe_mark_active() noexcept {
+  g_active.store(true, std::memory_order_relaxed);
+}
+
+}  // namespace cvg::mem

@@ -1,0 +1,74 @@
+#include "cvg/mem/arena.hpp"
+
+#include <algorithm>
+
+namespace cvg::mem {
+
+namespace {
+
+std::size_t align_up(std::size_t value, std::size_t alignment) {
+  return (value + alignment - 1) & ~(alignment - 1);
+}
+
+}  // namespace
+
+Arena::Arena(std::size_t first_chunk_bytes) {
+  CVG_CHECK(first_chunk_bytes > 0);
+  chunks_.reserve(8);
+  chunks_.push_back(
+      Chunk{std::make_unique<std::byte[]>(first_chunk_bytes), first_chunk_bytes});
+  reserved_ = first_chunk_bytes;
+}
+
+void* Arena::allocate(std::size_t bytes, std::size_t alignment) {
+  CVG_DCHECK(alignment > 0 && (alignment & (alignment - 1)) == 0)
+      << "alignment must be a power of two, got " << alignment;
+  if (bytes == 0) bytes = 1;  // distinct non-null results, as operator new
+  // Align the *address*, not the offset: chunk bases carry only the default
+  // new[] alignment, so an offset that is a multiple of a wider `alignment`
+  // does not make the resulting pointer one.
+  std::size_t at = aligned_offset(alignment);
+  if (at + bytes > chunks_[current_].size) {
+    advance(bytes + alignment);  // headroom so the aligned bump always fits
+    at = aligned_offset(alignment);
+    CVG_DCHECK(at + bytes <= chunks_[current_].size);
+  }
+  void* out = chunks_[current_].data.get() + at;
+  offset_ = at + bytes;
+  used_ += bytes;
+  return out;
+}
+
+std::size_t Arena::aligned_offset(std::size_t alignment) const {
+  const auto base =
+      reinterpret_cast<std::uintptr_t>(chunks_[current_].data.get());
+  return align_up(base + offset_, alignment) - base;
+}
+
+void Arena::advance(std::size_t bytes) {
+  // Reuse a retained chunk when one is big enough; the common reset/refill
+  // cycle walks the same chunk sequence every iteration and never gets here
+  // with an allocation.
+  for (std::size_t next = current_ + 1; next < chunks_.size(); ++next) {
+    if (chunks_[next].size >= bytes) {
+      // Chunks between current_ and next are skipped for this cycle; they
+      // stay retained and are revisited after the next reset().
+      current_ = next;
+      offset_ = 0;
+      return;
+    }
+  }
+  const std::size_t grown = std::max(bytes, chunks_.back().size * 2);
+  chunks_.push_back(Chunk{std::make_unique<std::byte[]>(grown), grown});
+  reserved_ += grown;
+  current_ = chunks_.size() - 1;
+  offset_ = 0;
+}
+
+void Arena::reset() {
+  current_ = 0;
+  offset_ = 0;
+  used_ = 0;
+}
+
+}  // namespace cvg::mem

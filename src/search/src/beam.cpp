@@ -37,9 +37,16 @@ BeamResult beam_worst_case(const Tree& tree, const Policy& policy,
       << "beam initial configuration does not match the tree";
 
   Simulator sim(tree, policy, sim_options);
-  std::vector<Scored> beam;
+  // Pooled candidate storage: `beam_store`/`next_store` hold every slot ever
+  // created and only their live prefixes (`beam_count`/`next_count`) are
+  // meaningful.  Slots are refilled by copy-assignment (which reuses the
+  // Configuration's height buffer) and the two stores swap roles each
+  // generation, so after the first full generation the expansion loop
+  // performs no per-candidate allocation.
+  std::vector<Scored> beam_store;
   const std::uint64_t start_hash = hash_of(start);
-  beam.push_back({std::move(start), 0, 0, start_hash, 0, kNoNode});
+  beam_store.push_back({std::move(start), 0, 0, start_hash, 0, kNoNode});
+  std::size_t beam_count = 1;
 
   // history[k] describes the kept states after k+1 steps: for each one, the
   // index of its predecessor in the previous kept generation and the
@@ -47,11 +54,11 @@ BeamResult beam_worst_case(const Tree& tree, const Policy& policy,
   std::vector<std::vector<std::pair<std::size_t, NodeId>>> history;
 
   BeamResult result;
-  std::vector<Scored> next_gen;
+  std::vector<Scored> next_store;
   for (Step gen = 0; gen < options.generations; ++gen) {
-    next_gen.clear();
-    for (std::size_t si = 0; si < beam.size(); ++si) {
-      const Scored& state = beam[si];
+    std::size_t next_count = 0;
+    for (std::size_t si = 0; si < beam_count; ++si) {
+      const Scored& state = beam_store[si];
       for (NodeId t = 0; t < tree.node_count(); ++t) {
         const NodeId injected = (t == 0 ? kNoNode : t);
         sim.set_config(state.config);
@@ -74,33 +81,53 @@ BeamResult beam_worst_case(const Tree& tree, const Policy& policy,
             }
           }
         }
-        next_gen.push_back(
-            {next, peak, next.total_packets(), hash_of(next), si, injected});
+        if (next_count == next_store.size()) {
+          next_store.push_back(
+              {next, peak, next.total_packets(), hash_of(next), si, injected});
+        } else {
+          Scored& slot = next_store[next_count];
+          slot.config = next;  // copy-assign: reuses the height buffer
+          slot.peak = peak;
+          slot.packets = next.total_packets();
+          slot.hash = hash_of(next);
+          slot.parent = si;
+          slot.injected = injected;
+        }
+        ++next_count;
       }
     }
     // Keep the best `width` states, deduplicated (equal configurations sort
-    // adjacently: same peak, packets and hash).
-    std::sort(next_gen.begin(), next_gen.end(),
+    // adjacently: same peak, packets and hash).  Sort and compact only the
+    // live prefix; dead slots beyond it keep their buffers for reuse.
+    std::sort(next_store.begin(),
+              next_store.begin() + static_cast<std::ptrdiff_t>(next_count),
               [](const Scored& a, const Scored& b) {
                 if (a.peak != b.peak) return a.peak > b.peak;
                 if (a.packets != b.packets) return a.packets > b.packets;
                 return a.hash < b.hash;
               });
-    next_gen.erase(std::unique(next_gen.begin(), next_gen.end(),
-                               [](const Scored& a, const Scored& b) {
-                                 return a.config == b.config;
-                               }),
-                   next_gen.end());
-    if (next_gen.size() > options.width) next_gen.resize(options.width);
+    std::size_t unique_count = 0;
+    for (std::size_t i = 0; i < next_count; ++i) {
+      if (unique_count > 0 &&
+          next_store[i].config == next_store[unique_count - 1].config) {
+        continue;
+      }
+      if (i != unique_count) {
+        std::swap(next_store[unique_count], next_store[i]);
+      }
+      ++unique_count;
+    }
+    const std::size_t kept_count = std::min(unique_count, options.width);
     if (options.keep_schedule) {
       std::vector<std::pair<std::size_t, NodeId>> kept;
-      kept.reserve(next_gen.size());
-      for (const Scored& state : next_gen) {
-        kept.emplace_back(state.parent, state.injected);
+      kept.reserve(kept_count);
+      for (std::size_t i = 0; i < kept_count; ++i) {
+        kept.emplace_back(next_store[i].parent, next_store[i].injected);
       }
       history.push_back(std::move(kept));
     }
-    beam.swap(next_gen);
+    beam_store.swap(next_store);
+    beam_count = kept_count;
   }
   return result;
 }

@@ -1,12 +1,12 @@
 #include "cvg/search/exhaustive.hpp"
 
 #include <algorithm>
-#include <deque>
 #include <optional>
 #include <span>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "cvg/mem/ring_queue.hpp"
 #include "cvg/sim/lane_engine.hpp"
 #include "cvg/util/check.hpp"
 
@@ -78,14 +78,19 @@ SearchResult exhaustive_worst_case(const Tree& tree, const Policy& policy,
   std::unordered_map<std::uint64_t, Pred> pred;
 
   std::unordered_set<std::uint64_t> seen;
-  std::deque<std::uint64_t> frontier;
+  // Flat power-of-two ring rather than std::deque: a deque allocates and
+  // frees segment blocks for as long as the BFS runs, while the ring's
+  // backing block doubles to the frontier's high-water mark and is then
+  // reused across all remaining depths.
+  mem::RingQueue<std::uint64_t> frontier;
   const std::uint64_t start = encode(Configuration(n));
   seen.insert(start);
   frontier.push_back(start);
 
   SearchResult result;
   std::uint64_t best_state = start;
-  Configuration config(n);  // scratch, refilled in place for every state
+  Configuration config(n);     // scratch, refilled in place for every state
+  Configuration lane_next(n);  // per-choice gather target, reused likewise
 
   while (!frontier.empty()) {
     if (seen.size() >= options.max_states) {
@@ -103,11 +108,10 @@ SearchResult exhaustive_worst_case(const Tree& tree, const Policy& policy,
 
     // Idle (kNoNode) plus each possible injection site — lane t of the
     // batch, or a scalar (set_config, step) pair in the fallback.
-    Configuration lane_next(n);
     for (NodeId t = 0; t < n; ++t) {
       const NodeId injection = (t == 0) ? kNoNode : t;
       if (batch) {
-        lane_next = batch->lane_config(t);
+        batch->lane_config_into(t, lane_next);
       } else {
         sim.set_config(config);
         sim.step_inject(injection);

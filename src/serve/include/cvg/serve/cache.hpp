@@ -19,6 +19,7 @@
 /// All operations are thread-safe; workers race on lookup/insert freely.
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -60,7 +61,7 @@ class ResultCache {
 
  private:
   struct Impl;
-  Impl* impl_;
+  std::unique_ptr<Impl> impl_;
 };
 
 }  // namespace cvg::serve

@@ -3,6 +3,7 @@
 #include <filesystem>
 #include <fstream>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <utility>
@@ -84,7 +85,7 @@ struct ResultCache::Impl {
 
 ResultCache::ResultCache(std::size_t max_entries, std::size_t max_bytes,
                          std::string spill_dir)
-    : impl_(new Impl) {
+    : impl_(std::make_unique<Impl>()) {
   CVG_CHECK(max_entries > 0 && max_bytes > 0)
       << "ResultCache: bounds must be positive";
   impl_->max_entries = max_entries;
@@ -92,7 +93,7 @@ ResultCache::ResultCache(std::size_t max_entries, std::size_t max_bytes,
   impl_->spill_dir = std::move(spill_dir);
 }
 
-ResultCache::~ResultCache() { delete impl_; }
+ResultCache::~ResultCache() = default;
 
 std::optional<std::string> ResultCache::lookup(std::uint64_t key) {
   std::lock_guard<std::mutex> lock(impl_->mutex);

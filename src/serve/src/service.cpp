@@ -16,6 +16,7 @@
 #include "cvg/corpus/format.hpp"
 #include "cvg/corpus/minimize.hpp"
 #include "cvg/corpus/replay.hpp"
+#include "cvg/mem/arena.hpp"
 #include "cvg/parallel/pool.hpp"
 #include "cvg/policy/registry.hpp"
 #include "cvg/sim/lane_engine.hpp"
@@ -36,6 +37,23 @@ constexpr Step kCancelPollMask = 1023;
 /// width — a new kernel generation — retires memoized results instead of
 /// serving them across substrates.
 constexpr std::uint32_t kServeLaneWidth = 64;
+
+/// Per-worker request scratch, keyed to the executing `WorkerPool` worker
+/// through `thread_local` storage (workers are long-lived threads, so each
+/// owns exactly one of these for the service's lifetime).  The arena is
+/// `reset()` at the start of every request executor — request-scoped arrays
+/// (lane row pointers) bump-allocate from chunks that persist across
+/// requests — and the injection buffer's capacity likewise survives, so a
+/// warm worker executes cells without per-step heap traffic of its own.
+struct WorkerScratch {
+  mem::Arena arena;
+  std::vector<NodeId> injections;
+};
+
+[[nodiscard]] WorkerScratch& worker_scratch() {
+  thread_local WorkerScratch scratch;
+  return scratch;
+}
 
 [[nodiscard]] SimOptions request_sim_options(const JobRequest& request) {
   SimOptions options;
@@ -149,7 +167,7 @@ struct ExecResult {
   Height peak = 0;
   std::uint64_t injected = 0;
   std::uint64_t delivered = 0;
-  std::vector<NodeId> injections;
+  std::vector<NodeId>& injections = worker_scratch().injections;
   const auto drive = [&](auto& sim) -> std::optional<Step> {
     for (Step step = 0; step < request.steps; ++step) {
       if ((step & kCancelPollMask) == 0 && cancel.cancelled()) return step;
@@ -233,7 +251,10 @@ struct ExecResult {
   }
 
   LaneSimulator sim(tree, *policy, options, seeds.size());
-  std::vector<std::span<const NodeId>> row(seeds.size());
+  WorkerScratch& scratch = worker_scratch();
+  scratch.arena.reset();
+  const std::span<std::span<const NodeId>> row =
+      scratch.arena.make_array<std::span<const NodeId>>(seeds.size());
   for (Step step = 0; step < request.steps; ++step) {
     if ((step & kCancelPollMask) == 0 && cancel.cancelled()) {
       return ExecResult::failure(

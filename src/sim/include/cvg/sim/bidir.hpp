@@ -105,9 +105,16 @@ class BidirPathSimulator {
   void set_config(const Configuration& config);
 
  private:
+  /// Per-instance step workspace (fixed-footprint invariant): the per-node
+  /// decision buffer, sized once at construction and overwritten in place
+  /// every step — the undirected substrate's whole per-step state.
+  struct Workspace {
+    std::vector<BidirSend> sends;
+  };
+
   const BidirPolicy* policy_;
   Configuration config_;
-  std::vector<BidirSend> sends_;
+  Workspace ws_;
   Step now_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t injected_ = 0;

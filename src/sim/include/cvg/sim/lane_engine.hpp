@@ -109,6 +109,12 @@ class LaneSimulator {
   /// Materializes lane `lane`'s configuration (a strided gather).
   [[nodiscard]] Configuration lane_config(std::size_t lane) const;
 
+  /// In-place variant of `lane_config`: gathers into `out`, which must
+  /// already have this simulator's node count.  The exhaustive search calls
+  /// this once per (state, injection) pair — reusing one scratch
+  /// configuration keeps the expansion loop allocation-free.
+  void lane_config_into(std::size_t lane, Configuration& out) const;
+
   /// Reseeds *every* lane from `config` (peaks fold it in, mirroring the
   /// scalar `set_config`) — the exhaustive search seeds a block with one
   /// frontier state and expands all injection choices as lanes.
@@ -178,13 +184,19 @@ class LaneSimulator {
   Configuration lane0_config_;
   std::vector<LaneSchedule> shadow_;
 
-  // Per-step scratch, sized once so the steady state never allocates.
-  std::vector<Capacity> carry_;
-  std::vector<Height> peak_scratch_;
-  std::vector<Height> winner_h_;
-  std::vector<std::int32_t> winner_idx_;
-  std::vector<Height> window_max_;
-  std::vector<std::span<const NodeId>> span_scratch_;
+  /// Per-instance step workspace (fixed-footprint invariant): every scratch
+  /// plane the lane kernels touch, sized once at construction — including
+  /// the halt masks (`amask_` above) these kernels read.  The steady-state
+  /// lane step never allocates (pinned by allocation_audit_test).
+  struct Workspace {
+    std::vector<Capacity> carry;
+    std::vector<Height> peak_scratch;
+    std::vector<Height> winner_h;
+    std::vector<std::int32_t> winner_idx;
+    std::vector<Height> window_max;
+    std::vector<std::span<const NodeId>> span_scratch;
+  };
+  Workspace ws_;
 };
 
 /// Outcome of replaying one schedule (the counters a sweep reports).

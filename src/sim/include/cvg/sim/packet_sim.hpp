@@ -8,7 +8,6 @@
 /// question about the delay characteristics of Odd-Even and its competitors.
 
 #include <cstdint>
-#include <deque>
 #include <optional>
 #include <span>
 #include <vector>
@@ -16,6 +15,8 @@
 #include "cvg/audit/locality_auditor.hpp"
 #include "cvg/core/config.hpp"
 #include "cvg/core/step.hpp"
+#include "cvg/core/workspace.hpp"
+#include "cvg/mem/ring_queue.hpp"
 #include "cvg/policy/policy.hpp"
 #include "cvg/sim/metrics.hpp"
 #include "cvg/sim/simulator.hpp"
@@ -66,7 +67,7 @@ class PacketSimulator {
   }
 
   /// FIFO buffer contents of node v (front = next packet to forward).
-  [[nodiscard]] const std::deque<Packet>& buffer(NodeId v) const {
+  [[nodiscard]] const mem::RingQueue<Packet>& buffer(NodeId v) const {
     return buffers_[v];
   }
 
@@ -80,13 +81,23 @@ class PacketSimulator {
   /// Records a delivery into both the cumulative stats and the per-step list.
   void record_delivery(Step delay);
 
+  /// A packet detached from its sender this step, awaiting delivery.
+  struct Move {
+    Packet packet;
+    NodeId to = kNoNode;
+  };
+
   const Tree* tree_;
   const Policy* policy_;
   SimOptions options_;
-  std::vector<std::deque<Packet>> buffers_;
+  /// Per-node FIFOs as flat ring buffers: unlike std::deque, cycling packets
+  /// through a warmed-up queue allocates nothing (fixed-footprint invariant).
+  std::vector<mem::RingQueue<Packet>> buffers_;
   Configuration config_;  // mirror of buffer sizes, fed to the policy
-  std::vector<Capacity> sends_;
-  std::vector<NodeId> injections_scratch_;
+  /// Dense send scratch + injection list, construction-sized, reset per step
+  /// (`record.injections` doubles as the policy's injection view).
+  StepWorkspace ws_;
+  std::vector<Move> moves_;  // detach/deliver scratch; capacity retained
   DelayStats delays_;
   std::vector<Step> delivered_delays_;  // deliveries of the latest step
   Step now_ = 0;

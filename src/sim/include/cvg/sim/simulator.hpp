@@ -32,6 +32,7 @@
 #include "cvg/core/config.hpp"
 #include "cvg/core/step.hpp"
 #include "cvg/core/types.hpp"
+#include "cvg/core/workspace.hpp"
 #include "cvg/policy/policy.hpp"
 #include "cvg/topology/tree.hpp"
 
@@ -124,7 +125,7 @@ class Simulator {
   /// has run at least once).  The generic run loop and the certifier hook
   /// read it between steps; `step` overwrites it in place.
   [[nodiscard]] const StepRecord& last_record() const noexcept {
-    return record_;
+    return ws_.record;
   }
 
   /// Number of completed steps.
@@ -151,7 +152,7 @@ class Simulator {
 
   /// Nodes with height > 0, in unspecified order (the sparse engine's key).
   [[nodiscard]] std::span<const NodeId> occupied() const noexcept {
-    return occupied_;
+    return ws_.occupied.items();
   }
 
   /// Steps executed by each engine so far (diagnostics; benches and the
@@ -200,13 +201,10 @@ class Simulator {
   const Policy* policy_;
   SimOptions options_;
   Configuration config_;
-  StepRecord record_;
-  std::vector<Capacity> sends_;  // dense scratch; all-zero between steps
-  /// Occupied set: `occupied_` lists nodes with height > 0; `occupied_pos_`
-  /// is the inverse index (position in `occupied_`, or `kNoNode` when
-  /// absent), making insert and swap-remove O(1).
-  std::vector<NodeId> occupied_;
-  std::vector<NodeId> occupied_pos_;
+  /// Every per-step buffer — record, dense send scratch, occupied set —
+  /// sized once at construction; `step()` only resets it (fixed-footprint
+  /// invariant, pinned by allocation_audit_test).
+  StepWorkspace ws_;
   Step now_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t injected_ = 0;

@@ -32,8 +32,9 @@ BidirSend BidirDiffusion::decide(Height own, Height toward,
 BidirPathSimulator::BidirPathSimulator(std::size_t node_count,
                                        const BidirPolicy& policy,
                                        bool audit_locality)
-    : policy_(&policy), config_(node_count), sends_(node_count) {
+    : policy_(&policy), config_(node_count) {
   CVG_CHECK(node_count >= 2);
+  ws_.sends.resize(node_count);
   if (audit_locality) {
     auditor_ = LocalityAuditor::for_path(node_count, policy.name(),
                                          /*declared_locality=*/1);
@@ -64,17 +65,17 @@ void BidirPathSimulator::step_inject(NodeId t) {
       const DecisionScope audit_scope(v);
       const Height own = config_.height(v);
       if (own <= 0) {
-        sends_[v] = {};
+        ws_.sends[v] = {};
         continue;
       }
       const Height toward = config_.height(v - 1);
       const Height away = (v + 1 < n) ? config_.height(v + 1) : Height{-1};
-      sends_[v] = policy_->decide(own, toward, away);
+      ws_.sends[v] = policy_->decide(own, toward, away);
       // Clamp: a node with one packet cannot send two.
-      if (own == 1 && sends_[v].toward_sink && sends_[v].away) {
-        sends_[v].away = false;
+      if (own == 1 && ws_.sends[v].toward_sink && ws_.sends[v].away) {
+        ws_.sends[v].away = false;
       }
-      if (v + 1 >= n) sends_[v].away = false;
+      if (v + 1 >= n) ws_.sends[v].away = false;
     }
   }
 
@@ -90,7 +91,7 @@ void BidirPathSimulator::step_inject(NodeId t) {
 
   for (NodeId v = 1; v < n; ++v) {
     Height outgoing = 0;
-    if (sends_[v].toward_sink) {
+    if (ws_.sends[v].toward_sink) {
       ++outgoing;
       if (v - 1 == 0) {
         ++delivered_;
@@ -98,7 +99,7 @@ void BidirPathSimulator::step_inject(NodeId t) {
         config_.add(v - 1, 1);
       }
     }
-    if (sends_[v].away) {
+    if (ws_.sends[v].away) {
       ++outgoing;
       config_.add(v + 1, 1);
     }

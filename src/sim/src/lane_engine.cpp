@@ -62,12 +62,12 @@ LaneSimulator::LaneSimulator(const Tree& tree, const Policy& policy,
   tokens_.assign(lanes_, options_.burstiness);
   lane0_config_ = Configuration(n_);
   shadow_.resize(lanes_);
-  carry_.assign(lanes_, 0);
-  peak_scratch_.assign(lanes_, 0);
-  winner_h_.assign(lanes_, 0);
-  winner_idx_.assign(lanes_, -1);
-  window_max_.assign(lanes_, 0);
-  span_scratch_.assign(lanes_, {});
+  ws_.carry.assign(lanes_, 0);
+  ws_.peak_scratch.assign(lanes_, 0);
+  ws_.winner_h.assign(lanes_, 0);
+  ws_.winner_idx.assign(lanes_, -1);
+  ws_.window_max.assign(lanes_, 0);
+  ws_.span_scratch.assign(lanes_, {});
   policy_->on_simulation_start();
 }
 
@@ -80,11 +80,11 @@ template <typename WantsFn>
 void LaneSimulator::path_pass(WantsFn wants) {
   const std::size_t K = lanes_;
   const Capacity cap = options_.capacity;
-  Capacity* __restrict__ carry = carry_.data();
-  Height* __restrict__ ps = peak_scratch_.data();
+  Capacity* __restrict__ carry = ws_.carry.data();
+  Height* __restrict__ ps = ws_.peak_scratch.data();
   const Capacity* __restrict__ am = amask_.data();
-  std::fill(carry_.begin(), carry_.end(), Capacity{0});
-  std::fill(peak_scratch_.begin(), peak_scratch_.end(), Height{0});
+  std::fill(ws_.carry.begin(), ws_.carry.end(), Capacity{0});
+  std::fill(ws_.peak_scratch.begin(), ws_.peak_scratch.end(), Height{0});
   for (NodeId v = static_cast<NodeId>(n_ - 1); v >= 1; --v) {
     Height* __restrict__ own = h_.row(v);
     const Height* succ = h_.row(static_cast<NodeId>(v - 1));
@@ -123,9 +123,9 @@ void LaneSimulator::compute_max_window() {
   const std::size_t K = lanes_;
   const Capacity cap = options_.capacity;
   const Capacity* __restrict__ am = amask_.data();
-  Height* __restrict__ wm = window_max_.data();
+  Height* __restrict__ wm = ws_.window_max.data();
   for (NodeId v = 1; v < n_; ++v) {
-    std::fill(window_max_.begin(), window_max_.end(), Height{0});
+    std::fill(ws_.window_max.begin(), ws_.window_max.end(), Height{0});
     NodeId cur = v;
     for (std::int32_t hop = 0; hop < rule_.param; ++hop) {
       cur = tree_->parent(cur);
@@ -152,14 +152,14 @@ void LaneSimulator::compute_arbitrated() {
   const Capacity cap = options_.capacity;
   const Capacity* __restrict__ am = amask_.data();
   const bool strict = rule_.arbitration == ArbitrationMode::Strict;
-  Height* __restrict__ wh = winner_h_.data();
-  std::int32_t* __restrict__ wi = winner_idx_.data();
+  Height* __restrict__ wh = ws_.winner_h.data();
+  std::int32_t* __restrict__ wi = ws_.winner_idx.data();
   for (NodeId p = 0; p < n_; ++p) {
     const std::span<const NodeId> children = tree_->children(p);
     if (children.empty()) continue;
     const Height* __restrict__ succ = h_.row(p);
-    std::fill(winner_h_.begin(), winner_h_.end(), Height{0});
-    std::fill(winner_idx_.begin(), winner_idx_.end(), std::int32_t{-1});
+    std::fill(ws_.winner_h.begin(), ws_.winner_h.end(), Height{0});
+    std::fill(ws_.winner_idx.begin(), ws_.winner_idx.end(), std::int32_t{-1});
     for (const NodeId c : children) {
       const Height* hc = h_.row(c);
       const std::int32_t ci = static_cast<std::int32_t>(c);
@@ -191,8 +191,8 @@ void LaneSimulator::compute_arbitrated() {
 /// targeted peak update because only risers can exceed the previous peak.
 void LaneSimulator::apply_pass() {
   const std::size_t K = lanes_;
-  Height* __restrict__ ps = peak_scratch_.data();
-  std::fill(peak_scratch_.begin(), peak_scratch_.end(), Height{0});
+  Height* __restrict__ ps = ws_.peak_scratch.data();
+  std::fill(ws_.peak_scratch.begin(), ws_.peak_scratch.end(), Height{0});
   for (NodeId v = 1; v < n_; ++v) {
     Height* __restrict__ hv = h_.row(v);
     const Capacity* __restrict__ sv = send_.row(v);
@@ -343,10 +343,16 @@ void LaneSimulator::halt_lane(std::size_t lane) {
 }
 
 Configuration LaneSimulator::lane_config(std::size_t lane) const {
-  CVG_CHECK(lane < lanes_);
   Configuration out(n_);
-  for (NodeId v = 1; v < n_; ++v) out.set_height(v, h_.at(v, lane));
+  lane_config_into(lane, out);
   return out;
+}
+
+void LaneSimulator::lane_config_into(std::size_t lane,
+                                     Configuration& out) const {
+  CVG_CHECK(lane < lanes_);
+  CVG_CHECK(out.node_count() == n_);
+  for (NodeId v = 1; v < n_; ++v) out.set_height(v, h_.at(v, lane));
 }
 
 void LaneSimulator::set_config_all_lanes(const Configuration& config) {
@@ -371,15 +377,15 @@ void LaneSimulator::bind_shadow_schedule(std::size_t lane,
 }
 
 void LaneSimulator::step(std::span<const NodeId> injections) {
-  span_scratch_[0] = injections;
+  ws_.span_scratch[0] = injections;
   for (std::size_t l = 1; l < lanes_; ++l) {
     const LaneSchedule& sched = shadow_[l];
-    span_scratch_[l] = now_ < sched.size()
+    ws_.span_scratch[l] = now_ < sched.size()
                            ? std::span<const NodeId>(
                                  sched[static_cast<std::size_t>(now_)])
                            : std::span<const NodeId>{};
   }
-  step_lanes(span_scratch_);
+  step_lanes(ws_.span_scratch);
 }
 
 void LaneSimulator::refresh_lane0() {

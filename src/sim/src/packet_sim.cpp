@@ -19,8 +19,11 @@ PacketSimulator::PacketSimulator(const Tree& tree, const Policy& policy,
       options_(options),
       buffers_(tree.node_count()),
       config_(tree.node_count()),
+      ws_(tree.node_count(),
+          static_cast<std::size_t>(options.capacity + options.burstiness)),
       tokens_(options.burstiness) {
   CVG_CHECK(options_.capacity >= 1);
+  moves_.reserve(tree.node_count());
   if (options_.audit_locality) {
     auditor_ = LocalityAuditor::for_tree(tree, policy.name(),
                                          policy.locality());
@@ -41,16 +44,16 @@ void PacketSimulator::step(std::span<const NodeId> injections) {
       << "adversary exceeded its rate (packet engine)";
   tokens_ = static_cast<Capacity>(tokens_ - static_cast<Capacity>(injections.size()));
 
-  injections_scratch_.assign(injections.begin(), injections.end());
-  sends_.assign(n, 0);
+  ws_.begin_step(now_);
+  ws_.record.injections.assign(injections.begin(), injections.end());
   delivered_delays_.clear();
 
   if (options_.semantics == StepSemantics::DecideBeforeInjection) {
     const ScopedLocalityAudit audit(auditor_ ? &*auditor_ : nullptr, now_);
-    policy_->compute_sends(*tree_, config_, injections_scratch_,
-                           options_.capacity, sends_);
+    policy_->compute_sends(*tree_, config_, ws_.record.injections,
+                           options_.capacity, ws_.dense_sends);
     if (options_.validate) {
-      validate_sends(*tree_, config_, options_.capacity, sends_);
+      validate_sends(*tree_, config_, options_.capacity, ws_.dense_sends);
     }
   }
 
@@ -67,30 +70,29 @@ void PacketSimulator::step(std::span<const NodeId> injections) {
 
   if (options_.semantics == StepSemantics::DecideAfterInjection) {
     const ScopedLocalityAudit audit(auditor_ ? &*auditor_ : nullptr, now_);
-    policy_->compute_sends(*tree_, config_, injections_scratch_,
-                           options_.capacity, sends_);
+    policy_->compute_sends(*tree_, config_, ws_.record.injections,
+                           options_.capacity, ws_.dense_sends);
     if (options_.validate) {
-      validate_sends(*tree_, config_, options_.capacity, sends_);
+      validate_sends(*tree_, config_, options_.capacity, ws_.dense_sends);
     }
   }
 
   // Forward simultaneously: first detach every departing packet (so a packet
-  // cannot hop two links in one step), then deliver.
-  struct Move {
-    Packet packet;
-    NodeId to;
-  };
-  std::vector<Move> moves;
+  // cannot hop two links in one step), then deliver.  The scan restores the
+  // all-zero invariant on `ws_.dense_sends` by zeroing each entry it reads.
+  moves_.clear();
   for (NodeId v = 1; v < n; ++v) {
-    for (Capacity k = 0; k < sends_[v]; ++k) {
+    const Capacity k_total = ws_.dense_sends[v];
+    ws_.dense_sends[v] = 0;
+    for (Capacity k = 0; k < k_total; ++k) {
       CVG_CHECK(!buffers_[v].empty())
           << "policy over-sent at node " << v << " (packet engine)";
-      moves.push_back({buffers_[v].front(), tree_->parent(v)});
+      moves_.push_back({buffers_[v].front(), tree_->parent(v)});
       buffers_[v].pop_front();
       config_.add(v, -1);
     }
   }
-  for (const Move& move : moves) {
+  for (const Move& move : moves_) {
     if (move.to == Tree::sink()) {
       record_delivery(now_ + 1 - move.packet.injected_at);
     } else {

@@ -19,16 +19,12 @@ Simulator::Simulator(const Tree& tree, const Policy& policy, SimOptions options)
       policy_(&policy),
       options_(options),
       config_(tree.node_count()),
-      sends_(tree.node_count(), 0),
-      occupied_pos_(tree.node_count(), kNoNode),
+      ws_(tree.node_count(),
+          static_cast<std::size_t>(options.capacity + options.burstiness)),
       peak_per_node_(tree.node_count(), 0),
       tokens_(options.burstiness) {
   CVG_CHECK(options_.capacity >= 1);
   CVG_CHECK(options_.burstiness >= 0);
-  // Reserve the per-step buffers once; step() only ever clear()s them, so
-  // the steady state performs no allocation at all.
-  record_.injections.reserve(
-      static_cast<std::size_t>(options_.capacity + options_.burstiness));
   if (options_.audit_locality) {
     auditor_ = LocalityAuditor::for_tree(tree, policy.name(),
                                          policy.locality());
@@ -49,7 +45,7 @@ bool Simulator::use_sparse_now() const {
   const double crossover = options_.sparse_crossover > 0.0
                                ? options_.sparse_crossover
                                : kSparseCrossover;
-  return static_cast<double>(occupied_.size()) <
+  return static_cast<double>(ws_.occupied.size()) <
          crossover * static_cast<double>(tree_->node_count());
 }
 
@@ -60,34 +56,35 @@ void Simulator::compute_step_sends() {
   const ScopedLocalityAudit audit(auditor_ ? &*auditor_ : nullptr, now_);
   if (use_sparse_now()) {
     ++sparse_steps_;
-    policy_->compute_sends_sparse(*tree_, config_, occupied_,
-                                  options_.capacity, record_.sends);
+    policy_->compute_sends_sparse(*tree_, config_, ws_.occupied.items(),
+                                  options_.capacity, ws_.record.sends);
     // Policies may emit in occupied-set order; records are sorted by node so
     // consumers can binary-search and both engines produce identical records.
-    std::sort(record_.sends.begin(), record_.sends.end(),
+    std::sort(ws_.record.sends.begin(), ws_.record.sends.end(),
               [](const SendEntry& a, const SendEntry& b) {
                 return a.node < b.node;
               });
     if (options_.validate) {
-      validate_sends_sparse(*tree_, config_, options_.capacity, record_.sends);
+      validate_sends_sparse(*tree_, config_, options_.capacity,
+                            ws_.record.sends);
     }
     return;
   }
 
   ++dense_steps_;
-  // Invariant: `sends_` is all-zero here; the collection loop below restores
-  // that by zeroing exactly the entries it reads, so the dense path never
-  // pays an O(n) clear.
-  policy_->compute_sends(*tree_, config_, record_.injections,
-                         options_.capacity, sends_);
+  // Invariant: `ws_.dense_sends` is all-zero here; the collection loop below
+  // restores that by zeroing exactly the entries it reads, so the dense path
+  // never pays an O(n) clear.
+  policy_->compute_sends(*tree_, config_, ws_.record.injections,
+                         options_.capacity, ws_.dense_sends);
   if (options_.validate) {
-    validate_sends(*tree_, config_, options_.capacity, sends_);
+    validate_sends(*tree_, config_, options_.capacity, ws_.dense_sends);
   }
   const std::size_t n = tree_->node_count();
   for (NodeId v = 1; v < n; ++v) {
-    if (sends_[v] != 0) {
-      record_.sends.push_back({v, sends_[v]});
-      sends_[v] = 0;
+    if (ws_.dense_sends[v] != 0) {
+      ws_.record.sends.push_back({v, ws_.dense_sends[v]});
+      ws_.dense_sends[v] = 0;
     }
   }
 }
@@ -102,8 +99,8 @@ const StepRecord& Simulator::step(std::span<const NodeId> injections) {
       << ", sigma=" << options_.burstiness << ")";
   tokens_ = static_cast<Capacity>(tokens_ - static_cast<Capacity>(injections.size()));
 
-  record_.reset(now_);
-  record_.injections.assign(injections.begin(), injections.end());
+  ws_.begin_step(now_);
+  ws_.record.injections.assign(injections.begin(), injections.end());
 
   // Mini-step order: with decide-before semantics the policy samples the
   // configuration as it stood at the start of the step; with decide-after it
@@ -130,7 +127,7 @@ const StepRecord& Simulator::step(std::span<const NodeId> injections) {
   // Apply all forwards simultaneously.  Each node's send count was clamped
   // to its decision-time height, which never exceeds its current height, so
   // intermediate values stay non-negative regardless of application order.
-  for (const SendEntry& entry : record_.sends) {
+  for (const SendEntry& entry : ws_.record.sends) {
     add_height(entry.node, static_cast<Height>(-entry.count));
     const NodeId p = tree_->parent(entry.node);
     if (p == Tree::sink()) {
@@ -147,7 +144,7 @@ const StepRecord& Simulator::step(std::span<const NodeId> injections) {
     peak_per_node_[t] = std::max(peak_per_node_[t], h);
     peak_ = std::max(peak_, h);
   }
-  for (const SendEntry& entry : record_.sends) {
+  for (const SendEntry& entry : ws_.record.sends) {
     const NodeId p = tree_->parent(entry.node);
     if (p == Tree::sink()) continue;
     const Height h = config_.height(p);
@@ -156,7 +153,7 @@ const StepRecord& Simulator::step(std::span<const NodeId> injections) {
   }
 
   ++now_;
-  return record_;
+  return ws_.record;
 }
 
 void Simulator::add_height(NodeId v, Height delta) {
@@ -164,27 +161,17 @@ void Simulator::add_height(NodeId v, Height delta) {
   config_.add(v, delta);
   const Height after = static_cast<Height>(before + delta);
   if (before == 0 && after > 0) {
-    occupied_pos_[v] = static_cast<NodeId>(occupied_.size());
-    occupied_.push_back(v);
+    ws_.occupied.insert(v);
   } else if (before > 0 && after == 0) {
-    const NodeId idx = occupied_pos_[v];
-    const NodeId last = occupied_.back();
-    occupied_[idx] = last;
-    occupied_pos_[last] = idx;
-    occupied_.pop_back();
-    occupied_pos_[v] = kNoNode;
+    ws_.occupied.erase(v);
   }
 }
 
 void Simulator::rebuild_occupied() {
   const std::size_t n = tree_->node_count();
-  occupied_.clear();
-  occupied_pos_.assign(n, kNoNode);
+  ws_.occupied.clear();  // O(1): Briggs-Torczon clear
   for (NodeId v = 1; v < n; ++v) {
-    if (config_.height(v) > 0) {
-      occupied_pos_[v] = static_cast<NodeId>(occupied_.size());
-      occupied_.push_back(v);
-    }
+    if (config_.height(v) > 0) ws_.occupied.insert(v);
   }
 }
 

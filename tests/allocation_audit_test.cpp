@@ -1,0 +1,460 @@
+// Allocation audit: the enforcement arm of the fixed-footprint invariant.
+//
+// This binary interposes the global allocator (CVG_DEFINE_COUNTING_ALLOCATOR,
+// exactly once, below) and proves that every simulation substrate's step loop
+// is allocation-free at steady state: buffers are sized at construction or
+// grow to a workload high-water mark during warm-up, after which an unbounded
+// stream of steps performs zero heap traffic.  It also unit-tests the
+// cvg::mem primitives themselves, including the SlotMap generation-reuse
+// discipline (stale handles must abort, not alias the slot's new occupant).
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cvg/certify/path_certifier.hpp"
+#include "cvg/core/config.hpp"
+#include "cvg/dag/dag_sim.hpp"
+#include "cvg/mem/alloc_probe.hpp"
+#include "cvg/mem/arena.hpp"
+#include "cvg/mem/pool.hpp"
+#include "cvg/mem/ring_queue.hpp"
+#include "cvg/mem/slot_map.hpp"
+#include "cvg/mem/sparse_set.hpp"
+#include "cvg/policy/registry.hpp"
+#include "cvg/sim/bidir.hpp"
+#include "cvg/sim/lane_engine.hpp"
+#include "cvg/sim/packet_sim.hpp"
+#include "cvg/sim/simulator.hpp"
+#include "cvg/topology/builders.hpp"
+
+CVG_DEFINE_COUNTING_ALLOCATOR()
+
+namespace cvg {
+namespace {
+
+using mem::AllocationScope;
+
+// ---------------------------------------------------------------------------
+// Probe plumbing
+// ---------------------------------------------------------------------------
+
+TEST(AllocProbe, IsActiveInThisBinary) {
+  ASSERT_TRUE(mem::alloc_probe_active())
+      << "the counting allocator was not linked in; every steady-state "
+         "assertion below would pass vacuously";
+}
+
+TEST(AllocProbe, CountsNewAndDelete) {
+  AllocationScope scope;
+  auto* p = new int(42);
+  EXPECT_GE(scope.news(), 1u);
+  EXPECT_GE(scope.bytes(), sizeof(int));
+  delete p;
+  EXPECT_GE(scope.deletes(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// cvg::mem primitives
+// ---------------------------------------------------------------------------
+
+TEST(Arena, BumpAllocatesAndResetsWithoutFreeing) {
+  mem::Arena arena(256);
+  void* a = arena.allocate(64, 8);
+  void* b = arena.allocate(64, 8);
+  EXPECT_NE(a, b);
+  EXPECT_GE(arena.used(), 128u);
+
+  arena.reset();
+  EXPECT_EQ(arena.used(), 0u);
+  // The same chunk is reused: the first post-reset allocation lands exactly
+  // where the first pre-reset one did.
+  EXPECT_EQ(arena.allocate(64, 8), a);
+}
+
+TEST(Arena, MakeArrayValueInitializes) {
+  mem::Arena arena;
+  const std::span<int> xs = arena.make_array<int>(100);
+  ASSERT_EQ(xs.size(), 100u);
+  for (const int x : xs) EXPECT_EQ(x, 0);
+  EXPECT_TRUE(arena.make_array<int>(0).empty());
+}
+
+TEST(Arena, RespectsAlignment) {
+  mem::Arena arena;
+  (void)arena.allocate(1, 1);  // misalign the bump pointer
+  void* p = arena.allocate(32, 64);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 64, 0u);
+}
+
+TEST(Arena, WarmedArenaServesResetCyclesAllocationFree) {
+  mem::Arena arena(1024);
+  // Warm-up: drive to the high-water mark once (may acquire chunks).
+  for (int round = 0; round < 4; ++round) {
+    arena.reset();
+    (void)arena.make_array<std::uint64_t>(2000);
+  }
+  const std::size_t chunks = arena.chunk_count();
+  AllocationScope scope;
+  for (int round = 0; round < 100; ++round) {
+    arena.reset();
+    const auto xs = arena.make_array<std::uint64_t>(2000);
+    xs[0] = 1;  // keep the compiler honest
+  }
+  EXPECT_EQ(scope.news(), 0u);
+  EXPECT_EQ(arena.chunk_count(), chunks);
+}
+
+TEST(Pool, AllocReleaseRecyclesWithoutGrowth) {
+  mem::Pool<std::string> pool(4);
+  EXPECT_EQ(pool.capacity(), 4u);
+
+  std::string* a = pool.alloc("alpha");
+  std::string* b = pool.alloc("beta");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(*a, "alpha");
+  EXPECT_EQ(pool.in_use(), 2u);
+  EXPECT_TRUE(pool.owns(a));
+
+  pool.release(a);
+  EXPECT_EQ(pool.in_use(), 1u);
+  // The freed slot is recycled.
+  std::string* c = pool.alloc("gamma");
+  EXPECT_EQ(c, a);
+  pool.release(b);
+  pool.release(c);
+}
+
+TEST(Pool, ExhaustionReturnsNullInsteadOfGrowing) {
+  mem::Pool<int> pool(2);
+  int* a = pool.alloc(1);
+  int* b = pool.alloc(2);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_TRUE(pool.full());
+  EXPECT_EQ(pool.alloc(3), nullptr);  // memb_alloc contract: no growth
+  pool.release(a);
+  EXPECT_NE(pool.alloc(4), nullptr);
+  pool.release(b);
+}
+
+TEST(SlotMap, InsertEraseRecyclesSlotsWithFreshGenerations) {
+  mem::SlotMap<int> map;
+  const mem::SlotHandle a = map.insert(10);
+  const mem::SlotHandle b = map.insert(20);
+  EXPECT_EQ(map[a], 10);
+  EXPECT_EQ(map[b], 20);
+  EXPECT_EQ(map.size(), 2u);
+
+  map.erase(a);
+  EXPECT_FALSE(map.contains(a));
+  EXPECT_EQ(map.try_get(a), nullptr);
+
+  // The freed slot is recycled under a bumped generation: same index,
+  // different handle, and the old handle stays dead.
+  const mem::SlotHandle c = map.insert(30);
+  EXPECT_EQ(c.index, a.index);
+  EXPECT_NE(c.generation, a.generation);
+  EXPECT_FALSE(map.contains(a));
+  EXPECT_EQ(map[c], 30);
+}
+
+TEST(SlotMap, ClearInvalidatesAllHandles) {
+  mem::SlotMap<int> map;
+  const mem::SlotHandle a = map.insert(1);
+  const mem::SlotHandle b = map.insert(2);
+  map.clear();
+  EXPECT_TRUE(map.empty());
+  EXPECT_FALSE(map.contains(a));
+  EXPECT_FALSE(map.contains(b));
+}
+
+TEST(SlotMap, ForEachVisitsExactlyTheLiveResidents) {
+  mem::SlotMap<int> map;
+  (void)map.insert(1);
+  const mem::SlotHandle b = map.insert(2);
+  (void)map.insert(3);
+  map.erase(b);
+
+  int sum = 0;
+  std::size_t visits = 0;
+  map.for_each([&](mem::SlotHandle h, int& v) {
+    EXPECT_TRUE(map.contains(h));
+    sum += v;
+    ++visits;
+  });
+  EXPECT_EQ(visits, 2u);
+  EXPECT_EQ(sum, 4);
+}
+
+TEST(SlotMap, ReservedChurnIsAllocationFree) {
+  mem::SlotMap<std::uint64_t> map;
+  map.reserve(64);
+  std::vector<mem::SlotHandle> handles;
+  handles.reserve(64);
+
+  AllocationScope scope;
+  for (int round = 0; round < 50; ++round) {
+    for (std::uint64_t i = 0; i < 64; ++i) handles.push_back(map.insert(i));
+    for (const mem::SlotHandle h : handles) map.erase(h);
+    handles.clear();
+  }
+  EXPECT_EQ(scope.news(), 0u);
+}
+
+using SlotMapDeathTest = ::testing::Test;
+
+TEST(SlotMapDeathTest, StaleHandleAccessAborts) {
+  mem::SlotMap<int> map;
+  const mem::SlotHandle a = map.insert(10);
+  map.erase(a);
+  (void)map.insert(99);  // recycles a's slot under a new generation
+  EXPECT_DEATH((void)map[a], "stale or null slot handle");
+}
+
+TEST(SlotMapDeathTest, DoubleEraseAborts) {
+  mem::SlotMap<int> map;
+  const mem::SlotHandle a = map.insert(10);
+  map.erase(a);
+  EXPECT_DEATH(map.erase(a), "stale or null slot handle");
+}
+
+TEST(SlotMapDeathTest, NullHandleAccessAborts) {
+  mem::SlotMap<int> map;
+  EXPECT_DEATH((void)map[mem::SlotHandle{}], "stale or null slot handle");
+}
+
+using PoolDeathTest = ::testing::Test;
+
+TEST(PoolDeathTest, DoubleReleaseAborts) {
+  mem::Pool<int> pool(2);
+  int* a = pool.alloc(1);
+  pool.release(a);
+  EXPECT_DEATH(pool.release(a), "double release");
+}
+
+TEST(SparseSet, MembershipAndConstantTimeClear) {
+  mem::SparseSet<std::uint32_t> set(8);
+  EXPECT_TRUE(set.insert(3));
+  EXPECT_TRUE(set.insert(5));
+  EXPECT_FALSE(set.insert(3));  // already present
+  EXPECT_TRUE(set.contains(3));
+  EXPECT_EQ(set.size(), 2u);
+
+  EXPECT_TRUE(set.erase(3));
+  EXPECT_FALSE(set.erase(3));
+  EXPECT_FALSE(set.contains(3));
+
+  set.clear();  // O(1); stale pos_ entries must stay disarmed
+  EXPECT_TRUE(set.empty());
+  EXPECT_FALSE(set.contains(5));
+  EXPECT_TRUE(set.insert(5));
+}
+
+TEST(SparseSet, ChurnWithinUniverseIsAllocationFree) {
+  mem::SparseSet<std::uint32_t> set(256);
+  AllocationScope scope;
+  for (int round = 0; round < 50; ++round) {
+    for (std::uint32_t v = 0; v < 256; ++v) set.insert(v);
+    for (std::uint32_t v = 0; v < 256; v += 2) set.erase(v);
+    set.clear();
+  }
+  EXPECT_EQ(scope.news(), 0u);
+}
+
+TEST(RingQueue, FifoOrderAcrossWraparound) {
+  mem::RingQueue<int> q(4);
+  int next_push = 0;
+  int next_pop = 0;
+  // Cycle far past the capacity so head wraps many times.
+  for (int i = 0; i < 100; ++i) {
+    q.push_back(next_push++);
+    q.push_back(next_push++);
+    EXPECT_EQ(q.front(), next_pop);
+    q.pop_front();
+    ++next_pop;
+  }
+  EXPECT_EQ(q.size(), 100u);
+  EXPECT_EQ(q[0], next_pop);
+  EXPECT_EQ(q.back(), next_push - 1);
+}
+
+TEST(RingQueue, SteadyCyclingIsAllocationFree) {
+  mem::RingQueue<std::uint64_t> q;
+  q.reserve(128);
+  for (std::uint64_t i = 0; i < 64; ++i) q.push_back(i);  // high-water fill
+
+  AllocationScope scope;
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    q.push_back(i);
+    q.pop_front();
+  }
+  EXPECT_EQ(scope.news(), 0u);
+  EXPECT_EQ(q.capacity(), 128u);
+}
+
+// ---------------------------------------------------------------------------
+// Steady-state audits: every substrate's warmed-up step loop must be
+// allocation-free.  Warm-up drives each engine's scratch to its workload
+// high-water mark; the measured window then asserts zero operator-new calls.
+// ---------------------------------------------------------------------------
+
+constexpr int kWarmupSteps = 2048;
+constexpr int kMeasuredSteps = 512;
+
+/// Runs the scalar height engine at rate 1 (inject at the leaf every step)
+/// and returns the allocation count over the measured window.
+std::uint64_t measure_simulator(SparseMode mode) {
+  const Tree tree = build::path(64);
+  const PolicyPtr policy = make_policy("odd-even");
+  SimOptions options;
+  options.sparse_mode = mode;
+  Simulator sim(tree, *policy, options);
+
+  const NodeId leaf = static_cast<NodeId>(tree.node_count() - 1);
+  for (int i = 0; i < kWarmupSteps; ++i) (void)sim.step({&leaf, 1});
+
+  AllocationScope scope;
+  for (int i = 0; i < kMeasuredSteps; ++i) (void)sim.step({&leaf, 1});
+  const std::uint64_t news = scope.news();
+  EXPECT_GT(sim.delivered(), 0u);  // the workload really flowed
+  return news;
+}
+
+TEST(SteadyState, DenseSimulatorStepIsAllocationFree) {
+  EXPECT_EQ(measure_simulator(SparseMode::Never), 0u);
+}
+
+TEST(SteadyState, SparseSimulatorStepIsAllocationFree) {
+  EXPECT_EQ(measure_simulator(SparseMode::Always), 0u);
+}
+
+TEST(SteadyState, AutoModeSimulatorStepIsAllocationFree) {
+  // Auto flips between the engines as occupancy crosses the threshold; the
+  // flip itself must not allocate either.
+  EXPECT_EQ(measure_simulator(SparseMode::Auto), 0u);
+}
+
+TEST(SteadyState, PacketSimulatorStepIsAllocationFree) {
+  // Draining workload (inject every other step) so queue depths — and with
+  // them the delay histogram — plateau during warm-up.
+  const Tree tree = build::path(16);
+  const PolicyPtr policy = make_policy("odd-even");
+  PacketSimulator sim(tree, *policy);
+
+  const NodeId leaf = static_cast<NodeId>(tree.node_count() - 1);
+  for (int i = 0; i < kWarmupSteps; ++i) {
+    sim.step_inject(i % 2 == 0 ? leaf : kNoNode);
+  }
+
+  AllocationScope scope;
+  for (int i = 0; i < kMeasuredSteps; ++i) {
+    sim.step_inject(i % 2 == 0 ? leaf : kNoNode);
+  }
+  EXPECT_EQ(scope.news(), 0u);
+  EXPECT_GT(sim.delivered(), 0u);
+}
+
+TEST(SteadyState, BidirPathStepIsAllocationFree) {
+  const BidirDiffusion policy;
+  BidirPathSimulator sim(32, policy);
+
+  const NodeId far_end = 31;
+  for (int i = 0; i < kWarmupSteps; ++i) sim.step_inject(far_end);
+
+  AllocationScope scope;
+  for (int i = 0; i < kMeasuredSteps; ++i) sim.step_inject(far_end);
+  EXPECT_EQ(scope.news(), 0u);
+  EXPECT_GT(sim.delivered(), 0u);
+}
+
+TEST(SteadyState, DagSimulatorStepIsAllocationFree) {
+  const Dag dag = build_dag::diamond(3, 4);
+  const DagOddEven policy;
+  DagSimulator sim(dag, policy);
+
+  const NodeId source = static_cast<NodeId>(dag.node_count() - 1);
+  for (int i = 0; i < kWarmupSteps; ++i) sim.step_inject(source);
+
+  AllocationScope scope;
+  for (int i = 0; i < kMeasuredSteps; ++i) sim.step_inject(source);
+  EXPECT_EQ(scope.news(), 0u);
+  EXPECT_GT(sim.delivered(), 0u);
+}
+
+/// Lane-batched engine: every lane injects at its own node each round, and
+/// the per-round lane_config_into gather reuses one scratch configuration.
+std::uint64_t measure_lane_engine(std::size_t lanes) {
+  const Tree tree = build::path(48);
+  const PolicyPtr policy = make_policy("odd-even");
+  const SimOptions options;
+  EXPECT_TRUE(LaneSimulator::supported(*policy, options));
+  LaneSimulator sim(tree, *policy, options, lanes);
+
+  std::vector<NodeId> targets(lanes);
+  for (std::size_t l = 0; l < lanes; ++l) {
+    targets[l] = static_cast<NodeId>(tree.node_count() - 1 - l);
+  }
+  std::vector<std::span<const NodeId>> injections(lanes);
+  for (std::size_t l = 0; l < lanes; ++l) {
+    injections[l] = std::span<const NodeId>(&targets[l], 1);
+  }
+  Configuration gathered(tree.node_count());
+
+  for (int i = 0; i < kWarmupSteps; ++i) sim.step_lanes(injections);
+
+  AllocationScope scope;
+  for (int i = 0; i < kMeasuredSteps; ++i) {
+    sim.step_lanes(injections);
+    sim.lane_config_into(static_cast<std::size_t>(i) % lanes, gathered);
+  }
+  const std::uint64_t news = scope.news();
+  EXPECT_GT(sim.lane_delivered(0), 0u);
+  EXPECT_EQ(gathered.node_count(), tree.node_count());
+  return news;
+}
+
+TEST(SteadyState, LaneEngineWidth4IsAllocationFree) {
+  EXPECT_EQ(measure_lane_engine(4), 0u);
+}
+
+TEST(SteadyState, LaneEngineWidth8IsAllocationFree) {
+  EXPECT_EQ(measure_lane_engine(8), 0u);
+}
+
+TEST(SteadyState, PathCertifierObserveIsAllocationFree) {
+  // The certifier's per-step pipeline — classification, path matching,
+  // Algorithm 4 attachment churn (SlotMap insert/erase), arena scratch —
+  // must also settle to zero heap traffic once heights reach their bounded
+  // steady state (odd-even keeps the peak ≤ log₂ n + O(1), so the
+  // attachment population and every workspace plateau during warm-up).
+  const Tree tree = build::path(32);
+  const PolicyPtr policy = make_policy("odd-even");
+  SimOptions options;
+  options.sparse_mode = SparseMode::Never;
+  Simulator sim(tree, *policy, options);
+  certify::PathCertifier certifier(tree, /*validate_every=*/0);
+
+  const NodeId leaf = static_cast<NodeId>(tree.node_count() - 1);
+  for (int i = 0; i < kWarmupSteps; ++i) {
+    const StepRecord& record = sim.step({&leaf, 1});
+    certifier.observe(sim.config(), record);
+  }
+
+  AllocationScope scope;
+  for (int i = 0; i < kMeasuredSteps; ++i) {
+    const StepRecord& record = sim.step({&leaf, 1});
+    certifier.observe(sim.config(), record);
+  }
+  EXPECT_EQ(scope.news(), 0u);
+  certifier.final_validate();
+}
+
+}  // namespace
+}  // namespace cvg
